@@ -1,0 +1,1 @@
+bench/main.ml: Cmd Cmdliner Float Harness List Printf Protego_base Protego_core Protego_dist Protego_kernel Protego_net Protego_study Protego_userland Term

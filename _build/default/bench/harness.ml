@@ -1,0 +1,512 @@
+(* Table 5 harness: lmbench-style micro rows and macro workloads, measured
+   with Bechamel on the Linux-baseline and Protego configurations of the
+   simulator.  Absolute numbers are simulator costs, not hardware costs; the
+   quantity of interest is the relative overhead of the Protego policy
+   hooks, mirroring the paper's %OH column. *)
+
+open Bechamel
+open Toolkit
+open Protego_kernel
+open Ktypes
+module Image = Protego_dist.Image
+module Ipaddr = Protego_net.Ipaddr
+module Packet = Protego_net.Packet
+
+let expect what = function
+  | Ok v -> v
+  | Error e ->
+      failwith
+        (Printf.sprintf "bench setup: %s failed: %s" what
+           (Protego_base.Errno.to_string e))
+
+(* A benched operation: setup builds a closure over a prepared image.
+   [modified] marks rows whose code path Protego changes (a hook with real
+   policy work); the others bound the measurement noise floor. *)
+type row = {
+  row_name : string;
+  paper_linux_us : float option;  (* paper's Linux column, for reference *)
+  modified : bool;
+  setup : Image.t -> (unit -> unit);
+}
+
+let prepared_image config =
+  let img = Image.build config in
+  img.Image.machine.password_source <-
+    (fun uid -> if uid = Image.alice_uid then Some "alice-pw" else None);
+  img
+
+let alice img = Image.login img "alice"
+let root img = Image.login img "root"
+
+let keep : unit -> unit = fun () -> ()
+
+let rows : row list =
+  [ { row_name = "syscall"; modified = false; paper_linux_us = Some 0.04;
+      setup =
+        (fun img ->
+          let t = alice img in
+          fun () -> ignore (Syscall.getpid t)) };
+    { row_name = "read"; modified = false; paper_linux_us = Some 0.09;
+      setup =
+        (fun img ->
+          let m = img.Image.machine in
+          let t = alice img in
+          let fd = expect "open" (Syscall.open_ m t "/etc/motd" [ Syscall.O_RDONLY ]) in
+          fun () ->
+            (match List.assoc_opt fd t.fds with
+            | Some f -> f.pos <- 0
+            | None -> ());
+            ignore (Syscall.read m t fd 16)) };
+    { row_name = "write"; modified = false; paper_linux_us = Some 0.09;
+      setup =
+        (fun img ->
+          let m = img.Image.machine in
+          let t = alice img in
+          expect "write" (Syscall.write_file m t "/home/alice/w" "xxxxxxxxxxxxxxxx");
+          let fd =
+            expect "open" (Syscall.open_ m t "/home/alice/w" [ Syscall.O_WRONLY ])
+          in
+          fun () ->
+            (match List.assoc_opt fd t.fds with
+            | Some f -> f.pos <- 0
+            | None -> ());
+            ignore (Syscall.write m t fd "y")) };
+    { row_name = "stat"; modified = true; paper_linux_us = Some 0.34;
+      setup =
+        (fun img ->
+          let m = img.Image.machine in
+          let t = alice img in
+          fun () -> ignore (Syscall.stat m t "/etc/motd")) };
+    { row_name = "open/close"; modified = true; paper_linux_us = Some 1.17;
+      setup =
+        (fun img ->
+          let m = img.Image.machine in
+          let t = alice img in
+          fun () ->
+            let fd = expect "open" (Syscall.open_ m t "/etc/motd" [ Syscall.O_RDONLY ]) in
+            ignore (Syscall.close m t fd)) };
+    { row_name = "mount/umount"; modified = true; paper_linux_us = Some 525.15;
+      setup =
+        (fun img ->
+          let m = img.Image.machine in
+          let t = root img in
+          fun () ->
+            expect "mount"
+              (Syscall.mount m t ~source:"/dev/cdrom" ~target:"/media/cdrom"
+                 ~fstype:"iso9660" ~flags:[ Mf_readonly ]);
+            expect "umount" (Syscall.umount m t ~target:"/media/cdrom")) };
+    { row_name = "setuid"; modified = true; paper_linux_us = Some 0.82;
+      setup =
+        (fun img ->
+          let m = img.Image.machine in
+          let t = alice img in
+          fun () -> ignore (Syscall.setuid m t Image.alice_uid)) };
+    { row_name = "setgid"; modified = true; paper_linux_us = Some 0.82;
+      setup =
+        (fun img ->
+          let m = img.Image.machine in
+          let t = alice img in
+          fun () -> ignore (Syscall.setgid m t Image.alice_uid)) };
+    { row_name = "ioctl"; modified = true; paper_linux_us = Some 2.76;
+      setup =
+        (fun img ->
+          let m = img.Image.machine in
+          let t = root img in
+          let fd = expect "open" (Syscall.open_ m t "/dev/tty1" [ Syscall.O_RDWR ]) in
+          fun () -> ignore (Syscall.ioctl m t fd Ioctl_tty_getattr)) };
+    { row_name = "bind"; modified = true; paper_linux_us = Some 1.77;
+      setup =
+        (fun img ->
+          let m = img.Image.machine in
+          let t = alice img in
+          fun () ->
+            let fd = expect "socket" (Syscall.socket m t Af_inet Sock_dgram 17) in
+            expect "bind" (Syscall.bind m t fd Ipaddr.localhost 0);
+            ignore (Syscall.close m t fd)) };
+    { row_name = "sig install"; modified = false; paper_linux_us = Some 0.10;
+      setup =
+        (fun img ->
+          let t = alice img in
+          fun () -> Syscall.sigaction t 10 (Some keep)) };
+    { row_name = "sig overhead"; modified = false; paper_linux_us = Some 0.70;
+      setup =
+        (fun img ->
+          let m = img.Image.machine in
+          let t = alice img in
+          Syscall.sigaction t 10 (Some keep);
+          fun () -> ignore (Syscall.kill m t t.tpid 10)) };
+    { row_name = "prot fault"; modified = false; paper_linux_us = Some 0.19;
+      setup =
+        (fun img ->
+          let m = img.Image.machine in
+          let t = alice img in
+          Syscall.sigaction t 11 (Some keep);
+          fun () -> ignore (Syscall.kill m t t.tpid 11)) };
+    { row_name = "fork+exit"; modified = false; paper_linux_us = Some 159.0;
+      setup =
+        (fun img ->
+          let m = img.Image.machine in
+          let t = alice img in
+          fun () ->
+            let child = Syscall.fork m t in
+            Syscall.exit m child 0;
+            ignore (Syscall.waitpid m t child.tpid)) };
+    { row_name = "fork+execve"; modified = true; paper_linux_us = Some 554.0;
+      setup =
+        (fun img ->
+          let m = img.Image.machine in
+          let t = alice img in
+          fun () ->
+            let child = Syscall.fork m t in
+            let code =
+              match Syscall.execve m child "/bin/true" [ "/bin/true" ] child.env with
+              | Ok c -> c
+              | Error _ -> 127
+            in
+            Syscall.exit m child code;
+            ignore (Syscall.waitpid m t child.tpid)) };
+    { row_name = "fork+/bin/sh"; modified = true; paper_linux_us = Some 1360.0;
+      setup =
+        (fun img ->
+          let m = img.Image.machine in
+          let t = alice img in
+          fun () ->
+            let child = Syscall.fork m t in
+            let code =
+              match
+                Syscall.execve m child "/bin/sh"
+                  [ "/bin/sh"; "-c"; "/bin/true" ] child.env
+              with
+              | Ok c -> c
+              | Error _ -> 127
+            in
+            Syscall.exit m child code;
+            ignore (Syscall.waitpid m t child.tpid)) };
+    { row_name = "0KB create"; modified = true; paper_linux_us = Some 5.57;
+      setup =
+        (fun img ->
+          let m = img.Image.machine in
+          let t = alice img in
+          fun () ->
+            expect "create" (Syscall.write_file m t "/home/alice/f0" "");
+            expect "unlink" (Syscall.unlink m t "/home/alice/f0")) };
+    { row_name = "10KB create"; modified = true; paper_linux_us = Some 11.0;
+      setup =
+        (fun img ->
+          let m = img.Image.machine in
+          let t = alice img in
+          let contents = String.make 10240 'k' in
+          fun () ->
+            expect "create" (Syscall.write_file m t "/home/alice/f10k" contents);
+            expect "unlink" (Syscall.unlink m t "/home/alice/f10k")) };
+    { row_name = "AF_UNIX"; modified = false; paper_linux_us = Some 9.30;
+      setup =
+        (fun img ->
+          let m = img.Image.machine in
+          let t = alice img in
+          let a, b = expect "socketpair" (Syscall.socketpair m t) in
+          fun () ->
+            ignore (Syscall.send m t a "x");
+            ignore (Syscall.recv m t b 1);
+            ignore (Syscall.send m t b "y");
+            ignore (Syscall.recv m t a 1)) };
+    { row_name = "pipe"; modified = false; paper_linux_us = Some 6.73;
+      setup =
+        (fun img ->
+          let m = img.Image.machine in
+          let t = alice img in
+          let r, w = expect "pipe" (Syscall.pipe m t) in
+          fun () ->
+            ignore (Syscall.write m t w "x");
+            ignore (Syscall.read m t r 1)) };
+    { row_name = "TCP connect"; modified = true; paper_linux_us = Some 18.0;
+      setup =
+        (fun img ->
+          let m = img.Image.machine in
+          let server = root img in
+          let sfd = expect "socket" (Syscall.socket m server Af_inet Sock_stream 6) in
+          expect "bind" (Syscall.bind m server sfd Ipaddr.localhost 8080);
+          expect "listen" (Syscall.listen m server sfd);
+          let t = alice img in
+          fun () ->
+            let fd = expect "socket" (Syscall.socket m t Af_inet Sock_stream 6) in
+            expect "connect" (Syscall.connect m t fd Ipaddr.localhost 8080);
+            ignore (Syscall.close m t fd)) };
+    { row_name = "local TCP lat"; modified = false; paper_linux_us = Some 19.63;
+      setup =
+        (fun img ->
+          let m = img.Image.machine in
+          let server = root img in
+          let sfd = expect "socket" (Syscall.socket m server Af_inet Sock_stream 6) in
+          expect "bind" (Syscall.bind m server sfd Ipaddr.localhost 8081);
+          expect "listen" (Syscall.listen m server sfd);
+          let t = alice img in
+          let cfd = expect "socket" (Syscall.socket m t Af_inet Sock_stream 6) in
+          let accepted =
+            match
+              Netstack.connect_socket m t
+                (match List.assoc_opt cfd t.fds with
+                | Some { fobj = F_socket s; _ } -> s
+                | _ -> assert false)
+                Ipaddr.localhost 8081
+            with
+            | Ok (Some s) -> s
+            | Ok None | Error _ -> failwith "bench: no accepted socket"
+          in
+          fun () ->
+            ignore (Syscall.send m t cfd "ping");
+            ignore (Netstack.recv_stream m server accepted 4);
+            ignore (Netstack.send_stream m server accepted "pong");
+            ignore (Syscall.recv m t cfd 4)) };
+    { row_name = "local UDP lat"; modified = true; paper_linux_us = Some 16.70;
+      setup =
+        (fun img ->
+          let m = img.Image.machine in
+          let t = alice img in
+          let a = expect "socket" (Syscall.socket m t Af_inet Sock_dgram 17) in
+          let b = expect "socket" (Syscall.socket m t Af_inet Sock_dgram 17) in
+          expect "bind" (Syscall.bind m t a Ipaddr.localhost 9001);
+          expect "bind" (Syscall.bind m t b Ipaddr.localhost 9002);
+          fun () ->
+            ignore (Syscall.sendto m t a Ipaddr.localhost 9002 "x");
+            ignore (Syscall.recvfrom m t b);
+            ignore (Syscall.sendto m t b Ipaddr.localhost 9001 "y");
+            ignore (Syscall.recvfrom m t a)) };
+    { row_name = "remote UDP lat"; modified = true; paper_linux_us = Some 543.60;
+      setup =
+        (fun img ->
+          let m = img.Image.machine in
+          let t = alice img in
+          let fd = expect "socket" (Syscall.socket m t Af_inet Sock_dgram 17) in
+          let echo_host = Ipaddr.v 10 0 0 7 in
+          fun () ->
+            ignore (Syscall.sendto m t fd echo_host 7 "x");
+            ignore (Syscall.recvfrom m t fd)) };
+    { row_name = "remote TCP lat"; modified = false; paper_linux_us = Some 588.10;
+      setup =
+        (fun img ->
+          let m = img.Image.machine in
+          let t = alice img in
+          let fd = expect "socket" (Syscall.socket m t Af_inet Sock_stream 6) in
+          expect "connect" (Syscall.connect m t fd (Ipaddr.v 10 0 0 7) 7);
+          fun () ->
+            ignore (Syscall.send m t fd "x");
+            ignore (Syscall.recv m t fd 1)) };
+    { row_name = "pipe BW (64KB)"; modified = false; paper_linux_us = None;
+      setup =
+        (fun img ->
+          let m = img.Image.machine in
+          let t = alice img in
+          let r, w = expect "pipe" (Syscall.pipe m t) in
+          let chunk = String.make 65536 'b' in
+          fun () ->
+            ignore (Syscall.write m t w chunk);
+            ignore (Syscall.read m t r 65536)) } ]
+
+(* --- Bechamel plumbing ------------------------------------------------- *)
+
+(* A large minor heap keeps GC out of the measurement loop: the benched
+   operations allocate a few dozen words each, and differing image heap
+   sizes would otherwise surface as phantom overhead. *)
+let () = Gc.set { (Gc.get ()) with Gc.minor_heap_size = 4_194_304 }
+
+let cfg =
+  Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.15) ~kde:None
+    ~stabilize:false ()
+
+let ols =
+  Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+
+let measure_ns_once name (fn : unit -> unit) =
+  let test = Test.make ~name (Staged.stage fn) in
+  let raw = Benchmark.all cfg [ Instance.monotonic_clock ] test in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Hashtbl.fold
+    (fun _ o acc ->
+      match Analyze.OLS.estimates o with Some (e :: _) -> e | _ -> acc)
+    results nan
+
+(* Minimum of five runs.  The benched closures are deterministic, so all
+   measurement noise (scheduler preemption, GC, frequency scaling) is
+   strictly additive; the minimum is the best estimate of the true cost. *)
+let measure_ns name fn =
+  let samples = List.init 5 (fun _ -> measure_ns_once name fn) in
+  List.fold_left min infinity samples
+
+(* Measure the two configurations interleaved (L,P,L,P,...) so slow drift
+   (thermal, GC heap growth) hits both equally; min per side. *)
+let measure_pair name fl fp =
+  let l = ref infinity and p = ref infinity in
+  for _ = 1 to 5 do
+    l := min !l (measure_ns_once (name ^ ":linux") fl);
+    p := min !p (measure_ns_once (name ^ ":protego") fp)
+  done;
+  (!l, !p)
+
+let best_of_3 f =
+  let samples = List.init 3 (fun _ -> f ()) in
+  List.fold_left min infinity samples
+
+type measurement = {
+  m_name : string;
+  m_modified : bool;
+  linux_ns : float;
+  protego_ns : float;
+  paper_us : float option;
+}
+
+let overhead_pct ~linux ~protego =
+  if linux <= 0.0 then 0.0 else 100.0 *. (protego -. linux) /. linux
+
+let run_micro () =
+  let linux = prepared_image Image.Linux in
+  let protego = prepared_image Image.Protego in
+  List.map
+    (fun row ->
+      let fl = row.setup linux in
+      let fp = row.setup protego in
+      (* Warm both closures so allocation effects don't bias whichever
+         configuration is measured first. *)
+      for _ = 1 to 64 do fl (); fp () done;
+      Gc.full_major ();
+      let linux_ns, protego_ns = measure_pair row.row_name fl fp in
+      { m_name = row.row_name; m_modified = row.modified; linux_ns; protego_ns;
+        paper_us = row.paper_linux_us })
+    rows
+
+(* --- Macro workloads ---------------------------------------------------- *)
+
+let time_it fn =
+  let t0 = Unix.gettimeofday () in
+  fn ();
+  Unix.gettimeofday () -. t0
+
+(* Postal-like mail loop: messages delivered per minute. *)
+let mail_throughput img n =
+  let m = img.Image.machine in
+  let sender =
+    let t = Image.login img "Debian-exim" in
+    t.exe_path <- "/usr/sbin/exim4";
+    t
+  in
+  (* Warm-up, then measure. *)
+  for i = 1 to 20 do
+    ignore
+      (Image.run img sender "/usr/sbin/exim4"
+         [ "--deliver"; "bob"; Printf.sprintf "warmup %d" i ])
+  done;
+  Gc.full_major ();
+  let seconds =
+    time_it (fun () ->
+        for i = 1 to n do
+          ignore
+            (Image.run img sender "/usr/sbin/exim4"
+               [ "--deliver"; "bob"; Printf.sprintf "message %d" i ])
+        done)
+  in
+  (* Avoid unbounded console growth. *)
+  m.console <- [];
+  float_of_int n /. (seconds /. 60.0)
+
+(* Kernel-compile-like build DAG: N compile steps (read .c, write .o) driven
+   through fork+exec, then one link step reading every object. *)
+let build_dag_seconds img n =
+  let m = img.Image.machine in
+  let kt = Machine.kernel_task m in
+  ignore (Machine.mkdir_p m kt "/usr/src/protego" ~mode:0o777 ());
+  ignore (Machine.mkdir_p m kt "/home/alice/obj" ~mode:0o777 ~uid:Image.alice_uid ());
+  let cc : Ktypes.program =
+   fun m task argv ->
+    match argv with
+    | [ _; src; obj ] -> (
+        match Syscall.read_file m task src with
+        | Error e -> Error e
+        | Ok contents -> (
+            match Syscall.write_file m task obj ("OBJ:" ^ string_of_int (String.length contents)) with
+            | Ok () -> Ok 0
+            | Error e -> Error e))
+    | _ -> Ok 2
+  in
+  ignore (Machine.install_binary m kt ~path:"/usr/bin/cc" cc);
+  for i = 1 to n do
+    ignore
+      (Machine.write_file m kt
+         ~path:(Printf.sprintf "/usr/src/protego/f%d.c" i)
+         ~mode:0o644
+         (String.concat "\n"
+            (List.init 20 (fun k -> Printf.sprintf "int fn_%d_%d(void);" i k))))
+  done;
+  let alice_task = Image.login img "alice" in
+  (* Warm-up: one compile unit untimed. *)
+  ignore
+    (Image.run img alice_task "/usr/bin/cc"
+       [ "/usr/src/protego/f1.c"; "/home/alice/obj/f1.o" ]);
+  Gc.full_major ();
+  time_it (fun () ->
+      for i = 1 to n do
+        ignore
+          (Image.run img alice_task "/usr/bin/cc"
+             [ Printf.sprintf "/usr/src/protego/f%d.c" i;
+               Printf.sprintf "/home/alice/obj/f%d.o" i ])
+      done;
+      (* link: read all objects *)
+      for i = 1 to n do
+        ignore
+          (Syscall.read_file m alice_task (Printf.sprintf "/home/alice/obj/f%d.o" i))
+      done)
+
+(* ApacheBench-like request loop at a given concurrency level: [conc]
+   established connections round-robined over [reqs] request/response
+   exchanges of a 1 KiB page.  Returns (ms per request, KB/s). *)
+let web_load img ~conc ~reqs =
+  let m = img.Image.machine in
+  let server = Image.login img "www-data" in
+  server.exe_path <- "/usr/sbin/httpd";
+  let port = 8088 + conc in
+  let sfd = expect "socket" (Syscall.socket m server Af_inet Sock_stream 6) in
+  expect "bind" (Syscall.bind m server sfd Ipaddr.localhost port);
+  expect "listen" (Syscall.listen m server sfd);
+  let page = String.make 1024 'p' in
+  let client = Image.login img "alice" in
+  let conns =
+    List.init conc (fun _ ->
+        let fd = expect "socket" (Syscall.socket m client Af_inet Sock_stream 6) in
+        let sock =
+          match List.assoc_opt fd client.fds with
+          | Some { fobj = F_socket s; _ } -> s
+          | _ -> assert false
+        in
+        match Netstack.connect_socket m client sock Ipaddr.localhost port with
+        | Ok (Some accepted) -> (fd, accepted)
+        | Ok None | Error _ -> failwith "web_load: connect failed")
+  in
+  let conns = Array.of_list conns in
+  for i = 0 to 99 do
+    let fd, accepted = conns.(i mod conc) in
+    ignore (Syscall.send m client fd "GET /warmup HTTP/1.0\r\n\r\n");
+    ignore (Netstack.recv_stream m server accepted 4096);
+    ignore (Netstack.send_stream m server accepted page);
+    ignore (Syscall.recv m client fd 4096)
+  done;
+  Gc.full_major ();
+  let seconds =
+    time_it (fun () ->
+        for i = 0 to reqs - 1 do
+          let fd, accepted = conns.(i mod conc) in
+          ignore (Syscall.send m client fd "GET /index.html HTTP/1.0\r\n\r\n");
+          ignore (Netstack.recv_stream m server accepted 4096);
+          ignore (Netstack.send_stream m server accepted page);
+          ignore (Syscall.recv m client fd 4096)
+        done)
+  in
+  Array.iter
+    (fun (fd, accepted) ->
+      ignore (Syscall.close m client fd);
+      Netstack.close_socket m accepted)
+    conns;
+  ignore (Syscall.close m server sfd);
+  Machine.remove_task m server;
+  Machine.remove_task m client;
+  let ms_per_req = 1000.0 *. seconds /. float_of_int reqs in
+  let kb_per_s = float_of_int reqs *. 1.0 (* KiB *) /. seconds in
+  (ms_per_req, kb_per_s)

@@ -1,0 +1,51 @@
+(* Quick end-to-end smoke drive of both configurations; prints a transcript. *)
+open Protego_kernel
+module Image = Protego_dist.Image
+
+let show title result =
+  Printf.printf "%-50s %s\n" title
+    (match result with
+    | Ok code -> Printf.sprintf "exit %d" code
+    | Error e -> "ERR " ^ Protego_base.Errno.to_string e)
+
+let dump_console m =
+  List.iter (fun l -> Printf.printf "    | %s\n" l) (Ktypes.console_lines m);
+  m.Ktypes.console <- []
+
+let drive config_name config =
+  Printf.printf "=== %s ===\n" config_name;
+  let img = Image.build config in
+  let m = img.Image.machine in
+  m.Ktypes.password_source <-
+    (fun uid -> if uid = Image.alice_uid then Some "alice-pw" else None);
+  let alice = Image.login img "alice" in
+  show "alice: mount /media/cdrom"
+    (Image.run img alice "/bin/mount" [ "/media/cdrom" ]);
+  show "alice: ls /media/cdrom" (Image.run img alice "/bin/ls" [ "/media/cdrom" ]);
+  show "alice: mount /mnt/secure (should fail)"
+    (Image.run img alice "/bin/mount" [ "/mnt/secure" ]);
+  show "alice: umount /media/cdrom"
+    (Image.run img alice "/bin/umount" [ "/media/cdrom" ]);
+  show "alice: ping 10.0.0.7" (Image.run img alice "/bin/ping" [ "-c"; "2"; "10.0.0.7" ]);
+  show "alice: traceroute 10.0.0.7"
+    (Image.run img alice "/usr/bin/traceroute" [ "10.0.0.7" ]);
+  show "alice: sudo -u bob lpr /etc/motd"
+    (Image.run img alice "/usr/bin/sudo" [ "-u"; "bob"; "/usr/bin/lpr"; "/etc/motd" ]);
+  show "alice: sudo -u bob cat /etc/motd (should fail)"
+    (Image.run img alice "/usr/bin/sudo" [ "-u"; "bob"; "/bin/cat"; "/etc/motd" ]);
+  show "alice: passwd --old alice-pw --new newpw"
+    (Image.run img alice "/usr/bin/passwd" [ "--old"; "alice-pw"; "--new"; "np" ]);
+  show "alice: dmcrypt-get-device /dev/dm-0"
+    (Image.run img alice "/usr/lib/eject/dmcrypt-get-device" [ "/dev/dm-0" ]);
+  show "alice: pppd" (Image.run img alice "/usr/sbin/pppd"
+    [ "/dev/ttyS0"; "192.168.77.2:192.168.77.1"; "route"; "192.168.77.0/24" ]);
+  show "alice: ssh-keysign blob"
+    (Image.run img alice "/usr/lib/openssh/ssh-keysign" [ "blob" ]);
+  dump_console m;
+  Printf.printf "--- dmesg ---\n";
+  List.iter (fun l -> Printf.printf "    # %s\n" l) (Machine.dmesg m)
+
+let () =
+  drive "Linux (baseline)" Image.Linux;
+  print_newline ();
+  drive "Protego" Image.Protego

@@ -1,0 +1,1 @@
+examples/attack_containment.ml: List Printf Protego_dist Protego_kernel Protego_study String

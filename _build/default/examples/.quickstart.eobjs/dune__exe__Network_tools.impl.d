@@ -1,0 +1,1 @@
+examples/network_tools.ml: Format Ktypes List Machine Printf Protego_base Protego_dist Protego_kernel Protego_net Syscall

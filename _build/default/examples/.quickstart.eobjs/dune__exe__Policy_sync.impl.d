@@ -1,0 +1,1 @@
+examples/policy_sync.ml: Ktypes List Machine Option Printf Protego_base Protego_dist Protego_kernel Protego_services String Syscall

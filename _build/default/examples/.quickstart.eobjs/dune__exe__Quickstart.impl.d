@@ -1,0 +1,1 @@
+examples/quickstart.ml: Ktypes List Machine Printf Protego_base Protego_dist Protego_kernel Syscall

@@ -1,0 +1,1 @@
+examples/sandbox_audit.ml: Ktypes List Machine Printf Protego_base Protego_dist Protego_kernel String Syscall

@@ -1,0 +1,83 @@
+(* Delegation walkthrough (§4.3): sudo-style restricted transitions with
+   setuid-on-exec, su-style target-password transitions, recency of
+   authentication, and password-protected groups.
+
+   Run with: dune exec examples/delegation.exe *)
+
+open Protego_kernel
+module Image = Protego_dist.Image
+
+let banner title = Printf.printf "\n--- %s ---\n" title
+
+let show_console m =
+  List.iter (Printf.printf "  | %s\n") (Ktypes.console_lines m);
+  m.Ktypes.console <- []
+
+let () =
+  let img = Image.build Image.Protego in
+  let m = img.Image.machine in
+  (* The person at the terminal: answers password prompts correctly. *)
+  m.Ktypes.password_source <-
+    (fun uid ->
+      if uid = Image.alice_uid then Some "alice-pw"
+      else if uid = Image.bob_uid then Some "bob-pw"
+      else None);
+
+  banner "policy (from /etc/sudoers, mirrored into the kernel)";
+  let root = Image.login img "root" in
+  (match Syscall.read_file m root "/proc/protego/delegation" with
+  | Ok c -> List.iter (Printf.printf "  %s\n")
+              (String.split_on_char '\n' c |> List.filter (fun l -> l <> ""))
+  | Error _ -> ());
+
+  banner "sudo: alice runs lpr as bob (her only rule for bob)";
+  let alice = Image.login img "alice" in
+  ignore (Image.run img alice "/usr/bin/sudo" [ "-u"; "bob"; "/usr/bin/lpr"; "/etc/motd" ]);
+  show_console m;
+
+  banner "the same transition by raw syscalls: success is deferred to exec";
+  let probe = Image.login img "alice" in
+  (match Syscall.setuid m probe Image.bob_uid with
+  | Ok () ->
+      Printf.printf "  setuid(bob) returned 0; euid is still %d; pending=%b\n"
+        (Syscall.geteuid probe)
+        (probe.Ktypes.sec.Ktypes.pending <> None)
+  | Error e -> Printf.printf "  setuid: %s\n" (Protego_base.Errno.to_string e));
+  (match Syscall.execve m probe "/bin/cat" [ "/bin/cat"; "/etc/motd" ] probe.Ktypes.env with
+  | Error e ->
+      Printf.printf "  exec of /bin/cat as bob: %s (not in the rule)\n"
+        (Protego_base.Errno.to_string e)
+  | Ok _ -> Printf.printf "  exec of /bin/cat: unexpectedly allowed!\n");
+  (match Syscall.execve m probe "/usr/bin/lpr" [ "/usr/bin/lpr"; "/etc/motd" ] probe.Ktypes.env with
+  | Ok 0 -> Printf.printf "  exec of /usr/bin/lpr as bob: allowed; euid now %d\n"
+              (Syscall.geteuid probe)
+  | Ok c -> Printf.printf "  lpr exited %d\n" c
+  | Error e -> Printf.printf "  exec: %s\n" (Protego_base.Errno.to_string e));
+  show_console m;
+
+  banner "recency: a second sudo within 5 minutes skips the password";
+  let again = Image.login img "alice" in
+  ignore (Image.run img again "/usr/bin/sudo" [ "-u"; "bob"; "/usr/bin/lpr"; "/etc/motd" ]);
+  show_console m;
+  Printf.printf "  (no password prompt above — the tty session is fresh)\n";
+  Machine.advance_clock m 600.;
+  let later = Image.login img "alice" in
+  ignore (Image.run img later "/usr/bin/sudo" [ "-u"; "bob"; "/usr/bin/lpr"; "/etc/motd" ]);
+  show_console m;
+  Printf.printf "  (10 minutes later the kernel demanded a fresh proof)\n";
+
+  banner "su: becoming bob with bob's password (TARGETPW rule)";
+  let su_task = Image.login img "alice" in
+  ignore (Image.run img su_task "/bin/su" [ "bob" ]);
+  show_console m;
+
+  banner "newgrp: bob is a member of lp; alice needs the staff password";
+  let bob = Image.login img "bob" in
+  ignore (Image.run img bob "/usr/bin/newgrp" [ "lp" ]);
+  m.Ktypes.password_source <- (fun _ -> Some "staff-pw");
+  let alice2 = Image.login img "alice" in
+  ignore (Image.run img alice2 "/usr/bin/newgrp" [ "staff" ]);
+  show_console m;
+
+  banner "kernel log";
+  List.iter (Printf.printf "  # %s\n") (Machine.dmesg m)

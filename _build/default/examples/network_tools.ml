@@ -1,0 +1,90 @@
+(* Network walkthrough (§4.1): raw sockets under netfilter origin rules,
+   the bind map for privileged ports, and unprivileged pppd with
+   non-conflicting routes.
+
+   Run with: dune exec examples/network_tools.exe *)
+
+open Protego_kernel
+module Image = Protego_dist.Image
+module Ipaddr = Protego_net.Ipaddr
+module Packet = Protego_net.Packet
+module Netfilter = Protego_net.Netfilter
+
+let banner title = Printf.printf "\n--- %s ---\n" title
+
+let show_console m =
+  List.iter (Printf.printf "  | %s\n") (Ktypes.console_lines m);
+  m.Ktypes.console <- []
+
+let () =
+  let img = Image.build Image.Protego in
+  let m = img.Image.machine in
+  let alice = Image.login img "alice" in
+
+  banner "the netfilter whitelist for unprivileged raw sockets";
+  List.iter
+    (fun r -> Printf.printf "  %s\n" (Netfilter.rule_to_spec r))
+    (Netfilter.rules m.Ktypes.netfilter Netfilter.Output);
+
+  banner "ping / traceroute / arping, no setuid bit anywhere";
+  ignore (Image.run img alice "/bin/ping" [ "-c"; "2"; "10.0.0.7" ]);
+  ignore (Image.run img alice "/usr/bin/traceroute" [ "10.0.0.7" ]);
+  ignore (Image.run img alice "/usr/bin/arping" [ "10.0.0.7" ]);
+  show_console m;
+
+  banner "a home-made ping: any binary may use the raw socket safely";
+  (match Syscall.socket m alice Ktypes.Af_inet Ktypes.Sock_raw 1 with
+  | Error e -> Printf.printf "  socket: %s\n" (Protego_base.Errno.to_string e)
+  | Ok fd -> (
+      let probe =
+        Packet.echo_request ~src:(Ipaddr.v 10 0 0 2) ~dst:(Ipaddr.v 10 0 0 7)
+          ~seq:99 ()
+      in
+      (match Syscall.sendto m alice fd (Ipaddr.v 10 0 0 7) 0 (Packet.encode probe) with
+      | Ok _ -> Printf.printf "  custom echo request: sent\n"
+      | Error e -> Printf.printf "  send: %s\n" (Protego_base.Errno.to_string e));
+      (* ...but the same socket cannot forge TCP. *)
+      let spoof =
+        { Packet.src = Ipaddr.v 10 0 0 2; dst = Ipaddr.v 10 0 0 7; ttl = 64;
+          transport = Packet.Tcp_seg { src_port = 22; dst_port = 80; syn = false;
+                                       payload = "RST" } }
+      in
+      (match Syscall.sendto m alice fd (Ipaddr.v 10 0 0 7) 0 (Packet.encode spoof) with
+      | Ok _ -> Printf.printf "  TCP spoof: sent (bug!)\n"
+      | Error e ->
+          Printf.printf "  TCP spoof from raw socket: %s (netfilter dropped it)\n"
+            (Protego_base.Errno.to_string e))));
+
+  banner "privileged ports follow the /etc/bind map";
+  let exim = Image.login img "Debian-exim" in
+  ignore (Image.run img exim "/usr/sbin/exim4" [ "--daemon" ]);
+  show_console m;
+  let intruder = Image.login img "alice" in
+  intruder.Ktypes.exe_path <- "/usr/sbin/exim4";
+  (match Syscall.socket m intruder Ktypes.Af_inet Ktypes.Sock_stream 6 with
+  | Ok fd -> (
+      match Syscall.bind m intruder fd Ipaddr.any 587 with
+      | Ok () -> Printf.printf "  alice bound 587 (bug!)\n"
+      | Error e ->
+          Printf.printf
+            "  alice pretending to be exim on 587: %s (wrong uid in the map)\n"
+            (Protego_base.Errno.to_string e))
+  | Error _ -> ());
+
+  banner "pppd: modem + link + route without privilege";
+  ignore
+    (Image.run img alice "/usr/sbin/pppd"
+       [ "/dev/ttyS0"; "192.168.77.2:192.168.77.1"; "route"; "192.168.77.0/24" ]);
+  show_console m;
+  Printf.printf "  routing table now:\n";
+  List.iter
+    (fun e -> Printf.printf "    %s\n" (Format.asprintf "%a" Protego_net.Route.pp_entry e))
+    (Protego_net.Route.entries m.Ktypes.routes);
+  (* A conflicting route is refused. *)
+  ignore
+    (Image.run img alice "/usr/sbin/pppd"
+       [ "/dev/ttyS0"; "192.168.78.2:192.168.78.1"; "route"; "10.0.0.0/25" ]);
+  show_console m;
+
+  banner "kernel log";
+  List.iter (Printf.printf "  # %s\n") (Machine.dmesg m)

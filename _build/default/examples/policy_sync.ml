@@ -1,0 +1,74 @@
+(* Policy synchronization (Figure 1, §2): the administrator keeps editing
+   the legacy configuration files she knows; the monitoring daemon mirrors
+   them into the kernel.  Writing /proc/protego directly works too.
+
+   Run with: dune exec examples/policy_sync.exe *)
+
+open Protego_kernel
+module Image = Protego_dist.Image
+module Daemon = Protego_services.Monitor_daemon
+
+let banner title = Printf.printf "\n--- %s ---\n" title
+
+let try_mount m task ~source ~target ~fstype =
+  match
+    Syscall.mount m task ~source ~target ~fstype
+      ~flags:Ktypes.[ Mf_nosuid; Mf_nodev ]
+  with
+  | Ok () ->
+      Printf.printf "  mount %s on %s: allowed\n" source target;
+      ignore (Syscall.umount m task ~target)
+  | Error e ->
+      Printf.printf "  mount %s on %s: %s\n" source target
+        (Protego_base.Errno.to_string e)
+
+let () =
+  let img = Image.build Image.Protego in
+  let m = img.Image.machine in
+  let daemon = Option.get img.Image.daemon in
+  let root = Image.login img "root" in
+  let alice = Image.login img "alice" in
+
+  banner "initial policy, synced from /etc/fstab at boot";
+  (match Syscall.read_file m root "/proc/protego/mount_whitelist" with
+  | Ok c -> print_string c
+  | Error _ -> ());
+
+  banner "the administrator adds a USB entry for /mnt/scratch";
+  ignore (Machine.mkdir_p m (Machine.kernel_task m) "/mnt/scratch" ());
+  (match Syscall.read_file m root "/etc/fstab" with
+  | Ok fstab ->
+      ignore
+        (Syscall.write_file m root "/etc/fstab"
+           (fstab ^ "/dev/sdb1 /mnt/scratch vfat users 0 0\n"))
+  | Error _ -> ());
+  Printf.printf "  (before the daemon runs, the kernel still refuses)\n";
+  try_mount m alice ~source:"/dev/sdb1" ~target:"/mnt/scratch" ~fstype:"vfat";
+
+  banner "the monitoring daemon notices the change";
+  let actions = Daemon.step daemon in
+  Printf.printf "  daemon performed %d sync action(s)\n" actions;
+  try_mount m alice ~source:"/dev/sdb1" ~target:"/mnt/scratch" ~fstype:"vfat";
+
+  banner "equivalently, root can write the /proc file directly";
+  ignore
+    (Syscall.write_file m root "/proc/protego/mount_whitelist"
+       "allow /dev/cdrom /media/cdrom iso9660 ro,nosuid,nodev user\n");
+  try_mount m alice ~source:"/dev/sdb1" ~target:"/mnt/scratch" ~fstype:"vfat";
+  Printf.printf "  (the direct write replaced the whole whitelist)\n";
+
+  banner "per-user credential fragments stay in sync the other way";
+  ignore
+    (Syscall.write_file m alice "/etc/passwds/alice"
+       "alice:x:1000:1000:Alice Example:/home/alice:/bin/sh\n");
+  ignore (Daemon.step daemon);
+  (match Syscall.read_file m root "/etc/passwd" with
+  | Ok c ->
+      List.iter
+        (fun l -> if String.length l >= 5 && String.sub l 0 5 = "alice" then
+                    Printf.printf "  legacy /etc/passwd: %s\n" l)
+        (String.split_on_char '\n' c)
+  | Error _ -> ());
+
+  banner "kernel log";
+  List.iter (Printf.printf "  # %s\n") (Machine.dmesg m)

@@ -1,0 +1,1 @@
+lib/apparmor/apparmor.ml: Errno Ktypes List Mode Profile Protego_base Protego_kernel Security

@@ -1,0 +1,1 @@
+lib/apparmor/apparmor.mli: Profile Protego_kernel

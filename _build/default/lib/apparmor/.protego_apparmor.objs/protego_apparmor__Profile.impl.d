@@ -1,0 +1,1 @@
+lib/apparmor/profile.ml: Cap List Protego_base String

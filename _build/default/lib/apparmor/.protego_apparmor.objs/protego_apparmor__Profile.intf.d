@@ -1,0 +1,1 @@
+lib/apparmor/profile.mli: Cap Protego_base

@@ -1,0 +1,64 @@
+open Protego_base
+open Protego_kernel
+open Ktypes
+
+type t = { mutable loaded : Profile.t list }
+
+let load_profile t p =
+  t.loaded <- p :: List.filter (fun q -> q.Profile.profile_name <> p.Profile.profile_name) t.loaded
+
+let unload_profile t name =
+  t.loaded <- List.filter (fun q -> q.Profile.profile_name <> name) t.loaded
+
+let profiles t = t.loaded
+
+let find_profile t name =
+  List.find_opt (fun p -> p.Profile.profile_name = name) t.loaded
+
+let confinement t task =
+  match task.sec.aa_profile with
+  | Some name -> find_profile t name
+  | None -> None
+
+let install m =
+  let t = { loaded = [] } in
+  let stock = Security.stock_linux in
+  let capable machine task cap =
+    stock.capable machine task cap
+    && match confinement t task with
+       | Some profile -> Profile.cap_allows profile cap
+       | None -> true
+  in
+  let inode_permission machine task ~path inode access =
+    match stock.inode_permission machine task ~path inode access with
+    | Error _ as e -> e
+    | Ok () -> (
+        match confinement t task with
+        | None -> Ok ()
+        | Some profile ->
+            let perm =
+              match access with
+              | Mode.R -> Profile.Pr
+              | Mode.W -> Profile.Pw
+              | Mode.X -> Profile.Px
+            in
+            (* Directory traversal is not mediated, only leaf access. *)
+            if inode.kind = Dir && access = Mode.X then Ok ()
+            else if Profile.path_allows profile path perm then Ok ()
+            else Error Errno.EACCES)
+  in
+  let bprm_check machine task ~path ~argv inode =
+    match stock.bprm_check machine task ~path ~argv inode with
+    | Error _ as e -> e
+    | Ok () ->
+        (* Attach the profile for the new image, or unconfine. *)
+        (match find_profile t path with
+        | Some profile -> task.sec.aa_profile <- Some profile.Profile.profile_name
+        | None -> task.sec.aa_profile <- None);
+        Ok ()
+  in
+  let ops =
+    { stock with lsm_name = "apparmor"; capable; inode_permission; bprm_check }
+  in
+  m.security <- ops;
+  t

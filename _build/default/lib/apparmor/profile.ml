@@ -1,0 +1,42 @@
+open Protego_base
+
+type perm = Pr | Pw | Px
+
+type path_rule = { pattern : string; perms : perm list }
+
+type t = {
+  profile_name : string;
+  path_rules : path_rule list;
+  allowed_caps : Cap.Set.t;
+}
+
+let make ~name ?(path_rules = []) ?(caps = []) () =
+  { profile_name = name; path_rules; allowed_caps = Cap.Set.of_list caps }
+
+(* Recursive descent over pattern and subject.  '*' stops at '/'; '**' does
+   not.  Both are greedy via backtracking. *)
+let glob_match ~pattern subject =
+  let plen = String.length pattern and slen = String.length subject in
+  let rec go p s =
+    if p = plen then s = slen
+    else if p + 1 < plen && pattern.[p] = '*' && pattern.[p + 1] = '*' then
+      (* '**': try consuming 0..n characters. *)
+      let rec try_from i = i <= slen && (go (p + 2) i || try_from (i + 1)) in
+      try_from s
+    else if pattern.[p] = '*' then
+      let rec try_from i =
+        if go (p + 1) i then true
+        else if i < slen && subject.[i] <> '/' then try_from (i + 1)
+        else false
+      in
+      try_from s
+    else s < slen && pattern.[p] = subject.[s] && go (p + 1) (s + 1)
+  in
+  go 0 0
+
+let path_allows t path perm =
+  List.exists
+    (fun r -> List.mem perm r.perms && glob_match ~pattern:r.pattern path)
+    t.path_rules
+
+let cap_allows t cap = Cap.Set.mem cap t.allowed_caps

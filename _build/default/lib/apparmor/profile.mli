@@ -1,0 +1,30 @@
+(** AppArmor-style profiles: per-binary path rules and capability masks.
+
+    This is the paper's baseline hardening (§3.2): a confined binary may only
+    open whitelisted paths and use whitelisted capabilities.  As the paper
+    argues, this enforces least privilege on the *administrator's* view of a
+    binary — a confined, compromised mount can still mount anything anywhere,
+    because the profile cannot express argument-level (object-based)
+    policy. *)
+
+open Protego_base
+
+type perm = Pr | Pw | Px
+
+type path_rule = { pattern : string; perms : perm list }
+
+type t = {
+  profile_name : string;  (** binary path the profile attaches to *)
+  path_rules : path_rule list;
+  allowed_caps : Cap.Set.t;
+}
+
+val make :
+  name:string -> ?path_rules:path_rule list -> ?caps:Cap.t list -> unit -> t
+
+val glob_match : pattern:string -> string -> bool
+(** AppArmor-style matching: [*] matches within a path component, [**]
+    matches across components. *)
+
+val path_allows : t -> string -> perm -> bool
+val cap_allows : t -> Cap.t -> bool

@@ -1,0 +1,1 @@
+lib/base/cap.ml: Format Int Int64 List String

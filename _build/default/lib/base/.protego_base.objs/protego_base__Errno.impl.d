@@ -1,0 +1,1 @@
+lib/base/errno.ml: Format Stdlib

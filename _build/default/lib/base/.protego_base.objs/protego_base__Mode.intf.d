@@ -1,0 +1,1 @@
+lib/base/mode.mli: Format

@@ -1,0 +1,1 @@
+lib/base/syntax.ml: Errno Printf

@@ -1,0 +1,163 @@
+type t =
+  | CAP_CHOWN
+  | CAP_DAC_OVERRIDE
+  | CAP_DAC_READ_SEARCH
+  | CAP_FOWNER
+  | CAP_FSETID
+  | CAP_KILL
+  | CAP_SETGID
+  | CAP_SETUID
+  | CAP_SETPCAP
+  | CAP_LINUX_IMMUTABLE
+  | CAP_NET_BIND_SERVICE
+  | CAP_NET_BROADCAST
+  | CAP_NET_ADMIN
+  | CAP_NET_RAW
+  | CAP_IPC_LOCK
+  | CAP_IPC_OWNER
+  | CAP_SYS_MODULE
+  | CAP_SYS_RAWIO
+  | CAP_SYS_CHROOT
+  | CAP_SYS_PTRACE
+  | CAP_SYS_PACCT
+  | CAP_SYS_ADMIN
+  | CAP_SYS_BOOT
+  | CAP_SYS_NICE
+  | CAP_SYS_RESOURCE
+  | CAP_SYS_TIME
+  | CAP_SYS_TTY_CONFIG
+  | CAP_MKNOD
+  | CAP_LEASE
+  | CAP_AUDIT_WRITE
+  | CAP_AUDIT_CONTROL
+  | CAP_SETFCAP
+  | CAP_MAC_OVERRIDE
+  | CAP_MAC_ADMIN
+  | CAP_SYSLOG
+  | CAP_WAKE_ALARM
+  | CAP_BLOCK_SUSPEND
+
+let all =
+  [ CAP_CHOWN; CAP_DAC_OVERRIDE; CAP_DAC_READ_SEARCH; CAP_FOWNER; CAP_FSETID;
+    CAP_KILL; CAP_SETGID; CAP_SETUID; CAP_SETPCAP; CAP_LINUX_IMMUTABLE;
+    CAP_NET_BIND_SERVICE; CAP_NET_BROADCAST; CAP_NET_ADMIN; CAP_NET_RAW;
+    CAP_IPC_LOCK; CAP_IPC_OWNER; CAP_SYS_MODULE; CAP_SYS_RAWIO;
+    CAP_SYS_CHROOT; CAP_SYS_PTRACE; CAP_SYS_PACCT; CAP_SYS_ADMIN;
+    CAP_SYS_BOOT; CAP_SYS_NICE; CAP_SYS_RESOURCE; CAP_SYS_TIME;
+    CAP_SYS_TTY_CONFIG; CAP_MKNOD; CAP_LEASE; CAP_AUDIT_WRITE;
+    CAP_AUDIT_CONTROL; CAP_SETFCAP; CAP_MAC_OVERRIDE; CAP_MAC_ADMIN;
+    CAP_SYSLOG; CAP_WAKE_ALARM; CAP_BLOCK_SUSPEND ]
+
+let to_int = function
+  | CAP_CHOWN -> 0
+  | CAP_DAC_OVERRIDE -> 1
+  | CAP_DAC_READ_SEARCH -> 2
+  | CAP_FOWNER -> 3
+  | CAP_FSETID -> 4
+  | CAP_KILL -> 5
+  | CAP_SETGID -> 6
+  | CAP_SETUID -> 7
+  | CAP_SETPCAP -> 8
+  | CAP_LINUX_IMMUTABLE -> 9
+  | CAP_NET_BIND_SERVICE -> 10
+  | CAP_NET_BROADCAST -> 11
+  | CAP_NET_ADMIN -> 12
+  | CAP_NET_RAW -> 13
+  | CAP_IPC_LOCK -> 14
+  | CAP_IPC_OWNER -> 15
+  | CAP_SYS_MODULE -> 16
+  | CAP_SYS_RAWIO -> 17
+  | CAP_SYS_CHROOT -> 18
+  | CAP_SYS_PTRACE -> 19
+  | CAP_SYS_PACCT -> 20
+  | CAP_SYS_ADMIN -> 21
+  | CAP_SYS_BOOT -> 22
+  | CAP_SYS_NICE -> 23
+  | CAP_SYS_RESOURCE -> 24
+  | CAP_SYS_TIME -> 25
+  | CAP_SYS_TTY_CONFIG -> 26
+  | CAP_MKNOD -> 27
+  | CAP_LEASE -> 28
+  | CAP_AUDIT_WRITE -> 29
+  | CAP_AUDIT_CONTROL -> 30
+  | CAP_SETFCAP -> 31
+  | CAP_MAC_OVERRIDE -> 32
+  | CAP_MAC_ADMIN -> 33
+  | CAP_SYSLOG -> 34
+  | CAP_WAKE_ALARM -> 35
+  | CAP_BLOCK_SUSPEND -> 36
+
+let of_int n = List.find_opt (fun c -> to_int c = n) all
+
+let to_string = function
+  | CAP_CHOWN -> "CAP_CHOWN"
+  | CAP_DAC_OVERRIDE -> "CAP_DAC_OVERRIDE"
+  | CAP_DAC_READ_SEARCH -> "CAP_DAC_READ_SEARCH"
+  | CAP_FOWNER -> "CAP_FOWNER"
+  | CAP_FSETID -> "CAP_FSETID"
+  | CAP_KILL -> "CAP_KILL"
+  | CAP_SETGID -> "CAP_SETGID"
+  | CAP_SETUID -> "CAP_SETUID"
+  | CAP_SETPCAP -> "CAP_SETPCAP"
+  | CAP_LINUX_IMMUTABLE -> "CAP_LINUX_IMMUTABLE"
+  | CAP_NET_BIND_SERVICE -> "CAP_NET_BIND_SERVICE"
+  | CAP_NET_BROADCAST -> "CAP_NET_BROADCAST"
+  | CAP_NET_ADMIN -> "CAP_NET_ADMIN"
+  | CAP_NET_RAW -> "CAP_NET_RAW"
+  | CAP_IPC_LOCK -> "CAP_IPC_LOCK"
+  | CAP_IPC_OWNER -> "CAP_IPC_OWNER"
+  | CAP_SYS_MODULE -> "CAP_SYS_MODULE"
+  | CAP_SYS_RAWIO -> "CAP_SYS_RAWIO"
+  | CAP_SYS_CHROOT -> "CAP_SYS_CHROOT"
+  | CAP_SYS_PTRACE -> "CAP_SYS_PTRACE"
+  | CAP_SYS_PACCT -> "CAP_SYS_PACCT"
+  | CAP_SYS_ADMIN -> "CAP_SYS_ADMIN"
+  | CAP_SYS_BOOT -> "CAP_SYS_BOOT"
+  | CAP_SYS_NICE -> "CAP_SYS_NICE"
+  | CAP_SYS_RESOURCE -> "CAP_SYS_RESOURCE"
+  | CAP_SYS_TIME -> "CAP_SYS_TIME"
+  | CAP_SYS_TTY_CONFIG -> "CAP_SYS_TTY_CONFIG"
+  | CAP_MKNOD -> "CAP_MKNOD"
+  | CAP_LEASE -> "CAP_LEASE"
+  | CAP_AUDIT_WRITE -> "CAP_AUDIT_WRITE"
+  | CAP_AUDIT_CONTROL -> "CAP_AUDIT_CONTROL"
+  | CAP_SETFCAP -> "CAP_SETFCAP"
+  | CAP_MAC_OVERRIDE -> "CAP_MAC_OVERRIDE"
+  | CAP_MAC_ADMIN -> "CAP_MAC_ADMIN"
+  | CAP_SYSLOG -> "CAP_SYSLOG"
+  | CAP_WAKE_ALARM -> "CAP_WAKE_ALARM"
+  | CAP_BLOCK_SUSPEND -> "CAP_BLOCK_SUSPEND"
+
+let of_string s = List.find_opt (fun c -> String.equal (to_string c) s) all
+let equal (a : t) (b : t) = a = b
+let compare a b = Int.compare (to_int a) (to_int b)
+let pp ppf c = Format.pp_print_string ppf (to_string c)
+
+module Set = struct
+  type cap = t
+  type t = int64
+
+  let empty = 0L
+  let bit c = Int64.shift_left 1L (to_int c)
+  let full = List.fold_left (fun acc c -> Int64.logor acc (bit c)) 0L all
+  let singleton c = bit c
+  let add c s = Int64.logor s (bit c)
+  let remove c s = Int64.logand s (Int64.lognot (bit c))
+  let mem c s = Int64.logand s (bit c) <> 0L
+  let union = Int64.logor
+  let inter = Int64.logand
+  let diff a b = Int64.logand a (Int64.lognot b)
+  let of_list caps = List.fold_left (fun acc c -> add c acc) empty caps
+  let to_list s = List.filter (fun c -> mem c s) all
+  let is_empty s = Int64.equal s 0L
+  let subset a b = Int64.equal (Int64.logand a b) a
+  let cardinal s = List.length (to_list s)
+  let equal = Int64.equal
+
+  let pp ppf s =
+    Format.fprintf ppf "{%a}"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+         (fun ppf c -> Format.pp_print_string ppf (to_string c)))
+      (to_list s)
+end

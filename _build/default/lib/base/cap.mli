@@ -1,0 +1,84 @@
+(** Linux file system capabilities (POSIX.1e-draft style).
+
+    Linux divides root privilege into roughly 36 capabilities.  The paper's
+    study (Section 3.2) shows these are too coarse to enforce least privilege
+    on non-administrative users; the simulator reproduces the full set so the
+    baseline kernel's capability checks are faithful. *)
+
+type t =
+  | CAP_CHOWN
+  | CAP_DAC_OVERRIDE
+  | CAP_DAC_READ_SEARCH
+  | CAP_FOWNER
+  | CAP_FSETID
+  | CAP_KILL
+  | CAP_SETGID
+  | CAP_SETUID
+  | CAP_SETPCAP
+  | CAP_LINUX_IMMUTABLE
+  | CAP_NET_BIND_SERVICE
+  | CAP_NET_BROADCAST
+  | CAP_NET_ADMIN
+  | CAP_NET_RAW
+  | CAP_IPC_LOCK
+  | CAP_IPC_OWNER
+  | CAP_SYS_MODULE
+  | CAP_SYS_RAWIO
+  | CAP_SYS_CHROOT
+  | CAP_SYS_PTRACE
+  | CAP_SYS_PACCT
+  | CAP_SYS_ADMIN
+  | CAP_SYS_BOOT
+  | CAP_SYS_NICE
+  | CAP_SYS_RESOURCE
+  | CAP_SYS_TIME
+  | CAP_SYS_TTY_CONFIG
+  | CAP_MKNOD
+  | CAP_LEASE
+  | CAP_AUDIT_WRITE
+  | CAP_AUDIT_CONTROL
+  | CAP_SETFCAP
+  | CAP_MAC_OVERRIDE
+  | CAP_MAC_ADMIN
+  | CAP_SYSLOG
+  | CAP_WAKE_ALARM
+  | CAP_BLOCK_SUSPEND
+
+val all : t list
+(** Every capability, in kernel numbering order. *)
+
+val to_int : t -> int
+(** Kernel capability number (CAP_CHOWN = 0, ...). *)
+
+val of_int : int -> t option
+val to_string : t -> string
+val of_string : string -> t option
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+
+(** Capability sets, represented as a bitmask for cheap checks on the
+    syscall fast path (mirrors the kernel's [kernel_cap_t]). *)
+module Set : sig
+  type cap = t
+  type t
+
+  val empty : t
+  val full : t
+  (** All capabilities — what Linux grants a process running as root. *)
+
+  val singleton : cap -> t
+  val add : cap -> t -> t
+  val remove : cap -> t -> t
+  val mem : cap -> t -> bool
+  val union : t -> t -> t
+  val inter : t -> t -> t
+  val diff : t -> t -> t
+  val of_list : cap list -> t
+  val to_list : t -> cap list
+  val is_empty : t -> bool
+  val subset : t -> t -> bool
+  val cardinal : t -> int
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end

@@ -1,0 +1,130 @@
+type t =
+  | EPERM
+  | ENOENT
+  | ESRCH
+  | EINTR
+  | EIO
+  | ENXIO
+  | ENOEXEC
+  | EBADF
+  | ECHILD
+  | EAGAIN
+  | ENOMEM
+  | EACCES
+  | EFAULT
+  | EBUSY
+  | EEXIST
+  | EXDEV
+  | ENODEV
+  | ENOTDIR
+  | EISDIR
+  | EINVAL
+  | ENFILE
+  | EMFILE
+  | ENOTTY
+  | ENOSPC
+  | EROFS
+  | EMLINK
+  | EPIPE
+  | ERANGE
+  | ENAMETOOLONG
+  | ENOSYS
+  | ENOTEMPTY
+  | ELOOP
+  | EADDRINUSE
+  | EADDRNOTAVAIL
+  | ENETUNREACH
+  | ECONNREFUSED
+  | ETIMEDOUT
+  | EHOSTUNREACH
+  | ENOPROTOOPT
+  | EPROTONOSUPPORT
+
+let equal (a : t) (b : t) = a = b
+let compare (a : t) (b : t) = Stdlib.compare a b
+
+let to_string = function
+  | EPERM -> "EPERM"
+  | ENOENT -> "ENOENT"
+  | ESRCH -> "ESRCH"
+  | EINTR -> "EINTR"
+  | EIO -> "EIO"
+  | ENXIO -> "ENXIO"
+  | ENOEXEC -> "ENOEXEC"
+  | EBADF -> "EBADF"
+  | ECHILD -> "ECHILD"
+  | EAGAIN -> "EAGAIN"
+  | ENOMEM -> "ENOMEM"
+  | EACCES -> "EACCES"
+  | EFAULT -> "EFAULT"
+  | EBUSY -> "EBUSY"
+  | EEXIST -> "EEXIST"
+  | EXDEV -> "EXDEV"
+  | ENODEV -> "ENODEV"
+  | ENOTDIR -> "ENOTDIR"
+  | EISDIR -> "EISDIR"
+  | EINVAL -> "EINVAL"
+  | ENFILE -> "ENFILE"
+  | EMFILE -> "EMFILE"
+  | ENOTTY -> "ENOTTY"
+  | ENOSPC -> "ENOSPC"
+  | EROFS -> "EROFS"
+  | EMLINK -> "EMLINK"
+  | EPIPE -> "EPIPE"
+  | ERANGE -> "ERANGE"
+  | ENAMETOOLONG -> "ENAMETOOLONG"
+  | ENOSYS -> "ENOSYS"
+  | ENOTEMPTY -> "ENOTEMPTY"
+  | ELOOP -> "ELOOP"
+  | EADDRINUSE -> "EADDRINUSE"
+  | EADDRNOTAVAIL -> "EADDRNOTAVAIL"
+  | ENETUNREACH -> "ENETUNREACH"
+  | ECONNREFUSED -> "ECONNREFUSED"
+  | ETIMEDOUT -> "ETIMEDOUT"
+  | EHOSTUNREACH -> "EHOSTUNREACH"
+  | ENOPROTOOPT -> "ENOPROTOOPT"
+  | EPROTONOSUPPORT -> "EPROTONOSUPPORT"
+
+let message = function
+  | EPERM -> "Operation not permitted"
+  | ENOENT -> "No such file or directory"
+  | ESRCH -> "No such process"
+  | EINTR -> "Interrupted system call"
+  | EIO -> "Input/output error"
+  | ENXIO -> "No such device or address"
+  | ENOEXEC -> "Exec format error"
+  | EBADF -> "Bad file descriptor"
+  | ECHILD -> "No child processes"
+  | EAGAIN -> "Resource temporarily unavailable"
+  | ENOMEM -> "Cannot allocate memory"
+  | EACCES -> "Permission denied"
+  | EFAULT -> "Bad address"
+  | EBUSY -> "Device or resource busy"
+  | EEXIST -> "File exists"
+  | EXDEV -> "Invalid cross-device link"
+  | ENODEV -> "No such device"
+  | ENOTDIR -> "Not a directory"
+  | EISDIR -> "Is a directory"
+  | EINVAL -> "Invalid argument"
+  | ENFILE -> "Too many open files in system"
+  | EMFILE -> "Too many open files"
+  | ENOTTY -> "Inappropriate ioctl for device"
+  | ENOSPC -> "No space left on device"
+  | EROFS -> "Read-only file system"
+  | EMLINK -> "Too many links"
+  | EPIPE -> "Broken pipe"
+  | ERANGE -> "Numerical result out of range"
+  | ENAMETOOLONG -> "File name too long"
+  | ENOSYS -> "Function not implemented"
+  | ENOTEMPTY -> "Directory not empty"
+  | ELOOP -> "Too many levels of symbolic links"
+  | EADDRINUSE -> "Address already in use"
+  | EADDRNOTAVAIL -> "Cannot assign requested address"
+  | ENETUNREACH -> "Network is unreachable"
+  | ECONNREFUSED -> "Connection refused"
+  | ETIMEDOUT -> "Connection timed out"
+  | EHOSTUNREACH -> "No route to host"
+  | ENOPROTOOPT -> "Protocol not available"
+  | EPROTONOSUPPORT -> "Protocol not supported"
+
+let pp ppf e = Format.pp_print_string ppf (to_string e)

@@ -1,0 +1,57 @@
+(** Unix error numbers, as returned by the simulated system calls.
+
+    Every system call in the simulator returns [('a, Errno.t) result]; the
+    subset below covers every error the paper's code paths can produce. *)
+
+type t =
+  | EPERM        (** Operation not permitted *)
+  | ENOENT       (** No such file or directory *)
+  | ESRCH        (** No such process *)
+  | EINTR        (** Interrupted system call *)
+  | EIO          (** I/O error *)
+  | ENXIO        (** No such device or address *)
+  | ENOEXEC      (** Exec format error *)
+  | EBADF        (** Bad file descriptor *)
+  | ECHILD       (** No child processes *)
+  | EAGAIN       (** Resource temporarily unavailable *)
+  | ENOMEM       (** Out of memory *)
+  | EACCES       (** Permission denied *)
+  | EFAULT       (** Bad address *)
+  | EBUSY        (** Device or resource busy *)
+  | EEXIST       (** File exists *)
+  | EXDEV        (** Cross-device link *)
+  | ENODEV       (** No such device *)
+  | ENOTDIR      (** Not a directory *)
+  | EISDIR       (** Is a directory *)
+  | EINVAL       (** Invalid argument *)
+  | ENFILE       (** Too many open files in system *)
+  | EMFILE       (** Too many open files *)
+  | ENOTTY       (** Inappropriate ioctl for device *)
+  | ENOSPC       (** No space left on device *)
+  | EROFS        (** Read-only file system *)
+  | EMLINK       (** Too many links *)
+  | EPIPE        (** Broken pipe *)
+  | ERANGE       (** Result too large *)
+  | ENAMETOOLONG (** File name too long *)
+  | ENOSYS       (** Function not implemented *)
+  | ENOTEMPTY    (** Directory not empty *)
+  | ELOOP        (** Too many levels of symbolic links *)
+  | EADDRINUSE   (** Address already in use *)
+  | EADDRNOTAVAIL(** Cannot assign requested address *)
+  | ENETUNREACH  (** Network is unreachable *)
+  | ECONNREFUSED (** Connection refused *)
+  | ETIMEDOUT    (** Connection timed out *)
+  | EHOSTUNREACH (** No route to host *)
+  | ENOPROTOOPT  (** Protocol not available *)
+  | EPROTONOSUPPORT (** Protocol not supported *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val to_string : t -> string
+(** Symbolic name, e.g. ["EPERM"]. *)
+
+val message : t -> string
+(** Human-readable message, e.g. ["Operation not permitted"]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,43 @@
+type t = int
+
+let s_isuid = 0o4000
+let s_isgid = 0o2000
+let s_isvtx = 0o1000
+
+type access = R | W | X
+
+let has_setuid m = m land s_isuid <> 0
+let has_setgid m = m land s_isgid <> 0
+let has_sticky m = m land s_isvtx <> 0
+let set_setuid m = m lor s_isuid
+let clear_setuid m = m land lnot s_isuid
+
+let shift_for = function `Owner -> 6 | `Group -> 3 | `Other -> 0
+let bit_of_access = function R -> 4 | W -> 2 | X -> 1
+let bits_for ~who access = bit_of_access access lsl shift_for who
+let permits m ~who access = m land bits_for ~who access <> 0
+
+let to_string m =
+  let triplet shift ~special ~special_char ~special_char_noexec =
+    let r = if m land (4 lsl shift) <> 0 then 'r' else '-' in
+    let w = if m land (2 lsl shift) <> 0 then 'w' else '-' in
+    let x_set = m land (1 lsl shift) <> 0 in
+    let x =
+      if special then if x_set then special_char else special_char_noexec
+      else if x_set then 'x'
+      else '-'
+    in
+    Printf.sprintf "%c%c%c" r w x
+  in
+  triplet 6 ~special:(has_setuid m) ~special_char:'s' ~special_char_noexec:'S'
+  ^ triplet 3 ~special:(has_setgid m) ~special_char:'s' ~special_char_noexec:'S'
+  ^ triplet 0 ~special:(has_sticky m) ~special_char:'t' ~special_char_noexec:'T'
+
+let to_octal m = Printf.sprintf "%o" (m land 0o7777)
+
+let of_octal s =
+  match int_of_string_opt ("0o" ^ s) with
+  | Some n when n >= 0 && n <= 0o7777 -> Some n
+  | Some _ | None -> None
+
+let pp ppf m = Format.pp_print_string ppf (to_string m)

@@ -1,0 +1,14 @@
+type 'a syscall_result = ('a, Errno.t) result
+
+let ok x = Ok x
+let error e = Error e
+let ( let* ) r f = match r with Ok x -> f x | Error _ as e -> e
+let ( let+ ) r f = match r with Ok x -> Ok (f x) | Error _ as e -> e
+
+let rec iter_result f = function
+  | [] -> Ok ()
+  | x :: rest -> ( match f x with Ok () -> iter_result f rest | Error _ as e -> e)
+
+let expect_ok what = function
+  | Ok x -> x
+  | Error e -> failwith (Printf.sprintf "%s failed: %s" what (Errno.to_string e))

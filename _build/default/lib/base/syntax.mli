@@ -1,0 +1,18 @@
+(** Binding operators for [('a, Errno.t) result], the return type of every
+    simulated system call. *)
+
+type 'a syscall_result = ('a, Errno.t) result
+
+val ok : 'a -> 'a syscall_result
+val error : Errno.t -> 'a syscall_result
+
+val ( let* ) : 'a syscall_result -> ('a -> 'b syscall_result) -> 'b syscall_result
+val ( let+ ) : 'a syscall_result -> ('a -> 'b) -> 'b syscall_result
+
+val iter_result :
+  ('a -> unit syscall_result) -> 'a list -> unit syscall_result
+(** Apply a syscall to each element, stopping at the first error. *)
+
+val expect_ok : string -> 'a syscall_result -> 'a
+(** Unwrap a result in contexts (tests, examples, image construction) where
+    failure is a programming error; raises [Failure] with the errno name. *)

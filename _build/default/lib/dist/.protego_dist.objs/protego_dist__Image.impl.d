@@ -1,0 +1,1 @@
+lib/dist/image.ml: Cred Ktypes List Machine Printf Protego_apparmor Protego_base Protego_core Protego_kernel Protego_net Protego_policy Protego_services Protego_userland String Syscall Vfs

@@ -1,0 +1,444 @@
+open Protego_kernel
+open Ktypes
+module Ipaddr = Protego_net.Ipaddr
+module Pwdb = Protego_policy.Pwdb
+module U = Protego_userland
+
+type config = Linux | Protego
+
+type t = {
+  machine : machine;
+  config : config;
+  apparmor : Protego_apparmor.Apparmor.t option;
+  protego : Protego_core.Lsm.t option;
+  daemon : Protego_services.Monitor_daemon.t option;
+}
+
+let flavor = function Linux -> U.Prog.Legacy | Protego -> U.Prog.Protego
+
+let alice_uid = 1000
+let bob_uid = 1001
+let charlie_uid = 1002
+let exim_uid = 101
+let wwwdata_uid = 33
+let mail_gid = 8
+let dialout_gid = 20
+let lp_gid = 7
+let staff_gid = 50
+let cdrom_gid = 24
+let shadow_gid = 42
+
+(* (name, uid, gid, gecos, home, shell, password) *)
+let account_users =
+  [ ("root", 0, 0, "root", "/root", "/bin/sh", "root-pw");
+    ("alice", alice_uid, alice_uid, "Alice", "/home/alice", "/bin/sh", "alice-pw");
+    ("bob", bob_uid, bob_uid, "Bob", "/home/bob", "/bin/sh", "bob-pw");
+    ("charlie", charlie_uid, charlie_uid, "Charlie", "/home/charlie", "/bin/sh",
+     "charlie-pw");
+    ("Debian-exim", exim_uid, exim_uid, "Exim MTA", "/var/spool/exim4",
+     "/bin/false", "!");
+    ("www-data", wwwdata_uid, wwwdata_uid, "Web server", "/var/www",
+     "/bin/false", "!") ]
+
+(* (name, gid, members, group password) *)
+let account_groups =
+  [ ("root", 0, [], None);
+    ("alice", alice_uid, [], None);
+    ("bob", bob_uid, [], None);
+    ("charlie", charlie_uid, [], None);
+    ("Debian-exim", exim_uid, [], None);
+    ("www-data", wwwdata_uid, [], None);
+    ("lp", lp_gid, [ "bob" ], None);
+    ("mail", mail_gid, [ "Debian-exim" ], None);
+    ("dialout", dialout_gid, [ "alice" ], None);
+    ("cdrom", cdrom_gid, [ "alice" ], None);
+    ("shadow", shadow_gid, [], None);
+    ("staff", staff_gid, [ "bob" ], Some (Pwdb.hash_password "staff-pw")) ]
+
+let supplementary_gids user =
+  List.filter_map
+    (fun (_, gid, members, _) -> if List.mem user members then Some gid else None)
+    account_groups
+
+let passwd_entries () =
+  List.map
+    (fun (name, uid, gid, gecos, home, shell, _) ->
+      { Pwdb.pw_name = name; pw_uid = uid; pw_gid = gid; pw_gecos = gecos;
+        pw_dir = home; pw_shell = shell })
+    account_users
+
+let shadow_entries () =
+  List.map
+    (fun (name, _, _, _, _, _, password) ->
+      { Pwdb.sp_name = name;
+        sp_hash = (if password = "!" then "!" else Pwdb.hash_password password);
+        sp_lastchg = 15000 })
+    account_users
+
+let group_entries () =
+  List.map
+    (fun (name, gid, members, password) ->
+      { Pwdb.gr_name = name; gr_password = password; gr_gid = gid;
+        gr_members = members })
+    account_groups
+
+let fstab_contents =
+  String.concat "\n"
+    [ "# <file system> <mount point> <type> <options> <dump> <pass>";
+      "/dev/sda1 / ext4 defaults 0 1";
+      "/dev/cdrom /media/cdrom iso9660 ro,user 0 0";
+      "/dev/sdb1 /media/usb vfat users 0 0";
+      "/dev/sda2 /mnt/secure ext4 defaults 0 0";
+      "fuse /home/alice/fuse fuse user 0 0";
+      "10.0.0.7:/export/media /media/nfs nfs user 0 0";
+      "//10.0.0.7/share /media/cifs cifs users 0 0" ]
+  ^ "\n"
+
+let sudoers_contents =
+  String.concat "\n"
+    [ "Defaults timestamp_timeout=5";
+      "root ALL=(ALL) NOPASSWD: ALL";
+      "alice ALL=(bob) /usr/bin/lpr";
+      "alice ALL=(root) /usr/bin/sudoedit-helper /etc/motd";
+      "bob ALL=(root) NOPASSWD: /bin/true";
+      "charlie ALL=(ALL) ALL";
+      "# su(1) semantics: anyone may become anyone with the target's password";
+      "ALL ALL=(ALL) TARGETPW: ALL";
+      "#includedir /etc/sudoers.d" ]
+  ^ "\n"
+
+let sudoers_lp_contents = "%lp ALL=(root) /usr/bin/lpr\n"
+
+let bind_contents =
+  String.concat "\n"
+    [ "# port proto binary uid";
+      Printf.sprintf "25 tcp /usr/sbin/exim4 %d" exim_uid;
+      Printf.sprintf "587 tcp /usr/sbin/exim4 %d" exim_uid;
+      Printf.sprintf "80 tcp /usr/sbin/httpd %d" wwwdata_uid ]
+  ^ "\n"
+
+let ppp_options_contents =
+  String.concat "\n"
+    [ "compress deflate"; "asyncmap 0"; "mru 1500"; "allow-user-routes";
+      "allow-device /dev/ttyS0" ]
+  ^ "\n"
+
+let host_key_contents = "RSA-PRIVATE-KEY d34db33f-host-key-0001\n"
+
+let dirs =
+  [ ("/bin", 0o755); ("/sbin", 0o755); ("/usr", 0o755); ("/usr/bin", 0o755);
+    ("/usr/sbin", 0o755); ("/usr/lib", 0o755); ("/usr/lib/openssh", 0o755);
+    ("/usr/lib/eject", 0o755); ("/usr/lib/chromium", 0o755);
+    ("/etc", 0o755); ("/etc/ppp", 0o755); ("/etc/cups", 0o755);
+    ("/etc/polkit-1", 0o755); ("/etc/polkit-1/rules.d", 0o755);
+    ("/etc/sudoers.d", 0o755); ("/etc/ssh", 0o755); ("/dev", 0o755);
+    ("/dev/dri", 0o755); ("/proc", 0o555); ("/sys", 0o555);
+    ("/sys/block", 0o555); ("/var", 0o755); ("/var/run", 0o755);
+    ("/var/log", 0o755); ("/var/spool", 0o755); ("/var/spool/lpd", 0o1777);
+    ("/var/spool/exim4", 0o755); ("/var/www", 0o755); ("/media", 0o755);
+    ("/media/cdrom", 0o755); ("/media/usb", 0o755); ("/media/nfs", 0o755);
+    ("/media/cifs", 0o755); ("/mnt", 0o755);
+    ("/mnt/secure", 0o700); ("/root", 0o700); ("/home", 0o755);
+    ("/tmp", 0o1777) ]
+
+let build_users_fs m kt config =
+  List.iter (fun (d, mode) -> ignore (Machine.mkdir_p m kt d ~mode ())) dirs;
+  (* Home directories. *)
+  List.iter
+    (fun (name, uid, gid, _, home, _, _) ->
+      if name <> "root" then
+        ignore (Machine.mkdir_p m kt home ~mode:0o755 ~uid ~gid ()))
+    account_users;
+  ignore (Machine.mkdir_p m kt "/home/alice/fuse" ~mode:0o755 ~uid:alice_uid
+            ~gid:alice_uid ());
+  (* /var/mail: group-writable by mail. *)
+  ignore (Machine.mkdir_p m kt "/var/mail" ~mode:0o2775 ~gid:mail_gid ());
+  (* Mail spool and log owned by the mail service account — the
+     file-system-permissions hardening technique of §3.1. *)
+  (match Vfs.resolve m kt "/var/spool/exim4" with
+  | Ok d ->
+      d.iuid <- exim_uid;
+      d.igid <- exim_uid
+  | Error _ -> ());
+  ignore
+    (Machine.write_file m kt ~path:"/var/log/exim4-mainlog" ~mode:0o640
+       ~uid:exim_uid ~gid:exim_uid "");
+  (* Legacy shared credential databases. *)
+  let wf path ?mode ?uid ?gid contents =
+    ignore (Machine.write_file m kt ~path ?mode ?uid ?gid contents)
+  in
+  wf "/etc/passwd" ~mode:0o644 (Pwdb.passwd_to_string (passwd_entries ()));
+  wf "/etc/shadow" ~mode:0o640 ~gid:shadow_gid
+    (Pwdb.shadow_to_string (shadow_entries ()));
+  wf "/etc/group" ~mode:0o644 (Pwdb.group_to_string (group_entries ()));
+  (* Fragmented databases (Protego §4.4). *)
+  if config = Protego then begin
+    ignore (Machine.mkdir_p m kt "/etc/passwds" ~mode:0o755 ());
+    ignore (Machine.mkdir_p m kt "/etc/shadows" ~mode:0o755 ());
+    ignore (Machine.mkdir_p m kt "/etc/groups" ~mode:0o755 ());
+    List.iter2
+      (fun pw sp ->
+        let uid = pw.Pwdb.pw_uid in
+        wf ("/etc/passwds/" ^ pw.Pwdb.pw_name) ~mode:0o600 ~uid ~gid:pw.Pwdb.pw_gid
+          (Pwdb.passwd_entry_to_line pw ^ "\n");
+        wf ("/etc/shadows/" ^ pw.Pwdb.pw_name) ~mode:0o600 ~uid
+          (Pwdb.shadow_entry_to_line sp ^ "\n"))
+      (passwd_entries ()) (shadow_entries ());
+    List.iter
+      (fun gr ->
+        wf ("/etc/groups/" ^ gr.Pwdb.gr_name) ~mode:0o664 ~gid:gr.Pwdb.gr_gid
+          (Pwdb.group_entry_to_line gr ^ "\n"))
+      (group_entries ())
+  end;
+  (* CUPS printing passwords: legacy shared db vs per-user fragments. *)
+  wf "/etc/cups/passwd.md5" ~mode:0o600
+    ("alice:" ^ Pwdb.hash_password "print-pw" ^ "\n");
+  if config = Protego then begin
+    ignore (Machine.mkdir_p m kt "/etc/cups/passwds" ~mode:0o755 ());
+    List.iter
+      (fun (name, uid, gid, _, _, _, password) ->
+        if password <> "!" then
+          wf ("/etc/cups/passwds/" ^ name) ~mode:0o600 ~uid ~gid
+            (name ^ ":" ^ Pwdb.hash_password "print-pw" ^ "\n"))
+      account_users
+  end;
+  (* PolicyKit rules, translated into delegation rules by the daemon. *)
+  wf "/etc/polkit-1/rules.d/50-default.rules" ~mode:0o644
+    (String.concat "\n"
+       [ "action /usr/bin/systemctl-restart allow group:staff auth_self";
+         "action /usr/bin/backup-tool allow user:alice auth_admin";
+         "action /usr/bin/uptime allow all yes" ]
+    ^ "\n");
+  (* Policy files. *)
+  wf "/etc/fstab" ~mode:0o644 fstab_contents;
+  wf "/etc/sudoers" ~mode:0o440 sudoers_contents;
+  wf "/etc/sudoers.d/lp" ~mode:0o440 sudoers_lp_contents;
+  wf "/etc/bind" ~mode:0o644 bind_contents;
+  wf "/etc/ppp/options" ~mode:0o644 ppp_options_contents;
+  wf "/etc/shells" ~mode:0o644 "/bin/sh\n/bin/bash\n";
+  wf "/etc/motd" ~mode:0o644 "Welcome to the Protego reproduction machine\n";
+  wf "/etc/hostname" ~mode:0o644 "protego-sim\n";
+  wf "/var/spool/lpd/queue" ~mode:0o666 "";
+  (* Host ssh key: legacy locks it to root; Protego relaxes DAC and relies
+     on the kernel's per-binary ACL (§4.6). *)
+  let key_mode = match config with Linux -> 0o600 | Protego -> 0o444 in
+  wf "/etc/ssh/ssh_host_rsa_key" ~mode:key_mode host_key_contents
+
+let cdrom_media =
+  { media_fstype = "iso9660";
+    media_files =
+      [ ("README", "Protego demo CD-ROM\n");
+        ("tracks/track01.ogg", "audio-bits"); ("tracks/track02.ogg", "more-bits") ] }
+
+let usb_media =
+  { media_fstype = "vfat";
+    media_files = [ ("photos/p1.jpg", "jpeg-bits"); ("notes.txt", "usb notes") ] }
+
+let secure_media =
+  { media_fstype = "ext4"; media_files = [ ("secrets.txt", "top secret\n") ] }
+
+let build_devices m kt config =
+  let mkdev path ?mode ?uid ?gid dev =
+    ignore (Machine.mkdev m kt ~path ?mode ?uid ?gid dev)
+  in
+  mkdev "/dev/null" ~mode:0o666 Dev_null;
+  mkdev "/dev/tty1" ~mode:0o620 (Dev_tty { tty_index = 1 });
+  mkdev "/dev/ttyS0" ~mode:0o660 ~gid:dialout_gid
+    (Dev_serial { serial_name = "ttyS0" });
+  (* The paper changes /dev/ppp permissions to be more permissive,
+     replacing a capability check with device file permissions (§4.1.2). *)
+  mkdev "/dev/ppp" ~mode:(match config with Linux -> 0o600 | Protego -> 0o666)
+    Dev_ppp;
+  mkdev "/dev/cdrom" ~mode:0o660 ~gid:cdrom_gid
+    (Dev_block { media = Some cdrom_media });
+  mkdev "/dev/sdb1" ~mode:0o660 (Dev_block { media = Some usb_media });
+  mkdev "/dev/sda2" ~mode:0o660 (Dev_block { media = Some secure_media });
+  mkdev "/dev/dm-0" ~mode:0o600
+    (Dev_dm { dm_underlying = "/dev/sda2"; dm_cipher = "aes-xts-plain64";
+              dm_key = "0123deadbeefcafe" });
+  (* Video: the Linux baseline models a pre-KMS driver (X must be root);
+     Protego/modern relies on kernel mode setting (§4.5). *)
+  mkdev "/dev/dri/card0" ~mode:0o666
+    (Dev_video { kms = (config = Protego); video_mode = "text" })
+
+(* /proc/net/route: destination prefixes, one per line — what route(8) and
+   pppd read to learn the current table. *)
+let install_proc_net m =
+  let kt = Machine.kernel_task m in
+  ignore (Machine.mkdir_p m kt "/proc/net" ());
+  ignore
+    (Machine.add_vnode m kt ~path:"/proc/net/route" ~mode:0o444
+       ~read:(fun m _t ->
+         let lines =
+           List.map
+             (fun (e : Protego_net.Route.entry) ->
+               Printf.sprintf "%s %s %s"
+                 (Ipaddr.Cidr.to_string e.dest)
+                 (match e.gateway with Some g -> Ipaddr.to_string g | None -> "*")
+                 e.device)
+             (Protego_net.Route.entries m.routes)
+         in
+         Ok (String.concat "\n" lines ^ "\n"))
+       ~write:(fun _m _t _s -> Error Protego_base.Errno.EACCES)
+       ())
+
+let build_network m =
+  install_proc_net m;
+  m.local_addrs <- [ Ipaddr.localhost; Ipaddr.v 10 0 0 2 ];
+  let route dest gateway device metric =
+    Protego_net.Route.add m.routes
+      { Protego_net.Route.dest; gateway; device; metric; owner_uid = None }
+  in
+  route (Ipaddr.Cidr.make (Ipaddr.v 10 0 0 0) 24) None "eth0" 1;
+  route (Ipaddr.Cidr.make (Ipaddr.v 0 0 0 0) 0) (Some (Ipaddr.v 10 0 0 1)) "eth0" 10;
+  m.remote_hosts <-
+    [ { rh_addr = Ipaddr.v 10 0 0 1; rh_hops = 1; rh_echo = true;
+        rh_udp_echo_ports = []; rh_tcp_open_ports = []; rh_exports = [] };
+      { rh_addr = Ipaddr.v 10 0 0 7; rh_hops = 3; rh_echo = true;
+        rh_udp_echo_ports = [ 7 ]; rh_tcp_open_ports = [ 7; 80 ];
+        rh_exports =
+          [ ("/export/media", [ ("shared.txt", "nfs share contents\n") ]);
+            ("/share", [ ("win/readme.txt", "cifs share contents\n") ]) ] };
+      { rh_addr = Ipaddr.v 93 184 216 34; rh_hops = 5; rh_echo = true;
+        rh_udp_echo_ports = []; rh_tcp_open_ports = [ 80 ]; rh_exports = [] };
+      { rh_addr = Ipaddr.v 192 168 77 1; rh_hops = 1; rh_echo = true;
+        rh_udp_echo_ports = []; rh_tcp_open_ports = []; rh_exports = [] };
+      { rh_addr = Ipaddr.v 192 168 77 5; rh_hops = 2; rh_echo = true;
+        rh_udp_echo_ports = []; rh_tcp_open_ports = [ 80 ]; rh_exports = [] } ]
+
+(* The studied binaries.  In the Linux configuration each is installed mode
+   4755 (setuid root); under Protego the bit is dropped — the paper's
+   headline change. *)
+let studied_binaries fl =
+  [ ("/bin/mount", U.Bin_mount.mount fl);
+    ("/bin/umount", U.Bin_mount.umount fl);
+    ("/bin/fusermount", U.Bin_mount.fusermount fl);
+    ("/sbin/mount.nfs", U.Bin_mount.mount_nfs fl);
+    ("/sbin/mount.cifs", U.Bin_mount.mount_cifs fl);
+    ("/bin/ping", U.Bin_ping.ping fl);
+    ("/bin/ping6", U.Bin_ping.ping6 fl);
+    ("/usr/bin/fping", U.Bin_ping.fping fl);
+    ("/usr/bin/traceroute", U.Bin_traceroute.traceroute fl);
+    ("/usr/bin/tcptraceroute", U.Bin_tcptraceroute.tcptraceroute fl);
+    ("/usr/bin/mtr", U.Bin_traceroute.mtr fl);
+    ("/usr/bin/arping", U.Bin_arping.arping fl);
+    ("/usr/sbin/pppd", U.Bin_pppd.pppd fl);
+    ("/usr/lib/eject/dmcrypt-get-device", U.Bin_dmcrypt.dmcrypt_get_device fl);
+    ("/usr/bin/eject", U.Bin_eject.eject fl);
+    ("/usr/bin/sudo", U.Bin_sudo.sudo fl);
+    ("/bin/su", U.Bin_sudo.su fl);
+    ("/usr/bin/sudoedit", U.Bin_sudo.sudoedit fl);
+    ("/usr/bin/pkexec", U.Bin_pkexec.pkexec fl);
+    ("/usr/bin/newgrp", U.Bin_sudo.newgrp fl);
+    ("/usr/bin/passwd", U.Bin_passwd.passwd fl);
+    ("/usr/bin/chsh", U.Bin_passwd.chsh fl);
+    ("/usr/bin/chfn", U.Bin_passwd.chfn fl);
+    ("/usr/bin/gpasswd", U.Bin_passwd.gpasswd fl);
+    ("/usr/bin/lppasswd", U.Bin_passwd.lppasswd fl);
+    ("/usr/sbin/vipw", U.Bin_passwd.vipw fl);
+    ("/usr/lib/openssh/ssh-keysign", U.Bin_keysign.ssh_keysign fl);
+    ("/usr/sbin/exim4", U.Bin_exim.exim fl);
+    ("/usr/sbin/httpd", U.Bin_exim.httpd fl);
+    ("/usr/bin/X", U.Bin_login.xserver fl);
+    ("/usr/lib/pt_chown", U.Bin_login.pt_chown fl) ]
+
+let plain_binaries fl =
+  [ ("/bin/true", U.Bin_misc.true_); ("/bin/false", U.Bin_misc.false_);
+    ("/bin/sh", U.Bin_misc.sh); ("/bin/bash", U.Bin_misc.sh);
+    ("/bin/ls", U.Bin_misc.ls); ("/bin/cat", U.Bin_misc.cat);
+    ("/usr/bin/id", U.Bin_misc.id); ("/usr/bin/lpr", U.Bin_misc.lpr);
+    ("/usr/bin/sudoedit-helper", U.Bin_sudo.sudoedit_helper);
+    ("/sbin/iptables", U.Bin_iptables.iptables fl);
+    ("/usr/bin/systemctl-restart",
+     (fun m task _argv ->
+       if Protego_kernel.Syscall.geteuid task <> 0 then Ok 4
+       else begin
+         Ktypes.console m "%s" "systemd: nginx restarted";
+         Ok 0
+       end));
+    ("/usr/bin/backup-tool",
+     (fun m task _argv ->
+       match
+         Protego_kernel.Syscall.write_file m task "/root/backup.marker" "done"
+       with
+       | Ok () ->
+           Ktypes.console m "%s" "backup-tool: backup complete";
+           Ok 0
+       | Error _ -> Ok 4));
+    ("/usr/bin/uptime",
+     (fun m _task _argv ->
+       Ktypes.console m "up %.0f seconds" m.Ktypes.now;
+       Ok 0));
+    ("/sbin/setcap", U.Bin_setcap.setcap fl);
+    ("/sbin/getcap", U.Bin_setcap.getcap fl);
+    ("/bin/login", U.Bin_login.login fl) ]
+
+let build_binaries m kt config =
+  let fl = flavor config in
+  let setuid_mode = match config with Linux -> 0o4755 | Protego -> 0o755 in
+  List.iter
+    (fun (path, prog) ->
+      ignore (Machine.install_binary m kt ~path ~mode:setuid_mode prog))
+    (studied_binaries fl);
+  List.iter
+    (fun (path, prog) -> ignore (Machine.install_binary m kt ~path ~mode:0o755 prog))
+    (plain_binaries fl);
+  (* chromium-sandbox stays setuid on BOTH systems on a 3.6 kernel: the
+     namespace interface's safe policy was not yet understood, the paper's
+     one sanctioned use of re-enabling the bit (§4.6).  Kernels >= 3.8
+     (machine.unpriv_userns) let the administrator drop it. *)
+  ignore
+    (Machine.install_binary m kt ~path:"/usr/lib/chromium/chromium-sandbox"
+       ~mode:0o4755
+       (U.Bin_sandbox.chromium_sandbox fl))
+
+let build config =
+  let m = Machine.create () in
+  let kt = Machine.kernel_task m in
+  build_users_fs m kt config;
+  build_devices m kt config;
+  build_network m;
+  build_binaries m kt config;
+  match config with
+  | Linux ->
+      (* Baseline: AppArmor LSM loaded, no profiles — the paper's
+         measurement baseline. *)
+      let aa = Protego_apparmor.Apparmor.install m in
+      { machine = m; config; apparmor = Some aa; protego = None; daemon = None }
+  | Protego ->
+      let lsm = Protego_core.Lsm.install m in
+      Protego_services.Auth_service.install m;
+      let daemon = Protego_services.Monitor_daemon.start m in
+      { machine = m; config; apparmor = None; protego = Some lsm;
+        daemon = Some daemon }
+
+let uid_of _t name =
+  match List.find_opt (fun (n, _, _, _, _, _, _) -> n = name) account_users with
+  | Some (_, uid, _, _, _, _, _) -> uid
+  | None -> failwith ("unknown user: " ^ name)
+
+let login t name =
+  match List.find_opt (fun (n, _, _, _, _, _, _) -> n = name) account_users with
+  | None -> failwith ("unknown user: " ^ name)
+  | Some (_, uid, gid, _, home, _, _) ->
+      let cred = Cred.make ~uid ~gid ~groups:(supplementary_gids name) () in
+      let task =
+        Machine.spawn_task t.machine ~tty:"/dev/tty1" ~cred ~cwd:home
+          ~env:[ ("PATH", "/bin:/usr/bin:/sbin:/usr/sbin");
+                 ("HOME", home); ("USER", name); ("TERM", "xterm");
+                 ("LANG", "C") ]
+          ()
+      in
+      task.exe_path <- "/bin/sh";
+      task
+
+let run t task path args =
+  let child = Syscall.fork t.machine task in
+  let result = Syscall.execve t.machine child path (path :: args) child.env in
+  (match result with
+  | Ok code -> Syscall.exit t.machine child code
+  | Error _ -> Syscall.exit t.machine child 127);
+  (match Syscall.waitpid t.machine task child.tpid with
+  | Ok _ -> ()
+  | Error _ -> ());
+  result

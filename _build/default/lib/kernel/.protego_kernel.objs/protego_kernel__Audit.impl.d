@@ -1,0 +1,1 @@
+lib/kernel/audit.ml: Ktypes List Printf Queue String

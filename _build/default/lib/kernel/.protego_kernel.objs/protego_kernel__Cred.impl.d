@@ -1,0 +1,1 @@
+lib/kernel/cred.ml: Cap Format Ktypes List Protego_base

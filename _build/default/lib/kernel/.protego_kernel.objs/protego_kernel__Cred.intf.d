@@ -1,0 +1,1 @@
+lib/kernel/cred.mli: Cap Format Ktypes Protego_base

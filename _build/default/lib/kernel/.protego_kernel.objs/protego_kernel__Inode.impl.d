@@ -1,0 +1,1 @@
+lib/kernel/inode.ml: Buffer Ktypes List

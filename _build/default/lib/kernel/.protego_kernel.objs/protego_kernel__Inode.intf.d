@@ -1,0 +1,1 @@
+lib/kernel/inode.mli: Ktypes Mode Protego_base

@@ -1,0 +1,1 @@
+lib/kernel/ktypes.ml: Buffer Cap Errno Hashtbl List Mode Printf Protego_base Protego_net Queue

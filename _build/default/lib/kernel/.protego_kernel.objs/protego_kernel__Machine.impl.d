@@ -1,0 +1,1 @@
+lib/kernel/machine.ml: Buffer Cred Errno Hashtbl Inode Ktypes List Printf Protego_base Protego_net Queue Result Security String Vfs

@@ -1,0 +1,1 @@
+lib/kernel/machine.mli: Errno Ktypes Mode Protego_base Protego_net

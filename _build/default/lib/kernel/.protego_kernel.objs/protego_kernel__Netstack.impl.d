@@ -1,0 +1,1 @@
+lib/kernel/netstack.ml: Buffer Cap Cred Errno Ktypes List Protego_base Protego_net Queue String Sys

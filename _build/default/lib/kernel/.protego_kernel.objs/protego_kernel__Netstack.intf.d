@@ -1,0 +1,1 @@
+lib/kernel/netstack.mli: Errno Ktypes Protego_base Protego_net

@@ -1,0 +1,1 @@
+lib/kernel/security.ml: Cap Cred Errno Hashtbl Ktypes Protego_base

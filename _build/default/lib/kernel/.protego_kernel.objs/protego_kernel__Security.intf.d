@@ -1,0 +1,1 @@
+lib/kernel/security.mli: Ktypes

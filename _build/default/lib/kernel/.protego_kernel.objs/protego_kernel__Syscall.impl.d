@@ -1,0 +1,1 @@
+lib/kernel/syscall.ml: Buffer Cap Cred Errno Hashtbl Inode Ktypes List Machine Mode Netstack Printf Protego_base Protego_net Result String Syntax Sys Vfs

@@ -1,0 +1,1 @@
+lib/kernel/syscall.mli: Cap Errno Ktypes Mode Protego_base Protego_net

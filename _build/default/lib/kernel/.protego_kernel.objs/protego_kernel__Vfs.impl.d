@@ -1,0 +1,1 @@
+lib/kernel/vfs.ml: Cap Errno Inode Ktypes List Mode Protego_base String

@@ -1,0 +1,1 @@
+lib/kernel/vfs.mli: Errno Ktypes Mode Protego_base

@@ -1,0 +1,33 @@
+type record = Ktypes.audit_record = {
+  au_time : float;
+  au_pid : Ktypes.pid;
+  au_uid : Ktypes.uid;
+  au_op : string;
+  au_obj : string;
+  au_allowed : bool;
+}
+
+let capacity = 1024
+
+let emit m (task : Ktypes.task) ~op ~obj ~allowed =
+  let q = m.Ktypes.audit in
+  Queue.add
+    { au_time = m.Ktypes.now; au_pid = task.Ktypes.tpid;
+      au_uid = task.Ktypes.cred.Ktypes.ruid; au_op = op; au_obj = obj;
+      au_allowed = allowed }
+    q;
+  if Queue.length q > capacity then ignore (Queue.pop q)
+
+let records m = List.of_seq (Queue.to_seq m.Ktypes.audit)
+let denials m = List.filter (fun r -> not r.au_allowed) (records m)
+let clear m = Queue.clear m.Ktypes.audit
+
+let render m =
+  records m
+  |> List.map (fun r ->
+         Printf.sprintf "type=%s msg=audit(%.0f): pid=%d uid=%d op=%s obj=%s res=%s"
+           (if r.au_allowed then "GRANT" else "DENIAL")
+           r.au_time r.au_pid r.au_uid r.au_op r.au_obj
+           (if r.au_allowed then "success" else "failed"))
+  |> String.concat "\n"
+  |> fun s -> if s = "" then "" else s ^ "\n"

@@ -1,0 +1,30 @@
+(** Security audit records (modelled on the LSM audit facility).
+
+    Policy modules emit a record for each interesting decision; the ring is
+    bounded, readable through a /proc file the policy module installs, and
+    queryable from tests. *)
+
+type record = Ktypes.audit_record = {
+  au_time : float;
+  au_pid : Ktypes.pid;
+  au_uid : Ktypes.uid;     (** real uid of the subject *)
+  au_op : string;          (** e.g. "mount", "bind", "setuid" *)
+  au_obj : string;         (** the object, e.g. "/media/cdrom", "port 25" *)
+  au_allowed : bool;
+}
+
+val emit :
+  Ktypes.machine -> Ktypes.task -> op:string -> obj:string -> allowed:bool ->
+  unit
+
+val records : Ktypes.machine -> record list
+(** Oldest first. *)
+
+val denials : Ktypes.machine -> record list
+val clear : Ktypes.machine -> unit
+
+val render : Ktypes.machine -> string
+(** One line per record, auditd-style. *)
+
+val capacity : int
+(** Ring bound (oldest records are dropped beyond it). *)

@@ -1,0 +1,93 @@
+open Protego_base
+open Ktypes
+
+let setuid_allowed_by_dac cred ~target =
+  Cap.Set.mem Cap.CAP_SETUID cred.caps
+  || target = cred.ruid || target = cred.euid || target = cred.suid
+
+let setgid_allowed_by_dac cred ~target =
+  Cap.Set.mem Cap.CAP_SETGID cred.caps
+  || target = cred.rgid || target = cred.egid || target = cred.sgid
+
+let privileged_port port = port < 1024
+
+let capable _m task cap = Cred.has_cap task.cred cap
+
+(* Hooks consult the *active* module's [capable] so a stacked LSM's
+   capability confinement (AppArmor profiles) applies to these checks too,
+   exactly as the kernel's capable() does. *)
+let active_capable m task cap = m.security.capable m task cap
+
+let sb_mount m task ~source:_ ~target:_ ~fstype:_ ~flags:_ =
+  if active_capable m task Cap.CAP_SYS_ADMIN then Ok () else Error Errno.EPERM
+
+let sb_umount m task ~target:_ =
+  if active_capable m task Cap.CAP_SYS_ADMIN then Ok () else Error Errno.EPERM
+
+let socket_create m task domain stype _proto =
+  match (domain, stype) with
+  | Af_packet, _ | _, Sock_raw ->
+      (* Inside a user-created network namespace the task holds the in-ns
+         capabilities (§6, Namespaces): raw sockets on the fake network are
+         fine; only the initial namespace's interfaces are protected. *)
+      if task.netns <> 0 && task.userns then Ok ()
+      else if active_capable m task Cap.CAP_NET_RAW then Ok ()
+      else Error Errno.EPERM
+  | (Af_inet | Af_unix), (Sock_stream | Sock_dgram) -> Ok ()
+
+let socket_bind m task sock _addr port =
+  (* Port 0 requests an ephemeral port — never privileged; ports in a
+     private network namespace are the namespace owner's to allocate. *)
+  if sock.sock_netns <> 0 then Ok ()
+  else if
+    port <> 0 && privileged_port port
+    && not (active_capable m task Cap.CAP_NET_BIND_SERVICE)
+  then Error Errno.EACCES
+  else Ok ()
+
+let socket_sendmsg _m _task _sock _pkt = Ok ()
+
+let task_fix_setuid m task ~target =
+  ignore m;
+  if setuid_allowed_by_dac task.cred ~target then Ok Setuid_apply
+  else Error Errno.EPERM
+
+let task_fix_setgid m task ~target =
+  ignore m;
+  if setgid_allowed_by_dac task.cred ~target then Ok () else Error Errno.EPERM
+
+let bprm_check _m _task ~path:_ ~argv:_ _inode = Ok ()
+let inode_permission _m _task ~path:_ _inode _access = Ok ()
+let file_open _m _task ~path:_ _file = Ok ()
+
+let file_ioctl m task = function
+  | Ioctl_route_add _ | Ioctl_route_del _ | Ioctl_modem_config _ ->
+      if active_capable m task Cap.CAP_NET_ADMIN then Ok () else Error Errno.EPERM
+  | Ioctl_dm_table_status _ ->
+      if active_capable m task Cap.CAP_SYS_ADMIN then Ok () else Error Errno.EPERM
+  | Ioctl_video_modeset _ -> (
+      (* Pre-KMS drivers require root to program the card (§4.5); with KMS
+         the kernel owns mode-setting and any user may request a mode. *)
+      match Hashtbl.find_opt m.devices "/dev/dri/card0" with
+      | Some (Dev_video { kms = true; _ }) -> Ok ()
+      | Some _ | None ->
+          if active_capable m task Cap.CAP_SYS_ADMIN
+             && active_capable m task Cap.CAP_SYS_RAWIO
+          then Ok ()
+          else Error Errno.EPERM)
+  | Ioctl_tty_getattr -> Ok ()
+
+let stock_linux =
+  { lsm_name = "linux";
+    capable;
+    sb_mount;
+    sb_umount;
+    socket_create;
+    socket_bind;
+    socket_sendmsg;
+    task_fix_setuid;
+    task_fix_setgid;
+    bprm_check;
+    inode_permission;
+    file_open;
+    file_ioctl }

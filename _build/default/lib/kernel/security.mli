@@ -1,0 +1,22 @@
+(** The stock Linux security operations: pure DAC plus capability checks.
+
+    These are the hard-coded kernel policies the paper's Table 4 lists in
+    its "Kernel policy" column: raw sockets need [CAP_NET_RAW], low ports
+    need [CAP_NET_BIND_SERVICE], mount needs [CAP_SYS_ADMIN], setuid needs
+    [CAP_SETUID] (or a transition to an identity already held), route and
+    modem ioctls need [CAP_NET_ADMIN], the dm-crypt status ioctl needs
+    [CAP_SYS_ADMIN], and video mode-setting needs [CAP_SYS_ADMIN] +
+    [CAP_SYS_RAWIO] when the driver lacks KMS. *)
+
+val stock_linux : Ktypes.security_ops
+(** The unmodified-Linux operation vector (the baseline's substrate; both
+    AppArmor and Protego delegate to these where they don't override). *)
+
+val setuid_allowed_by_dac : Ktypes.cred -> target:Ktypes.uid -> bool
+(** The stock rule: permitted if the caller has [CAP_SETUID] or the target
+    uid is one of ruid/euid/suid. *)
+
+val setgid_allowed_by_dac : Ktypes.cred -> target:Ktypes.gid -> bool
+
+val privileged_port : int -> bool
+(** [port < 1024]. *)

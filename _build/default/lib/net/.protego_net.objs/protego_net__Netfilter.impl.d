@@ -1,0 +1,1 @@
+lib/net/netfilter.ml: Format Ipaddr List Option Packet Printf String

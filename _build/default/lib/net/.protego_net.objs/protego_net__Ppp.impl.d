@@ -1,0 +1,1 @@
+lib/net/ppp.ml: Ipaddr Option Printf String

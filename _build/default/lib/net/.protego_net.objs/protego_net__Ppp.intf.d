@@ -1,0 +1,1 @@
+lib/net/ppp.mli: Ipaddr

@@ -1,0 +1,1 @@
+lib/net/route.ml: Format Ipaddr List Printf

@@ -1,0 +1,75 @@
+type t = int32
+
+let v a b c d =
+  let check n =
+    if n < 0 || n > 255 then invalid_arg "Ipaddr.v: octet out of range"
+  in
+  check a; check b; check c; check d;
+  Int32.logor
+    (Int32.shift_left (Int32.of_int a) 24)
+    (Int32.of_int ((b lsl 16) lor (c lsl 8) lor d))
+
+let of_int32 x = x
+let to_int32 x = x
+
+let to_string x =
+  let octet shift = Int32.to_int (Int32.logand (Int32.shift_right_logical x shift) 0xFFl) in
+  Printf.sprintf "%d.%d.%d.%d" (octet 24) (octet 16) (octet 8) (octet 0)
+
+let of_string s =
+  match String.split_on_char '.' s with
+  | [ a; b; c; d ] -> (
+      match
+        (int_of_string_opt a, int_of_string_opt b, int_of_string_opt c, int_of_string_opt d)
+      with
+      | Some a, Some b, Some c, Some d
+        when a >= 0 && a <= 255 && b >= 0 && b <= 255 && c >= 0 && c <= 255
+             && d >= 0 && d <= 255 ->
+          Some (v a b c d)
+      | _, _, _, _ -> None)
+  | _ -> None
+
+let equal = Int32.equal
+let compare = Int32.unsigned_compare
+let pp ppf x = Format.pp_print_string ppf (to_string x)
+let localhost = v 127 0 0 1
+let any = v 0 0 0 0
+
+module Cidr = struct
+  type addr = t
+  type nonrec t = { network : t; prefix_len : int }
+
+  let mask_of_len len =
+    if len = 0 then 0l else Int32.shift_left (-1l) (32 - len)
+
+  let make network prefix_len =
+    if prefix_len < 0 || prefix_len > 32 then
+      invalid_arg "Cidr.make: prefix length out of range";
+    { network = Int32.logand network (mask_of_len prefix_len); prefix_len }
+
+  let of_string s =
+    match String.index_opt s '/' with
+    | None -> Option.map (fun a -> make a 32) (of_string s)
+    | Some i -> (
+        let addr_part = String.sub s 0 i in
+        let len_part = String.sub s (i + 1) (String.length s - i - 1) in
+        match (of_string addr_part, int_of_string_opt len_part) with
+        | Some a, Some len when len >= 0 && len <= 32 -> Some (make a len)
+        | _, _ -> None)
+
+  let to_string { network; prefix_len } =
+    Printf.sprintf "%s/%d" (to_string network) prefix_len
+
+  let prefix_len t = t.prefix_len
+  let network t = t.network
+
+  let mem addr { network; prefix_len } =
+    Int32.equal (Int32.logand addr (mask_of_len prefix_len)) network
+
+  let overlaps a b =
+    (* Two prefixes overlap iff the shorter one contains the other's base. *)
+    if a.prefix_len <= b.prefix_len then mem b.network a else mem a.network b
+
+  let equal a b = Int32.equal a.network b.network && a.prefix_len = b.prefix_len
+  let pp ppf t = Format.pp_print_string ppf (to_string t)
+end

@@ -1,0 +1,45 @@
+(** IPv4 addresses and CIDR prefixes for the simulated network stack. *)
+
+type t
+(** An IPv4 address. *)
+
+val v : int -> int -> int -> int -> t
+(** [v 10 0 0 1] is 10.0.0.1.  Raises [Invalid_argument] on out-of-range
+    octets. *)
+
+val of_int32 : int32 -> t
+val to_int32 : t -> int32
+val of_string : string -> t option
+val to_string : t -> string
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+
+(** [localhost] = 127.0.0.1; [any] = 0.0.0.0. *)
+
+val localhost : t
+val any : t
+
+(** CIDR prefixes, e.g. 192.168.1.0/24. *)
+module Cidr : sig
+  type addr = t
+  type t
+
+  val make : addr -> int -> t
+  (** [make network prefix_len]; raises [Invalid_argument] if the prefix
+      length is outside 0..32. The network address is masked down. *)
+
+  val of_string : string -> t option
+  (** Parses ["a.b.c.d/len"]; a bare address parses as a /32. *)
+
+  val to_string : t -> string
+  val prefix_len : t -> int
+  val network : t -> addr
+  val mem : addr -> t -> bool
+  val overlaps : t -> t -> bool
+  (** True iff the two prefixes share any address — the paper's route
+      conflict criterion (§4.1.2). *)
+
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end

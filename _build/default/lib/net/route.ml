@@ -1,0 +1,50 @@
+type entry = {
+  dest : Ipaddr.Cidr.t;
+  gateway : Ipaddr.t option;
+  device : string;
+  metric : int;
+  owner_uid : int option;
+}
+
+type t = { mutable entries : entry list }
+
+let create () = { entries = [] }
+let entries t = t.entries
+let count t = List.length t.entries
+let add t e = t.entries <- t.entries @ [ e ]
+
+let remove t ~dest =
+  let found = ref false in
+  let keep e =
+    if (not !found) && Ipaddr.Cidr.equal e.dest dest then (
+      found := true;
+      false)
+    else true
+  in
+  t.entries <- List.filter keep t.entries;
+  !found
+
+let is_default e = Ipaddr.Cidr.prefix_len e.dest = 0
+
+let conflicts_with t cidr =
+  List.find_opt
+    (fun e -> (not (is_default e)) && Ipaddr.Cidr.overlaps e.dest cidr)
+    t.entries
+
+let lookup t addr =
+  let candidates = List.filter (fun e -> Ipaddr.Cidr.mem addr e.dest) t.entries in
+  let better a b =
+    let la = Ipaddr.Cidr.prefix_len a.dest and lb = Ipaddr.Cidr.prefix_len b.dest in
+    if la <> lb then la > lb else a.metric < b.metric
+  in
+  List.fold_left
+    (fun best e ->
+      match best with Some b when better b e -> best | Some _ | None -> Some e)
+    None candidates
+
+let pp_entry ppf e =
+  Format.fprintf ppf "%s via %s dev %s metric %d%s"
+    (Ipaddr.Cidr.to_string e.dest)
+    (match e.gateway with Some g -> Ipaddr.to_string g | None -> "*")
+    e.device e.metric
+    (match e.owner_uid with Some u -> Printf.sprintf " (uid %d)" u | None -> "")

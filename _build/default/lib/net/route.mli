@@ -1,0 +1,36 @@
+(** The system routing table.
+
+    The paper's §4.1.2 policy: an unprivileged user may add a route over her
+    PPP link only if the new address range was not previously reachable, i.e.
+    the new destination prefix does not conflict with an existing route.
+    [conflicts_with] is exactly that check. *)
+
+type entry = {
+  dest : Ipaddr.Cidr.t;
+  gateway : Ipaddr.t option;
+  device : string;          (** e.g. "eth0", "ppp0" *)
+  metric : int;
+  owner_uid : int option;   (** uid that installed the route, if non-root *)
+}
+
+type t
+
+val create : unit -> t
+val entries : t -> entry list
+val count : t -> int
+
+val add : t -> entry -> unit
+(** Unchecked insertion (administrator path). *)
+
+val remove : t -> dest:Ipaddr.Cidr.t -> bool
+(** Remove the first entry with that destination; returns whether found. *)
+
+val conflicts_with : t -> Ipaddr.Cidr.t -> entry option
+(** First existing non-default route whose destination overlaps the given
+    prefix. The default route (0.0.0.0/0) does not count as a conflict —
+    otherwise no PPP user could ever add a route on a connected host. *)
+
+val lookup : t -> Ipaddr.t -> entry option
+(** Longest-prefix match. *)
+
+val pp_entry : Format.formatter -> entry -> unit

@@ -1,0 +1,1 @@
+lib/policy/bindconf.ml: List Printf String

@@ -1,0 +1,1 @@
+lib/policy/fstab.ml: List Printf Protego_kernel String

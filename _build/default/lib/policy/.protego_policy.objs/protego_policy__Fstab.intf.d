@@ -1,0 +1,1 @@
+lib/policy/fstab.mli: Protego_kernel

@@ -1,0 +1,1 @@
+lib/policy/polkit.ml: List Option Printf String Sudoers

@@ -1,0 +1,1 @@
+lib/policy/polkit.mli: Sudoers

@@ -1,0 +1,1 @@
+lib/policy/pppopts.ml: List Protego_net String

@@ -1,0 +1,1 @@
+lib/policy/pppopts.mli: Protego_net

@@ -1,0 +1,1 @@
+lib/policy/sudoers.ml: List Printf String

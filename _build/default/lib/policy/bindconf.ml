@@ -1,0 +1,43 @@
+type proto = Tcp | Udp
+
+type entry = { port : int; proto : proto; exe : string; owner : int }
+
+let proto_to_string = function Tcp -> "tcp" | Udp -> "udp"
+let proto_of_string = function "tcp" -> Some Tcp | "udp" -> Some Udp | _ -> None
+
+let parse contents =
+  let lines = String.split_on_char '\n' contents in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+        let trimmed = String.trim line in
+        if trimmed = "" || trimmed.[0] = '#' then go acc rest
+        else
+          match
+            String.split_on_char ' ' trimmed |> List.filter (fun s -> s <> "")
+          with
+          | [ port_s; proto_s; exe; owner_s ] -> (
+              match
+                (int_of_string_opt port_s, proto_of_string proto_s,
+                 int_of_string_opt owner_s)
+              with
+              | Some port, Some proto, Some owner ->
+                  if port < 1 || port >= 1024 then
+                    Error ("bind: port out of privileged range: " ^ line)
+                  else if
+                    List.exists (fun e -> e.port = port && e.proto = proto) acc
+                  then Error (Printf.sprintf "bind: duplicate port %d" port)
+                  else go ({ port; proto; exe; owner } :: acc) rest
+              | _, _, _ -> Error ("bind: malformed line: " ^ line))
+          | _ -> Error ("bind: malformed line: " ^ line))
+  in
+  go [] lines
+
+let to_string entries =
+  let line e =
+    Printf.sprintf "%d %s %s %d" e.port (proto_to_string e.proto) e.exe e.owner
+  in
+  String.concat "\n" (List.map line entries) ^ "\n"
+
+let lookup entries ~port ~proto =
+  List.find_opt (fun e -> e.port = port && e.proto = proto) entries

@@ -1,0 +1,27 @@
+(** /etc/bind: the privileged-port allocation policy (§4.1.3).
+
+    Each TCP or UDP port below 1024 maps to at most one application
+    instance, identified by a (binary path, uid) pair:
+
+    {v
+    # port proto binary uid
+    25  tcp /usr/sbin/exim4 0
+    80  tcp /usr/sbin/apache2 33
+    v} *)
+
+type proto = Tcp | Udp
+
+type entry = {
+  port : int;
+  proto : proto;
+  exe : string;   (** canonical binary path *)
+  owner : int;    (** uid *)
+}
+
+val parse : string -> (entry list, string) result
+(** Rejects duplicate (port, proto) pairs — each port maps to exactly one
+    application instance. *)
+
+val to_string : entry list -> string
+val lookup : entry list -> port:int -> proto:proto -> entry option
+val proto_to_string : proto -> string

@@ -1,0 +1,71 @@
+type entry = {
+  fs_spec : string;
+  fs_file : string;
+  fs_vfstype : string;
+  fs_mntops : string list;
+  fs_freq : int;
+  fs_passno : int;
+}
+
+let fields line =
+  String.split_on_char ' ' (String.concat " " (String.split_on_char '\t' line))
+  |> List.filter (fun s -> s <> "")
+
+let parse_line line =
+  let trimmed = String.trim line in
+  if trimmed = "" || trimmed.[0] = '#' then Ok None
+  else
+    match fields trimmed with
+    | [ spec; file; vfstype; mntops ] ->
+        Ok (Some { fs_spec = spec; fs_file = file; fs_vfstype = vfstype;
+                   fs_mntops = String.split_on_char ',' mntops;
+                   fs_freq = 0; fs_passno = 0 })
+    | [ spec; file; vfstype; mntops; freq; passno ] -> (
+        match (int_of_string_opt freq, int_of_string_opt passno) with
+        | Some fs_freq, Some fs_passno ->
+            Ok (Some { fs_spec = spec; fs_file = file; fs_vfstype = vfstype;
+                       fs_mntops = String.split_on_char ',' mntops;
+                       fs_freq; fs_passno })
+        | _, _ -> Error ("fstab: bad freq/passno: " ^ line))
+    | _ -> Error ("fstab: malformed line: " ^ line)
+
+let parse contents =
+  let lines = String.split_on_char '\n' contents in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+        match parse_line line with
+        | Ok (Some e) -> go (e :: acc) rest
+        | Ok None -> go acc rest
+        | Error _ as e -> (match e with Error msg -> Error msg | Ok _ -> assert false))
+  in
+  go [] lines
+
+let to_line e =
+  Printf.sprintf "%s %s %s %s %d %d" e.fs_spec e.fs_file e.fs_vfstype
+    (String.concat "," e.fs_mntops) e.fs_freq e.fs_passno
+
+let to_string entries =
+  String.concat "\n" (List.map to_line entries) ^ "\n"
+
+let user_mountable e =
+  List.mem "user" e.fs_mntops || List.mem "users" e.fs_mntops
+
+let find_for_target entries target =
+  List.find_opt (fun e -> e.fs_file = target) entries
+
+let find_for_source entries source =
+  List.find_opt (fun e -> e.fs_spec = source) entries
+
+let mount_flags e =
+  let open Protego_kernel.Ktypes in
+  let flag_of_opt = function
+    | "ro" -> Some Mf_readonly
+    | "nosuid" -> Some Mf_nosuid
+    | "nodev" -> Some Mf_nodev
+    | "noexec" -> Some Mf_noexec
+    | _ -> None
+  in
+  let explicit = List.filter_map flag_of_opt e.fs_mntops in
+  let implied = if user_mountable e then [ Mf_nosuid; Mf_nodev ] else [] in
+  List.sort_uniq compare (explicit @ implied)

@@ -1,0 +1,106 @@
+type subject = Pk_user of string | Pk_group of string | Pk_all
+type result_ = Pk_yes | Pk_auth_self | Pk_auth_admin
+
+type rule = {
+  pk_action : string;
+  pk_subject : subject;
+  pk_result : result_;
+}
+
+let subject_of_string s =
+  if s = "all" then Some Pk_all
+  else
+    match String.index_opt s ':' with
+    | Some i -> (
+        let kind = String.sub s 0 i in
+        let name = String.sub s (i + 1) (String.length s - i - 1) in
+        match kind with
+        | "user" -> Some (Pk_user name)
+        | "group" -> Some (Pk_group name)
+        | _ -> None)
+    | None -> None
+
+let subject_to_string = function
+  | Pk_all -> "all"
+  | Pk_user u -> "user:" ^ u
+  | Pk_group g -> "group:" ^ g
+
+let result_of_string = function
+  | "yes" -> Some Pk_yes
+  | "auth_self" -> Some Pk_auth_self
+  | "auth_admin" -> Some Pk_auth_admin
+  | _ -> None
+
+let result_to_string = function
+  | Pk_yes -> "yes"
+  | Pk_auth_self -> "auth_self"
+  | Pk_auth_admin -> "auth_admin"
+
+let parse contents =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+        let trimmed = String.trim line in
+        if trimmed = "" || trimmed.[0] = '#' then go acc rest
+        else
+          match
+            String.split_on_char ' ' trimmed |> List.filter (fun s -> s <> "")
+          with
+          | [ "action"; action; "allow"; subject_s; result_s ] -> (
+              match (subject_of_string subject_s, result_of_string result_s) with
+              | Some pk_subject, Some pk_result ->
+                  go ({ pk_action = action; pk_subject; pk_result } :: acc) rest
+              | None, _ -> Error ("polkit: bad subject: " ^ subject_s)
+              | _, None -> Error ("polkit: bad result: " ^ result_s))
+          | _ -> Error ("polkit: malformed rule: " ^ trimmed))
+  in
+  go [] (String.split_on_char '\n' contents)
+
+let to_string rules =
+  rules
+  |> List.map (fun r ->
+         Printf.sprintf "action %s allow %s %s" r.pk_action
+           (subject_to_string r.pk_subject)
+           (result_to_string r.pk_result))
+  |> String.concat "\n"
+  |> fun s -> if s = "" then "" else s ^ "\n"
+
+let subject_matches subject ~user ~groups =
+  match subject with
+  | Pk_all -> true
+  | Pk_user u -> u = user
+  | Pk_group g -> List.mem g groups
+
+let specificity = function Pk_user _ -> 2 | Pk_group _ -> 1 | Pk_all -> 0
+
+let check rules ~user ~groups ~action =
+  rules
+  |> List.filter (fun r ->
+         r.pk_action = action && subject_matches r.pk_subject ~user ~groups)
+  |> List.fold_left
+       (fun best r ->
+         match best with
+         | Some b when specificity b.pk_subject >= specificity r.pk_subject ->
+             best
+         | Some _ | None -> Some r)
+       None
+  |> Option.map (fun r -> r.pk_result)
+
+let to_sudoers_rules rules =
+  List.map
+    (fun r ->
+      let who =
+        match r.pk_subject with
+        | Pk_user u -> Sudoers.User u
+        | Pk_group g -> Sudoers.Group g
+        | Pk_all -> Sudoers.All_users
+      in
+      let tags =
+        match r.pk_result with
+        | Pk_yes -> [ Sudoers.Nopasswd ]
+        | Pk_auth_self -> []
+        | Pk_auth_admin -> [ Sudoers.Targetpw ]
+      in
+      { Sudoers.who; runas = Sudoers.Runas_users [ "root" ]; tags;
+        commands = [ Sudoers.Command { path = r.pk_action; args = None } ] })
+    rules

@@ -1,0 +1,37 @@
+(** PolicyKit rules (§4.3: "Protego encodes the policies of a wide range of
+    delegation utilities as extended sudoers rules, including ... policykit").
+
+    A simplified rules grammar, one rule per line:
+
+    {v
+    # action                   subject        result
+    action /usr/bin/systemctl-restart allow group:staff auth_self
+    action /usr/bin/backup-tool       allow user:alice  auth_admin
+    action /usr/bin/uptime            allow all         yes
+    v}
+
+    [auth_self] demands the invoker's password, [auth_admin] the
+    administrator's, [yes] none.  {!to_sudoers_rules} is the monitoring
+    daemon's translation into the kernel's delegation language. *)
+
+type subject = Pk_user of string | Pk_group of string | Pk_all
+
+type result_ = Pk_yes | Pk_auth_self | Pk_auth_admin
+
+type rule = {
+  pk_action : string;   (** the program pkexec may run as root *)
+  pk_subject : subject;
+  pk_result : result_;
+}
+
+val parse : string -> (rule list, string) result
+val to_string : rule list -> string
+
+val check : rule list -> user:string -> groups:string list -> action:string ->
+  result_ option
+(** The most specific matching rule's result (user beats group beats all);
+    [None] if nothing matches. *)
+
+val to_sudoers_rules : rule list -> Sudoers.rule list
+(** yes -> NOPASSWD; auth_self -> plain (invoker reauthentication);
+    auth_admin -> TARGETPW (the target root's password). *)

@@ -1,0 +1,43 @@
+type directive =
+  | Session_option of Protego_net.Ppp.option_
+  | Allow_user_routes
+  | Allow_device of string
+
+type t = { directives : directive list }
+
+let parse contents =
+  let lines = String.split_on_char '\n' contents in
+  let rec go acc = function
+    | [] -> Ok { directives = List.rev acc }
+    | line :: rest -> (
+        let trimmed = String.trim line in
+        if trimmed = "" || trimmed.[0] = '#' then go acc rest
+        else if trimmed = "allow-user-routes" then go (Allow_user_routes :: acc) rest
+        else
+          match String.split_on_char ' ' trimmed with
+          | [ "allow-device"; dev ] -> go (Allow_device dev :: acc) rest
+          | _ -> (
+              match Protego_net.Ppp.option_of_string trimmed with
+              | Some opt -> go (Session_option opt :: acc) rest
+              | None -> Error ("ppp options: unknown directive: " ^ trimmed)))
+  in
+  go [] lines
+
+let directive_to_string = function
+  | Session_option o -> Protego_net.Ppp.option_to_string o
+  | Allow_user_routes -> "allow-user-routes"
+  | Allow_device d -> "allow-device " ^ d
+
+let to_string t =
+  String.concat "\n" (List.map directive_to_string t.directives) ^ "\n"
+
+let user_routes_allowed t =
+  List.exists (function Allow_user_routes -> true | _ -> false) t.directives
+
+let device_allowed t dev =
+  List.exists (function Allow_device d -> d = dev | _ -> false) t.directives
+
+let session_options t =
+  List.filter_map
+    (function Session_option o -> Some o | Allow_user_routes | Allow_device _ -> None)
+    t.directives

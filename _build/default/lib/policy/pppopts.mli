@@ -1,0 +1,31 @@
+(** /etc/ppp/options: PPP policy configuration (§4.1.2).
+
+    Besides the stock pppd session options, two Protego directives govern
+    what unprivileged users may do:
+
+    {v
+    # session options any user may request
+    compress deflate
+    asyncmap 0
+    mru 1500
+    # Protego policy directives
+    allow-user-routes
+    allow-device /dev/ttyS0
+    defaultroute
+    v} *)
+
+type directive =
+  | Session_option of Protego_net.Ppp.option_
+  | Allow_user_routes   (** unprivileged users may add non-conflicting routes *)
+  | Allow_device of string  (** serial device unprivileged pppd may configure *)
+
+type t = {
+  directives : directive list;
+}
+
+val parse : string -> (t, string) result
+val to_string : t -> string
+
+val user_routes_allowed : t -> bool
+val device_allowed : t -> string -> bool
+val session_options : t -> Protego_net.Ppp.option_ list

@@ -1,0 +1,117 @@
+type passwd_entry = {
+  pw_name : string;
+  pw_uid : int;
+  pw_gid : int;
+  pw_gecos : string;
+  pw_dir : string;
+  pw_shell : string;
+}
+
+type shadow_entry = {
+  sp_name : string;
+  sp_hash : string;
+  sp_lastchg : int;
+}
+
+type group_entry = {
+  gr_name : string;
+  gr_password : string option;
+  gr_gid : int;
+  gr_members : string list;
+}
+
+(* FNV-1a over the salted input; adequate for a simulator that only needs a
+   deterministic, equality-checkable digest. *)
+let hash_password plain =
+  let fnv_prime = 0x100000001b3 in
+  let input = "protego$" ^ plain in
+  let h = ref 0x3bf29ce484222325 in
+  String.iter
+    (fun c ->
+      h := !h lxor Char.code c;
+      h := !h * fnv_prime)
+    input;
+  Printf.sprintf "$6$sim$%016x" (!h land max_int)
+
+let verify_password ~hash plain =
+  (not (String.equal hash "!")) && String.equal hash (hash_password plain)
+
+let nonempty_lines contents =
+  String.split_on_char '\n' contents
+  |> List.filter (fun l -> String.trim l <> "" && (String.trim l).[0] <> '#')
+
+let parse_passwd_entry line =
+  match String.split_on_char ':' line with
+  | [ name; _placeholder; uid; gid; gecos; dir; shell ] -> (
+      match (int_of_string_opt uid, int_of_string_opt gid) with
+      | Some pw_uid, Some pw_gid ->
+          Ok { pw_name = name; pw_uid; pw_gid; pw_gecos = gecos; pw_dir = dir;
+               pw_shell = shell }
+      | _, _ -> Error ("passwd: bad uid/gid: " ^ line))
+  | _ -> Error ("passwd: malformed line: " ^ line)
+
+let parse_all parse_one contents =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+        match parse_one line with
+        | Ok e -> go (e :: acc) rest
+        | Error _ as e -> (match e with Error msg -> Error msg | Ok _ -> assert false))
+  in
+  go [] (nonempty_lines contents)
+
+let parse_passwd = parse_all parse_passwd_entry
+
+let passwd_entry_to_line e =
+  Printf.sprintf "%s:x:%d:%d:%s:%s:%s" e.pw_name e.pw_uid e.pw_gid e.pw_gecos
+    e.pw_dir e.pw_shell
+
+let passwd_to_string entries =
+  String.concat "\n" (List.map passwd_entry_to_line entries) ^ "\n"
+
+let parse_shadow_entry line =
+  match String.split_on_char ':' line with
+  | name :: hash :: lastchg :: _rest -> (
+      match int_of_string_opt lastchg with
+      | Some sp_lastchg -> Ok { sp_name = name; sp_hash = hash; sp_lastchg }
+      | None -> Error ("shadow: bad lastchg: " ^ line))
+  | _ -> Error ("shadow: malformed line: " ^ line)
+
+let parse_shadow = parse_all parse_shadow_entry
+
+let shadow_entry_to_line e =
+  Printf.sprintf "%s:%s:%d:0:99999:7:::" e.sp_name e.sp_hash e.sp_lastchg
+
+let shadow_to_string entries =
+  String.concat "\n" (List.map shadow_entry_to_line entries) ^ "\n"
+
+let parse_group_entry line =
+  match String.split_on_char ':' line with
+  | [ name; password; gid; members ] -> (
+      match int_of_string_opt gid with
+      | Some gr_gid ->
+          let gr_members =
+            if members = "" then []
+            else String.split_on_char ',' members
+          in
+          let gr_password =
+            match password with "" | "x" | "!" -> None | h -> Some h
+          in
+          Ok { gr_name = name; gr_password; gr_gid; gr_members }
+      | None -> Error ("group: bad gid: " ^ line))
+  | _ -> Error ("group: malformed line: " ^ line)
+
+let parse_group = parse_all parse_group_entry
+
+let group_entry_to_line e =
+  Printf.sprintf "%s:%s:%d:%s" e.gr_name
+    (match e.gr_password with Some h -> h | None -> "x")
+    e.gr_gid (String.concat "," e.gr_members)
+
+let group_to_string entries =
+  String.concat "\n" (List.map group_entry_to_line entries) ^ "\n"
+
+let lookup_user entries name = List.find_opt (fun e -> e.pw_name = name) entries
+let lookup_uid entries uid = List.find_opt (fun e -> e.pw_uid = uid) entries
+let lookup_group entries name = List.find_opt (fun e -> e.gr_name = name) entries
+let lookup_gid entries gid = List.find_opt (fun e -> e.gr_gid = gid) entries

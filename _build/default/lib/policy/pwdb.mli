@@ -1,0 +1,55 @@
+(** Credential databases: /etc/passwd, /etc/shadow, /etc/group records
+    (§4.4), plus the toy password hash the simulator uses.
+
+    Protego fragments these shared databases into per-account files under
+    /etc/passwds/, /etc/shadows/, /etc/groups/ so the kernel's existing DAC
+    enforces record-granularity access; the parsers here serve both the
+    legacy files and the fragments (a fragment is a one-record file). *)
+
+type passwd_entry = {
+  pw_name : string;
+  pw_uid : int;
+  pw_gid : int;
+  pw_gecos : string;
+  pw_dir : string;
+  pw_shell : string;
+}
+
+type shadow_entry = {
+  sp_name : string;
+  sp_hash : string;    (** result of {!hash_password}; "!" = locked *)
+  sp_lastchg : int;
+}
+
+type group_entry = {
+  gr_name : string;
+  gr_password : string option; (** hash; newgrp password-protected groups *)
+  gr_gid : int;
+  gr_members : string list;
+}
+
+val hash_password : string -> string
+(** Deterministic toy hash (NOT cryptographic — the simulator needs
+    equality-checkable hashes, not security). *)
+
+val verify_password : hash:string -> string -> bool
+
+val parse_passwd : string -> (passwd_entry list, string) result
+val passwd_to_string : passwd_entry list -> string
+val passwd_entry_to_line : passwd_entry -> string
+val parse_passwd_entry : string -> (passwd_entry, string) result
+
+val parse_shadow : string -> (shadow_entry list, string) result
+val shadow_to_string : shadow_entry list -> string
+val shadow_entry_to_line : shadow_entry -> string
+val parse_shadow_entry : string -> (shadow_entry, string) result
+
+val parse_group : string -> (group_entry list, string) result
+val group_to_string : group_entry list -> string
+val group_entry_to_line : group_entry -> string
+val parse_group_entry : string -> (group_entry, string) result
+
+val lookup_user : passwd_entry list -> string -> passwd_entry option
+val lookup_uid : passwd_entry list -> int -> passwd_entry option
+val lookup_group : group_entry list -> string -> group_entry option
+val lookup_gid : group_entry list -> int -> group_entry option

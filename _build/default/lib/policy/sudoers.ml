@@ -1,0 +1,254 @@
+type principal = User of string | Group of string | All_users
+type runas = Runas_any | Runas_users of string list
+
+type command =
+  | Any_command
+  | Command of { path : string; args : string list option }
+
+type tag = Nopasswd | Setenv | Targetpw
+
+type rule = {
+  who : principal;
+  runas : runas;
+  tags : tag list;
+  commands : command list;
+}
+
+type t = {
+  rules : rule list;
+  timestamp_timeout : float;
+  includedirs : string list;
+}
+
+let default_timeout = 300.
+let empty = { rules = []; timestamp_timeout = default_timeout; includedirs = [] }
+
+let parse_principal s =
+  if s = "ALL" then All_users
+  else if String.length s > 0 && s.[0] = '%' then
+    Group (String.sub s 1 (String.length s - 1))
+  else User s
+
+let parse_runas s =
+  (* "(bob)" or "(bob,carol)" or "(ALL)" *)
+  let inner = String.trim s in
+  if inner = "ALL" then Runas_any
+  else Runas_users (String.split_on_char ',' inner |> List.map String.trim)
+
+let parse_command s =
+  let s = String.trim s in
+  if s = "ALL" then Any_command
+  else
+    match String.split_on_char ' ' s |> List.filter (fun x -> x <> "") with
+    | [] -> Any_command
+    | [ path ] -> Command { path; args = None }
+    | path :: args ->
+        if args = [ "\"\"" ] then Command { path; args = Some [] }
+        else Command { path; args = Some args }
+
+(* Split "NOPASSWD: SETENV: /bin/foo, /bin/bar" into tags and commands. *)
+let parse_tags_and_commands s =
+  let rec strip_tags tags s =
+    let s = String.trim s in
+    let try_tag prefix tag =
+      let plen = String.length prefix in
+      if String.length s >= plen && String.sub s 0 plen = prefix then
+        Some (tag, String.sub s plen (String.length s - plen))
+      else None
+    in
+    match try_tag "NOPASSWD:" Nopasswd with
+    | Some (tag, rest) -> strip_tags (tag :: tags) rest
+    | None -> (
+        match try_tag "SETENV:" Setenv with
+        | Some (tag, rest) -> strip_tags (tag :: tags) rest
+        | None -> (
+            match try_tag "TARGETPW:" Targetpw with
+            | Some (tag, rest) -> strip_tags (tag :: tags) rest
+            | None -> (List.rev tags, s)))
+  in
+  let tags, rest = strip_tags [] s in
+  let commands =
+    String.split_on_char ',' rest
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+    |> List.map parse_command
+  in
+  (tags, commands)
+
+let parse_rule_line line =
+  (* "<principal> <host>=(<runas>) [tags:] <commands>" *)
+  match String.index_opt line '=' with
+  | None -> Error ("sudoers: missing '=': " ^ line)
+  | Some eq ->
+      let lhs = String.trim (String.sub line 0 eq) in
+      let rhs = String.trim (String.sub line (eq + 1) (String.length line - eq - 1)) in
+      (match String.split_on_char ' ' lhs |> List.filter (fun s -> s <> "") with
+      | [ who_s; _host ] ->
+          let who = parse_principal who_s in
+          let runas, rest =
+            if String.length rhs > 0 && rhs.[0] = '(' then
+              match String.index_opt rhs ')' with
+              | Some close ->
+                  ( parse_runas (String.sub rhs 1 (close - 1)),
+                    String.sub rhs (close + 1) (String.length rhs - close - 1) )
+              | None -> (Runas_users [ "root" ], rhs)
+            else (Runas_users [ "root" ], rhs)
+          in
+          let tags, commands = parse_tags_and_commands rest in
+          if commands = [] then Error ("sudoers: no commands: " ^ line)
+          else Ok { who; runas; tags; commands }
+      | _ -> Error ("sudoers: malformed lhs: " ^ line))
+
+let parse contents =
+  let lines = String.split_on_char '\n' contents in
+  let rec go acc = function
+    | [] ->
+        Ok { rules = List.rev acc.rules; timestamp_timeout = acc.timestamp_timeout;
+             includedirs = List.rev acc.includedirs }
+    | line :: rest -> (
+        let trimmed = String.trim line in
+        let starts_with p =
+          String.length trimmed >= String.length p
+          && String.sub trimmed 0 (String.length p) = p
+        in
+        if trimmed = "" then go acc rest
+        else if starts_with "#includedir" then
+          let dir =
+            String.trim
+              (String.sub trimmed 11 (String.length trimmed - 11))
+          in
+          go { acc with includedirs = dir :: acc.includedirs } rest
+        else if trimmed.[0] = '#' then go acc rest
+        else if starts_with "Defaults" then
+          let rest_s = String.trim (String.sub trimmed 8 (String.length trimmed - 8)) in
+          match String.split_on_char '=' rest_s with
+          | [ "timestamp_timeout"; v ] -> (
+              match float_of_string_opt v with
+              | Some minutes ->
+                  go { acc with timestamp_timeout = minutes *. 60. } rest
+              | None -> Error ("sudoers: bad timestamp_timeout: " ^ line))
+          | _ -> go acc rest (* unknown Defaults are ignored, as sudo does *)
+        else
+          match parse_rule_line trimmed with
+          | Ok rule -> go { acc with rules = rule :: acc.rules } rest
+          | Error _ as e -> (match e with Error msg -> Error msg | Ok _ -> assert false))
+  in
+  go { rules = []; timestamp_timeout = default_timeout; includedirs = [] } lines
+
+let merge a b =
+  { rules = a.rules @ b.rules;
+    timestamp_timeout = a.timestamp_timeout;
+    includedirs = a.includedirs @ b.includedirs }
+
+type decision =
+  | Denied
+  | Allowed of { nopasswd : bool; setenv : bool }
+
+let principal_matches who ~user ~groups =
+  match who with
+  | All_users -> true
+  | User u -> u = user
+  | Group g -> List.mem g groups
+
+let runas_matches runas ~target =
+  match runas with
+  | Runas_any -> true
+  | Runas_users users -> List.mem target users
+
+let command_matches cmd ~command =
+  match (cmd, command) with
+  | Any_command, _ -> true
+  | Command _, None -> false
+  | Command { path; args }, Some (cpath, cargs) -> (
+      path = cpath
+      && match args with None -> true | Some required -> required = cargs)
+
+let check t ~user ~groups ~target ~command =
+  let matching =
+    List.filter
+      (fun r ->
+        principal_matches r.who ~user ~groups
+        && runas_matches r.runas ~target
+        && List.exists (fun c -> command_matches c ~command) r.commands)
+      t.rules
+  in
+  match matching with
+  | [] -> Denied
+  | rules ->
+      (* sudo semantics: the last matching rule wins for tags. *)
+      let last = List.nth rules (List.length rules - 1) in
+      Allowed
+        { nopasswd = List.mem Nopasswd last.tags;
+          setenv = List.mem Setenv last.tags }
+
+let allowed_binaries t ~user ~groups ~target =
+  let matching =
+    List.filter
+      (fun r ->
+        principal_matches r.who ~user ~groups && runas_matches r.runas ~target)
+      t.rules
+  in
+  if matching = [] then `Nothing
+  else if
+    List.exists (fun r -> List.exists (fun c -> c = Any_command) r.commands) matching
+  then `Unrestricted
+  else
+    let paths =
+      List.concat_map
+        (fun r ->
+          List.filter_map
+            (function Any_command -> None | Command { path; _ } -> Some path)
+            r.commands)
+        matching
+    in
+    `Only (List.sort_uniq compare paths)
+
+let aggregate_tags t ~user ~groups ~target =
+  let matching =
+    List.filter
+      (fun r ->
+        principal_matches r.who ~user ~groups && runas_matches r.runas ~target)
+      t.rules
+  in
+  if matching = [] then (false, false)
+  else
+    ( List.for_all (fun r -> List.mem Nopasswd r.tags) matching,
+      List.for_all (fun r -> List.mem Setenv r.tags) matching )
+
+let principal_to_string = function
+  | All_users -> "ALL"
+  | User u -> u
+  | Group g -> "%" ^ g
+
+let runas_to_string = function
+  | Runas_any -> "ALL"
+  | Runas_users us -> String.concat "," us
+
+let command_to_string = function
+  | Any_command -> "ALL"
+  | Command { path; args } -> (
+      match args with
+      | None -> path
+      | Some [] -> path ^ " \"\""
+      | Some l -> path ^ " " ^ String.concat " " l)
+
+let rule_to_line r =
+  Printf.sprintf "%s ALL=(%s) %s%s"
+    (principal_to_string r.who)
+    (runas_to_string r.runas)
+    (String.concat ""
+       (List.map
+          (function
+            | Nopasswd -> "NOPASSWD: "
+            | Setenv -> "SETENV: "
+            | Targetpw -> "TARGETPW: ")
+          r.tags))
+    (String.concat ", " (List.map command_to_string r.commands))
+
+let to_string t =
+  let defaults =
+    Printf.sprintf "Defaults timestamp_timeout=%g\n" (t.timestamp_timeout /. 60.)
+  in
+  let rules = List.map rule_to_line t.rules in
+  let incs = List.map (fun d -> "#includedir " ^ d) t.includedirs in
+  defaults ^ String.concat "\n" (rules @ incs) ^ "\n"

@@ -1,0 +1,1 @@
+lib/protego/lsm.ml: Audit Cap Errno Filename Hashtbl Ktypes List Machine Mode Policy_state Printf Protego_base Protego_kernel Protego_net Protego_policy Result Security String Vfs

@@ -1,0 +1,1 @@
+lib/protego/lsm.mli: Ktypes Policy_state Protego_kernel Protego_net

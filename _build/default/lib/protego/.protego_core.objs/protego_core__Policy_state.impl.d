@@ -1,0 +1,1 @@
+lib/protego/policy_state.ml: Ktypes List Option Printf Protego_kernel Protego_policy String

@@ -1,0 +1,1 @@
+lib/protego/policy_state.mli: Ktypes Protego_kernel Protego_policy

@@ -1,0 +1,478 @@
+open Protego_base
+open Protego_kernel
+open Ktypes
+module Netfilter = Protego_net.Netfilter
+module Packet = Protego_net.Packet
+module Sudoers = Protego_policy.Sudoers
+module Bindconf = Protego_policy.Bindconf
+module Pppopts = Protego_policy.Pppopts
+
+type t = { machine : machine; state : Policy_state.t }
+
+let state t = t.state
+
+let ensure_recent_auth m (st : Policy_state.t) task =
+  let timeout = st.delegation.Sudoers.timestamp_timeout in
+  let task_fresh =
+    match task.cred.last_auth with
+    | Some at -> m.now -. at <= timeout
+    | None -> false
+  in
+  let tty_fresh =
+    (* sudo's rule: a password entered on this terminal within the timeout
+       counts, whichever process entered it. *)
+    match task.tty with
+    | Some tty -> (
+        match List.assoc_opt (tty, task.cred.ruid) m.tty_auth with
+        | Some at -> m.now -. at <= timeout
+        | None -> false)
+    | None -> false
+  in
+  task_fresh || tty_fresh
+  ||
+  match m.auth_agent with
+  | Some agent -> agent m task task.cred.ruid
+  | None -> false
+
+let default_raw_socket_rules =
+  let rule matches target comment = { Netfilter.matches; target; comment } in
+  [ rule [ Netfilter.Origin_raw; Netfilter.Proto Packet.Icmp;
+           Netfilter.Icmp_type Packet.Echo_request ]
+      Netfilter.Accept "ping probes";
+    rule [ Netfilter.Origin_raw; Netfilter.Proto Packet.Icmp;
+           Netfilter.Icmp_type Packet.Echo_reply ]
+      Netfilter.Accept "ping replies";
+    rule [ Netfilter.Origin_raw; Netfilter.Proto Packet.Icmp;
+           Netfilter.Icmp_type Packet.Timestamp_request ]
+      Netfilter.Accept "mtr timestamp probes";
+    rule [ Netfilter.Origin_raw; Netfilter.Proto Packet.Udp;
+           Netfilter.Dst_port { lo = 33434; hi = 33534 } ]
+      Netfilter.Accept "traceroute probes";
+    rule [ Netfilter.Origin_packet; Netfilter.Proto (Packet.Other 0x0806) ]
+      Netfilter.Accept "arping ARP frames";
+    rule [ Netfilter.Origin_raw ] Netfilter.Drop "unprivileged raw default";
+    rule [ Netfilter.Origin_packet ] Netfilter.Drop "unprivileged packet default" ]
+
+(* --- hooks ------------------------------------------------------------ *)
+
+let stock = Security.stock_linux
+
+let sb_mount st m task ~source ~target ~fstype ~flags =
+  match stock.sb_mount m task ~source ~target ~fstype ~flags with
+  | Ok () -> Ok ()
+  | Error _ -> (
+      let target = Vfs.normalize ~cwd:task.cwd target in
+      let obj = source ^ " on " ^ target in
+      match Policy_state.find_mount_rule st ~source ~target ~fstype with
+      | Some rule when Policy_state.flags_satisfy ~requested:flags ~required:rule.mr_flags ->
+          Audit.emit m task ~op:"mount" ~obj ~allowed:true;
+          Ok ()
+      | Some _ | None ->
+          Audit.emit m task ~op:"mount" ~obj ~allowed:false;
+          Error Errno.EPERM)
+
+let sb_umount st m task ~target =
+  match stock.sb_umount m task ~target with
+  | Ok () -> Ok ()
+  | Error _ -> (
+      let target = Vfs.normalize ~cwd:task.cwd target in
+      match List.find_opt (fun mnt -> mnt.mnt_target = target) m.mounts with
+      | None -> Error Errno.EINVAL
+      | Some mnt -> (
+          let verdict =
+            match
+              List.find_opt
+                (fun (r : Policy_state.mount_rule) -> r.mr_target = target)
+                st.Policy_state.mounts
+            with
+            | Some { mr_mode = `Users; _ } -> Ok ()
+            | Some { mr_mode = `User; _ } ->
+                if mnt.mnt_by = task.cred.ruid then Ok () else Error Errno.EPERM
+            | None -> Error Errno.EPERM
+          in
+          Audit.emit m task ~op:"umount" ~obj:target
+            ~allowed:(Result.is_ok verdict);
+          verdict))
+
+let socket_create _st _m _task _domain _stype _proto =
+  (* Raw and packet sockets no longer require CAP_NET_RAW; Netstack marks
+     them unprivileged and the netfilter origin rules confine their
+     traffic. *)
+  Ok ()
+
+let socket_bind st m task sock _addr port =
+  if sock.sock_netns <> 0 then Ok ()
+  else if port = 0 || not (Security.privileged_port port) then Ok ()
+  else if stock.capable m task Cap.CAP_NET_BIND_SERVICE then Ok ()
+  else
+    let proto =
+      match sock.stype with
+      | Sock_stream -> Some Bindconf.Tcp
+      | Sock_dgram -> Some Bindconf.Udp
+      | Sock_raw -> None
+    in
+    match proto with
+    | None -> Error Errno.EACCES
+    | Some proto ->
+        let obj =
+          Printf.sprintf "port %d/%s by %s" port
+            (Bindconf.proto_to_string proto) task.exe_path
+        in
+        if
+          Policy_state.bind_allowed st ~port ~proto ~exe:task.exe_path
+            ~uid:task.cred.euid
+        then begin
+          Audit.emit m task ~op:"bind" ~obj ~allowed:true;
+          Ok ()
+        end
+        else begin
+          Audit.emit m task ~op:"bind" ~obj ~allowed:false;
+          Error Errno.EACCES
+        end
+
+let names_for_delegation st task =
+  match Policy_state.name_of_uid st task.cred.ruid with
+  | None -> None
+  | Some user -> Some (user, Policy_state.group_names_of_user st user)
+
+(* Authenticate as required by a rule set: sudo-style rules want a recent
+   proof of the *invoker's* identity; TARGETPW (su-style) rules want the
+   *target's* password, asked fresh each time. *)
+let auth_for m st task ~targetpw ~target_uid ~nopasswd =
+  if nopasswd then true
+  else if targetpw then
+    match m.auth_agent with
+    | Some agent -> agent m task target_uid
+    | None -> false
+  else ensure_recent_auth m st task
+
+let delegation_view (st : Policy_state.t) ~targetpw =
+  let wants r = List.mem Sudoers.Targetpw r.Sudoers.tags = targetpw in
+  { st.delegation with
+    Sudoers.rules = List.filter wants st.delegation.Sudoers.rules }
+
+(* A setuid transition DAC refuses is judged against two rule families:
+   sudo-style rules authenticated by the invoker's own password, and
+   TARGETPW (su-style) rules authenticated by the target's.  Unrestricted
+   transitions authenticate and apply immediately; command-restricted ones
+   defer to exec (§4.3), where the specific command selects the rule — and
+   with it the NOPASSWD/SETENV tags and which password to ask for. *)
+let task_fix_setuid st m task ~target =
+  if Security.setuid_allowed_by_dac task.cred ~target then Ok Setuid_apply
+  else
+    match (names_for_delegation st task, Policy_state.name_of_uid st target) with
+    | None, _ | _, None -> Error Errno.EPERM
+    | Some (user, groups), Some target_name -> (
+        let self_view = delegation_view st ~targetpw:false in
+        let target_view = delegation_view st ~targetpw:true in
+        let self_bins =
+          Sudoers.allowed_binaries self_view ~user ~groups ~target:target_name
+        in
+        let target_bins =
+          Sudoers.allowed_binaries target_view ~user ~groups ~target:target_name
+        in
+        let audit allowed detail =
+          Audit.emit m task ~op:"setuid"
+            ~obj:(Printf.sprintf "%s -> %s (%s)" user target_name detail)
+            ~allowed
+        in
+        match (self_bins, target_bins) with
+        | `Nothing, `Nothing ->
+            audit false "no rule";
+            Error Errno.EPERM
+        | `Unrestricted, _ ->
+            let nopasswd =
+              match
+                Sudoers.check self_view ~user ~groups ~target:target_name
+                  ~command:None
+              with
+              | Sudoers.Allowed { nopasswd; _ } -> nopasswd
+              | Sudoers.Denied -> false
+            in
+            if auth_for m st task ~targetpw:false ~target_uid:target ~nopasswd
+            then begin
+              audit true "unrestricted";
+              Ok Setuid_apply
+            end
+            else begin
+              audit false "authentication failed";
+              Error Errno.EPERM
+            end
+        | `Nothing, `Unrestricted ->
+            (* Pure su: prove the target's identity, then switch fully. *)
+            if auth_for m st task ~targetpw:true ~target_uid:target
+                 ~nopasswd:false
+            then begin
+              audit true "target password";
+              Ok Setuid_apply
+            end
+            else begin
+              audit false "target authentication failed";
+              Error Errno.EPERM
+            end
+        | (`Only _ | `Nothing), (`Only _ | `Unrestricted | `Nothing) ->
+            let bins = function `Only l -> l | `Unrestricted | `Nothing -> [] in
+            let gate =
+              if target_bins = `Unrestricted then []
+              else List.sort_uniq compare (bins self_bins @ bins target_bins)
+            in
+            audit true "deferred to exec";
+            Ok
+              (Setuid_defer
+                 { ps_target = target; ps_binaries = gate; ps_keep_env = false }))
+
+let task_fix_setgid st m task ~target =
+  if Security.setgid_allowed_by_dac task.cred ~target then Ok ()
+  else
+    match Policy_state.group_of_gid st target with
+    | None -> Error Errno.EPERM
+    | Some group -> (
+        match Policy_state.name_of_uid st task.cred.ruid with
+        | Some user when List.mem user group.Policy_state.ag_members -> Ok ()
+        | Some _ | None -> (
+            (* newgrp's password-protected groups: the caller must supply
+               the group password (§4.3). *)
+            match group.Policy_state.ag_password with
+            | None -> Error Errno.EPERM
+            | Some hash -> (
+                match m.password_source task.cred.ruid with
+                | Some typed
+                  when Protego_policy.Pwdb.verify_password ~hash typed ->
+                    Ok ()
+                | Some _ | None -> Error Errno.EPERM)))
+
+(* Exec of a task with a pending transition: the requested binary (and its
+   arguments) must match a delegation rule; that rule's tags decide whether
+   and how to authenticate, and whether the environment survives. *)
+let bprm_check st m task ~path ~argv inode =
+  match stock.bprm_check m task ~path ~argv inode with
+  | Error _ as e -> e
+  | Ok () -> (
+      match task.sec.pending with
+      | None -> Ok ()
+      | Some p ->
+          if p.ps_binaries <> [] && not (List.mem path p.ps_binaries) then
+            Error Errno.EACCES
+          else
+            let args = match argv with [] -> [] | _ :: rest -> rest in
+            (match
+               ( names_for_delegation st task,
+                 Policy_state.name_of_uid st p.ps_target )
+             with
+            | Some (user, groups), Some target_name -> (
+                let decide ~targetpw =
+                  match
+                    Sudoers.check (delegation_view st ~targetpw) ~user ~groups
+                      ~target:target_name ~command:(Some (path, args))
+                  with
+                  | Sudoers.Allowed { nopasswd; setenv } ->
+                      if
+                        auth_for m st task ~targetpw ~target_uid:p.ps_target
+                          ~nopasswd
+                      then Some setenv
+                      else None
+                  | Sudoers.Denied -> None
+                in
+                let verdict =
+                  match decide ~targetpw:false with
+                  | Some _ as v -> v
+                  | None -> decide ~targetpw:true
+                in
+                match verdict with
+                | Some setenv ->
+                    Audit.emit m task ~op:"exec-as"
+                      ~obj:(Printf.sprintf "%s as %s" path target_name)
+                      ~allowed:true;
+                    task.sec.pending <- Some { p with ps_keep_env = setenv };
+                    Ok ()
+                | None ->
+                    Audit.emit m task ~op:"exec-as"
+                      ~obj:(Printf.sprintf "%s as %s" path target_name)
+                      ~allowed:false;
+                    Error Errno.EACCES)
+            | None, _ | _, None -> Error Errno.EACCES))
+
+let inode_permission st m task ~path inode access =
+  match stock.inode_permission m task ~path inode access with
+  | Error _ as e -> e
+  | Ok () ->
+      if access = Mode.R || access = Mode.W then (
+        match Policy_state.file_acl_allows st ~path ~exe:task.exe_path with
+        | Some false ->
+            Audit.emit m task ~op:"file-acl"
+              ~obj:(path ^ " by " ^ task.exe_path) ~allowed:false;
+            Error Errno.EACCES
+        | Some true | None ->
+            if
+              access = Mode.R
+              && Policy_state.needs_reauth_to_read st path
+              && task.cred.euid <> 0
+            then
+              if ensure_recent_auth m st task then Ok ()
+              else begin
+                Audit.emit m task ~op:"shadow-read" ~obj:path ~allowed:false;
+                Error Errno.EACCES
+              end
+            else Ok ())
+      else Ok ()
+
+let file_open st m task ~path file =
+  match stock.file_open m task ~path file with
+  | Error _ as e -> e
+  | Ok () ->
+      (* A handle on a fragmented shadow file may not be inherited. *)
+      if Policy_state.needs_reauth_to_read st path then file.cloexec <- true;
+      Ok ()
+
+let is_ppp_device dev =
+  let prefix = "ppp" in
+  String.length dev >= String.length prefix
+  && String.sub dev 0 (String.length prefix) = prefix
+
+let file_ioctl st m task req =
+  match stock.file_ioctl m task req with
+  | Ok () -> Ok ()
+  | Error _ as stock_denial -> (
+      match req with
+      | Ioctl_route_add entry ->
+          if
+            Pppopts.user_routes_allowed st.Policy_state.ppp
+            && is_ppp_device entry.Protego_net.Route.device
+            && Protego_net.Route.conflicts_with m.routes
+                 entry.Protego_net.Route.dest
+               = None
+          then Ok ()
+          else Error Errno.EPERM
+      | Ioctl_route_del dest -> (
+          let owned =
+            List.find_opt
+              (fun (e : Protego_net.Route.entry) ->
+                Protego_net.Ipaddr.Cidr.equal e.dest dest
+                && e.owner_uid = Some task.cred.ruid)
+              (Protego_net.Route.entries m.routes)
+          in
+          match owned with Some _ -> Ok () | None -> stock_denial)
+      | Ioctl_modem_config { ioctl_dev; ppp_opt } ->
+          if
+            Pppopts.device_allowed st.Policy_state.ppp ioctl_dev
+            && Protego_net.Ppp.option_is_safe ppp_opt
+          then Ok ()
+          else Error Errno.EPERM
+      | Ioctl_dm_table_status _ ->
+          (* Interface redesign, not policy: the ioctl stays root-only and
+             unprivileged readers use /sys (§4.1). *)
+          stock_denial
+      | Ioctl_video_modeset _ | Ioctl_tty_getattr -> stock_denial)
+
+(* --- /proc and /sys interfaces ---------------------------------------- *)
+
+let install_proc_files m st =
+  let kt = Machine.kernel_task m in
+  let _ = Machine.mkdir_p m kt "/proc/protego" () in
+  let add path ~read ~write =
+    ignore (Machine.add_vnode m kt ~path ~mode:0o600 ~read ~write ())
+  in
+  add "/proc/protego/mount_whitelist"
+    ~read:(fun _m _t -> Ok (Policy_state.mounts_to_string st.Policy_state.mounts))
+    ~write:(fun _m _t contents ->
+      match Policy_state.parse_mounts contents with
+      | Ok rules ->
+          st.Policy_state.mounts <- rules;
+          Ok ()
+      | Error msg ->
+          log_dmesg m "protego: mount_whitelist rejected: %s" msg;
+          Error Errno.EINVAL);
+  add "/proc/protego/bind_map"
+    ~read:(fun _m _t -> Ok (Bindconf.to_string st.Policy_state.binds))
+    ~write:(fun _m _t contents ->
+      match Bindconf.parse contents with
+      | Ok entries ->
+          st.Policy_state.binds <- entries;
+          Ok ()
+      | Error msg ->
+          log_dmesg m "protego: bind_map rejected: %s" msg;
+          Error Errno.EINVAL);
+  add "/proc/protego/delegation"
+    ~read:(fun _m _t -> Ok (Sudoers.to_string st.Policy_state.delegation))
+    ~write:(fun _m _t contents ->
+      match Sudoers.parse contents with
+      | Ok rules ->
+          st.Policy_state.delegation <- rules;
+          Ok ()
+      | Error msg ->
+          log_dmesg m "protego: delegation rejected: %s" msg;
+          Error Errno.EINVAL);
+  add "/proc/protego/accounts"
+    ~read:(fun _m _t ->
+      Ok
+        (Policy_state.accounts_to_string st.Policy_state.users
+           st.Policy_state.groups))
+    ~write:(fun _m _t contents ->
+      match Policy_state.parse_accounts contents with
+      | Ok (users, groups) ->
+          st.Policy_state.users <- users;
+          st.Policy_state.groups <- groups;
+          Ok ()
+      | Error msg ->
+          log_dmesg m "protego: accounts rejected: %s" msg;
+          Error Errno.EINVAL);
+  add "/proc/protego/audit"
+    ~read:(fun m _t -> Ok (Audit.render m))
+    ~write:(fun m _t _s ->
+      Audit.clear m;
+      Ok ());
+  add "/proc/protego/ppp_policy"
+    ~read:(fun _m _t -> Ok (Pppopts.to_string st.Policy_state.ppp))
+    ~write:(fun _m _t contents ->
+      match Pppopts.parse contents with
+      | Ok policy ->
+          st.Policy_state.ppp <- policy;
+          Ok ()
+      | Error msg ->
+          log_dmesg m "protego: ppp_policy rejected: %s" msg;
+          Error Errno.EINVAL)
+
+let install_sysfs_dm_files m =
+  let kt = Machine.kernel_task m in
+  Hashtbl.iter
+    (fun path dev ->
+      match dev with
+      | Dev_dm meta ->
+          let base = Filename.basename path in
+          let dir = "/sys/block/" ^ base ^ "/protego" in
+          ignore (Machine.mkdir_p m kt dir ());
+          ignore
+            (Machine.add_vnode m kt ~path:(dir ^ "/device") ~mode:0o444
+               ~read:(fun _m _t -> Ok (meta.dm_underlying ^ "\n"))
+               ~write:(Machine.vnode_read_only (fun _ _ -> Ok "")) ())
+      | Dev_null | Dev_tty _ | Dev_serial _ | Dev_ppp | Dev_block _
+      | Dev_video _ -> ())
+    m.devices
+
+let install_netfilter_rules m =
+  List.iter (fun r -> Netfilter.append m.netfilter Netfilter.Output r)
+    default_raw_socket_rules
+
+let install m =
+  let st = Policy_state.create () in
+  let ops =
+    { stock with
+      lsm_name = "protego";
+      sb_mount = (fun m task -> sb_mount st m task);
+      sb_umount = (fun m task -> sb_umount st m task);
+      socket_create = socket_create st;
+      socket_bind = (fun m task -> socket_bind st m task);
+      socket_sendmsg = stock.socket_sendmsg;
+      task_fix_setuid = (fun m task -> task_fix_setuid st m task);
+      task_fix_setgid = (fun m task -> task_fix_setgid st m task);
+      bprm_check = (fun m task -> bprm_check st m task);
+      inode_permission = (fun m task -> inode_permission st m task);
+      file_open = (fun m task -> file_open st m task);
+      file_ioctl = (fun m task -> file_ioctl st m task) }
+  in
+  m.security <- ops;
+  install_proc_files m st;
+  install_sysfs_dm_files m;
+  install_netfilter_rules m;
+  log_dmesg m "protego: LSM active";
+  { machine = m; state = st }

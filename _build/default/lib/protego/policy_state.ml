@@ -1,0 +1,221 @@
+open Protego_kernel
+
+type mount_rule = {
+  mr_source : string;
+  mr_target : string;
+  mr_fstype : string;
+  mr_flags : Ktypes.mount_flag list;
+  mr_mode : [ `User | `Users ];
+}
+
+type account_user = {
+  au_name : string;
+  au_uid : int;
+  au_gid : int;
+  au_groups : string list;
+}
+
+type account_group = {
+  ag_name : string;
+  ag_gid : int;
+  ag_members : string list;
+  ag_password : string option;
+}
+
+type t = {
+  mutable mounts : mount_rule list;
+  mutable binds : Protego_policy.Bindconf.entry list;
+  mutable delegation : Protego_policy.Sudoers.t;
+  mutable users : account_user list;
+  mutable groups : account_group list;
+  mutable ppp : Protego_policy.Pppopts.t;
+  mutable reauth_read_prefixes : string list;
+  mutable file_acl : (string * string list) list;
+}
+
+let create () =
+  { mounts = []; binds = []; delegation = Protego_policy.Sudoers.empty;
+    users = []; groups = []; ppp = { Protego_policy.Pppopts.directives = [] };
+    reauth_read_prefixes = [ "/etc/shadows/" ];
+    file_acl =
+      [ ("/etc/ssh/ssh_host_rsa_key", [ "/usr/lib/openssh/ssh-keysign" ]) ] }
+
+(* --- name service ---------------------------------------------------- *)
+
+let uid_of_name t name =
+  List.find_opt (fun u -> u.au_name = name) t.users
+  |> Option.map (fun u -> u.au_uid)
+
+let name_of_uid t uid =
+  List.find_opt (fun u -> u.au_uid = uid) t.users
+  |> Option.map (fun u -> u.au_name)
+
+let gid_of_group t name =
+  List.find_opt (fun g -> g.ag_name = name) t.groups
+  |> Option.map (fun g -> g.ag_gid)
+
+let group_of_gid t gid = List.find_opt (fun g -> g.ag_gid = gid) t.groups
+
+let group_names_of_user t name =
+  match List.find_opt (fun u -> u.au_name = name) t.users with
+  | None -> []
+  | Some u ->
+      let primary =
+        match group_of_gid t u.au_gid with
+        | Some g -> [ g.ag_name ]
+        | None -> []
+      in
+      let members =
+        List.filter_map
+          (fun g -> if List.mem name g.ag_members then Some g.ag_name else None)
+          t.groups
+      in
+      List.sort_uniq compare (primary @ u.au_groups @ members)
+
+(* --- flags ------------------------------------------------------------ *)
+
+let flag_to_string = function
+  | Ktypes.Mf_readonly -> "ro"
+  | Ktypes.Mf_nosuid -> "nosuid"
+  | Ktypes.Mf_nodev -> "nodev"
+  | Ktypes.Mf_noexec -> "noexec"
+
+let flag_of_string = function
+  | "ro" -> Some Ktypes.Mf_readonly
+  | "nosuid" -> Some Ktypes.Mf_nosuid
+  | "nodev" -> Some Ktypes.Mf_nodev
+  | "noexec" -> Some Ktypes.Mf_noexec
+  | _ -> None
+
+let flags_to_string = function
+  | [] -> "-"
+  | flags -> String.concat "," (List.map flag_to_string flags)
+
+let flags_of_string s =
+  if s = "-" then Ok []
+  else
+    let parts = String.split_on_char ',' s in
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | p :: rest -> (
+          match flag_of_string p with
+          | Some f -> go (f :: acc) rest
+          | None -> Error ("unknown mount flag: " ^ p))
+    in
+    go [] parts
+
+(* --- /proc grammars ---------------------------------------------------- *)
+
+let words line =
+  String.split_on_char ' ' (String.trim line) |> List.filter (fun s -> s <> "")
+
+let parse_mounts contents =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+        let trimmed = String.trim line in
+        if trimmed = "" || trimmed.[0] = '#' then go acc rest
+        else
+          match words trimmed with
+          | [ "allow"; source; target; fstype; flags_s; mode_s ] -> (
+              match (flags_of_string flags_s, mode_s) with
+              | Ok mr_flags, ("user" | "users") ->
+                  let mr_mode = if mode_s = "user" then `User else `Users in
+                  go
+                    ({ mr_source = source; mr_target = target;
+                       mr_fstype = fstype; mr_flags; mr_mode } :: acc)
+                    rest
+              | Error e, _ -> Error e
+              | Ok _, m -> Error ("mount_whitelist: bad mode: " ^ m))
+          | _ -> Error ("mount_whitelist: malformed line: " ^ trimmed))
+  in
+  go [] (String.split_on_char '\n' contents)
+
+let mounts_to_string rules =
+  let line r =
+    Printf.sprintf "allow %s %s %s %s %s" r.mr_source r.mr_target r.mr_fstype
+      (flags_to_string r.mr_flags)
+      (match r.mr_mode with `User -> "user" | `Users -> "users")
+  in
+  String.concat "\n" (List.map line rules) ^ "\n"
+
+let parse_csv_or_dash s =
+  if s = "-" then [] else String.split_on_char ',' s
+
+let parse_accounts contents =
+  let rec go users groups = function
+    | [] -> Ok (List.rev users, List.rev groups)
+    | line :: rest -> (
+        let trimmed = String.trim line in
+        if trimmed = "" || trimmed.[0] = '#' then go users groups rest
+        else
+          match words trimmed with
+          | [ "user"; name; uid_s; gid_s; groups_s ] -> (
+              match (int_of_string_opt uid_s, int_of_string_opt gid_s) with
+              | Some au_uid, Some au_gid ->
+                  go
+                    ({ au_name = name; au_uid; au_gid;
+                       au_groups = parse_csv_or_dash groups_s } :: users)
+                    groups rest
+              | _, _ -> Error ("accounts: bad uid/gid: " ^ trimmed))
+          | "group" :: name :: gid_s :: members_s :: rest_fields -> (
+              match int_of_string_opt gid_s with
+              | Some ag_gid ->
+                  let ag_password =
+                    match rest_fields with [ h ] -> Some h | _ -> None
+                  in
+                  go users
+                    ({ ag_name = name; ag_gid;
+                       ag_members = parse_csv_or_dash members_s; ag_password }
+                     :: groups)
+                    rest
+              | None -> Error ("accounts: bad gid: " ^ trimmed))
+          | _ -> Error ("accounts: malformed line: " ^ trimmed))
+  in
+  go [] [] (String.split_on_char '\n' contents)
+
+let accounts_to_string users groups =
+  let csv_or_dash = function [] -> "-" | l -> String.concat "," l in
+  let user_line u =
+    Printf.sprintf "user %s %d %d %s" u.au_name u.au_uid u.au_gid
+      (csv_or_dash u.au_groups)
+  in
+  let group_line g =
+    Printf.sprintf "group %s %d %s%s" g.ag_name g.ag_gid
+      (csv_or_dash g.ag_members)
+      (match g.ag_password with Some h -> " " ^ h | None -> "")
+  in
+  String.concat "\n" (List.map user_line users @ List.map group_line groups) ^ "\n"
+
+(* --- queries ----------------------------------------------------------- *)
+
+let find_mount_rule t ~source ~target ~fstype =
+  List.find_opt
+    (fun r ->
+      r.mr_source = source && r.mr_target = target
+      && (r.mr_fstype = fstype || fstype = "auto" || r.mr_fstype = "auto"))
+    t.mounts
+
+let flags_satisfy ~requested ~required =
+  List.for_all (fun f -> List.mem f requested) required
+
+let bind_allowed t ~port ~proto ~exe ~uid =
+  match Protego_policy.Bindconf.lookup t.binds ~port ~proto with
+  | Some entry -> entry.exe = exe && entry.owner = uid
+  | None -> false
+
+let file_acl_allows t ~path ~exe =
+  match List.assoc_opt path t.file_acl with
+  | Some allowed -> Some (List.mem exe allowed)
+  | None -> None
+
+(* Allocation-free prefix test: this runs on every file open. *)
+let has_prefix ~prefix s =
+  let plen = String.length prefix in
+  String.length s >= plen
+  &&
+  let rec go i = i >= plen || (s.[i] = prefix.[i] && go (i + 1)) in
+  go 0
+
+let needs_reauth_to_read t path =
+  List.exists (fun prefix -> has_prefix ~prefix path) t.reauth_read_prefixes

@@ -1,0 +1,93 @@
+(** Kernel-resident Protego policy state and the /proc configuration
+    grammars.
+
+    The state is configured through four files under /proc/protego (either
+    written directly by the administrator or kept in sync with the legacy
+    configuration files by the monitoring daemon, Figure 1):
+
+    - [mount_whitelist]: ["allow <source> <target> <fstype> <flags|-> <user|users>"]
+    - [bind_map]:        ["<port> <tcp|udp> <binary> <uid>"] (§4.1.3 grammar)
+    - [delegation]:      /etc/sudoers syntax (§4.3)
+    - [accounts]:        ["user <name> <uid> <gid> <groups|->"] and
+                         ["group <name> <gid> <members|-> [<hash>]"] — the
+                         uid/name mapping delegation rules are written in.
+
+    Policies that take no parameters (raw-socket marking, the shadow-read
+    reauthentication rule, the ssh host key ACL) are hard-coded here. *)
+
+open Protego_kernel
+
+type mount_rule = {
+  mr_source : string;
+  mr_target : string;
+  mr_fstype : string;
+  mr_flags : Ktypes.mount_flag list;
+  mr_mode : [ `User | `Users ];
+      (** ["user"]: only the mounting user may unmount; ["users"]: anyone. *)
+}
+
+type account_user = {
+  au_name : string;
+  au_uid : int;
+  au_gid : int;
+  au_groups : string list;  (** supplementary group names *)
+}
+
+type account_group = {
+  ag_name : string;
+  ag_gid : int;
+  ag_members : string list;
+  ag_password : string option;  (** hash for newgrp password-protected groups *)
+}
+
+type t = {
+  mutable mounts : mount_rule list;
+  mutable binds : Protego_policy.Bindconf.entry list;
+  mutable delegation : Protego_policy.Sudoers.t;
+  mutable users : account_user list;
+  mutable groups : account_group list;
+  mutable ppp : Protego_policy.Pppopts.t;
+  mutable reauth_read_prefixes : string list;
+      (** reading files under these paths requires recent authentication *)
+  mutable file_acl : (string * string list) list;
+      (** sensitive file -> binaries allowed to open it (ssh-keysign rule) *)
+}
+
+val create : unit -> t
+(** Empty policy plus the hard-coded defaults: reauthentication on
+    [/etc/shadows/], host-key ACL for [/usr/lib/openssh/ssh-keysign]. *)
+
+(** {1 Name service} *)
+
+val uid_of_name : t -> string -> int option
+val name_of_uid : t -> int -> string option
+val gid_of_group : t -> string -> int option
+val group_of_gid : t -> int -> account_group option
+val group_names_of_user : t -> string -> string list
+(** Primary + supplementary group names. *)
+
+(** {1 /proc grammars: parse (on write) and print (on read)} *)
+
+val parse_mounts : string -> (mount_rule list, string) result
+val mounts_to_string : mount_rule list -> string
+
+val parse_accounts :
+  string -> (account_user list * account_group list, string) result
+val accounts_to_string : account_user list -> account_group list -> string
+
+(** {1 Queries used by the LSM hooks} *)
+
+val find_mount_rule :
+  t -> source:string -> target:string -> fstype:string -> mount_rule option
+
+val flags_satisfy :
+  requested:Ktypes.mount_flag list -> required:Ktypes.mount_flag list -> bool
+(** The caller must request at least every flag the rule demands. *)
+
+val bind_allowed : t -> port:int -> proto:Protego_policy.Bindconf.proto ->
+  exe:string -> uid:int -> bool
+
+val file_acl_allows : t -> path:string -> exe:string -> bool option
+(** [None] if no ACL covers [path]; [Some allowed] otherwise. *)
+
+val needs_reauth_to_read : t -> string -> bool

@@ -1,0 +1,1 @@
+lib/services/auth_service.ml: Ktypes List Machine Option Protego_kernel Protego_policy Syscall

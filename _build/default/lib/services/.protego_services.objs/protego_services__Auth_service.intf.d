@@ -1,0 +1,1 @@
+lib/services/auth_service.mli: Ktypes Protego_kernel

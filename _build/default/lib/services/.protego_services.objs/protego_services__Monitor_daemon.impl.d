@@ -1,0 +1,1 @@
+lib/services/monitor_daemon.ml: Cred Ktypes List Machine Printf Protego_kernel Protego_policy Queue String Syscall

@@ -1,0 +1,1 @@
+lib/services/monitor_daemon.mli: Ktypes Protego_kernel

@@ -1,0 +1,76 @@
+open Protego_kernel
+open Ktypes
+module Pwdb = Protego_policy.Pwdb
+
+(* All reads below run as the kernel helper task (root), mirroring a
+   trusted binary launched by the kernel. *)
+
+let shadow_hash_for m user =
+  let kt = Machine.kernel_task m in
+  let fragmented = Syscall.read_file m kt ("/etc/shadows/" ^ user) in
+  let contents =
+    match fragmented with
+    | Ok c -> Some c
+    | Error _ -> (
+        match Syscall.read_file m kt "/etc/shadow" with
+        | Ok c -> Some c
+        | Error _ -> None)
+  in
+  match contents with
+  | None -> None
+  | Some c -> (
+      match Pwdb.parse_shadow c with
+      | Ok entries ->
+          List.find_opt (fun e -> e.Pwdb.sp_name = user) entries
+          |> Option.map (fun e -> e.Pwdb.sp_hash)
+      | Error _ -> None)
+
+let user_name_for_uid m uid =
+  let kt = Machine.kernel_task m in
+  match Syscall.read_file m kt "/etc/passwd" with
+  | Error _ -> None
+  | Ok contents -> (
+      match Pwdb.parse_passwd contents with
+      | Ok entries ->
+          Pwdb.lookup_uid entries uid |> Option.map (fun e -> e.Pwdb.pw_name)
+      | Error _ -> None)
+
+let verify_user_password m ~user ~password =
+  match shadow_hash_for m user with
+  | Some hash -> Pwdb.verify_password ~hash password
+  | None -> false
+
+let authenticate m task uid =
+  match user_name_for_uid m uid with
+  | None ->
+      log_dmesg m "auth: unknown uid %d" uid;
+      false
+  | Some user -> (
+      console m "Password for %s: " user;
+      match m.password_source uid with
+      | None ->
+          log_dmesg m "auth: no password entered for %s" user;
+          false
+      | Some typed ->
+          if verify_user_password m ~user ~password:typed then (
+            (* A proof of the invoker's own identity refreshes the recency
+               timestamp (task and terminal session); proving the *target's*
+               password (su-style) does not make the invoker
+               recently-authenticated. *)
+            (if uid = task.cred.ruid then begin
+               task.cred.last_auth <- Some m.now;
+               match task.tty with
+               | Some tty ->
+                   m.tty_auth <-
+                     ((tty, uid), m.now)
+                     :: List.remove_assoc (tty, uid) m.tty_auth
+               | None -> ()
+             end);
+            log_dmesg m "auth: %s authenticated on %s" user
+              (Option.value ~default:"?" task.tty);
+            true)
+          else (
+            log_dmesg m "auth: failed authentication for %s" user;
+            false))
+
+let install m = m.auth_agent <- Some authenticate

@@ -1,0 +1,24 @@
+(** The trusted authentication utility (§4.3).
+
+    Refactored (conceptually) from login/newgrp: when the Protego kernel
+    needs a fresh proof of identity — a setuid transition without recent
+    authentication, or a read of a fragmented shadow file — it launches this
+    service, which takes over the caller's terminal, prompts for the
+    password (simulated by [machine.password_source]), verifies it against
+    the user's shadow record, and on success stamps [cred.last_auth]. *)
+
+open Protego_kernel
+
+val install : Ktypes.machine -> unit
+(** Register as the machine's [auth_agent]. *)
+
+val authenticate :
+  Ktypes.machine -> Ktypes.task -> Ktypes.uid -> bool
+(** One authentication round for [uid] on [task]'s terminal.  Reads the
+    shadow record as the trusted kernel helper (fragmented
+    [/etc/shadows/<user>] preferred, legacy [/etc/shadow] fallback). *)
+
+val verify_user_password :
+  Ktypes.machine -> user:string -> password:string -> bool
+(** Check a password against the stored hash without touching any task
+    (used by login-style programs). *)

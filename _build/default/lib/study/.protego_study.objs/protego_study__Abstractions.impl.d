@@ -1,0 +1,1 @@
+lib/study/abstractions.ml: Ktypes List Machine Protego_base Protego_dist Protego_kernel Protego_net Report String Syscall

@@ -1,0 +1,1 @@
+lib/study/abstractions.mli: Protego_dist

@@ -1,0 +1,1 @@
+lib/study/attack_surface.ml: Cap Cves Exploit Ktypes List Machine Mode Printf Protego_base Protego_dist Protego_kernel Report Vfs

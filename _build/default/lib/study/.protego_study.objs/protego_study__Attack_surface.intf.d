@@ -1,0 +1,1 @@
+lib/study/attack_surface.mli: Protego_dist

@@ -1,0 +1,1 @@
+lib/study/figure1.ml: Buffer Ktypes List Printf Protego_base Protego_core Protego_dist Protego_kernel String

@@ -1,0 +1,1 @@
+lib/study/figure1.mli:

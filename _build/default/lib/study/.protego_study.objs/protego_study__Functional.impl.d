@@ -1,0 +1,1 @@
+lib/study/functional.ml: Ktypes List Machine Printf Protego_base Protego_dist Protego_kernel Protego_net Protego_userland Report Result

@@ -1,0 +1,1 @@
+lib/study/functional.mli: Protego_base Protego_dist

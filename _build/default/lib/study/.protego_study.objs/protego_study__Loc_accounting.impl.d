@@ -1,0 +1,1 @@
+lib/study/loc_accounting.ml: Filename List Printf Report String Sys

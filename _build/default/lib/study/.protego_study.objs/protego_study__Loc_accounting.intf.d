@@ -1,0 +1,1 @@
+lib/study/loc_accounting.mli:

@@ -1,0 +1,1 @@
+lib/study/popularity.ml: Int64 List Printf Report

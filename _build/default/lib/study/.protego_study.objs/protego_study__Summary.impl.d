@@ -1,0 +1,1 @@
+lib/study/summary.ml: Exploit List Loc_accounting Popularity Printf Protego_dist Report

@@ -1,0 +1,306 @@
+open Protego_kernel
+open Ktypes
+module Image = Protego_dist.Image
+module Ipaddr = Protego_net.Ipaddr
+module Packet = Protego_net.Packet
+
+type probe_result = { legacy_denies : bool; safe_allowed : bool; unsafe_denied : bool }
+
+type row = {
+  interface : string;
+  used_by : string;
+  kernel_policy : string;
+  system_policy : string;
+  approach : string;
+  probe : Image.t -> Image.t -> probe_result;
+}
+
+let denied = function Error _ -> true | Ok _ -> false
+let allowed = function Ok _ -> true | Error _ -> false
+
+let with_user img name f =
+  let task = Image.login img name in
+  let result = f img.Image.machine task in
+  Machine.remove_task img.Image.machine task;
+  result
+
+let alice_password_only img =
+  img.Image.machine.password_source <-
+    (fun uid -> if uid = Image.alice_uid then Some "alice-pw" else None)
+
+(* 1. raw/packet sockets *)
+let probe_socket linux protego =
+  let legacy_denies =
+    with_user linux "alice" (fun m t ->
+        denied (Syscall.socket m t Af_inet Sock_raw 1))
+  in
+  let safe_allowed =
+    with_user protego "alice" (fun m t ->
+        match Syscall.socket m t Af_inet Sock_raw 1 with
+        | Error _ -> false
+        | Ok fd ->
+            let pkt =
+              Packet.echo_request ~src:(Ipaddr.v 10 0 0 2)
+                ~dst:(Ipaddr.v 10 0 0 7) ~seq:1 ()
+            in
+            allowed (Syscall.sendto m t fd (Ipaddr.v 10 0 0 7) 0 (Packet.encode pkt)))
+  in
+  let unsafe_denied =
+    with_user protego "alice" (fun m t ->
+        match Syscall.socket m t Af_inet Sock_raw 6 with
+        | Error _ -> true
+        | Ok fd ->
+            (* Spoof a TCP segment that appears to come from another
+               process's connection. *)
+            let spoof =
+              { Packet.src = Ipaddr.v 10 0 0 2; dst = Ipaddr.v 10 0 0 7;
+                ttl = 64;
+                transport = Packet.Tcp_seg { src_port = 25; dst_port = 80;
+                                             syn = false; payload = "RST" } }
+            in
+            denied (Syscall.sendto m t fd (Ipaddr.v 10 0 0 7) 0 (Packet.encode spoof)))
+  in
+  { legacy_denies; safe_allowed; unsafe_denied }
+
+(* 2. pppd ioctls: routes *)
+let probe_ppp_ioctl linux protego =
+  let route dest_s =
+    match Ipaddr.Cidr.of_string dest_s with
+    | Some dest ->
+        { Protego_net.Route.dest; gateway = None; device = "ppp0"; metric = 10;
+          owner_uid = Some Image.alice_uid }
+    | None -> assert false
+  in
+  let try_route img dest_s =
+    with_user img "alice" (fun m t ->
+        match Syscall.socket m t Af_inet Sock_dgram 17 with
+        | Error _ -> Error Protego_base.Errno.EPERM
+        | Ok fd -> Syscall.ioctl m t fd (Ioctl_route_add (route dest_s)))
+  in
+  let legacy_denies = denied (try_route linux "172.16.5.0/24") in
+  let safe_allowed = allowed (try_route protego "172.16.5.0/24") in
+  let unsafe_denied = denied (try_route protego "10.0.0.0/25") in
+  (* Leave the routing table as found. *)
+  ignore
+    (match Ipaddr.Cidr.of_string "172.16.5.0/24" with
+    | Some dest -> Protego_net.Route.remove protego.Image.machine.routes ~dest
+    | None -> false);
+  { legacy_denies; safe_allowed; unsafe_denied }
+
+(* 3. dm-crypt metadata *)
+let probe_dmcrypt linux protego =
+  let try_ioctl img =
+    with_user img "alice" (fun m t ->
+        match Syscall.open_ m t "/dev/dm-0" [ Syscall.O_RDONLY ] with
+        | Error e -> Error e
+        | Ok fd -> Syscall.ioctl m t fd (Ioctl_dm_table_status { dm_dev = "/dev/dm-0" }))
+  in
+  let legacy_denies = denied (try_ioctl linux) in
+  let safe_allowed =
+    with_user protego "alice" (fun m t ->
+        match Syscall.read_file m t "/sys/block/dm-0/protego/device" with
+        | Ok contents ->
+            (* The narrower interface must not leak the key. *)
+            String.trim contents = "/dev/sda2"
+        | Error _ -> false)
+  in
+  let unsafe_denied = denied (try_ioctl protego) in
+  { legacy_denies; safe_allowed; unsafe_denied }
+
+(* 4. bind to privileged ports *)
+let probe_bind linux protego =
+  let bind_as img user exe port =
+    let task = Image.login img user in
+    task.exe_path <- exe;
+    let m = img.Image.machine in
+    let result =
+      match Syscall.socket m task Af_inet Sock_stream 6 with
+      | Error e -> Error e
+      | Ok fd ->
+          let r = Syscall.bind m task fd Ipaddr.any port in
+          ignore (Syscall.close m task fd);
+          r
+    in
+    Machine.remove_task m task;
+    result
+  in
+  { legacy_denies = denied (bind_as linux "Debian-exim" "/usr/sbin/exim4" 25);
+    safe_allowed = allowed (bind_as protego "Debian-exim" "/usr/sbin/exim4" 25);
+    unsafe_denied = denied (bind_as protego "alice" "/bin/sh" 25) }
+
+(* 5. mount / umount *)
+let probe_mount linux protego =
+  let raw_mount img ~source ~target ~fstype ~flags =
+    with_user img "alice" (fun m t ->
+        let r = Syscall.mount m t ~source ~target ~fstype ~flags in
+        (match r with Ok () -> ignore (Syscall.umount m t ~target) | Error _ -> ());
+        r)
+  in
+  { legacy_denies =
+      denied
+        (raw_mount linux ~source:"/dev/cdrom" ~target:"/media/cdrom"
+           ~fstype:"iso9660" ~flags:[ Mf_readonly; Mf_nosuid; Mf_nodev ]);
+    safe_allowed =
+      allowed
+        (raw_mount protego ~source:"/dev/cdrom" ~target:"/media/cdrom"
+           ~fstype:"iso9660" ~flags:[ Mf_readonly; Mf_nosuid; Mf_nodev ]);
+    unsafe_denied =
+      denied
+        (raw_mount protego ~source:"/dev/sda2" ~target:"/etc" ~fstype:"ext4"
+           ~flags:[]) }
+
+(* 6. setuid / setgid delegation *)
+let probe_setuid linux protego =
+  alice_password_only protego;
+  let legacy_denies =
+    with_user linux "alice" (fun m t ->
+        denied (Syscall.setuid m t Image.bob_uid))
+  in
+  let safe_allowed =
+    with_user protego "alice" (fun m t ->
+        match Syscall.setuid m t Image.bob_uid with
+        | Error _ -> false
+        | Ok () -> (
+            (* Restricted transition: takes effect at exec of lpr only. *)
+            match Syscall.execve m t "/usr/bin/lpr" [ "/usr/bin/lpr"; "/etc/motd" ] [] with
+            | Ok 0 -> true
+            | Ok _ | Error _ -> false))
+  in
+  let unsafe_denied =
+    with_user protego "alice" (fun m t ->
+        match Syscall.setuid m t Image.charlie_uid with
+        | Error _ -> true
+        | Ok () ->
+            (* Even if deferred, no binary may exec as charlie. *)
+            denied (Syscall.execve m t "/bin/true" [ "/bin/true" ] []))
+  in
+  { legacy_denies; safe_allowed; unsafe_denied }
+
+(* 7. credential databases *)
+let probe_creds linux protego =
+  { legacy_denies =
+      with_user linux "alice" (fun m t ->
+          denied (Syscall.write_file m t "/etc/passwd" "mallory::0:0:::/bin/sh"));
+    safe_allowed =
+      with_user protego "alice" (fun m t ->
+          allowed
+            (Syscall.write_file m t "/etc/passwds/alice"
+               "alice:x:1000:1000:Alice A.:/home/alice:/bin/bash\n"));
+    unsafe_denied =
+      with_user protego "alice" (fun m t ->
+          denied (Syscall.write_file m t "/etc/passwds/bob" "bob:x:0:0:::/bin/sh")) }
+
+(* 8. host private ssh key *)
+let probe_hostkey linux protego =
+  alice_password_only protego;
+  { legacy_denies =
+      with_user linux "alice" (fun m t ->
+          denied (Syscall.read_file m t "/etc/ssh/ssh_host_rsa_key"));
+    safe_allowed =
+      (let r = with_user protego "alice" (fun m t ->
+           Protego_dist.Image.run
+             { protego with Image.machine = m } t
+             "/usr/lib/openssh/ssh-keysign" [ "blob" ])
+       in
+       (match r with Ok 0 -> true | Ok _ | Error _ -> false));
+    unsafe_denied =
+      with_user protego "alice" (fun m t ->
+          denied (Syscall.read_file m t "/etc/ssh/ssh_host_rsa_key")) }
+
+(* 9. video driver control state *)
+let probe_video linux protego =
+  let modeset img =
+    with_user img "alice" (fun m t ->
+        match Syscall.open_ m t "/dev/dri/card0" [ Syscall.O_RDWR ] with
+        | Error e -> Error e
+        | Ok fd ->
+            let r =
+              Syscall.ioctl m t fd (Ioctl_video_modeset { video_mode = "1024x768" })
+            in
+            ignore (Syscall.close m t fd);
+            r)
+  in
+  { legacy_denies = denied (modeset linux);
+    safe_allowed = allowed (modeset protego);
+    (* With KMS the kernel owns all card state; the pre-KMS path (probed on
+       the baseline) is the unsafe variant. *)
+    unsafe_denied = denied (modeset linux) }
+
+let rows =
+  [ { interface = "socket";
+      used_by = "ping, ping6, arping, mtr, traceroute6";
+      kernel_policy = "raw/packet sockets require CAP_NET_RAW";
+      system_policy = "users may send safe non-TCP/UDP packets (ICMP)";
+      approach = "anyone may create raw sockets; egress filtered by netfilter";
+      probe = probe_socket };
+    { interface = "ioctl (ppp)";
+      used_by = "pppd";
+      kernel_policy = "only the administrator configures modems/routes";
+      system_policy = "users may configure free modems, add non-conflicting routes";
+      approach = "LSM hooks verify route non-conflict for non-root users";
+      probe = probe_ppp_ioctl };
+    { interface = "ioctl (dm-crypt)";
+      used_by = "dmcrypt-get-device";
+      kernel_policy = "CAP_SYS_ADMIN to read dmcrypt metadata";
+      system_policy = "any user may read the public portion of the metadata";
+      approach = "abandon the ioctl for a /sys file disclosing only the device";
+      probe = probe_dmcrypt };
+    { interface = "bind";
+      used_by = "procmail, sensible-mda, exim4";
+      kernel_policy = "CAP_NET_BIND_SERVICE for ports < 1024";
+      system_policy = "mail server should run without root";
+      approach = "allocate low ports to specific (binary, userid) pairs";
+      probe = probe_bind };
+    { interface = "mount, umount";
+      used_by = "fusermount, mount, umount";
+      kernel_policy = "mounting requires CAP_SYS_ADMIN";
+      system_policy = "any user may mount fstab entries with the user(s) option";
+      approach = "LSM hooks permit white-listed filesystems/locations/options";
+      probe = probe_mount };
+    { interface = "setuid, setgid";
+      used_by = "sudo, su, sudoedit, newgrp, pkexec, dbus helpers";
+      kernel_policy = "only allowed with CAP_SETUID";
+      system_policy = "delegation as configured, requiring recent authentication";
+      approach = "LSM hooks check sudoers-style rules; recency in the kernel";
+      probe = probe_setuid };
+    { interface = "credential databases";
+      used_by = "chfn, chsh, gpasswd, lppasswd, passwd";
+      kernel_policy = "only root can modify the shared files";
+      system_policy = "a user may change her own entry";
+      approach = "fragment the database to per-user files matching DAC";
+      probe = probe_creds };
+    { interface = "host private ssh key";
+      used_by = "ssh-keysign";
+      kernel_policy = "only root may read the key (FS permissions)";
+      system_policy = "non-root users may obtain host-key signatures";
+      approach = "restrict file access to specific binaries";
+      probe = probe_hostkey };
+    { interface = "video driver control";
+      used_by = "X";
+      kernel_policy = "root must set video card control state (pre-KMS)";
+      system_policy = "any user may start an X server";
+      approach = "kernel mode setting (KMS) context-switches video devices";
+      probe = probe_video } ]
+
+let run () =
+  let linux = Image.build Image.Linux in
+  let protego = Image.build Image.Protego in
+  alice_password_only protego;
+  List.map (fun row -> (row, row.probe linux protego)) rows
+
+let render results =
+  let rows =
+    List.map
+      (fun (row, r) ->
+        let mark b = if b then "yes" else "NO!" in
+        [ row.interface; mark r.legacy_denies; mark r.safe_allowed;
+          mark r.unsafe_denied; row.approach ])
+      results
+  in
+  Report.table
+    ~title:"Table 4: abstraction/policy matrix with live probes"
+    ~header:
+      [ "Interface"; "Linux denies"; "Protego allows safe";
+        "Protego denies unsafe"; "Protego approach" ]
+    ~align:[ Report.L; Report.L; Report.L; Report.L; Report.L ]
+    rows

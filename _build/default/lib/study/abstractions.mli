@@ -1,0 +1,24 @@
+(** Table 4: system abstractions used by the studied setuid binaries, with a
+    live functional probe per row.
+
+    Each probe runs three checks against freshly built images:
+    - on the Linux baseline, the privileged operation fails for an
+      unprivileged caller issuing the raw system call ("kernel policy");
+    - on Protego, the *safe* variant the system policy intends succeeds;
+    - on Protego, the *unsafe* variant is still refused. *)
+
+type probe_result = { legacy_denies : bool; safe_allowed : bool; unsafe_denied : bool }
+
+type row = {
+  interface : string;
+  used_by : string;
+  kernel_policy : string;
+  system_policy : string;
+  approach : string;
+  probe : Protego_dist.Image.t -> Protego_dist.Image.t -> probe_result;
+      (** [probe linux_image protego_image] *)
+}
+
+val rows : row list
+val run : unit -> (row * probe_result) list
+val render : (row * probe_result) list -> string

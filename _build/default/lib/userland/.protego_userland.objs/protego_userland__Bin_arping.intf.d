@@ -1,0 +1,1 @@
+lib/userland/bin_arping.mli: Prog Protego_kernel

@@ -1,0 +1,1 @@
+lib/userland/bin_dmcrypt.ml: Coverage Filename Ktypes List Prog Protego_base Protego_kernel String Syscall

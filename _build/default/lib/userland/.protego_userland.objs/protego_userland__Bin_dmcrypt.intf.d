@@ -1,0 +1,1 @@
+lib/userland/bin_dmcrypt.mli: Prog Protego_kernel

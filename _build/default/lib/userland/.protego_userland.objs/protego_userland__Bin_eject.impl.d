@@ -1,0 +1,1 @@
+lib/userland/bin_eject.ml: Bin_dmcrypt Coverage Hashtbl Ktypes List Prog Protego_base Protego_kernel String Syscall

@@ -1,0 +1,1 @@
+lib/userland/bin_eject.mli: Prog Protego_kernel

@@ -1,0 +1,1 @@
+lib/userland/bin_exim.mli: Prog Protego_kernel

@@ -1,0 +1,1 @@
+lib/userland/bin_iptables.ml: Coverage Ktypes List Prog Protego_base Protego_kernel Protego_net String

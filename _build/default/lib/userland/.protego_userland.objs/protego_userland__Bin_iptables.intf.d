@@ -1,0 +1,1 @@
+lib/userland/bin_iptables.mli: Prog Protego_kernel

@@ -1,0 +1,1 @@
+lib/userland/bin_keysign.ml: Coverage Ktypes Printf Prog Protego_base Protego_kernel Protego_policy Syscall

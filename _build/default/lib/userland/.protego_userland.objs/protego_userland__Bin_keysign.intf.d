@@ -1,0 +1,1 @@
+lib/userland/bin_keysign.mli: Prog Protego_kernel

@@ -1,0 +1,1 @@
+lib/userland/bin_login.mli: Prog Protego_kernel

@@ -1,0 +1,1 @@
+lib/userland/bin_misc.ml: Ktypes Printf Prog Protego_base Protego_kernel String Syscall

@@ -1,0 +1,1 @@
+lib/userland/bin_misc.mli: Protego_kernel

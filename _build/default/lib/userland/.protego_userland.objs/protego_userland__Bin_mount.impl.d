@@ -1,0 +1,1 @@
+lib/userland/bin_mount.ml: Coverage Ktypes Option Prog Protego_base Protego_kernel Protego_policy Syscall

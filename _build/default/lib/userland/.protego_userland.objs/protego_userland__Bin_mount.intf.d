@@ -1,0 +1,1 @@
+lib/userland/bin_mount.mli: Prog Protego_kernel

@@ -1,0 +1,1 @@
+lib/userland/bin_passwd.ml: Coverage Ktypes List Option Prog Protego_base Protego_kernel Protego_policy String Syscall

@@ -1,0 +1,1 @@
+lib/userland/bin_passwd.mli: Prog Protego_kernel

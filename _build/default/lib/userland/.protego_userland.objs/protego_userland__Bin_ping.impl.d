@@ -1,0 +1,1 @@
+lib/userland/bin_ping.ml: Coverage Ktypes List Option Printf Prog Protego_base Protego_kernel Protego_net Syscall

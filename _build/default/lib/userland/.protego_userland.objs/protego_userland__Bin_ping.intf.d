@@ -1,0 +1,1 @@
+lib/userland/bin_ping.mli: Prog Protego_kernel

@@ -1,0 +1,1 @@
+lib/userland/bin_pkexec.mli: Prog Protego_kernel

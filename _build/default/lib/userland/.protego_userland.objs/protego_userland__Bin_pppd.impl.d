@@ -1,0 +1,1 @@
+lib/userland/bin_pppd.ml: Coverage Ktypes List Machine Option Prog Protego_base Protego_kernel Protego_net Protego_policy String Syscall

@@ -1,0 +1,1 @@
+lib/userland/bin_pppd.mli: Prog Protego_kernel

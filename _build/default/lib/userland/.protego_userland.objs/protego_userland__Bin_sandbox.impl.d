@@ -1,0 +1,1 @@
+lib/userland/bin_sandbox.ml: Coverage Ktypes Prog Protego_base Protego_kernel Protego_net Syscall

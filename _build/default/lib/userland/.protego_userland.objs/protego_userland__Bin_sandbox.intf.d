@@ -1,0 +1,1 @@
+lib/userland/bin_sandbox.mli: Prog Protego_kernel

@@ -1,0 +1,1 @@
+lib/userland/bin_setcap.ml: Cap Coverage Errno Ktypes List Prog Protego_base Protego_kernel String Syscall

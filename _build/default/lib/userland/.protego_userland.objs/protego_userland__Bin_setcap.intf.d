@@ -1,0 +1,1 @@
+lib/userland/bin_setcap.mli: Prog Protego_kernel

@@ -1,0 +1,1 @@
+lib/userland/bin_sudo.ml: Coverage Ktypes List Machine Option Prog Protego_base Protego_kernel Protego_policy String Syscall

@@ -1,0 +1,1 @@
+lib/userland/bin_sudo.mli: Prog Protego_kernel

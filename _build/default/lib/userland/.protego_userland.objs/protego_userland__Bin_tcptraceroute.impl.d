@@ -1,0 +1,1 @@
+lib/userland/bin_tcptraceroute.ml: Coverage Ktypes Option Prog Protego_base Protego_kernel Protego_net Syscall

@@ -1,0 +1,1 @@
+lib/userland/bin_tcptraceroute.mli: Prog Protego_kernel Protego_net

@@ -1,0 +1,1 @@
+lib/userland/bin_traceroute.ml: Coverage Ktypes List Option Prog Protego_base Protego_kernel Protego_net Syscall

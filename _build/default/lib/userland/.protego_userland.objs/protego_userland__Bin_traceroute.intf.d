@@ -1,0 +1,1 @@
+lib/userland/bin_traceroute.mli: Prog Protego_kernel

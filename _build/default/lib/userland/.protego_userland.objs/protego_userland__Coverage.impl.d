@@ -1,0 +1,1 @@
+lib/userland/coverage.ml: Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/userland/coverage.mli:

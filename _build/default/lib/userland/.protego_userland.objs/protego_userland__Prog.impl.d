@@ -1,0 +1,1 @@
+lib/userland/prog.ml: Errno Ktypes Printf Protego_base Protego_kernel Protego_policy Syscall

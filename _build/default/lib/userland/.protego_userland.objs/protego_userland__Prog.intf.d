@@ -1,0 +1,1 @@
+lib/userland/prog.mli: Errno Ktypes Protego_base Protego_kernel Protego_policy

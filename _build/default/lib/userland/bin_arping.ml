@@ -1,0 +1,73 @@
+open Protego_kernel
+module Ipaddr = Protego_net.Ipaddr
+module Packet = Protego_net.Packet
+
+let blocks =
+  [ "parse_args"; "usage_error"; "bad_host"; "socket"; "socket_denied";
+    "send"; "send_denied"; "reply"; "no_reply" ]
+
+let arping flavor : Ktypes.program =
+ fun m task argv ->
+  Coverage.declare "arping" blocks;
+  Coverage.hit "arping" "parse_args";
+  match argv with
+  | [ _; host ] -> (
+      match Ipaddr.of_string host with
+      | None ->
+          Coverage.hit "arping" "bad_host";
+          Prog.fail m "arping" "unknown host %s" host
+      | Some dst -> (
+          Coverage.hit "arping" "socket";
+          match Syscall.socket m task Ktypes.Af_packet Ktypes.Sock_raw 0x0806 with
+          | Error e ->
+              Coverage.hit "arping" "socket_denied";
+              Prog.fail m "arping" "packet socket: %s"
+                (Protego_base.Errno.message e)
+          | Ok fd -> (
+              (match flavor with
+              | Prog.Legacy when Syscall.geteuid task = 0 && Syscall.getuid task <> 0 ->
+                  ignore (Syscall.setuid m task (Syscall.getuid task))
+              | Prog.Legacy | Prog.Protego -> ());
+              let src =
+                match m.Ktypes.local_addrs with
+                | a :: _ -> a
+                | [] -> Ipaddr.localhost
+              in
+              let frame =
+                { Packet.src; dst; ttl = 1;
+                  transport =
+                    Packet.Raw_payload
+                      { protocol = 0x0806;
+                        payload = "who-has " ^ Ipaddr.to_string dst } }
+              in
+              Coverage.hit "arping" "send";
+              match Syscall.sendto m task fd dst 0 (Packet.encode frame) with
+              | Error e ->
+                  Coverage.hit "arping" "send_denied";
+                  Prog.fail m "arping" "send: %s" (Protego_base.Errno.message e)
+              | Ok _ -> (
+                  let result =
+                    match Syscall.recvfrom m task fd with
+                    | Ok data -> (
+                        match Packet.decode data with
+                        | Some { Packet.transport = Packet.Raw_payload { payload; _ }; _ }
+                          when String.length payload >= 5
+                               && String.sub payload 0 5 = "is-at" ->
+                            Coverage.hit "arping" "reply";
+                            Prog.outf m "Unicast reply from %s [%s]" host
+                              (String.sub payload 6 17);
+                            Ok 0
+                        | Some _ | None ->
+                            Coverage.hit "arping" "no_reply";
+                            Prog.outf m "Timeout";
+                            Ok 1)
+                    | Error _ ->
+                        Coverage.hit "arping" "no_reply";
+                        Prog.outf m "Timeout";
+                        Ok 1
+                  in
+                  ignore (Syscall.close m task fd);
+                  result))))
+  | _ ->
+      Coverage.hit "arping" "usage_error";
+      Prog.fail m "arping" "usage: arping <destination>"

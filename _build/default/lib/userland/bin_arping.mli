@@ -1,0 +1,7 @@
+(** arping — ARP who-has probes over an AF_PACKET socket (§4.1.1).
+
+    Usage: [arping <addr>].  Packet sockets require [CAP_NET_RAW] on stock
+    Linux; under Protego any user may open one and the netfilter origin rule
+    admits ARP ethertype frames only. *)
+
+val arping : Prog.flavor -> Protego_kernel.Ktypes.program

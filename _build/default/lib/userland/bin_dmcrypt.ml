@@ -1,0 +1,60 @@
+open Protego_kernel
+
+let blocks =
+  [ "parse_args"; "usage_error"; "legacy_ioctl"; "ioctl_denied"; "parse_status";
+    "sysfs_read"; "sysfs_denied"; "print_device" ]
+
+let dmcrypt_get_device flavor : Ktypes.program =
+ fun m task argv ->
+  Coverage.declare "dmcrypt-get-device" blocks;
+  Coverage.hit "dmcrypt-get-device" "parse_args";
+  match argv with
+  | [ _; dm_dev ] -> (
+      match flavor with
+      | Prog.Legacy -> (
+          Coverage.hit "dmcrypt-get-device" "legacy_ioctl";
+          match Syscall.open_ m task dm_dev [ Syscall.O_RDONLY ] with
+          | Error e ->
+              Prog.fail m "dmcrypt-get-device" "open %s: %s" dm_dev
+                (Protego_base.Errno.message e)
+          | Ok fd -> (
+              let status =
+                Syscall.ioctl m task fd
+                  (Ktypes.Ioctl_dm_table_status { dm_dev })
+              in
+              ignore (Syscall.close m task fd);
+              match status with
+              | Error e ->
+                  Coverage.hit "dmcrypt-get-device" "ioctl_denied";
+                  Prog.fail m "dmcrypt-get-device" "dm ioctl: %s"
+                    (Protego_base.Errno.message e)
+              | Ok line -> (
+                  Coverage.hit "dmcrypt-get-device" "parse_status";
+                  (* "0 204800 crypt <cipher> <key> 0 <device> 0" *)
+                  match
+                    String.split_on_char ' ' line
+                    |> List.filter (fun s -> s <> "")
+                  with
+                  | _ :: _ :: "crypt" :: _cipher :: _key :: _ :: device :: _ ->
+                      Coverage.hit "dmcrypt-get-device" "print_device";
+                      Prog.outf m "%s" device;
+                      Ok 0
+                  | _ ->
+                      Prog.fail m "dmcrypt-get-device" "unexpected dm status")))
+      | Prog.Protego -> (
+          Coverage.hit "dmcrypt-get-device" "sysfs_read";
+          let base = Filename.basename dm_dev in
+          match
+            Syscall.read_file m task ("/sys/block/" ^ base ^ "/protego/device")
+          with
+          | Error e ->
+              Coverage.hit "dmcrypt-get-device" "sysfs_denied";
+              Prog.fail m "dmcrypt-get-device" "sysfs: %s"
+                (Protego_base.Errno.message e)
+          | Ok contents ->
+              Coverage.hit "dmcrypt-get-device" "print_device";
+              Prog.outf m "%s" (String.trim contents);
+              Ok 0))
+  | _ ->
+      Coverage.hit "dmcrypt-get-device" "usage_error";
+      Prog.fail m "dmcrypt-get-device" "usage: dmcrypt-get-device <device>"

@@ -1,0 +1,13 @@
+(** dmcrypt-get-device — report the physical device under an encrypted
+    block device (the eject package's helper; Table 4 dm-crypt row).
+
+    Usage: [dmcrypt-get-device <dm-device>], e.g. /dev/dm-0.
+
+    [Legacy]: uses the device-mapper table-status ioctl, which requires
+    [CAP_SYS_ADMIN] because the same ioctl also discloses the encryption
+    key — the binary must be setuid root for a read-only query.
+    [Protego]: the paper's 4-line change — read
+    /sys/block/<dev>/protego/device, which discloses only the physical
+    device, with no privilege at all. *)
+
+val dmcrypt_get_device : Prog.flavor -> Protego_kernel.Ktypes.program

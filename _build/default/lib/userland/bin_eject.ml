@@ -1,0 +1,84 @@
+open Protego_kernel
+open Ktypes
+
+let blocks =
+  [ "parse"; "usage"; "resolve_dm"; "umount"; "umount_denied"; "no_device";
+    "not_removable"; "open_denied"; "ejected" ]
+
+let eject flavor : Ktypes.program =
+ fun m task argv ->
+  Coverage.declare "eject" blocks;
+  Coverage.hit "eject" "parse";
+  match argv with
+  | [ _; device ] -> (
+      (* A device-mapper node is resolved to its physical device first —
+         via the (de)privileged helper. *)
+      let device =
+        if String.length device >= 8 && String.sub device 0 8 = "/dev/dm-" then begin
+          Coverage.hit "eject" "resolve_dm";
+          let before = List.length m.console in
+          match
+            Bin_dmcrypt.dmcrypt_get_device flavor m task
+              [ "dmcrypt-get-device"; device ]
+          with
+          | Ok 0 -> (
+              (* the helper printed the physical device *)
+              match m.console with
+              | line :: _ when List.length m.console > before -> line
+              | _ -> device)
+          | Ok _ | Error _ -> device
+        end
+        else device
+      in
+      (* Unmount anything the device backs; the kernel policy decides. *)
+      let mounted =
+        List.filter (fun mnt -> mnt.mnt_source = device) m.mounts
+      in
+      let umount_failed =
+        List.exists
+          (fun mnt ->
+            Coverage.hit "eject" "umount";
+            match Syscall.umount m task ~target:mnt.mnt_target with
+            | Ok () -> false
+            | Error e ->
+                Coverage.hit "eject" "umount_denied";
+                Prog.outf m "eject: unmount of %s failed: %s" mnt.mnt_target
+                  (Protego_base.Errno.message e);
+                true)
+          mounted
+      in
+      if umount_failed then Ok 1
+      else
+        match Hashtbl.find_opt m.devices device with
+        | None ->
+            Coverage.hit "eject" "no_device";
+            Prog.fail m "eject" "unable to find or open device %s" device
+        | Some (Dev_block media_slot) -> (
+            (* Ejecting needs write access to the device node.  The legacy
+               setuid binary checks with the *invoker's* identity (the
+               classic seteuid bracket), so both flavours enforce the same
+               group-based device policy. *)
+            let bracket =
+              flavor = Prog.Legacy
+              && Syscall.geteuid task = 0
+              && Syscall.getuid task <> 0
+            in
+            if bracket then ignore (Syscall.seteuid m task (Syscall.getuid task));
+            let opened = Syscall.open_ m task device [ Syscall.O_RDWR ] in
+            if bracket then ignore (Syscall.seteuid m task 0);
+            match opened with
+            | Error e ->
+                Coverage.hit "eject" "open_denied";
+                Prog.fail m "eject" "%s: %s" device (Protego_base.Errno.message e)
+            | Ok fd ->
+                ignore (Syscall.close m task fd);
+                media_slot.media <- None;
+                Coverage.hit "eject" "ejected";
+                Prog.outf m "eject: %s ejected" device;
+                Ok 0)
+        | Some _ ->
+            Coverage.hit "eject" "not_removable";
+            Prog.fail m "eject" "%s is not a removable device" device)
+  | _ ->
+      Coverage.hit "eject" "usage";
+      Prog.fail m "eject" "usage: eject <device>"

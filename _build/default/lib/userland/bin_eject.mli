@@ -1,0 +1,12 @@
+(** eject — unmount and eject removable media (the package whose
+    dmcrypt-get-device helper the paper deprivileged; its maintainers agreed
+    to adopt the change, §1).
+
+    Usage: [eject <device>], e.g. [eject /dev/cdrom].
+
+    Unmounts any mount backed by the device (the kernel whitelist governs
+    who may), resolves the physical device through dmcrypt-get-device when
+    given a device-mapper node, and then ejects — which requires write
+    access to the device node (alice is in the cdrom group). *)
+
+val eject : Prog.flavor -> Protego_kernel.Ktypes.program

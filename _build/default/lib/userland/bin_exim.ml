@@ -1,0 +1,117 @@
+open Protego_kernel
+module Ipaddr = Protego_net.Ipaddr
+
+let blocks =
+  [ "parse"; "usage"; "daemon"; "bind_ok"; "bind_denied"; "drop_privilege";
+    "deliver"; "deliver_ok"; "deliver_denied"; "forward"; "forward_warning" ]
+
+let exim flavor : Ktypes.program =
+ fun m task argv ->
+  Coverage.declare "exim4" blocks;
+  Coverage.hit "exim4" "parse";
+  match argv with
+  | [ _; "--daemon" ] -> (
+      Coverage.hit "exim4" "daemon";
+      match Syscall.socket m task Ktypes.Af_inet Ktypes.Sock_stream 6 with
+      | Error e -> Prog.fail m "exim4" "socket: %s" (Protego_base.Errno.message e)
+      | Ok fd -> (
+          match Syscall.bind m task fd Ipaddr.any 25 with
+          | Error e ->
+              Coverage.hit "exim4" "bind_denied";
+              Prog.fail m "exim4" "cannot bind smtp port: %s"
+                (Protego_base.Errno.message e)
+          | Ok () ->
+              Coverage.hit "exim4" "bind_ok";
+              ignore (Syscall.listen m task fd);
+              (* Legacy: privilege only needed for the bind; drop it now. *)
+              (match flavor with
+              | Prog.Legacy
+                when Syscall.geteuid task = 0 && Syscall.getuid task <> 0 ->
+                  Coverage.hit "exim4" "drop_privilege";
+                  ignore (Syscall.setuid m task (Syscall.getuid task))
+              | Prog.Legacy | Prog.Protego -> ());
+              Prog.outf m "exim4: daemon listening on 25/tcp (uid %d)"
+                (Syscall.geteuid task);
+              Ok 0))
+  | [ _; "--deliver"; user; message ] -> (
+      Coverage.hit "exim4" "deliver";
+      (* Real delivery spools the message and logs it before the mbox
+         append; reproduce that I/O shape. *)
+      let spool = "/var/spool/exim4/input-" ^ user in
+      ignore (Syscall.write_file m task spool ("envelope " ^ user ^ "\n" ^ message));
+      ignore
+        (Syscall.append_file m task "/var/log/exim4-mainlog"
+           ("=> " ^ user ^ " <= " ^ message ^ "\n"));
+      (* ~/.forward: legacy exim reads it with root privilege; Protego exim
+         has only its own uid, so an unreadable .forward produces the
+         warning the paper advocates (§4.4) and local delivery proceeds. *)
+      let user =
+        let forward_path =
+          match Prog.getpwnam m task user with
+          | Some pw -> pw.Protego_policy.Pwdb.pw_dir ^ "/.forward"
+          | None -> "/nonexistent/.forward"
+        in
+        match Syscall.read_file m task forward_path with
+        | Ok destination when String.trim destination <> "" ->
+            Coverage.hit "exim4" "forward";
+            String.trim destination
+        | Ok _ -> user
+        | Error Protego_base.Errno.ENOENT -> user
+        | Error _ ->
+            Coverage.hit "exim4" "forward_warning";
+            ignore
+              (Syscall.append_file m task "/var/log/exim4-mainlog"
+                 ("warning: " ^ forward_path
+                ^ " exists but is unreadable by the mail service; delivering locally\n"));
+            user
+      in
+      let mbox = "/var/mail/" ^ user in
+      match Syscall.append_file m task mbox (message ^ "\n") with
+      | Ok () ->
+          Coverage.hit "exim4" "deliver_ok";
+          Prog.outf m "exim4: delivered to %s" mbox;
+          Ok 0
+      | Error Protego_base.Errno.ENOENT -> (
+          match Syscall.write_file m task mbox (message ^ "\n") with
+          | Ok () ->
+              Coverage.hit "exim4" "deliver_ok";
+              Prog.outf m "exim4: delivered to %s" mbox;
+              Ok 0
+          | Error e ->
+              Coverage.hit "exim4" "deliver_denied";
+              Prog.fail m "exim4" "cannot deliver to %s: %s" mbox
+                (Protego_base.Errno.message e))
+      | Error e ->
+          Coverage.hit "exim4" "deliver_denied";
+          Prog.fail m "exim4" "cannot deliver to %s: %s" mbox
+            (Protego_base.Errno.message e))
+  | _ ->
+      Coverage.hit "exim4" "usage";
+      Prog.fail m "exim4" "usage: exim4 --daemon | --deliver <user> <msg>"
+
+let httpd flavor : Ktypes.program =
+ fun m task argv ->
+  Coverage.declare "httpd" [ "daemon"; "bind_ok"; "bind_denied" ];
+  match argv with
+  | [ _; "--daemon" ] -> (
+      Coverage.hit "httpd" "daemon";
+      match Syscall.socket m task Ktypes.Af_inet Ktypes.Sock_stream 6 with
+      | Error e -> Prog.fail m "httpd" "socket: %s" (Protego_base.Errno.message e)
+      | Ok fd -> (
+          match Syscall.bind m task fd Ipaddr.any 80 with
+          | Error e ->
+              Coverage.hit "httpd" "bind_denied";
+              Prog.fail m "httpd" "cannot bind http port: %s"
+                (Protego_base.Errno.message e)
+          | Ok () ->
+              Coverage.hit "httpd" "bind_ok";
+              ignore (Syscall.listen m task fd);
+              (match flavor with
+              | Prog.Legacy
+                when Syscall.geteuid task = 0 && Syscall.getuid task <> 0 ->
+                  ignore (Syscall.setuid m task (Syscall.getuid task))
+              | Prog.Legacy | Prog.Protego -> ());
+              Prog.outf m "httpd: daemon listening on 80/tcp (uid %d)"
+                (Syscall.geteuid task);
+              Ok 0))
+  | _ -> Prog.fail m "httpd" "usage: httpd --daemon"

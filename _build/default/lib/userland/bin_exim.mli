@@ -1,0 +1,17 @@
+(** exim4 — the mail server, representative of the bind-to-low-port class
+    (§4.1.3) and local mail delivery (§4.4).
+
+    Usage:
+    - [exim4 --daemon] — bind and listen on 25/tcp
+    - [exim4 --deliver <user> <message>] — append to /var/mail/<user>
+
+    [Legacy]: started as root (or setuid) so bind(25) passes
+    [CAP_NET_BIND_SERVICE], then drops to its service uid — briefly holding
+    full root.  [Protego]: started directly as its service uid; the
+    /etc/bind map allocates 25/tcp to (/usr/sbin/exim4, exim-uid). *)
+
+val exim : Prog.flavor -> Protego_kernel.Ktypes.program
+
+val httpd : Prog.flavor -> Protego_kernel.Ktypes.program
+(** [httpd --daemon] — same privileged-bind pattern on 80/tcp (the web
+    server of the paper's §4.1.3 example). *)

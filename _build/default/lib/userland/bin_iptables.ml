@@ -1,0 +1,88 @@
+open Protego_kernel
+module Netfilter = Protego_net.Netfilter
+
+let blocks =
+  [ "parse"; "usage"; "not_admin"; "bad_chain"; "bad_spec"; "append"; "insert";
+    "flush"; "list" ]
+
+let chain_of_string = function
+  | "INPUT" -> Some Netfilter.Input
+  | "OUTPUT" -> Some Netfilter.Output
+  | "FORWARD" -> Some Netfilter.Forward
+  | _ -> None
+
+let chain_name = function
+  | Netfilter.Input -> "INPUT"
+  | Netfilter.Output -> "OUTPUT"
+  | Netfilter.Forward -> "FORWARD"
+
+let iptables _flavor : Ktypes.program =
+ fun m task argv ->
+  Coverage.declare "iptables" blocks;
+  Coverage.hit "iptables" "parse";
+  let require_admin k =
+    if m.Ktypes.security.Ktypes.capable m task Protego_base.Cap.CAP_NET_ADMIN
+    then k ()
+    else begin
+      Coverage.hit "iptables" "not_admin";
+      Prog.fail m "iptables" "Permission denied (you must be root)"
+    end
+  in
+  let with_chain name k =
+    match chain_of_string name with
+    | Some chain -> k chain
+    | None ->
+        Coverage.hit "iptables" "bad_chain";
+        Prog.fail m "iptables" "No chain by that name: %s" name
+  in
+  let with_rule spec_words k =
+    match Netfilter.rule_of_spec (String.concat " " spec_words) with
+    | Ok rule -> k rule
+    | Error msg ->
+        Coverage.hit "iptables" "bad_spec";
+        Prog.fail m "iptables" "bad rule: %s" msg
+  in
+  match argv with
+  | _ :: "-A" :: chain :: spec ->
+      require_admin (fun () ->
+          with_chain chain (fun chain ->
+              with_rule spec (fun rule ->
+                  Coverage.hit "iptables" "append";
+                  Netfilter.append m.Ktypes.netfilter chain rule;
+                  Ok 0)))
+  | _ :: "-I" :: chain :: spec ->
+      require_admin (fun () ->
+          with_chain chain (fun chain ->
+              with_rule spec (fun rule ->
+                  Coverage.hit "iptables" "insert";
+                  Netfilter.insert m.Ktypes.netfilter chain rule;
+                  Ok 0)))
+  | [ _; "-F"; chain ] ->
+      require_admin (fun () ->
+          with_chain chain (fun chain ->
+              Coverage.hit "iptables" "flush";
+              Netfilter.flush m.Ktypes.netfilter chain;
+              Ok 0))
+  | _ :: "-L" :: rest ->
+      Coverage.hit "iptables" "list";
+      let chains =
+        match rest with
+        | [ name ] -> (
+            match chain_of_string name with Some c -> [ c ] | None -> [])
+        | _ -> [ Netfilter.Input; Netfilter.Output; Netfilter.Forward ]
+      in
+      List.iter
+        (fun chain ->
+          Prog.outf m "Chain %s (policy %s)" (chain_name chain)
+            (match Netfilter.policy m.Ktypes.netfilter chain with
+            | Netfilter.Accept -> "ACCEPT"
+            | Netfilter.Drop -> "DROP"
+            | Netfilter.Reject -> "REJECT");
+          List.iter
+            (fun r -> Prog.outf m "  %s" (Netfilter.rule_to_spec r))
+            (Netfilter.rules m.Ktypes.netfilter chain))
+        chains;
+      Ok 0
+  | _ ->
+      Coverage.hit "iptables" "usage";
+      Prog.fail m "iptables" "usage: iptables (-A|-I) <chain> <spec> | -F <chain> | -L [chain]"

@@ -1,0 +1,15 @@
+(** iptables — the administrator's interface to the netfilter rules,
+    including Protego's origin matches (§4.1.1: "the rules may be changed by
+    the administrator through the iptables utility").
+
+    Usage:
+    - [iptables -A OUTPUT <rule-spec>] — append (e.g.
+      ["--origin raw -p tcp --syn -j ACCEPT"])
+    - [iptables -I OUTPUT <rule-spec>] — insert at the head
+    - [iptables -F OUTPUT] — flush
+    - [iptables -L [OUTPUT]] — list
+
+    Not a setuid binary: rule changes need [CAP_NET_ADMIN], so only root can
+    apply them — on both systems. *)
+
+val iptables : Prog.flavor -> Protego_kernel.Ktypes.program

@@ -1,0 +1,39 @@
+open Protego_kernel
+
+let blocks =
+  [ "parse"; "usage"; "legacy_root"; "read_key"; "key_denied"; "signed" ]
+
+let sign ~key ~data =
+  Printf.sprintf "SIG:%s"
+    (Protego_policy.Pwdb.hash_password (key ^ "|" ^ data))
+
+let key_path = "/etc/ssh/ssh_host_rsa_key"
+
+let ssh_keysign flavor : Ktypes.program =
+ fun m task argv ->
+  Coverage.declare "ssh-keysign" blocks;
+  Coverage.hit "ssh-keysign" "parse";
+  match argv with
+  | [ _; data ] -> (
+      (match flavor with
+      | Prog.Legacy when Syscall.geteuid task <> 0 ->
+          Coverage.hit "ssh-keysign" "legacy_root";
+          Error `Not_root
+      | Prog.Legacy | Prog.Protego -> Ok ())
+      |> function
+      | Error `Not_root ->
+          Prog.fail m "ssh-keysign" "not installed setuid, cannot read host key"
+      | Ok () -> (
+          Coverage.hit "ssh-keysign" "read_key";
+          match Syscall.read_file m task key_path with
+          | Error e ->
+              Coverage.hit "ssh-keysign" "key_denied";
+              Prog.fail m "ssh-keysign" "%s: %s" key_path
+                (Protego_base.Errno.message e)
+          | Ok key ->
+              Coverage.hit "ssh-keysign" "signed";
+              Prog.outf m "%s" (sign ~key ~data);
+              Ok 0))
+  | _ ->
+      Coverage.hit "ssh-keysign" "usage";
+      Prog.fail m "ssh-keysign" "usage: ssh-keysign <data>"

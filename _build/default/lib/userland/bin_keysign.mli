@@ -1,0 +1,15 @@
+(** ssh-keysign — sign a user's public key with the host private key
+    (Table 4, host private ssh key row).
+
+    Usage: [ssh-keysign <data-to-sign>].
+
+    [Legacy]: the host key is mode 600 root-owned, so ssh-keysign is setuid
+    root and any root-privileged program can read the key.  [Protego]: the
+    key file's DAC is relaxed but a kernel file ACL admits only this binary
+    — the user acquires a signature without the ability to copy the key. *)
+
+val ssh_keysign : Prog.flavor -> Protego_kernel.Ktypes.program
+
+val sign : key:string -> data:string -> string
+(** The (toy) signature: a deterministic digest over key and data; exposed
+    so tests can check signatures without access to the key. *)

@@ -1,0 +1,114 @@
+open Protego_kernel
+module Pwdb = Protego_policy.Pwdb
+
+let login_blocks =
+  [ "parse"; "usage"; "unknown_user"; "prompt"; "auth_failed"; "auth_ok";
+    "session" ]
+
+let login _flavor : Ktypes.program =
+ fun m task argv ->
+  Coverage.declare "login" login_blocks;
+  Coverage.hit "login" "parse";
+  match argv with
+  | [ _; user ] -> (
+      match Prog.getpwnam m task user with
+      | None ->
+          Coverage.hit "login" "unknown_user";
+          Prog.fail m "login" "Login incorrect"
+      | Some pw -> (
+          Coverage.hit "login" "prompt";
+          let typed = m.Ktypes.password_source pw.Pwdb.pw_uid in
+          let hash =
+            match Syscall.read_file m task ("/etc/shadows/" ^ user) with
+            | Ok c -> (
+                match Pwdb.parse_shadow c with
+                | Ok (e :: _) -> Some e.Pwdb.sp_hash
+                | Ok [] | Error _ -> None)
+            | Error _ -> (
+                match Syscall.read_file m task "/etc/shadow" with
+                | Ok c -> (
+                    match Pwdb.parse_shadow c with
+                    | Ok entries ->
+                        List.find_opt (fun e -> e.Pwdb.sp_name = user) entries
+                        |> Option.map (fun e -> e.Pwdb.sp_hash)
+                    | Error _ -> None)
+                | Error _ -> None)
+          in
+          match (typed, hash) with
+          | Some p, Some h when Pwdb.verify_password ~hash:h p -> (
+              Coverage.hit "login" "auth_ok";
+              let child = Syscall.fork m task in
+              let code =
+                match Syscall.setuid m child pw.Pwdb.pw_uid with
+                | Error e ->
+                    Prog.outf m "login: %s" (Protego_base.Errno.message e);
+                    1
+                | Ok () -> (
+                    child.Ktypes.cred.Ktypes.last_auth <- Some m.Ktypes.now;
+                    Coverage.hit "login" "session";
+                    match
+                      Syscall.execve m child pw.Pwdb.pw_shell
+                        [ pw.Pwdb.pw_shell ] child.Ktypes.env
+                    with
+                    | Ok c -> c
+                    | Error _ -> 1)
+              in
+              Syscall.exit m child code;
+              match Syscall.waitpid m task child.Ktypes.tpid with
+              | Ok c -> Ok c
+              | Error _ -> Ok 1)
+          | _, _ ->
+              Coverage.hit "login" "auth_failed";
+              Prog.fail m "login" "Login incorrect"))
+  | _ ->
+      Coverage.hit "login" "usage";
+      Prog.fail m "login" "usage: login <user>"
+
+let x_blocks =
+  [ "start"; "legacy_root_check"; "open_card"; "card_denied"; "modeset";
+    "modeset_denied"; "running" ]
+
+let xserver flavor : Ktypes.program =
+ fun m task _argv ->
+  Coverage.declare "X" x_blocks;
+  Coverage.hit "X" "start";
+  (match flavor with
+  | Prog.Legacy when Syscall.geteuid task <> 0 ->
+      Coverage.hit "X" "legacy_root_check";
+      Error `Not_root
+  | Prog.Legacy | Prog.Protego -> Ok ())
+  |> function
+  | Error `Not_root ->
+      Prog.fail m "X" "only root can run the X server on pre-KMS drivers"
+  | Ok () -> (
+      Coverage.hit "X" "open_card";
+      match Syscall.open_ m task "/dev/dri/card0" [ Syscall.O_RDWR ] with
+      | Error e ->
+          Coverage.hit "X" "card_denied";
+          Prog.fail m "X" "cannot open video device: %s"
+            (Protego_base.Errno.message e)
+      | Ok fd -> (
+          Coverage.hit "X" "modeset";
+          let result =
+            Syscall.ioctl m task fd
+              (Ktypes.Ioctl_video_modeset { video_mode = "1280x1024@60" })
+          in
+          ignore (Syscall.close m task fd);
+          match result with
+          | Ok _ ->
+              Coverage.hit "X" "running";
+              Prog.outf m "X: server running, mode 1280x1024@60 (uid %d)"
+                (Syscall.geteuid task);
+              Ok 0
+          | Error e ->
+              Coverage.hit "X" "modeset_denied";
+              Prog.fail m "X" "mode setting failed: %s"
+                (Protego_base.Errno.message e)))
+
+let pt_chown _flavor : Ktypes.program =
+ fun m _task _argv ->
+  Coverage.declare "pt_chown" [ "run" ];
+  Coverage.hit "pt_chown" "run";
+  Prog.out m
+    "pt_chown: obsolete since Linux 2.1 (1996); pty slaves are allocated in the kernel";
+  Ok 0

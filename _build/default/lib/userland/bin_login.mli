@@ -1,0 +1,15 @@
+(** login and the X server.
+
+    - [login <user>] — authenticate and start the user's shell.  Trusted in
+      both systems (the paper's authentication utility is refactored from
+      this code); the difference is only how it is invoked.
+    - [X] — the X server (§4.5).  [Legacy] models a pre-KMS system: the
+      binary must be root to program the video card.  [Protego]/modern: the
+      KMS driver context-switches the card in the kernel, so mode-setting
+      ioctls need no privilege and X runs as the invoking user.
+    - [pt_chown] — shipped for 17 years after being obviated (Table 4);
+      prints so and exits. *)
+
+val login : Prog.flavor -> Protego_kernel.Ktypes.program
+val xserver : Prog.flavor -> Protego_kernel.Ktypes.program
+val pt_chown : Prog.flavor -> Protego_kernel.Ktypes.program

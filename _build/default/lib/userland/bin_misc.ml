@@ -1,0 +1,63 @@
+open Protego_kernel
+
+let true_ : Ktypes.program = fun _m _task _argv -> Ok 0
+let false_ : Ktypes.program = fun _m _task _argv -> Ok 1
+
+let sh : Ktypes.program =
+ fun m task argv ->
+  match argv with
+  | _ :: "-c" :: cmd :: args -> (
+      let child = Syscall.fork m task in
+      let code =
+        match Syscall.execve m child cmd (cmd :: args) child.Ktypes.env with
+        | Ok c -> c
+        | Error e ->
+            Prog.outf m "sh: %s: %s" cmd (Protego_base.Errno.message e);
+            127
+      in
+      Syscall.exit m child code;
+      match Syscall.waitpid m task child.Ktypes.tpid with
+      | Ok c -> Ok c
+      | Error _ -> Ok 127)
+  | _ -> Ok 0
+
+let ls : Ktypes.program =
+ fun m task argv ->
+  let dir = match argv with [ _; d ] -> d | _ -> task.Ktypes.cwd in
+  match Syscall.readdir m task dir with
+  | Ok names ->
+      Prog.out m (String.concat "  " names);
+      Ok 0
+  | Error e -> Prog.fail m "ls" "cannot access %s: %s" dir (Protego_base.Errno.message e)
+
+let lpr : Ktypes.program =
+ fun m task argv ->
+  match argv with
+  | [ _; file ] -> (
+      let job =
+        Printf.sprintf "job uid=%d file=%s\n" (Syscall.geteuid task) file
+      in
+      let queue = "/var/spool/lpd/queue" in
+      match Syscall.append_file m task queue job with
+      | Ok () ->
+          Prog.outf m "lpr: queued %s as uid %d" file (Syscall.geteuid task);
+          Ok 0
+      | Error e -> Prog.fail m "lpr" "%s" (Protego_base.Errno.message e))
+  | _ -> Prog.fail m "lpr" "usage: lpr <file>"
+
+let id : Ktypes.program =
+ fun m task _argv ->
+  Prog.outf m "uid=%d euid=%d gid=%d egid=%d" (Syscall.getuid task)
+    (Syscall.geteuid task) (Syscall.getgid task) (Syscall.getegid task);
+  Ok 0
+
+let cat : Ktypes.program =
+ fun m task argv ->
+  match argv with
+  | [ _; file ] -> (
+      match Syscall.read_file m task file with
+      | Ok contents ->
+          Prog.out m contents;
+          Ok 0
+      | Error e -> Prog.fail m "cat" "%s: %s" file (Protego_base.Errno.message e))
+  | _ -> Prog.fail m "cat" "usage: cat <file>"

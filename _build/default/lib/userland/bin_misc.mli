@@ -1,0 +1,24 @@
+(** Small unprivileged utilities used by tests, benches and as delegation
+    targets: /bin/true, /bin/false, /bin/sh, /bin/ls, /usr/bin/lpr,
+    /usr/bin/id, /bin/cat. *)
+
+val true_ : Protego_kernel.Ktypes.program
+val false_ : Protego_kernel.Ktypes.program
+
+val sh : Protego_kernel.Ktypes.program
+(** [sh] or [sh -c <registered-binary> [args]]: with [-c], forks and execs
+    the named binary; bare [sh] just succeeds (enough for the
+    fork+/bin/sh benchmark). *)
+
+val ls : Protego_kernel.Ktypes.program
+(** [ls <dir>] — prints entries. *)
+
+val lpr : Protego_kernel.Ktypes.program
+(** [lpr <file>] — "prints" the file: appends a job line to
+    /var/spool/lpd/queue as the current euid.  The paper's example of a
+    delegated command (Alice lets Bob print with her credentials). *)
+
+val id : Protego_kernel.Ktypes.program
+(** Prints "uid=<ruid> euid=<euid> gid=<rgid> egid=<egid>". *)
+
+val cat : Protego_kernel.Ktypes.program

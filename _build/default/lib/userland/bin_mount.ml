@@ -1,0 +1,156 @@
+open Protego_kernel
+module Fstab = Protego_policy.Fstab
+
+(* "legacy_not_setuid" is hit-tracked but not declared: it is unreachable
+   when the binary is correctly installed (defense-in-depth only). *)
+let mount_blocks =
+  [ "parse_args"; "usage_error"; "read_fstab"; "fstab_missing"; "no_entry";
+    "explicit_args"; "legacy_user_check"; "legacy_user_denied"; "do_mount";
+    "mount_failed"; "mount_ok" ]
+
+let read_fstab m task =
+  Coverage.hit "mount" "read_fstab";
+  match Syscall.read_file m task "/etc/fstab" with
+  | Error _ ->
+      Coverage.hit "mount" "fstab_missing";
+      None
+  | Ok contents -> ( match Fstab.parse contents with Ok es -> Some es | Error _ -> None)
+
+let mount flavor : Ktypes.program =
+ fun m task argv ->
+  Coverage.declare "mount" mount_blocks;
+  Coverage.hit "mount" "parse_args";
+  let entry_and_args =
+    match argv with
+    | [ _; "-t"; fstype; source; target ] ->
+        Coverage.hit "mount" "explicit_args";
+        let entry =
+          Option.bind (read_fstab m task) (fun es ->
+              match Fstab.find_for_target es target with
+              | Some e -> Some e
+              | None -> Fstab.find_for_source es source)
+        in
+        Some (entry, source, target, fstype)
+    | [ _; what ] -> (
+        match read_fstab m task with
+        | None -> Some (None, what, what, "auto")
+        | Some es -> (
+            match
+              (Fstab.find_for_target es what, Fstab.find_for_source es what)
+            with
+            | Some e, _ | None, Some e ->
+                Some (Some e, e.Fstab.fs_spec, e.Fstab.fs_file, e.Fstab.fs_vfstype)
+            | None, None ->
+                Coverage.hit "mount" "no_entry";
+                None))
+    | _ ->
+        Coverage.hit "mount" "usage_error";
+        None
+  in
+  match entry_and_args with
+  | None -> Prog.fail m "mount" "can't find mount source or target in /etc/fstab"
+  | Some (entry, source, target, fstype) -> (
+      let flags =
+        match entry with Some e -> Fstab.mount_flags e | None -> []
+      in
+      (match flavor with
+      | Prog.Legacy ->
+          (* util-linux: a non-root invoker is refused unless the binary is
+             setuid root AND the fstab entry says user/users. *)
+          if Syscall.getuid task <> 0 then begin
+            Coverage.hit "mount" "legacy_user_check";
+            if Syscall.geteuid task <> 0 then begin
+              Coverage.hit "mount" "legacy_not_setuid";
+              Error `Not_setuid
+            end
+            else
+              match entry with
+              | Some e when Fstab.user_mountable e -> Ok ()
+              | Some _ | None ->
+                  Coverage.hit "mount" "legacy_user_denied";
+                  Error `Not_permitted
+          end
+          else Ok ()
+      | Prog.Protego -> Ok ())
+      |> function
+      | Error `Not_setuid ->
+          Prog.fail m "mount" "must be superuser to use mount"
+      | Error `Not_permitted ->
+          Prog.fail m "mount" "only root can mount %s on %s" source target
+      | Ok () -> (
+          Coverage.hit "mount" "do_mount";
+          match Syscall.mount m task ~source ~target ~fstype ~flags with
+          | Ok () ->
+              Coverage.hit "mount" "mount_ok";
+              Prog.outf m "mount: %s mounted on %s" source target;
+              Ok 0
+          | Error e ->
+              Coverage.hit "mount" "mount_failed";
+              Prog.fail m "mount" "mounting %s on %s failed: %s" source target
+                (Protego_base.Errno.message e)))
+
+let umount_blocks =
+  [ "parse_args"; "usage_error"; "legacy_check"; "legacy_denied"; "do_umount";
+    "umount_failed"; "umount_ok" ]
+
+let umount flavor : Ktypes.program =
+ fun m task argv ->
+  Coverage.declare "umount" umount_blocks;
+  Coverage.hit "umount" "parse_args";
+  match argv with
+  | [ _; target ] -> (
+      (match flavor with
+      | Prog.Legacy ->
+          if Syscall.getuid task <> 0 then begin
+            Coverage.hit "umount" "legacy_check";
+            let permitted =
+              match read_fstab m task with
+              | Some es -> (
+                  match Fstab.find_for_target es target with
+                  | Some e -> Syscall.geteuid task = 0 && Fstab.user_mountable e
+                  | None -> false)
+              | None -> false
+            in
+            if permitted then Ok ()
+            else begin
+              Coverage.hit "umount" "legacy_denied";
+              Error ()
+            end
+          end
+          else Ok ()
+      | Prog.Protego -> Ok ())
+      |> function
+      | Error () -> Prog.fail m "umount" "only root can unmount %s" target
+      | Ok () -> (
+          Coverage.hit "umount" "do_umount";
+          match Syscall.umount m task ~target with
+          | Ok () ->
+              Coverage.hit "umount" "umount_ok";
+              Prog.outf m "umount: %s unmounted" target;
+              Ok 0
+          | Error e ->
+              Coverage.hit "umount" "umount_failed";
+              Prog.fail m "umount" "%s: %s" target (Protego_base.Errno.message e)))
+  | _ ->
+      Coverage.hit "umount" "usage_error";
+      Prog.fail m "umount" "usage: umount <target>"
+
+(* The network-filesystem mount helpers (nfs-common's mount.nfs,
+   cifs-utils' mount.cifs) are the same trusted-mount pattern with a remote
+   source; the generic machinery handles them once the fstype is forced. *)
+let network_mount fstype name flavor : Ktypes.program =
+ fun m task argv ->
+  match argv with
+  | [ arg0; source; target ] ->
+      mount flavor m task [ arg0; "-t"; fstype; source; target ]
+  | [ arg0; what ] -> mount flavor m task [ arg0; what ]
+  | _ -> Prog.fail m name "usage: %s <source> <mountpoint>" name
+
+let mount_nfs = network_mount "nfs" "mount.nfs"
+let mount_cifs = network_mount "cifs" "mount.cifs"
+
+let fusermount flavor : Ktypes.program =
+ fun m task argv ->
+  match argv with
+  | [ arg0; target ] -> mount flavor m task [ arg0; "-t"; "fuse"; "fuse"; target ]
+  | _ -> Prog.fail m "fusermount" "usage: fusermount <mountpoint>"

@@ -1,0 +1,25 @@
+(** /bin/mount, /bin/umount, /bin/fusermount — the paper's motivating
+    example (§2, Figure 1).
+
+    Usage (argv after the program name):
+    - [mount <target>] or [mount <source>] — look the entry up in /etc/fstab
+    - [mount -t <fstype> <source> <target>] — explicit arguments
+    - [umount <target>]
+    - [fusermount <target>] — like mount but for the "fuse" fstype
+
+    The [Legacy] flavour reproduces util-linux behaviour: the binary must be
+    setuid root (it exits if its effective uid is not 0), and it refuses a
+    non-root invoker unless the fstab entry carries the user/users option —
+    the policy check lives in the trusted binary.  The [Protego] flavour has
+    those checks removed (the paper's −25 lines): it simply issues the
+    system call and lets the kernel whitelist decide. *)
+
+val mount : Prog.flavor -> Protego_kernel.Ktypes.program
+val umount : Prog.flavor -> Protego_kernel.Ktypes.program
+val fusermount : Prog.flavor -> Protego_kernel.Ktypes.program
+
+val mount_nfs : Prog.flavor -> Protego_kernel.Ktypes.program
+(** mount.nfs (nfs-common) — [mount.nfs <server:/export> <mountpoint>]. *)
+
+val mount_cifs : Prog.flavor -> Protego_kernel.Ktypes.program
+(** mount.cifs (cifs-utils) — [mount.cifs <//server/share> <mountpoint>]. *)

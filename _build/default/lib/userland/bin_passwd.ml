@@ -1,0 +1,490 @@
+open Protego_kernel
+module Pwdb = Protego_policy.Pwdb
+
+let day_of m = int_of_float (m.Ktypes.now /. 86400.)
+
+let shadow_entries m task path =
+  match Syscall.read_file m task path with
+  | Error _ as e -> (match e with Error err -> Error err | Ok _ -> assert false)
+  | Ok c -> (
+      match Pwdb.parse_shadow c with
+      | Ok es -> Ok es
+      | Error _ -> Error Protego_base.Errno.EIO)
+
+(* --- passwd ------------------------------------------------------------ *)
+
+(* "legacy_not_setuid" and the protego-only "write_denied" are hit-tracked
+   but not declared: the first is unreachable when correctly installed, the
+   second only fires for accounts without shadow fragments. *)
+let passwd_blocks =
+  [ "parse_args"; "usage_error"; "cross_user_denied"; "verify_old";
+    "old_mismatch"; "write_shadow"; "updated" ]
+
+let parse_passwd_args invoker_name argv =
+  let rec go target old_pw new_pw = function
+    | [] -> Option.map (fun np -> (target, old_pw, np)) new_pw
+    | "--user" :: u :: rest -> go u old_pw new_pw rest
+    | "--old" :: o :: rest -> go target (Some o) new_pw rest
+    | "--new" :: n :: rest -> go target old_pw (Some n) rest
+    | _ -> None
+  in
+  match argv with _ :: rest -> go invoker_name None None rest | [] -> None
+
+let passwd flavor : Ktypes.program =
+ fun m task argv ->
+  Coverage.declare "passwd" passwd_blocks;
+  Coverage.hit "passwd" "parse_args";
+  let invoker_name =
+    Prog.getpwuid m task (Syscall.getuid task)
+    |> Option.map (fun e -> e.Pwdb.pw_name)
+    |> Option.value ~default:"?"
+  in
+  match parse_passwd_args invoker_name argv with
+  | None ->
+      Coverage.hit "passwd" "usage_error";
+      Prog.fail m "passwd" "usage: passwd [--user name] [--old pw] --new pw"
+  | Some (target, old_pw, new_pw) -> (
+      match flavor with
+      | Prog.Legacy -> (
+          if Syscall.geteuid task <> 0 then begin
+            Coverage.hit "passwd" "legacy_not_setuid";
+            Prog.fail m "passwd" "Cannot access the password database"
+          end
+          else if Syscall.getuid task <> 0 && target <> invoker_name then begin
+            Coverage.hit "passwd" "cross_user_denied";
+            Prog.fail m "passwd"
+              "You may not view or modify password information for %s" target
+          end
+          else
+            match shadow_entries m task "/etc/shadow" with
+            | Error e ->
+                Prog.fail m "passwd" "%s" (Protego_base.Errno.message e)
+            | Ok entries -> (
+                let verify_ok =
+                  if Syscall.getuid task = 0 then true
+                  else begin
+                    Coverage.hit "passwd" "verify_old";
+                    match
+                      ( old_pw,
+                        List.find_opt (fun e -> e.Pwdb.sp_name = target) entries )
+                    with
+                    | Some old, Some entry ->
+                        Pwdb.verify_password ~hash:entry.Pwdb.sp_hash old
+                    | _, _ -> false
+                  end
+                in
+                if not verify_ok then begin
+                  Coverage.hit "passwd" "old_mismatch";
+                  Prog.fail m "passwd" "Authentication token manipulation error"
+                end
+                else begin
+                  Coverage.hit "passwd" "write_shadow";
+                  let updated =
+                    List.map
+                      (fun e ->
+                        if e.Pwdb.sp_name = target then
+                          { e with Pwdb.sp_hash = Pwdb.hash_password new_pw;
+                            sp_lastchg = day_of m }
+                        else e)
+                      entries
+                  in
+                  match
+                    Syscall.write_file m task "/etc/shadow"
+                      (Pwdb.shadow_to_string updated)
+                  with
+                  | Ok () ->
+                      Coverage.hit "passwd" "updated";
+                      Prog.out m "passwd: password updated successfully";
+                      Ok 0
+                  | Error e ->
+                      Coverage.hit "passwd" "write_denied";
+                      Prog.fail m "passwd" "%s" (Protego_base.Errno.message e)
+                end))
+      | Prog.Protego -> (
+          (* Per-user fragment: DAC already restricts us to our own record;
+             the kernel demands reauthentication to read it. *)
+          let fragment = "/etc/shadows/" ^ target in
+          if Syscall.getuid task <> 0 && target <> invoker_name then begin
+            Coverage.hit "passwd" "cross_user_denied";
+            Prog.fail m "passwd"
+              "You may not view or modify password information for %s" target
+          end
+          else
+            match shadow_entries m task fragment with
+            | Error e ->
+                Coverage.hit "passwd" "write_denied";
+                Prog.fail m "passwd" "%s: %s" fragment
+                  (Protego_base.Errno.message e)
+            | Ok entries -> (
+                Coverage.hit "passwd" "verify_old";
+                let verify_ok =
+                  Syscall.getuid task = 0
+                  ||
+                  match (old_pw, entries) with
+                  | Some old, [ entry ] ->
+                      Pwdb.verify_password ~hash:entry.Pwdb.sp_hash old
+                  | _, _ -> false
+                in
+                if not verify_ok then begin
+                  Coverage.hit "passwd" "old_mismatch";
+                  Prog.fail m "passwd" "Authentication token manipulation error"
+                end
+                else begin
+                  Coverage.hit "passwd" "write_shadow";
+                  let entry =
+                    { Pwdb.sp_name = target;
+                      sp_hash = Pwdb.hash_password new_pw;
+                      sp_lastchg = day_of m }
+                  in
+                  match
+                    Syscall.write_file m task fragment
+                      (Pwdb.shadow_entry_to_line entry ^ "\n")
+                  with
+                  | Ok () ->
+                      Coverage.hit "passwd" "updated";
+                      Prog.out m "passwd: password updated successfully";
+                      Ok 0
+                  | Error e ->
+                      Coverage.hit "passwd" "write_denied";
+                      Prog.fail m "passwd" "%s" (Protego_base.Errno.message e)
+                end)))
+
+(* --- chsh / chfn -------------------------------------------------------- *)
+
+let field_blocks name =
+  [ name ^ ":parse"; name ^ ":usage"; name ^ ":invalid"; name ^ ":legacy_root";
+    name ^ ":denied"; name ^ ":update"; name ^ ":updated" ]
+
+let valid_shell m task shell =
+  match Syscall.read_file m task "/etc/shells" with
+  | Error _ -> false
+  | Ok c ->
+      List.mem shell
+        (String.split_on_char '\n' c |> List.map String.trim
+        |> List.filter (fun l -> l <> ""))
+
+let update_passwd_field ~binary ~flag ~validate ~apply flavor :
+    Ktypes.program =
+ fun m task argv ->
+  Coverage.declare binary (field_blocks binary);
+  let hit b = Coverage.hit binary (binary ^ ":" ^ b) in
+  hit "parse";
+  let parsed =
+    match argv with
+    | [ _; f; value ] when f = flag -> (
+        match Prog.getpwuid m task (Syscall.getuid task) with
+        | Some e -> Some (value, e.Pwdb.pw_name)
+        | None -> None)
+    | [ _; f; value; user ] when f = flag -> Some (value, user)
+    | _ -> None
+  in
+  match parsed with
+  | None ->
+      hit "usage";
+      Prog.fail m binary "usage: %s %s <value> [user]" binary flag
+  | Some (value, target) -> (
+      if not (validate m task value) then begin
+        hit "invalid";
+        Prog.fail m binary "%s: invalid value %s" binary value
+      end
+      else
+        let self =
+          match Prog.getpwuid m task (Syscall.getuid task) with
+          | Some e -> e.Pwdb.pw_name
+          | None -> "?"
+        in
+        match flavor with
+        | Prog.Legacy -> (
+            if Syscall.geteuid task <> 0 then begin
+              hit "legacy_root";
+              Prog.fail m binary "Cannot access the password database"
+            end
+            else if Syscall.getuid task <> 0 && target <> self then begin
+              hit "denied";
+              Prog.fail m binary "You may not change data for %s" target
+            end
+            else
+              match Syscall.read_file m task "/etc/passwd" with
+              | Error e -> Prog.fail m binary "%s" (Protego_base.Errno.message e)
+              | Ok c -> (
+                  match Pwdb.parse_passwd c with
+                  | Error _ -> Prog.fail m binary "corrupt passwd database"
+                  | Ok entries -> (
+                      hit "update";
+                      let updated =
+                        List.map
+                          (fun e ->
+                            if e.Pwdb.pw_name = target then apply e value else e)
+                          entries
+                      in
+                      match
+                        Syscall.write_file m task "/etc/passwd"
+                          (Pwdb.passwd_to_string updated)
+                      with
+                      | Ok () ->
+                          hit "updated";
+                          Prog.outf m "%s: record of %s updated" binary target;
+                          Ok 0
+                      | Error e ->
+                          Prog.fail m binary "%s" (Protego_base.Errno.message e))))
+        | Prog.Protego -> (
+            (* Edit the per-user fragment; DAC decides (owner-writable). *)
+            let fragment = "/etc/passwds/" ^ target in
+            match Syscall.read_file m task fragment with
+            | Error e ->
+                hit "denied";
+                Prog.fail m binary "%s: %s" fragment
+                  (Protego_base.Errno.message e)
+            | Ok c -> (
+                match Pwdb.parse_passwd c with
+                | Error _ | Ok [] ->
+                    Prog.fail m binary "corrupt fragment %s" fragment
+                | Ok (entry :: _) -> (
+                    hit "update";
+                    match
+                      Syscall.write_file m task fragment
+                        (Pwdb.passwd_entry_to_line (apply entry value) ^ "\n")
+                    with
+                    | Ok () ->
+                        hit "updated";
+                        Prog.outf m "%s: record of %s updated" binary target;
+                        Ok 0
+                    | Error e ->
+                        hit "denied";
+                        Prog.fail m binary "%s" (Protego_base.Errno.message e)))))
+
+let chsh =
+  update_passwd_field ~binary:"chsh" ~flag:"-s" ~validate:valid_shell
+    ~apply:(fun e shell -> { e with Pwdb.pw_shell = shell })
+
+let chfn =
+  update_passwd_field ~binary:"chfn" ~flag:"-f"
+    ~validate:(fun _m _task gecos -> not (String.contains gecos ':'))
+    ~apply:(fun e gecos -> { e with Pwdb.pw_gecos = gecos })
+
+(* --- gpasswd ------------------------------------------------------------ *)
+
+let gpasswd_blocks =
+  [ "parse"; "usage"; "unknown_group"; "legacy_root"; "not_allowed"; "add";
+    "del"; "setpass"; "write"; "write_denied"; "done" ]
+
+type gp_action = Gp_add of string | Gp_del of string | Gp_pass of string
+
+let gpasswd flavor : Ktypes.program =
+ fun m task argv ->
+  Coverage.declare "gpasswd" gpasswd_blocks;
+  Coverage.hit "gpasswd" "parse";
+  let parsed =
+    match argv with
+    | [ _; "-a"; user; group ] -> Some (Gp_add user, group)
+    | [ _; "-d"; user; group ] -> Some (Gp_del user, group)
+    | [ _; "--password"; pw; group ] -> Some (Gp_pass pw, group)
+    | _ -> None
+  in
+  match parsed with
+  | None ->
+      Coverage.hit "gpasswd" "usage";
+      Prog.fail m "gpasswd" "usage: gpasswd (-a|-d) user group | --password pw group"
+  | Some (action, group_name) -> (
+      match Prog.getgrnam m task group_name with
+      | None ->
+          Coverage.hit "gpasswd" "unknown_group";
+          Prog.fail m "gpasswd" "group %s does not exist" group_name
+      | Some group -> (
+          let apply g =
+            match action with
+            | Gp_add user ->
+                Coverage.hit "gpasswd" "add";
+                { g with Pwdb.gr_members =
+                    List.sort_uniq compare (user :: g.Pwdb.gr_members) }
+            | Gp_del user ->
+                Coverage.hit "gpasswd" "del";
+                { g with Pwdb.gr_members =
+                    List.filter (fun u -> u <> user) g.Pwdb.gr_members }
+            | Gp_pass pw ->
+                Coverage.hit "gpasswd" "setpass";
+                { g with Pwdb.gr_password = Some (Pwdb.hash_password pw) }
+          in
+          let invoker =
+            Prog.getpwuid m task (Syscall.getuid task)
+            |> Option.map (fun e -> e.Pwdb.pw_name)
+            |> Option.value ~default:"?"
+          in
+          match flavor with
+          | Prog.Legacy -> (
+              if Syscall.geteuid task <> 0 then begin
+                Coverage.hit "gpasswd" "legacy_root";
+                Prog.fail m "gpasswd" "Cannot access the group database"
+              end
+              else if
+                Syscall.getuid task <> 0
+                && not (List.mem invoker group.Pwdb.gr_members)
+              then begin
+                Coverage.hit "gpasswd" "not_allowed";
+                Prog.fail m "gpasswd" "you are not a member of %s" group_name
+              end
+              else
+                match Syscall.read_file m task "/etc/group" with
+                | Error e ->
+                    Prog.fail m "gpasswd" "%s" (Protego_base.Errno.message e)
+                | Ok c -> (
+                    match Pwdb.parse_group c with
+                    | Error _ -> Prog.fail m "gpasswd" "corrupt group database"
+                    | Ok entries -> (
+                        Coverage.hit "gpasswd" "write";
+                        let updated =
+                          List.map
+                            (fun g ->
+                              if g.Pwdb.gr_name = group_name then apply g else g)
+                            entries
+                        in
+                        match
+                          Syscall.write_file m task "/etc/group"
+                            (Pwdb.group_to_string updated)
+                        with
+                        | Ok () ->
+                            Coverage.hit "gpasswd" "done";
+                            Prog.outf m "gpasswd: group %s updated" group_name;
+                            Ok 0
+                        | Error e ->
+                            Coverage.hit "gpasswd" "write_denied";
+                            Prog.fail m "gpasswd" "%s"
+                              (Protego_base.Errno.message e))))
+          | Prog.Protego -> (
+              (* Fragment mode 664 root:<gid>: members write via the group
+                 bit, everyone else is refused by DAC. *)
+              let fragment = "/etc/groups/" ^ group_name in
+              Coverage.hit "gpasswd" "write";
+              match
+                Syscall.write_file m task fragment
+                  (Pwdb.group_entry_to_line (apply group) ^ "\n")
+              with
+              | Ok () ->
+                  Coverage.hit "gpasswd" "done";
+                  Prog.outf m "gpasswd: group %s updated" group_name;
+                  Ok 0
+              | Error e ->
+                  Coverage.hit "gpasswd" "write_denied";
+                  Prog.fail m "gpasswd" "%s" (Protego_base.Errno.message e))))
+
+(* --- lppasswd ------------------------------------------------------------ *)
+
+let lppasswd_blocks =
+  [ "parse"; "usage"; "cross_user"; "write"; "denied"; "done" ]
+
+(* The CUPS printing password database: the same shared-file problem as
+   /etc/passwd (Table 4 lists lppasswd in the credential-database row), and
+   the same fragmentation fix. *)
+let lppasswd flavor : Ktypes.program =
+ fun m task argv ->
+  Coverage.declare "lppasswd" lppasswd_blocks;
+  Coverage.hit "lppasswd" "parse";
+  let invoker =
+    Prog.getpwuid m task (Syscall.getuid task)
+    |> Option.map (fun e -> e.Pwdb.pw_name)
+    |> Option.value ~default:"?"
+  in
+  let parsed =
+    match argv with
+    | [ _; "--password"; pw ] -> Some (invoker, pw)
+    | [ _; "--user"; user; "--password"; pw ] -> Some (user, pw)
+    | _ -> None
+  in
+  match parsed with
+  | None ->
+      Coverage.hit "lppasswd" "usage";
+      Prog.fail m "lppasswd" "usage: lppasswd [--user name] --password <pw>"
+  | Some (target, pw) -> (
+      if Syscall.getuid task <> 0 && target <> invoker then begin
+        Coverage.hit "lppasswd" "cross_user";
+        Prog.fail m "lppasswd" "you may only change your own printing password"
+      end
+      else
+        let line = target ^ ":" ^ Pwdb.hash_password pw ^ "\n" in
+        Coverage.hit "lppasswd" "write";
+        match flavor with
+        | Prog.Legacy -> (
+            if Syscall.geteuid task <> 0 then
+              Prog.fail m "lppasswd" "cannot open password file"
+            else
+              let db = "/etc/cups/passwd.md5" in
+              let existing =
+                match Syscall.read_file m task db with Ok c -> c | Error _ -> ""
+              in
+              let kept =
+                String.split_on_char '\n' existing
+                |> List.filter (fun l ->
+                       l <> ""
+                       && not
+                            (String.length l > String.length target
+                            && String.sub l 0 (String.length target + 1)
+                               = target ^ ":"))
+              in
+              match
+                Syscall.write_file m task db
+                  (String.concat "\n" kept ^ (if kept = [] then "" else "\n") ^ line)
+              with
+              | Ok () ->
+                  Coverage.hit "lppasswd" "done";
+                  Prog.out m "lppasswd: password updated";
+                  Ok 0
+              | Error e ->
+                  Coverage.hit "lppasswd" "denied";
+                  Prog.fail m "lppasswd" "%s" (Protego_base.Errno.message e))
+        | Prog.Protego -> (
+            match Syscall.write_file m task ("/etc/cups/passwds/" ^ target) line with
+            | Ok () ->
+                Coverage.hit "lppasswd" "done";
+                Prog.out m "lppasswd: password updated";
+                Ok 0
+            | Error e ->
+                Coverage.hit "lppasswd" "denied";
+                Prog.fail m "lppasswd" "%s" (Protego_base.Errno.message e)))
+
+(* --- vipw --------------------------------------------------------------- *)
+
+let vipw_blocks = [ "parse"; "legacy_root"; "edit"; "denied"; "done" ]
+
+let vipw flavor : Ktypes.program =
+ fun m task argv ->
+  Coverage.declare "vipw" vipw_blocks;
+  Coverage.hit "vipw" "parse";
+  match flavor with
+  | Prog.Legacy ->
+      if Syscall.geteuid task <> 0 then begin
+        Coverage.hit "vipw" "legacy_root";
+        Prog.fail m "vipw" "Couldn't lock file: Permission denied"
+      end
+      else begin
+        Coverage.hit "vipw" "edit";
+        match Syscall.append_file m task "/etc/passwd" "# vipw edit\n" with
+        | Ok () ->
+            Coverage.hit "vipw" "done";
+            Prog.out m "vipw: /etc/passwd edited";
+            Ok 0
+        | Error e ->
+            Coverage.hit "vipw" "denied";
+            Prog.fail m "vipw" "%s" (Protego_base.Errno.message e)
+      end
+  | Prog.Protego -> (
+      (* The paper's +40 line change: edit per-user files instead of the
+         shared database. *)
+      let target =
+        match argv with
+        | [ _; user ] -> user
+        | _ -> (
+            match Prog.getpwuid m task (Syscall.getuid task) with
+            | Some e -> e.Pwdb.pw_name
+            | None -> "?")
+      in
+      Coverage.hit "vipw" "edit";
+      match
+        Syscall.append_file m task ("/etc/passwds/" ^ target) "# vipw edit\n"
+      with
+      | Ok () ->
+          Coverage.hit "vipw" "done";
+          Prog.outf m "vipw: /etc/passwds/%s edited" target;
+          Ok 0
+      | Error e ->
+          Coverage.hit "vipw" "denied";
+          Prog.fail m "vipw" "%s" (Protego_base.Errno.message e))

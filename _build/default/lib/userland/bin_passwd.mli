@@ -1,0 +1,30 @@
+(** passwd, chsh, chfn, gpasswd, vipw — credential database maintenance
+    (§4.4).
+
+    Usage:
+    - [passwd [--user <name>] --old <pw> --new <pw>]
+    - [chsh -s <shell> [<user>]]
+    - [chfn -f <gecos> [<user>]]
+    - [gpasswd (-a|-d) <user> <group>] or [gpasswd --password <pw> <group>]
+    - [vipw [<user>]]
+
+    [Legacy]: the shared databases /etc/passwd and /etc/shadow are writable
+    only by root, so all five are setuid root and each must validate that
+    the caller only touches her own record — six capabilities' worth of
+    privilege to edit one line.  [Protego]: the databases are fragmented
+    into per-account files (/etc/passwds/<user> mode 600 owned by the user,
+    /etc/shadows/<user> likewise, /etc/groups/<group> mode 664 root:<gid>),
+    so plain DAC enforces record granularity and the binaries run with no
+    privilege; the monitoring daemon keeps the legacy files in sync. *)
+
+val passwd : Prog.flavor -> Protego_kernel.Ktypes.program
+val chsh : Prog.flavor -> Protego_kernel.Ktypes.program
+val chfn : Prog.flavor -> Protego_kernel.Ktypes.program
+val gpasswd : Prog.flavor -> Protego_kernel.Ktypes.program
+
+val lppasswd : Prog.flavor -> Protego_kernel.Ktypes.program
+(** [lppasswd [--user name] --password <pw>] — the CUPS password database
+    (the Table 4 credential-database row's fourth utility); same
+    fragmentation strategy as passwd. *)
+
+val vipw : Prog.flavor -> Protego_kernel.Ktypes.program

@@ -1,0 +1,123 @@
+open Protego_kernel
+module Ipaddr = Protego_net.Ipaddr
+module Packet = Protego_net.Packet
+
+let blocks =
+  [ "parse_args"; "usage_error"; "bad_host"; "open_socket"; "socket_denied";
+    "drop_privilege"; "send_probe"; "send_denied"; "got_reply"; "no_reply";
+    "summary_alive"; "summary_dead" ]
+
+let parse_count_and_host argv =
+  match argv with
+  | [ _; "-c"; count_s; host ] ->
+      Option.map (fun c -> (c, host)) (int_of_string_opt count_s)
+  | [ _; host ] -> Some (3, host)
+  | _ -> None
+
+let local_source m =
+  match m.Ktypes.local_addrs with addr :: _ -> addr | [] -> Ipaddr.localhost
+
+(* One echo round on an open raw socket: send seq, poll for the reply. *)
+let probe m task fd ~src ~dst ~seq =
+  let pkt = Packet.echo_request ~src ~dst ~seq () in
+  match Syscall.sendto m task fd dst 0 (Packet.encode pkt) with
+  | Error e -> Error e
+  | Ok _ -> (
+      match Syscall.recvfrom m task fd with
+      | Error _ -> Ok None
+      | Ok data -> (
+          match Packet.decode data with
+          | Some { Packet.transport = Packet.Icmp_msg
+                     { icmp_type = Packet.Echo_reply; payload; _ }; src = from; _ }
+            when payload = Printf.sprintf "seq=%d" seq ->
+              Ok (Some from)
+          | Some _ | None -> Ok None))
+
+let run_ping name flavor : Ktypes.program =
+ fun m task argv ->
+  Coverage.declare name blocks;
+  Coverage.hit name "parse_args";
+  match parse_count_and_host argv with
+  | None ->
+      Coverage.hit name "usage_error";
+      Prog.fail m name "usage: %s [-c count] <destination>" name
+  | Some (count, host) -> (
+      match Ipaddr.of_string host with
+      | None ->
+          Coverage.hit name "bad_host";
+          Prog.fail m name "unknown host %s" host
+      | Some dst -> (
+          Coverage.hit name "open_socket";
+          match Syscall.socket m task Ktypes.Af_inet Ktypes.Sock_raw 1 with
+          | Error e ->
+              Coverage.hit name "socket_denied";
+              Prog.fail m name "icmp open socket: %s"
+                (Protego_base.Errno.message e)
+          | Ok fd ->
+              (* Privilege bracketing: the legacy setuid binary drops root as
+                 soon as the privileged call is done. *)
+              (match flavor with
+              | Prog.Legacy when Syscall.geteuid task = 0 && Syscall.getuid task <> 0 ->
+                  Coverage.hit name "drop_privilege";
+                  ignore (Syscall.setuid m task (Syscall.getuid task))
+              | Prog.Legacy | Prog.Protego -> ());
+              let src = local_source m in
+              let received = ref 0 in
+              for seq = 1 to count do
+                Coverage.hit name "send_probe";
+                match probe m task fd ~src ~dst ~seq with
+                | Error e ->
+                    Coverage.hit name "send_denied";
+                    Prog.outf m "%s: sendmsg: %s" name
+                      (Protego_base.Errno.message e)
+                | Ok (Some from) ->
+                    Coverage.hit name "got_reply";
+                    incr received;
+                    Prog.outf m "64 bytes from %s: icmp_seq=%d ttl=64"
+                      (Ipaddr.to_string from) seq
+                | Ok None -> Coverage.hit name "no_reply"
+              done;
+              ignore (Syscall.close m task fd);
+              Prog.outf m "--- %s ping statistics ---" host;
+              Prog.outf m "%d packets transmitted, %d received, %d%% packet loss"
+                count !received
+                (100 * (count - !received) / count);
+              if !received > 0 then begin
+                Coverage.hit name "summary_alive";
+                Ok 0
+              end
+              else begin
+                Coverage.hit name "summary_dead";
+                Ok 1
+              end))
+
+let ping = run_ping "ping"
+let ping6 = run_ping "ping6"
+
+let fping flavor : Ktypes.program =
+ fun m task argv ->
+  Coverage.declare "fping" [ "parse"; "probe"; "alive"; "unreachable" ];
+  Coverage.hit "fping" "parse";
+  match argv with
+  | _ :: (_ :: _ as hosts) ->
+      let any_dead = ref false in
+      List.iter
+        (fun host ->
+          Coverage.hit "fping" "probe";
+          let code =
+            match run_ping "fping-probe" flavor m task [ "fping"; "-c"; "1"; host ] with
+            | Ok c -> c
+            | Error _ -> 1
+          in
+          if code = 0 then begin
+            Coverage.hit "fping" "alive";
+            Prog.outf m "%s is alive" host
+          end
+          else begin
+            Coverage.hit "fping" "unreachable";
+            any_dead := true;
+            Prog.outf m "%s is unreachable" host
+          end)
+        hosts;
+      Ok (if !any_dead then 1 else 0)
+  | _ -> Prog.fail m "fping" "usage: fping <host>..."

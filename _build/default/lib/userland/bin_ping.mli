@@ -1,0 +1,15 @@
+(** ping, ping6, fping — ICMP echo utilities over raw sockets (§4.1.1).
+
+    Usage: [ping [-c count] <addr>], [ping6 [-c count] <addr>],
+    [fping <addr>...].
+
+    [Legacy]: the binary must run with [CAP_NET_RAW] (setuid root); after
+    creating the raw socket it drops privilege with setuid(getuid()) — the
+    classic privilege-bracketing pattern whose bracketed region is exactly
+    where the historical ping CVEs lived.  [Protego]: no privilege at all;
+    the raw socket is permitted and the netfilter origin rules confine what
+    it can emit. *)
+
+val ping : Prog.flavor -> Protego_kernel.Ktypes.program
+val ping6 : Prog.flavor -> Protego_kernel.Ktypes.program
+val fping : Prog.flavor -> Protego_kernel.Ktypes.program

@@ -1,0 +1,122 @@
+open Protego_kernel
+module Polkit = Protego_policy.Polkit
+module Pwdb = Protego_policy.Pwdb
+
+let blocks =
+  [ "parse"; "usage"; "not_authorized"; "auth_self"; "auth_admin"; "yes";
+    "auth_failed"; "switch"; "switch_denied"; "exec_ok"; "exec_denied" ]
+
+let read_rules m task =
+  match Syscall.readdir m task "/etc/polkit-1/rules.d" with
+  | Error _ -> []
+  | Ok names ->
+      List.concat_map
+        (fun name ->
+          match Syscall.read_file m task ("/etc/polkit-1/rules.d/" ^ name) with
+          | Error _ -> []
+          | Ok contents -> (
+              match Polkit.parse contents with Ok rules -> rules | Error _ -> []))
+        (List.sort compare names)
+
+let shadow_hash m task user =
+  match Syscall.read_file m task "/etc/shadow" with
+  | Error _ -> None
+  | Ok c -> (
+      match Pwdb.parse_shadow c with
+      | Ok entries ->
+          List.find_opt (fun e -> e.Pwdb.sp_name = user) entries
+          |> Option.map (fun e -> e.Pwdb.sp_hash)
+      | Error _ -> None)
+
+let switch_and_exec m task ~cmd ~args =
+  Coverage.hit "pkexec" "switch";
+  let child = Syscall.fork m task in
+  let code =
+    match Syscall.setuid m child 0 with
+    | Error e ->
+        Coverage.hit "pkexec" "switch_denied";
+        Prog.outf m "pkexec: %s" (Protego_base.Errno.message e);
+        126
+    | Ok () -> (
+        match Syscall.execve m child cmd (cmd :: args) child.Ktypes.env with
+        | Ok c ->
+            Coverage.hit "pkexec" "exec_ok";
+            c
+        | Error e ->
+            Coverage.hit "pkexec" "exec_denied";
+            Prog.outf m "pkexec: %s: %s" cmd (Protego_base.Errno.message e);
+            126)
+  in
+  Syscall.exit m child code;
+  match Syscall.waitpid m task child.Ktypes.tpid with
+  | Ok c -> Ok c
+  | Error _ -> Ok 1
+
+let pkexec flavor : Ktypes.program =
+ fun m task argv ->
+  Coverage.declare "pkexec" blocks;
+  Coverage.hit "pkexec" "parse";
+  match argv with
+  | _ :: cmd :: args -> (
+      match flavor with
+      | Prog.Protego ->
+          (* Policy (translated from the polkit rules by the monitoring
+             daemon) and authentication live in the kernel. *)
+          switch_and_exec m task ~cmd ~args
+      | Prog.Legacy -> (
+          if Syscall.geteuid task <> 0 then
+            Prog.fail m "pkexec" "pkexec must be setuid root"
+          else
+            let invoker =
+              Prog.getpwuid m task (Syscall.getuid task)
+              |> Option.map (fun e -> e.Pwdb.pw_name)
+              |> Option.value ~default:"?"
+            in
+            let groups =
+              List.filter_map
+                (fun gid ->
+                  Prog.getgrgid m task gid
+                  |> Option.map (fun g -> g.Pwdb.gr_name))
+                (Syscall.getegid task :: Syscall.getgroups task)
+            in
+            match
+              Polkit.check (read_rules m task) ~user:invoker ~groups ~action:cmd
+            with
+            | None ->
+                Coverage.hit "pkexec" "not_authorized";
+                Prog.out m
+                  "pkexec: Error executing command as another user: Not authorized";
+                Ok 126
+            | Some result ->
+                let verify_password_of account =
+                  (* The terminal user is asked for [account]'s password. *)
+                  let typed =
+                    match Prog.getpwnam m task account with
+                    | Some pw -> m.Ktypes.password_source pw.Pwdb.pw_uid
+                    | None -> None
+                  in
+                  match (typed, shadow_hash m task account) with
+                  | Some p, Some h -> Pwdb.verify_password ~hash:h p
+                  | _, _ -> false
+                in
+                let authed =
+                  match result with
+                  | Polkit.Pk_yes ->
+                      Coverage.hit "pkexec" "yes";
+                      true
+                  | Polkit.Pk_auth_self ->
+                      Coverage.hit "pkexec" "auth_self";
+                      verify_password_of invoker
+                  | Polkit.Pk_auth_admin ->
+                      Coverage.hit "pkexec" "auth_admin";
+                      verify_password_of "root"
+                in
+                if not authed then begin
+                  Coverage.hit "pkexec" "auth_failed";
+                  Prog.out m "pkexec: Authentication failed";
+                  Ok 126
+                end
+                else switch_and_exec m task ~cmd ~args))
+  | _ ->
+      Coverage.hit "pkexec" "usage";
+      Prog.fail m "pkexec" "usage: pkexec <program> [args]"

@@ -1,0 +1,14 @@
+(** pkexec — the PolicyKit "execute as another user" helper (Table 4,
+    setuid/setgid row; CVE-2011-1485 and friends live here).
+
+    Usage: [pkexec <program> [args...]] — runs the program as root if the
+    PolicyKit rules allow the invoker.
+
+    [Legacy]: setuid root; parses /etc/polkit-1/rules.d itself,
+    authenticates per the rule's result (yes / auth_self / auth_admin), then
+    setuid+exec — holding root throughout.  [Protego]: no privilege; the
+    monitoring daemon has translated the same rules into kernel delegation
+    rules (NOPASSWD / plain / TARGETPW), so pkexec just requests the
+    transition. *)
+
+val pkexec : Prog.flavor -> Protego_kernel.Ktypes.program

@@ -1,0 +1,163 @@
+open Protego_kernel
+module Ipaddr = Protego_net.Ipaddr
+module Ppp = Protego_net.Ppp
+module Pppopts = Protego_policy.Pppopts
+
+let blocks =
+  [ "parse_args"; "usage_error"; "legacy_restrict"; "open_serial";
+    "serial_denied"; "open_ppp"; "ppp_denied"; "modem_config"; "modem_denied";
+    "link_up"; "route_add"; "route_denied"; "route_ok"; "done" ]
+
+let parse_addrs s =
+  match String.split_on_char ':' s with
+  | [ l; r ] -> (
+      match (Ipaddr.of_string l, Ipaddr.of_string r) with
+      | Some local, Some remote -> Some (local, remote)
+      | _, _ -> None)
+  | _ -> None
+
+let pppd flavor : Ktypes.program =
+ fun m task argv ->
+  Coverage.declare "pppd" blocks;
+  Coverage.hit "pppd" "parse_args";
+  let parsed =
+    match argv with
+    | [ _; serial; addrs ] ->
+        Option.map (fun a -> (serial, a, None)) (parse_addrs addrs)
+    | [ _; serial; addrs; "route"; cidr_s ] -> (
+        match (parse_addrs addrs, Ipaddr.Cidr.of_string cidr_s) with
+        | Some a, Some cidr -> Some (serial, a, Some cidr)
+        | _, _ -> None)
+    | _ -> None
+  in
+  match parsed with
+  | None ->
+      Coverage.hit "pppd" "usage_error";
+      Prog.fail m "pppd" "usage: pppd <device> <local>:<remote> [route <cidr>]"
+  | Some (serial, (local_ip, remote_ip), route_cidr) -> (
+      let options =
+        match Syscall.read_file m task "/etc/ppp/options" with
+        | Error _ -> { Pppopts.directives = [] }
+        | Ok contents -> (
+            match Pppopts.parse contents with
+            | Ok o -> o
+            | Error _ -> { Pppopts.directives = [] })
+      in
+      let session_opts =
+        let all = Pppopts.session_options options in
+        match flavor with
+        | Prog.Legacy when Syscall.getuid task <> 0 ->
+            (* pppd's own rule: a non-root invoker gets only the safe
+               options, even though the binary runs with privilege. *)
+            Coverage.hit "pppd" "legacy_restrict";
+            List.filter Ppp.option_is_safe all
+        | Prog.Legacy | Prog.Protego -> all
+      in
+      Coverage.hit "pppd" "open_serial";
+      match Syscall.open_ m task serial [ Syscall.O_RDWR ] with
+      | Error e ->
+          Coverage.hit "pppd" "serial_denied";
+          Prog.fail m "pppd" "open %s: %s" serial (Protego_base.Errno.message e)
+      | Ok serial_fd -> (
+          Coverage.hit "pppd" "open_ppp";
+          match Syscall.open_ m task "/dev/ppp" [ Syscall.O_RDWR ] with
+          | Error e ->
+              Coverage.hit "pppd" "ppp_denied";
+              ignore (Syscall.close m task serial_fd);
+              Prog.fail m "pppd" "open /dev/ppp: %s"
+                (Protego_base.Errno.message e)
+          | Ok ppp_fd -> (
+              let link =
+                Machine.create_ppp_link m ~serial_device:serial
+                  ~owner_uid:(Syscall.getuid task)
+              in
+              (* Configure the modem through ioctls the kernel polices. *)
+              let modem_ok =
+                List.for_all
+                  (fun opt ->
+                    Coverage.hit "pppd" "modem_config";
+                    match
+                      Syscall.ioctl m task serial_fd
+                        (Ktypes.Ioctl_modem_config
+                           { ioctl_dev = serial; ppp_opt = opt })
+                    with
+                    | Ok _ -> true
+                    | Error _ ->
+                        Coverage.hit "pppd" "modem_denied";
+                        Prog.outf m "pppd: option %s refused"
+                          (Ppp.option_to_string opt);
+                        false)
+                  session_opts
+              in
+              ignore modem_ok;
+              Ppp.establish link ~local_ip ~remote_ip;
+              Coverage.hit "pppd" "link_up";
+              Prog.outf m "pppd: %s up, local %s remote %s" link.Ppp.name
+                (Ipaddr.to_string local_ip) (Ipaddr.to_string remote_ip);
+              (* Legacy pppd enforces the "no previously reachable range"
+                 rule itself for non-root invokers, reading the kernel's
+                 route table from /proc/net/route. *)
+              let conflicts_in_proc cidr =
+                match Syscall.read_file m task "/proc/net/route" with
+                | Error _ -> false
+                | Ok contents ->
+                    String.split_on_char '\n' contents
+                    |> List.exists (fun line ->
+                           match String.split_on_char ' ' line with
+                           | dest_s :: _ -> (
+                               match Ipaddr.Cidr.of_string dest_s with
+                               | Some dest ->
+                                   Ipaddr.Cidr.prefix_len dest > 0
+                                   && Ipaddr.Cidr.overlaps dest cidr
+                               | None -> false)
+                           | [] -> false)
+              in
+              let route_result =
+                match route_cidr with
+                | Some cidr
+                  when flavor = Prog.Legacy
+                       && Syscall.getuid task <> 0
+                       && conflicts_in_proc cidr ->
+                    Coverage.hit "pppd" "route_denied";
+                    Prog.fail m "pppd"
+                      "route add %s: address range already reachable"
+                      (Ipaddr.Cidr.to_string cidr)
+                | None -> Ok 0
+                | Some cidr -> (
+                    Coverage.hit "pppd" "route_add";
+                    match
+                      Syscall.socket m task Ktypes.Af_inet Ktypes.Sock_dgram 17
+                    with
+                    | Error e ->
+                        Prog.fail m "pppd" "socket: %s"
+                          (Protego_base.Errno.message e)
+                    | Ok sock_fd -> (
+                        let entry =
+                          { Protego_net.Route.dest = cidr;
+                            gateway = Some remote_ip; device = link.Ppp.name;
+                            metric = 10;
+                            owner_uid =
+                              (if Syscall.getuid task = 0 then None
+                               else Some (Syscall.getuid task)) }
+                        in
+                        let r =
+                          Syscall.ioctl m task sock_fd
+                            (Ktypes.Ioctl_route_add entry)
+                        in
+                        ignore (Syscall.close m task sock_fd);
+                        match r with
+                        | Ok _ ->
+                            Coverage.hit "pppd" "route_ok";
+                            Prog.outf m "pppd: route %s via %s"
+                              (Ipaddr.Cidr.to_string cidr) link.Ppp.name;
+                            Ok 0
+                        | Error e ->
+                            Coverage.hit "pppd" "route_denied";
+                            Prog.fail m "pppd" "route add %s: %s"
+                              (Ipaddr.Cidr.to_string cidr)
+                              (Protego_base.Errno.message e)))
+              in
+              ignore (Syscall.close m task ppp_fd);
+              ignore (Syscall.close m task serial_fd);
+              Coverage.hit "pppd" "done";
+              route_result)))

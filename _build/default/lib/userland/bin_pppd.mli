@@ -1,0 +1,13 @@
+(** pppd — the point-to-point protocol daemon (§4.1.2).
+
+    Usage: [pppd <serial-device> <local-ip>:<remote-ip> [route <cidr>]].
+
+    Brings a PPP link up over a serial device: configures the modem with the
+    safe session options from /etc/ppp/options, attaches a ppp unit via
+    /dev/ppp, negotiates addresses, and optionally adds a route to the
+    remote network.  [Legacy]: the binary is setuid root because modem and
+    routing ioctls need [CAP_NET_ADMIN]; it applies its own ruid-based
+    restrictions.  [Protego]: no privilege; the kernel accepts safe modem
+    options on administrator-allowed devices and non-conflicting routes. *)
+
+val pppd : Prog.flavor -> Protego_kernel.Ktypes.program

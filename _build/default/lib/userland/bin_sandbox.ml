@@ -1,0 +1,64 @@
+open Protego_kernel
+module Ipaddr = Protego_net.Ipaddr
+module Packet = Protego_net.Packet
+
+let blocks =
+  [ "start"; "unshare"; "unshare_denied"; "mount_private"; "mount_denied";
+    "netns_loopback"; "outside_unreachable"; "established" ]
+
+let chromium_sandbox _flavor : Ktypes.program =
+ fun m task _argv ->
+  Coverage.declare "chromium-sandbox" blocks;
+  Coverage.hit "chromium-sandbox" "start";
+  match Syscall.unshare m task [ Syscall.Ns_user; Syscall.Ns_net; Syscall.Ns_mount ] with
+  | Error e ->
+      Coverage.hit "chromium-sandbox" "unshare_denied";
+      Prog.fail m "chromium-sandbox" "unshare: %s (kernel < 3.8 needs the setuid helper)"
+        (Protego_base.Errno.message e)
+  | Ok () -> (
+      Coverage.hit "chromium-sandbox" "unshare";
+      (* The sandbox drops any ambient privilege before running content. *)
+      if Syscall.geteuid task = 0 && Syscall.getuid task <> 0 then
+        ignore (Syscall.setuid m task (Syscall.getuid task));
+      (* Private filesystem view. *)
+      (match
+         Syscall.mount m task ~source:"none" ~target:"/tmp" ~fstype:"tmpfs"
+           ~flags:[ Ktypes.Mf_nosuid; Ktypes.Mf_nodev ]
+       with
+      | Ok () ->
+          Coverage.hit "chromium-sandbox" "mount_private";
+          ignore (Syscall.write_file m task "/tmp/renderer-scratch" "sandboxed")
+      | Error e ->
+          Coverage.hit "chromium-sandbox" "mount_denied";
+          Prog.outf m "chromium-sandbox: private /tmp failed: %s"
+            (Protego_base.Errno.message e));
+      (* The fake network: raw sockets are free inside, the world is not
+         reachable. *)
+      match Syscall.socket m task Ktypes.Af_inet Ktypes.Sock_raw 1 with
+      | Error e ->
+          Prog.fail m "chromium-sandbox" "in-ns raw socket: %s"
+            (Protego_base.Errno.message e)
+      | Ok fd ->
+          let loop = Packet.echo_request ~src:Ipaddr.localhost ~dst:Ipaddr.localhost ~seq:1 () in
+          (match Syscall.sendto m task fd Ipaddr.localhost 0 (Packet.encode loop) with
+          | Ok _ -> (
+              match Syscall.recvfrom m task fd with
+              | Ok _ -> Coverage.hit "chromium-sandbox" "netns_loopback"
+              | Error _ -> ())
+          | Error _ -> ());
+          let outside = Packet.echo_request ~src:Ipaddr.localhost ~dst:(Ipaddr.v 10 0 0 7) ~seq:2 () in
+          (match Syscall.sendto m task fd (Ipaddr.v 10 0 0 7) 0 (Packet.encode outside) with
+          | Ok _ -> (
+              match Syscall.recvfrom m task fd with
+              | Error _ ->
+                  Coverage.hit "chromium-sandbox" "outside_unreachable";
+                  Prog.out m "chromium-sandbox: outside world unreachable (good)"
+              | Ok _ -> Prog.out m "chromium-sandbox: LEAK: outside reachable!")
+          | Error _ ->
+              Coverage.hit "chromium-sandbox" "outside_unreachable";
+              Prog.out m "chromium-sandbox: outside world unreachable (good)");
+          ignore (Syscall.close m task fd);
+          Coverage.hit "chromium-sandbox" "established";
+          Prog.outf m "chromium-sandbox: sandbox established (netns %d, uid %d)"
+            task.Ktypes.netns (Syscall.geteuid task);
+          Ok 0)

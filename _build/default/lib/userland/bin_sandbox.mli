@@ -1,0 +1,16 @@
+(** chromium-sandbox — the namespace-based sandbox helper (§4.6, Table 8).
+
+    Usage: [chromium-sandbox].
+
+    Creates user + network + mount namespaces, mounts a private tmpfs over
+    /tmp, and verifies the isolation properties the paper describes: raw
+    sockets work *inside* the fake network but nothing reaches the outside
+    world, and the private mount is invisible globally.
+
+    On the paper's 3.6 kernel every namespace needs [CAP_SYS_ADMIN], so the
+    binary ships setuid root (on Protego too — §4.6's "new kernel interfaces
+    where the desired policy is not well understood" case).  On kernels
+    >= 3.8 ([machine.unpriv_userns]) the same binary works without the bit
+    and it can finally be dropped. *)
+
+val chromium_sandbox : Prog.flavor -> Protego_kernel.Ktypes.program

@@ -1,0 +1,60 @@
+open Protego_base
+open Protego_kernel
+
+let parse_caps s =
+  if s = "none" then Ok None
+  else
+    let names = String.split_on_char ',' s in
+    let rec go acc = function
+      | [] -> Ok (Some (Cap.Set.of_list (List.rev acc)))
+      | name :: rest -> (
+          match Cap.of_string name with
+          | Some c -> go (c :: acc) rest
+          | None -> Error name)
+    in
+    go [] names
+
+let setcap _flavor : Ktypes.program =
+ fun m task argv ->
+  Coverage.declare "setcap" [ "parse"; "usage"; "bad_cap"; "denied"; "applied" ];
+  Coverage.hit "setcap" "parse";
+  match argv with
+  | [ _; caps_s; file ] -> (
+      match parse_caps caps_s with
+      | Error bad ->
+          Coverage.hit "setcap" "bad_cap";
+          Prog.fail m "setcap" "unknown capability: %s" bad
+      | Ok caps -> (
+          match Syscall.setcap m task file caps with
+          | Ok () ->
+              Coverage.hit "setcap" "applied";
+              Prog.outf m "setcap: %s = %s" file caps_s;
+              Ok 0
+          | Error e ->
+              Coverage.hit "setcap" "denied";
+              Prog.fail m "setcap" "%s: %s" file (Errno.message e)))
+  | _ ->
+      Coverage.hit "setcap" "usage";
+      Prog.fail m "setcap" "usage: setcap <CAP_A,CAP_B|none> <file>"
+
+let getcap _flavor : Ktypes.program =
+ fun m task argv ->
+  Coverage.declare "getcap" [ "parse"; "usage"; "shown" ];
+  Coverage.hit "getcap" "parse";
+  match argv with
+  | [ _; file ] -> (
+      match Syscall.getcap m task file with
+      | Ok None ->
+          Coverage.hit "getcap" "shown";
+          Prog.outf m "%s =" file;
+          Ok 0
+      | Ok (Some caps) ->
+          Coverage.hit "getcap" "shown";
+          Prog.outf m "%s = %s" file
+            (String.concat ","
+               (List.map Cap.to_string (Cap.Set.to_list caps)));
+          Ok 0
+      | Error e -> Prog.fail m "getcap" "%s: %s" file (Errno.message e))
+  | _ ->
+      Coverage.hit "getcap" "usage";
+      Prog.fail m "getcap" "usage: getcap <file>"

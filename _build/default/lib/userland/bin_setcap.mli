@@ -1,0 +1,14 @@
+(** setcap / getcap — the §3.1 file-capabilities hardening technique.
+
+    Usage:
+    - [setcap <CAP_A,CAP_B|none> <file>] — root only ([CAP_SETFCAP])
+    - [getcap <file>]
+
+    Several distributions replaced the setuid bit with setcap (e.g.
+    [setcap CAP_NET_RAW /bin/ping]).  This narrows what a compromise yields
+    from full root to the named capabilities — but §3.2's point stands: the
+    capability is still far coarser than the binary's safe functionality
+    (a compromised CAP_NET_RAW ping can spoof any socket's packets). *)
+
+val setcap : Prog.flavor -> Protego_kernel.Ktypes.program
+val getcap : Prog.flavor -> Protego_kernel.Ktypes.program

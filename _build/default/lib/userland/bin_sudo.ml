@@ -1,0 +1,347 @@
+open Protego_kernel
+module Sudoers = Protego_policy.Sudoers
+module Pwdb = Protego_policy.Pwdb
+
+(* "legacy_not_setuid" is hit-tracked but not declared: unreachable when
+   the binary is correctly installed. *)
+let sudo_blocks =
+  [ "parse_args"; "usage_error"; "read_sudoers"; "unknown_user";
+    "rule_denied"; "timestamp_fresh"; "password_prompt"; "auth_failed";
+    "auth_ok"; "setuid"; "setuid_denied"; "exec"; "exec_denied"; "exec_ok" ]
+
+let read_sudoers_files m task =
+  match Syscall.read_file m task "/etc/sudoers" with
+  | Error _ -> Sudoers.empty
+  | Ok main -> (
+      match Sudoers.parse main with
+      | Error _ -> Sudoers.empty
+      | Ok parsed ->
+          List.fold_left
+            (fun acc dir ->
+              match Syscall.readdir m task dir with
+              | Error _ -> acc
+              | Ok names ->
+                  List.fold_left
+                    (fun acc name ->
+                      match Syscall.read_file m task (dir ^ "/" ^ name) with
+                      | Error _ -> acc
+                      | Ok c -> (
+                          match Sudoers.parse c with
+                          | Ok extra -> Sudoers.merge acc extra
+                          | Error _ -> acc))
+                    acc names)
+            parsed parsed.Sudoers.includedirs)
+
+let shadow_hash_legacy m task user =
+  (* Reading /etc/shadow: possible only because sudo runs with euid 0. *)
+  match Syscall.read_file m task "/etc/shadow" with
+  | Error _ -> None
+  | Ok c -> (
+      match Pwdb.parse_shadow c with
+      | Ok entries ->
+          List.find_opt (fun e -> e.Pwdb.sp_name = user) entries
+          |> Option.map (fun e -> e.Pwdb.sp_hash)
+      | Error _ -> None)
+
+let timestamp_path user = "/var/run/sudo/" ^ user
+
+let timestamp_fresh m task ~user ~timeout =
+  match Syscall.read_file m task (timestamp_path user) with
+  | Error _ -> false
+  | Ok c -> (
+      match float_of_string_opt (String.trim c) with
+      | Some t -> m.Ktypes.now -. t <= timeout
+      | None -> false)
+
+let stamp_timestamp m task ~user =
+  ignore (Machine.mkdir_p m task "/var/run/sudo" ~mode:0o700 ());
+  ignore
+    (Syscall.write_file m task (timestamp_path user)
+       (string_of_float m.Ktypes.now))
+
+(* The fork/exec tail shared by both flavours: switch uid, run command. *)
+let switch_and_exec m task ~target_uid ~cmd ~args =
+  Coverage.hit "sudo" "setuid";
+  let child = Syscall.fork m task in
+  let code =
+    match Syscall.setuid m child target_uid with
+    | Error e ->
+        Coverage.hit "sudo" "setuid_denied";
+        Prog.outf m "sudo: unable to change to target user: %s"
+          (Protego_base.Errno.message e);
+        Some 1
+    | Ok () -> (
+        Coverage.hit "sudo" "exec";
+        match Syscall.execve m child cmd (cmd :: args) child.Ktypes.env with
+        | Ok code ->
+            Coverage.hit "sudo" "exec_ok";
+            Some code
+        | Error e ->
+            Coverage.hit "sudo" "exec_denied";
+            Prog.outf m "sudo: %s: %s" cmd (Protego_base.Errno.message e);
+            Some 1)
+  in
+  (match code with Some c -> Syscall.exit m child c | None -> ());
+  match Syscall.waitpid m task child.Ktypes.tpid with
+  | Ok c -> Ok c
+  | Error _ -> Ok 1
+
+let parse_sudo_args argv =
+  match argv with
+  | _ :: "-u" :: target :: cmd :: args -> Some (target, cmd, args)
+  | _ :: cmd :: args when cmd <> "-u" -> Some ("root", cmd, args)
+  | _ -> None
+
+let sudo flavor : Ktypes.program =
+ fun m task argv ->
+  Coverage.declare "sudo" sudo_blocks;
+  Coverage.hit "sudo" "parse_args";
+  match parse_sudo_args argv with
+  | None ->
+      Coverage.hit "sudo" "usage_error";
+      Prog.fail m "sudo" "usage: sudo [-u user] command [args]"
+  | Some (target_name, cmd, args) -> (
+      match Prog.getpwnam m task target_name with
+      | None ->
+          Coverage.hit "sudo" "unknown_user";
+          Prog.fail m "sudo" "unknown user: %s" target_name
+      | Some target -> (
+          match flavor with
+          | Prog.Protego ->
+              (* All policy, authentication and recency checks moved into
+                 the kernel: just ask for the transition. *)
+              switch_and_exec m task ~target_uid:target.Pwdb.pw_uid ~cmd ~args
+          | Prog.Legacy -> (
+              if Syscall.geteuid task <> 0 then begin
+                Coverage.hit "sudo" "legacy_not_setuid";
+                Prog.fail m "sudo" "sudo must be owned by uid 0 and have the setuid bit set"
+              end
+              else begin
+                Coverage.hit "sudo" "read_sudoers";
+                let sudoers = read_sudoers_files m task in
+                (* TARGETPW rules encode su(1) semantics for the kernel's
+                   benefit; sudo itself ignores them. *)
+                let sudoers =
+                  { sudoers with
+                    Sudoers.rules =
+                      List.filter
+                        (fun r -> not (List.mem Sudoers.Targetpw r.Sudoers.tags))
+                        sudoers.Sudoers.rules }
+                in
+                let invoker =
+                  Prog.getpwuid m task (Syscall.getuid task)
+                  |> Option.map (fun e -> e.Pwdb.pw_name)
+                in
+                match invoker with
+                | None ->
+                    Coverage.hit "sudo" "unknown_user";
+                    Prog.fail m "sudo" "you do not exist in the passwd database"
+                | Some user -> (
+                    let groups =
+                      List.filter_map
+                        (fun gid ->
+                          Prog.getgrgid m task gid
+                          |> Option.map (fun g -> g.Pwdb.gr_name))
+                        (Syscall.getegid task :: Syscall.getgroups task)
+                    in
+                    match
+                      Sudoers.check sudoers ~user ~groups ~target:target_name
+                        ~command:(Some (cmd, args))
+                    with
+                    | Sudoers.Denied ->
+                        Coverage.hit "sudo" "rule_denied";
+                        Prog.fail m "sudo"
+                          "%s is not allowed to run %s as %s on this host" user
+                          cmd target_name
+                    | Sudoers.Allowed { nopasswd; _ } ->
+                        let timeout = sudoers.Sudoers.timestamp_timeout in
+                        let authed =
+                          if nopasswd then true
+                          else if timestamp_fresh m task ~user ~timeout then begin
+                            Coverage.hit "sudo" "timestamp_fresh";
+                            true
+                          end
+                          else begin
+                            Coverage.hit "sudo" "password_prompt";
+                            match
+                              (Prog.read_password m task,
+                               shadow_hash_legacy m task user)
+                            with
+                            | Some typed, Some hash
+                              when Pwdb.verify_password ~hash typed ->
+                                Coverage.hit "sudo" "auth_ok";
+                                stamp_timestamp m task ~user;
+                                true
+                            | _, _ ->
+                                Coverage.hit "sudo" "auth_failed";
+                                false
+                          end
+                        in
+                        if not authed then
+                          Prog.fail m "sudo" "incorrect password attempt"
+                        else
+                          switch_and_exec m task ~target_uid:target.Pwdb.pw_uid
+                            ~cmd ~args)
+              end)))
+
+let su_blocks =
+  [ "parse_args"; "unknown_user"; "legacy_prompt"; "legacy_auth_failed";
+    "switch"; "switch_denied"; "shell" ]
+
+let su flavor : Ktypes.program =
+ fun m task argv ->
+  Coverage.declare "su" su_blocks;
+  Coverage.hit "su" "parse_args";
+  let target_name = match argv with [ _; u ] -> u | _ -> "root" in
+  match Prog.getpwnam m task target_name with
+  | None ->
+      Coverage.hit "su" "unknown_user";
+      Prog.fail m "su" "user %s does not exist" target_name
+  | Some target -> (
+      let proceed () =
+        Coverage.hit "su" "switch";
+        let child = Syscall.fork m task in
+        let code =
+          match Syscall.setuid m child target.Pwdb.pw_uid with
+          | Error e ->
+              Coverage.hit "su" "switch_denied";
+              Prog.outf m "su: Authentication failure (%s)"
+                (Protego_base.Errno.message e);
+              1
+          | Ok () -> (
+              Coverage.hit "su" "shell";
+              match
+                Syscall.execve m child target.Pwdb.pw_shell
+                  [ target.Pwdb.pw_shell ] child.Ktypes.env
+              with
+              | Ok c -> c
+              | Error _ -> 1)
+        in
+        Syscall.exit m child code;
+        match Syscall.waitpid m task child.Ktypes.tpid with
+        | Ok c -> Ok c
+        | Error _ -> Ok 1
+      in
+      match flavor with
+      | Prog.Protego ->
+          (* The kernel's TARGETPW delegation rule makes the authentication
+             service ask for the target's password at setuid time. *)
+          proceed ()
+      | Prog.Legacy ->
+          if Syscall.geteuid task <> 0 then
+            Prog.fail m "su" "must be setuid root"
+          else begin
+            Coverage.hit "su" "legacy_prompt";
+            (* su asks for the *target* user's password. *)
+            match
+              (m.Ktypes.password_source target.Pwdb.pw_uid,
+               shadow_hash_legacy m task target_name)
+            with
+            | Some typed, Some hash when Pwdb.verify_password ~hash typed ->
+                proceed ()
+            | _, _ ->
+                Coverage.hit "su" "legacy_auth_failed";
+                Prog.fail m "su" "Authentication failure"
+          end)
+
+let sudoedit_blocks =
+  [ "parse_args"; "usage_error"; "delegate"; "denied"; "edit"; "written" ]
+
+(* sudoedit is sudo with the edit helper as the delegated command; the
+   helper is the only binary the delegation rule needs to authorize. *)
+let sudoedit flavor : Ktypes.program =
+ fun m task argv ->
+  Coverage.declare "sudoedit" sudoedit_blocks;
+  Coverage.hit "sudoedit" "parse_args";
+  match argv with
+  | [ _; file ] -> (
+      Coverage.hit "sudoedit" "delegate";
+      match
+        sudo flavor m task
+          [ "sudo"; "-u"; "root"; "/usr/bin/sudoedit-helper"; file ]
+      with
+      | Ok 0 -> Ok 0
+      | result ->
+          Coverage.hit "sudoedit" "denied";
+          result)
+  | _ ->
+      Coverage.hit "sudoedit" "usage_error";
+      Prog.fail m "sudoedit" "usage: sudoedit <file>"
+
+(* The privileged tail of sudoedit, exec'd after the uid transition so the
+   kernel can gate it per-binary. *)
+let sudoedit_helper : Ktypes.program =
+ fun m task argv ->
+  match argv with
+  | [ _; file ] -> (
+      Coverage.hit "sudoedit" "edit";
+      match Syscall.append_file m task file "# edited via sudoedit\n" with
+      | Ok () ->
+          Coverage.hit "sudoedit" "written";
+          Prog.outf m "sudoedit: %s updated" file;
+          Ok 0
+      | Error e -> Prog.fail m "sudoedit" "%s: %s" file (Protego_base.Errno.message e))
+  | _ -> Prog.fail m "sudoedit" "helper: bad arguments"
+
+let newgrp_blocks =
+  [ "parse_args"; "usage_error"; "unknown_group"; "legacy_member";
+    "legacy_password"; "legacy_denied"; "setgid"; "setgid_denied"; "switched" ]
+
+let newgrp flavor : Ktypes.program =
+ fun m task argv ->
+  Coverage.declare "newgrp" newgrp_blocks;
+  Coverage.hit "newgrp" "parse_args";
+  match argv with
+  | [ _; group_name ] -> (
+      match Prog.getgrnam m task group_name with
+      | None ->
+          Coverage.hit "newgrp" "unknown_group";
+          Prog.fail m "newgrp" "group %s does not exist" group_name
+      | Some group -> (
+          let do_setgid () =
+            Coverage.hit "newgrp" "setgid";
+            match Syscall.setgid m task group.Pwdb.gr_gid with
+            | Ok () ->
+                Coverage.hit "newgrp" "switched";
+                Prog.outf m "newgrp: now in group %s (gid %d)" group_name
+                  group.Pwdb.gr_gid;
+                Ok 0
+            | Error e ->
+                Coverage.hit "newgrp" "setgid_denied";
+                Prog.fail m "newgrp" "%s" (Protego_base.Errno.message e)
+          in
+          match flavor with
+          | Prog.Protego ->
+              (* Membership and group-password checks live in the kernel's
+                 setgid hook. *)
+              do_setgid ()
+          | Prog.Legacy -> (
+              if Syscall.geteuid task <> 0 then
+                Prog.fail m "newgrp" "must be setuid root"
+              else
+                let invoker =
+                  Prog.getpwuid m task (Syscall.getuid task)
+                  |> Option.map (fun e -> e.Pwdb.pw_name)
+                in
+                let drop_root result =
+                  (* The setuid-root binary returns to the invoking user
+                     once the privileged setgid is done. *)
+                  ignore (Syscall.setuid m task (Syscall.getuid task));
+                  result
+                in
+                match invoker with
+                | Some user when List.mem user group.Pwdb.gr_members ->
+                    Coverage.hit "newgrp" "legacy_member";
+                    drop_root (do_setgid ())
+                | Some _ | None -> (
+                    Coverage.hit "newgrp" "legacy_password";
+                    match (Prog.read_password m task, group.Pwdb.gr_password) with
+                    | Some typed, Some hash
+                      when Pwdb.verify_password ~hash typed ->
+                        drop_root (do_setgid ())
+                    | _, _ ->
+                        Coverage.hit "newgrp" "legacy_denied";
+                        Prog.fail m "newgrp" "Permission denied"))))
+  | _ ->
+      Coverage.hit "newgrp" "usage_error";
+      Prog.fail m "newgrp" "usage: newgrp <group>"

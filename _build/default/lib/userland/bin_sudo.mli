@@ -1,0 +1,26 @@
+(** sudo, su, sudoedit, newgrp — uid/gid switching and delegation (§4.3).
+
+    Usage:
+    - [sudo [-u <user>] <command> [args...]] (default target root)
+    - [su [<user>]] — become the target after proving the *target's* password
+    - [sudoedit <file>] — edit a root-owned file via delegation
+    - [newgrp <group>] — switch primary group (password-protected groups)
+
+    [Legacy] sudo is setuid root: it parses /etc/sudoers itself,
+    authenticates against /etc/shadow (a file only its root privilege lets
+    it read), keeps its own timestamp files under /var/run/sudo, and only
+    then setuid()s — holding full root the entire time.  [Protego] sudo is
+    an ordinary binary: it calls setuid(target) and the kernel applies the
+    same policy, deferring restricted transitions to exec; root privilege
+    (if any) is only granted after all checks succeed. *)
+
+val sudo : Prog.flavor -> Protego_kernel.Ktypes.program
+val su : Prog.flavor -> Protego_kernel.Ktypes.program
+val sudoedit : Prog.flavor -> Protego_kernel.Ktypes.program
+
+val sudoedit_helper : Protego_kernel.Ktypes.program
+(** The unprivileged edit tail sudoedit delegates to
+    (/usr/bin/sudoedit-helper); exec'd after the uid transition so the
+    kernel can gate the transition per-binary. *)
+
+val newgrp : Prog.flavor -> Protego_kernel.Ktypes.program

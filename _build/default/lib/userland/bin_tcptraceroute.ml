@@ -1,0 +1,109 @@
+open Protego_kernel
+module Ipaddr = Protego_net.Ipaddr
+module Packet = Protego_net.Packet
+module Netfilter = Protego_net.Netfilter
+
+let blocks =
+  [ "parse"; "usage"; "bad_host"; "socket"; "socket_denied"; "probe";
+    "probe_denied"; "hop"; "reached"; "max_hops" ]
+
+let optin_rule =
+  { Netfilter.matches = [ Netfilter.Origin_raw; Netfilter.Proto Packet.Tcp;
+                          Netfilter.Tcp_syn ];
+    target = Netfilter.Accept; comment = "tcptraceroute SYN probes" }
+
+let tcptraceroute flavor : Ktypes.program =
+ fun m task argv ->
+  Coverage.declare "tcptraceroute" blocks;
+  Coverage.hit "tcptraceroute" "parse";
+  let parsed =
+    match argv with
+    | [ _; host ] -> Some (host, 80)
+    | [ _; host; port_s ] -> Option.map (fun p -> (host, p)) (int_of_string_opt port_s)
+    | _ -> None
+  in
+  match parsed with
+  | None ->
+      Coverage.hit "tcptraceroute" "usage";
+      Prog.fail m "tcptraceroute" "usage: tcptraceroute <destination> [port]"
+  | Some (host, port) -> (
+      match Ipaddr.of_string host with
+      | None ->
+          Coverage.hit "tcptraceroute" "bad_host";
+          Prog.fail m "tcptraceroute" "unknown host %s" host
+      | Some dst -> (
+          Coverage.hit "tcptraceroute" "socket";
+          match Syscall.socket m task Ktypes.Af_inet Ktypes.Sock_raw 6 with
+          | Error e ->
+              Coverage.hit "tcptraceroute" "socket_denied";
+              Prog.fail m "tcptraceroute" "raw socket: %s"
+                (Protego_base.Errno.message e)
+          | Ok fd ->
+              (match flavor with
+              | Prog.Legacy when Syscall.geteuid task = 0 && Syscall.getuid task <> 0 ->
+                  ignore (Syscall.setuid m task (Syscall.getuid task))
+              | Prog.Legacy | Prog.Protego -> ());
+              (* ICMP errors come back on a second raw socket. *)
+              let icmp_fd =
+                match Syscall.socket m task Ktypes.Af_inet Ktypes.Sock_raw 1 with
+                | Ok f -> f
+                | Error _ -> fd
+              in
+              let src =
+                match m.Ktypes.local_addrs with a :: _ -> a | [] -> Ipaddr.localhost
+              in
+              Prog.outf m "tracing to %s:%d with SYN probes" host port;
+              let rec hop ttl =
+                if ttl > 30 then begin
+                  Coverage.hit "tcptraceroute" "max_hops";
+                  Ok 1
+                end
+                else begin
+                  Coverage.hit "tcptraceroute" "probe";
+                  let syn =
+                    { Packet.src; dst; ttl;
+                      transport = Packet.Tcp_seg { src_port = 45000 + ttl;
+                                                   dst_port = port; syn = true;
+                                                   payload = "" } }
+                  in
+                  match Syscall.sendto m task fd dst 0 (Packet.encode syn) with
+                  | Error e ->
+                      Coverage.hit "tcptraceroute" "probe_denied";
+                      Prog.fail m "tcptraceroute" "send: %s (administrator opt-in: %s)"
+                        (Protego_base.Errno.message e)
+                        (Netfilter.rule_to_spec optin_rule)
+                  | Ok _ -> (
+                      (* hop errors arrive on the ICMP socket, the SYN-ACK
+                         (or RST) on the TCP raw socket *)
+                      let icmp_reply =
+                        match Syscall.recvfrom m task icmp_fd with
+                        | Ok data -> Packet.decode data
+                        | Error _ -> None
+                      in
+                      let tcp_reply =
+                        match Syscall.recvfrom m task fd with
+                        | Ok data -> Packet.decode data
+                        | Error _ -> None
+                      in
+                      match (icmp_reply, tcp_reply) with
+                      | ( Some { Packet.src = hop_addr;
+                                 transport = Packet.Icmp_msg
+                                     { icmp_type = Packet.Time_exceeded; _ }; _ },
+                          _ ) ->
+                          Coverage.hit "tcptraceroute" "hop";
+                          Prog.outf m "%2d  %s" ttl (Ipaddr.to_string hop_addr);
+                          hop (ttl + 1)
+                      | _, Some { Packet.transport = Packet.Tcp_seg { syn; _ }; _ } ->
+                          Coverage.hit "tcptraceroute" "reached";
+                          Prog.outf m "%2d  %s [%s]" ttl host
+                            (if syn then "open" else "closed");
+                          Ok 0
+                      | _, _ ->
+                          Prog.outf m "%2d  *" ttl;
+                          hop (ttl + 1))
+                end
+              in
+              let result = hop 1 in
+              ignore (Syscall.close m task fd);
+              if icmp_fd <> fd then ignore (Syscall.close m task icmp_fd);
+              result))

@@ -1,0 +1,13 @@
+(** tcptraceroute — hop discovery with TCP SYN probes (a "tail" package of
+    Table 3, §5.4: its interface class — socket — is already addressed, but
+    the default Protego netfilter rules derive from the 28 studied binaries
+    and do not admit TCP from raw sockets.  The administrator opts in with
+    one rule: ["--origin raw -p tcp --syn -j ACCEPT"].)
+
+    Usage: [tcptraceroute <addr> [port]]. *)
+
+val tcptraceroute : Prog.flavor -> Protego_kernel.Ktypes.program
+
+val optin_rule : Protego_net.Netfilter.rule
+(** The iptables rule that admits SYN-only probes from unprivileged raw
+    sockets. *)

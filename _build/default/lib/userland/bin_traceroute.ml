@@ -1,0 +1,177 @@
+open Protego_kernel
+module Ipaddr = Protego_net.Ipaddr
+module Packet = Protego_net.Packet
+
+let tr_blocks =
+  [ "parse_args"; "usage_error"; "bad_host"; "raw_socket"; "raw_denied";
+    "probe"; "probe_denied"; "hop_reply"; "destination_reached"; "max_hops" ]
+
+let traceroute flavor : Ktypes.program =
+ fun m task argv ->
+  Coverage.declare "traceroute" tr_blocks;
+  Coverage.hit "traceroute" "parse_args";
+  let parsed =
+    match argv with
+    | [ _; host ] -> Some (host, 30)
+    | [ _; host; max_s ] ->
+        Option.map (fun n -> (host, n)) (int_of_string_opt max_s)
+    | _ -> None
+  in
+  match parsed with
+  | None ->
+      Coverage.hit "traceroute" "usage_error";
+      Prog.fail m "traceroute" "usage: traceroute <destination> [max_hops]"
+  | Some (host, max_hops) -> (
+      match Ipaddr.of_string host with
+      | None ->
+          Coverage.hit "traceroute" "bad_host";
+          Prog.fail m "traceroute" "unknown host %s" host
+      | Some dst -> (
+          Coverage.hit "traceroute" "raw_socket";
+          (* Raw ICMP socket to read the returning errors. *)
+          match Syscall.socket m task Ktypes.Af_inet Ktypes.Sock_raw 1 with
+          | Error e ->
+              Coverage.hit "traceroute" "raw_denied";
+              Prog.fail m "traceroute" "raw socket: %s"
+                (Protego_base.Errno.message e)
+          | Ok icmp_fd -> (
+              (match flavor with
+              | Prog.Legacy when Syscall.geteuid task = 0 && Syscall.getuid task <> 0 ->
+                  ignore (Syscall.setuid m task (Syscall.getuid task))
+              | Prog.Legacy | Prog.Protego -> ());
+              match Syscall.socket m task Ktypes.Af_inet Ktypes.Sock_dgram 17 with
+              | Error e ->
+                  Prog.fail m "traceroute" "udp socket: %s"
+                    (Protego_base.Errno.message e)
+              | Ok udp_fd ->
+                  Prog.outf m "traceroute to %s, %d hops max" host max_hops;
+                  let rec hop ttl =
+                    if ttl > max_hops then begin
+                      Coverage.hit "traceroute" "max_hops";
+                      Ok 1
+                    end
+                    else begin
+                      Coverage.hit "traceroute" "probe";
+                      ignore (Syscall.setsockopt_ttl m task udp_fd ttl);
+                      match
+                        Syscall.sendto m task udp_fd dst (33434 + ttl) "probe"
+                      with
+                      | Error e ->
+                          Coverage.hit "traceroute" "probe_denied";
+                          Prog.fail m "traceroute" "sendto: %s"
+                            (Protego_base.Errno.message e)
+                      | Ok _ -> (
+                          match Syscall.recvfrom m task icmp_fd with
+                          | Ok data -> (
+                              match Packet.decode data with
+                              | Some { Packet.src = hop_addr;
+                                       transport = Packet.Icmp_msg
+                                           { icmp_type = Packet.Time_exceeded; _ }; _ } ->
+                                  Coverage.hit "traceroute" "hop_reply";
+                                  Prog.outf m "%2d  %s" ttl
+                                    (Ipaddr.to_string hop_addr);
+                                  hop (ttl + 1)
+                              | Some { Packet.src = from;
+                                       transport = Packet.Icmp_msg
+                                           { icmp_type = Packet.Dest_unreachable; _ }; _ } ->
+                                  Coverage.hit "traceroute" "destination_reached";
+                                  Prog.outf m "%2d  %s  (reached)" ttl
+                                    (Ipaddr.to_string from);
+                                  Ok 0
+                              | Some _ | None ->
+                                  Prog.outf m "%2d  *" ttl;
+                                  hop (ttl + 1))
+                          | Error _ ->
+                              Prog.outf m "%2d  *" ttl;
+                              hop (ttl + 1))
+                    end
+                  in
+                  let result = hop 1 in
+                  ignore (Syscall.close m task udp_fd);
+                  ignore (Syscall.close m task icmp_fd);
+                  result)))
+
+let mtr_blocks =
+  [ "parse_args"; "usage_error"; "bad_host"; "socket"; "socket_denied";
+    "round"; "hop_line"; "send_denied"; "report" ]
+
+let mtr flavor : Ktypes.program =
+ fun m task argv ->
+  Coverage.declare "mtr" mtr_blocks;
+  Coverage.hit "mtr" "parse_args";
+  let parsed =
+    match argv with
+    | [ _; host ] -> Some (host, 3)
+    | [ _; "-c"; count_s; host ] ->
+        Option.map (fun c -> (host, c)) (int_of_string_opt count_s)
+    | _ -> None
+  in
+  match parsed with
+  | None ->
+      Coverage.hit "mtr" "usage_error";
+      Prog.fail m "mtr" "usage: mtr [-c count] <destination>"
+  | Some (host, rounds) -> (
+      match Ipaddr.of_string host with
+      | None ->
+          Coverage.hit "mtr" "bad_host";
+          Prog.fail m "mtr" "unknown host %s" host
+      | Some dst -> (
+          Coverage.hit "mtr" "socket";
+          match Syscall.socket m task Ktypes.Af_inet Ktypes.Sock_raw 1 with
+          | Error e ->
+              Coverage.hit "mtr" "socket_denied";
+              Prog.fail m "mtr" "raw socket: %s" (Protego_base.Errno.message e)
+          | Ok fd ->
+              (match flavor with
+              | Prog.Legacy when Syscall.geteuid task = 0 && Syscall.getuid task <> 0 ->
+                  ignore (Syscall.setuid m task (Syscall.getuid task))
+              | Prog.Legacy | Prog.Protego -> ());
+              let src =
+                match m.Ktypes.local_addrs with
+                | a :: _ -> a
+                | [] -> Ipaddr.localhost
+              in
+              (* mtr builds its own headers, so the probe TTL is set directly
+                 in the encoded packet. *)
+              let rec walk ttl acc =
+                if ttl > 30 then List.rev acc
+                else begin
+                  Coverage.hit "mtr" "round";
+                  let pkt =
+                    { (Packet.echo_request ~src ~dst ~seq:ttl ()) with
+                      Packet.ttl }
+                  in
+                  match Syscall.sendto m task fd dst 0 (Packet.encode pkt) with
+                  | Error e ->
+                      Coverage.hit "mtr" "send_denied";
+                      Prog.outf m "mtr: send: %s" (Protego_base.Errno.message e);
+                      List.rev acc
+                  | Ok _ -> (
+                      match Syscall.recvfrom m task fd with
+                      | Ok data -> (
+                          match Packet.decode data with
+                          | Some { Packet.src = hop_addr;
+                                   transport = Packet.Icmp_msg
+                                       { icmp_type = Packet.Time_exceeded; _ }; _ } ->
+                              walk (ttl + 1) ((ttl, Some hop_addr, false) :: acc)
+                          | Some { Packet.src = from;
+                                   transport = Packet.Icmp_msg
+                                       { icmp_type = Packet.Echo_reply; _ }; _ } ->
+                              List.rev ((ttl, Some from, true) :: acc)
+                          | Some _ | None -> walk (ttl + 1) ((ttl, None, false) :: acc))
+                      | Error _ -> walk (ttl + 1) ((ttl, None, false) :: acc))
+                end
+              in
+              let path = walk 1 [] in
+              Coverage.hit "mtr" "report";
+              Prog.outf m "HOST: local    Loss%%  Snt";
+              List.iter
+                (fun (ttl, addr, final) ->
+                  Coverage.hit "mtr" "hop_line";
+                  Prog.outf m "%2d.|-- %s %s  0.0%%  %d" ttl
+                    (match addr with Some a -> Ipaddr.to_string a | None -> "???")
+                    (if final then "(dst)" else "")
+                    rounds)
+                path;
+              ignore (Syscall.close m task fd);
+              Ok (if path = [] then 1 else 0)))

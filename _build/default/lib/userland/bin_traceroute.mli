@@ -1,0 +1,13 @@
+(** traceroute (iputils-tracepath) and mtr — hop discovery utilities.
+
+    Usage: [traceroute <addr> [max_hops]], [mtr [-c count] <addr>].
+
+    traceroute sends UDP probes with increasing TTL (ports 33434+) and reads
+    the ICMP TIME_EXCEEDED / DEST_UNREACHABLE errors from a raw socket; mtr
+    sends raw ICMP echoes with increasing TTL.  Both need [CAP_NET_RAW] on
+    stock Linux for the raw error socket; on Protego the marked raw socket
+    plus the default netfilter rules (ICMP probes, UDP 33434-33534) cover
+    exactly this traffic. *)
+
+val traceroute : Prog.flavor -> Protego_kernel.Ktypes.program
+val mtr : Prog.flavor -> Protego_kernel.Ktypes.program

@@ -1,0 +1,47 @@
+let table : (string, (string, int) Hashtbl.t) Hashtbl.t = Hashtbl.create 32
+let order : (string, string list ref) Hashtbl.t = Hashtbl.create 32
+
+let declare binary block_names =
+  if not (Hashtbl.mem table binary) then begin
+    let blocks = Hashtbl.create (List.length block_names) in
+    List.iter (fun b -> Hashtbl.replace blocks b 0) block_names;
+    Hashtbl.replace table binary blocks;
+    Hashtbl.replace order binary (ref block_names)
+  end
+
+let hit binary block =
+  let blocks =
+    match Hashtbl.find_opt table binary with
+    | Some b -> b
+    | None ->
+        let b = Hashtbl.create 8 in
+        Hashtbl.replace table binary b;
+        Hashtbl.replace order binary (ref []);
+        b
+  in
+  (match Hashtbl.find_opt order binary with
+  | Some names when not (List.mem block !names) -> names := !names @ [ block ]
+  | Some _ | None -> ());
+  Hashtbl.replace blocks block (1 + Option.value ~default:0 (Hashtbl.find_opt blocks block))
+
+let blocks binary =
+  match (Hashtbl.find_opt table binary, Hashtbl.find_opt order binary) with
+  | Some counts, Some names ->
+      List.map (fun b -> (b, Option.value ~default:0 (Hashtbl.find_opt counts b))) !names
+  | _, _ -> []
+
+let percent binary =
+  let bs = blocks binary in
+  let total = List.length bs in
+  if total = 0 then 0.0
+  else
+    let hit_count = List.length (List.filter (fun (_, n) -> n > 0) bs) in
+    100.0 *. float_of_int hit_count /. float_of_int total
+
+let binaries () = Hashtbl.fold (fun k _ acc -> k :: acc) table [] |> List.sort compare
+
+let reset () =
+  Hashtbl.iter
+    (fun _ blocks ->
+      Hashtbl.iter (fun b _ -> Hashtbl.replace blocks b 0) blocks)
+    table

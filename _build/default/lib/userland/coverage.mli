@@ -1,0 +1,22 @@
+(** gcov-style coverage instrumentation for the ported binaries (Table 7).
+
+    Each binary declares its basic blocks at module initialisation and marks
+    them with {!hit} as control flow passes through; {!percent} reports the
+    fraction exercised.  Counters are global so a whole test run
+    accumulates. *)
+
+val declare : string -> string list -> unit
+(** [declare binary blocks] — idempotent; re-declaring keeps counts. *)
+
+val hit : string -> string -> unit
+(** Unknown blocks are counted too (they inflate the denominator), so a
+    typo shows up as uncovered rather than silently passing. *)
+
+val percent : string -> float
+(** 0.0 if the binary declared no blocks. *)
+
+val blocks : string -> (string * int) list
+(** (block, hit count) pairs, declaration order. *)
+
+val binaries : unit -> string list
+val reset : unit -> unit

@@ -1,0 +1,1 @@
+test/test_apparmor.ml: Alcotest Apparmor Cap Cred Errno Fmt Hashtbl Ktypes List Machine Profile Protego_apparmor Protego_base Protego_kernel QCheck2 QCheck_alcotest String Syntax Syscall

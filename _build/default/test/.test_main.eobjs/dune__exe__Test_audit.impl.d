@@ -1,0 +1,1 @@
+test/test_audit.ml: Alcotest Audit Errno Fmt Ktypes List Protego_base Protego_dist Protego_kernel Protego_net Result String Syntax Syscall

@@ -1,0 +1,1 @@
+test/test_base.ml: Alcotest Cap Errno List Mode Option Protego_base QCheck2 QCheck_alcotest Syntax

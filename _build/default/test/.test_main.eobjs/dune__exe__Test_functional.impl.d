@@ -1,0 +1,1 @@
+test/test_functional.ml: Alcotest List Printf Protego_base Protego_dist Protego_kernel Protego_study Protego_userland

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Inode List Machine Protego_base Protego_dist Protego_kernel Protego_net Protego_policy QCheck2 QCheck_alcotest String Syscall Vfs

@@ -1,0 +1,1 @@
+test/test_hardening.ml: Alcotest Cap Errno Fmt Hashtbl Ktypes List Machine Protego_base Protego_dist Protego_kernel Protego_net Protego_study Result String Syntax Syscall

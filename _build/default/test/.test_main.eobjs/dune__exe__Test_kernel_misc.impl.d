@@ -1,0 +1,1 @@
+test/test_kernel_misc.ml: Alcotest Cap Cred Errno Fmt Hashtbl Inode Ktypes List Machine Protego_base Protego_dist Protego_kernel Protego_userland Result Syntax Syscall Vfs

@@ -1,0 +1,1 @@
+test/test_mail.ml: Alcotest Errno Fmt Ktypes List Machine Protego_base Protego_dist Protego_kernel Protego_net Protego_policy Protego_userland Result String Syntax Syscall

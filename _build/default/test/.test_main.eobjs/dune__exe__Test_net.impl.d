@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Ipaddr List Netfilter Option Packet Ppp Protego_net QCheck2 QCheck_alcotest Route

@@ -1,0 +1,1 @@
+test/test_netstack.ml: Alcotest Cred Errno Fmt Ktypes List Machine Netstack Option Protego_base Protego_kernel Protego_net Result Syntax Syscall

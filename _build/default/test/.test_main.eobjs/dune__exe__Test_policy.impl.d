@@ -1,0 +1,1 @@
+test/test_policy.ml: Alcotest Bindconf Fstab List Option Pppopts Printf Protego_kernel Protego_policy Pwdb QCheck2 QCheck_alcotest Result Sudoers

@@ -1,0 +1,1 @@
+test/test_polkit.ml: Alcotest Fmt Ktypes List Option Protego_base Protego_dist Protego_kernel Protego_policy Protego_services Result Syscall

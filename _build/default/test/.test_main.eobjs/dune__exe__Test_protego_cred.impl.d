@@ -1,0 +1,1 @@
+test/test_protego_cred.ml: Alcotest Errno Fmt Ktypes List Machine Protego_base Protego_dist Protego_kernel Protego_policy Protego_services Protego_userland Result String Syntax Syscall

@@ -1,0 +1,1 @@
+test/test_protego_deleg.ml: Alcotest Errno Fmt Ktypes Machine Printf Protego_base Protego_dist Protego_kernel String Syntax Syscall

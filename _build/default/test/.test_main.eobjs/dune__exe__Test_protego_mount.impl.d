@@ -1,0 +1,1 @@
+test/test_protego_mount.ml: Alcotest Errno Fmt Ktypes List Protego_base Protego_dist Protego_kernel Result String Syntax Syscall

@@ -1,0 +1,1 @@
+test/test_protego_net.ml: Alcotest Errno Fmt Ktypes List Machine Option Protego_base Protego_dist Protego_kernel Protego_net Result String Syntax Syscall

@@ -1,0 +1,1 @@
+test/test_sandbox.ml: Alcotest Errno Fmt Ktypes List Machine Protego_base Protego_dist Protego_kernel Protego_net Result Syntax Syscall

@@ -1,0 +1,1 @@
+test/test_services.ml: Alcotest Errno Fmt Ktypes Machine Option Protego_base Protego_dist Protego_kernel Protego_net Protego_policy Protego_services Syntax Syscall

@@ -1,0 +1,1 @@
+test/test_study.ml: Alcotest Float List Protego_dist Protego_study String

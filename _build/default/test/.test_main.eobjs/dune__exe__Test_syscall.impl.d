@@ -1,0 +1,1 @@
+test/test_syscall.ml: Alcotest Cap Cred Errno Fmt Hashtbl Ktypes List Machine Mode Protego_base Protego_kernel Result Syntax Syscall

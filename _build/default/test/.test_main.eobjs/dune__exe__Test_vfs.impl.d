@@ -1,0 +1,1 @@
+test/test_vfs.ml: Alcotest Cap Cred Errno Fmt Inode Ktypes List Machine Protego_base Protego_kernel QCheck2 QCheck_alcotest Result String Syntax Syscall Vfs

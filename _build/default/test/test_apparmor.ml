@@ -1,0 +1,116 @@
+open Protego_base
+open Protego_kernel
+open Protego_apparmor
+
+let check = Alcotest.(check bool)
+
+let errno =
+  Alcotest.testable (fun ppf e -> Fmt.string ppf (Errno.to_string e)) Errno.equal
+
+let test_glob () =
+  check "literal" true (Profile.glob_match ~pattern:"/etc/motd" "/etc/motd");
+  check "literal mismatch" false (Profile.glob_match ~pattern:"/etc/motd" "/etc/mtab");
+  check "star within component" true
+    (Profile.glob_match ~pattern:"/etc/*.conf" "/etc/app.conf");
+  check "star stops at slash" false
+    (Profile.glob_match ~pattern:"/etc/*" "/etc/sub/dir");
+  check "doublestar crosses slashes" true
+    (Profile.glob_match ~pattern:"/var/**" "/var/log/app/errors");
+  check "doublestar empty" true (Profile.glob_match ~pattern:"/var/**" "/var/");
+  check "middle star" true (Profile.glob_match ~pattern:"/home/*/mail" "/home/bob/mail");
+  check "middle star mismatch" false
+    (Profile.glob_match ~pattern:"/home/*/mail" "/home/bob/sub/mail")
+
+let prop_glob_literal =
+  QCheck2.Test.make ~name:"apparmor: wildcard-free pattern matches only itself"
+    ~count:200
+    QCheck2.Gen.(
+      map
+        (fun parts -> "/" ^ String.concat "/" parts)
+        (list_size (int_range 1 4) (oneofl [ "etc"; "usr"; "motd"; "a"; "b" ])))
+    (fun path ->
+      Profile.glob_match ~pattern:path path
+      && not (Profile.glob_match ~pattern:path (path ^ "x")))
+
+let test_confinement () =
+  let m = Machine.create () in
+  let kt = Machine.kernel_task m in
+  ignore (Machine.mkdir_p m kt "/bin" ());
+  ignore (Machine.mkdir_p m kt "/etc" ());
+  ignore (Machine.mkdir_p m kt "/var/log" ());
+  ignore (Machine.write_file m kt ~path:"/etc/motd" ~mode:0o644 "m");
+  ignore (Machine.write_file m kt ~path:"/etc/other" ~mode:0o644 "o");
+  ignore (Machine.write_file m kt ~path:"/var/log/app" ~mode:0o666 "");
+  let aa = Apparmor.install m in
+  Syntax.expect_ok "install confined binary"
+    (Machine.install_binary m kt ~path:"/bin/confined" (fun m task _argv ->
+         let read_motd = Syscall.read_file m task "/etc/motd" in
+         let read_other = Syscall.read_file m task "/etc/other" in
+         let write_log = Syscall.append_file m task "/var/log/app" "line\n" in
+         match (read_motd, read_other, write_log) with
+         | Ok _, Error Errno.EACCES, Ok () -> Ok 0 (* expected under profile *)
+         | Ok _, Ok _, Ok () -> Ok 10 (* unconfined *)
+         | _ -> Ok 99));
+  let alice =
+    Machine.spawn_task m ~cred:(Cred.make ~uid:1000 ~gid:1000 ()) ~cwd:"/" ()
+  in
+  (* Without a profile the binary is unconfined. *)
+  let child = Syscall.fork m alice in
+  check "unconfined" true (Syscall.execve m child "/bin/confined" [] [] = Ok 10);
+  (* Load a profile: may read motd and append to its log, nothing else. *)
+  Apparmor.load_profile aa
+    (Profile.make ~name:"/bin/confined"
+       ~path_rules:
+         [ { Profile.pattern = "/etc/motd"; perms = [ Profile.Pr ] };
+           { Profile.pattern = "/var/log/**"; perms = [ Profile.Pr; Profile.Pw ] } ]
+       ());
+  let child = Syscall.fork m alice in
+  check "confined" true (Syscall.execve m child "/bin/confined" [] [] = Ok 0);
+  (* Profile attaches on exec and detaches for unprofiled binaries. *)
+  check "profile label set" true (child.Ktypes.sec.Ktypes.aa_profile = Some "/bin/confined");
+  Apparmor.unload_profile aa "/bin/confined";
+  let child = Syscall.fork m alice in
+  check "unconfined after unload" true
+    (Syscall.execve m child "/bin/confined" [] [] = Ok 10)
+
+let test_capability_confinement () =
+  let m = Machine.create () in
+  let kt = Machine.kernel_task m in
+  ignore (Machine.mkdir_p m kt "/bin" ());
+  ignore (Machine.mkdir_p m kt "/media/cdrom" ());
+  Hashtbl.replace m.Ktypes.devices "/dev/cdrom"
+    (Ktypes.Dev_block
+       { media = Some { Ktypes.media_fstype = "iso9660"; media_files = [] } });
+  let aa = Apparmor.install m in
+  (* A root binary confined to CAP_NET_RAW cannot mount even as euid 0 —
+     the administrator-least-privilege the paper credits AppArmor with. *)
+  Syntax.expect_ok "install mounter"
+    (Machine.install_binary m kt ~path:"/bin/mounter" (fun m task _argv ->
+         match
+           Syscall.mount m task ~source:"/dev/cdrom" ~target:"/media/cdrom"
+             ~fstype:"iso9660" ~flags:[]
+         with
+         | Ok () -> Ok 0
+         | Error Errno.EPERM -> Ok 13
+         | Error _ -> Ok 99));
+  Apparmor.load_profile aa
+    (Profile.make ~name:"/bin/mounter" ~caps:[ Cap.CAP_NET_RAW ] ());
+  let root = Machine.spawn_task m ~cred:(Cred.make ~uid:0 ~gid:0 ()) ~cwd:"/" () in
+  let child = Syscall.fork m root in
+  Alcotest.(check (result int errno))
+    "confined root cannot mount" (Ok 13)
+    (Syscall.execve m child "/bin/mounter" [] []);
+  Apparmor.unload_profile aa "/bin/mounter";
+  let child = Syscall.fork m root in
+  Alcotest.(check (result int errno))
+    "unconfined root mounts" (Ok 0)
+    (Syscall.execve m child "/bin/mounter" [] [])
+
+let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
+
+let suites =
+  [ ("apparmor:glob",
+      [ Alcotest.test_case "patterns" `Quick test_glob ] @ qsuite [ prop_glob_literal ]);
+    ("apparmor:confinement",
+      [ Alcotest.test_case "path mediation" `Quick test_confinement;
+        Alcotest.test_case "capability mask" `Quick test_capability_confinement ]) ]

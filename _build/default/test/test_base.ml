@@ -1,0 +1,159 @@
+open Protego_base
+
+let check = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+let check_int = Alcotest.(check int)
+
+(* --- errno -------------------------------------------------------------- *)
+
+let test_errno_names () =
+  check_str "EPERM" "EPERM" (Errno.to_string Errno.EPERM);
+  check_str "message" "Operation not permitted" (Errno.message Errno.EPERM);
+  check "equal" true (Errno.equal Errno.EACCES Errno.EACCES);
+  check "not equal" false (Errno.equal Errno.EACCES Errno.EPERM);
+  check "ordered" true (Errno.compare Errno.EPERM Errno.ENOENT < 0)
+
+(* --- capabilities -------------------------------------------------------- *)
+
+let test_cap_numbering () =
+  check_int "CAP_CHOWN is 0" 0 (Cap.to_int Cap.CAP_CHOWN);
+  check_int "CAP_SETUID is 7" 7 (Cap.to_int Cap.CAP_SETUID);
+  check_int "CAP_SYS_ADMIN is 21" 21 (Cap.to_int Cap.CAP_SYS_ADMIN);
+  check_int "37 capabilities" 37 (List.length Cap.all);
+  List.iter
+    (fun c ->
+      Alcotest.(check (option string))
+        "roundtrip via int" (Some (Cap.to_string c))
+        (Option.map Cap.to_string (Cap.of_int (Cap.to_int c))))
+    Cap.all
+
+let test_cap_strings () =
+  Alcotest.(check (option string))
+    "of_string" (Some "CAP_NET_RAW")
+    (Option.map Cap.to_string (Cap.of_string "CAP_NET_RAW"));
+  Alcotest.(check (option string)) "bad name" None
+    (Option.map Cap.to_string (Cap.of_string "CAP_NONSENSE"))
+
+let test_cap_set_basics () =
+  let s = Cap.Set.of_list [ Cap.CAP_SETUID; Cap.CAP_NET_RAW ] in
+  check "mem present" true (Cap.Set.mem Cap.CAP_SETUID s);
+  check "mem absent" false (Cap.Set.mem Cap.CAP_SYS_ADMIN s);
+  check_int "cardinal" 2 (Cap.Set.cardinal s);
+  check "remove" false Cap.Set.(mem Cap.CAP_SETUID (remove Cap.CAP_SETUID s));
+  check "full has all" true
+    (List.for_all (fun c -> Cap.Set.mem c Cap.Set.full) Cap.all);
+  check "empty has none" true
+    (List.for_all (fun c -> not (Cap.Set.mem c Cap.Set.empty)) Cap.all);
+  check "subset" true (Cap.Set.subset s Cap.Set.full);
+  check "not subset" false (Cap.Set.subset Cap.Set.full s)
+
+let cap_gen = QCheck2.Gen.oneofl Cap.all
+let cap_list_gen = QCheck2.Gen.(list_size (int_bound 12) cap_gen)
+
+let prop_set_of_list_mem =
+  QCheck2.Test.make ~name:"cap set: of_list members are mem" ~count:200
+    cap_list_gen (fun caps ->
+      let s = Cap.Set.of_list caps in
+      List.for_all (fun c -> Cap.Set.mem c s) caps)
+
+let prop_set_union_inter =
+  QCheck2.Test.make ~name:"cap set: inter is subset of union" ~count:200
+    QCheck2.Gen.(pair cap_list_gen cap_list_gen)
+    (fun (a, b) ->
+      let sa = Cap.Set.of_list a and sb = Cap.Set.of_list b in
+      Cap.Set.subset (Cap.Set.inter sa sb) (Cap.Set.union sa sb))
+
+let prop_set_diff =
+  QCheck2.Test.make ~name:"cap set: diff removes all of b" ~count:200
+    QCheck2.Gen.(pair cap_list_gen cap_list_gen)
+    (fun (a, b) ->
+      let d = Cap.Set.diff (Cap.Set.of_list a) (Cap.Set.of_list b) in
+      List.for_all (fun c -> not (Cap.Set.mem c d)) b)
+
+let prop_set_to_list_roundtrip =
+  QCheck2.Test.make ~name:"cap set: to_list/of_list roundtrip" ~count:200
+    cap_list_gen (fun caps ->
+      let s = Cap.Set.of_list caps in
+      Cap.Set.equal s (Cap.Set.of_list (Cap.Set.to_list s)))
+
+(* --- mode ----------------------------------------------------------------- *)
+
+let test_mode_bits () =
+  check "4755 has setuid" true (Mode.has_setuid 0o4755);
+  check "755 lacks setuid" false (Mode.has_setuid 0o755);
+  check "2755 has setgid" true (Mode.has_setgid 0o2755);
+  check "1777 sticky" true (Mode.has_sticky 0o1777);
+  check_int "set_setuid" 0o4644 (Mode.set_setuid 0o644);
+  check_int "clear_setuid" 0o644 (Mode.clear_setuid 0o4644)
+
+let test_mode_permits () =
+  check "owner read 600" true (Mode.permits 0o600 ~who:`Owner Mode.R);
+  check "group read 600" false (Mode.permits 0o600 ~who:`Group Mode.R);
+  check "other read 604" true (Mode.permits 0o604 ~who:`Other Mode.R);
+  check "other write 604" false (Mode.permits 0o604 ~who:`Other Mode.W);
+  check "group exec 710" true (Mode.permits 0o710 ~who:`Group Mode.X)
+
+let test_mode_strings () =
+  check_str "rwsr-xr-x" "rwsr-xr-x" (Mode.to_string 0o4755);
+  check_str "rwSr--r--" "rwSr--r--" (Mode.to_string 0o4644);
+  check_str "rwxrwxrwt" "rwxrwxrwt" (Mode.to_string 0o1777);
+  check_str "octal" "4755" (Mode.to_octal 0o4755);
+  Alcotest.(check (option int)) "of_octal" (Some 0o4755) (Mode.of_octal "4755");
+  Alcotest.(check (option int)) "of_octal bad" None (Mode.of_octal "9999")
+
+let prop_mode_octal_roundtrip =
+  QCheck2.Test.make ~name:"mode: octal roundtrip" ~count:300
+    QCheck2.Gen.(int_bound 0o7777)
+    (fun m -> Mode.of_octal (Mode.to_octal m) = Some m)
+
+let prop_mode_permits_bits =
+  QCheck2.Test.make ~name:"mode: permits agrees with bits_for" ~count:300
+    QCheck2.Gen.(pair (int_bound 0o7777) (oneofl [ `Owner; `Group; `Other ]))
+    (fun (m, who) ->
+      List.for_all
+        (fun a -> Mode.permits m ~who a = (m land Mode.bits_for ~who a <> 0))
+        [ Mode.R; Mode.W; Mode.X ])
+
+(* --- syntax ---------------------------------------------------------------- *)
+
+let test_syntax () =
+  let open Syntax in
+  Alcotest.(check int) "let* ok" 3
+    (match
+       let* x = ok 1 in
+       let* y = ok 2 in
+       ok (x + y)
+     with
+    | Ok n -> n
+    | Error _ -> -1);
+  check "let* error short-circuits" true
+    ((let* _ = (error Errno.EPERM : int syscall_result) in
+      ok 99)
+    = Error Errno.EPERM);
+  check "iter_result stops at first error" true
+    (iter_result (fun x -> if x > 2 then error Errno.EINVAL else ok ()) [ 1; 2; 3; 4 ]
+    = Error Errno.EINVAL);
+  check "expect_ok unwraps" true (Syntax.expect_ok "x" (Ok 5) = 5);
+  check "expect_ok raises" true
+    (try
+       ignore (Syntax.expect_ok "x" (Error Errno.EPERM : int syscall_result));
+       false
+     with Failure _ -> true)
+
+let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
+
+let suites =
+  [ ("base:errno", [ Alcotest.test_case "names and messages" `Quick test_errno_names ]);
+    ("base:cap",
+      [ Alcotest.test_case "kernel numbering" `Quick test_cap_numbering;
+        Alcotest.test_case "string conversions" `Quick test_cap_strings;
+        Alcotest.test_case "set basics" `Quick test_cap_set_basics ]
+      @ qsuite
+          [ prop_set_of_list_mem; prop_set_union_inter; prop_set_diff;
+            prop_set_to_list_roundtrip ]);
+    ("base:mode",
+      [ Alcotest.test_case "special bits" `Quick test_mode_bits;
+        Alcotest.test_case "permission classes" `Quick test_mode_permits;
+        Alcotest.test_case "string forms" `Quick test_mode_strings ]
+      @ qsuite [ prop_mode_octal_roundtrip; prop_mode_permits_bits ]);
+    ("base:syntax", [ Alcotest.test_case "binding operators" `Quick test_syntax ]) ]

@@ -1,0 +1,189 @@
+(* Property and fuzz tests across the policy surfaces: the /proc
+   configuration files must never crash or corrupt policy on hostile input,
+   parsers must round-trip, and netfilter evaluation must follow
+   first-match-wins semantics. *)
+
+open Protego_kernel
+module Image = Protego_dist.Image
+module Netfilter = Protego_net.Netfilter
+module Packet = Protego_net.Packet
+module Ipaddr = Protego_net.Ipaddr
+module Sudoers = Protego_policy.Sudoers
+
+let junk_gen =
+  QCheck2.Gen.(
+    oneof
+      [ string_size ~gen:printable (int_bound 120);
+        (* structured-looking junk *)
+        map
+          (fun words -> String.concat " " words)
+          (list_size (int_bound 8)
+             (oneofl
+                [ "allow"; "/dev/cdrom"; "/media/cdrom"; "iso9660"; "user";
+                  "users"; "-"; "25"; "tcp"; "ALL"; "=("; ")"; "NOPASSWD:";
+                  "#"; "\n"; "group"; "uid"; "-j"; "ACCEPT" ])) ])
+
+(* Writing junk to any /proc/protego file either applies (Ok) or is
+   rejected with EINVAL — never an exception, and never a broken policy:
+   a known-good mount must still behave deterministically afterwards. *)
+let prop_proc_fuzz =
+  QCheck2.Test.make ~name:"protego /proc files survive hostile writes"
+    ~count:60 junk_gen (fun junk ->
+      let img = Image.build Image.Protego in
+      let m = img.Image.machine in
+      let root = Image.login img "root" in
+      let alice = Image.login img "alice" in
+      List.for_all
+        (fun file ->
+          match Syscall.write_file m root file junk with
+          | Ok () | Error Protego_base.Errno.EINVAL -> true
+          | Error _ -> false)
+        [ "/proc/protego/mount_whitelist"; "/proc/protego/bind_map";
+          "/proc/protego/delegation"; "/proc/protego/accounts";
+          "/proc/protego/ppp_policy" ]
+      &&
+      (* The kernel still runs; a denied operation stays denied or the
+         junk happened to parse — either way no crash and a clean errno. *)
+      match
+        Syscall.mount m alice ~source:"/dev/sda2" ~target:"/etc" ~fstype:"ext4"
+          ~flags:[]
+      with
+      | Error _ -> true
+      | Ok () -> false)
+
+(* Netfilter: eval equals a reference first-match-wins implementation. *)
+let match_gen =
+  QCheck2.Gen.oneofl
+    [ Netfilter.Proto Packet.Icmp; Netfilter.Proto Packet.Tcp;
+      Netfilter.Proto Packet.Udp; Netfilter.Origin_raw; Netfilter.Origin_packet;
+      Netfilter.Tcp_syn; Netfilter.Owner_uid 1000;
+      Netfilter.Dst_port { lo = 0; hi = 1023 };
+      Netfilter.Dst_port { lo = 33434; hi = 33534 };
+      Netfilter.Icmp_type Packet.Echo_request ]
+
+let rule_gen =
+  QCheck2.Gen.map2
+    (fun matches accept ->
+      { Netfilter.matches;
+        target = (if accept then Netfilter.Accept else Netfilter.Drop);
+        comment = "" })
+    QCheck2.Gen.(list_size (int_bound 3) match_gen)
+    QCheck2.Gen.bool
+
+let packet_case_gen =
+  QCheck2.Gen.(
+    pair
+      (oneofl
+         [ Packet.Icmp_msg { icmp_type = Packet.Echo_request; code = 0; payload = "" };
+           Packet.Tcp_seg { src_port = 1; dst_port = 80; syn = true; payload = "" };
+           Packet.Tcp_seg { src_port = 1; dst_port = 80; syn = false; payload = "x" };
+           Packet.Udp_dgram { src_port = 9; dst_port = 33500; payload = "" };
+           Packet.Raw_payload { protocol = 89; payload = "ospf" } ])
+      (oneofl
+         [ Packet.Kernel_stack; Packet.Raw_app { uid = 1000 };
+           Packet.Packet_app { uid = 33 } ]))
+
+let prop_netfilter_first_match =
+  QCheck2.Test.make ~name:"netfilter: eval is first-match-wins" ~count:300
+    QCheck2.Gen.(pair (list_size (int_bound 6) rule_gen) packet_case_gen)
+    (fun (rules, (transport, origin)) ->
+      let t = Netfilter.create () in
+      List.iter (Netfilter.append t Netfilter.Output) rules;
+      let pkt =
+        { Packet.src = Ipaddr.v 10 0 0 2; dst = Ipaddr.v 10 0 0 7; ttl = 64;
+          transport }
+      in
+      let reference =
+        let rec walk = function
+          | [] -> Netfilter.Accept
+          | (r : Netfilter.rule) :: rest ->
+              if
+                List.for_all
+                  (fun mt -> Netfilter.matches_packet mt pkt ~origin)
+                  r.Netfilter.matches
+              then r.Netfilter.target
+              else walk rest
+        in
+        walk rules
+      in
+      Netfilter.eval t Netfilter.Output pkt ~origin = reference)
+
+(* Netfilter rule specs round-trip for generated rules. *)
+let prop_rule_spec_roundtrip =
+  QCheck2.Test.make ~name:"netfilter: generated rules round-trip as specs"
+    ~count:300 rule_gen (fun rule ->
+      match Netfilter.rule_of_spec (Netfilter.rule_to_spec rule) with
+      | Ok rule' -> Netfilter.rule_to_spec rule = Netfilter.rule_to_spec rule'
+      | Error _ -> false)
+
+(* Sudoers: generated rule sets survive print/parse. *)
+let sudo_rule_gen =
+  let open QCheck2.Gen in
+  let principal =
+    oneof
+      [ return Sudoers.All_users;
+        map (fun n -> Sudoers.User n) (oneofl [ "alice"; "bob"; "carol" ]);
+        map (fun g -> Sudoers.Group g) (oneofl [ "lp"; "staff" ]) ]
+  in
+  let runas =
+    oneof
+      [ return Sudoers.Runas_any;
+        map (fun u -> Sudoers.Runas_users [ u ]) (oneofl [ "root"; "bob" ]) ]
+  in
+  let command =
+    oneof
+      [ return Sudoers.Any_command;
+        map
+          (fun p -> Sudoers.Command { path = p; args = None })
+          (oneofl [ "/bin/true"; "/usr/bin/lpr" ]);
+        return (Sudoers.Command { path = "/bin/echo"; args = Some [ "hi" ] }) ]
+  in
+  let tags =
+    oneofl [ []; [ Sudoers.Nopasswd ]; [ Sudoers.Setenv ]; [ Sudoers.Targetpw ] ]
+  in
+  map
+    (fun (((who, runas), tags), commands) ->
+      { Sudoers.who; runas; tags; commands })
+    (pair (pair (pair principal runas) tags) (list_size (int_range 1 3) command))
+
+let prop_sudoers_roundtrip =
+  QCheck2.Test.make ~name:"sudoers: generated rules round-trip" ~count:300
+    QCheck2.Gen.(list_size (int_bound 6) sudo_rule_gen)
+    (fun rules ->
+      let t = { Sudoers.empty with Sudoers.rules } in
+      match Sudoers.parse (Sudoers.to_string t) with
+      | Ok t' -> t'.Sudoers.rules = rules
+      | Error _ -> false)
+
+(* Path resolution agrees with lexical normalization for plain trees
+   (no symlinks, no mounts). *)
+let prop_resolve_normalized =
+  QCheck2.Test.make ~name:"vfs: resolving a path equals resolving its normal form"
+    ~count:150
+    QCheck2.Gen.(
+      list_size (int_bound 6) (oneofl [ "a"; "b"; ".."; "."; "c" ]))
+    (fun parts ->
+      let m = Machine.create () in
+      let kt = Machine.kernel_task m in
+      ignore (Machine.mkdir_p m kt "/a/b/c" ());
+      ignore (Machine.mkdir_p m kt "/a/c" ());
+      ignore (Machine.mkdir_p m kt "/b" ());
+      ignore (Machine.mkdir_p m kt "/c" ());
+      let path = "/" ^ String.concat "/" parts in
+      let direct = Vfs.resolve m kt path in
+      let via_norm = Vfs.resolve m kt (Vfs.normalize ~cwd:"/" path) in
+      (* Physical resolution must visit every component, so it can fail
+         where the lexical normal form succeeds ("/missing/.." is ENOENT
+         physically, "/" lexically) — but when it succeeds, both must land
+         on the same inode. *)
+      match direct with
+      | Ok a -> (
+          match via_norm with Ok b -> Inode.same a b | Error _ -> false)
+      | Error _ -> true)
+
+let suites =
+  [ ("fuzz:properties",
+      List.map
+        (QCheck_alcotest.to_alcotest ~long:false)
+        [ prop_proc_fuzz; prop_netfilter_first_match; prop_rule_spec_roundtrip;
+          prop_sudoers_roundtrip; prop_resolve_normalized ]) ]

@@ -1,0 +1,159 @@
+(* The §3.1 hardening techniques that predate Protego — file capabilities
+   (setcap), file-system-permission rearrangement (setgid-nonroot spool
+   dirs) — and why the paper judges them insufficient: a compromise still
+   yields a capability far coarser than the binary's safe functionality. *)
+
+open Protego_base
+open Protego_kernel
+open Ktypes
+module Image = Protego_dist.Image
+module Ipaddr = Protego_net.Ipaddr
+module Packet = Protego_net.Packet
+
+let check = Alcotest.(check bool)
+
+let errno =
+  Alcotest.testable (fun ppf e -> Fmt.string ppf (Errno.to_string e)) Errno.equal
+
+let test_setcap_mechanics () =
+  let img = Image.build Image.Linux in
+  let m = img.Image.machine in
+  let root = Image.login img "root" in
+  let alice = Image.login img "alice" in
+  (* Only root may set file capabilities. *)
+  check "alice cannot setcap" true
+    (match
+       Image.run img alice "/sbin/setcap" [ "CAP_NET_RAW"; "/bin/ping" ]
+     with
+    | Ok 0 -> false
+    | Ok _ | Error _ -> true);
+  Alcotest.(check (result int errno))
+    "root setcap" (Ok 0)
+    (Image.run img root "/sbin/setcap" [ "CAP_NET_RAW"; "/bin/ping" ]);
+  Alcotest.(check (result int errno))
+    "getcap shows it" (Ok 0)
+    (Image.run img alice "/sbin/getcap" [ "/bin/ping" ]);
+  check "printed" true
+    (List.exists (fun l -> l = "/bin/ping = CAP_NET_RAW") (console_lines m));
+  check "unknown capability rejected" true
+    (match Image.run img root "/sbin/setcap" [ "CAP_WARP"; "/bin/ping" ] with
+    | Ok 0 -> false
+    | Ok _ | Error _ -> true);
+  (* Clearing. *)
+  Alcotest.(check (result int errno))
+    "clear" (Ok 0) (Image.run img root "/sbin/setcap" [ "none"; "/bin/ping" ]);
+  check "cleared" true
+    (match Syscall.getcap m root "/bin/ping" with Ok None -> true | _ -> false)
+
+let test_setcap_replaces_setuid_for_ping () =
+  (* The Fedora/Ubuntu hardening: drop the setuid bit, grant CAP_NET_RAW. *)
+  let img = Image.build Image.Linux in
+  let m = img.Image.machine in
+  let kt = Machine.kernel_task m in
+  Syntax.expect_ok "strip setuid" (Syscall.chmod m kt "/bin/ping" 0o755);
+  let alice = Image.login img "alice" in
+  check "ping broken without any privilege" true
+    (Image.run img alice "/bin/ping" [ "-c"; "1"; "10.0.0.7" ] = Ok 1);
+  Syntax.expect_ok "setcap CAP_NET_RAW"
+    (Syscall.setcap m kt "/bin/ping" (Some (Cap.Set.singleton Cap.CAP_NET_RAW)));
+  let alice2 = Image.login img "alice" in
+  Alcotest.(check (result int errno))
+    "ping works via file capability" (Ok 0)
+    (Image.run img alice2 "/bin/ping" [ "-c"; "1"; "10.0.0.7" ])
+
+let test_setcap_still_too_coarse () =
+  (* §3.2: a compromised setcap-ping cannot chmod /etc/shadow any more —
+     but it can still spoof any TCP/UDP socket's traffic, which Protego's
+     netfilter rules prevent. *)
+  let img = Image.build Image.Linux in
+  let m = img.Image.machine in
+  let kt = Machine.kernel_task m in
+  Syntax.expect_ok "strip setuid" (Syscall.chmod m kt "/bin/ping" 0o755);
+  Syntax.expect_ok "setcap"
+    (Syscall.setcap m kt "/bin/ping" (Some (Cap.Set.singleton Cap.CAP_NET_RAW)));
+  let attacker = Image.login img "alice" in
+  Protego_study.Exploit.creds_after_exec img attacker "/bin/ping";
+  check "no longer root" true (attacker.cred.euid = Image.alice_uid);
+  check "holds exactly CAP_NET_RAW" true
+    (Cap.Set.to_list attacker.cred.caps = [ Cap.CAP_NET_RAW ]);
+  (* Filesystem payloads are contained... *)
+  Alcotest.(check (result unit errno))
+    "cannot touch shadow" (Error Errno.EACCES)
+    (Syscall.write_file m attacker "/etc/shadow" "root::1::::::");
+  (* ...but packet spoofing is not: the capability admits arbitrary raw
+     traffic, kernel-trusted, bypassing even origin rules. *)
+  let fd =
+    Syntax.expect_ok "raw socket via fcap"
+      (Syscall.socket m attacker Af_inet Sock_raw 6)
+  in
+  let spoof =
+    { Packet.src = Ipaddr.v 10 0 0 2; dst = Ipaddr.v 10 0 0 7; ttl = 64;
+      transport = Packet.Tcp_seg { src_port = 22; dst_port = 445; syn = false;
+                                   payload = "RST" } }
+  in
+  check "spoofed TCP leaves the host" true
+    (match Syscall.sendto m attacker fd (Ipaddr.v 10 0 0 7) 0 (Packet.encode spoof) with
+    | Ok _ -> true
+    | Error _ -> false);
+  (* On Protego the unprivileged ping needs no capability at all, and the
+     same spoof from an unprivileged raw socket is dropped — the strictly
+     stronger end state. *)
+  let pimg = Image.build Image.Protego in
+  let pm = pimg.Image.machine in
+  let palice = Image.login pimg "alice" in
+  let pfd =
+    Syntax.expect_ok "protego raw" (Syscall.socket pm palice Af_inet Sock_raw 6)
+  in
+  Alcotest.(check (result unit errno))
+    "protego drops the spoof" (Error Errno.EPERM)
+    (Result.map (fun _ -> ())
+       (Syscall.sendto pm palice pfd (Ipaddr.v 10 0 0 7) 0 (Packet.encode spoof)))
+
+let test_nosuid_disables_fcaps () =
+  let img = Image.build Image.Linux in
+  let m = img.Image.machine in
+  let kt = Machine.kernel_task m in
+  ignore (Machine.mkdir_p m kt "/mnt/sticks" ());
+  Hashtbl.replace m.devices "/dev/stick"
+    (Dev_block { media = Some { media_fstype = "vfat"; media_files = [] } });
+  Syntax.expect_ok "mount nosuid"
+    (Syscall.mount m kt ~source:"/dev/stick" ~target:"/mnt/sticks"
+       ~fstype:"vfat" ~flags:[ Mf_nosuid ]);
+  Syntax.expect_ok "plant binary"
+    (Machine.install_binary m kt ~path:"/mnt/sticks/grabber"
+       (fun _m task _argv -> Ok (Cap.Set.cardinal task.cred.caps)));
+  Syntax.expect_ok "fcaps on it"
+    (Syscall.setcap m kt "/mnt/sticks/grabber"
+       (Some (Cap.Set.singleton Cap.CAP_SYS_ADMIN)));
+  let alice = Image.login img "alice" in
+  let child = Syscall.fork m alice in
+  Alcotest.(check (result int errno))
+    "nosuid mount neuters file capabilities" (Ok 0)
+    (Syscall.execve m child "/mnt/sticks/grabber" [] [])
+
+let test_fs_permissions_technique () =
+  (* §3.1 "File system permissions": a spool made group-writable lets a
+     setgid-nonroot binary do the job that used to need root — the lpr
+     queue in the image works this way (world-writable sticky spool). *)
+  let img = Image.build Image.Protego in
+  let m = img.Image.machine in
+  let alice = Image.login img "alice" in
+  Alcotest.(check (result int errno))
+    "unprivileged lpr works" (Ok 0)
+    (Image.run img alice "/usr/bin/lpr" [ "/etc/motd" ]);
+  check "job recorded" true
+    (match Syscall.read_file m (Machine.kernel_task m) "/var/spool/lpd/queue" with
+    | Ok c -> String.length c > 0
+    | Error _ -> false)
+
+let suites =
+  [ ("hardening:setcap",
+      [ Alcotest.test_case "mechanics" `Quick test_setcap_mechanics;
+        Alcotest.test_case "replaces setuid for ping" `Quick
+          test_setcap_replaces_setuid_for_ping;
+        Alcotest.test_case "still too coarse (3.2)" `Quick
+          test_setcap_still_too_coarse;
+        Alcotest.test_case "nosuid disables fcaps" `Quick
+          test_nosuid_disables_fcaps ]);
+    ("hardening:permissions",
+      [ Alcotest.test_case "spool technique" `Quick test_fs_permissions_technique ]) ]

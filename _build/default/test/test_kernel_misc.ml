@@ -1,0 +1,165 @@
+(* Unit tests for kernel odds and ends: credentials, inodes, machine
+   helpers, devices, coverage instrumentation, eject. *)
+
+open Protego_base
+open Protego_kernel
+open Ktypes
+module Image = Protego_dist.Image
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let errno =
+  Alcotest.testable (fun ppf e -> Fmt.string ppf (Errno.to_string e)) Errno.equal
+
+(* --- cred ---------------------------------------------------------------- *)
+
+let test_cred () =
+  let root = Cred.make ~uid:0 ~gid:0 () in
+  check "root gets full caps" true (Cap.Set.equal root.caps Cap.Set.full);
+  let user = Cred.make ~uid:1000 ~gid:1000 ~groups:[ 7; 24 ] () in
+  check "user gets none" true (Cap.Set.is_empty user.caps);
+  check "is_root" true (Cred.is_root root && not (Cred.is_root user));
+  check "in_group primary" true (Cred.in_group user 1000);
+  check "in_group supplementary" true (Cred.in_group user 24);
+  check "not in group" false (Cred.in_group user 42);
+  (* copy is deep for the mutable scalar fields *)
+  let copy = Cred.copy user in
+  copy.euid <- 0;
+  check "copy independent" true (user.euid = 1000);
+  (* the seteuid bracket: euid controls the effective set *)
+  let bracket = Cred.make ~uid:0 ~gid:0 () in
+  bracket.euid <- 1000;
+  Cred.recompute_caps_for_uid_change bracket;
+  check "euid away from 0 clears caps" true (Cap.Set.is_empty bracket.caps);
+  bracket.euid <- 0;
+  Cred.recompute_caps_for_uid_change bracket;
+  check "euid back to 0 restores caps" true (Cap.Set.equal bracket.caps Cap.Set.full);
+  (* explicit caps override the default *)
+  let pinned = Cred.make ~uid:0 ~gid:0 ~caps:(Cap.Set.singleton Cap.CAP_KILL) () in
+  check_int "pinned caps" 1 (Cap.Set.cardinal pinned.caps)
+
+(* --- inode ---------------------------------------------------------------- *)
+
+let test_inode_ops () =
+  let m = Machine.create () in
+  let dir = Inode.alloc m ~kind:Dir ~mode:0o755 ~uid:0 ~gid:0 in
+  let f1 = Inode.alloc m ~kind:Reg ~mode:0o644 ~uid:0 ~gid:0 in
+  let f2 = Inode.alloc m ~kind:Reg ~mode:0o644 ~uid:0 ~gid:0 in
+  check "inode numbers distinct" true (f1.ino <> f2.ino);
+  Inode.add_child dir "a" f1;
+  Inode.add_child dir "b" f2;
+  check "lookup" true (Inode.lookup_child dir "a" = Some f1);
+  check "names ordered" true (Inode.child_names dir = [ "a"; "b" ]);
+  check "remove" true (Inode.remove_child dir "a");
+  check "remove missing" false (Inode.remove_child dir "a");
+  Inode.write_all f2 "hello";
+  check "read back" true (Inode.read_all f2 = "hello");
+  Inode.append_data f2 " world";
+  check_int "size" 11 (Inode.size f2);
+  check "same is physical" true (Inode.same f2 f2 && not (Inode.same f1 f2))
+
+(* --- machine helpers -------------------------------------------------------- *)
+
+let test_machine_helpers () =
+  let m = Machine.create () in
+  let kt = Machine.kernel_task m in
+  check "kernel task is pid 1" true (kt.tpid = 1);
+  check "kernel task is cached" true (Machine.kernel_task m == kt);
+  Machine.advance_clock m 5.0;
+  check "clock advances" true (m.now = 1005.0);
+  (* mkdir_p: intermediate dirs get root defaults, leaf gets the attrs *)
+  ignore (Machine.mkdir_p m kt "/deep/nest/leaf" ~mode:0o700 ~uid:42 ~gid:42 ());
+  (match Vfs.resolve m kt "/deep/nest" with
+  | Ok d -> check "intermediate is root 0755" true (d.iuid = 0 && d.mode = 0o755)
+  | Error _ -> Alcotest.fail "mkdir_p parent");
+  (match Vfs.resolve m kt "/deep/nest/leaf" with
+  | Ok d -> check "leaf owned as asked" true (d.iuid = 42 && d.mode = 0o700)
+  | Error _ -> Alcotest.fail "mkdir_p leaf");
+  (* vnodes: reads computed at open, writes dispatched *)
+  let stored = ref "initial" in
+  Syntax.expect_ok "vnode"
+    (Machine.add_vnode m kt ~path:"/deep/v" ~mode:0o644
+       ~read:(fun _ _ -> Ok !stored)
+       ~write:(fun _ _ s -> stored := s; Ok ())
+       ());
+  check "vnode read" true (Syscall.read_file m kt "/deep/v" = Ok "initial");
+  Syntax.expect_ok "vnode write" (Syscall.write_file m kt "/deep/v" "updated");
+  check "write dispatched" true (!stored = "updated");
+  check "vnode read sees update" true (Syscall.read_file m kt "/deep/v" = Ok "updated");
+  (* dmesg ordering *)
+  log_dmesg m "first %d" 1;
+  log_dmesg m "second %d" 2;
+  check "dmesg oldest first" true
+    (match Machine.dmesg m with
+    | [ "first 1"; "second 2" ] -> true
+    | _ -> false)
+
+(* --- coverage ------------------------------------------------------------------ *)
+
+let test_coverage_module () =
+  Protego_userland.Coverage.declare "demo-bin" [ "a"; "b"; "c"; "d" ];
+  Protego_userland.Coverage.reset ();
+  Protego_userland.Coverage.hit "demo-bin" "a";
+  Protego_userland.Coverage.hit "demo-bin" "a";
+  Protego_userland.Coverage.hit "demo-bin" "b";
+  check "50%" true (Protego_userland.Coverage.percent "demo-bin" = 50.0);
+  check "counts accumulate" true
+    (List.assoc "a" (Protego_userland.Coverage.blocks "demo-bin") = 2);
+  (* Hitting an undeclared block inflates the denominator. *)
+  Protego_userland.Coverage.hit "demo-bin" "surprise";
+  check_int "denominator grew" 5
+    (List.length (Protego_userland.Coverage.blocks "demo-bin"));
+  check "unknown binary is 0%" true (Protego_userland.Coverage.percent "ghost" = 0.0)
+
+(* --- eject ----------------------------------------------------------------------- *)
+
+let test_eject () =
+  List.iter
+    (fun config ->
+      let img = Image.build config in
+      let m = img.Image.machine in
+      let alice = Image.login img "alice" in
+      Syntax.expect_ok "mount first"
+        (Result.map (fun _ -> ()) (Image.run img alice "/bin/mount" [ "/media/cdrom" ]));
+      Alcotest.(check (result int errno))
+        "eject unmounts and ejects" (Ok 0)
+        (Image.run img alice "/usr/bin/eject" [ "/dev/cdrom" ]);
+      check "no longer mounted" true
+        (not (List.exists (fun mnt -> mnt.mnt_target = "/media/cdrom") m.mounts));
+      check "media gone" true
+        (match Hashtbl.find_opt m.devices "/dev/cdrom" with
+        | Some (Dev_block { media = None }) -> true
+        | _ -> false);
+      (* Mounting again fails: no media. *)
+      check "remount fails" true
+        (Image.run img alice "/bin/mount" [ "/media/cdrom" ] <> Ok 0);
+      (* bob is not in the cdrom group. *)
+      let bob = Image.login img "bob" in
+      check "bob cannot eject" true
+        (Image.run img bob "/usr/bin/eject" [ "/dev/sdb1" ] <> Ok 0
+        ||
+        (* sdb1 is 660 root:root — bob lacks access on both systems *)
+        false))
+    [ Image.Linux; Image.Protego ]
+
+let test_eject_dm_resolution () =
+  (* eject of a device-mapper node resolves the physical device through
+     dmcrypt-get-device — on Protego via /sys, with no privilege. *)
+  let img = Image.build Image.Protego in
+  let m = img.Image.machine in
+  let alice = Image.login img "alice" in
+  (* /dev/sda2 is 660 root:root: alice can resolve but not eject. *)
+  check "resolves but cannot open" true
+    (Image.run img alice "/usr/bin/eject" [ "/dev/dm-0" ] <> Ok 0);
+  check "physical device name appeared" true
+    (List.exists (fun l -> l = "/dev/sda2") (console_lines m))
+
+let suites =
+  [ ("kernel:cred", [ Alcotest.test_case "credential rules" `Quick test_cred ]);
+    ("kernel:inode", [ Alcotest.test_case "inode ops" `Quick test_inode_ops ]);
+    ("kernel:machine", [ Alcotest.test_case "helpers" `Quick test_machine_helpers ]);
+    ("kernel:coverage", [ Alcotest.test_case "instrumentation" `Quick test_coverage_module ]);
+    ("userland:eject",
+      [ Alcotest.test_case "unmount and eject" `Quick test_eject;
+        Alcotest.test_case "dm resolution" `Quick test_eject_dm_resolution ]) ]

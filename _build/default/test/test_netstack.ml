@@ -1,0 +1,179 @@
+open Protego_base
+open Protego_kernel
+open Ktypes
+module Ipaddr = Protego_net.Ipaddr
+module Packet = Protego_net.Packet
+
+let check = Alcotest.(check bool)
+
+let errno =
+  Alcotest.testable (fun ppf e -> Fmt.string ppf (Errno.to_string e)) Errno.equal
+
+(* A bare machine with two remote hosts; root task for setup. *)
+let fixture () =
+  let m = Machine.create () in
+  let kt = Machine.kernel_task m in
+  m.local_addrs <- [ Ipaddr.localhost; Ipaddr.v 10 0 0 2 ];
+  Protego_net.Route.add m.routes
+    { Protego_net.Route.dest = Option.get (Ipaddr.Cidr.of_string "10.0.0.0/24");
+      gateway = None; device = "eth0"; metric = 1; owner_uid = None };
+  m.remote_hosts <-
+    [ { rh_addr = Ipaddr.v 10 0 0 7; rh_hops = 1; rh_echo = true;
+        rh_udp_echo_ports = [ 7 ]; rh_tcp_open_ports = [ 80 ]; rh_exports = [] } ];
+  let alice = Machine.spawn_task m ~cred:(Cred.make ~uid:1000 ~gid:1000 ()) () in
+  (m, kt, alice)
+
+let test_socket_lifecycle () =
+  let m, kt, _ = fixture () in
+  let before = List.length m.sockets in
+  let fd = Syntax.expect_ok "socket" (Syscall.socket m kt Af_inet Sock_dgram 17) in
+  Alcotest.(check int) "registered" (before + 1) (List.length m.sockets);
+  Syntax.expect_ok "close" (Syscall.close m kt fd);
+  Alcotest.(check int) "deregistered" before (List.length m.sockets);
+  Alcotest.(check (result string errno))
+    "recv after close" (Error Errno.EBADF) (Syscall.recvfrom m kt fd)
+
+let test_bind_conflicts () =
+  let m, kt, _ = fixture () in
+  let fd1 = Syntax.expect_ok "s1" (Syscall.socket m kt Af_inet Sock_dgram 17) in
+  let fd2 = Syntax.expect_ok "s2" (Syscall.socket m kt Af_inet Sock_dgram 17) in
+  Syntax.expect_ok "bind 7000" (Syscall.bind m kt fd1 Ipaddr.localhost 7000);
+  Alcotest.(check (result unit errno))
+    "conflict" (Error Errno.EADDRINUSE)
+    (Syscall.bind m kt fd2 Ipaddr.localhost 7000);
+  (* Different protocol, same port: fine. *)
+  let fd3 = Syntax.expect_ok "s3" (Syscall.socket m kt Af_inet Sock_stream 6) in
+  Syntax.expect_ok "tcp same port ok" (Syscall.bind m kt fd3 Ipaddr.localhost 7000);
+  (* Rebinding a bound socket: EINVAL. *)
+  Alcotest.(check (result unit errno))
+    "rebind" (Error Errno.EINVAL) (Syscall.bind m kt fd1 Ipaddr.localhost 7001);
+  (* Ephemeral binds pick distinct ports. *)
+  let fd4 = Syntax.expect_ok "s4" (Syscall.socket m kt Af_inet Sock_dgram 17) in
+  let fd5 = Syntax.expect_ok "s5" (Syscall.socket m kt Af_inet Sock_dgram 17) in
+  Syntax.expect_ok "eph1" (Syscall.bind m kt fd4 Ipaddr.localhost 0);
+  Syntax.expect_ok "eph2" (Syscall.bind m kt fd5 Ipaddr.localhost 0);
+  let port_of fd =
+    match List.assoc_opt fd kt.fds with
+    | Some { fobj = F_socket { bound = Some (_, p); _ }; _ } -> p
+    | _ -> -1
+  in
+  check "distinct ephemeral ports" true (port_of fd4 <> port_of fd5);
+  check "ephemeral range" true (port_of fd4 >= 32768)
+
+let test_udp_loopback_and_remote () =
+  let m, kt, _ = fixture () in
+  let a = Syntax.expect_ok "a" (Syscall.socket m kt Af_inet Sock_dgram 17) in
+  let b = Syntax.expect_ok "b" (Syscall.socket m kt Af_inet Sock_dgram 17) in
+  Syntax.expect_ok "bind" (Syscall.bind m kt b Ipaddr.localhost 9100);
+  check "send" true (Syscall.sendto m kt a Ipaddr.localhost 9100 "ping" = Ok 4);
+  check "received payload" true (Syscall.recvfrom m kt b = Ok "ping");
+  Alcotest.(check (result string errno))
+    "queue drained" (Error Errno.EAGAIN) (Syscall.recvfrom m kt b);
+  (* Remote echo service. *)
+  check "remote send" true
+    (match Syscall.sendto m kt a (Ipaddr.v 10 0 0 7) 7 "echo me" with
+    | Ok _ -> true
+    | Error _ -> false);
+  check "remote echo returns" true (Syscall.recvfrom m kt a = Ok "echo me");
+  (* Unroutable destination. *)
+  Alcotest.(check (result unit errno))
+    "no route" (Error Errno.ENETUNREACH)
+    (Result.map (fun _ -> ())
+       (Syscall.sendto m kt a (Ipaddr.v 203 0 113 9) 7 "x"))
+
+let test_tcp_streams () =
+  let m, kt, alice = fixture () in
+  (* connect with no listener *)
+  let c0 = Syntax.expect_ok "c0" (Syscall.socket m alice Af_inet Sock_stream 6) in
+  Alcotest.(check (result unit errno))
+    "refused" (Error Errno.ECONNREFUSED)
+    (Syscall.connect m alice c0 Ipaddr.localhost 8080);
+  (* proper listener *)
+  let sfd = Syntax.expect_ok "server" (Syscall.socket m kt Af_inet Sock_stream 6) in
+  Syntax.expect_ok "bind" (Syscall.bind m kt sfd Ipaddr.localhost 8080);
+  Syntax.expect_ok "listen" (Syscall.listen m kt sfd);
+  let cfd = Syntax.expect_ok "client" (Syscall.socket m alice Af_inet Sock_stream 6) in
+  Syntax.expect_ok "connect" (Syscall.connect m alice cfd Ipaddr.localhost 8080);
+  (* Drive both ends through Netstack to reach the accepted socket. *)
+  let client_sock =
+    match List.assoc_opt cfd alice.fds with
+    | Some { fobj = F_socket s; _ } -> s
+    | _ -> assert false
+  in
+  let accepted =
+    match client_sock.conn with
+    | Some (Conn_local peer) -> peer
+    | _ -> Alcotest.fail "no local peer"
+  in
+  check "send to server" true (Syscall.send m alice cfd "GET /" = Ok 5);
+  check "server reads" true (Netstack.recv_stream m kt accepted 16 = Ok "GET /");
+  check "server replies" true (Netstack.send_stream m kt accepted "200 OK" = Ok 6);
+  check "client reads" true (Syscall.recv m alice cfd 16 = Ok "200 OK");
+  (* Remote TCP: open port connects, closed port refused. *)
+  let r1 = Syntax.expect_ok "r1" (Syscall.socket m alice Af_inet Sock_stream 6) in
+  Syntax.expect_ok "remote connect" (Syscall.connect m alice r1 (Ipaddr.v 10 0 0 7) 80);
+  let r2 = Syntax.expect_ok "r2" (Syscall.socket m alice Af_inet Sock_stream 6) in
+  Alcotest.(check (result unit errno))
+    "closed remote port" (Error Errno.ECONNREFUSED)
+    (Syscall.connect m alice r2 (Ipaddr.v 10 0 0 7) 81);
+  let r3 = Syntax.expect_ok "r3" (Syscall.socket m alice Af_inet Sock_stream 6) in
+  Alcotest.(check (result unit errno))
+    "unknown host" (Error Errno.EHOSTUNREACH)
+    (Syscall.connect m alice r3 (Ipaddr.v 10 0 0 99) 80)
+
+let test_socketpair_and_epipe () =
+  let m, kt, _ = fixture () in
+  let a, b = Syntax.expect_ok "pair" (Syscall.socketpair m kt) in
+  check "a->b" true (Syscall.send m kt a "x" = Ok 1 && Syscall.recv m kt b 1 = Ok "x");
+  check "b->a" true (Syscall.send m kt b "y" = Ok 1 && Syscall.recv m kt a 1 = Ok "y");
+  Syntax.expect_ok "close b" (Syscall.close m kt b);
+  Alcotest.(check (result int errno))
+    "EPIPE to closed peer" (Error Errno.EPIPE) (Syscall.send m kt a "z")
+
+let test_deliver_inbound_filtering () =
+  let m, kt, _ = fixture () in
+  let raw = Syntax.expect_ok "raw" (Syscall.socket m kt Af_inet Sock_raw 1) in
+  let pkt =
+    { Packet.src = Ipaddr.v 10 0 0 9; dst = Ipaddr.v 10 0 0 2; ttl = 64;
+      transport = Packet.Icmp_msg { icmp_type = Packet.Echo_reply; code = 0;
+                                    payload = "hello" } }
+  in
+  Netstack.deliver_inbound m pkt;
+  check "raw socket sees inbound icmp" true
+    (match Syscall.recvfrom m kt raw with
+    | Ok data -> Packet.decode data <> None
+    | Error _ -> false);
+  (* An INPUT drop rule blocks delivery. *)
+  Protego_net.Netfilter.append m.netfilter Protego_net.Netfilter.Input
+    { Protego_net.Netfilter.matches = [ Protego_net.Netfilter.Proto Packet.Icmp ];
+      target = Protego_net.Netfilter.Drop; comment = "" };
+  Netstack.deliver_inbound m pkt;
+  Alcotest.(check (result string errno))
+    "dropped by INPUT chain" (Error Errno.EAGAIN) (Syscall.recvfrom m kt raw)
+
+let test_raw_requires_encoded_packet () =
+  let m, kt, _ = fixture () in
+  let raw = Syntax.expect_ok "raw" (Syscall.socket m kt Af_inet Sock_raw 1) in
+  Alcotest.(check (result unit errno))
+    "garbage payload" (Error Errno.EINVAL)
+    (Result.map (fun _ -> ())
+       (Syscall.sendto m kt raw (Ipaddr.v 10 0 0 7) 0 "not a packet"));
+  (* Streams refuse sendto. *)
+  let tcp = Syntax.expect_ok "tcp" (Syscall.socket m kt Af_inet Sock_stream 6) in
+  Alcotest.(check (result unit errno))
+    "sendto on stream" (Error Errno.EINVAL)
+    (Result.map (fun _ -> ()) (Syscall.sendto m kt tcp Ipaddr.localhost 80 "x"));
+  (* setsockopt validation *)
+  Alcotest.(check (result unit errno))
+    "bad ttl" (Error Errno.EINVAL) (Syscall.setsockopt_ttl m kt raw 0);
+  Syntax.expect_ok "good ttl" (Syscall.setsockopt_ttl m kt raw 5)
+
+let suites =
+  [ ("netstack:sockets",
+      [ Alcotest.test_case "lifecycle" `Quick test_socket_lifecycle;
+        Alcotest.test_case "bind conflicts and ephemeral" `Quick test_bind_conflicts;
+        Alcotest.test_case "raw payload validation" `Quick test_raw_requires_encoded_packet ]);
+    ("netstack:udp", [ Alcotest.test_case "loopback and remote" `Quick test_udp_loopback_and_remote ]);
+    ("netstack:tcp", [ Alcotest.test_case "streams" `Quick test_tcp_streams ]);
+    ("netstack:pair", [ Alcotest.test_case "socketpair" `Quick test_socketpair_and_epipe ]);
+    ("netstack:inbound", [ Alcotest.test_case "delivery and INPUT chain" `Quick test_deliver_inbound_filtering ]) ]

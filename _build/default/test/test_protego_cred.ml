@@ -1,0 +1,232 @@
+open Protego_base
+open Protego_kernel
+open Ktypes
+module Image = Protego_dist.Image
+module Pwdb = Protego_policy.Pwdb
+
+let check = Alcotest.(check bool)
+
+let errno =
+  Alcotest.testable (fun ppf e -> Fmt.string ppf (Errno.to_string e)) Errno.equal
+
+let fixture () =
+  let img = Image.build Image.Protego in
+  img.Image.machine.password_source <-
+    (fun uid -> if uid = Image.alice_uid then Some "alice-pw" else None);
+  img
+
+let test_fragment_dac () =
+  let img = fixture () in
+  let m = img.Image.machine in
+  let alice = Image.login img "alice" in
+  (* Own fragment: readable and writable. *)
+  check "read own passwd fragment" true
+    (match Syscall.read_file m alice "/etc/passwds/alice" with
+    | Ok c -> String.length c > 0
+    | Error _ -> false);
+  Syntax.expect_ok "write own fragment"
+    (Syscall.write_file m alice "/etc/passwds/alice"
+       "alice:x:1000:1000:Alice:/home/alice:/bin/bash\n");
+  (* Someone else's fragment: DAC refuses both directions. *)
+  Alcotest.(check (result unit errno))
+    "read bob's fragment" (Error Errno.EACCES)
+    (Result.map (fun _ -> ()) (Syscall.read_file m alice "/etc/passwds/bob"));
+  Alcotest.(check (result unit errno))
+    "write bob's fragment" (Error Errno.EACCES)
+    (Syscall.write_file m alice "/etc/passwds/bob" "bob:x:0:0:::/bin/sh\n");
+  (* The fragments directory refuses new entries (no new users). *)
+  Alcotest.(check (result unit errno))
+    "cannot add a user" (Error Errno.EACCES)
+    (Syscall.write_file m alice "/etc/passwds/mallory" "mallory:x:0:0:::/bin/sh\n")
+
+let test_shadow_reauth_and_cloexec () =
+  let img = fixture () in
+  let m = img.Image.machine in
+  let prompts = ref 0 in
+  let stored = m.password_source in
+  m.password_source <- (fun uid -> incr prompts; stored uid);
+  let alice = Image.login img "alice" in
+  (* Reading the own shadow fragment demands a fresh authentication. *)
+  let fd =
+    Syntax.expect_ok "open own shadow"
+      (Syscall.open_ m alice "/etc/shadows/alice" [ Syscall.O_RDONLY ])
+  in
+  Alcotest.(check int) "reauthenticated" 1 !prompts;
+  (* The LSM forces the handle close-on-exec (§4.4). *)
+  (match List.assoc_opt fd alice.fds with
+  | Some f -> check "close-on-exec forced" true f.cloexec
+  | None -> Alcotest.fail "no fd");
+  ignore (Syscall.close m alice fd);
+  (* Without a password available, a stale task cannot read it. *)
+  Machine.advance_clock m 3600.;
+  m.password_source <- (fun _ -> None);
+  let alice2 = Image.login img "alice" in
+  Alcotest.(check (result unit errno))
+    "stale, unauthenticated read refused" (Error Errno.EACCES)
+    (Result.map (fun _ -> ()) (Syscall.read_file m alice2 "/etc/shadows/alice"));
+  (* And bob's shadow is simply out of reach by DAC. *)
+  Alcotest.(check (result unit errno))
+    "other user's shadow" (Error Errno.EACCES)
+    (Result.map (fun _ -> ()) (Syscall.read_file m alice2 "/etc/shadows/bob"))
+
+let test_passwd_binary () =
+  let img = fixture () in
+  let m = img.Image.machine in
+  let alice = Image.login img "alice" in
+  Alcotest.(check (result int errno))
+    "change password" (Ok 0)
+    (Image.run img alice "/usr/bin/passwd" [ "--old"; "alice-pw"; "--new"; "next-pw" ]);
+  (* The fragment now verifies the new password. *)
+  let contents =
+    Syntax.expect_ok "read fragment"
+      (Syscall.read_file m (Machine.kernel_task m) "/etc/shadows/alice")
+  in
+  (match Pwdb.parse_shadow contents with
+  | Ok [ entry ] ->
+      check "new password verifies" true
+        (Pwdb.verify_password ~hash:entry.Pwdb.sp_hash "next-pw");
+      check "old password rejected" false
+        (Pwdb.verify_password ~hash:entry.Pwdb.sp_hash "alice-pw")
+  | _ -> Alcotest.fail "unexpected fragment");
+  (* Wrong old password fails (password_source still supplies the original
+     for the kernel reauthentication, which now fails too — either path
+     must deny). *)
+  check "wrong old rejected" true
+    (match
+       Image.run img alice "/usr/bin/passwd" [ "--old"; "bogus"; "--new"; "x" ]
+     with
+    | Ok 0 -> false
+    | Ok _ | Error _ -> true);
+  (* Cross-user attempts are refused. *)
+  check "cross-user refused" true
+    (match
+       Image.run img alice "/usr/bin/passwd"
+         [ "--user"; "bob"; "--old"; "x"; "--new"; "y" ]
+     with
+    | Ok 0 -> false
+    | Ok _ | Error _ -> true)
+
+let test_chsh_updates_fragment_and_legacy () =
+  let img = fixture () in
+  let m = img.Image.machine in
+  let alice = Image.login img "alice" in
+  Alcotest.(check (result int errno))
+    "chsh" (Ok 0) (Image.run img alice "/usr/bin/chsh" [ "-s"; "/bin/bash" ]);
+  (* Fragment updated immediately. *)
+  let frag =
+    Syntax.expect_ok "fragment" (Syscall.read_file m alice "/etc/passwds/alice")
+  in
+  check "fragment has new shell" true
+    (match Pwdb.parse_passwd frag with
+    | Ok [ e ] -> e.Pwdb.pw_shell = "/bin/bash"
+    | _ -> false);
+  (* The monitoring daemon regenerates the legacy shared file. *)
+  (match img.Image.daemon with
+  | Some daemon -> ignore (Protego_services.Monitor_daemon.step daemon)
+  | None -> Alcotest.fail "daemon missing");
+  let legacy =
+    Syntax.expect_ok "legacy passwd"
+      (Syscall.read_file m (Machine.kernel_task m) "/etc/passwd")
+  in
+  check "legacy file regenerated" true
+    (match Pwdb.parse_passwd legacy with
+    | Ok entries -> (
+        match Pwdb.lookup_user entries "alice" with
+        | Some e -> e.Pwdb.pw_shell = "/bin/bash"
+        | None -> false)
+    | Error _ -> false);
+  (* Invalid shell refused by the binary itself. *)
+  check "invalid shell" true
+    (match Image.run img alice "/usr/bin/chsh" [ "-s"; "/bin/evil" ] with
+    | Ok 0 -> false
+    | Ok _ | Error _ -> true)
+
+let test_gpasswd_group_write () =
+  let img = fixture () in
+  let m = img.Image.machine in
+  let bob = Image.login img "bob" in
+  (* bob is in lp: group-writable fragment lets him manage membership. *)
+  Alcotest.(check (result int errno))
+    "member adds member" (Ok 0)
+    (Image.run img bob "/usr/bin/gpasswd" [ "-a"; "charlie"; "lp" ]);
+  let frag =
+    Syntax.expect_ok "group fragment"
+      (Syscall.read_file m (Machine.kernel_task m) "/etc/groups/lp")
+  in
+  check "charlie added" true
+    (match Pwdb.parse_group frag with
+    | Ok [ g ] -> List.mem "charlie" g.Pwdb.gr_members
+    | _ -> false);
+  (* alice is not a member: DAC refuses her edit. *)
+  let alice = Image.login img "alice" in
+  check "non-member refused" true
+    (match Image.run img alice "/usr/bin/gpasswd" [ "-a"; "alice"; "lp" ] with
+    | Ok 0 -> false
+    | Ok _ | Error _ -> true)
+
+let test_keysign_acl () =
+  let img = fixture () in
+  let m = img.Image.machine in
+  let alice = Image.login img "alice" in
+  (* Through the trusted binary: succeeds and emits a signature. *)
+  Alcotest.(check (result int errno))
+    "keysign" (Ok 0)
+    (Image.run img alice "/usr/lib/openssh/ssh-keysign" [ "blob" ]);
+  (* Directly (exe = shell) the same world-readable file is refused by the
+     per-binary ACL. *)
+  Alcotest.(check (result unit errno))
+    "direct read refused" (Error Errno.EACCES)
+    (Result.map (fun _ -> ()) (Syscall.read_file m alice "/etc/ssh/ssh_host_rsa_key"));
+  (* Even via cat. *)
+  check "cat refused" true
+    (match Image.run img alice "/bin/cat" [ "/etc/ssh/ssh_host_rsa_key" ] with
+    | Ok 0 -> false
+    | Ok _ | Error _ -> true);
+  (* The signature matches the expected digest over the key. *)
+  let key = "RSA-PRIVATE-KEY d34db33f-host-key-0001\n" in
+  let expected = Protego_userland.Bin_keysign.sign ~key ~data:"blob" in
+  check "signature correct" true
+    (List.exists (fun l -> l = expected) (console_lines m))
+
+let test_vipw_fragments () =
+  let img = fixture () in
+  let alice = Image.login img "alice" in
+  Alcotest.(check (result int errno))
+    "alice vipw edits own fragment" (Ok 0)
+    (Image.run img alice "/usr/sbin/vipw" []);
+  let m = img.Image.machine in
+  let frag =
+    Syntax.expect_ok "fragment" (Syscall.read_file m alice "/etc/passwds/alice")
+  in
+  check "marker appended" true
+    (let marker = "# vipw edit" in
+     let rec contains i =
+       i + String.length marker <= String.length frag
+       && (String.sub frag i (String.length marker) = marker || contains (i + 1))
+     in
+     contains 0)
+
+let test_cred_binaries_equivalence () =
+  let drive config =
+    let img = Image.build config in
+    img.Image.machine.password_source <-
+      (fun uid -> if uid = Image.alice_uid then Some "alice-pw" else None);
+    let alice = Image.login img "alice" in
+    [ Image.run img alice "/usr/bin/passwd" [ "--old"; "alice-pw"; "--new"; "n1" ];
+      Image.run img alice "/usr/bin/passwd" [ "--user"; "bob"; "--old"; "x"; "--new"; "y" ];
+      Image.run img alice "/usr/bin/chsh" [ "-s"; "/bin/evil" ];
+      Image.run img alice "/usr/bin/chfn" [ "-f"; "Alice L." ];
+      Image.run img alice "/usr/bin/chfn" [ "-f"; "bad:gecos" ] ]
+  in
+  check "credential binaries equivalent" true (drive Image.Linux = drive Image.Protego)
+
+let suites =
+  [ ("protego:credentials",
+      [ Alcotest.test_case "fragment DAC" `Quick test_fragment_dac;
+        Alcotest.test_case "shadow reauth + cloexec" `Quick test_shadow_reauth_and_cloexec;
+        Alcotest.test_case "passwd binary" `Quick test_passwd_binary;
+        Alcotest.test_case "chsh + legacy sync" `Quick test_chsh_updates_fragment_and_legacy;
+        Alcotest.test_case "gpasswd group write" `Quick test_gpasswd_group_write;
+        Alcotest.test_case "ssh-keysign ACL" `Quick test_keysign_acl;
+        Alcotest.test_case "vipw fragments" `Quick test_vipw_fragments;
+        Alcotest.test_case "binary equivalence" `Quick test_cred_binaries_equivalence ]) ]

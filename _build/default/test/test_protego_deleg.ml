@@ -1,0 +1,248 @@
+open Protego_base
+open Protego_kernel
+open Ktypes
+module Image = Protego_dist.Image
+
+let check = Alcotest.(check bool)
+
+let errno =
+  Alcotest.testable (fun ppf e -> Fmt.string ppf (Errno.to_string e)) Errno.equal
+
+let know_passwords m =
+  m.password_source <-
+    (fun uid ->
+      if uid = 0 then Some "root-pw"
+      else if uid = Image.alice_uid then Some "alice-pw"
+      else if uid = Image.bob_uid then Some "bob-pw"
+      else if uid = Image.charlie_uid then Some "charlie-pw"
+      else None)
+
+let fixture () =
+  let img = Image.build Image.Protego in
+  know_passwords img.Image.machine;
+  img
+
+let test_setuid_on_exec () =
+  let img = fixture () in
+  let m = img.Image.machine in
+  let alice = Image.login img "alice" in
+  (* alice -> bob is restricted to lpr: setuid succeeds but defers. *)
+  Syntax.expect_ok "restricted setuid returns success"
+    (Syscall.setuid m alice Image.bob_uid);
+  check "still alice" true (alice.cred.euid = Image.alice_uid);
+  check "pending transition recorded" true (alice.sec.pending <> None);
+  (* exec of the authorized binary completes the transition *)
+  let code =
+    Syscall.execve m alice "/usr/bin/lpr" [ "/usr/bin/lpr"; "/etc/motd" ] alice.env
+  in
+  Alcotest.(check (result int errno)) "lpr ran" (Ok 0) code;
+  check "now bob" true (alice.cred.euid = Image.bob_uid && alice.cred.ruid = Image.bob_uid);
+  check "pending cleared" true (alice.sec.pending = None)
+
+let test_setuid_on_exec_denied_binary () =
+  let img = fixture () in
+  let m = img.Image.machine in
+  (* alice knows only her own password: the su-style fallback (proving
+     bob's password) is unavailable, so only the lpr rule can apply. *)
+  m.password_source <-
+    (fun uid -> if uid = Image.alice_uid then Some "alice-pw" else None);
+  let alice = Image.login img "alice" in
+  Syntax.expect_ok "setuid defers" (Syscall.setuid m alice Image.bob_uid);
+  (* Unauthorized binary: the error surfaces at exec, as the paper notes. *)
+  Alcotest.(check (result int errno))
+    "exec of unauthorized binary fails" (Error Errno.EACCES)
+    (Syscall.execve m alice "/bin/cat" [ "/bin/cat"; "/etc/motd" ] alice.env);
+  check "credentials unchanged" true (alice.cred.euid = Image.alice_uid)
+
+let test_unauthorized_target () =
+  let img = fixture () in
+  let m = img.Image.machine in
+  (* No password known: even the su path cannot authorize. *)
+  m.password_source <- (fun _ -> None);
+  let alice = Image.login img "alice" in
+  (* No sudo rule for alice->charlie, and the su path needs charlie's
+     password: refused at setuid time. *)
+  Alcotest.(check (result unit errno))
+    "alice cannot become charlie" (Error Errno.EPERM)
+    (Syscall.setuid m alice Image.charlie_uid);
+  (* alice->root has a (restricted) sudoedit rule, so the setuid itself
+     reports success and defers — but without authentication no exec is
+     permitted and the credentials never change (§4.3's error locus). *)
+  Syntax.expect_ok "restricted transition defers" (Syscall.setuid m alice 0);
+  Alcotest.(check (result int errno))
+    "no exec permitted" (Error Errno.EACCES)
+    (Syscall.execve m alice "/bin/sh" [ "/bin/sh" ] alice.env);
+  check "still alice" true (alice.cred.euid = Image.alice_uid)
+
+let test_authentication_recency () =
+  let img = fixture () in
+  let m = img.Image.machine in
+  let prompts = ref 0 in
+  let stored = m.password_source in
+  m.password_source <-
+    (fun uid ->
+      incr prompts;
+      stored uid);
+  let sudo_lpr () =
+    let alice = Image.login img "alice" in
+    Syntax.expect_ok "setuid defers" (Syscall.setuid m alice Image.bob_uid);
+    (* authentication happens when the command is known, at exec *)
+    match
+      Syscall.execve m alice "/usr/bin/lpr" [ "/usr/bin/lpr"; "/etc/motd" ]
+        alice.env
+    with
+    | Ok 0 -> ()
+    | Ok c -> Alcotest.failf "lpr exited %d" c
+    | Error e -> Alcotest.failf "exec failed: %s" (Errno.to_string e)
+  in
+  sudo_lpr ();
+  Alcotest.(check int) "first use prompts" 1 !prompts;
+  (* Within the 5-minute window: the terminal session's proof is reused. *)
+  Machine.advance_clock m 60.;
+  sudo_lpr ();
+  Alcotest.(check int) "fresh tty auth reused" 1 !prompts;
+  (* After the timeout: prompted again. *)
+  Machine.advance_clock m 600.;
+  sudo_lpr ();
+  Alcotest.(check int) "stale auth reprompts" 2 !prompts
+
+let test_nopasswd () =
+  let img = fixture () in
+  let m = img.Image.machine in
+  m.password_source <- (fun _ -> None);
+  (* bob -> root /bin/true is NOPASSWD: works with no password available. *)
+  let bob = Image.login img "bob" in
+  Syntax.expect_ok "nopasswd setuid" (Syscall.setuid m bob 0);
+  Alcotest.(check (result int errno))
+    "exec authorized binary" (Ok 0)
+    (Syscall.execve m bob "/bin/true" [ "/bin/true" ] bob.env);
+  check "bob became root" true (bob.cred.euid = 0)
+
+(* The su flow through the binary, covering wrong-password and recency
+   non-stamping. *)
+let test_su_binary () =
+  let img = fixture () in
+  let m = img.Image.machine in
+  let alice = Image.login img "alice" in
+  Alcotest.(check (result int errno))
+    "su alice->bob with bob's password" (Ok 0)
+    (Image.run img alice "/bin/su" [ "bob" ]);
+  (* Wrong target password fails. *)
+  m.password_source <- (fun _ -> Some "wrong");
+  Alcotest.(check bool) "su with wrong password fails" true
+    (match Image.run img alice "/bin/su" [ "bob" ] with
+    | Ok 0 -> false
+    | Ok _ -> true
+    | Error _ -> true);
+  know_passwords m;
+  (* Proving bob's password does not refresh alice's own recency. *)
+  let fresh = Image.login img "alice" in
+  check "no self-recency from target auth" true (fresh.cred.last_auth = None)
+
+let test_env_scrubbing () =
+  let img = fixture () in
+  let m = img.Image.machine in
+  let alice = Image.login img "alice" in
+  Syscall.setenv alice "LD_PRELOAD" "/tmp/evil.so";
+  Syscall.setenv alice "PATH" "/bin:/usr/bin";
+  Syntax.expect_ok "setuid defers" (Syscall.setuid m alice Image.bob_uid);
+  ignore (Syscall.execve m alice "/usr/bin/lpr" [ "/usr/bin/lpr"; "/etc/motd" ] alice.env);
+  Alcotest.(check (option string))
+    "dangerous variable scrubbed" None (Syscall.getenv alice "LD_PRELOAD");
+  Alcotest.(check (option string))
+    "whitelisted variable kept" (Some "/bin:/usr/bin") (Syscall.getenv alice "PATH")
+
+let test_setgid_group_policy () =
+  let img = fixture () in
+  let m = img.Image.machine in
+  (* bob is a member of lp: setgid allowed outright. *)
+  let bob = Image.login img "bob" in
+  Syntax.expect_ok "member setgid" (Syscall.setgid m bob Image.lp_gid);
+  check "egid switched" true (Syscall.getegid bob = Image.lp_gid);
+  (* alice is not a member of staff but knows the group password. *)
+  let alice = Image.login img "alice" in
+  m.password_source <- (fun _ -> Some "staff-pw");
+  Syntax.expect_ok "group password setgid" (Syscall.setgid m alice Image.staff_gid);
+  check "egid staff" true (Syscall.getegid alice = Image.staff_gid);
+  (* charlie with a wrong password is refused. *)
+  let charlie = Image.login img "charlie" in
+  m.password_source <- (fun _ -> Some "wrong");
+  Alcotest.(check (result unit errno))
+    "wrong group password" (Error Errno.EPERM)
+    (Syscall.setgid m charlie Image.staff_gid);
+  (* lp has no password: non-members are refused outright. *)
+  Alcotest.(check (result unit errno))
+    "non-member, no group password" (Error Errno.EPERM)
+    (Syscall.setgid m charlie Image.lp_gid)
+
+let test_sudo_binaries_equivalence () =
+  let self_only name m =
+    let uid_of = function
+      | "alice" -> Image.alice_uid
+      | "bob" -> Image.bob_uid
+      | "charlie" -> Image.charlie_uid
+      | _ -> 0
+    in
+    m.password_source <-
+      (fun uid -> if uid = uid_of name then Some (name ^ "-pw") else None)
+  in
+  let drive config =
+    let img = Image.build config in
+    let m = img.Image.machine in
+    let alice = Image.login img "alice" in
+    let bob = Image.login img "bob" in
+    let charlie = Image.login img "charlie" in
+    let scenario password user path args =
+      password m;
+      Image.run img user path args
+    in
+    [ scenario (self_only "alice") alice "/usr/bin/sudo"
+        [ "-u"; "bob"; "/usr/bin/lpr"; "/etc/motd" ];
+      (* alice does not know bob's password: denied on both systems *)
+      scenario (self_only "alice") alice "/usr/bin/sudo"
+        [ "-u"; "bob"; "/bin/cat"; "/etc/motd" ];
+      scenario (fun m -> m.password_source <- (fun _ -> None)) bob
+        "/usr/bin/sudo" [ "/bin/true" ];
+      scenario (self_only "charlie") charlie "/usr/bin/sudo" [ "/usr/bin/id" ];
+      scenario (self_only "alice") alice "/usr/bin/sudo"
+        [ "-u"; "nosuch"; "/bin/true" ];
+      (* su: the terminal user supplies the *target's* password *)
+      scenario (fun m -> know_passwords m) alice "/bin/su" [ "bob" ];
+      scenario (self_only "alice") alice "/usr/bin/sudoedit" [ "/etc/motd" ];
+      scenario (self_only "bob") bob "/usr/bin/sudoedit" [ "/etc/motd" ];
+      scenario (fun m -> m.password_source <- (fun _ -> None)) bob
+        "/usr/bin/newgrp" [ "lp" ] ]
+  in
+  check "delegation binaries equivalent" true (drive Image.Linux = drive Image.Protego)
+
+let test_delegated_command_runs_as_target () =
+  let img = fixture () in
+  let m = img.Image.machine in
+  let alice = Image.login img "alice" in
+  Alcotest.(check (result int errno))
+    "sudo lpr" (Ok 0)
+    (Image.run img alice "/usr/bin/sudo" [ "-u"; "bob"; "/usr/bin/lpr"; "/etc/motd" ]);
+  let queue =
+    Syntax.expect_ok "queue"
+      (Syscall.read_file m (Machine.kernel_task m) "/var/spool/lpd/queue")
+  in
+  check "job queued under bob's uid" true
+    (let line = Printf.sprintf "job uid=%d file=/etc/motd" Image.bob_uid in
+     let rec contains i =
+       i + String.length line <= String.length queue
+       && (String.sub queue i (String.length line) = line || contains (i + 1))
+     in
+     contains 0)
+
+let suites =
+  [ ("protego:delegation",
+      [ Alcotest.test_case "setuid-on-exec" `Quick test_setuid_on_exec;
+        Alcotest.test_case "denied binary at exec" `Quick test_setuid_on_exec_denied_binary;
+        Alcotest.test_case "unauthorized target" `Quick test_unauthorized_target;
+        Alcotest.test_case "authentication recency" `Quick test_authentication_recency;
+        Alcotest.test_case "NOPASSWD" `Quick test_nopasswd;
+        Alcotest.test_case "su via TARGETPW" `Quick test_su_binary;
+        Alcotest.test_case "environment scrubbing" `Quick test_env_scrubbing;
+        Alcotest.test_case "setgid group policy" `Quick test_setgid_group_policy;
+        Alcotest.test_case "binary equivalence" `Quick test_sudo_binaries_equivalence;
+        Alcotest.test_case "delegated identity" `Quick test_delegated_command_runs_as_target ]) ]

@@ -1,0 +1,185 @@
+open Protego_base
+open Protego_kernel
+open Ktypes
+module Image = Protego_dist.Image
+module Ipaddr = Protego_net.Ipaddr
+module Packet = Protego_net.Packet
+
+let check = Alcotest.(check bool)
+
+let errno =
+  Alcotest.testable (fun ppf e -> Fmt.string ppf (Errno.to_string e)) Errno.equal
+
+let test_unshare_policy_36 () =
+  (* The paper's kernel (3.6): every namespace flavour needs CAP_SYS_ADMIN. *)
+  let img = Image.build Image.Protego in
+  let m = img.Image.machine in
+  let alice = Image.login img "alice" in
+  Alcotest.(check (result unit errno))
+    "unprivileged user ns refused" (Error Errno.EPERM)
+    (Syscall.unshare m alice [ Syscall.Ns_user ]);
+  Alcotest.(check (result unit errno))
+    "unprivileged net ns refused" (Error Errno.EPERM)
+    (Syscall.unshare m alice [ Syscall.Ns_net ]);
+  let root = Image.login img "root" in
+  Syntax.expect_ok "root may unshare"
+    (Syscall.unshare m root [ Syscall.Ns_net; Syscall.Ns_mount ]);
+  check "root got a fresh netns" true (root.netns <> 0);
+  Alcotest.(check (result unit errno))
+    "empty flags invalid" (Error Errno.EINVAL) (Syscall.unshare m root [])
+
+let test_unshare_policy_38 () =
+  (* Kernel >= 3.8: unprivileged user namespaces carry the others. *)
+  let img = Image.build Image.Protego in
+  let m = img.Image.machine in
+  m.unpriv_userns <- true;
+  let alice = Image.login img "alice" in
+  Alcotest.(check (result unit errno))
+    "net ns alone still refused" (Error Errno.EPERM)
+    (Syscall.unshare m alice [ Syscall.Ns_net ]);
+  Syntax.expect_ok "user+net+mount allowed"
+    (Syscall.unshare m alice [ Syscall.Ns_user; Syscall.Ns_net; Syscall.Ns_mount ]);
+  check "userns flag" true alice.userns;
+  check "fresh netns" true (alice.netns <> 0);
+  check "private mount list" true (alice.mntns <> None)
+
+let sandboxed_alice img =
+  let m = img.Image.machine in
+  m.unpriv_userns <- true;
+  let alice = Image.login img "alice" in
+  Syntax.expect_ok "unshare"
+    (Syscall.unshare m alice [ Syscall.Ns_user; Syscall.Ns_net; Syscall.Ns_mount ]);
+  alice
+
+let test_mount_ns_isolation () =
+  let img = Image.build Image.Protego in
+  let m = img.Image.machine in
+  let alice = sandboxed_alice img in
+  (* In-ns tmpfs mount over /tmp: allowed, private. *)
+  Syntax.expect_ok "private tmpfs"
+    (Syscall.mount m alice ~source:"none" ~target:"/tmp" ~fstype:"tmpfs" ~flags:[]);
+  Syntax.expect_ok "write inside"
+    (Syscall.write_file m alice "/tmp/inside" "sandboxed");
+  check "visible inside" true (Syscall.read_file m alice "/tmp/inside" = Ok "sandboxed");
+  (* Invisible to everyone else. *)
+  let bob = Image.login img "bob" in
+  Alcotest.(check (result unit errno))
+    "invisible outside" (Error Errno.ENOENT)
+    (Result.map (fun _ -> ()) (Syscall.read_file m bob "/tmp/inside"));
+  check "global mount table untouched" true
+    (not (List.exists (fun mnt -> mnt.mnt_target = "/tmp") m.mounts));
+  (* Only synthetic filesystems inside the sandbox — no smuggling devices. *)
+  Alcotest.(check (result unit errno))
+    "block device mount refused in ns" (Error Errno.EPERM)
+    (Syscall.mount m alice ~source:"/dev/sda2" ~target:"/tmp" ~fstype:"ext4"
+       ~flags:[]);
+  (* In-ns unmount works; unmounting something else does not. *)
+  Syntax.expect_ok "in-ns umount" (Syscall.umount m alice ~target:"/tmp");
+  Alcotest.(check (result unit errno))
+    "nothing left to unmount" (Error Errno.EINVAL)
+    (Syscall.umount m alice ~target:"/tmp")
+
+let test_net_ns_isolation () =
+  let img = Image.build Image.Protego in
+  let m = img.Image.machine in
+  let alice = sandboxed_alice img in
+  (* Raw sockets are free inside the fake network. *)
+  let fd = Syntax.expect_ok "in-ns raw socket"
+      (Syscall.socket m alice Af_inet Sock_raw 1) in
+  (* Loopback works within the namespace. *)
+  let pkt = Packet.echo_request ~src:Ipaddr.localhost ~dst:Ipaddr.localhost ~seq:1 () in
+  Syntax.expect_ok "in-ns loopback send"
+    (Result.map (fun _ -> ()) (Syscall.sendto m alice fd Ipaddr.localhost 0 (Packet.encode pkt)));
+  check "loopback delivered in-ns" true
+    (match Syscall.recvfrom m alice fd with Ok _ -> true | Error _ -> false);
+  (* The outside world is unreachable. *)
+  let out = Packet.echo_request ~src:Ipaddr.localhost ~dst:(Ipaddr.v 10 0 0 7) ~seq:2 () in
+  ignore (Syscall.sendto m alice fd (Ipaddr.v 10 0 0 7) 0 (Packet.encode out));
+  Alcotest.(check (result unit errno))
+    "no reply from outside" (Error Errno.EAGAIN)
+    (Result.map (fun _ -> ()) (Syscall.recvfrom m alice fd));
+  (* Init-namespace sockets never see in-ns traffic. *)
+  let bob = Image.login img "bob" in
+  (match img.Image.protego with Some _ -> () | None -> ());
+  let bfd = Syntax.expect_ok "bob udp" (Syscall.socket m bob Af_inet Sock_dgram 17) in
+  Syntax.expect_ok "bob binds 5000" (Syscall.bind m bob bfd Ipaddr.localhost 5000);
+  let afd = Syntax.expect_ok "alice udp" (Syscall.socket m alice Af_inet Sock_dgram 17) in
+  ignore (Syscall.sendto m alice afd Ipaddr.localhost 5000 "hello?");
+  Alcotest.(check (result unit errno))
+    "cross-namespace delivery blocked" (Error Errno.EAGAIN)
+    (Result.map (fun _ -> ()) (Syscall.recvfrom m bob bfd));
+  (* Privileged ports are free inside the namespace (in-ns capabilities),
+     and do not collide with the init namespace's ports. *)
+  let exim = Image.login img "Debian-exim" in
+  exim.exe_path <- "/usr/sbin/exim4";
+  let efd = Syntax.expect_ok "exim socket" (Syscall.socket m exim Af_inet Sock_stream 6) in
+  Syntax.expect_ok "exim binds 25 (init ns)" (Syscall.bind m exim efd Ipaddr.any 25);
+  let sfd = Syntax.expect_ok "alice tcp" (Syscall.socket m alice Af_inet Sock_stream 6) in
+  Syntax.expect_ok "alice binds 25 in her ns" (Syscall.bind m alice sfd Ipaddr.any 25);
+  (* TCP to the outside is also cut off. *)
+  let cfd = Syntax.expect_ok "alice tcp2" (Syscall.socket m alice Af_inet Sock_stream 6) in
+  Alcotest.(check (result unit errno))
+    "no outward TCP" (Error Errno.ENETUNREACH)
+    (Syscall.connect m alice cfd (Ipaddr.v 10 0 0 7) 80)
+
+let test_sandbox_binary () =
+  (* On the 3.6 kernel the setuid helper works on both systems... *)
+  let run config =
+    let img = Image.build config in
+    let alice = Image.login img "alice" in
+    Image.run img alice "/usr/lib/chromium/chromium-sandbox" []
+  in
+  Alcotest.(check (result int errno)) "legacy setuid helper" (Ok 0) (run Image.Linux);
+  Alcotest.(check (result int errno)) "protego keeps this one setuid (4.6)" (Ok 0)
+    (run Image.Protego);
+  (* ...and with the bit stripped it fails until the kernel allows
+     unprivileged user namespaces. *)
+  let img = Image.build Image.Protego in
+  let m = img.Image.machine in
+  let kt = Machine.kernel_task m in
+  Syntax.expect_ok "drop the bit"
+    (Syscall.chmod m kt "/usr/lib/chromium/chromium-sandbox" 0o755);
+  let alice = Image.login img "alice" in
+  check "3.6 kernel: fails unprivileged" true
+    (Image.run img alice "/usr/lib/chromium/chromium-sandbox" [] = Ok 1);
+  m.unpriv_userns <- true;
+  let alice2 = Image.login img "alice" in
+  Alcotest.(check (result int errno))
+    "3.8 kernel: works unprivileged" (Ok 0)
+    (Image.run img alice2 "/usr/lib/chromium/chromium-sandbox" []);
+  check "sandbox reported isolation" true
+    (List.exists
+       (fun l -> l = "chromium-sandbox: outside world unreachable (good)")
+       (console_lines m))
+
+let test_namespaces_cannot_replace_protego () =
+  (* §6: namespaces are the wrong tool for *shared* resources — inside the
+     sandbox you can do anything, but nothing escapes; Protego's policies
+     are about externally visible operations. *)
+  let img = Image.build Image.Protego in
+  let m = img.Image.machine in
+  let alice = sandboxed_alice img in
+  (* alice "mounts" freely inside, but the real /media/cdrom needs the
+     whitelist — her private mounts never touched the shared tree. *)
+  Syntax.expect_ok "in-ns play-mount"
+    (Syscall.mount m alice ~source:"none" ~target:"/media/cdrom" ~fstype:"tmpfs"
+       ~flags:[]);
+  let bob = Image.login img "bob" in
+  check "shared tree unaffected" true
+    (match Syscall.readdir m bob "/media/cdrom" with Ok [] -> true | _ -> false);
+  (* And the password database is still the kernel's to protect. *)
+  Alcotest.(check (result unit errno))
+    "shadow still protected inside sandbox" (Error Errno.EACCES)
+    (Result.map (fun _ -> ()) (Syscall.read_file m alice "/etc/shadows/bob"))
+
+let suites =
+  [ ("sandbox:unshare",
+      [ Alcotest.test_case "3.6 policy" `Quick test_unshare_policy_36;
+        Alcotest.test_case "3.8 policy" `Quick test_unshare_policy_38 ]);
+    ("sandbox:isolation",
+      [ Alcotest.test_case "mount namespace" `Quick test_mount_ns_isolation;
+        Alcotest.test_case "network namespace" `Quick test_net_ns_isolation ]);
+    ("sandbox:binary",
+      [ Alcotest.test_case "chromium-sandbox" `Quick test_sandbox_binary;
+        Alcotest.test_case "namespaces vs Protego" `Quick
+          test_namespaces_cannot_replace_protego ]) ]

@@ -1,0 +1,144 @@
+open Protego_base
+open Protego_kernel
+open Ktypes
+module Image = Protego_dist.Image
+module Daemon = Protego_services.Monitor_daemon
+module Auth = Protego_services.Auth_service
+
+let check = Alcotest.(check bool)
+
+let errno =
+  Alcotest.testable (fun ppf e -> Fmt.string ppf (Errno.to_string e)) Errno.equal
+
+let fixture () =
+  let img = Image.build Image.Protego in
+  img.Image.machine.password_source <-
+    (fun uid -> if uid = Image.alice_uid then Some "alice-pw" else None);
+  img
+
+let daemon_of img = Option.get img.Image.daemon
+
+let test_fstab_resync () =
+  let img = fixture () in
+  let m = img.Image.machine in
+  let root = Image.login img "root" in
+  let alice = Image.login img "alice" in
+  (* Administrator edits fstab: drop the cdrom user entry. *)
+  Syntax.expect_ok "edit fstab"
+    (Syscall.write_file m root "/etc/fstab"
+       "/dev/sdb1 /media/usb vfat users 0 0\n");
+  (* Policy is unchanged until the daemon notices. *)
+  Syntax.expect_ok "old policy still live"
+    (Syscall.mount m alice ~source:"/dev/cdrom" ~target:"/media/cdrom"
+       ~fstype:"iso9660" ~flags:[ Mf_readonly; Mf_nosuid; Mf_nodev ]);
+  ignore (Syscall.umount m alice ~target:"/media/cdrom");
+  let actions = Daemon.step (daemon_of img) in
+  check "daemon acted" true (actions > 0);
+  Alcotest.(check (result unit errno))
+    "cdrom rule revoked" (Error Errno.EPERM)
+    (Syscall.mount m alice ~source:"/dev/cdrom" ~target:"/media/cdrom"
+       ~fstype:"iso9660" ~flags:[ Mf_readonly; Mf_nosuid; Mf_nodev ]);
+  Syntax.expect_ok "usb rule survives"
+    (Syscall.mount m alice ~source:"/dev/sdb1" ~target:"/media/usb"
+       ~fstype:"vfat" ~flags:[ Mf_nosuid; Mf_nodev ]);
+  ignore (Syscall.umount m alice ~target:"/media/usb")
+
+let test_sudoers_resync () =
+  let img = fixture () in
+  let m = img.Image.machine in
+  let root = Image.login img "root" in
+  let alice = Image.login img "alice" in
+  (* Grant alice an unrestricted NOPASSWD rule to bob via sudoers.d. *)
+  Syntax.expect_ok "drop-in rule"
+    (Syscall.write_file m root "/etc/sudoers.d/alice-bob"
+       "alice ALL=(bob) NOPASSWD: ALL\n");
+  ignore (Daemon.step (daemon_of img));
+  Syntax.expect_ok "new rule live without password"
+    (Syscall.setuid m alice Image.bob_uid);
+  check "full transition" true (alice.cred.euid = Image.bob_uid)
+
+let test_bind_resync () =
+  let img = fixture () in
+  let m = img.Image.machine in
+  let root = Image.login img "root" in
+  Syntax.expect_ok "edit bind map"
+    (Syscall.write_file m root "/etc/bind" "80 tcp /usr/sbin/exim4 101\n");
+  ignore (Daemon.step (daemon_of img));
+  let exim = Image.login img "Debian-exim" in
+  exim.exe_path <- "/usr/sbin/exim4";
+  let fd = Syntax.expect_ok "socket" (Syscall.socket m exim Af_inet Sock_stream 6) in
+  Syntax.expect_ok "port 80 now exim's"
+    (Syscall.bind m exim fd Protego_net.Ipaddr.any 80);
+  ignore (Syscall.close m exim fd);
+  let fd = Syntax.expect_ok "socket" (Syscall.socket m exim Af_inet Sock_stream 6) in
+  Alcotest.(check (result unit errno))
+    "port 25 revoked" (Error Errno.EACCES)
+    (Syscall.bind m exim fd Protego_net.Ipaddr.any 25)
+
+let test_accounts_sync_legacy () =
+  let img = fixture () in
+  let m = img.Image.machine in
+  let alice = Image.login img "alice" in
+  (* alice edits her gecos in her fragment; the daemon regenerates the
+     legacy shared file for unmodified applications. *)
+  Syntax.expect_ok "edit fragment"
+    (Syscall.write_file m alice "/etc/passwds/alice"
+       "alice:x:1000:1000:Alice In Chains:/home/alice:/bin/sh\n");
+  ignore (Daemon.step (daemon_of img));
+  let legacy =
+    Syntax.expect_ok "legacy" (Syscall.read_file m (Machine.kernel_task m) "/etc/passwd")
+  in
+  check "legacy reflects fragment" true
+    (match Protego_policy.Pwdb.parse_passwd legacy with
+    | Ok entries -> (
+        match Protego_policy.Pwdb.lookup_user entries "alice" with
+        | Some e -> e.Protego_policy.Pwdb.pw_gecos = "Alice In Chains"
+        | None -> false)
+    | Error _ -> false)
+
+let test_daemon_ignores_self_writes () =
+  let img = fixture () in
+  let d = daemon_of img in
+  ignore (Daemon.step d);
+  (* A second step with no external changes performs no actions — the
+     daemon must not loop on the legacy files it regenerates itself. *)
+  Alcotest.(check int) "quiescent" 0 (Daemon.step d)
+
+let test_auth_service () =
+  let img = fixture () in
+  let m = img.Image.machine in
+  check "verify correct password" true
+    (Auth.verify_user_password m ~user:"alice" ~password:"alice-pw");
+  check "verify wrong password" false
+    (Auth.verify_user_password m ~user:"alice" ~password:"nope");
+  check "verify unknown user" false
+    (Auth.verify_user_password m ~user:"mallory" ~password:"x");
+  check "locked account" false
+    (Auth.verify_user_password m ~user:"Debian-exim" ~password:"!");
+  let alice = Image.login img "alice" in
+  check "authenticate stamps recency" true
+    (Auth.authenticate m alice Image.alice_uid && alice.cred.last_auth <> None);
+  (* Unknown uid fails cleanly. *)
+  check "unknown uid" false (Auth.authenticate m alice 4242)
+
+let test_direct_proc_equivalent () =
+  (* §5.2: the monitoring daemon is only a convenience — an administrator
+     writing /proc directly gets the same policy. *)
+  let img = fixture () in
+  let m = img.Image.machine in
+  let root = Image.login img "root" in
+  let alice = Image.login img "alice" in
+  Syntax.expect_ok "direct /proc write"
+    (Syscall.write_file m root "/proc/protego/delegation"
+       "alice ALL=(bob) NOPASSWD: ALL\n");
+  Syntax.expect_ok "policy live immediately" (Syscall.setuid m alice Image.bob_uid)
+
+let suites =
+  [ ("services:monitord",
+      [ Alcotest.test_case "fstab resync" `Quick test_fstab_resync;
+        Alcotest.test_case "sudoers resync" `Quick test_sudoers_resync;
+        Alcotest.test_case "bind resync" `Quick test_bind_resync;
+        Alcotest.test_case "legacy regeneration" `Quick test_accounts_sync_legacy;
+        Alcotest.test_case "no self-loop" `Quick test_daemon_ignores_self_writes;
+        Alcotest.test_case "direct /proc equivalent" `Quick test_direct_proc_equivalent ]);
+    ("services:auth", [ Alcotest.test_case "authentication" `Quick test_auth_service ]) ]

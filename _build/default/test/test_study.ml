@@ -1,0 +1,177 @@
+module Study = Protego_study
+module Image = Protego_dist.Image
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let contains ~needle hay =
+  let nl = String.length needle in
+  let rec go i =
+    i + nl <= String.length hay && (String.sub hay i nl = needle || go (i + 1))
+  in
+  go 0
+
+(* --- popularity (Table 3) --------------------------------------------- *)
+
+let test_popularity_data () =
+  check_int "20 packages" 20 (List.length Study.Popularity.packages);
+  let first = List.hd Study.Popularity.packages in
+  check "mount first" true (first.Study.Popularity.pkg_name = "mount");
+  check "mount ubiquitous" true (first.Study.Popularity.ubuntu_pct = 100.0);
+  check_int "ubuntu systems" 2_502_647 Study.Popularity.ubuntu_systems;
+  check_int "debian systems" 134_020 Study.Popularity.debian_systems
+
+let test_weighted_average () =
+  (* Degenerate cases pin the arithmetic. *)
+  check "equal values" true
+    (Study.Popularity.weighted_avg ~ubuntu:50.0 ~debian:50.0 = 50.0);
+  let w = Study.Popularity.weighted_avg ~ubuntu:100.0 ~debian:0.0 in
+  check "ubuntu dominates" true (w > 94.0 && w < 100.0);
+  (* The paper's mount row: 100.00 / 99.75 -> 99.99. *)
+  let mount = Study.Popularity.weighted_avg ~ubuntu:100.00 ~debian:99.75 in
+  check "paper's mount weighted avg" true (Float.abs (mount -. 99.99) < 0.005)
+
+let test_synthesis_deterministic () =
+  let a = Study.Popularity.synthesize ~seed:7 ~scale:0.01 () in
+  let b = Study.Popularity.synthesize ~seed:7 ~scale:0.01 () in
+  check "same seed, same table" true
+    (List.for_all2
+       (fun x y ->
+         x.Study.Popularity.m_weighted = y.Study.Popularity.m_weighted)
+       a b);
+  let c = Study.Popularity.synthesize ~seed:8 ~scale:0.01 () in
+  check "different seed, different table" true
+    (List.exists2
+       (fun x y ->
+         x.Study.Popularity.m_weighted <> y.Study.Popularity.m_weighted)
+       a c);
+  (* Sampling error at 1% scale stays within a percentage point or so. *)
+  check "tracks ground truth" true
+    (List.for_all
+       (fun x ->
+         Float.abs
+           (x.Study.Popularity.m_ubuntu_pct
+           -. x.Study.Popularity.pkg.Study.Popularity.ubuntu_pct)
+         < 1.5)
+       a)
+
+let test_coverage_figure () =
+  let measured = Study.Popularity.synthesize ~seed:42 ~scale:0.02 () in
+  let coverage = Study.Popularity.protego_coverage measured in
+  check "~89.5% as in the paper" true (coverage > 88.0 && coverage < 91.0)
+
+(* --- LoC accounting (Table 2) ------------------------------------------ *)
+
+let test_loc_accounting () =
+  check_int "paper total" 2598 Study.Loc_accounting.paper_total;
+  check_int "net deprivileged (Table 1)" 12717
+    Study.Loc_accounting.table1_net_deprivileged;
+  check "reduction arithmetic" true
+    (Study.Loc_accounting.deprivileged_lines
+     - Study.Loc_accounting.added_trusted_lines
+    >= Study.Loc_accounting.net_tcb_reduction);
+  (* Row shape: the kernel components are small, as the paper stresses. *)
+  List.iter
+    (fun r ->
+      if r.Study.Loc_accounting.section = Study.Loc_accounting.Kernel then
+        check (r.Study.Loc_accounting.component ^ " is small") true
+          (r.Study.Loc_accounting.paper_lines <= 415))
+    Study.Loc_accounting.rows;
+  check "missing file yields None" true
+    (Study.Loc_accounting.measure_repo_lines [ "no/such/file.ml" ] = None)
+
+(* --- Table 8 ------------------------------------------------------------- *)
+
+let test_remaining () =
+  check_int "91 binaries total" 91 Study.Remaining.total_binaries;
+  let counted =
+    List.fold_left
+      (fun acc g -> acc + g.Study.Remaining.g_binaries)
+      0 Study.Remaining.groups
+  in
+  check_int "groups account for all binaries" 91 counted;
+  let covered =
+    List.fold_left
+      (fun acc g ->
+        if g.Study.Remaining.g_status = Study.Remaining.Covered then
+          acc + g.Study.Remaining.g_binaries
+        else acc)
+      0 Study.Remaining.groups
+  in
+  check_int "77 covered, as the paper reports" 77 covered
+
+(* --- report rendering ------------------------------------------------------ *)
+
+let test_report_table () =
+  let out =
+    Study.Report.table ~title:"T" ~header:[ "a"; "bb" ]
+      ~align:[ Study.Report.L; Study.Report.R ]
+      [ [ "x"; "1" ]; [ "yy"; "22" ] ]
+  in
+  check "title" true (contains ~needle:"T\n" out);
+  check "right alignment pads" true (contains ~needle:"|  1 |" out);
+  check "left alignment pads" true (contains ~needle:"| x " out);
+  (* Ragged rows must not crash. *)
+  let ragged =
+    Study.Report.table ~header:[ "a"; "b" ] ~align:[] [ [ "only-one" ] ]
+  in
+  check "ragged ok" true (String.length ragged > 0)
+
+(* --- figure 1 --------------------------------------------------------------- *)
+
+let test_figure1 () =
+  let linux = String.concat "\n" (Study.Figure1.trace_linux ()) in
+  let protego = String.concat "\n" (Study.Figure1.trace_protego ()) in
+  check "linux path mounts" true (contains ~needle:"mounted=true" linux);
+  check "protego path mounts" true (contains ~needle:"mounted=true" protego);
+  check "linux trusts the binary" true (contains ~needle:"setuid root" linux);
+  check "protego trusts the LSM" true (contains ~needle:"LSM hook" protego);
+  check "whitelist shown" true (contains ~needle:"/dev/cdrom -> /media/cdrom" protego)
+
+(* --- attack surface ----------------------------------------------------------- *)
+
+let test_attack_surface () =
+  let linux = Study.Attack_surface.analyze (Image.build Image.Linux) in
+  let protego = Study.Attack_surface.analyze (Image.build Image.Protego) in
+  check "linux has dozens of entry points" true (linux.Study.Attack_surface.root_equivalent >= 25);
+  check_int "protego keeps exactly chromium-sandbox" 1
+    protego.Study.Attack_surface.root_equivalent;
+  check "the survivor is the sandbox helper" true
+    (List.for_all
+       (fun e ->
+         e.Study.Attack_surface.path = "/usr/lib/chromium/chromium-sandbox")
+       protego.Study.Attack_surface.setuid_binaries);
+  (* CVE counts flow in from the Table 6 catalogue. *)
+  check "ping's CVE history visible" true
+    (List.exists
+       (fun e ->
+         e.Study.Attack_surface.path = "/bin/ping"
+         && e.Study.Attack_surface.known_priv_esc_cves = 4)
+       linux.Study.Attack_surface.setuid_binaries)
+
+(* --- summary (Table 1) --------------------------------------------------------- *)
+
+let test_summary () =
+  let t = Study.Summary.compute ~max_overhead_pct:5.5 () in
+  let contained, total = t.Study.Summary.exploits_contained in
+  check_int "all 40 contained" 40 contained;
+  check_int "of 40" 40 total;
+  check "coverage near paper" true
+    (t.Study.Summary.coverage_pct > 88.0 && t.Study.Summary.coverage_pct < 91.0);
+  check_int "8 syscalls" 8 t.Study.Summary.syscalls_changed;
+  let rendered = Study.Summary.render t in
+  check "renders paper column" true (contains ~needle:"89.5%" rendered);
+  check "renders measured overhead" true (contains ~needle:"5.5%" rendered)
+
+let suites =
+  [ ("study:popularity",
+      [ Alcotest.test_case "table data" `Quick test_popularity_data;
+        Alcotest.test_case "weighted average" `Quick test_weighted_average;
+        Alcotest.test_case "deterministic synthesis" `Quick test_synthesis_deterministic;
+        Alcotest.test_case "coverage figure" `Quick test_coverage_figure ]);
+    ("study:loc", [ Alcotest.test_case "accounting" `Quick test_loc_accounting ]);
+    ("study:remaining", [ Alcotest.test_case "table 8" `Quick test_remaining ]);
+    ("study:report", [ Alcotest.test_case "table renderer" `Quick test_report_table ]);
+    ("study:figure1", [ Alcotest.test_case "mount traces" `Quick test_figure1 ]);
+    ("study:surface", [ Alcotest.test_case "attack surface" `Slow test_attack_surface ]);
+    ("study:summary", [ Alcotest.test_case "table 1 rollup" `Slow test_summary ]) ]

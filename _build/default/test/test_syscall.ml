@@ -1,0 +1,306 @@
+open Protego_base
+open Protego_kernel
+open Ktypes
+
+let check = Alcotest.(check bool)
+
+let errno =
+  Alcotest.testable (fun ppf e -> Fmt.string ppf (Errno.to_string e)) Errno.equal
+
+let fixture () =
+  let m = Machine.create () in
+  let kt = Machine.kernel_task m in
+  ignore (Machine.mkdir_p m kt "/bin" ());
+  ignore (Machine.mkdir_p m kt "/etc" ());
+  ignore (Machine.mkdir_p m kt "/home/alice" ~mode:0o755 ~uid:1000 ~gid:1000 ());
+  ignore (Machine.write_file m kt ~path:"/etc/motd" ~mode:0o644 "hello world");
+  let alice =
+    Machine.spawn_task m ~cred:(Cred.make ~uid:1000 ~gid:1000 ()) ~cwd:"/home/alice" ()
+  in
+  (m, kt, alice)
+
+(* --- file descriptors ------------------------------------------------------ *)
+
+let test_open_read_write () =
+  let m, _, alice = fixture () in
+  let fd =
+    Syntax.expect_ok "open O_CREAT"
+      (Syscall.open_ m alice "notes.txt" [ Syscall.O_WRONLY; Syscall.O_CREAT 0o644 ])
+  in
+  check "write returns length" true (Syscall.write m alice fd "line one\n" = Ok 9);
+  Syntax.expect_ok "close" (Syscall.close m alice fd);
+  check "contents" true
+    (Syscall.read_file m alice "/home/alice/notes.txt" = Ok "line one\n");
+  (* O_APPEND *)
+  let fd =
+    Syntax.expect_ok "open append"
+      (Syscall.open_ m alice "notes.txt" [ Syscall.O_WRONLY; Syscall.O_APPEND ])
+  in
+  ignore (Syscall.write m alice fd "line two\n");
+  ignore (Syscall.close m alice fd);
+  check "appended" true
+    (Syscall.read_file m alice "notes.txt" = Ok "line one\nline two\n");
+  (* O_TRUNC *)
+  let fd =
+    Syntax.expect_ok "open trunc"
+      (Syscall.open_ m alice "notes.txt" [ Syscall.O_WRONLY; Syscall.O_TRUNC ])
+  in
+  ignore (Syscall.write m alice fd "replaced" );
+  ignore (Syscall.close m alice fd);
+  check "truncated" true (Syscall.read_file m alice "notes.txt" = Ok "replaced");
+  (* chunked reads advance position *)
+  let fd = Syntax.expect_ok "open" (Syscall.open_ m alice "notes.txt" [ Syscall.O_RDONLY ]) in
+  check "chunk 1" true (Syscall.read m alice fd 4 = Ok "repl");
+  check "chunk 2" true (Syscall.read m alice fd 4 = Ok "aced");
+  check "eof" true (Syscall.read m alice fd 4 = Ok "");
+  (* wrong-direction access *)
+  Alcotest.(check (result int errno))
+    "write on read-only fd" (Error Errno.EBADF)
+    (Syscall.write m alice fd "x");
+  ignore (Syscall.close m alice fd);
+  Alcotest.(check (result unit errno))
+    "close twice" (Error Errno.EBADF) (Syscall.close m alice fd)
+
+let test_fd_misc () =
+  let m, _, alice = fixture () in
+  let fd = Syntax.expect_ok "open" (Syscall.open_ m alice "/etc/motd" [ Syscall.O_RDONLY ]) in
+  let fd2 = Syntax.expect_ok "dup" (Syscall.dup m alice fd) in
+  check "dup shares offset" true
+    (Syscall.read m alice fd 5 = Ok "hello" && Syscall.read m alice fd2 6 = Ok " world");
+  Syntax.expect_ok "cloexec" (Syscall.set_cloexec alice fd2 true);
+  Alcotest.(check (result unit errno))
+    "bad fd" (Error Errno.EBADF)
+    (Syscall.set_cloexec alice 999 true)
+
+let test_stat_access_chmod () =
+  let m, kt, alice = fixture () in
+  let st = Syntax.expect_ok "stat" (Syscall.stat m alice "/etc/motd") in
+  check "stat size" true (st.Syscall.st_size = 11);
+  check "stat mode" true (st.Syscall.st_mode = 0o644);
+  Alcotest.(check (result unit errno))
+    "access W denied" (Error Errno.EACCES)
+    (Syscall.access m alice "/etc/motd" [ Mode.W ]);
+  Syntax.expect_ok "access R" (Syscall.access m alice "/etc/motd" [ Mode.R ]);
+  (* chmod: owner or CAP_FOWNER *)
+  Alcotest.(check (result unit errno))
+    "chmod someone else's file" (Error Errno.EPERM)
+    (Syscall.chmod m alice "/etc/motd" 0o600);
+  Syntax.expect_ok "root chmod" (Syscall.chmod m kt "/etc/motd" 0o600);
+  (* chown requires CAP_CHOWN, clears setuid *)
+  Alcotest.(check (result unit errno))
+    "chown as user" (Error Errno.EPERM)
+    (Syscall.chown m alice "/etc/motd" 1000 1000);
+  Syntax.expect_ok "root chmod setuid" (Syscall.chmod m kt "/etc/motd" 0o4755);
+  Syntax.expect_ok "root chown" (Syscall.chown m kt "/etc/motd" 1000 1000);
+  let st = Syntax.expect_ok "stat" (Syscall.stat m kt "/etc/motd") in
+  check "chown cleared setuid" false (Mode.has_setuid st.Syscall.st_mode)
+
+let test_dirs_and_rename () =
+  let m, _, alice = fixture () in
+  Syntax.expect_ok "mkdir" (Syscall.mkdir m alice "sub" 0o755);
+  Alcotest.(check (result unit errno))
+    "mkdir exists" (Error Errno.EEXIST) (Syscall.mkdir m alice "sub" 0o755);
+  Syntax.expect_ok "write" (Syscall.write_file m alice "sub/f" "data");
+  check "readdir" true
+    (match Syscall.readdir m alice "sub" with Ok [ "f" ] -> true | _ -> false);
+  Syntax.expect_ok "rename" (Syscall.rename m alice "sub/f" "sub/g");
+  check "renamed" true (Syscall.read_file m alice "sub/g" = Ok "data");
+  Alcotest.(check (result unit errno))
+    "old name gone" (Error Errno.ENOENT)
+    (Result.map (fun _ -> ()) (Syscall.read_file m alice "sub/f"));
+  Syntax.expect_ok "chdir" (Syscall.chdir m alice "sub");
+  check "cwd updated" true (alice.cwd = "/home/alice/sub");
+  Alcotest.(check (result unit errno))
+    "chdir to file" (Error Errno.ENOTDIR) (Syscall.chdir m alice "g")
+
+let test_pipes () =
+  let m, _, alice = fixture () in
+  let r, w = Syntax.expect_ok "pipe" (Syscall.pipe m alice) in
+  check "write" true (Syscall.write m alice w "abc" = Ok 3);
+  check "read partial" true (Syscall.read m alice r 2 = Ok "ab");
+  check "read rest" true (Syscall.read m alice r 10 = Ok "c");
+  Alcotest.(check (result string errno))
+    "empty pipe would block" (Error Errno.EAGAIN) (Syscall.read m alice r 1);
+  Syntax.expect_ok "close read end" (Syscall.close m alice r);
+  Alcotest.(check (result int errno))
+    "EPIPE after reader closes" (Error Errno.EPIPE)
+    (Syscall.write m alice w "x");
+  (* EOF when writer closes *)
+  let r, w = Syntax.expect_ok "pipe" (Syscall.pipe m alice) in
+  ignore (Syscall.write m alice w "z");
+  Syntax.expect_ok "close writer" (Syscall.close m alice w);
+  check "drain" true (Syscall.read m alice r 4 = Ok "z");
+  check "EOF" true (Syscall.read m alice r 4 = Ok "")
+
+(* --- identity changes ------------------------------------------------------ *)
+
+let test_setuid_stock () =
+  let m, _, alice = fixture () in
+  (* Unprivileged: may only return to ruid/suid. *)
+  Alcotest.(check (result unit errno))
+    "setuid to other user denied" (Error Errno.EPERM)
+    (Syscall.setuid m alice 1001);
+  Syntax.expect_ok "setuid to self" (Syscall.setuid m alice 1000);
+  (* Privileged: full transition, capabilities dropped. *)
+  let root = Machine.spawn_task m ~cred:(Cred.make ~uid:0 ~gid:0 ()) ~cwd:"/" () in
+  Syntax.expect_ok "root setuid" (Syscall.setuid m root 1000);
+  check "all uids change" true
+    (root.cred.ruid = 1000 && root.cred.euid = 1000 && root.cred.suid = 1000);
+  check "caps cleared" true (Cap.Set.is_empty root.cred.caps);
+  Alcotest.(check (result unit errno))
+    "cannot get root back" (Error Errno.EPERM) (Syscall.setuid m root 0)
+
+let test_seteuid_swap () =
+  let m, _, _ = fixture () in
+  (* A setuid-root process drops euid temporarily, then regains via suid. *)
+  let t =
+    Machine.spawn_task m ~cred:(Cred.make ~uid:0 ~gid:0 ()) ~cwd:"/" ()
+  in
+  t.cred.ruid <- 1000;
+  (* simulates a setuid binary run by uid 1000 *)
+  Syntax.expect_ok "drop euid" (Syscall.seteuid m t 1000);
+  check "euid dropped" true (t.cred.euid = 1000);
+  Syntax.expect_ok "regain euid" (Syscall.seteuid m t 0);
+  check "euid regained via suid" true (t.cred.euid = 0)
+
+let test_setgid_groups () =
+  let m, _, alice = fixture () in
+  Alcotest.(check (result unit errno))
+    "setgid other denied" (Error Errno.EPERM) (Syscall.setgid m alice 7);
+  Alcotest.(check (result unit errno))
+    "setgroups denied" (Error Errno.EPERM) (Syscall.setgroups m alice [ 7 ]);
+  let root = Machine.spawn_task m ~cred:(Cred.make ~uid:0 ~gid:0 ()) ~cwd:"/" () in
+  Syntax.expect_ok "root setgroups" (Syscall.setgroups m root [ 7; 8 ]);
+  check "groups set" true (Syscall.getgroups root = [ 7; 8 ])
+
+(* --- exec ------------------------------------------------------------------- *)
+
+let install_probe m kt =
+  (* A binary that reports its euid through the console. *)
+  Syntax.expect_ok "install probe"
+    (Machine.install_binary m kt ~path:"/bin/probe" (fun _m task _argv ->
+         Ok task.cred.euid))
+
+let test_exec_setuid_bit () =
+  let m, kt, alice = fixture () in
+  install_probe m kt;
+  (* Plain exec: euid unchanged. *)
+  let child = Syscall.fork m alice in
+  check "plain exec keeps euid" true
+    (Syscall.execve m child "/bin/probe" [] [] = Ok 1000);
+  (* setuid-root binary: euid becomes 0 and full caps. *)
+  Syntax.expect_ok "chmod 4755" (Syscall.chmod m kt "/bin/probe" 0o4755);
+  let child = Syscall.fork m alice in
+  check "setuid exec raises euid" true
+    (Syscall.execve m child "/bin/probe" [] [] = Ok 0);
+  check "full caps" true (Cap.Set.equal child.cred.caps Cap.Set.full);
+  check "ruid stays" true (child.cred.ruid = 1000)
+
+let test_exec_nosuid_mount () =
+  let m, kt, alice = fixture () in
+  ignore (Machine.mkdir_p m kt "/mnt/usb" ());
+  Hashtbl.replace m.devices "/dev/usb"
+    (Dev_block
+       { media = Some { media_fstype = "vfat"; media_files = [ ("evil", "x") ] } });
+  (* mount nosuid, then plant a setuid binary inside *)
+  Syntax.expect_ok "mount nosuid"
+    (Syscall.mount m kt ~source:"/dev/usb" ~target:"/mnt/usb" ~fstype:"vfat"
+       ~flags:[ Mf_nosuid ]);
+  Syntax.expect_ok "install evil"
+    (Machine.install_binary m kt ~path:"/mnt/usb/evil-probe" ~mode:0o4755
+       (fun _m task _argv -> Ok task.cred.euid));
+  let child = Syscall.fork m alice in
+  check "nosuid mount neuters setuid bit" true
+    (Syscall.execve m child "/mnt/usb/evil-probe" [] [] = Ok 1000)
+
+let test_exec_cloexec_and_errors () =
+  let m, kt, alice = fixture () in
+  install_probe m kt;
+  let fd_keep =
+    Syntax.expect_ok "open" (Syscall.open_ m alice "/etc/motd" [ Syscall.O_RDONLY ])
+  in
+  let fd_close =
+    Syntax.expect_ok "open cloexec"
+      (Syscall.open_ m alice "/etc/motd" [ Syscall.O_RDONLY; Syscall.O_CLOEXEC ])
+  in
+  let child = Syscall.fork m alice in
+  check "fds inherited by fork" true
+    (List.mem_assoc fd_keep child.fds && List.mem_assoc fd_close child.fds);
+  ignore (Syscall.execve m child "/bin/probe" [] []);
+  check "cloexec closed on exec" true
+    (List.mem_assoc fd_keep child.fds && not (List.mem_assoc fd_close child.fds));
+  Alcotest.(check (result int errno))
+    "exec missing file" (Error Errno.ENOENT)
+    (Syscall.execve m alice "/bin/nothing" [] []);
+  Syntax.expect_ok "data file" (Syscall.write_file m kt "/bin/data" "not code");
+  ignore (Syscall.chmod m kt "/bin/data" 0o755);
+  Alcotest.(check (result int errno))
+    "exec non-program" (Error Errno.ENOEXEC)
+    (Syscall.execve m alice "/bin/data" [] []);
+  Syntax.expect_ok "unexecutable" (Syscall.chmod m kt "/bin/data" 0o644);
+  Alcotest.(check (result int errno))
+    "exec without x bit" (Error Errno.EACCES)
+    (Syscall.execve m alice "/bin/data" [] [])
+
+let test_fork_wait_exit () =
+  let m, kt, alice = fixture () in
+  ignore kt;
+  let child = Syscall.fork m alice in
+  check "child pid differs" true (child.tpid <> alice.tpid);
+  check "child parent" true (child.tparent = alice.tpid);
+  check "cred copied not shared" true
+    (child.cred != alice.cred && child.cred.ruid = 1000);
+  Alcotest.(check (result int errno))
+    "wait before exit" (Error Errno.EAGAIN)
+    (Syscall.waitpid m alice child.tpid);
+  Syscall.exit m child 7;
+  check "wait returns status" true (Syscall.waitpid m alice child.tpid = Ok 7);
+  Alcotest.(check (result int errno))
+    "reaped" (Error Errno.ECHILD)
+    (Syscall.waitpid m alice child.tpid)
+
+let test_signals () =
+  let m, _, alice = fixture () in
+  let fired = ref 0 in
+  Syscall.sigaction alice 10 (Some (fun () -> incr fired));
+  Syntax.expect_ok "self kill" (Syscall.kill m alice alice.tpid 10);
+  Alcotest.(check int) "handler ran" 1 !fired;
+  let bob = Machine.spawn_task m ~cred:(Cred.make ~uid:1001 ~gid:1001 ()) ~cwd:"/" () in
+  Alcotest.(check (result unit errno))
+    "cross-user kill denied" (Error Errno.EPERM)
+    (Syscall.kill m alice bob.tpid 10);
+  Alcotest.(check (result unit errno))
+    "kill missing process" (Error Errno.ESRCH) (Syscall.kill m alice 9999 10);
+  Syscall.sigaction alice 10 None;
+  Syntax.expect_ok "kill without handler ignored" (Syscall.kill m alice alice.tpid 10);
+  Alcotest.(check int) "handler not run after removal" 1 !fired
+
+let test_env () =
+  let m, _, alice = fixture () in
+  ignore m;
+  Syscall.setenv alice "FOO" "bar";
+  Alcotest.(check (option string)) "getenv" (Some "bar") (Syscall.getenv alice "FOO");
+  Syscall.setenv alice "FOO" "baz";
+  Alcotest.(check (option string)) "setenv replaces" (Some "baz")
+    (Syscall.getenv alice "FOO");
+  Alcotest.(check (option string)) "missing" None (Syscall.getenv alice "NOPE")
+
+let suites =
+  [ ("syscall:files",
+      [ Alcotest.test_case "open/read/write flags" `Quick test_open_read_write;
+        Alcotest.test_case "dup and cloexec" `Quick test_fd_misc;
+        Alcotest.test_case "stat/access/chmod/chown" `Quick test_stat_access_chmod;
+        Alcotest.test_case "dirs and rename" `Quick test_dirs_and_rename;
+        Alcotest.test_case "pipes" `Quick test_pipes ]);
+    ("syscall:identity",
+      [ Alcotest.test_case "setuid stock semantics" `Quick test_setuid_stock;
+        Alcotest.test_case "seteuid swap" `Quick test_seteuid_swap;
+        Alcotest.test_case "setgid and groups" `Quick test_setgid_groups ]);
+    ("syscall:exec",
+      [ Alcotest.test_case "setuid bit" `Quick test_exec_setuid_bit;
+        Alcotest.test_case "nosuid mount" `Quick test_exec_nosuid_mount;
+        Alcotest.test_case "cloexec and errors" `Quick test_exec_cloexec_and_errors;
+        Alcotest.test_case "fork/wait/exit" `Quick test_fork_wait_exit ]);
+    ("syscall:misc",
+      [ Alcotest.test_case "signals" `Quick test_signals;
+        Alcotest.test_case "environment" `Quick test_env ]) ]
