@@ -1,0 +1,382 @@
+type verdict = Allow | Deny | Reject
+
+type cond =
+  | Eq of int
+  | Ge of int
+  | Le of int
+  | In_range of int * int
+  | All_bits of int
+  | Masked_eq of { mask : int; value : int }
+  | Eq_field of int
+  | Str_eq of string
+  | Str_prefix of string
+
+type insn =
+  | Ld_int of int
+  | Ld_str of int
+  | Jmp of int
+  | Jif of cond * int * int
+  | Iswitch of { tbl : (int, int) Hashtbl.t; default : int }
+  | Sswitch of { tbl : (string, int) Hashtbl.t; default : int }
+  | Ret of verdict
+
+type ctx = { ints : int array; strs : string array }
+
+type program = {
+  pname : string;
+  n_int_fields : int;
+  n_str_fields : int;
+  insns : insn array;
+  counters : int array;
+  mutable retired : int;
+}
+
+let max_insns = 65536
+
+(* --- verifier ---------------------------------------------------------- *)
+
+type verify_error =
+  | Empty_program
+  | Program_too_long of int
+  | Backward_jump of int
+  | Jump_out_of_range of int
+  | Missing_verdict of int
+  | Int_field_out_of_range of int * int
+  | Str_field_out_of_range of int * int
+  | Int_acc_unset of int
+  | Str_acc_unset of int
+  | Unreachable_insn of int
+
+let verify_error_to_string = function
+  | Empty_program -> "empty program"
+  | Program_too_long n -> Printf.sprintf "program too long (%d instructions)" n
+  | Backward_jump pc -> Printf.sprintf "backward jump at pc %d" pc
+  | Jump_out_of_range pc -> Printf.sprintf "jump out of range at pc %d" pc
+  | Missing_verdict pc ->
+      Printf.sprintf "control can fall off the end at pc %d (missing verdict)" pc
+  | Int_field_out_of_range (pc, f) ->
+      Printf.sprintf "int field %d out of range at pc %d" f pc
+  | Str_field_out_of_range (pc, f) ->
+      Printf.sprintf "string field %d out of range at pc %d" f pc
+  | Int_acc_unset pc ->
+      Printf.sprintf "integer condition before any Ld_int at pc %d" pc
+  | Str_acc_unset pc ->
+      Printf.sprintf "string condition before any Ld_str at pc %d" pc
+  | Unreachable_insn pc -> Printf.sprintf "unreachable instruction at pc %d" pc
+
+let cond_is_int = function
+  | Eq _ | Ge _ | Le _ | In_range _ | All_bits _ | Masked_eq _ | Eq_field _ ->
+      true
+  | Str_eq _ | Str_prefix _ -> false
+
+(* Successor program counters of the instruction at [pc] (all relative
+   offsets already added; Ret has none). *)
+let successors pc insn =
+  match insn with
+  | Ld_int _ | Ld_str _ -> [ pc + 1 ]
+  | Jmp d -> [ pc + 1 + d ]
+  | Jif (_, jt, jf) -> [ pc + 1 + jt; pc + 1 + jf ]
+  | Iswitch { tbl; default } ->
+      (pc + 1 + default)
+      :: Hashtbl.fold (fun _ d acc -> (pc + 1 + d) :: acc) tbl []
+  | Sswitch { tbl; default } ->
+      (pc + 1 + default)
+      :: Hashtbl.fold (fun _ d acc -> (pc + 1 + d) :: acc) tbl []
+  | Ret _ -> []
+
+let jump_offsets = function
+  | Jmp d -> [ d ]
+  | Jif (_, jt, jf) -> [ jt; jf ]
+  | Iswitch { tbl; default } ->
+      default :: Hashtbl.fold (fun _ d acc -> d :: acc) tbl []
+  | Sswitch { tbl; default } ->
+      default :: Hashtbl.fold (fun _ d acc -> d :: acc) tbl []
+  | Ld_int _ | Ld_str _ | Ret _ -> []
+
+let verify p =
+  let n = Array.length p.insns in
+  let ( let* ) r f = match r with Error _ as e -> e | Ok () -> f () in
+  let* () = if n = 0 then Error Empty_program else Ok () in
+  let* () = if n > max_insns then Error (Program_too_long n) else Ok () in
+  (* Pass 1: local validity of operands at every slot. *)
+  let rec locals pc =
+    if pc >= n then Ok ()
+    else
+      let insn = p.insns.(pc) in
+      let* () =
+        if List.exists (fun d -> d < 0) (jump_offsets insn) then
+          Error (Backward_jump pc)
+        else Ok ()
+      in
+      let* () =
+        if List.exists (fun s -> s >= n) (successors pc insn) then
+          if
+            (* A load whose fall-through is the end of the program is a
+               missing verdict, not a bad jump. *)
+            match insn with Ld_int _ | Ld_str _ -> true | _ -> false
+          then Error (Missing_verdict pc)
+          else Error (Jump_out_of_range pc)
+        else Ok ()
+      in
+      let* () =
+        match insn with
+        | Ld_int f when f < 0 || f >= p.n_int_fields ->
+            Error (Int_field_out_of_range (pc, f))
+        | Ld_str f when f < 0 || f >= p.n_str_fields ->
+            Error (Str_field_out_of_range (pc, f))
+        | Jif (Eq_field f, _, _) when f < 0 || f >= p.n_int_fields ->
+            Error (Int_field_out_of_range (pc, f))
+        | _ -> Ok ()
+      in
+      locals (pc + 1)
+  in
+  let* () = locals 0 in
+  (* Pass 2: forward dataflow.  Jumps are forward-only, so visiting program
+     counters in order is a topological order; a slot's predecessors have
+     all been processed when it is reached.  Track, per slot, whether it is
+     reachable and whether each accumulator is definitely initialized on
+     every path into it. *)
+  let reach = Array.make n false in
+  let int_ok = Array.make n false in
+  let str_ok = Array.make n false in
+  reach.(0) <- true;
+  let merge ~from pc (i, s) =
+    ignore from;
+    if reach.(pc) then begin
+      int_ok.(pc) <- int_ok.(pc) && i;
+      str_ok.(pc) <- str_ok.(pc) && s
+    end
+    else begin
+      reach.(pc) <- true;
+      int_ok.(pc) <- i;
+      str_ok.(pc) <- s
+    end
+  in
+  let rec flow pc =
+    if pc >= n then Ok ()
+    else if not reach.(pc) then Error (Unreachable_insn pc)
+    else
+      let insn = p.insns.(pc) in
+      let* () =
+        match insn with
+        | Jif (c, _, _) when cond_is_int c && not int_ok.(pc) ->
+            Error (Int_acc_unset pc)
+        | Jif (c, _, _) when (not (cond_is_int c)) && not str_ok.(pc) ->
+            Error (Str_acc_unset pc)
+        | Iswitch _ when not int_ok.(pc) -> Error (Int_acc_unset pc)
+        | Sswitch _ when not str_ok.(pc) -> Error (Str_acc_unset pc)
+        | _ -> Ok ()
+      in
+      let out =
+        match insn with
+        | Ld_int _ -> (true, str_ok.(pc))
+        | Ld_str _ -> (int_ok.(pc), true)
+        | _ -> (int_ok.(pc), str_ok.(pc))
+      in
+      List.iter (fun s -> merge ~from:pc s out) (successors pc insn);
+      flow (pc + 1)
+  in
+  flow 0
+
+(* --- evaluation -------------------------------------------------------- *)
+
+(* Allocation-free prefix test (the shadow-file rule runs it on every
+   open). *)
+let has_prefix ~prefix s =
+  let plen = String.length prefix in
+  String.length s >= plen
+  &&
+  let rec go i = i >= plen || (s.[i] = prefix.[i] && go (i + 1)) in
+  go 0
+
+let eval_cond c acc_i acc_s (ctx : ctx) =
+  match c with
+  | Eq imm -> acc_i = imm
+  | Ge imm -> acc_i >= imm
+  | Le imm -> acc_i <= imm
+  | In_range (lo, hi) -> acc_i >= lo && acc_i <= hi
+  | All_bits imm -> acc_i land imm = imm
+  | Masked_eq { mask; value } -> acc_i land mask = value
+  | Eq_field f -> acc_i = ctx.ints.(f)
+  | Str_eq imm -> String.equal acc_s imm
+  | Str_prefix prefix -> has_prefix ~prefix acc_s
+
+let eval p ctx =
+  if
+    Array.length ctx.ints < p.n_int_fields
+    || Array.length ctx.strs < p.n_str_fields
+  then
+    invalid_arg
+      (Printf.sprintf "Pfm.eval: context too narrow for program %s" p.pname);
+  let counters = p.counters and insns = p.insns in
+  let rec step pc acc_i acc_s steps =
+    counters.(pc) <- counters.(pc) + 1;
+    match insns.(pc) with
+    | Ld_int f -> step (pc + 1) ctx.ints.(f) acc_s (steps + 1)
+    | Ld_str f -> step (pc + 1) acc_i ctx.strs.(f) (steps + 1)
+    | Jmp d -> step (pc + 1 + d) acc_i acc_s (steps + 1)
+    | Jif (c, jt, jf) ->
+        let d = if eval_cond c acc_i acc_s ctx then jt else jf in
+        step (pc + 1 + d) acc_i acc_s (steps + 1)
+    | Iswitch { tbl; default } ->
+        let d =
+          match Hashtbl.find_opt tbl acc_i with Some d -> d | None -> default
+        in
+        step (pc + 1 + d) acc_i acc_s (steps + 1)
+    | Sswitch { tbl; default } ->
+        let d =
+          match Hashtbl.find_opt tbl acc_s with Some d -> d | None -> default
+        in
+        step (pc + 1 + d) acc_i acc_s (steps + 1)
+    | Ret v ->
+        p.retired <- p.retired + steps + 1;
+        v
+  in
+  step 0 0 "" 0
+
+let insn_count p = Array.fold_left ( + ) 0 p.counters
+
+let reset_counters p =
+  Array.fill p.counters 0 (Array.length p.counters) 0;
+  p.retired <- 0
+
+(* --- disassembly ------------------------------------------------------- *)
+
+let verdict_to_string = function
+  | Allow -> "allow"
+  | Deny -> "deny"
+  | Reject -> "reject"
+
+let cond_to_string = function
+  | Eq imm -> Printf.sprintf "eq %d" imm
+  | Ge imm -> Printf.sprintf "ge %d" imm
+  | Le imm -> Printf.sprintf "le %d" imm
+  | In_range (lo, hi) -> Printf.sprintf "in [%d,%d]" lo hi
+  | All_bits imm -> Printf.sprintf "allbits 0x%x" imm
+  | Masked_eq { mask; value } -> Printf.sprintf "masked 0x%x=0x%x" mask value
+  | Eq_field f -> Printf.sprintf "eq i%d" f
+  | Str_eq s -> Printf.sprintf "streq %S" s
+  | Str_prefix s -> Printf.sprintf "strpfx %S" s
+
+let switch_entries_to_string to_s tbl default =
+  let entries =
+    Hashtbl.fold (fun k d acc -> (to_s k, d) :: acc) tbl []
+    |> List.sort compare
+    |> List.map (fun (k, d) -> Printf.sprintf "%s=>+%d" k d)
+  in
+  String.concat " " (entries @ [ Printf.sprintf "_=>+%d" default ])
+
+let insn_to_string = function
+  | Ld_int f -> Printf.sprintf "ldi i%d" f
+  | Ld_str f -> Printf.sprintf "lds s%d" f
+  | Jmp d -> Printf.sprintf "jmp +%d" d
+  | Jif (c, jt, jf) -> Printf.sprintf "jif (%s) +%d +%d" (cond_to_string c) jt jf
+  | Iswitch { tbl; default } ->
+      "iswitch " ^ switch_entries_to_string string_of_int tbl default
+  | Sswitch { tbl; default } ->
+      "sswitch "
+      ^ switch_entries_to_string (fun s -> Printf.sprintf "%S" s) tbl default
+  | Ret v -> "ret " ^ verdict_to_string v
+
+let pp_insn ppf i = Format.pp_print_string ppf (insn_to_string i)
+
+let disassemble p =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "; %s (%d insns, %d int fields, %d str fields)\n" p.pname
+       (Array.length p.insns) p.n_int_fields p.n_str_fields);
+  Array.iteri
+    (fun pc insn ->
+      Buffer.add_string b
+        (Printf.sprintf "%4d: %-40s ; hits=%d\n" pc (insn_to_string insn)
+           p.counters.(pc)))
+    p.insns;
+  Buffer.contents b
+
+(* --- assembler --------------------------------------------------------- *)
+
+module Asm = struct
+  type label = int
+
+  type aitem =
+    | A_insn of insn                      (* no label operands *)
+    | A_jmp of label
+    | A_jif of cond * label * label
+    | A_iswitch of (int * label) list * label
+    | A_sswitch of (string * label) list * label
+    | A_label of label
+
+  type t = {
+    mutable items : aitem list;           (* reversed *)
+    mutable next_label : int;
+    placed : (label, unit) Hashtbl.t;
+  }
+
+  let create () = { items = []; next_label = 0; placed = Hashtbl.create 16 }
+
+  let fresh_label t =
+    let l = t.next_label in
+    t.next_label <- l + 1;
+    l
+
+  let push t item = t.items <- item :: t.items
+
+  let place t l =
+    if Hashtbl.mem t.placed l then
+      invalid_arg (Printf.sprintf "Pfm.Asm.place: label %d placed twice" l);
+    Hashtbl.replace t.placed l ();
+    push t (A_label l)
+
+  let ld_int t f = push t (A_insn (Ld_int f))
+  let ld_str t f = push t (A_insn (Ld_str f))
+  let jmp t l = push t (A_jmp l)
+  let jif t c ~jt ~jf = push t (A_jif (c, jt, jf))
+  let iswitch t cases ~default = push t (A_iswitch (cases, default))
+  let sswitch t cases ~default = push t (A_sswitch (cases, default))
+  let ret t v = push t (A_insn (Ret v))
+
+  let assemble t ~name ~n_int_fields ~n_str_fields =
+    let items = List.rev t.items in
+    (* Address assignment: labels occupy no space. *)
+    let addr = Hashtbl.create 16 in
+    let n =
+      List.fold_left
+        (fun pc item ->
+          match item with
+          | A_label l ->
+              Hashtbl.replace addr l pc;
+              pc
+          | A_insn _ | A_jmp _ | A_jif _ | A_iswitch _ | A_sswitch _ -> pc + 1)
+        0 items
+    in
+    let resolve pc l =
+      match Hashtbl.find_opt addr l with
+      | Some a -> a - (pc + 1)
+      | None ->
+          invalid_arg (Printf.sprintf "Pfm.Asm.assemble: unplaced label %d" l)
+    in
+    let insns = Array.make n (Ret Deny) in
+    let pc = ref 0 in
+    List.iter
+      (fun item ->
+        let emit i =
+          insns.(!pc) <- i;
+          incr pc
+        in
+        match item with
+        | A_label _ -> ()
+        | A_insn i -> emit i
+        | A_jmp l -> emit (Jmp (resolve !pc l))
+        | A_jif (c, jt, jf) -> emit (Jif (c, resolve !pc jt, resolve !pc jf))
+        | A_iswitch (cases, default) ->
+            let tbl = Hashtbl.create (List.length cases * 2) in
+            List.iter (fun (k, l) -> Hashtbl.replace tbl k (resolve !pc l)) cases;
+            emit (Iswitch { tbl; default = resolve !pc default })
+        | A_sswitch (cases, default) ->
+            let tbl = Hashtbl.create (List.length cases * 2) in
+            List.iter (fun (k, l) -> Hashtbl.replace tbl k (resolve !pc l)) cases;
+            emit (Sswitch { tbl; default = resolve !pc default }))
+      items;
+    { pname = name; n_int_fields; n_str_fields; insns;
+      counters = Array.make n 0; retired = 0 }
+end

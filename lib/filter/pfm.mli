@@ -1,0 +1,136 @@
+(** The Protego Filter Machine (PFM): a tiny typed bytecode for the
+    argument-level policy checks on the LSM hot path.
+
+    Declarative policy (the mount whitelist, the bind map, netfilter
+    chains, the ppp device whitelist) is compiled once into a straight-line
+    program over a small typed register machine and evaluated by one
+    interpreter at every hook invocation, instead of re-walking the OCaml
+    rule lists.  The design follows classic BPF: two accumulators (one
+    integer, one string), forward-only jumps, and an explicit verdict at
+    the end of every path, so every program provably terminates in at most
+    [Array.length insns] steps.
+
+    A program never reaches the interpreter unverified: {!verify} performs
+    a single forward dataflow pass that rejects backward jumps,
+    out-of-range jump targets or field indices, falls off the end of the
+    program (a path without a verdict), conditionals that read an
+    accumulator before any load wrote it, and unreachable instructions.
+
+    Every instruction slot carries an execution counter
+    (observability for /proc/protego/filter_stats and for the
+    differential-rollout audit trail). *)
+
+(** {1 Values and programs} *)
+
+type verdict = Allow | Deny | Reject
+(** [Reject] is only meaningful for packet programs (netfilter REJECT);
+    syscall hooks map [Deny] and [Reject] to their errno alike. *)
+
+(** A conditional test against the current accumulator.  Integer
+    conditions read the integer accumulator (loaded by {!insn.Ld_int}),
+    string conditions the string accumulator ({!insn.Ld_str}). *)
+type cond =
+  | Eq of int                              (** acc = imm *)
+  | Ge of int                              (** acc >= imm *)
+  | Le of int                              (** acc <= imm *)
+  | In_range of int * int                  (** lo <= acc <= hi (inclusive) *)
+  | All_bits of int                        (** acc land imm = imm (flag subset) *)
+  | Masked_eq of { mask : int; value : int }  (** acc land mask = value (CIDR) *)
+  | Eq_field of int                        (** acc = ints.(field) *)
+  | Str_eq of string                       (** acc = imm *)
+  | Str_prefix of string                   (** imm is a prefix of acc *)
+
+(** Jump offsets are relative to the {e next} instruction and must be
+    [>= 0]: a verified program can only move forward. *)
+type insn =
+  | Ld_int of int                          (** int accumulator <- ints.(i) *)
+  | Ld_str of int                          (** string accumulator <- strs.(i) *)
+  | Jmp of int
+  | Jif of cond * int * int                (** (cond, jump-if-true, jump-if-false) *)
+  | Iswitch of { tbl : (int, int) Hashtbl.t; default : int }
+      (** hashed dispatch on the int accumulator; offsets like [Jmp] *)
+  | Sswitch of { tbl : (string, int) Hashtbl.t; default : int }
+      (** hashed dispatch on the string accumulator *)
+  | Ret of verdict
+
+(** The subject of one evaluation: the hook marshals the syscall arguments
+    into two small arrays.  Field layouts are per-hook contracts defined in
+    {!module:Pfm_compile}. *)
+type ctx = { ints : int array; strs : string array }
+
+type program = {
+  pname : string;                  (** for diagnostics / disassembly *)
+  n_int_fields : int;              (** arity of [ctx.ints] this program expects *)
+  n_str_fields : int;
+  insns : insn array;
+  counters : int array;            (** per-instruction execution counts *)
+  mutable retired : int;           (** total instructions executed by {!eval} *)
+}
+
+val max_insns : int
+(** Upper bound the verifier places on program length. *)
+
+(** {1 Verifier} *)
+
+type verify_error =
+  | Empty_program
+  | Program_too_long of int
+  | Backward_jump of int                   (** pc of the offending jump *)
+  | Jump_out_of_range of int
+  | Missing_verdict of int                 (** pc that can fall off the end *)
+  | Int_field_out_of_range of int * int    (** (pc, field index) *)
+  | Str_field_out_of_range of int * int
+  | Int_acc_unset of int                   (** int cond before any [Ld_int] *)
+  | Str_acc_unset of int
+  | Unreachable_insn of int
+
+val verify : program -> (unit, verify_error) result
+val verify_error_to_string : verify_error -> string
+
+(** {1 Evaluation} *)
+
+val eval : program -> ctx -> verdict
+(** Run a {e verified} program.  Raises [Invalid_argument] on a context
+    narrower than the program's declared arity (never on a verified
+    program evaluated on the matching hook's context). *)
+
+val insn_count : program -> int
+(** Total instructions executed so far (sum of the per-slot counters). *)
+
+val reset_counters : program -> unit
+
+(** {1 Disassembly} *)
+
+val pp_insn : Format.formatter -> insn -> unit
+val disassemble : program -> string
+(** One instruction per line, with execution counts. *)
+
+(** {1 Assembler}
+
+    A tiny label-based assembler used by the compilers: emit instructions
+    with symbolic jump targets, then {!Asm.assemble} resolves labels into
+    relative offsets.  Labels occupy no space. *)
+
+module Asm : sig
+  type t
+  type label
+
+  val create : unit -> t
+  val fresh_label : t -> label
+  val place : t -> label -> unit
+  (** Bind a label to the current position.  Raises [Invalid_argument] if
+      already placed. *)
+
+  val ld_int : t -> int -> unit
+  val ld_str : t -> int -> unit
+  val jmp : t -> label -> unit
+  val jif : t -> cond -> jt:label -> jf:label -> unit
+  val iswitch : t -> (int * label) list -> default:label -> unit
+  val sswitch : t -> (string * label) list -> default:label -> unit
+  val ret : t -> verdict -> unit
+
+  val assemble :
+    t -> name:string -> n_int_fields:int -> n_str_fields:int -> program
+  (** Resolve labels and build the program.  Raises [Invalid_argument] on
+      an unplaced label.  The result is {e not} implicitly verified. *)
+end

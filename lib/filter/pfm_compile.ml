@@ -1,0 +1,353 @@
+module Ktypes = Protego_kernel.Ktypes
+module Netfilter = Protego_net.Netfilter
+module Packet = Protego_net.Packet
+module Ipaddr = Protego_net.Ipaddr
+module Ppp = Protego_net.Ppp
+module Bindconf = Protego_policy.Bindconf
+module Pppopts = Protego_policy.Pppopts
+module Asm = Pfm.Asm
+
+type mount_rule = {
+  fm_source : string;
+  fm_target : string;
+  fm_fstype : string;
+  fm_flags : Ktypes.mount_flag list;
+  fm_user_only : bool;
+}
+
+let checked p =
+  match Pfm.verify p with
+  | Ok () -> p
+  | Error e ->
+      invalid_arg
+        (Printf.sprintf "Pfm_compile: compiler for %s emitted invalid code: %s"
+           p.Pfm.pname (Pfm.verify_error_to_string e))
+
+let trivial name verdict =
+  checked
+    { Pfm.pname = name; n_int_fields = 0; n_str_fields = 0;
+      insns = [| Pfm.Ret verdict |]; counters = [| 0 |]; retired = 0 }
+
+(* Continue to the next instruction when [cond] holds, jump to [jf]
+   otherwise. *)
+let check a cond ~jf =
+  let l = Asm.fresh_label a in
+  Asm.jif a cond ~jt:l ~jf;
+  Asm.place a l
+
+(* Group [items] by [key], preserving both the order of first appearance of
+   each key and the relative order of items within a group (required for
+   first-match fidelity). *)
+let group_by key items =
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun item ->
+      let k = key item in
+      match Hashtbl.find_opt tbl k with
+      | Some group -> group := item :: !group
+      | None ->
+          Hashtbl.replace tbl k (ref [ item ]);
+          order := k :: !order)
+    items;
+  List.rev_map (fun k -> (k, List.rev !(Hashtbl.find tbl k))) !order
+
+(* --- mount ------------------------------------------------------------- *)
+
+let flag_bit = function
+  | Ktypes.Mf_readonly -> 1
+  | Ktypes.Mf_nosuid -> 2
+  | Ktypes.Mf_nodev -> 4
+  | Ktypes.Mf_noexec -> 8
+
+let flags_mask flags = List.fold_left (fun m f -> m lor flag_bit f) 0 flags
+
+let s_source = 0
+let s_target = 1
+let s_fstype = 2
+let i_flags = 0
+
+let mount rules =
+  if rules = [] then trivial "mount" Pfm.Deny
+  else begin
+    let a = Asm.create () in
+    let l_allow = Asm.fresh_label a and l_deny = Asm.fresh_label a in
+    let groups =
+      List.map
+        (fun (src, rs) -> (src, Asm.fresh_label a, rs))
+        (group_by (fun r -> r.fm_source) rules)
+    in
+    Asm.ld_str a s_source;
+    Asm.sswitch a
+      (List.map (fun (src, lbl, _) -> (src, lbl)) groups)
+      ~default:l_deny;
+    List.iter
+      (fun (_, lbl, rs) ->
+        Asm.place a lbl;
+        let n = List.length rs in
+        List.iteri
+          (fun i r ->
+            let l_next =
+              if i = n - 1 then l_deny else Asm.fresh_label a
+            in
+            Asm.ld_str a s_target;
+            check a (Pfm.Str_eq r.fm_target) ~jf:l_next;
+            if r.fm_fstype <> "auto" then begin
+              (* The request's fstype must equal the rule's, or be the
+                 "auto" wildcard. *)
+              let l_flags = Asm.fresh_label a in
+              Asm.ld_str a s_fstype;
+              let l_try_auto = Asm.fresh_label a in
+              Asm.jif a (Pfm.Str_eq r.fm_fstype) ~jt:l_flags ~jf:l_try_auto;
+              Asm.place a l_try_auto;
+              Asm.jif a (Pfm.Str_eq "auto") ~jt:l_flags ~jf:l_next;
+              Asm.place a l_flags
+            end;
+            (* First triple match decides: its flag requirement is final
+               (no fallback to later rules), exactly like the reference. *)
+            Asm.ld_int a i_flags;
+            Asm.jif a (Pfm.All_bits (flags_mask r.fm_flags)) ~jt:l_allow
+              ~jf:l_deny;
+            if i < n - 1 then Asm.place a l_next)
+          rs)
+      groups;
+    Asm.place a l_allow;
+    Asm.ret a Pfm.Allow;
+    Asm.place a l_deny;
+    Asm.ret a Pfm.Deny;
+    checked (Asm.assemble a ~name:"mount" ~n_int_fields:1 ~n_str_fields:3)
+  end
+
+let mount_ctx ~source ~target ~fstype ~flags =
+  { Pfm.ints = [| flags_mask flags |]; strs = [| source; target; fstype |] }
+
+(* --- umount ------------------------------------------------------------ *)
+
+let u_target = 0
+let i_mounted_by = 0
+let i_ruid = 1
+
+let umount rules =
+  if rules = [] then trivial "umount" Pfm.Deny
+  else begin
+    let a = Asm.create () in
+    let l_allow = Asm.fresh_label a and l_deny = Asm.fresh_label a in
+    (* Only the first rule naming a target is consulted by the reference
+       walk, so one case per distinct target suffices. *)
+    let groups =
+      List.map
+        (fun (target, rs) -> (target, Asm.fresh_label a, List.hd rs))
+        (group_by (fun r -> r.fm_target) rules)
+    in
+    Asm.ld_str a u_target;
+    Asm.sswitch a
+      (List.map (fun (target, lbl, _) -> (target, lbl)) groups)
+      ~default:l_deny;
+    List.iter
+      (fun (_, lbl, r) ->
+        Asm.place a lbl;
+        if r.fm_user_only then begin
+          Asm.ld_int a i_mounted_by;
+          Asm.jif a (Pfm.Eq_field i_ruid) ~jt:l_allow ~jf:l_deny
+        end
+        else Asm.jmp a l_allow)
+      groups;
+    Asm.place a l_allow;
+    Asm.ret a Pfm.Allow;
+    Asm.place a l_deny;
+    Asm.ret a Pfm.Deny;
+    checked (Asm.assemble a ~name:"umount" ~n_int_fields:2 ~n_str_fields:1)
+  end
+
+let umount_ctx ~target ~mounted_by ~ruid =
+  { Pfm.ints = [| mounted_by; ruid |]; strs = [| target |] }
+
+(* --- bind -------------------------------------------------------------- *)
+
+let b_exe = 0
+let i_port = 0
+let i_proto = 1
+let i_uid = 2
+
+let bind_proto_code = function Bindconf.Tcp -> 6 | Bindconf.Udp -> 17
+
+let bind entries =
+  if entries = [] then trivial "bind" Pfm.Deny
+  else begin
+    let a = Asm.create () in
+    let l_allow = Asm.fresh_label a and l_deny = Asm.fresh_label a in
+    let groups =
+      List.map
+        (fun (port, es) -> (port, Asm.fresh_label a, es))
+        (group_by (fun (e : Bindconf.entry) -> e.port) entries)
+    in
+    Asm.ld_int a i_port;
+    Asm.iswitch a
+      (List.map (fun (port, lbl, _) -> (port, lbl)) groups)
+      ~default:l_deny;
+    List.iter
+      (fun (_, lbl, es) ->
+        Asm.place a lbl;
+        let n = List.length es in
+        List.iteri
+          (fun i (e : Bindconf.entry) ->
+            let l_next = if i = n - 1 then l_deny else Asm.fresh_label a in
+            Asm.ld_int a i_proto;
+            check a (Pfm.Eq (bind_proto_code e.proto)) ~jf:l_next;
+            (* Port and protocol matched: this entry decides; a wrong
+               binary or owner is a denial, not a fallthrough. *)
+            Asm.ld_str a b_exe;
+            check a (Pfm.Str_eq e.exe) ~jf:l_deny;
+            Asm.ld_int a i_uid;
+            Asm.jif a (Pfm.Eq e.owner) ~jt:l_allow ~jf:l_deny;
+            if i < n - 1 then Asm.place a l_next)
+          es)
+      groups;
+    Asm.place a l_allow;
+    Asm.ret a Pfm.Allow;
+    Asm.place a l_deny;
+    Asm.ret a Pfm.Deny;
+    checked (Asm.assemble a ~name:"bind" ~n_int_fields:3 ~n_str_fields:1)
+  end
+
+let bind_ctx ~port ~proto ~exe ~uid =
+  { Pfm.ints = [| port; bind_proto_code proto; uid |]; strs = [| exe |] }
+
+(* --- netfilter --------------------------------------------------------- *)
+
+let f_proto = 0
+let f_src = 1
+let f_dst = 2
+let f_sport = 3
+let f_dport = 4
+let f_icmp = 5
+let f_syn = 6
+let f_origin = 7
+let f_owner = 8
+
+(* [Other q] must never collide with the named protocols, mirroring the
+   reference's variant comparison (assumes 0 <= q < 0x10000, the IP
+   protocol number space). *)
+let packet_proto_code = function
+  | Packet.Icmp -> 1
+  | Packet.Tcp -> 6
+  | Packet.Udp -> 17
+  | Packet.Other q -> 0x10000 lor q
+
+let addr_int a = Int32.to_int (Ipaddr.to_int32 a) land 0xFFFFFFFF
+
+let cidr_cond cidr =
+  let len = Ipaddr.Cidr.prefix_len cidr in
+  let mask = if len = 0 then 0 else 0xFFFFFFFF lsl (32 - len) land 0xFFFFFFFF in
+  Pfm.Masked_eq { mask; value = addr_int (Ipaddr.Cidr.network cidr) land mask }
+
+let verdict_of_netfilter = function
+  | Netfilter.Accept -> Pfm.Allow
+  | Netfilter.Drop -> Pfm.Deny
+  | Netfilter.Reject -> Pfm.Reject
+
+let netfilter_of_verdict = function
+  | Pfm.Allow -> Netfilter.Accept
+  | Pfm.Deny -> Netfilter.Drop
+  | Pfm.Reject -> Netfilter.Reject
+
+let compile_match a m ~jf =
+  let field, cond =
+    match m with
+    | Netfilter.Proto p -> (f_proto, Pfm.Eq (packet_proto_code p))
+    | Netfilter.Src c -> (f_src, cidr_cond c)
+    | Netfilter.Dst c -> (f_dst, cidr_cond c)
+    | Netfilter.Dst_port { lo; hi } -> (f_dport, Pfm.In_range (lo, hi))
+    | Netfilter.Src_port { lo; hi } -> (f_sport, Pfm.In_range (lo, hi))
+    | Netfilter.Icmp_type ty -> (f_icmp, Pfm.Eq (Packet.icmp_type_code ty))
+    | Netfilter.Tcp_syn -> (f_syn, Pfm.Eq 1)
+    | Netfilter.Owner_uid uid -> (f_owner, Pfm.Eq uid)
+    | Netfilter.Origin_raw -> (f_origin, Pfm.Eq 1)
+    | Netfilter.Origin_packet -> (f_origin, Pfm.Eq 2)
+  in
+  Pfm.Asm.ld_int a field;
+  check a cond ~jf
+
+let netfilter ~rules ~policy =
+  let a = Asm.create () in
+  let rec emit = function
+    | [] -> Asm.ret a (verdict_of_netfilter policy)
+    | (r : Netfilter.rule) :: rest ->
+        if r.matches = [] then
+          (* A match-anything rule terminates the walk; later rules are
+             dead code the verifier would (rightly) reject. *)
+          Asm.ret a (verdict_of_netfilter r.target)
+        else begin
+          let l_next = Asm.fresh_label a in
+          List.iter (fun m -> compile_match a m ~jf:l_next) r.matches;
+          Asm.ret a (verdict_of_netfilter r.target);
+          Asm.place a l_next;
+          emit rest
+        end
+  in
+  emit rules;
+  checked (Asm.assemble a ~name:"nf_output" ~n_int_fields:9 ~n_str_fields:0)
+
+let packet_ctx (pkt : Packet.t) ~origin =
+  let proto =
+    match pkt.transport with
+    | Packet.Icmp_msg _ -> 1
+    | Packet.Tcp_seg _ -> 6
+    | Packet.Udp_dgram _ -> 17
+    | Packet.Raw_payload { protocol; _ } -> 0x10000 lor protocol
+  in
+  let opt_port = function Some p -> p | None -> min_int in
+  let icmp =
+    match pkt.transport with
+    | Packet.Icmp_msg { icmp_type; _ } -> Packet.icmp_type_code icmp_type
+    | Packet.Tcp_seg _ | Packet.Udp_dgram _ | Packet.Raw_payload _ -> min_int
+  in
+  let syn =
+    match pkt.transport with
+    | Packet.Tcp_seg { syn = true; payload = ""; _ } -> 1
+    | Packet.Tcp_seg _ | Packet.Icmp_msg _ | Packet.Udp_dgram _
+    | Packet.Raw_payload _ -> 0
+  in
+  let origin_code, owner =
+    match origin with
+    | Packet.Kernel_stack -> (0, min_int)
+    | Packet.Raw_app { uid } -> (1, uid)
+    | Packet.Packet_app { uid } -> (2, uid)
+  in
+  { Pfm.ints =
+      [| proto; addr_int pkt.src; addr_int pkt.dst;
+         opt_port (Packet.src_port pkt); opt_port (Packet.dst_port pkt);
+         icmp; syn; origin_code; owner |];
+    strs = [||] }
+
+(* --- ppp modem-configuration ioctl ------------------------------------- *)
+
+let p_device = 0
+let i_safe = 0
+
+let ppp_ioctl (policy : Pppopts.t) =
+  let devices =
+    List.filter_map
+      (function Pppopts.Allow_device d -> Some d | _ -> None)
+      policy.Pppopts.directives
+  in
+  if devices = [] then trivial "ppp_ioctl" Pfm.Deny
+  else begin
+    let a = Asm.create () in
+    let l_safe = Asm.fresh_label a in
+    let l_allow = Asm.fresh_label a and l_deny = Asm.fresh_label a in
+    Asm.ld_str a p_device;
+    Asm.sswitch a (List.map (fun d -> (d, l_safe)) devices) ~default:l_deny;
+    Asm.place a l_safe;
+    Asm.ld_int a i_safe;
+    Asm.jif a (Pfm.Eq 1) ~jt:l_allow ~jf:l_deny;
+    Asm.place a l_allow;
+    Asm.ret a Pfm.Allow;
+    Asm.place a l_deny;
+    Asm.ret a Pfm.Deny;
+    checked (Asm.assemble a ~name:"ppp_ioctl" ~n_int_fields:1 ~n_str_fields:1)
+  end
+
+let ppp_ctx ~device ~opt =
+  { Pfm.ints = [| (if Ppp.option_is_safe opt then 1 else 0) |];
+    strs = [| device |] }

@@ -1,0 +1,90 @@
+(** Compilers from the declarative Protego policy sources into verified
+    {!Pfm} programs, plus the per-hook context (field-layout) contracts.
+
+    Each compiler emits a program, runs the {!Pfm.verify} pass on it, and
+    raises [Invalid_argument] if its own output does not verify — a
+    compiler bug, never a policy error.  The compiled program is
+    behaviourally identical to the reference list walk it replaces
+    (first-match semantics, including the subtleties: the mount flags of
+    the {e first} matching whitelist entry decide, a bind-map entry with
+    the right port and protocol but wrong binary denies without trying
+    later entries, and a netfilter rule with no matches terminates the
+    chain).  Equality is enforced by the differential fuzz suite.
+
+    Field layouts (the contract between [*_ctx] builders and compilers):
+
+    - mount:   strs = [| source; target; fstype |], ints = [| flags mask |]
+    - umount:  strs = [| target |], ints = [| mounting uid; caller ruid |]
+    - bind:    strs = [| exe |], ints = [| port; proto (6/17); caller uid |]
+    - packet:  ints = [| proto code; src; dst; src port; dst port;
+                         icmp code; syn flag; origin; owner uid |]
+    - ppp:     strs = [| device |], ints = [| option-is-safe flag |]
+
+    Missing integer fields (no port, no icmp type, kernel-origin owner)
+    are encoded as [min_int], which no whitelist immediate can equal. *)
+
+module Ktypes = Protego_kernel.Ktypes
+module Netfilter = Protego_net.Netfilter
+module Packet = Protego_net.Packet
+module Bindconf = Protego_policy.Bindconf
+module Pppopts = Protego_policy.Pppopts
+
+(** {1 Mount / umount whitelist} *)
+
+(** A mirror of [Policy_state.mount_rule] (which lives above this library
+    in the dependency order). *)
+type mount_rule = {
+  fm_source : string;
+  fm_target : string;
+  fm_fstype : string;
+  fm_flags : Ktypes.mount_flag list;
+  fm_user_only : bool;  (** [`User]: only the mounting user may unmount *)
+}
+
+val flags_mask : Ktypes.mount_flag list -> int
+(** ro=1, nosuid=2, nodev=4, noexec=8. *)
+
+val mount : mount_rule list -> Pfm.program
+(** Hash-dispatches on the source device, then checks target, fstype
+    (honouring the ["auto"] wildcard on either side) and required flags of
+    the first matching rule. *)
+
+val mount_ctx :
+  source:string -> target:string -> fstype:string ->
+  flags:Ktypes.mount_flag list -> Pfm.ctx
+
+val umount : mount_rule list -> Pfm.program
+(** Hash-dispatches on the mount target; [`Users] rules allow anyone,
+    [`User] rules require the caller to be the mounting user. *)
+
+val umount_ctx : target:string -> mounted_by:int -> ruid:int -> Pfm.ctx
+
+(** {1 Bind map} *)
+
+val bind : Bindconf.entry list -> Pfm.program
+(** Hash-dispatches on the port number; the matching entry's binary and
+    owner must both agree or the bind is denied. *)
+
+val bind_ctx :
+  port:int -> proto:Bindconf.proto -> exe:string -> uid:int -> Pfm.ctx
+
+(** {1 Netfilter chains} *)
+
+val verdict_of_netfilter : Netfilter.verdict -> Pfm.verdict
+val netfilter_of_verdict : Pfm.verdict -> Netfilter.verdict
+
+val netfilter : rules:Netfilter.rule list -> policy:Netfilter.verdict -> Pfm.program
+(** Straight-line first-match-wins translation of a chain; the chain
+    policy becomes the final verdict.  Rules behind a match-anything rule
+    are dead in the reference walk and are not emitted. *)
+
+val packet_ctx : Packet.t -> origin:Packet.origin -> Pfm.ctx
+
+(** {1 Safe-ioctl (pppd modem options) whitelist} *)
+
+val ppp_ioctl : Pppopts.t -> Pfm.program
+(** Allows a modem-configuration ioctl iff the device is whitelisted by an
+    [allow-device] directive and the requested option is intrinsically
+    safe ({!Protego_net.Ppp.option_is_safe}). *)
+
+val ppp_ctx : device:string -> opt:Protego_net.Ppp.option_ -> Pfm.ctx

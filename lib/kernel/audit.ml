@@ -5,16 +5,17 @@ type record = Ktypes.audit_record = {
   au_op : string;
   au_obj : string;
   au_allowed : bool;
+  au_engine : string option;
 }
 
 let capacity = 1024
 
-let emit m (task : Ktypes.task) ~op ~obj ~allowed =
+let emit ?engine m (task : Ktypes.task) ~op ~obj ~allowed =
   let q = m.Ktypes.audit in
   Queue.add
     { au_time = m.Ktypes.now; au_pid = task.Ktypes.tpid;
       au_uid = task.Ktypes.cred.Ktypes.ruid; au_op = op; au_obj = obj;
-      au_allowed = allowed }
+      au_allowed = allowed; au_engine = engine }
     q;
   if Queue.length q > capacity then ignore (Queue.pop q)
 
@@ -25,9 +26,12 @@ let clear m = Queue.clear m.Ktypes.audit
 let render m =
   records m
   |> List.map (fun r ->
-         Printf.sprintf "type=%s msg=audit(%.0f): pid=%d uid=%d op=%s obj=%s res=%s"
+         Printf.sprintf "type=%s msg=audit(%.0f): pid=%d uid=%d op=%s obj=%s res=%s%s"
            (if r.au_allowed then "GRANT" else "DENIAL")
            r.au_time r.au_pid r.au_uid r.au_op r.au_obj
-           (if r.au_allowed then "success" else "failed"))
+           (if r.au_allowed then "success" else "failed")
+           (match r.au_engine with
+            | Some e -> " engine=" ^ e
+            | None -> ""))
   |> String.concat "\n"
   |> fun s -> if s = "" then "" else s ^ "\n"

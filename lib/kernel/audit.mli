@@ -11,11 +11,17 @@ type record = Ktypes.audit_record = {
   au_op : string;          (** e.g. "mount", "bind", "setuid" *)
   au_obj : string;         (** the object, e.g. "/media/cdrom", "port 25" *)
   au_allowed : bool;
+  au_engine : string option;
+      (** evaluating engine for filter-machine-backed hooks
+          (["pfm"] or ["ref"]); [None] for unfiltered decisions *)
 }
 
 val emit :
+  ?engine:string ->
   Ktypes.machine -> Ktypes.task -> op:string -> obj:string -> allowed:bool ->
   unit
+(** [engine] tags the record with the evaluating engine; it appears as
+    [engine=<e>] at the end of the rendered line. *)
 
 val records : Ktypes.machine -> record list
 (** Oldest first. *)

@@ -41,6 +41,8 @@ type audit_record = {
   au_op : string;
   au_obj : string;
   au_allowed : bool;
+  au_engine : string option;
+      (* evaluating engine for filtered hooks: "pfm" or "ref" *)
 }
 
 (* Devices under /dev.  Block devices may hold removable media (a CD-ROM or

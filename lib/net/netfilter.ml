@@ -22,12 +22,16 @@ type t = {
   mutable input_policy : verdict;
   mutable output_policy : verdict;
   mutable forward_policy : verdict;
+  mutable output_override :
+    (Packet.t -> origin:Packet.origin -> verdict) option;
 }
 
 let create ?(input_policy = Accept) ?(output_policy = Accept)
     ?(forward_policy = Accept) () =
   { input = []; output = []; forward = [];
-    input_policy; output_policy; forward_policy }
+    input_policy; output_policy; forward_policy; output_override = None }
+
+let set_output_override t f = t.output_override <- f
 
 let append t chain rule =
   match chain with
@@ -90,15 +94,20 @@ let matches_packet m (pkt : Packet.t) ~origin =
   | Origin_raw -> ( match origin with Packet.Raw_app _ -> true | _ -> false)
   | Origin_packet -> ( match origin with Packet.Packet_app _ -> true | _ -> false)
 
-let eval t chain pkt ~origin =
+let walk t chain pkt ~origin =
   let chain_rules = rules t chain in
-  let rec walk = function
+  let rec go = function
     | [] -> policy t chain
     | r :: rest ->
         if List.for_all (fun m -> matches_packet m pkt ~origin) r.matches then r.target
-        else walk rest
+        else go rest
   in
-  walk chain_rules
+  go chain_rules
+
+let eval t chain pkt ~origin =
+  match (chain, t.output_override) with
+  | Output, Some f -> f pkt ~origin
+  | (Output | Input | Forward), _ -> walk t chain pkt ~origin
 
 let verdict_to_string = function
   | Accept -> "ACCEPT"

@@ -44,7 +44,20 @@ val rule_count : t -> int
 val matches_packet : match_ -> Packet.t -> origin:Packet.origin -> bool
 
 val eval : t -> chain -> Packet.t -> origin:Packet.origin -> verdict
-(** Walk the chain; first rule whose matches all hold decides. *)
+(** Walk the chain; first rule whose matches all hold decides.  On the
+    [Output] chain, an installed override (see {!set_output_override})
+    takes the place of the walk. *)
+
+val walk : t -> chain -> Packet.t -> origin:Packet.origin -> verdict
+(** The raw reference walk, never routed through the override.  This is
+    the oracle the compiled filter-machine path is differentially tested
+    against. *)
+
+val set_output_override :
+  t -> (Packet.t -> origin:Packet.origin -> verdict) option -> unit
+(** Interpose on [Output]-chain evaluation.  Protego installs its
+    filter-machine dispatcher here so the egress hot path runs compiled
+    programs; the override must be behaviourally identical to {!walk}. *)
 
 val pp_rule : Format.formatter -> rule -> unit
 val rule_to_spec : rule -> string

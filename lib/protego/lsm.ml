@@ -7,9 +7,14 @@ module Sudoers = Protego_policy.Sudoers
 module Bindconf = Protego_policy.Bindconf
 module Pppopts = Protego_policy.Pppopts
 
-type t = { machine : machine; state : Policy_state.t }
+type t = {
+  machine : machine;
+  state : Policy_state.t;
+  dispatch : Pfm_dispatch.t;
+}
 
 let state t = t.state
+let dispatch t = t.dispatch
 
 let ensure_recent_auth m (st : Policy_state.t) task =
   let timeout = st.delegation.Sudoers.timestamp_timeout in
@@ -57,42 +62,34 @@ let default_raw_socket_rules =
 
 let stock = Security.stock_linux
 
-let sb_mount st m task ~source ~target ~fstype ~flags =
+let sb_mount disp st m task ~source ~target ~fstype ~flags =
   match stock.sb_mount m task ~source ~target ~fstype ~flags with
   | Ok () -> Ok ()
-  | Error _ -> (
+  | Error _ ->
       let target = Vfs.normalize ~cwd:task.cwd target in
       let obj = source ^ " on " ^ target in
-      match Policy_state.find_mount_rule st ~source ~target ~fstype with
-      | Some rule when Policy_state.flags_satisfy ~requested:flags ~required:rule.mr_flags ->
-          Audit.emit m task ~op:"mount" ~obj ~allowed:true;
-          Ok ()
-      | Some _ | None ->
-          Audit.emit m task ~op:"mount" ~obj ~allowed:false;
-          Error Errno.EPERM)
+      let allowed =
+        Pfm_dispatch.decide_mount disp st ~source ~target ~fstype ~flags
+      in
+      Audit.emit ~engine:(Pfm_dispatch.engine_name disp) m task ~op:"mount"
+        ~obj ~allowed;
+      if allowed then Ok () else Error Errno.EPERM
 
-let sb_umount st m task ~target =
+let sb_umount disp st m task ~target =
   match stock.sb_umount m task ~target with
   | Ok () -> Ok ()
   | Error _ -> (
       let target = Vfs.normalize ~cwd:task.cwd target in
       match List.find_opt (fun mnt -> mnt.mnt_target = target) m.mounts with
       | None -> Error Errno.EINVAL
-      | Some mnt -> (
-          let verdict =
-            match
-              List.find_opt
-                (fun (r : Policy_state.mount_rule) -> r.mr_target = target)
-                st.Policy_state.mounts
-            with
-            | Some { mr_mode = `Users; _ } -> Ok ()
-            | Some { mr_mode = `User; _ } ->
-                if mnt.mnt_by = task.cred.ruid then Ok () else Error Errno.EPERM
-            | None -> Error Errno.EPERM
+      | Some mnt ->
+          let allowed =
+            Pfm_dispatch.decide_umount disp st ~target ~mounted_by:mnt.mnt_by
+              ~ruid:task.cred.ruid
           in
-          Audit.emit m task ~op:"umount" ~obj:target
-            ~allowed:(Result.is_ok verdict);
-          verdict))
+          Audit.emit ~engine:(Pfm_dispatch.engine_name disp) m task
+            ~op:"umount" ~obj:target ~allowed;
+          if allowed then Ok () else Error Errno.EPERM)
 
 let socket_create _st _m _task _domain _stype _proto =
   (* Raw and packet sockets no longer require CAP_NET_RAW; Netstack marks
@@ -100,7 +97,7 @@ let socket_create _st _m _task _domain _stype _proto =
      traffic. *)
   Ok ()
 
-let socket_bind st m task sock _addr port =
+let socket_bind disp st m task sock _addr port =
   if sock.sock_netns <> 0 then Ok ()
   else if port = 0 || not (Security.privileged_port port) then Ok ()
   else if stock.capable m task Cap.CAP_NET_BIND_SERVICE then Ok ()
@@ -118,17 +115,13 @@ let socket_bind st m task sock _addr port =
           Printf.sprintf "port %d/%s by %s" port
             (Bindconf.proto_to_string proto) task.exe_path
         in
-        if
-          Policy_state.bind_allowed st ~port ~proto ~exe:task.exe_path
+        let allowed =
+          Pfm_dispatch.decide_bind disp st ~port ~proto ~exe:task.exe_path
             ~uid:task.cred.euid
-        then begin
-          Audit.emit m task ~op:"bind" ~obj ~allowed:true;
-          Ok ()
-        end
-        else begin
-          Audit.emit m task ~op:"bind" ~obj ~allowed:false;
-          Error Errno.EACCES
-        end
+        in
+        Audit.emit ~engine:(Pfm_dispatch.engine_name disp) m task ~op:"bind"
+          ~obj ~allowed;
+        if allowed then Ok () else Error Errno.EACCES
 
 let names_for_delegation st task =
   match Policy_state.name_of_uid st task.cred.ruid with
@@ -329,7 +322,7 @@ let is_ppp_device dev =
   String.length dev >= String.length prefix
   && String.sub dev 0 (String.length prefix) = prefix
 
-let file_ioctl st m task req =
+let file_ioctl disp st m task req =
   match stock.file_ioctl m task req with
   | Ok () -> Ok ()
   | Error _ as stock_denial -> (
@@ -353,9 +346,7 @@ let file_ioctl st m task req =
           in
           match owned with Some _ -> Ok () | None -> stock_denial)
       | Ioctl_modem_config { ioctl_dev; ppp_opt } ->
-          if
-            Pppopts.device_allowed st.Policy_state.ppp ioctl_dev
-            && Protego_net.Ppp.option_is_safe ppp_opt
+          if Pfm_dispatch.decide_ppp_ioctl disp st ~device:ioctl_dev ~opt:ppp_opt
           then Ok ()
           else Error Errno.EPERM
       | Ioctl_dm_table_status _ ->
@@ -366,7 +357,7 @@ let file_ioctl st m task req =
 
 (* --- /proc and /sys interfaces ---------------------------------------- *)
 
-let install_proc_files m st =
+let install_proc_files m st disp =
   let kt = Machine.kernel_task m in
   let _ = Machine.mkdir_p m kt "/proc/protego" () in
   let add path ~read ~write =
@@ -430,6 +421,14 @@ let install_proc_files m st =
           Ok ()
       | Error msg ->
           log_dmesg m "protego: ppp_policy rejected: %s" msg;
+          Error Errno.EINVAL);
+  add "/proc/protego/filter_stats"
+    ~read:(fun _m _t -> Ok (Pfm_dispatch.render disp))
+    ~write:(fun m _t contents ->
+      match Pfm_dispatch.handle_write disp contents with
+      | Ok () -> Ok ()
+      | Error msg ->
+          log_dmesg m "protego: %s" msg;
           Error Errno.EINVAL)
 
 let install_sysfs_dm_files m =
@@ -455,24 +454,28 @@ let install_netfilter_rules m =
 
 let install m =
   let st = Policy_state.create () in
+  let disp = Pfm_dispatch.create () in
   let ops =
     { stock with
       lsm_name = "protego";
-      sb_mount = (fun m task -> sb_mount st m task);
-      sb_umount = (fun m task -> sb_umount st m task);
+      sb_mount = (fun m task -> sb_mount disp st m task);
+      sb_umount = (fun m task -> sb_umount disp st m task);
       socket_create = socket_create st;
-      socket_bind = (fun m task -> socket_bind st m task);
+      socket_bind = (fun m task -> socket_bind disp st m task);
       socket_sendmsg = stock.socket_sendmsg;
       task_fix_setuid = (fun m task -> task_fix_setuid st m task);
       task_fix_setgid = (fun m task -> task_fix_setgid st m task);
       bprm_check = (fun m task -> bprm_check st m task);
       inode_permission = (fun m task -> inode_permission st m task);
       file_open = (fun m task -> file_open st m task);
-      file_ioctl = (fun m task -> file_ioctl st m task) }
+      file_ioctl = (fun m task -> file_ioctl disp st m task) }
   in
   m.security <- ops;
-  install_proc_files m st;
+  install_proc_files m st disp;
   install_sysfs_dm_files m;
   install_netfilter_rules m;
+  Netfilter.set_output_override m.netfilter
+    (Some
+       (fun pkt ~origin -> Pfm_dispatch.decide_nf_output disp m.netfilter pkt ~origin));
   log_dmesg m "protego: LSM active";
-  { machine = m; state = st }
+  { machine = m; state = st; dispatch = disp }

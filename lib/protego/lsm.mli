@@ -23,11 +23,21 @@
       handles are forced close-on-exec (§4.4, §4.6).
     - [file_ioctl]: non-conflicting user routes and safe modem options for
       pppd (§4.1.2); the dm-crypt status ioctl stays root-only because the
-      /sys interface replaces it (§4.1). *)
+      /sys interface replaces it (§4.1).
+
+    The whitelist-shaped hooks (mount, umount, bind, the netfilter output
+    chain and the modem-option ioctl) are evaluated through the
+    {!Pfm_dispatch} filter machine; [install] also creates
+    [/proc/protego/filter_stats] and interposes the dispatcher on the
+    netfilter output chain. *)
 
 open Protego_kernel
 
-type t = { machine : Ktypes.machine; state : Policy_state.t }
+type t = {
+  machine : Ktypes.machine;
+  state : Policy_state.t;
+  dispatch : Pfm_dispatch.t;
+}
 
 val install : Ktypes.machine -> t
 (** Requires the /proc and /sys directories to exist (the image builder
@@ -35,6 +45,7 @@ val install : Ktypes.machine -> t
     configuration files are then unavailable until created. *)
 
 val state : t -> Policy_state.t
+val dispatch : t -> Pfm_dispatch.t
 
 val ensure_recent_auth : Ktypes.machine -> Policy_state.t -> Ktypes.task -> bool
 (** True if the task's real uid authenticated within the delegation

@@ -1,0 +1,210 @@
+module Pfm = Protego_filter.Pfm
+module Compile = Protego_filter.Pfm_compile
+module Netfilter = Protego_net.Netfilter
+module Packet = Protego_net.Packet
+module Bindconf = Protego_policy.Bindconf
+module Pppopts = Protego_policy.Pppopts
+
+type engine = [ `Pfm | `Ref ]
+
+type hook_stats = {
+  mutable evals : int;
+  mutable allow : int;
+  mutable deny : int;
+  mutable reject : int;
+  mutable invalidations : int;
+  mutable insns : int;
+}
+
+type 'k cache = { mutable slot : ('k * Pfm.program) option }
+
+type t = {
+  mutable engine : engine;
+  mount_cache : Policy_state.mount_rule list cache;
+  umount_cache : Policy_state.mount_rule list cache;
+  bind_cache : Bindconf.entry list cache;
+  ppp_cache : Pppopts.t cache;
+  nf_cache : (Netfilter.rule list * Netfilter.verdict) cache;
+  mount_stats : hook_stats;
+  umount_stats : hook_stats;
+  bind_stats : hook_stats;
+  nf_stats : hook_stats;
+  ppp_stats : hook_stats;
+}
+
+let fresh_stats () =
+  { evals = 0; allow = 0; deny = 0; reject = 0; invalidations = 0; insns = 0 }
+
+let create () =
+  { engine = `Pfm;
+    mount_cache = { slot = None };
+    umount_cache = { slot = None };
+    bind_cache = { slot = None };
+    ppp_cache = { slot = None };
+    nf_cache = { slot = None };
+    mount_stats = fresh_stats ();
+    umount_stats = fresh_stats ();
+    bind_stats = fresh_stats ();
+    nf_stats = fresh_stats ();
+    ppp_stats = fresh_stats () }
+
+let engine t = t.engine
+let set_engine t e = t.engine <- e
+let engine_name t = match t.engine with `Pfm -> "pfm" | `Ref -> "ref"
+
+let hooks t =
+  [ ("mount", t.mount_stats); ("umount", t.umount_stats);
+    ("bind", t.bind_stats); ("nf_output", t.nf_stats);
+    ("ppp_ioctl", t.ppp_stats) ]
+
+let stats = hooks
+
+let reset_stats t =
+  List.iter
+    (fun (_, s) ->
+      s.evals <- 0; s.allow <- 0; s.deny <- 0; s.reject <- 0;
+      s.invalidations <- 0; s.insns <- 0)
+    (hooks t)
+
+let cached_program t name =
+  let slot c = Option.map snd c.slot in
+  match name with
+  | "mount" -> slot t.mount_cache
+  | "umount" -> slot t.umount_cache
+  | "bind" -> slot t.bind_cache
+  | "nf_output" -> slot t.nf_cache
+  | "ppp_ioctl" -> slot t.ppp_cache
+  | _ -> None
+
+(* --- cache + evaluation plumbing --------------------------------------- *)
+
+let fetch cache st ~same ~key ~compile =
+  match cache.slot with
+  | Some (k, p) when same k key -> p
+  | prev ->
+      (match prev with
+       | Some _ -> st.invalidations <- st.invalidations + 1
+       | None -> ());
+      let p = compile key in
+      cache.slot <- Some (key, p);
+      p
+
+let run st (p : Pfm.program) ctx =
+  let before = p.Pfm.retired in
+  let v = Pfm.eval p ctx in
+  st.insns <- st.insns + (p.Pfm.retired - before);
+  v
+
+let tally st (v : Pfm.verdict) =
+  st.evals <- st.evals + 1;
+  (match v with
+   | Pfm.Allow -> st.allow <- st.allow + 1
+   | Pfm.Deny -> st.deny <- st.deny + 1
+   | Pfm.Reject -> st.reject <- st.reject + 1);
+  v
+
+let of_bool b = if b then Pfm.Allow else Pfm.Deny
+
+(* --- hook decisions ---------------------------------------------------- *)
+
+let filter_rule (r : Policy_state.mount_rule) : Compile.mount_rule =
+  { Compile.fm_source = r.Policy_state.mr_source;
+    fm_target = r.Policy_state.mr_target;
+    fm_fstype = r.Policy_state.mr_fstype;
+    fm_flags = r.Policy_state.mr_flags;
+    fm_user_only = (r.Policy_state.mr_mode = `User) }
+
+let decide_mount t (st : Policy_state.t) ~source ~target ~fstype ~flags =
+  let v =
+    match t.engine with
+    | `Ref -> of_bool (Policy_state.mount_decision st ~source ~target ~fstype ~flags)
+    | `Pfm ->
+        let p =
+          fetch t.mount_cache t.mount_stats ~same:( == )
+            ~key:st.Policy_state.mounts
+            ~compile:(fun rules -> Compile.mount (List.map filter_rule rules))
+        in
+        run t.mount_stats p (Compile.mount_ctx ~source ~target ~fstype ~flags)
+  in
+  tally t.mount_stats v = Pfm.Allow
+
+let decide_umount t (st : Policy_state.t) ~target ~mounted_by ~ruid =
+  let v =
+    match t.engine with
+    | `Ref -> of_bool (Policy_state.umount_decision st ~target ~mounted_by ~ruid)
+    | `Pfm ->
+        let p =
+          fetch t.umount_cache t.umount_stats ~same:( == )
+            ~key:st.Policy_state.mounts
+            ~compile:(fun rules -> Compile.umount (List.map filter_rule rules))
+        in
+        run t.umount_stats p (Compile.umount_ctx ~target ~mounted_by ~ruid)
+  in
+  tally t.umount_stats v = Pfm.Allow
+
+let decide_bind t (st : Policy_state.t) ~port ~proto ~exe ~uid =
+  let v =
+    match t.engine with
+    | `Ref -> of_bool (Policy_state.bind_allowed st ~port ~proto ~exe ~uid)
+    | `Pfm ->
+        let p =
+          fetch t.bind_cache t.bind_stats ~same:( == )
+            ~key:st.Policy_state.binds ~compile:Compile.bind
+        in
+        run t.bind_stats p (Compile.bind_ctx ~port ~proto ~exe ~uid)
+  in
+  tally t.bind_stats v = Pfm.Allow
+
+let decide_ppp_ioctl t (st : Policy_state.t) ~device ~opt =
+  let v =
+    match t.engine with
+    | `Ref -> of_bool (Policy_state.ppp_ioctl_decision st ~device ~opt)
+    | `Pfm ->
+        let p =
+          fetch t.ppp_cache t.ppp_stats ~same:( == )
+            ~key:st.Policy_state.ppp ~compile:Compile.ppp_ioctl
+        in
+        run t.ppp_stats p (Compile.ppp_ctx ~device ~opt)
+  in
+  tally t.ppp_stats v = Pfm.Allow
+
+let decide_nf_output t nf pkt ~origin =
+  match t.engine with
+  | `Ref ->
+      let v = Netfilter.walk nf Netfilter.Output pkt ~origin in
+      ignore (tally t.nf_stats (Compile.verdict_of_netfilter v));
+      v
+  | `Pfm ->
+      let rules = Netfilter.rules nf Netfilter.Output in
+      let policy = Netfilter.policy nf Netfilter.Output in
+      let p =
+        fetch t.nf_cache t.nf_stats
+          ~same:(fun (r1, p1) (r2, p2) -> r1 == r2 && p1 = p2)
+          ~key:(rules, policy)
+          ~compile:(fun (rules, policy) -> Compile.netfilter ~rules ~policy)
+      in
+      let v = tally t.nf_stats (run t.nf_stats p (Compile.packet_ctx pkt ~origin)) in
+      Compile.netfilter_of_verdict v
+
+(* --- /proc/protego/filter_stats ---------------------------------------- *)
+
+let render t =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "engine ";
+  Buffer.add_string b (engine_name t);
+  Buffer.add_char b '\n';
+  List.iter
+    (fun (name, s) ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "hook %s evals %d allow %d deny %d reject %d invalidations %d insns %d\n"
+           name s.evals s.allow s.deny s.reject s.invalidations s.insns))
+    (hooks t);
+  Buffer.contents b
+
+let handle_write t contents =
+  match String.trim contents with
+  | "reset" -> reset_stats t; Ok ()
+  | "engine pfm" -> t.engine <- `Pfm; Ok ()
+  | "engine ref" -> t.engine <- `Ref; Ok ()
+  | other -> Error ("filter_stats: unknown command: " ^ other)

@@ -1,0 +1,76 @@
+(** The filter-machine dispatcher: the glue between the LSM hooks and the
+    compiled {!Protego_filter.Pfm} programs.
+
+    Each filtered hook (mount, umount, bind, netfilter output, ppp ioctl)
+    asks the dispatcher for a verdict.  Under the [`Pfm] engine (the
+    default) the dispatcher compiles the hook's policy source into a
+    bytecode program, caches it, and evaluates it; under [`Ref] it runs
+    the original list-walking decision ({!Policy_state.mount_decision}
+    and friends, {!Protego_net.Netfilter.walk}).  Both paths must agree —
+    the [`Ref] engine is kept in-tree as the differential-testing oracle.
+
+    Program caches key on the {e physical identity} of the policy source
+    (the rule list / bind map / ppp policy record / netfilter chain).
+    Every write to the corresponding /proc/protego file installs a fresh
+    value, so the next evaluation recompiles; direct field assignment
+    (as the bench ablations do) is caught the same way. *)
+
+type engine = [ `Pfm | `Ref ]
+
+type hook_stats = {
+  mutable evals : int;          (** decisions taken on this hook *)
+  mutable allow : int;
+  mutable deny : int;
+  mutable reject : int;
+  mutable invalidations : int;  (** recompiles forced by a policy change *)
+  mutable insns : int;          (** bytecode instructions retired ([`Pfm] only) *)
+}
+
+type t
+
+val create : unit -> t
+(** Starts on the [`Pfm] engine with empty caches and zeroed stats. *)
+
+val engine : t -> engine
+val set_engine : t -> engine -> unit
+val engine_name : t -> string
+(** ["pfm"] or ["ref"] — the value audit records and /proc report. *)
+
+val stats : t -> (string * hook_stats) list
+(** Fixed order: mount, umount, bind, nf_output, ppp_ioctl. *)
+
+val reset_stats : t -> unit
+
+val cached_program : t -> string -> Protego_filter.Pfm.program option
+(** The compiled program currently cached for a hook name (as listed by
+    {!stats}), if any evaluation has compiled one. *)
+
+(** {1 Hook decisions} *)
+
+val decide_mount :
+  t -> Policy_state.t -> source:string -> target:string -> fstype:string ->
+  flags:Protego_kernel.Ktypes.mount_flag list -> bool
+
+val decide_umount :
+  t -> Policy_state.t -> target:string -> mounted_by:int -> ruid:int -> bool
+
+val decide_bind :
+  t -> Policy_state.t -> port:int -> proto:Protego_policy.Bindconf.proto ->
+  exe:string -> uid:int -> bool
+
+val decide_ppp_ioctl :
+  t -> Policy_state.t -> device:string -> opt:Protego_net.Ppp.option_ -> bool
+
+val decide_nf_output :
+  t -> Protego_net.Netfilter.t -> Protego_net.Packet.t ->
+  origin:Protego_net.Packet.origin -> Protego_net.Netfilter.verdict
+(** Installed as the chain's output override at {!Lsm.install} time. *)
+
+(** {1 /proc/protego/filter_stats} *)
+
+val render : t -> string
+(** The grammar documented in {!Policy_state}: an [engine] header line
+    followed by one [hook] line per filtered hook. *)
+
+val handle_write : t -> string -> (unit, string) result
+(** ["reset"], ["engine pfm"], ["engine ref"]; anything else errors. *)

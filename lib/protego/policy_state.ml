@@ -199,6 +199,21 @@ let find_mount_rule t ~source ~target ~fstype =
 let flags_satisfy ~requested ~required =
   List.for_all (fun f -> List.mem f requested) required
 
+let mount_decision t ~source ~target ~fstype ~flags =
+  match find_mount_rule t ~source ~target ~fstype with
+  | Some rule -> flags_satisfy ~requested:flags ~required:rule.mr_flags
+  | None -> false
+
+let umount_decision t ~target ~mounted_by ~ruid =
+  match List.find_opt (fun r -> r.mr_target = target) t.mounts with
+  | Some { mr_mode = `Users; _ } -> true
+  | Some { mr_mode = `User; _ } -> mounted_by = ruid
+  | None -> false
+
+let ppp_ioctl_decision t ~device ~opt =
+  Protego_policy.Pppopts.device_allowed t.ppp device
+  && Protego_net.Ppp.option_is_safe opt
+
 let bind_allowed t ~port ~proto ~exe ~uid =
   match Protego_policy.Bindconf.lookup t.binds ~port ~proto with
   | Some entry -> entry.exe = exe && entry.owner = uid

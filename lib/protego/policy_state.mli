@@ -13,7 +13,18 @@
                          uid/name mapping delegation rules are written in.
 
     Policies that take no parameters (raw-socket marking, the shadow-read
-    reauthentication rule, the ssh host key ACL) are hard-coded here. *)
+    reauthentication rule, the ssh host key ACL) are hard-coded here.
+
+    A fifth file, [filter_stats], exposes the filter-machine dispatcher
+    (see {!Pfm_dispatch}).  Reading it yields:
+    {v
+    engine <pfm|ref>
+    hook <name> evals <n> allow <n> deny <n> reject <n> invalidations <n> insns <n>
+    v}
+    with one [hook] line per filtered hook ([mount], [umount], [bind],
+    [nf_output], [ppp_ioctl]).  Writing ["engine pfm"] or ["engine ref"]
+    selects the evaluating engine, writing ["reset"] zeroes every counter,
+    and anything else is [EINVAL]. *)
 
 open Protego_kernel
 
@@ -86,6 +97,28 @@ val flags_satisfy :
 
 val bind_allowed : t -> port:int -> proto:Protego_policy.Bindconf.proto ->
   exe:string -> uid:int -> bool
+
+(** {2 Reference decision oracles}
+
+    These three wrap the primitive queries into the exact allow/deny
+    decision each LSM hook makes.  They are the list-walking reference
+    semantics the compiled {!Protego_filter.Pfm} programs must reproduce;
+    the dispatcher runs them when the [ref] engine is selected and the
+    differential fuzz suite checks the compiled verdicts against them. *)
+
+val mount_decision :
+  t -> source:string -> target:string -> fstype:string ->
+  flags:Ktypes.mount_flag list -> bool
+(** First rule matching (source, target, fstype — ["auto"] wildcards on
+    either side) decides; its flag requirement is final. *)
+
+val umount_decision : t -> target:string -> mounted_by:int -> ruid:int -> bool
+(** First rule naming [target] decides: [`Users] allows anyone, [`User]
+    only the user the mount records as its creator. *)
+
+val ppp_ioctl_decision :
+  t -> device:string -> opt:Protego_net.Ppp.option_ -> bool
+(** Device whitelisted by [allow-device] and the option intrinsically safe. *)
 
 val file_acl_allows : t -> path:string -> exe:string -> bool option
 (** [None] if no ACL covers [path]; [Some allowed] otherwise. *)

@@ -1,0 +1,28 @@
+#!/bin/sh
+# CI entry point: tier-1 checks plus the filter-machine bench smoke test.
+# Usage: scripts/ci.sh   (from the repository root)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+# _build must never be committed.
+if git ls-files --error-unmatch _build >/dev/null 2>&1; then
+    echo "CI: _build/ is tracked in the git index; run 'git rm -r --cached _build'" >&2
+    exit 1
+fi
+
+echo "==> dune build"
+dune build
+
+echo "==> dune runtest"
+dune runtest
+
+echo "==> bench filter smoke test"
+out=$(./_build/default/bench/main.exe filter)
+echo "$out"
+case "$out" in
+    *"engine pfm"*) ;;
+    *) echo "CI: filter bench did not report filter_stats" >&2; exit 1 ;;
+esac
+
+echo "CI: all checks passed"

@@ -112,6 +112,49 @@ let test_proc_interface () =
   Syntax.expect_ok "clear" (Syscall.write_file m root "/proc/protego/audit" "");
   check "cleared" true (Audit.records m = [])
 
+let test_engine_metadata () =
+  let img = fixture () in
+  let m = img.Image.machine in
+  let alice = Image.login img "alice" in
+  let root = Image.login img "root" in
+  let last_mount () =
+    match List.rev (find_op (Audit.records m) "mount") with
+    | r :: _ -> r
+    | [] -> Alcotest.fail "no mount record"
+  in
+  (* Filtered hooks record the engine that evaluated them; the default
+     engine is the compiled filter machine. *)
+  ignore
+    (Syscall.mount m alice ~source:"/dev/sda2" ~target:"/etc" ~fstype:"ext4"
+       ~flags:[]);
+  check "pfm engine recorded" true
+    ((last_mount ()).Audit.au_engine = Some "pfm");
+  Syntax.expect_ok "switch engine"
+    (Syscall.write_file m root "/proc/protego/filter_stats" "engine ref\n");
+  ignore
+    (Syscall.mount m alice ~source:"/dev/sda2" ~target:"/etc" ~fstype:"ext4"
+       ~flags:[]);
+  check "ref engine recorded" true
+    ((last_mount ()).Audit.au_engine = Some "ref");
+  (* Unfiltered decisions carry no engine tag. *)
+  ignore (Syscall.read_file m alice "/etc/ssh/ssh_host_rsa_key");
+  (match List.rev (find_op (Audit.records m) "file-acl") with
+  | r :: _ -> check "no engine on unfiltered hook" true (r.Audit.au_engine = None)
+  | [] -> Alcotest.fail "no file-acl record");
+  (* The rendered log shows the tag. *)
+  let log =
+    Syntax.expect_ok "render" (Syscall.read_file m root "/proc/protego/audit")
+  in
+  let has needle =
+    let nl = String.length needle in
+    let rec go i =
+      i + nl <= String.length log && (String.sub log i nl = needle || go (i + 1))
+    in
+    go 0
+  in
+  check "engine=pfm rendered" true (has "engine=pfm");
+  check "engine=ref rendered" true (has "engine=ref")
+
 let test_ring_bounded () =
   let img = fixture () in
   let m = img.Image.machine in
@@ -131,4 +174,5 @@ let suites =
         Alcotest.test_case "delegation decisions" `Quick test_delegation_denials_recorded;
         Alcotest.test_case "bind and ACL decisions" `Quick test_bind_and_acl_recorded;
         Alcotest.test_case "/proc/protego/audit" `Quick test_proc_interface;
+        Alcotest.test_case "engine metadata" `Quick test_engine_metadata;
         Alcotest.test_case "ring bound" `Quick test_ring_bounded ]) ]

@@ -1,0 +1,226 @@
+(* The Protego Filter Machine: verifier corpus, interpreter and assembler
+   semantics, the dispatch layer (engine toggle, program cache, stats) and
+   the /proc/protego/filter_stats interface. *)
+
+open Protego_base
+open Protego_kernel
+open Ktypes
+module Image = Protego_dist.Image
+module Pfm = Protego_filter.Pfm
+module PD = Protego_core.Pfm_dispatch
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let errno =
+  Alcotest.testable (fun ppf e -> Fmt.string ppf (Errno.to_string e)) Errno.equal
+
+let verr =
+  Alcotest.testable
+    (fun ppf e -> Fmt.string ppf (Pfm.verify_error_to_string e))
+    ( = )
+
+let contains haystack needle =
+  let nl = String.length needle in
+  let rec go i =
+    i + nl <= String.length haystack
+    && (String.sub haystack i nl = needle || go (i + 1))
+  in
+  go 0
+
+let mk ?(ints = 2) ?(strs = 2) insns =
+  { Pfm.pname = "test"; n_int_fields = ints; n_str_fields = strs;
+    insns = Array.of_list insns; counters = Array.make (List.length insns) 0;
+    retired = 0 }
+
+let expect_error name e prog =
+  Alcotest.(check (result unit verr)) name (Error e) (Pfm.verify prog)
+
+(* --- verifier ----------------------------------------------------------- *)
+
+let test_verifier_rejects () =
+  expect_error "empty program" Pfm.Empty_program (mk []);
+  expect_error "too long" (Pfm.Program_too_long (Pfm.max_insns + 1))
+    (mk (List.init (Pfm.max_insns + 1) (fun _ -> Pfm.Ret Pfm.Allow)));
+  expect_error "backward jump" (Pfm.Backward_jump 1)
+    (mk [ Pfm.Ld_int 0; Pfm.Jmp (-2); Pfm.Ret Pfm.Allow ]);
+  expect_error "self loop" (Pfm.Backward_jump 0)
+    (mk [ Pfm.Jmp (-1); Pfm.Ret Pfm.Allow ]);
+  expect_error "jump past the end" (Pfm.Jump_out_of_range 0)
+    (mk [ Pfm.Jmp 5; Pfm.Ret Pfm.Allow ]);
+  expect_error "jump exactly to the end" (Pfm.Jump_out_of_range 0)
+    (mk [ Pfm.Jmp 0 ]);
+  expect_error "falls off the end" (Pfm.Missing_verdict 0) (mk [ Pfm.Ld_int 0 ]);
+  expect_error "int field out of range" (Pfm.Int_field_out_of_range (0, 7))
+    (mk [ Pfm.Ld_int 7; Pfm.Ret Pfm.Allow ]);
+  expect_error "str field out of range" (Pfm.Str_field_out_of_range (0, 3))
+    (mk [ Pfm.Ld_str 3; Pfm.Ret Pfm.Allow ]);
+  expect_error "int cond before any load" (Pfm.Int_acc_unset 0)
+    (mk [ Pfm.Jif (Pfm.Eq 1, 0, 0); Pfm.Ret Pfm.Allow ]);
+  expect_error "str cond before any load" (Pfm.Str_acc_unset 0)
+    (mk [ Pfm.Jif (Pfm.Str_eq "x", 0, 0); Pfm.Ret Pfm.Allow ]);
+  expect_error "str cond after int load only" (Pfm.Str_acc_unset 1)
+    (mk
+       [ Pfm.Ld_int 0; Pfm.Jif (Pfm.Str_prefix "/dev", 0, 0);
+         Pfm.Ret Pfm.Allow ]);
+  (* The string accumulator is loaded on only one of two merging paths. *)
+  expect_error "partially-set accumulator at a merge" (Pfm.Str_acc_unset 3)
+    (mk
+       [ Pfm.Ld_int 0;                       (* 0 *)
+         Pfm.Jif (Pfm.Eq 0, 1, 0);           (* 1: true -> 3, false -> 2 *)
+         Pfm.Ld_str 0;                       (* 2 *)
+         Pfm.Jif (Pfm.Str_eq "x", 0, 0);     (* 3: merge point *)
+         Pfm.Ret Pfm.Allow ]);               (* 4 *)
+  expect_error "unreachable code" (Pfm.Unreachable_insn 1)
+    (mk [ Pfm.Ret Pfm.Allow; Pfm.Ret Pfm.Deny ])
+
+let test_verifier_accepts_and_eval () =
+  let prog =
+    mk ~ints:1 ~strs:0
+      [ Pfm.Ld_int 0; Pfm.Jif (Pfm.In_range (10, 20), 0, 1);
+        Pfm.Ret Pfm.Allow; Pfm.Ret Pfm.Deny ]
+  in
+  Alcotest.(check (result unit verr)) "verifies" (Ok ()) (Pfm.verify prog);
+  let run v = Pfm.eval prog { Pfm.ints = [| v |]; strs = [||] } in
+  check "in range" true (run 15 = Pfm.Allow);
+  check "bounds inclusive" true (run 10 = Pfm.Allow && run 20 = Pfm.Allow);
+  check "out of range" true (run 9 = Pfm.Deny && run 21 = Pfm.Deny);
+  (* Observability: per-slot counters and the retired total. *)
+  check_int "retired" (5 * 3) prog.Pfm.retired;
+  check_int "entry slot counted" 5 prog.Pfm.counters.(0);
+  check_int "allow slot" 3 prog.Pfm.counters.(2);
+  check_int "deny slot" 2 prog.Pfm.counters.(3);
+  check_int "summed counters" (5 * 3) (Pfm.insn_count prog);
+  Pfm.reset_counters prog;
+  check_int "reset retired" 0 prog.Pfm.retired;
+  check_int "reset counters" 0 (Pfm.insn_count prog)
+
+let test_asm_and_switch () =
+  let a = Pfm.Asm.create () in
+  let l_allow = Pfm.Asm.fresh_label a in
+  let l_deny = Pfm.Asm.fresh_label a in
+  let l80 = Pfm.Asm.fresh_label a in
+  let l443 = Pfm.Asm.fresh_label a in
+  Pfm.Asm.ld_int a 0;
+  Pfm.Asm.iswitch a [ (80, l80); (443, l443) ] ~default:l_deny;
+  Pfm.Asm.place a l80;
+  Pfm.Asm.ret a Pfm.Allow;
+  Pfm.Asm.place a l443;
+  Pfm.Asm.ld_str a 0;
+  Pfm.Asm.jif a (Pfm.Str_eq "/usr/sbin/nginx") ~jt:l_allow ~jf:l_deny;
+  Pfm.Asm.place a l_allow;
+  Pfm.Asm.ret a Pfm.Allow;
+  Pfm.Asm.place a l_deny;
+  Pfm.Asm.ret a Pfm.Deny;
+  let p = Pfm.Asm.assemble a ~name:"switch" ~n_int_fields:1 ~n_str_fields:1 in
+  Alcotest.(check (result unit verr)) "verifies" (Ok ()) (Pfm.verify p);
+  let run port exe = Pfm.eval p { Pfm.ints = [| port |]; strs = [| exe |] } in
+  check "case 80" true (run 80 "whatever" = Pfm.Allow);
+  check "case 443 guarded" true (run 443 "/usr/sbin/nginx" = Pfm.Allow);
+  check "case 443 wrong exe" true (run 443 "/bin/evil" = Pfm.Deny);
+  check "switch default" true (run 22 "whatever" = Pfm.Deny);
+  check "disassembly mentions the program name" true
+    (contains (Pfm.disassemble p) "switch")
+
+(* --- dispatch: stats, cache invalidation ------------------------------- *)
+
+let user_flags = [ Mf_readonly; Mf_nosuid; Mf_nodev ]
+
+let test_dispatch_stats_and_cache () =
+  let img = Image.build Image.Protego in
+  let m = img.Image.machine in
+  let root = Image.login img "root" in
+  let alice = Image.login img "alice" in
+  let disp =
+    match img.Image.protego with
+    | Some lsm -> Protego_core.Lsm.dispatch lsm
+    | None -> Alcotest.fail "Protego image has no LSM"
+  in
+  PD.reset_stats disp;
+  let stat name = List.assoc name (PD.stats disp) in
+  let cycle () =
+    Syntax.expect_ok "mount"
+      (Syscall.mount m alice ~source:"/dev/cdrom" ~target:"/media/cdrom"
+         ~fstype:"iso9660" ~flags:user_flags);
+    Syntax.expect_ok "umount" (Syscall.umount m alice ~target:"/media/cdrom")
+  in
+  cycle ();
+  check_int "one mount eval" 1 (stat "mount").PD.evals;
+  check_int "counted as allow" 1 (stat "mount").PD.allow;
+  check_int "one umount eval" 1 (stat "umount").PD.evals;
+  check_int "no invalidations yet" 0 (stat "mount").PD.invalidations;
+  check "bytecode retired" true ((stat "mount").PD.insns > 0);
+  check "program cached" true (PD.cached_program disp "mount" <> None);
+  (* Rewriting the /proc file (even with identical contents) installs a new
+     rule list and must invalidate the compiled program. *)
+  let wl =
+    Syntax.expect_ok "read whitelist"
+      (Syscall.read_file m root "/proc/protego/mount_whitelist")
+  in
+  Syntax.expect_ok "rewrite whitelist"
+    (Syscall.write_file m root "/proc/protego/mount_whitelist" wl);
+  cycle ();
+  check_int "recompiled once" 1 (stat "mount").PD.invalidations;
+  cycle ();
+  check_int "cache stable afterwards" 1 (stat "mount").PD.invalidations;
+  (* A denied mount is tallied as a deny. *)
+  ignore
+    (Syscall.mount m alice ~source:"/dev/sda2" ~target:"/etc" ~fstype:"ext4"
+       ~flags:[]);
+  check_int "deny tallied" 1 (stat "mount").PD.deny
+
+let test_filter_stats_proc () =
+  let img = Image.build Image.Protego in
+  let m = img.Image.machine in
+  let root = Image.login img "root" in
+  let alice = Image.login img "alice" in
+  let disp =
+    match img.Image.protego with
+    | Some lsm -> Protego_core.Lsm.dispatch lsm
+    | None -> Alcotest.fail "Protego image has no LSM"
+  in
+  let read () =
+    Syntax.expect_ok "read stats"
+      (Syscall.read_file m root "/proc/protego/filter_stats")
+  in
+  let write s =
+    Syscall.write_file m root "/proc/protego/filter_stats" s
+  in
+  check "pfm engine header" true (contains (read ()) "engine pfm\n");
+  List.iter
+    (fun h -> check ("hook line: " ^ h) true (contains (read ()) ("hook " ^ h ^ " ")))
+    [ "mount"; "umount"; "bind"; "nf_output"; "ppp_ioctl" ];
+  (* Engine selection is exposed through the same file. *)
+  Syntax.expect_ok "switch to ref" (write "engine ref\n");
+  check "ref engine selected" true (PD.engine disp = `Ref);
+  check "ref engine header" true (contains (read ()) "engine ref\n");
+  (* Both engines produce the same decisions. *)
+  Syntax.expect_ok "mount under ref"
+    (Syscall.mount m alice ~source:"/dev/cdrom" ~target:"/media/cdrom"
+       ~fstype:"iso9660" ~flags:user_flags);
+  Syntax.expect_ok "umount under ref" (Syscall.umount m alice ~target:"/media/cdrom");
+  check_int "ref evals tallied" 1 (List.assoc "umount" (PD.stats disp)).PD.evals;
+  Syntax.expect_ok "back to pfm" (write "engine pfm\n");
+  Syntax.expect_ok "reset" (write "reset\n");
+  check_int "reset zeroes" 0 (List.assoc "mount" (PD.stats disp)).PD.evals;
+  Alcotest.(check (result unit errno))
+    "junk command rejected" (Error Errno.EINVAL) (write "frobnicate\n");
+  Alcotest.(check (result unit errno))
+    "unprivileged read refused" (Error Errno.EACCES)
+    (Result.map
+       (fun _ -> ())
+       (Syscall.read_file m alice "/proc/protego/filter_stats"))
+
+let suites =
+  [ ("filter:machine",
+      [ Alcotest.test_case "verifier rejects malformed programs" `Quick
+          test_verifier_rejects;
+        Alcotest.test_case "verify + eval + counters" `Quick
+          test_verifier_accepts_and_eval;
+        Alcotest.test_case "assembler and hash switches" `Quick
+          test_asm_and_switch ]);
+    ("filter:dispatch",
+      [ Alcotest.test_case "stats and cache invalidation" `Quick
+          test_dispatch_stats_and_cache;
+        Alcotest.test_case "/proc/protego/filter_stats" `Quick
+          test_filter_stats_proc ]) ]

@@ -181,9 +181,229 @@ let prop_resolve_normalized =
           match via_norm with Ok b -> Inode.same a b | Error _ -> false)
       | Error _ -> true)
 
+(* --- filter machine: compiled programs vs the list-walking reference ----
+   Differential fuzz for every compiled hook: 500 random policies x 20
+   random argument tuples = 10k decisions per hook, compiled verdict ==
+   reference verdict.  Each policy also exercises the compiler+verifier
+   (the compilers raise if their output does not verify). *)
+
+module Pfm = Protego_filter.Pfm
+module Compile = Protego_filter.Pfm_compile
+module PS = Protego_core.Policy_state
+module Bindconf = Protego_policy.Bindconf
+module Pppopts = Protego_policy.Pppopts
+module Ppp = Protego_net.Ppp
+
+let filter_rule (r : PS.mount_rule) : Compile.mount_rule =
+  { Compile.fm_source = r.PS.mr_source; fm_target = r.PS.mr_target;
+    fm_fstype = r.PS.mr_fstype; fm_flags = r.PS.mr_flags;
+    fm_user_only = (r.PS.mr_mode = `User) }
+
+let sources = [ "/dev/cdrom"; "/dev/sdb1"; "fuse"; "/dev/sda2"; "10.0.0.7:/export" ]
+let targets = [ "/media/cdrom"; "/media/usb"; "/mnt/a"; "/mnt/b" ]
+let fstypes = [ "iso9660"; "vfat"; "ext4"; "auto"; "nfs" ]
+
+let flags_gen =
+  QCheck2.Gen.oneofl
+    Ktypes.[ []; [ Mf_readonly ]; [ Mf_nosuid; Mf_nodev ];
+             [ Mf_readonly; Mf_nosuid; Mf_nodev ]; [ Mf_noexec ] ]
+
+let mount_rule_gen =
+  QCheck2.Gen.(
+    map
+      (fun ((src, tgt), (fs, (flags, user))) ->
+        { PS.mr_source = src; mr_target = tgt; mr_fstype = fs;
+          mr_flags = flags; mr_mode = (if user then `User else `Users) })
+      (pair (pair (oneofl sources) (oneofl targets))
+         (pair (oneofl fstypes) (pair flags_gen bool))))
+
+let prop_pfm_mount =
+  QCheck2.Test.make
+    ~name:"pfm: compiled mount program equals the reference decision"
+    ~count:500
+    QCheck2.Gen.(
+      pair (list_size (int_bound 12) mount_rule_gen)
+        (list_repeat 20
+           (pair (pair (oneofl sources) (oneofl targets))
+              (pair (oneofl fstypes) flags_gen))))
+    (fun (rules, queries) ->
+      let st = PS.create () in
+      st.PS.mounts <- rules;
+      let prog = Compile.mount (List.map filter_rule rules) in
+      List.for_all
+        (fun ((source, target), (fstype, flags)) ->
+          (Pfm.eval prog (Compile.mount_ctx ~source ~target ~fstype ~flags)
+           = Pfm.Allow)
+          = PS.mount_decision st ~source ~target ~fstype ~flags)
+        queries)
+
+let prop_pfm_umount =
+  QCheck2.Test.make
+    ~name:"pfm: compiled umount program equals the reference decision"
+    ~count:500
+    QCheck2.Gen.(
+      pair (list_size (int_bound 12) mount_rule_gen)
+        (list_repeat 20
+           (triple (oneofl targets) (oneofl [ 0; 1000; 1001 ])
+              (oneofl [ 0; 1000; 1001 ]))))
+    (fun (rules, queries) ->
+      let st = PS.create () in
+      st.PS.mounts <- rules;
+      let prog = Compile.umount (List.map filter_rule rules) in
+      List.for_all
+        (fun (target, mounted_by, ruid) ->
+          (Pfm.eval prog (Compile.umount_ctx ~target ~mounted_by ~ruid)
+           = Pfm.Allow)
+          = PS.umount_decision st ~target ~mounted_by ~ruid)
+        queries)
+
+let bind_ports = [ 22; 25; 80; 443; 514 ]
+let bind_exes = [ "/usr/sbin/exim4"; "/usr/sbin/sshd"; "/usr/bin/rsh" ]
+let bind_uids = [ 0; 8; 101 ]
+
+let bind_entry_gen =
+  QCheck2.Gen.(
+    map
+      (fun ((port, tcp), (exe, owner)) ->
+        { Bindconf.port; proto = (if tcp then Bindconf.Tcp else Bindconf.Udp);
+          exe; owner })
+      (pair (pair (oneofl bind_ports) bool)
+         (pair (oneofl bind_exes) (oneofl bind_uids))))
+
+let prop_pfm_bind =
+  QCheck2.Test.make
+    ~name:"pfm: compiled bind program equals the reference decision"
+    ~count:500
+    QCheck2.Gen.(
+      pair (list_size (int_bound 10) bind_entry_gen)
+        (list_repeat 20
+           (pair (pair (oneofl (1000 :: bind_ports)) bool)
+              (pair (oneofl bind_exes) (oneofl bind_uids)))))
+    (fun (entries, queries) ->
+      let st = PS.create () in
+      st.PS.binds <- entries;
+      let prog = Compile.bind entries in
+      List.for_all
+        (fun ((port, tcp), (exe, uid)) ->
+          let proto = if tcp then Bindconf.Tcp else Bindconf.Udp in
+          (Pfm.eval prog (Compile.bind_ctx ~port ~proto ~exe ~uid) = Pfm.Allow)
+          = PS.bind_allowed st ~port ~proto ~exe ~uid)
+        queries)
+
+let cidr s =
+  match Ipaddr.Cidr.of_string s with
+  | Some c -> c
+  | None -> failwith ("bad test cidr: " ^ s)
+
+let nf_match_gen =
+  QCheck2.Gen.oneofl
+    [ Netfilter.Proto Packet.Icmp; Netfilter.Proto Packet.Tcp;
+      Netfilter.Proto Packet.Udp; Netfilter.Proto (Packet.Other 0x0806);
+      Netfilter.Origin_raw; Netfilter.Origin_packet; Netfilter.Tcp_syn;
+      Netfilter.Owner_uid 1000; Netfilter.Owner_uid 33;
+      Netfilter.Dst_port { lo = 0; hi = 1023 };
+      Netfilter.Dst_port { lo = 33434; hi = 33534 };
+      Netfilter.Src_port { lo = 9; hi = 9 };
+      Netfilter.Icmp_type Packet.Echo_request;
+      Netfilter.Icmp_type Packet.Echo_reply;
+      Netfilter.Src (cidr "10.0.0.0/8"); Netfilter.Src (cidr "0.0.0.0/0");
+      Netfilter.Dst (cidr "10.0.0.7/32"); Netfilter.Dst (cidr "192.168.0.0/16") ]
+
+let nf_verdicts = [ Netfilter.Accept; Netfilter.Drop; Netfilter.Reject ]
+
+let nf_rule_gen =
+  QCheck2.Gen.map2
+    (fun matches target -> { Netfilter.matches; target; comment = "" })
+    QCheck2.Gen.(list_size (int_bound 3) nf_match_gen)
+    (QCheck2.Gen.oneofl nf_verdicts)
+
+let nf_packet_gen =
+  QCheck2.Gen.(
+    map
+      (fun (((src, dst), transport), origin) ->
+        ({ Packet.src; dst; ttl = 64; transport }, origin))
+      (pair
+         (pair
+            (pair
+               (oneofl [ Ipaddr.v 10 0 0 2; Ipaddr.v 192 168 1 5 ])
+               (oneofl [ Ipaddr.v 10 0 0 7; Ipaddr.v 8 8 8 8 ]))
+            (oneofl
+               [ Packet.Icmp_msg
+                   { icmp_type = Packet.Echo_request; code = 0; payload = "" };
+                 Packet.Icmp_msg
+                   { icmp_type = Packet.Echo_reply; code = 0; payload = "" };
+                 Packet.Tcp_seg
+                   { src_port = 9; dst_port = 80; syn = true; payload = "" };
+                 Packet.Tcp_seg
+                   { src_port = 1024; dst_port = 33500; syn = false;
+                     payload = "x" };
+                 Packet.Udp_dgram { src_port = 9; dst_port = 33500; payload = "" };
+                 Packet.Udp_dgram
+                   { src_port = 5353; dst_port = 53; payload = "q" };
+                 Packet.Raw_payload { protocol = 89; payload = "ospf" } ]))
+         (oneofl
+            [ Packet.Kernel_stack; Packet.Raw_app { uid = 1000 };
+              Packet.Packet_app { uid = 33 } ])))
+
+let prop_pfm_netfilter =
+  QCheck2.Test.make
+    ~name:"pfm: compiled netfilter chain equals the reference walk"
+    ~count:500
+    QCheck2.Gen.(
+      pair
+        (pair (list_size (int_bound 8) nf_rule_gen) (oneofl nf_verdicts))
+        (list_repeat 20 nf_packet_gen))
+    (fun ((rules, policy), cases) ->
+      let t = Netfilter.create ~output_policy:policy () in
+      List.iter (Netfilter.append t Netfilter.Output) rules;
+      let prog = Compile.netfilter ~rules ~policy in
+      List.for_all
+        (fun (pkt, origin) ->
+          Compile.verdict_of_netfilter
+            (Netfilter.walk t Netfilter.Output pkt ~origin)
+          = Pfm.eval prog (Compile.packet_ctx pkt ~origin))
+        cases)
+
+let ppp_devices = [ "/dev/ttyS0"; "/dev/ttyS1"; "/dev/ttyUSB0" ]
+
+let ppp_opts =
+  [ Ppp.Compression "deflate"; Ppp.Async_map 0; Ppp.Mru 1500; Ppp.Accomp;
+    Ppp.Default_route; Ppp.Modem_line_speed 115200;
+    Ppp.Modem_flow_control "rtscts" ]
+
+let ppp_directive_gen =
+  QCheck2.Gen.(
+    oneof
+      [ map (fun d -> Pppopts.Allow_device d) (oneofl ppp_devices);
+        return Pppopts.Allow_user_routes;
+        map (fun o -> Pppopts.Session_option o) (oneofl ppp_opts) ])
+
+let prop_pfm_ppp =
+  QCheck2.Test.make
+    ~name:"pfm: compiled ppp-ioctl program equals the reference decision"
+    ~count:500
+    QCheck2.Gen.(
+      pair (list_size (int_bound 6) ppp_directive_gen)
+        (list_repeat 20
+           (pair (oneofl ("/dev/ttyS9" :: ppp_devices)) (oneofl ppp_opts))))
+    (fun (directives, queries) ->
+      let st = PS.create () in
+      st.PS.ppp <- { Pppopts.directives };
+      let prog = Compile.ppp_ioctl { Pppopts.directives } in
+      List.for_all
+        (fun (device, opt) ->
+          (Pfm.eval prog (Compile.ppp_ctx ~device ~opt) = Pfm.Allow)
+          = PS.ppp_ioctl_decision st ~device ~opt)
+        queries)
+
 let suites =
   [ ("fuzz:properties",
       List.map
         (QCheck_alcotest.to_alcotest ~long:false)
         [ prop_proc_fuzz; prop_netfilter_first_match; prop_rule_spec_roundtrip;
-          prop_sudoers_roundtrip; prop_resolve_normalized ]) ]
+          prop_sudoers_roundtrip; prop_resolve_normalized ]);
+    ("fuzz:filter-differential",
+      List.map
+        (QCheck_alcotest.to_alcotest ~long:false)
+        [ prop_pfm_mount; prop_pfm_umount; prop_pfm_bind; prop_pfm_netfilter;
+          prop_pfm_ppp ]) ]

@@ -11,6 +11,7 @@ let () =
    @ Test_protego_mount.suites @ Test_protego_net.suites
    @ Test_protego_deleg.suites @ Test_protego_cred.suites
    @ Test_services.suites @ Test_sandbox.suites @ Test_mail.suites
-   @ Test_hardening.suites @ Test_audit.suites @ Test_polkit.suites
+   @ Test_hardening.suites @ Test_audit.suites @ Test_filter.suites
+   @ Test_polkit.suites
    @ Test_exploits.suites
    @ Test_functional.suites @ Test_study.suites @ Test_fuzz.suites)
