@@ -385,6 +385,88 @@ let run_filter () =
   Printf.printf "\n/proc/protego/filter_stats after the runs:\n%s%!"
     (PD.render disp)
 
+(* --- policy-lint analysis cost (extension) ------------------------------- *)
+
+(* The lint engine runs on every /proc policy write under the load-time
+   gate, so its cost on large policies bounds the added write latency.
+   Synthetic defect-free policies: the measured path is the full
+   pipeline (declarative checks + compile + abstract interpretation). *)
+let run_lint () =
+  section "Policy lint: analysis cost on synthetic policies";
+  let module Lint = Protego_analysis.Policy_lint in
+  let module Absint = Protego_analysis.Pfm_absint in
+  let module Compile = Protego_filter.Pfm_compile in
+  let module NF = Protego_net.Netfilter in
+  let mounts n =
+    List.init n (fun i ->
+        { Compile.fm_source = Printf.sprintf "/dev/disk%d" i;
+          fm_target = Printf.sprintf "/media/disk%d" i; fm_fstype = "ext4";
+          fm_flags = Protego_kernel.Ktypes.[ Mf_nosuid; Mf_nodev ];
+          fm_user_only = i mod 2 = 0 })
+  in
+  let binds n =
+    List.init n (fun i ->
+        { Protego_policy.Bindconf.port = 1 + (i mod 1023);
+          proto =
+            (if i mod 2 = 0 then Protego_policy.Bindconf.Tcp
+             else Protego_policy.Bindconf.Udp);
+          exe = Printf.sprintf "/usr/sbin/daemon%d" i; owner = i mod 1000 })
+  in
+  let chain n =
+    List.init n (fun i ->
+        { NF.matches =
+            [ NF.Proto Protego_net.Packet.Tcp;
+              NF.Dst_port { lo = 1000 + i; hi = 1000 + i } ];
+          target = NF.Drop; comment = "" })
+  in
+  let delegation n =
+    { Protego_policy.Sudoers.empty with
+      Protego_policy.Sudoers.rules =
+        List.init n (fun i ->
+            { Protego_policy.Sudoers.who =
+                Protego_policy.Sudoers.User (Printf.sprintf "user%d" i);
+              runas = Protego_policy.Sudoers.Runas_users [ "root" ];
+              tags = [];
+              commands =
+                [ Protego_policy.Sudoers.Command
+                    { path = Printf.sprintf "/usr/bin/tool%d" i; args = None } ] }) }
+  in
+  let rows =
+    List.map
+      (fun n ->
+        let input =
+          { Lint.empty_input with
+            Lint.mounts = mounts n; binds = binds n; delegation = delegation n;
+            chains = [ ("output", chain n, NF.Accept) ] }
+        in
+        let findings = Lint.lint input in
+        let mount_prog = Compile.mount input.Lint.mounts in
+        let nf_prog = Compile.netfilter ~rules:(chain n) ~policy:NF.Accept in
+        let lint_ns =
+          Harness.measure_ns (Printf.sprintf "lint:%d" n) (fun () ->
+              ignore (Lint.lint input))
+        in
+        let absint_mount_ns =
+          Harness.measure_ns (Printf.sprintf "absint:mount:%d" n) (fun () ->
+              ignore (Absint.analyze mount_prog))
+        in
+        let absint_nf_ns =
+          Harness.measure_ns (Printf.sprintf "absint:nf:%d" n) (fun () ->
+              ignore (Absint.analyze nf_prog))
+        in
+        [ string_of_int n; string_of_int (List.length findings);
+          fmt_ns lint_ns; fmt_ns absint_mount_ns; fmt_ns absint_nf_ns ])
+      [ 32; 128; 512 ]
+  in
+  print_string
+    (Study.Report.table
+       ~title:"full lint pass and bare abstract interpretation, by rule count"
+       ~header:
+         [ "rules/source"; "findings"; "full lint"; "absint mount";
+           "absint nf" ]
+       ~align:Study.Report.[ R; R; R; R; R ]
+       rows)
+
 let run_all () =
   run_figure1 ();
   run_table2 ();
@@ -419,6 +501,7 @@ let cmds =
     simple "surface" "Attack-surface analysis (extension)" run_surface;
     simple "ablation" "Whitelist-size ablation" run_ablation;
     simple "filter" "Compiled vs reference filter-machine cost" run_filter;
+    simple "lint" "Policy-lint analysis cost (extension)" run_lint;
     simple "all" "Everything, in paper order" run_all ]
 
 let () =

@@ -1,0 +1,171 @@
+(* protego-lint: offline semantic lint over the Protego policy sources.
+
+   Reads the same on-disk formats the userland ships to /proc/protego
+   (plus /etc/fstab, which the monitor daemon translates) and runs
+   {!Protego_analysis.Policy_lint} over them — including compiling each
+   source to PFM bytecode and abstract-interpreting the result.
+
+   Exit status: 0 clean, 1 when any finding reaches error severity
+   (any finding at all under [--strict]), 2 on usage or parse errors. *)
+
+module Lint = Protego_analysis.Policy_lint
+module Bindconf = Protego_policy.Bindconf
+module Sudoers = Protego_policy.Sudoers
+module Pppopts = Protego_policy.Pppopts
+module Fstab = Protego_policy.Fstab
+module Policy_state = Protego_core.Policy_state
+module Compile = Protego_filter.Pfm_compile
+
+exception Fail of string
+
+let read_file path =
+  try
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> Ok (really_input_string ic (in_channel_length ic)))
+  with Sys_error msg -> Error msg
+
+let load what path parse =
+  match read_file path with
+  | Error msg -> raise (Fail msg)
+  | Ok contents -> (
+      match parse contents with
+      | Ok v -> v
+      | Error msg -> raise (Fail (Printf.sprintf "%s (%s): %s" what path msg)))
+
+(* /etc/fstab user entries, translated exactly as the monitor daemon
+   ships them to /proc/protego/mount_whitelist. *)
+let fstab_rules path =
+  load "fstab" path Fstab.parse
+  |> List.filter Fstab.user_mountable
+  |> List.map (fun (e : Fstab.entry) ->
+         { Compile.fm_source = e.Fstab.fs_spec;
+           fm_target = e.Fstab.fs_file;
+           fm_fstype = e.Fstab.fs_vfstype;
+           fm_flags = Fstab.mount_flags e;
+           fm_user_only = not (List.mem "users" e.Fstab.fs_mntops) })
+
+let whitelist_rules path =
+  load "mount whitelist" path Policy_state.parse_mounts
+  |> List.map (fun (r : Policy_state.mount_rule) ->
+         { Compile.fm_source = r.Policy_state.mr_source;
+           fm_target = r.Policy_state.mr_target;
+           fm_fstype = r.Policy_state.mr_fstype;
+           fm_flags = r.Policy_state.mr_flags;
+           fm_user_only = (r.Policy_state.mr_mode = `User) })
+
+let load_accounts path =
+  let users, groups = load "accounts" path Policy_state.parse_accounts in
+  { Lint.user_names =
+      List.map
+        (fun (u : Policy_state.account_user) ->
+          (u.Policy_state.au_name, u.Policy_state.au_uid))
+        users;
+    group_names =
+      List.map
+        (fun (g : Policy_state.account_group) -> g.Policy_state.ag_name)
+        groups }
+
+let load_chain spec =
+  match String.index_opt spec '=' with
+  | None ->
+      raise (Fail (Printf.sprintf "--netfilter %s: expected NAME=FILE" spec))
+  | Some i ->
+      let name = String.sub spec 0 i in
+      let path = String.sub spec (i + 1) (String.length spec - i - 1) in
+      let rules, policy = load ("chain " ^ name) path Lint.parse_chain in
+      (name, rules, policy)
+
+let run fstab mounts binds delegation accounts ppp chain_specs strict =
+  try
+    let input =
+      { Lint.mounts =
+          (match fstab with None -> [] | Some p -> fstab_rules p)
+          @ (match mounts with None -> [] | Some p -> whitelist_rules p);
+        binds =
+          (match binds with
+           | None -> []
+           | Some p -> load "bind map" p Bindconf.parse_lax);
+        delegation =
+          (match delegation with
+           | None -> Sudoers.empty
+           | Some p -> load "sudoers" p Sudoers.parse);
+        accounts =
+          (match accounts with
+           | None -> Lint.no_accounts
+           | Some p -> load_accounts p);
+        ppp = Option.map (fun p -> load "ppp options" p Pppopts.parse) ppp;
+        chains = List.map load_chain chain_specs }
+    in
+    let findings = Lint.lint input in
+    print_string (Lint.render findings);
+    if Lint.has_errors findings || (strict && findings <> []) then 1 else 0
+  with Fail msg ->
+    prerr_endline ("protego-lint: " ^ msg);
+    2
+
+open Cmdliner
+
+let path_opt names docv doc =
+  Arg.(value & opt (some string) None & info names ~docv ~doc)
+
+let fstab_t =
+  path_opt [ "fstab" ] "FILE"
+    "fstab(5) file; entries marked user/users become mount whitelist rules, \
+     translated as the monitor daemon does."
+
+let mounts_t =
+  path_opt [ "mounts" ] "FILE"
+    "Mount whitelist in the /proc/protego/mount_whitelist grammar."
+
+let binds_t =
+  path_opt [ "binds" ] "FILE"
+    "Privileged-port bind map.  Parsed laxly: duplicate and out-of-range \
+     entries are kept so the linter can report them with locations."
+
+let delegation_t =
+  path_opt [ "delegation" ] "FILE" "sudoers-style delegation policy."
+
+let accounts_t =
+  path_opt [ "accounts" ] "FILE"
+    "Account database, enabling the name-resolution checks (PL-S004, \
+     PL-X002)."
+
+let ppp_t = path_opt [ "ppp" ] "FILE" "pppd options file."
+
+let chains_t =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "netfilter" ] ~docv:"NAME=FILE"
+        ~doc:
+          "Netfilter chain file (rule specs one per line, optional policy \
+           line).  Repeatable.")
+
+let strict_t =
+  Arg.(
+    value & flag
+    & info [ "strict" ] ~doc:"Exit nonzero on any finding, not only errors.")
+
+let cmd =
+  let doc = "semantic lint over Protego policy sources" in
+  let man =
+    [ `S Manpage.s_description;
+      `P
+        "Runs the cross-source policy checks and the PFM bytecode abstract \
+         interpreter over the given policy files and prints one line per \
+         finding: $(b,CODE SEVERITY SOURCE (LOCUS): MESSAGE).";
+      `S Manpage.s_exit_status;
+      `P "0 on no findings (or warnings only, without $(b,--strict));";
+      `P "1 when findings reach error severity (any finding with \
+          $(b,--strict));";
+      `P "2 on usage or parse errors." ]
+  in
+  Cmd.v
+    (Cmd.info "protego-lint" ~doc ~man)
+    Term.(
+      const run $ fstab_t $ mounts_t $ binds_t $ delegation_t $ accounts_t
+      $ ppp_t $ chains_t $ strict_t)
+
+let () = exit (Cmd.eval' cmd)

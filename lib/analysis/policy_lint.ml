@@ -1,0 +1,651 @@
+(* Cross-source semantic lint over the declarative Protego policies.
+
+   Each check answers one question about what a policy *means*: does an
+   entry ever take effect, does it grant more than the administrator
+   plausibly intended, does one source contradict another.  Structural
+   validity (parse errors, duplicate ports on the enforcement path) is
+   the parsers' job; this module assumes parsed input — including input
+   from the lax parsers, precisely so that it can report the defects the
+   strict parsers would reject.
+
+   Every check has a stable finding code (PL-* for declarative checks,
+   PFM-* for facts derived from the compiled bytecode via Pfm_absint).
+   Codes are append-only: tools and CI match on them. *)
+
+module Pfm = Protego_filter.Pfm
+module Pfm_compile = Protego_filter.Pfm_compile
+module Ktypes = Protego_kernel.Ktypes
+module Bindconf = Protego_policy.Bindconf
+module Sudoers = Protego_policy.Sudoers
+module Pppopts = Protego_policy.Pppopts
+module Netfilter = Protego_net.Netfilter
+module Ipaddr = Protego_net.Ipaddr
+
+type severity = Info | Warning | Error
+
+let severity_to_string = function
+  | Info -> "info"
+  | Warning -> "warning"
+  | Error -> "error"
+
+let severity_rank = function Info -> 0 | Warning -> 1 | Error -> 2
+
+type finding = {
+  code : string;
+  severity : severity;
+  source : string;   (* "mounts" | "binds" | "delegation" | "netfilter:<chain>"
+                        | "ppp" | "cross" *)
+  locus : string;    (* rule/entry identification within the source *)
+  message : string;
+}
+
+let finding_to_string f =
+  Printf.sprintf "%s %s %s (%s): %s" f.code
+    (severity_to_string f.severity)
+    f.source f.locus f.message
+
+type accounts = {
+  user_names : (string * int) list;   (* name, uid *)
+  group_names : string list;
+}
+
+let no_accounts = { user_names = []; group_names = [] }
+
+type input = {
+  mounts : Pfm_compile.mount_rule list;
+  binds : Bindconf.entry list;
+  delegation : Sudoers.t;
+  accounts : accounts;
+  ppp : Pppopts.t option;
+  chains : (string * Netfilter.rule list * Netfilter.verdict) list;
+}
+
+let empty_input =
+  {
+    mounts = [];
+    binds = [];
+    delegation = Sudoers.empty;
+    accounts = no_accounts;
+    ppp = None;
+    chains = [];
+  }
+
+(* --- mounts: PL-M* ------------------------------------------------------ *)
+
+(* The set of request fstypes a whitelist rule matches: a rule whose
+   fstype is the "auto" wildcard matches any request; otherwise the
+   rule's own fstype plus the "auto" request wildcard. *)
+let mount_fstype_subsumes earlier later =
+  earlier.Pfm_compile.fm_fstype = "auto"
+  || earlier.Pfm_compile.fm_fstype = later.Pfm_compile.fm_fstype
+
+let sensitive_prefixes =
+  [ "/etc"; "/usr"; "/bin"; "/sbin"; "/lib"; "/boot"; "/root"; "/proc"; "/sys" ]
+
+let path_under prefix p =
+  p = prefix
+  || String.length p > String.length prefix
+     && String.sub p 0 (String.length prefix) = prefix
+     && p.[String.length prefix] = '/'
+
+let lint_mounts rules =
+  let fs = ref [] in
+  let f code severity locus fmt =
+    Printf.ksprintf
+      (fun message ->
+        fs := { code; severity; source = "mounts"; locus; message } :: !fs)
+      fmt
+  in
+  let arr = Array.of_list rules in
+  Array.iteri
+    (fun j r ->
+      let locus = Printf.sprintf "rule %d" j in
+      let text = Pfm_compile.mount_rule_text r in
+      (* PL-M001: an earlier first-match rule fires on every request this
+         one would, so this one never takes effect (its flag requirement
+         in particular is silently replaced by the earlier rule's). *)
+      (try
+         for i = 0 to j - 1 do
+           let e = arr.(i) in
+           if
+             e.Pfm_compile.fm_source = r.Pfm_compile.fm_source
+             && e.Pfm_compile.fm_target = r.Pfm_compile.fm_target
+             && mount_fstype_subsumes e r
+           then begin
+             f "PL-M001" Warning locus
+               "shadowed by rule %d: first match decides, so `%s' never \
+                takes effect%s"
+               i text
+               (if e.Pfm_compile.fm_flags <> r.Pfm_compile.fm_flags then
+                  " (and the rules require different mount flags)"
+                else "");
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      (* PL-M002 / PL-M003: a user-mountable filesystem without nosuid
+         re-opens the setuid hole the whitelist exists to close; without
+         nodev it hands out device nodes. *)
+      if not (List.mem Ktypes.Mf_nosuid r.Pfm_compile.fm_flags) then
+        f "PL-M002" Error locus
+          "`%s' lacks nosuid: a user-controlled filesystem may carry \
+           setuid binaries"
+          text;
+      if not (List.mem Ktypes.Mf_nodev r.Pfm_compile.fm_flags) then
+        f "PL-M003" Warning locus
+          "`%s' lacks nodev: a user-controlled filesystem may carry \
+           device nodes"
+          text;
+      (* PL-M004: mounting over system paths hides or replaces them. *)
+      if
+        r.Pfm_compile.fm_target = "/"
+        || List.exists
+             (fun p -> path_under p r.Pfm_compile.fm_target)
+             sensitive_prefixes
+      then
+        f "PL-M004" Warning locus "target %s shadows a system path"
+          r.Pfm_compile.fm_target)
+    arr;
+  List.rev !fs
+
+(* --- binds: PL-B* ------------------------------------------------------- *)
+
+let lint_binds entries =
+  let fs = ref [] in
+  let f code severity locus fmt =
+    Printf.ksprintf
+      (fun message ->
+        fs := { code; severity; source = "binds"; locus; message } :: !fs)
+      fmt
+  in
+  let arr = Array.of_list entries in
+  Array.iteri
+    (fun j (e : Bindconf.entry) ->
+      let locus = Printf.sprintf "entry %d" j in
+      (* PL-B001: a port maps to exactly one application instance; the
+         first entry wins and this one never takes effect.  The strict
+         parser refuses such files, so one reaching the kernel would
+         bypass review. *)
+      (try
+         for i = 0 to j - 1 do
+           let d = arr.(i) in
+           if d.Bindconf.port = e.port && d.Bindconf.proto = e.proto then begin
+             f "PL-B001" Error locus
+               "duplicate %d/%s: entry %d (%s uid %d) already claims it, \
+                this entry never takes effect"
+               e.port
+               (Bindconf.proto_to_string e.proto)
+               i d.Bindconf.exe d.Bindconf.owner;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      (* PL-B002: the same port number handed to different binaries on
+         tcp vs udp is usually a typo for one service. *)
+      Array.iteri
+        (fun i (d : Bindconf.entry) ->
+          if
+            i < j && d.Bindconf.port = e.port
+            && d.Bindconf.proto <> e.proto
+            && d.Bindconf.exe <> e.exe
+          then
+            f "PL-B002" Warning locus
+              "port %d maps to %s (%s) but to %s (%s) in entry %d" e.port
+              e.exe
+              (Bindconf.proto_to_string e.proto)
+              d.Bindconf.exe
+              (Bindconf.proto_to_string d.Bindconf.proto)
+              i)
+        arr;
+      (* PL-B003: the kernel consults the bind map only for ports below
+         1024; anything else here is inert. *)
+      if e.port < 1 || e.port >= 1024 then
+        f "PL-B003" Warning locus
+          "port %d is outside the privileged range [1,1023]; the entry \
+           has no effect"
+          e.port)
+    arr;
+  List.rev !fs
+
+(* --- delegation: PL-S* -------------------------------------------------- *)
+
+let rule_locus i = Printf.sprintf "rule %d" i
+
+let lint_delegation (t : Sudoers.t) accounts =
+  let fs = ref [] in
+  let f code severity locus fmt =
+    Printf.ksprintf
+      (fun message ->
+        fs := { code; severity; source = "delegation"; locus; message } :: !fs)
+      fmt
+  in
+  let rules = Array.of_list t.Sudoers.rules in
+  (* PL-S001: a delegation cycle between concrete non-root users means
+     each can reach the other's privileges; combined with one NOPASSWD
+     link the whole cycle is password-free.  Edges: `u ALL=(v) ...'. *)
+  let edges =
+    Array.to_list rules
+    |> List.concat_map (fun (r : Sudoers.rule) ->
+           match (r.who, r.runas) with
+           | Sudoers.User u, Sudoers.Runas_users vs when u <> "root" ->
+               List.filter_map
+                 (fun v -> if v <> "root" && v <> u then Some (u, v) else None)
+                 vs
+           | _ -> [])
+  in
+  let successors u = List.filter_map (fun (a, b) -> if a = u then Some b else None) edges in
+  let reported = Hashtbl.create 8 in
+  let rec dfs path u =
+    if List.mem u path then begin
+      (* Cycle = the path suffix from the first occurrence of [u]. *)
+      let rec suffix = function
+        | [] -> []
+        | x :: _ when x = u -> [ x ]
+        | x :: rest -> x :: suffix rest
+      in
+      let cycle = List.rev (suffix path) in
+      let canon = List.sort compare cycle in
+      if not (Hashtbl.mem reported canon) then begin
+        Hashtbl.replace reported canon ();
+        f "PL-S001" Warning
+          (Printf.sprintf "users %s" (String.concat "," canon))
+          "delegation cycle: %s"
+          (String.concat " -> " (cycle @ [ u ]))
+      end
+    end
+    else List.iter (dfs (u :: path)) (successors u)
+  in
+  List.iter (fun (u, _) -> dfs [] u) edges;
+  Array.iteri
+    (fun i (r : Sudoers.rule) ->
+      let who_s =
+        match r.who with
+        | Sudoers.User u -> u
+        | Sudoers.Group g -> "%" ^ g
+        | Sudoers.All_users -> "ALL"
+      in
+      let unrestricted = List.mem Sudoers.Any_command r.commands in
+      (* PL-S002: passwordless unrestricted delegation from a non-root
+         principal is root-equivalence without authentication — the exact
+         thing the recency-of-authentication design exists to prevent. *)
+      if
+        unrestricted
+        && List.mem Sudoers.Nopasswd r.tags
+        && r.who <> Sudoers.User "root"
+      then
+        f "PL-S002" Error (rule_locus i)
+          "%s may run ALL commands with NOPASSWD: root-equivalent without \
+           authentication"
+          who_s;
+      (* PL-S003: SETENV on an unrestricted rule lets the invoker smuggle
+         LD_PRELOAD & co. into any target-uid process. *)
+      if unrestricted && List.mem Sudoers.Setenv r.tags then
+        f "PL-S003" Warning (rule_locus i)
+          "SETENV on an unrestricted rule: environment reaches every \
+           command run as the target";
+      (* PL-S004: names that resolve to nobody silently disable the rule
+         (or worse, a later-created account inherits it). *)
+      if accounts.user_names <> [] then begin
+        let known u = List.mem_assoc u accounts.user_names in
+        (match r.who with
+        | Sudoers.User u when not (known u) ->
+            f "PL-S004" Warning (rule_locus i) "unknown user %s" u
+        | Sudoers.Group g when not (List.mem g accounts.group_names) ->
+            f "PL-S004" Warning (rule_locus i) "unknown group %%%s" g
+        | _ -> ());
+        match r.runas with
+        | Sudoers.Runas_users vs ->
+            List.iter
+              (fun v ->
+                if not (known v) then
+                  f "PL-S004" Warning (rule_locus i) "unknown runas user %s" v)
+              vs
+        | Sudoers.Runas_any -> ()
+      end)
+    rules;
+  List.rev !fs
+
+(* --- netfilter: PL-N* --------------------------------------------------- *)
+
+let cidr_subset inner outer =
+  Ipaddr.Cidr.prefix_len outer <= Ipaddr.Cidr.prefix_len inner
+  && Ipaddr.Cidr.mem (Ipaddr.Cidr.network inner) outer
+
+(* [match_implies a b]: does match [a] holding imply match [b] holds? *)
+let match_implies a b =
+  a = b
+  ||
+  match (a, b) with
+  | Netfilter.Src c1, Netfilter.Src c2 | Netfilter.Dst c1, Netfilter.Dst c2 ->
+      cidr_subset c1 c2
+  | Netfilter.Dst_port p1, Netfilter.Dst_port p2 ->
+      p2.lo <= p1.lo && p1.hi <= p2.hi
+  | Netfilter.Src_port p1, Netfilter.Src_port p2 ->
+      p2.lo <= p1.lo && p1.hi <= p2.hi
+  | _ -> false
+
+(* [rule_subsumes e r]: does [e] fire on every packet [r] fires on?
+   Conservative: each of [e]'s matches must be implied by one of [r]'s
+   (a match-free [e] fires on everything). *)
+let rule_subsumes (e : Netfilter.rule) (r : Netfilter.rule) =
+  List.for_all
+    (fun me -> List.exists (fun mr -> match_implies mr me) r.Netfilter.matches)
+    e.Netfilter.matches
+
+let lint_chain name rules _policy =
+  let source = "netfilter:" ^ name in
+  let fs = ref [] in
+  let f code severity locus fmt =
+    Printf.ksprintf
+      (fun message -> fs := { code; severity; source; locus; message } :: !fs)
+      fmt
+  in
+  let arr = Array.of_list rules in
+  Array.iteri
+    (fun j (r : Netfilter.rule) ->
+      try
+        for i = 0 to j - 1 do
+          let e = arr.(i) in
+          if rule_subsumes e r then begin
+            if e.Netfilter.target <> r.Netfilter.target then
+              (* PL-N001: the earlier rule always fires first with the
+                 opposite verdict — this rule is a lie about the policy. *)
+              f "PL-N001" Error (rule_locus j)
+                "`%s' is unreachable: rule %d (`%s') matches first with a \
+                 conflicting target"
+                (Netfilter.rule_to_spec r)
+                i
+                (Netfilter.rule_to_spec e)
+            else
+              (* PL-N002: harmless but dead weight. *)
+              f "PL-N002" Warning (rule_locus j)
+                "`%s' is redundant: rule %d already matches everything it \
+                 does"
+                (Netfilter.rule_to_spec r)
+                i;
+            raise Exit
+          end
+        done
+      with Exit -> ())
+    arr;
+  List.rev !fs
+
+(* --- ppp: PL-P* --------------------------------------------------------- *)
+
+let lint_ppp (t : Pppopts.t) =
+  let fs = ref [] in
+  let f code severity locus fmt =
+    Printf.ksprintf
+      (fun message ->
+        fs := { code; severity; source = "ppp"; locus; message } :: !fs)
+      fmt
+  in
+  let seen = Hashtbl.create 8 in
+  List.iteri
+    (fun i d ->
+      match d with
+      | Pppopts.Allow_device dev ->
+          let locus = Printf.sprintf "directive %d" i in
+          if Hashtbl.mem seen dev then
+            f "PL-P001" Warning locus "duplicate allow-device %s" dev
+          else Hashtbl.replace seen dev ();
+          if not (path_under "/dev" dev) then
+            f "PL-P002" Warning locus
+              "allow-device %s is not under /dev: unprivileged pppd would \
+               get ioctl access to an arbitrary file"
+              dev
+      | _ -> ())
+    t.Pppopts.directives;
+  List.rev !fs
+
+(* --- cross-source: PL-X* ------------------------------------------------ *)
+
+(* Walk a chain considering only the matches determined by (port, proto):
+   a rule carrying any other match kind may or may not fire, so it can't
+   prove the port blocked — only an unconditional (for this packet
+   shape) DROP/REJECT before any possible ACCEPT does. *)
+let port_blocked rules policy ~port ~proto =
+  let decided =
+    List.find_opt
+      (fun (r : Netfilter.rule) ->
+        List.for_all
+          (function
+            | Netfilter.Proto p -> p = proto
+            | Netfilter.Dst_port { lo; hi } -> lo <= port && port <= hi
+            | _ -> false (* conditional on more than the port: skip rule *))
+          r.Netfilter.matches)
+      rules
+  in
+  match decided with
+  | Some r -> r.Netfilter.target <> Netfilter.Accept
+  | None -> policy <> Netfilter.Accept
+
+let lint_cross (inp : input) =
+  let fs = ref [] in
+  let f code severity locus fmt =
+    Printf.ksprintf
+      (fun message ->
+        fs := { code; severity; source = "cross"; locus; message } :: !fs)
+      fmt
+  in
+  (* PL-X001: a service the bind map authorizes on a port the packet
+     filter then drops — the two sources disagree about intent. *)
+  List.iteri
+    (fun j (e : Bindconf.entry) ->
+      let proto =
+        match e.proto with
+        | Bindconf.Tcp -> Protego_net.Packet.Tcp
+        | Bindconf.Udp -> Protego_net.Packet.Udp
+      in
+      List.iter
+        (fun (name, rules, policy) ->
+          if port_blocked rules policy ~port:e.port ~proto then
+            f "PL-X001" Warning
+              (Printf.sprintf "binds entry %d" j)
+              "port %d/%s is bind-mapped to %s but netfilter chain %s \
+               blocks it"
+              e.port
+              (Bindconf.proto_to_string e.proto)
+              e.exe name)
+        inp.chains)
+    inp.binds;
+  (* PL-X002: a bind entry owned by a uid the account database has never
+     heard of can never successfully bind. *)
+  if inp.accounts.user_names <> [] then
+    List.iteri
+      (fun j (e : Bindconf.entry) ->
+        if not (List.exists (fun (_, uid) -> uid = e.owner) inp.accounts.user_names)
+        then
+          f "PL-X002" Warning
+            (Printf.sprintf "binds entry %d" j)
+            "owner uid %d does not match any account" e.owner)
+      inp.binds;
+  List.rev !fs
+
+(* --- compiled-program lints: PFM-* -------------------------------------- *)
+
+module Absint = Pfm_absint
+
+(* [entries] is the number of declarative rules behind the program: an
+   empty whitelist compiles to a deny-all (never-Allow by design) and an
+   empty chain to its policy verdict (possibly always-Allow by design),
+   so the verdict-shape findings only make sense when rules exist. *)
+let lint_program ~source ?(notes = []) ?(entries = 0) (p : Pfm.program) =
+  let fs = ref [] in
+  let f code severity locus fmt =
+    Printf.ksprintf
+      (fun message -> fs := { code; severity; source; locus; message } :: !fs)
+      fmt
+  in
+  let s = Absint.analyze p in
+  if entries > 0 then begin
+    if Absint.always_allows s then
+      f "PFM-ALWAYS-ALLOW" Error
+        (Printf.sprintf "program %s" p.Pfm.pname)
+        "the compiled policy allows every request: %d rule(s) have no \
+         effect at all"
+        entries;
+    if Absint.never_allows s then
+      f "PFM-NEVER-ALLOW" Warning
+        (Printf.sprintf "program %s" p.Pfm.pname)
+        "the compiled policy cannot allow any request despite %d rule(s)"
+        entries
+  end;
+  (* Per-rule reachability: a note range containing unreachable
+     instructions marks a rule that cannot (fully) take effect.  The
+     abstract interpreter over-approximates reachability, so these are
+     definite (see Pfm_absint's soundness note). *)
+  let n = Array.length p.Pfm.insns in
+  let ranges = Absint.note_ranges ~notes n in
+  List.iter
+    (fun (lo, hi, text) ->
+      if lo <= hi then begin
+        let dead = ref 0 in
+        for pc = lo to hi do
+          if not s.Absint.reachable.(pc) then incr dead
+        done;
+        if !dead = hi - lo + 1 then
+          f "PFM-DEAD" Warning text
+            "no input reaches this rule's code: it is dead (shadowed by \
+             earlier rules)"
+        else if !dead > 0 then
+          f "PFM-DEAD" Warning text
+            "part of this rule's code (%d of %d instructions) is \
+             unreachable: earlier rules already decide every request it \
+             could distinguish"
+            !dead (hi - lo + 1)
+      end)
+    ranges;
+  (* Constant conditionals outside already-reported dead rules: the test
+     is decided before it runs.  Informational — first-match chains
+     legitimately re-test refuted conditions. *)
+  let dead_range pc =
+    List.exists
+      (fun (lo, hi, _) ->
+        lo <= pc && pc <= hi
+        &&
+        let d = ref false in
+        for q = lo to hi do
+          if not s.Absint.reachable.(q) then d := true
+        done;
+        !d)
+      ranges
+  in
+  List.iter
+    (fun (pc, dir) ->
+      if not (dead_range pc) then
+        f "PFM-CONST-BRANCH" Info
+          (match Absint.attribute ~notes pc with
+          | Some text -> text
+          | None -> Printf.sprintf "pc %d" pc)
+          "conditional at pc %d always takes its %s edge" pc
+          (if dir then "true" else "false"))
+    s.Absint.const_branches;
+  List.rev !fs
+
+(* --- driver ------------------------------------------------------------- *)
+
+let lint (inp : input) =
+  let mount_prog () =
+    let p, notes = Pfm_compile.mount_notes inp.mounts in
+    lint_program ~source:"mounts" ~notes ~entries:(List.length inp.mounts) p
+  in
+  let umount_prog () =
+    let p, notes = Pfm_compile.umount_notes inp.mounts in
+    (* The umount program's verdict shape tracks the mount one; re-flagging
+       NEVER-ALLOW here would duplicate every mounts finding. *)
+    lint_program ~source:"mounts" ~notes ~entries:0 p
+  in
+  let bind_prog () =
+    let p, notes = Pfm_compile.bind_notes inp.binds in
+    lint_program ~source:"binds" ~notes ~entries:(List.length inp.binds) p
+  in
+  let chain_progs () =
+    List.concat_map
+      (fun (name, rules, policy) ->
+        let p, notes = Pfm_compile.netfilter_notes ~rules ~policy in
+        lint_program ~source:("netfilter:" ^ name) ~notes
+          ~entries:(List.length rules) p)
+      inp.chains
+  in
+  let ppp_prog () =
+    match inp.ppp with
+    | None -> []
+    | Some t ->
+        let p, notes = Pfm_compile.ppp_ioctl_notes t in
+        lint_program ~source:"ppp" ~notes ~entries:0 p
+  in
+  List.concat
+    [
+      lint_mounts inp.mounts;
+      mount_prog ();
+      umount_prog ();
+      lint_binds inp.binds;
+      bind_prog ();
+      lint_delegation inp.delegation inp.accounts;
+      List.concat_map
+        (fun (name, rules, policy) -> lint_chain name rules policy)
+        inp.chains;
+      chain_progs ();
+      (match inp.ppp with None -> [] | Some t -> lint_ppp t);
+      ppp_prog ();
+      lint_cross inp;
+    ]
+
+(* --- reporting ---------------------------------------------------------- *)
+
+let max_severity findings =
+  List.fold_left
+    (fun acc f ->
+      match acc with
+      | Some s when severity_rank s >= severity_rank f.severity -> acc
+      | _ -> Some f.severity)
+    None findings
+
+let has_errors findings = List.exists (fun f -> f.severity = Error) findings
+
+let render findings =
+  match findings with
+  | [] -> "no findings\n"
+  | fs ->
+      let lines = List.map finding_to_string fs in
+      let errors = List.length (List.filter (fun f -> f.severity = Error) fs) in
+      let warnings =
+        List.length (List.filter (fun f -> f.severity = Warning) fs)
+      in
+      let infos = List.length (List.filter (fun f -> f.severity = Info) fs) in
+      String.concat "\n" lines
+      ^ Printf.sprintf "\n%d finding(s): %d error(s), %d warning(s), %d \
+                        info\n"
+          (List.length fs) errors warnings infos
+
+(* --- netfilter chain files ---------------------------------------------- *)
+
+(* The lint CLI reads a chain as a file of rule specs with an optional
+   leading `policy ACCEPT|DROP|REJECT' line:
+
+     policy DROP
+     -p tcp --dport 22 -j ACCEPT
+     -p icmp --icmp-type echo-request -j ACCEPT
+*)
+let parse_chain contents =
+  let lines = String.split_on_char '\n' contents in
+  let rec go policy rules = function
+    | [] -> Ok (List.rev rules, policy)
+    | line :: rest -> (
+        let line = String.trim line in
+        if line = "" || line.[0] = '#' then go policy rules rest
+        else
+          match String.split_on_char ' ' line with
+          | [ "policy"; v ] -> (
+              match v with
+              | "ACCEPT" -> go Netfilter.Accept rules rest
+              | "DROP" -> go Netfilter.Drop rules rest
+              | "REJECT" -> go Netfilter.Reject rules rest
+              | _ -> Error (Printf.sprintf "unknown chain policy %s" v))
+          | _ -> (
+              match Netfilter.rule_of_spec line with
+              | Ok r -> go policy (r :: rules) rest
+              | Error e -> Error e))
+  in
+  go Netfilter.Accept [] lines

@@ -93,90 +93,100 @@ let jump_offsets = function
       default :: Hashtbl.fold (fun _ d acc -> d :: acc) tbl []
   | Ld_int _ | Ld_str _ | Ret _ -> []
 
-let verify p =
+(* The verifier runs two passes and collects *every* error it finds (the
+   lint CLI wants complete diagnostics, not just the first problem):
+
+   Pass 1 (locals) checks, at every slot, operand validity that does not
+   depend on control flow: jump direction and range, field indices.
+
+   Pass 2 (flow) is a forward dataflow over the same slots.  Jumps are
+   forward-only, so visiting program counters in order is a topological
+   order; a slot's predecessors have all been processed when it is reached.
+   It tracks, per slot, whether the slot is reachable and whether each
+   accumulator is definitely initialized on every path into it.  Both
+   passes run regardless of the other's outcome: pass 2 simply refuses to
+   propagate through invalid edges (backward or out of range), so a slot
+   that is only reachable through an ill-targeted jump is reported both as
+   the jump error (pass 1, at the jump) and as unreachable (pass 2, at the
+   slot).  Errors within a pass come out in pc order; accumulator errors
+   are only reported for reachable slots (an unreachable slot gets
+   [Unreachable_insn] instead). *)
+let verify_all p =
   let n = Array.length p.insns in
-  let ( let* ) r f = match r with Error _ as e -> e | Ok () -> f () in
-  let* () = if n = 0 then Error Empty_program else Ok () in
-  let* () = if n > max_insns then Error (Program_too_long n) else Ok () in
-  (* Pass 1: local validity of operands at every slot. *)
-  let rec locals pc =
-    if pc >= n then Ok ()
-    else
+  if n = 0 then Error [ Empty_program ]
+  else if n > max_insns then Error [ Program_too_long n ]
+  else begin
+    let errs = ref [] in
+    let err e = errs := e :: !errs in
+    (* Pass 1: local validity of operands at every slot. *)
+    for pc = 0 to n - 1 do
       let insn = p.insns.(pc) in
-      let* () =
-        if List.exists (fun d -> d < 0) (jump_offsets insn) then
-          Error (Backward_jump pc)
-        else Ok ()
-      in
-      let* () =
-        if List.exists (fun s -> s >= n) (successors pc insn) then
-          if
-            (* A load whose fall-through is the end of the program is a
-               missing verdict, not a bad jump. *)
-            match insn with Ld_int _ | Ld_str _ -> true | _ -> false
-          then Error (Missing_verdict pc)
-          else Error (Jump_out_of_range pc)
-        else Ok ()
-      in
-      let* () =
-        match insn with
-        | Ld_int f when f < 0 || f >= p.n_int_fields ->
-            Error (Int_field_out_of_range (pc, f))
-        | Ld_str f when f < 0 || f >= p.n_str_fields ->
-            Error (Str_field_out_of_range (pc, f))
-        | Jif (Eq_field f, _, _) when f < 0 || f >= p.n_int_fields ->
-            Error (Int_field_out_of_range (pc, f))
-        | _ -> Ok ()
-      in
-      locals (pc + 1)
-  in
-  let* () = locals 0 in
-  (* Pass 2: forward dataflow.  Jumps are forward-only, so visiting program
-     counters in order is a topological order; a slot's predecessors have
-     all been processed when it is reached.  Track, per slot, whether it is
-     reachable and whether each accumulator is definitely initialized on
-     every path into it. *)
-  let reach = Array.make n false in
-  let int_ok = Array.make n false in
-  let str_ok = Array.make n false in
-  reach.(0) <- true;
-  let merge ~from pc (i, s) =
-    ignore from;
-    if reach.(pc) then begin
-      int_ok.(pc) <- int_ok.(pc) && i;
-      str_ok.(pc) <- str_ok.(pc) && s
-    end
-    else begin
-      reach.(pc) <- true;
-      int_ok.(pc) <- i;
-      str_ok.(pc) <- s
-    end
-  in
-  let rec flow pc =
-    if pc >= n then Ok ()
-    else if not reach.(pc) then Error (Unreachable_insn pc)
-    else
-      let insn = p.insns.(pc) in
-      let* () =
-        match insn with
+      if List.exists (fun d -> d < 0) (jump_offsets insn) then
+        err (Backward_jump pc)
+      else if List.exists (fun s -> s >= n) (successors pc insn) then
+        if
+          (* A load whose fall-through is the end of the program is a
+             missing verdict, not a bad jump. *)
+          match insn with Ld_int _ | Ld_str _ -> true | _ -> false
+        then err (Missing_verdict pc)
+        else err (Jump_out_of_range pc);
+      (match insn with
+      | Ld_int f when f < 0 || f >= p.n_int_fields ->
+          err (Int_field_out_of_range (pc, f))
+      | Ld_str f when f < 0 || f >= p.n_str_fields ->
+          err (Str_field_out_of_range (pc, f))
+      | Jif (Eq_field f, _, _) when f < 0 || f >= p.n_int_fields ->
+          err (Int_field_out_of_range (pc, f))
+      | _ -> ())
+    done;
+    (* Pass 2: forward dataflow. *)
+    let reach = Array.make n false in
+    let int_ok = Array.make n false in
+    let str_ok = Array.make n false in
+    reach.(0) <- true;
+    let merge ~from pc (i, s) =
+      (* Propagate only along valid forward in-range edges; invalid edges
+         were already reported by pass 1. *)
+      if pc > from && pc < n then
+        if reach.(pc) then begin
+          int_ok.(pc) <- int_ok.(pc) && i;
+          str_ok.(pc) <- str_ok.(pc) && s
+        end
+        else begin
+          reach.(pc) <- true;
+          int_ok.(pc) <- i;
+          str_ok.(pc) <- s
+        end
+    in
+    for pc = 0 to n - 1 do
+      if not reach.(pc) then err (Unreachable_insn pc)
+      else begin
+        let insn = p.insns.(pc) in
+        (match insn with
         | Jif (c, _, _) when cond_is_int c && not int_ok.(pc) ->
-            Error (Int_acc_unset pc)
+            err (Int_acc_unset pc)
         | Jif (c, _, _) when (not (cond_is_int c)) && not str_ok.(pc) ->
-            Error (Str_acc_unset pc)
-        | Iswitch _ when not int_ok.(pc) -> Error (Int_acc_unset pc)
-        | Sswitch _ when not str_ok.(pc) -> Error (Str_acc_unset pc)
-        | _ -> Ok ()
-      in
-      let out =
-        match insn with
-        | Ld_int _ -> (true, str_ok.(pc))
-        | Ld_str _ -> (int_ok.(pc), true)
-        | _ -> (int_ok.(pc), str_ok.(pc))
-      in
-      List.iter (fun s -> merge ~from:pc s out) (successors pc insn);
-      flow (pc + 1)
-  in
-  flow 0
+            err (Str_acc_unset pc)
+        | Iswitch _ when not int_ok.(pc) -> err (Int_acc_unset pc)
+        | Sswitch _ when not str_ok.(pc) -> err (Str_acc_unset pc)
+        | _ -> ());
+        let out =
+          match insn with
+          | Ld_int _ -> (true, str_ok.(pc))
+          | Ld_str _ -> (int_ok.(pc), true)
+          | _ -> (int_ok.(pc), str_ok.(pc))
+        in
+        List.iter (fun s -> merge ~from:pc s out) (successors pc insn)
+      end
+    done;
+    match List.rev !errs with [] -> Ok () | es -> Error es
+  end
+
+let verify p =
+  match verify_all p with
+  | Ok () -> Ok ()
+  | Error [] -> Ok ()
+  | Error (e :: _) -> Error e
 
 (* --- evaluation -------------------------------------------------------- *)
 
@@ -305,14 +315,18 @@ module Asm = struct
     | A_iswitch of (int * label) list * label
     | A_sswitch of (string * label) list * label
     | A_label of label
+    | A_note of string                    (* provenance marker, occupies no space *)
 
   type t = {
     mutable items : aitem list;           (* reversed *)
     mutable next_label : int;
     placed : (label, unit) Hashtbl.t;
+    mutable resolved_notes : (int * string) list;  (* set by [assemble] *)
   }
 
-  let create () = { items = []; next_label = 0; placed = Hashtbl.create 16 }
+  let create () =
+    { items = []; next_label = 0; placed = Hashtbl.create 16;
+      resolved_notes = [] }
 
   let fresh_label t =
     let l = t.next_label in
@@ -327,6 +341,8 @@ module Asm = struct
     Hashtbl.replace t.placed l ();
     push t (A_label l)
 
+  let note t s = push t (A_note s)
+  let notes t = t.resolved_notes
   let ld_int t f = push t (A_insn (Ld_int f))
   let ld_str t f = push t (A_insn (Ld_str f))
   let jmp t l = push t (A_jmp l)
@@ -337,8 +353,9 @@ module Asm = struct
 
   let assemble t ~name ~n_int_fields ~n_str_fields =
     let items = List.rev t.items in
-    (* Address assignment: labels occupy no space. *)
+    (* Address assignment: labels and notes occupy no space. *)
     let addr = Hashtbl.create 16 in
+    let notes = ref [] in
     let n =
       List.fold_left
         (fun pc item ->
@@ -346,9 +363,13 @@ module Asm = struct
           | A_label l ->
               Hashtbl.replace addr l pc;
               pc
+          | A_note s ->
+              notes := (pc, s) :: !notes;
+              pc
           | A_insn _ | A_jmp _ | A_jif _ | A_iswitch _ | A_sswitch _ -> pc + 1)
         0 items
     in
+    t.resolved_notes <- List.rev !notes;
     let resolve pc l =
       match Hashtbl.find_opt addr l with
       | Some a -> a - (pc + 1)
@@ -364,7 +385,7 @@ module Asm = struct
           incr pc
         in
         match item with
-        | A_label _ -> ()
+        | A_label _ | A_note _ -> ()
         | A_insn i -> emit i
         | A_jmp l -> emit (Jmp (resolve !pc l))
         | A_jif (c, jt, jf) -> emit (Jif (c, resolve !pc jt, resolve !pc jf))

@@ -85,6 +85,18 @@ type verify_error =
   | Unreachable_insn of int
 
 val verify : program -> (unit, verify_error) result
+(** First error of {!verify_all} — the historical single-error interface
+    the dispatch path uses. *)
+
+val verify_all : program -> (unit, verify_error list) result
+(** Complete diagnostics: {e every} verification error, in program order
+    (local operand errors for a slot before dataflow errors).  The two
+    passes are independent — a slot that is only reachable through an
+    ill-targeted jump is reported both for the bad jump (at the jump's pc)
+    and as unreachable (at the target's pc).  The lint CLI renders this
+    list.  [Empty_program] and [Program_too_long] preempt everything
+    else. *)
+
 val verify_error_to_string : verify_error -> string
 
 (** {1 Evaluation} *)
@@ -120,6 +132,15 @@ module Asm : sig
   val place : t -> label -> unit
   (** Bind a label to the current position.  Raises [Invalid_argument] if
       already placed. *)
+
+  val note : t -> string -> unit
+  (** Attach a provenance marker (e.g. the source rule's text) to the
+      current position.  Notes occupy no space; {!notes} returns them with
+      resolved addresses after {!assemble}.  The static analyzer uses them
+      to attribute findings on compiled code back to declarative rules. *)
+
+  val notes : t -> (int * string) list
+  (** [(pc, note)] pairs in program order; valid after {!assemble}. *)
 
   val ld_int : t -> int -> unit
   val ld_str : t -> int -> unit

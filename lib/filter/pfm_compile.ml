@@ -67,15 +67,20 @@ let s_target = 1
 let s_fstype = 2
 let i_flags = 0
 
-let mount rules =
-  if rules = [] then trivial "mount" Pfm.Deny
+let mount_rule_text r =
+  Printf.sprintf "allow %s %s %s" r.fm_source r.fm_target r.fm_fstype
+
+let mount_notes rules =
+  if rules = [] then (trivial "mount" Pfm.Deny, [])
   else begin
     let a = Asm.create () in
     let l_allow = Asm.fresh_label a and l_deny = Asm.fresh_label a in
+    (* Keep the original rule index for provenance notes. *)
+    let indexed = List.mapi (fun i r -> (i, r)) rules in
     let groups =
       List.map
         (fun (src, rs) -> (src, Asm.fresh_label a, rs))
-        (group_by (fun r -> r.fm_source) rules)
+        (group_by (fun (_, r) -> r.fm_source) indexed)
     in
     Asm.ld_str a s_source;
     Asm.sswitch a
@@ -86,7 +91,8 @@ let mount rules =
         Asm.place a lbl;
         let n = List.length rs in
         List.iteri
-          (fun i r ->
+          (fun i (idx, r) ->
+            Asm.note a (Printf.sprintf "rule %d: %s" idx (mount_rule_text r));
             let l_next =
               if i = n - 1 then l_deny else Asm.fresh_label a
             in
@@ -104,10 +110,16 @@ let mount rules =
               Asm.place a l_flags
             end;
             (* First triple match decides: its flag requirement is final
-               (no fallback to later rules), exactly like the reference. *)
-            Asm.ld_int a i_flags;
-            Asm.jif a (Pfm.All_bits (flags_mask r.fm_flags)) ~jt:l_allow
-              ~jf:l_deny;
+               (no fallback to later rules), exactly like the reference.
+               An empty flag requirement always holds — emit the jump
+               directly rather than a trivially-true All_bits 0 test, so
+               compiled programs contain no constant branches. *)
+            let mask = flags_mask r.fm_flags in
+            if mask = 0 then Asm.jmp a l_allow
+            else begin
+              Asm.ld_int a i_flags;
+              Asm.jif a (Pfm.All_bits mask) ~jt:l_allow ~jf:l_deny
+            end;
             if i < n - 1 then Asm.place a l_next)
           rs)
       groups;
@@ -115,8 +127,11 @@ let mount rules =
     Asm.ret a Pfm.Allow;
     Asm.place a l_deny;
     Asm.ret a Pfm.Deny;
-    checked (Asm.assemble a ~name:"mount" ~n_int_fields:1 ~n_str_fields:3)
+    let p = checked (Asm.assemble a ~name:"mount" ~n_int_fields:1 ~n_str_fields:3) in
+    (p, Asm.notes a)
   end
+
+let mount rules = fst (mount_notes rules)
 
 let mount_ctx ~source ~target ~fstype ~flags =
   { Pfm.ints = [| flags_mask flags |]; strs = [| source; target; fstype |] }
@@ -127,8 +142,8 @@ let u_target = 0
 let i_mounted_by = 0
 let i_ruid = 1
 
-let umount rules =
-  if rules = [] then trivial "umount" Pfm.Deny
+let umount_notes rules =
+  if rules = [] then (trivial "umount" Pfm.Deny, [])
   else begin
     let a = Asm.create () in
     let l_allow = Asm.fresh_label a and l_deny = Asm.fresh_label a in
@@ -146,6 +161,8 @@ let umount rules =
     List.iter
       (fun (_, lbl, r) ->
         Asm.place a lbl;
+        Asm.note a (Printf.sprintf "target %s (%s)" r.fm_target
+                      (if r.fm_user_only then "user" else "users"));
         if r.fm_user_only then begin
           Asm.ld_int a i_mounted_by;
           Asm.jif a (Pfm.Eq_field i_ruid) ~jt:l_allow ~jf:l_deny
@@ -156,8 +173,11 @@ let umount rules =
     Asm.ret a Pfm.Allow;
     Asm.place a l_deny;
     Asm.ret a Pfm.Deny;
-    checked (Asm.assemble a ~name:"umount" ~n_int_fields:2 ~n_str_fields:1)
+    let p = checked (Asm.assemble a ~name:"umount" ~n_int_fields:2 ~n_str_fields:1) in
+    (p, Asm.notes a)
   end
+
+let umount rules = fst (umount_notes rules)
 
 let umount_ctx ~target ~mounted_by ~ruid =
   { Pfm.ints = [| mounted_by; ruid |]; strs = [| target |] }
@@ -171,15 +191,16 @@ let i_uid = 2
 
 let bind_proto_code = function Bindconf.Tcp -> 6 | Bindconf.Udp -> 17
 
-let bind entries =
-  if entries = [] then trivial "bind" Pfm.Deny
+let bind_notes entries =
+  if entries = [] then (trivial "bind" Pfm.Deny, [])
   else begin
     let a = Asm.create () in
     let l_allow = Asm.fresh_label a and l_deny = Asm.fresh_label a in
+    let indexed = List.mapi (fun i e -> (i, e)) entries in
     let groups =
       List.map
         (fun (port, es) -> (port, Asm.fresh_label a, es))
-        (group_by (fun (e : Bindconf.entry) -> e.port) entries)
+        (group_by (fun ((_, e) : int * Bindconf.entry) -> e.port) indexed)
     in
     Asm.ld_int a i_port;
     Asm.iswitch a
@@ -190,7 +211,10 @@ let bind entries =
         Asm.place a lbl;
         let n = List.length es in
         List.iteri
-          (fun i (e : Bindconf.entry) ->
+          (fun i ((idx, e) : int * Bindconf.entry) ->
+            Asm.note a
+              (Printf.sprintf "entry %d: %d %s %s %d" idx e.port
+                 (Bindconf.proto_to_string e.proto) e.exe e.owner);
             let l_next = if i = n - 1 then l_deny else Asm.fresh_label a in
             Asm.ld_int a i_proto;
             check a (Pfm.Eq (bind_proto_code e.proto)) ~jf:l_next;
@@ -207,8 +231,11 @@ let bind entries =
     Asm.ret a Pfm.Allow;
     Asm.place a l_deny;
     Asm.ret a Pfm.Deny;
-    checked (Asm.assemble a ~name:"bind" ~n_int_fields:3 ~n_str_fields:1)
+    let p = checked (Asm.assemble a ~name:"bind" ~n_int_fields:3 ~n_str_fields:1) in
+    (p, Asm.notes a)
   end
+
+let bind entries = fst (bind_notes entries)
 
 let bind_ctx ~port ~proto ~exe ~uid =
   { Pfm.ints = [| port; bind_proto_code proto; uid |]; strs = [| exe |] }
@@ -251,29 +278,46 @@ let netfilter_of_verdict = function
   | Pfm.Deny -> Netfilter.Drop
   | Pfm.Reject -> Netfilter.Reject
 
-let compile_match a m ~jf =
-  let field, cond =
-    match m with
-    | Netfilter.Proto p -> (f_proto, Pfm.Eq (packet_proto_code p))
-    | Netfilter.Src c -> (f_src, cidr_cond c)
-    | Netfilter.Dst c -> (f_dst, cidr_cond c)
-    | Netfilter.Dst_port { lo; hi } -> (f_dport, Pfm.In_range (lo, hi))
-    | Netfilter.Src_port { lo; hi } -> (f_sport, Pfm.In_range (lo, hi))
-    | Netfilter.Icmp_type ty -> (f_icmp, Pfm.Eq (Packet.icmp_type_code ty))
-    | Netfilter.Tcp_syn -> (f_syn, Pfm.Eq 1)
-    | Netfilter.Owner_uid uid -> (f_owner, Pfm.Eq uid)
-    | Netfilter.Origin_raw -> (f_origin, Pfm.Eq 1)
-    | Netfilter.Origin_packet -> (f_origin, Pfm.Eq 2)
-  in
-  Pfm.Asm.ld_int a field;
-  check a cond ~jf
+(* A /0 prefix matches every address: emit nothing rather than a
+   trivially-true Masked_eq with mask 0 (no constant branches in compiled
+   code).  [compile_match] therefore skips such matches. *)
+let match_is_trivial = function
+  | Netfilter.Src c | Netfilter.Dst c -> Ipaddr.Cidr.prefix_len c = 0
+  | _ -> false
 
-let netfilter ~rules ~policy =
+let compile_match a m ~jf =
+  if not (match_is_trivial m) then begin
+    let field, cond =
+      match m with
+      | Netfilter.Proto p -> (f_proto, Pfm.Eq (packet_proto_code p))
+      | Netfilter.Src c -> (f_src, cidr_cond c)
+      | Netfilter.Dst c -> (f_dst, cidr_cond c)
+      | Netfilter.Dst_port { lo; hi } -> (f_dport, Pfm.In_range (lo, hi))
+      | Netfilter.Src_port { lo; hi } -> (f_sport, Pfm.In_range (lo, hi))
+      | Netfilter.Icmp_type ty -> (f_icmp, Pfm.Eq (Packet.icmp_type_code ty))
+      | Netfilter.Tcp_syn -> (f_syn, Pfm.Eq 1)
+      | Netfilter.Owner_uid uid -> (f_owner, Pfm.Eq uid)
+      | Netfilter.Origin_raw -> (f_origin, Pfm.Eq 1)
+      | Netfilter.Origin_packet -> (f_origin, Pfm.Eq 2)
+    in
+    Pfm.Asm.ld_int a field;
+    check a cond ~jf
+  end
+
+let netfilter_notes ~rules ~policy =
   let a = Asm.create () in
-  let rec emit = function
-    | [] -> Asm.ret a (verdict_of_netfilter policy)
+  let rec emit i = function
+    | [] ->
+        Asm.note a
+          (Printf.sprintf "chain policy %s"
+             (match policy with
+             | Netfilter.Accept -> "ACCEPT"
+             | Netfilter.Drop -> "DROP"
+             | Netfilter.Reject -> "REJECT"));
+        Asm.ret a (verdict_of_netfilter policy)
     | (r : Netfilter.rule) :: rest ->
-        if r.matches = [] then
+        Asm.note a (Printf.sprintf "rule %d: %s" i (Netfilter.rule_to_spec r));
+        if List.for_all match_is_trivial r.matches then
           (* A match-anything rule terminates the walk; later rules are
              dead code the verifier would (rightly) reject. *)
           Asm.ret a (verdict_of_netfilter r.target)
@@ -282,11 +326,14 @@ let netfilter ~rules ~policy =
           List.iter (fun m -> compile_match a m ~jf:l_next) r.matches;
           Asm.ret a (verdict_of_netfilter r.target);
           Asm.place a l_next;
-          emit rest
+          emit (i + 1) rest
         end
   in
-  emit rules;
-  checked (Asm.assemble a ~name:"nf_output" ~n_int_fields:9 ~n_str_fields:0)
+  emit 0 rules;
+  let p = checked (Asm.assemble a ~name:"nf_output" ~n_int_fields:9 ~n_str_fields:0) in
+  (p, Asm.notes a)
+
+let netfilter ~rules ~policy = fst (netfilter_notes ~rules ~policy)
 
 let packet_ctx (pkt : Packet.t) ~origin =
   let proto =
@@ -325,17 +372,19 @@ let packet_ctx (pkt : Packet.t) ~origin =
 let p_device = 0
 let i_safe = 0
 
-let ppp_ioctl (policy : Pppopts.t) =
+let ppp_ioctl_notes (policy : Pppopts.t) =
   let devices =
     List.filter_map
       (function Pppopts.Allow_device d -> Some d | _ -> None)
       policy.Pppopts.directives
   in
-  if devices = [] then trivial "ppp_ioctl" Pfm.Deny
+  if devices = [] then (trivial "ppp_ioctl" Pfm.Deny, [])
   else begin
     let a = Asm.create () in
     let l_safe = Asm.fresh_label a in
     let l_allow = Asm.fresh_label a and l_deny = Asm.fresh_label a in
+    Asm.note a
+      (Printf.sprintf "allow-device %s" (String.concat "," devices));
     Asm.ld_str a p_device;
     Asm.sswitch a (List.map (fun d -> (d, l_safe)) devices) ~default:l_deny;
     Asm.place a l_safe;
@@ -345,8 +394,13 @@ let ppp_ioctl (policy : Pppopts.t) =
     Asm.ret a Pfm.Allow;
     Asm.place a l_deny;
     Asm.ret a Pfm.Deny;
-    checked (Asm.assemble a ~name:"ppp_ioctl" ~n_int_fields:1 ~n_str_fields:1)
+    let p =
+      checked (Asm.assemble a ~name:"ppp_ioctl" ~n_int_fields:1 ~n_str_fields:1)
+    in
+    (p, Asm.notes a)
   end
+
+let ppp_ioctl policy = fst (ppp_ioctl_notes policy)
 
 let ppp_ctx ~device ~opt =
   { Pfm.ints = [| (if Ppp.option_is_safe opt then 1 else 0) |];

@@ -44,10 +44,20 @@ type mount_rule = {
 val flags_mask : Ktypes.mount_flag list -> int
 (** ro=1, nosuid=2, nodev=4, noexec=8. *)
 
+val mount_rule_text : mount_rule -> string
+(** ["allow <source> <target> <fstype>"] — the form used in provenance
+    notes and lint findings. *)
+
 val mount : mount_rule list -> Pfm.program
 (** Hash-dispatches on the source device, then checks target, fstype
     (honouring the ["auto"] wildcard on either side) and required flags of
     the first matching rule. *)
+
+val mount_notes : mount_rule list -> Pfm.program * (int * string) list
+(** Like {!mount} but also returns provenance notes: [(pc, rule text)]
+    pairs marking where each declarative rule's code begins, for the
+    static analyzer to attribute findings on compiled code back to rules.
+    Every compiler has a [*_notes] sibling with the same contract. *)
 
 val mount_ctx :
   source:string -> target:string -> fstype:string ->
@@ -57,6 +67,8 @@ val umount : mount_rule list -> Pfm.program
 (** Hash-dispatches on the mount target; [`Users] rules allow anyone,
     [`User] rules require the caller to be the mounting user. *)
 
+val umount_notes : mount_rule list -> Pfm.program * (int * string) list
+
 val umount_ctx : target:string -> mounted_by:int -> ruid:int -> Pfm.ctx
 
 (** {1 Bind map} *)
@@ -64,6 +76,8 @@ val umount_ctx : target:string -> mounted_by:int -> ruid:int -> Pfm.ctx
 val bind : Bindconf.entry list -> Pfm.program
 (** Hash-dispatches on the port number; the matching entry's binary and
     owner must both agree or the bind is denied. *)
+
+val bind_notes : Bindconf.entry list -> Pfm.program * (int * string) list
 
 val bind_ctx :
   port:int -> proto:Bindconf.proto -> exe:string -> uid:int -> Pfm.ctx
@@ -76,7 +90,12 @@ val netfilter_of_verdict : Pfm.verdict -> Netfilter.verdict
 val netfilter : rules:Netfilter.rule list -> policy:Netfilter.verdict -> Pfm.program
 (** Straight-line first-match-wins translation of a chain; the chain
     policy becomes the final verdict.  Rules behind a match-anything rule
-    are dead in the reference walk and are not emitted. *)
+    (one whose every match is trivially true, e.g. only /0 prefixes) are
+    dead in the reference walk and are not emitted. *)
+
+val netfilter_notes :
+  rules:Netfilter.rule list -> policy:Netfilter.verdict ->
+  Pfm.program * (int * string) list
 
 val packet_ctx : Packet.t -> origin:Packet.origin -> Pfm.ctx
 
@@ -86,5 +105,7 @@ val ppp_ioctl : Pppopts.t -> Pfm.program
 (** Allows a modem-configuration ioctl iff the device is whitelisted by an
     [allow-device] directive and the requested option is intrinsically
     safe ({!Protego_net.Ppp.option_is_safe}). *)
+
+val ppp_ioctl_notes : Pppopts.t -> Pfm.program * (int * string) list
 
 val ppp_ctx : device:string -> opt:Protego_net.Ppp.option_ -> Pfm.ctx

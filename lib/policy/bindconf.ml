@@ -5,7 +5,7 @@ type entry = { port : int; proto : proto; exe : string; owner : int }
 let proto_to_string = function Tcp -> "tcp" | Udp -> "udp"
 let proto_of_string = function "tcp" -> Some Tcp | "udp" -> Some Udp | _ -> None
 
-let parse contents =
+let parse_gen ~strict contents =
   let lines = String.split_on_char '\n' contents in
   let rec go acc = function
     | [] -> Ok (List.rev acc)
@@ -22,16 +22,21 @@ let parse contents =
                  int_of_string_opt owner_s)
               with
               | Some port, Some proto, Some owner ->
-                  if port < 1 || port >= 1024 then
+                  if strict && (port < 1 || port >= 1024) then
                     Error ("bind: port out of privileged range: " ^ line)
                   else if
-                    List.exists (fun e -> e.port = port && e.proto = proto) acc
+                    strict
+                    && List.exists (fun e -> e.port = port && e.proto = proto) acc
                   then Error (Printf.sprintf "bind: duplicate port %d" port)
                   else go ({ port; proto; exe; owner } :: acc) rest
               | _, _, _ -> Error ("bind: malformed line: " ^ line))
           | _ -> Error ("bind: malformed line: " ^ line))
   in
   go [] lines
+
+let parse contents = parse_gen ~strict:true contents
+
+let parse_lax contents = parse_gen ~strict:false contents
 
 let to_string entries =
   let line e =

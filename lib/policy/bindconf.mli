@@ -22,6 +22,12 @@ val parse : string -> (entry list, string) result
 (** Rejects duplicate (port, proto) pairs — each port maps to exactly one
     application instance. *)
 
+val parse_lax : string -> (entry list, string) result
+(** Like {!parse} but keeps duplicate (port, proto) pairs and ports
+    outside the privileged range.  The lint CLI uses this so it can
+    report those defects as findings with locations instead of dying on
+    the first one; nothing on the enforcement path accepts lax input. *)
+
 val to_string : entry list -> string
 val lookup : entry list -> port:int -> proto:proto -> entry option
 val proto_to_string : proto -> string

@@ -357,6 +357,57 @@ let file_ioctl disp st m task req =
 
 (* --- /proc and /sys interfaces ---------------------------------------- *)
 
+(* Lint the Output chain alongside the /proc-loaded sources: the
+   cross-source checks need it, and /proc/protego/lint reports on the
+   whole loaded policy. *)
+let current_chains m =
+  [ ("output", Netfilter.rules m.netfilter Netfilter.Output,
+     Netfilter.policy m.netfilter Netfilter.Output) ]
+
+(* A policy write passes the load-time lint gate before it sticks: apply
+   the parsed value, lint the resulting state, and roll back (EPERM,
+   audited) if the dispatcher is in enforce mode and the written sources
+   carry error-severity findings.  In warn mode defective policy loads,
+   but tagged in the audit log — the differential-rollout posture. *)
+let gated_load m st disp task ~file ~sources ~apply ~rollback =
+  apply ();
+  let verdict =
+    Pfm_dispatch.check_policy_load disp ~chains:(current_chains m) st ~sources
+  in
+  let describe fs =
+    let errors =
+      List.length
+        (List.filter
+           (fun f ->
+             f.Protego_analysis.Policy_lint.severity
+             = Protego_analysis.Policy_lint.Error)
+           fs)
+    in
+    Printf.sprintf "%s (%d finding(s), %d error(s))" file (List.length fs)
+      errors
+  in
+  match verdict with
+  | `Clean -> Ok ()
+  | `Warned fs ->
+      Audit.emit ~engine:(Pfm_dispatch.engine_name disp) m task
+        ~op:"policy-load" ~obj:(describe fs) ~allowed:true;
+      List.iter
+        (fun f ->
+          log_dmesg m "protego: lint: %s"
+            (Protego_analysis.Policy_lint.finding_to_string f))
+        fs;
+      Ok ()
+  | `Refused fs ->
+      rollback ();
+      Audit.emit ~engine:(Pfm_dispatch.engine_name disp) m task
+        ~op:"policy-load" ~obj:(describe fs) ~allowed:false;
+      List.iter
+        (fun f ->
+          log_dmesg m "protego: lint refused %s: %s" file
+            (Protego_analysis.Policy_lint.finding_to_string f))
+        fs;
+      Error Errno.EPERM
+
 let install_proc_files m st disp =
   let kt = Machine.kernel_task m in
   let _ = Machine.mkdir_p m kt "/proc/protego" () in
@@ -365,31 +416,37 @@ let install_proc_files m st disp =
   in
   add "/proc/protego/mount_whitelist"
     ~read:(fun _m _t -> Ok (Policy_state.mounts_to_string st.Policy_state.mounts))
-    ~write:(fun _m _t contents ->
+    ~write:(fun m t contents ->
       match Policy_state.parse_mounts contents with
       | Ok rules ->
-          st.Policy_state.mounts <- rules;
-          Ok ()
+          let prev = st.Policy_state.mounts in
+          gated_load m st disp t ~file:"mount_whitelist" ~sources:[ "mounts" ]
+            ~apply:(fun () -> st.Policy_state.mounts <- rules)
+            ~rollback:(fun () -> st.Policy_state.mounts <- prev)
       | Error msg ->
           log_dmesg m "protego: mount_whitelist rejected: %s" msg;
           Error Errno.EINVAL);
   add "/proc/protego/bind_map"
     ~read:(fun _m _t -> Ok (Bindconf.to_string st.Policy_state.binds))
-    ~write:(fun _m _t contents ->
+    ~write:(fun m t contents ->
       match Bindconf.parse contents with
       | Ok entries ->
-          st.Policy_state.binds <- entries;
-          Ok ()
+          let prev = st.Policy_state.binds in
+          gated_load m st disp t ~file:"bind_map" ~sources:[ "binds" ]
+            ~apply:(fun () -> st.Policy_state.binds <- entries)
+            ~rollback:(fun () -> st.Policy_state.binds <- prev)
       | Error msg ->
           log_dmesg m "protego: bind_map rejected: %s" msg;
           Error Errno.EINVAL);
   add "/proc/protego/delegation"
     ~read:(fun _m _t -> Ok (Sudoers.to_string st.Policy_state.delegation))
-    ~write:(fun _m _t contents ->
+    ~write:(fun m t contents ->
       match Sudoers.parse contents with
       | Ok rules ->
-          st.Policy_state.delegation <- rules;
-          Ok ()
+          let prev = st.Policy_state.delegation in
+          gated_load m st disp t ~file:"delegation" ~sources:[ "delegation" ]
+            ~apply:(fun () -> st.Policy_state.delegation <- rules)
+            ~rollback:(fun () -> st.Policy_state.delegation <- prev)
       | Error msg ->
           log_dmesg m "protego: delegation rejected: %s" msg;
           Error Errno.EINVAL);
@@ -398,12 +455,21 @@ let install_proc_files m st disp =
       Ok
         (Policy_state.accounts_to_string st.Policy_state.users
            st.Policy_state.groups))
-    ~write:(fun _m _t contents ->
+    ~write:(fun m t contents ->
       match Policy_state.parse_accounts contents with
       | Ok (users, groups) ->
-          st.Policy_state.users <- users;
-          st.Policy_state.groups <- groups;
-          Ok ()
+          let prev_u = st.Policy_state.users
+          and prev_g = st.Policy_state.groups in
+          (* New accounts re-resolve names in the delegation and bind
+             sources, so the gate re-checks those. *)
+          gated_load m st disp t ~file:"accounts"
+            ~sources:[ "delegation" ]
+            ~apply:(fun () ->
+              st.Policy_state.users <- users;
+              st.Policy_state.groups <- groups)
+            ~rollback:(fun () ->
+              st.Policy_state.users <- prev_u;
+              st.Policy_state.groups <- prev_g)
       | Error msg ->
           log_dmesg m "protego: accounts rejected: %s" msg;
           Error Errno.EINVAL);
@@ -414,13 +480,35 @@ let install_proc_files m st disp =
       Ok ());
   add "/proc/protego/ppp_policy"
     ~read:(fun _m _t -> Ok (Pppopts.to_string st.Policy_state.ppp))
-    ~write:(fun _m _t contents ->
+    ~write:(fun m t contents ->
       match Pppopts.parse contents with
       | Ok policy ->
-          st.Policy_state.ppp <- policy;
-          Ok ()
+          let prev = st.Policy_state.ppp in
+          gated_load m st disp t ~file:"ppp_policy" ~sources:[ "ppp" ]
+            ~apply:(fun () -> st.Policy_state.ppp <- policy)
+            ~rollback:(fun () -> st.Policy_state.ppp <- prev)
       | Error msg ->
           log_dmesg m "protego: ppp_policy rejected: %s" msg;
+          Error Errno.EINVAL);
+  add "/proc/protego/lint"
+    ~read:(fun m _t ->
+      let findings =
+        Pfm_dispatch.lint_report ~chains:(current_chains m) st
+      in
+      Ok
+        (Printf.sprintf "mode %s\n%s"
+           (Pfm_dispatch.lint_mode_name disp)
+           (Protego_analysis.Policy_lint.render findings)))
+    ~write:(fun m _t contents ->
+      match String.trim contents with
+      | "mode warn" ->
+          Pfm_dispatch.set_lint_mode disp `Warn;
+          Ok ()
+      | "mode enforce" ->
+          Pfm_dispatch.set_lint_mode disp `Enforce;
+          Ok ()
+      | other ->
+          log_dmesg m "protego: lint: unknown command: %s" other;
           Error Errno.EINVAL);
   add "/proc/protego/filter_stats"
     ~read:(fun _m _t -> Ok (Pfm_dispatch.render disp))

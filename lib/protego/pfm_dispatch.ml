@@ -5,7 +5,10 @@ module Packet = Protego_net.Packet
 module Bindconf = Protego_policy.Bindconf
 module Pppopts = Protego_policy.Pppopts
 
+module Policy_lint = Protego_analysis.Policy_lint
+
 type engine = [ `Pfm | `Ref ]
+type lint_mode = [ `Warn | `Enforce ]
 
 type hook_stats = {
   mutable evals : int;
@@ -20,6 +23,7 @@ type 'k cache = { mutable slot : ('k * Pfm.program) option }
 
 type t = {
   mutable engine : engine;
+  mutable lint_mode : lint_mode;
   mount_cache : Policy_state.mount_rule list cache;
   umount_cache : Policy_state.mount_rule list cache;
   bind_cache : Bindconf.entry list cache;
@@ -37,6 +41,7 @@ let fresh_stats () =
 
 let create () =
   { engine = `Pfm;
+    lint_mode = `Warn;
     mount_cache = { slot = None };
     umount_cache = { slot = None };
     bind_cache = { slot = None };
@@ -51,6 +56,11 @@ let create () =
 let engine t = t.engine
 let set_engine t e = t.engine <- e
 let engine_name t = match t.engine with `Pfm -> "pfm" | `Ref -> "ref"
+let lint_mode t = t.lint_mode
+let set_lint_mode t m = t.lint_mode <- m
+
+let lint_mode_name t =
+  match t.lint_mode with `Warn -> "warn" | `Enforce -> "enforce"
 
 let hooks t =
   [ ("mount", t.mount_stats); ("umount", t.umount_stats);
@@ -185,6 +195,51 @@ let decide_nf_output t nf pkt ~origin =
       in
       let v = tally t.nf_stats (run t.nf_stats p (Compile.packet_ctx pkt ~origin)) in
       Compile.netfilter_of_verdict v
+
+(* --- load-time policy lint --------------------------------------------- *)
+
+let lint_input ?(chains = []) (st : Policy_state.t) =
+  {
+    Policy_lint.mounts = List.map filter_rule st.Policy_state.mounts;
+    binds = st.Policy_state.binds;
+    delegation = st.Policy_state.delegation;
+    accounts =
+      {
+        Policy_lint.user_names =
+          List.map
+            (fun (u : Policy_state.account_user) ->
+              (u.Policy_state.au_name, u.Policy_state.au_uid))
+            st.Policy_state.users;
+        group_names =
+          List.map
+            (fun (g : Policy_state.account_group) -> g.Policy_state.ag_name)
+            st.Policy_state.groups;
+      };
+    ppp = Some st.Policy_state.ppp;
+    chains;
+  }
+
+let lint_report ?chains st = Policy_lint.lint (lint_input ?chains st)
+
+(* Findings that bear on installing [sources] — each source's own plus
+   the cross-source checks.  A delegation typo must not veto a bind-map
+   install, so the gate never looks wider than the write at hand. *)
+let relevant findings ~sources =
+  List.filter
+    (fun (f : Policy_lint.finding) ->
+      List.mem f.Policy_lint.source sources || f.Policy_lint.source = "cross")
+    findings
+
+(* The load-time gate: lint the candidate state a /proc policy write
+   would install.  [`Refused fs] (enforce mode, error-severity findings
+   among the written sources) means the caller must not apply the write;
+   [`Warned fs] means apply but tag the audit trail. *)
+let check_policy_load t ?chains st ~sources =
+  let findings = relevant (lint_report ?chains st) ~sources in
+  if t.lint_mode = `Enforce && Policy_lint.has_errors findings then
+    `Refused findings
+  else if findings <> [] then `Warned findings
+  else `Clean
 
 (* --- /proc/protego/filter_stats ---------------------------------------- *)
 

@@ -17,6 +17,11 @@
 
 type engine = [ `Pfm | `Ref ]
 
+type lint_mode = [ `Warn | `Enforce ]
+(** What the load-time policy lint gate does with error-severity
+    findings: [`Warn] (the default) installs the policy and tags the
+    audit trail; [`Enforce] refuses the install. *)
+
 type hook_stats = {
   mutable evals : int;          (** decisions taken on this hook *)
   mutable allow : int;
@@ -35,6 +40,11 @@ val engine : t -> engine
 val set_engine : t -> engine -> unit
 val engine_name : t -> string
 (** ["pfm"] or ["ref"] — the value audit records and /proc report. *)
+
+val lint_mode : t -> lint_mode
+val set_lint_mode : t -> lint_mode -> unit
+val lint_mode_name : t -> string
+(** ["warn"] or ["enforce"]. *)
 
 val stats : t -> (string * hook_stats) list
 (** Fixed order: mount, umount, bind, nf_output, ppp_ioctl. *)
@@ -65,6 +75,40 @@ val decide_nf_output :
   t -> Protego_net.Netfilter.t -> Protego_net.Packet.t ->
   origin:Protego_net.Packet.origin -> Protego_net.Netfilter.verdict
 (** Installed as the chain's output override at {!Lsm.install} time. *)
+
+(** {1 Load-time policy lint} *)
+
+val lint_input :
+  ?chains:
+    (string * Protego_net.Netfilter.rule list * Protego_net.Netfilter.verdict)
+    list ->
+  Policy_state.t -> Protego_analysis.Policy_lint.input
+(** The lint engine's view of a policy state (plus, optionally, the
+    netfilter chains, which live on the machine rather than in
+    {!Policy_state}). *)
+
+val lint_report :
+  ?chains:
+    (string * Protego_net.Netfilter.rule list * Protego_net.Netfilter.verdict)
+    list ->
+  Policy_state.t -> Protego_analysis.Policy_lint.finding list
+(** [Policy_lint.lint] over {!lint_input} — what /proc/protego/lint
+    renders. *)
+
+val check_policy_load :
+  t ->
+  ?chains:
+    (string * Protego_net.Netfilter.rule list * Protego_net.Netfilter.verdict)
+    list ->
+  Policy_state.t -> sources:string list ->
+  [ `Clean
+  | `Warned of Protego_analysis.Policy_lint.finding list
+  | `Refused of Protego_analysis.Policy_lint.finding list ]
+(** The gate behind every /proc policy write: lint the candidate state
+    and keep only the findings for [sources] (the sources being written)
+    plus the cross-source checks — a pre-existing defect in an unrelated
+    source never vetoes an install.  [`Refused] is only possible in
+    [`Enforce] mode and only for error-severity findings. *)
 
 (** {1 /proc/protego/filter_stats} *)
 

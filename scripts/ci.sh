@@ -17,6 +17,16 @@ dune build
 echo "==> dune runtest"
 dune runtest
 
+echo "==> protego-lint --strict over the example policies"
+./_build/default/bin/lint.exe \
+    --fstab examples/policies/fstab \
+    --binds examples/policies/bind.map \
+    --delegation examples/policies/sudoers \
+    --accounts examples/policies/accounts \
+    --ppp examples/policies/options.ppp \
+    --netfilter output=examples/policies/output.chain \
+    --strict
+
 echo "==> bench filter smoke test"
 out=$(./_build/default/bench/main.exe filter)
 echo "$out"

@@ -396,6 +396,79 @@ let prop_pfm_ppp =
           = PS.ppp_ioctl_decision st ~device ~opt)
         queries)
 
+(* --- abstract-interpretation soundness ---------------------------------- *)
+
+module Absint = Protego_analysis.Pfm_absint
+
+(* The analyzer over-approximates reachability, so runtime observation
+   can never contradict it: every instruction slot with a nonzero
+   execution counter must be abstractly reachable (zero false "dead
+   rule" claims), and every verdict actually returned must be abstractly
+   reachable.  500 policies x 20 decisions = 10k decisions per hook. *)
+let counters_within_reachability prog (s : Absint.summary) =
+  let ok = ref true in
+  Array.iteri
+    (fun i c -> if c > 0 && not s.Absint.reachable.(i) then ok := false)
+    prog.Pfm.counters;
+  !ok
+
+let prop_absint_sound_mount =
+  QCheck2.Test.make
+    ~name:"absint: mount runtime counters within abstract reachability"
+    ~count:500
+    QCheck2.Gen.(
+      pair (list_size (int_bound 12) mount_rule_gen)
+        (list_repeat 20
+           (pair (pair (oneofl sources) (oneofl targets))
+              (pair (oneofl fstypes) flags_gen))))
+    (fun (rules, queries) ->
+      let prog = Compile.mount (List.map filter_rule rules) in
+      let s = Absint.analyze prog in
+      List.for_all
+        (fun ((source, target), (fstype, flags)) ->
+          Absint.verdict_reachable s
+            (Pfm.eval prog (Compile.mount_ctx ~source ~target ~fstype ~flags)))
+        queries
+      && counters_within_reachability prog s)
+
+let prop_absint_sound_nf =
+  QCheck2.Test.make
+    ~name:"absint: netfilter runtime counters within abstract reachability"
+    ~count:500
+    QCheck2.Gen.(
+      pair
+        (pair (list_size (int_bound 8) nf_rule_gen) (oneofl nf_verdicts))
+        (list_repeat 20 nf_packet_gen))
+    (fun ((rules, policy), cases) ->
+      let prog = Compile.netfilter ~rules ~policy in
+      let s = Absint.analyze prog in
+      List.for_all
+        (fun (pkt, origin) ->
+          Absint.verdict_reachable s
+            (Pfm.eval prog (Compile.packet_ctx pkt ~origin)))
+        cases
+      && counters_within_reachability prog s)
+
+let prop_absint_sound_bind =
+  QCheck2.Test.make
+    ~name:"absint: bind runtime counters within abstract reachability"
+    ~count:500
+    QCheck2.Gen.(
+      pair (list_size (int_bound 10) bind_entry_gen)
+        (list_repeat 20
+           (pair (pair (oneofl (1000 :: bind_ports)) bool)
+              (pair (oneofl bind_exes) (oneofl bind_uids)))))
+    (fun (entries, queries) ->
+      let prog = Compile.bind entries in
+      let s = Absint.analyze prog in
+      List.for_all
+        (fun ((port, tcp), (exe, uid)) ->
+          let proto = if tcp then Bindconf.Tcp else Bindconf.Udp in
+          Absint.verdict_reachable s
+            (Pfm.eval prog (Compile.bind_ctx ~port ~proto ~exe ~uid)))
+        queries
+      && counters_within_reachability prog s)
+
 let suites =
   [ ("fuzz:properties",
       List.map
@@ -406,4 +479,9 @@ let suites =
       List.map
         (QCheck_alcotest.to_alcotest ~long:false)
         [ prop_pfm_mount; prop_pfm_umount; prop_pfm_bind; prop_pfm_netfilter;
-          prop_pfm_ppp ]) ]
+          prop_pfm_ppp ]);
+    ("fuzz:absint-soundness",
+      List.map
+        (QCheck_alcotest.to_alcotest ~long:false)
+        [ prop_absint_sound_mount; prop_absint_sound_nf;
+          prop_absint_sound_bind ]) ]

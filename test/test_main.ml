@@ -13,5 +13,5 @@ let () =
    @ Test_services.suites @ Test_sandbox.suites @ Test_mail.suites
    @ Test_hardening.suites @ Test_audit.suites @ Test_filter.suites
    @ Test_polkit.suites
-   @ Test_exploits.suites
+   @ Test_analysis.suites @ Test_exploits.suites
    @ Test_functional.suites @ Test_study.suites @ Test_fuzz.suites)
