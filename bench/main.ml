@@ -175,6 +175,15 @@ let run_figure1 () =
 let run_ablation () =
   section "Ablation: object-based policy check vs capability bitmask";
   let protego = Harness.prepared_image Image.Protego in
+  (* The decision cache would serve the repeated identical mount after the
+     first iteration and flatten the curve; this ablation isolates the
+     engine's scan cost, so bypass it. *)
+  (match protego.Image.protego with
+  | None -> ()
+  | Some lsm ->
+      Protego_core.Decision_cache.set_enabled
+        (Protego_core.Pfm_dispatch.cache (Protego_core.Lsm.dispatch lsm))
+        false);
   let grow_whitelist n =
     match protego.Image.protego with
     | None -> ()
@@ -283,6 +292,9 @@ let run_filter () =
   in
   let st = Protego_core.Lsm.state lsm in
   let disp = Protego_core.Lsm.dispatch lsm in
+  (* This bench compares the engines themselves; with the decision cache in
+     front, every measured iteration after the first would be a hit. *)
+  Protego_core.Decision_cache.set_enabled (PD.cache disp) false;
   let m = protego.Image.machine in
   let flags = Protego_kernel.Ktypes.[ Mf_readonly; Mf_nosuid; Mf_nodev ] in
   (* Mount whitelist: 128 filler rules ahead of the one that matches. *)
@@ -384,6 +396,82 @@ let run_filter () =
     [ "mount"; "umount"; "bind"; "nf_output"; "ppp_ioctl" ];
   Printf.printf "\n/proc/protego/filter_stats after the runs:\n%s%!"
     (PD.render disp)
+
+(* Decision cache: cold-miss vs warm-hit latency in front of the compiled
+   engine, on growing mount whitelists (matching rule kept last).  "cold"
+   forces a stale generation before every lookup, so each iteration pays
+   miss + engine + re-insert; "warm" repeats one decision against a stable
+   policy, the steady state the cache exists for. *)
+let run_cache () =
+  section "Decision cache: cold vs warm decision latency";
+  let module PD = Protego_core.Pfm_dispatch in
+  let module PS = Protego_core.Policy_state in
+  let module DC = Protego_core.Decision_cache in
+  let protego = Harness.prepared_image Image.Protego in
+  let lsm =
+    match protego.Image.protego with
+    | Some l -> l
+    | None -> failwith "cache bench: Protego image has no LSM"
+  in
+  let st = Protego_core.Lsm.state lsm in
+  let disp = Protego_core.Lsm.dispatch lsm in
+  let flags = Protego_kernel.Ktypes.[ Mf_readonly; Mf_nosuid; Mf_nodev ] in
+  let filler i =
+    { PS.mr_source = Printf.sprintf "/dev/fake%d" i;
+      mr_target = Printf.sprintf "/media/fake%d" i; mr_fstype = "ext4";
+      mr_flags = []; mr_mode = `Users }
+  in
+  let decide () =
+    ignore
+      (PD.decide_mount disp st ~source:"/dev/cdrom" ~target:"/media/cdrom"
+         ~fstype:"iso9660" ~flags)
+  in
+  let speedup_128 = ref nan in
+  let rows =
+    List.map
+      (fun n ->
+        st.PS.mounts <-
+          List.init n filler
+          @ [ { PS.mr_source = "/dev/cdrom"; mr_target = "/media/cdrom";
+                mr_fstype = "iso9660";
+                mr_flags = [ Protego_kernel.Ktypes.Mf_nosuid ];
+                mr_mode = `User } ];
+        let cache = PD.cache disp in
+        (* Engines alone, cache bypassed. *)
+        DC.set_enabled cache false;
+        PD.set_engine disp `Ref;
+        for _ = 1 to 64 do decide () done;
+        let ref_ns = Harness.measure_ns (Printf.sprintf "cache:%d:ref" n) decide in
+        PD.set_engine disp `Pfm;
+        for _ = 1 to 64 do decide () done;
+        let pfm_ns = Harness.measure_ns (Printf.sprintf "cache:%d:pfm" n) decide in
+        (* Cold: every lookup finds its entry stale and re-runs the engine. *)
+        DC.set_enabled cache true;
+        decide ();
+        let cold_ns =
+          Harness.measure_ns (Printf.sprintf "cache:%d:cold" n) (fun () ->
+              PS.bump_generation st PS.Mounts;
+              decide ())
+        in
+        (* Warm: steady state, every lookup hits. *)
+        decide ();
+        let warm_ns = Harness.measure_ns (Printf.sprintf "cache:%d:warm" n) decide in
+        let speedup = pfm_ns /. warm_ns in
+        if n = 128 then speedup_128 := speedup;
+        [ string_of_int n; fmt_ns ref_ns; fmt_ns pfm_ns; fmt_ns cold_ns;
+          fmt_ns warm_ns; Printf.sprintf "%.2fx" speedup ])
+      [ 32; 128; 512 ]
+  in
+  print_string
+    (Study.Report.table
+       ~title:"mount decision cost by whitelist size (matching rule last)"
+       ~header:
+         [ "rules"; "ref"; "pfm"; "cold miss"; "warm hit"; "warm vs pfm" ]
+       ~align:Study.Report.[ R; R; R; R; R; R ]
+       rows);
+  Printf.printf "\nwarm hit vs compiled pfm at 128 rules: %.2fx\n" !speedup_128;
+  Printf.printf "\n/proc/protego/cache_stats after the runs:\n%s%!"
+    (PD.render_cache disp)
 
 (* --- policy-lint analysis cost (extension) ------------------------------- *)
 
@@ -501,6 +589,7 @@ let cmds =
     simple "surface" "Attack-surface analysis (extension)" run_surface;
     simple "ablation" "Whitelist-size ablation" run_ablation;
     simple "filter" "Compiled vs reference filter-machine cost" run_filter;
+    simple "cache" "Decision-cache cold/warm latency" run_cache;
     simple "lint" "Policy-lint analysis cost (extension)" run_lint;
     simple "all" "Everything, in paper order" run_all ]
 

@@ -21,6 +21,7 @@ let emit ?engine m (task : Ktypes.task) ~op ~obj ~allowed =
 
 let records m = List.of_seq (Queue.to_seq m.Ktypes.audit)
 let denials m = List.filter (fun r -> not r.au_allowed) (records m)
+let by_engine m e = List.filter (fun r -> r.au_engine = Some e) (records m)
 let clear m = Queue.clear m.Ktypes.audit
 
 let render m =

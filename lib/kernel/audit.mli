@@ -12,8 +12,8 @@ type record = Ktypes.audit_record = {
   au_obj : string;         (** the object, e.g. "/media/cdrom", "port 25" *)
   au_allowed : bool;
   au_engine : string option;
-      (** evaluating engine for filter-machine-backed hooks
-          (["pfm"] or ["ref"]); [None] for unfiltered decisions *)
+      (** what served the decision for filter-machine-backed hooks
+          (["cache"], ["pfm"] or ["ref"]); [None] for unfiltered decisions *)
 }
 
 val emit :
@@ -27,6 +27,10 @@ val records : Ktypes.machine -> record list
 (** Oldest first. *)
 
 val denials : Ktypes.machine -> record list
+
+val by_engine : Ktypes.machine -> string -> record list
+(** Records tagged [engine=<e>], oldest first. *)
+
 val clear : Ktypes.machine -> unit
 
 val render : Ktypes.machine -> string

@@ -1,0 +1,207 @@
+module Pfm = Protego_filter.Pfm
+module Errno = Protego_base.Errno
+
+type hook = {
+  hid : int;
+  hname : string;
+  mutable h_hits : int;
+  mutable h_misses : int;
+  mutable h_stale : int;
+}
+
+(* Keys deliberately store the hook as its dense id: key equality is then
+   two int compares before the argument string is even looked at. *)
+type key = { k_hook : int; k_subject : int; k_args : string }
+
+type entry = {
+  e_key : key;
+  e_hook : hook;
+  mutable e_gens : int array;
+  mutable e_verdict : Pfm.verdict;
+  mutable e_errno : Errno.t option;
+  (* intrusive LRU list, most-recent at [head] *)
+  mutable e_prev : entry option;
+  mutable e_next : entry option;
+}
+
+type t = {
+  cap : int;
+  table : (key, entry) Hashtbl.t;
+  mutable head : entry option;
+  mutable tail : entry option;
+  mutable size : int;
+  mutable enabled : bool;
+  mutable epoch : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable stale : int;
+  mutable evicted : int;
+  mutable hooks : hook list;  (* reverse registration order *)
+}
+
+let default_capacity = 1024
+
+let create ?(capacity = default_capacity) () =
+  let cap = max 1 capacity in
+  { cap; table = Hashtbl.create cap; head = None; tail = None; size = 0;
+    enabled = true; epoch = 0; hits = 0; misses = 0; stale = 0; evicted = 0;
+    hooks = [] }
+
+let register t name =
+  match List.find_opt (fun h -> h.hname = name) t.hooks with
+  | Some h -> h
+  | None ->
+      let h =
+        { hid = List.length t.hooks; hname = name; h_hits = 0; h_misses = 0;
+          h_stale = 0 }
+      in
+      t.hooks <- h :: t.hooks;
+      h
+
+let capacity t = t.cap
+let length t = t.size
+let enabled t = t.enabled
+let set_enabled t e = t.enabled <- e
+let epoch t = t.epoch
+
+let record_hit t hook =
+  t.hits <- t.hits + 1;
+  hook.h_hits <- hook.h_hits + 1
+
+let hits t = t.hits
+let misses t = t.misses
+let stale_evictions t = t.stale
+let capacity_evictions t = t.evicted
+let hook_stats t = List.rev t.hooks
+
+(* --- LRU list ----------------------------------------------------------- *)
+
+let unlink t e =
+  (match e.e_prev with
+   | Some p -> p.e_next <- e.e_next
+   | None -> t.head <- e.e_next);
+  (match e.e_next with
+   | Some n -> n.e_prev <- e.e_prev
+   | None -> t.tail <- e.e_prev);
+  e.e_prev <- None;
+  e.e_next <- None
+
+let push_front t e =
+  e.e_prev <- None;
+  e.e_next <- t.head;
+  (match t.head with Some h -> h.e_prev <- Some e | None -> t.tail <- Some e);
+  t.head <- Some e
+
+let touch t e =
+  match e.e_prev with
+  | None -> ()  (* already most recent *)
+  | Some _ ->
+      unlink t e;
+      push_front t e
+
+let drop t e =
+  unlink t e;
+  Hashtbl.remove t.table e.e_key;
+  t.size <- t.size - 1
+
+(* --- the hot path ------------------------------------------------------- *)
+
+let same_gens a b =
+  let n = Array.length a in
+  n = Array.length b
+  &&
+  let rec go i = i >= n || (Array.unsafe_get a i = Array.unsafe_get b i && go (i + 1)) in
+  go 0
+
+let find t hook ~subject ~args ~gens =
+  if not t.enabled then None
+  else
+    let key = { k_hook = hook.hid; k_subject = subject; k_args = args } in
+    match Hashtbl.find_opt t.table key with
+    | Some e when same_gens e.e_gens gens ->
+        touch t e;
+        t.hits <- t.hits + 1;
+        hook.h_hits <- hook.h_hits + 1;
+        Some (e.e_verdict, e.e_errno)
+    | Some e ->
+        drop t e;
+        t.stale <- t.stale + 1;
+        hook.h_stale <- hook.h_stale + 1;
+        t.misses <- t.misses + 1;
+        hook.h_misses <- hook.h_misses + 1;
+        None
+    | None ->
+        t.misses <- t.misses + 1;
+        hook.h_misses <- hook.h_misses + 1;
+        None
+
+let add t hook ~subject ~args ~gens ~verdict ~errno =
+  if not t.enabled then ()
+  else
+    let key = { k_hook = hook.hid; k_subject = subject; k_args = args } in
+    match Hashtbl.find_opt t.table key with
+    | Some e ->
+        e.e_gens <- Array.copy gens;
+        e.e_verdict <- verdict;
+        e.e_errno <- errno;
+        touch t e
+    | None ->
+        if t.size >= t.cap then (
+          match t.tail with
+          | Some lru ->
+              drop t lru;
+              t.evicted <- t.evicted + 1
+          | None -> ());
+        let e =
+          { e_key = key; e_hook = hook; e_gens = Array.copy gens;
+            e_verdict = verdict; e_errno = errno; e_prev = None; e_next = None }
+        in
+        push_front t e;
+        Hashtbl.add t.table key e;
+        t.size <- t.size + 1
+
+(* --- control ------------------------------------------------------------ *)
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.head <- None;
+  t.tail <- None;
+  t.size <- 0;
+  t.epoch <- t.epoch + 1
+
+let reset t =
+  clear t;
+  t.hits <- 0;
+  t.misses <- 0;
+  t.stale <- 0;
+  t.evicted <- 0;
+  List.iter
+    (fun h ->
+      h.h_hits <- 0;
+      h.h_misses <- 0;
+      h.h_stale <- 0)
+    t.hooks
+
+let render t =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "cache %s capacity %d entries %d\n"
+       (if t.enabled then "on" else "off")
+       t.cap t.size);
+  Buffer.add_string b
+    (Printf.sprintf "hits %d misses %d stale %d evicted %d\n" t.hits t.misses
+       t.stale t.evicted);
+  List.iter
+    (fun h ->
+      Buffer.add_string b
+        (Printf.sprintf "hook %s hits %d misses %d stale %d\n" h.hname h.h_hits
+           h.h_misses h.h_stale))
+    (hook_stats t);
+  Buffer.contents b
+
+let handle_write t contents =
+  match String.trim contents with
+  | "enable on" -> t.enabled <- true; Ok ()
+  | "enable off" -> t.enabled <- false; Ok ()
+  | "reset" -> reset t; Ok ()
+  | other -> Error ("cache_stats: unknown command: " ^ other)

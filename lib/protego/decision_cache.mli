@@ -1,0 +1,124 @@
+(** The hot-path decision cache: a fixed-capacity, generation-stamped memo
+    table in front of the filter-machine dispatcher.
+
+    A filtered hook's decision is a pure function of (policy sources it
+    reads, subject credential key, canonicalized argument tuple).  The
+    dispatcher therefore memoizes verdicts: the lookup order on every
+    filtered hook is {e cache -> compiled PFM -> reference engine}.  Both
+    positive (Allow) and negative (Deny/Reject, with the errno the hook
+    would return) results are cached.
+
+    {b Invalidation is lazy and per-source, not a global flush.}  Every
+    policy source carries a generation counter ({!Policy_state.generation});
+    a cache entry is stamped with the generation vector of the sources its
+    hook reads at insertion time.  A lookup compares the entry's vector
+    against the current one and treats any mismatch as a miss, evicting the
+    entry ("stale eviction").  A write to [/proc/protego/bind_map] thus
+    invalidates only bind entries — cached mount verdicts survive — and
+    nothing is scanned eagerly at reload time.
+
+    Capacity is fixed at creation; when full, the least-recently-used entry
+    is evicted ("capacity eviction").  A hit refreshes recency.
+
+    The table is observable and controllable through
+    [/proc/protego/cache_stats] (see {!render} / {!handle_write}). *)
+
+module Pfm = Protego_filter.Pfm
+
+type hook = private {
+  hid : int;                (** dense id, assigned at registration *)
+  hname : string;
+  mutable h_hits : int;
+  mutable h_misses : int;   (** includes stale lookups *)
+  mutable h_stale : int;
+}
+(** Per-hook counters.  Obtain via {!register}; the dispatcher keeps the
+    record and passes it back on every lookup so the hot path never
+    resolves a hook by name. *)
+
+type t
+
+val default_capacity : int
+(** 1024 entries. *)
+
+val create : ?capacity:int -> unit -> t
+(** Enabled, empty, zeroed stats.  [capacity] is clamped to [>= 1]. *)
+
+val register : t -> string -> hook
+(** Register a hook name (idempotent: re-registering returns the existing
+    record).  Registration order fixes the order of per-hook lines in
+    {!render}. *)
+
+val capacity : t -> int
+val length : t -> int
+
+val enabled : t -> bool
+val set_enabled : t -> bool -> unit
+(** Disabled: {!find} always misses and {!add} is a no-op, without touching
+    any counter — a pure bypass.  Entries already cached are kept; their
+    generation stamps keep them safe to serve after re-enabling. *)
+
+(** {1 The hot path} *)
+
+val find :
+  t -> hook -> subject:int -> args:string -> gens:int array ->
+  (Pfm.verdict * Protego_base.Errno.t option) option
+(** [Some (verdict, errno)] on a fresh hit ([errno] is the value the hook
+    returns on a denial; [None] for Allow or verdicts without an errno).
+    [None] on a miss — including a generation mismatch, which also evicts
+    the stale entry and counts under [stale].  The caller owns [gens] and
+    may reuse the array across calls; it is copied on insertion, compared
+    elementwise here. *)
+
+val add :
+  t -> hook -> subject:int -> args:string -> gens:int array ->
+  verdict:Pfm.verdict -> errno:Protego_base.Errno.t option -> unit
+(** Insert (or refresh) the memo for a decision just computed by an
+    engine.  Evicts the least-recently-used entry when at capacity. *)
+
+(** {1 Front slots}
+
+    Building the canonical argument string costs as much as evaluating a
+    small compiled program, so the dispatcher keeps a one-entry front slot
+    per hook, compared by {e physical} identity of the raw arguments (sound:
+    the argument values are immutable) and validated by the same generation
+    stamps.  The two functions below keep such slots coherent with this
+    table: a slot is only served while {!epoch} still has the value the slot
+    was stamped with, and a slot hit is counted here like any other hit. *)
+
+val epoch : t -> int
+(** Changes whenever memoized entries are dropped wholesale ({!clear} /
+    {!reset} / the ["reset"] command) — front slots stamped with an older
+    epoch must not be served. *)
+
+val record_hit : t -> hook -> unit
+(** Count a front-slot hit in the global and per-hook counters. *)
+
+(** {1 Stats and control} *)
+
+val hits : t -> int
+val misses : t -> int
+(** Lookups not served from cache — true misses plus stale evictions. *)
+
+val stale_evictions : t -> int
+val capacity_evictions : t -> int
+val hook_stats : t -> hook list
+(** Registration order. *)
+
+val clear : t -> unit
+(** Drop every entry; counters survive. *)
+
+val reset : t -> unit
+(** {!clear} plus zero every counter (global and per-hook). *)
+
+val render : t -> string
+(** The /proc/protego/cache_stats grammar:
+    {v
+    cache <on|off> capacity <n> entries <n>
+    hits <n> misses <n> stale <n> evicted <n>
+    hook <name> hits <n> misses <n> stale <n>
+    v}
+    with one [hook] line per registered hook, in registration order. *)
+
+val handle_write : t -> string -> (unit, string) result
+(** ["enable on"], ["enable off"], ["reset"]; anything else errors. *)

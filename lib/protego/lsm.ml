@@ -69,10 +69,11 @@ let sb_mount disp st m task ~source ~target ~fstype ~flags =
       let target = Vfs.normalize ~cwd:task.cwd target in
       let obj = source ^ " on " ^ target in
       let allowed =
-        Pfm_dispatch.decide_mount disp st ~source ~target ~fstype ~flags
+        Pfm_dispatch.decide_mount disp ~subject:task.cred.ruid st ~source
+          ~target ~fstype ~flags
       in
-      Audit.emit ~engine:(Pfm_dispatch.engine_name disp) m task ~op:"mount"
-        ~obj ~allowed;
+      Audit.emit ~engine:(Pfm_dispatch.decision_engine_name disp) m task
+        ~op:"mount" ~obj ~allowed;
       if allowed then Ok () else Error Errno.EPERM
 
 let sb_umount disp st m task ~target =
@@ -87,7 +88,7 @@ let sb_umount disp st m task ~target =
             Pfm_dispatch.decide_umount disp st ~target ~mounted_by:mnt.mnt_by
               ~ruid:task.cred.ruid
           in
-          Audit.emit ~engine:(Pfm_dispatch.engine_name disp) m task
+          Audit.emit ~engine:(Pfm_dispatch.decision_engine_name disp) m task
             ~op:"umount" ~obj:target ~allowed;
           if allowed then Ok () else Error Errno.EPERM)
 
@@ -119,8 +120,8 @@ let socket_bind disp st m task sock _addr port =
           Pfm_dispatch.decide_bind disp st ~port ~proto ~exe:task.exe_path
             ~uid:task.cred.euid
         in
-        Audit.emit ~engine:(Pfm_dispatch.engine_name disp) m task ~op:"bind"
-          ~obj ~allowed;
+        Audit.emit ~engine:(Pfm_dispatch.decision_engine_name disp) m task
+          ~op:"bind" ~obj ~allowed;
         if allowed then Ok () else Error Errno.EACCES
 
 let names_for_delegation st task =
@@ -346,7 +347,9 @@ let file_ioctl disp st m task req =
           in
           match owned with Some _ -> Ok () | None -> stock_denial)
       | Ioctl_modem_config { ioctl_dev; ppp_opt } ->
-          if Pfm_dispatch.decide_ppp_ioctl disp st ~device:ioctl_dev ~opt:ppp_opt
+          if
+            Pfm_dispatch.decide_ppp_ioctl disp ~subject:task.cred.ruid st
+              ~device:ioctl_dev ~opt:ppp_opt
           then Ok ()
           else Error Errno.EPERM
       | Ioctl_dm_table_status _ ->
@@ -421,7 +424,9 @@ let install_proc_files m st disp =
       | Ok rules ->
           let prev = st.Policy_state.mounts in
           gated_load m st disp t ~file:"mount_whitelist" ~sources:[ "mounts" ]
-            ~apply:(fun () -> st.Policy_state.mounts <- rules)
+            ~apply:(fun () ->
+              st.Policy_state.mounts <- rules;
+              Policy_state.bump_generation st Policy_state.Mounts)
             ~rollback:(fun () -> st.Policy_state.mounts <- prev)
       | Error msg ->
           log_dmesg m "protego: mount_whitelist rejected: %s" msg;
@@ -433,7 +438,9 @@ let install_proc_files m st disp =
       | Ok entries ->
           let prev = st.Policy_state.binds in
           gated_load m st disp t ~file:"bind_map" ~sources:[ "binds" ]
-            ~apply:(fun () -> st.Policy_state.binds <- entries)
+            ~apply:(fun () ->
+              st.Policy_state.binds <- entries;
+              Policy_state.bump_generation st Policy_state.Binds)
             ~rollback:(fun () -> st.Policy_state.binds <- prev)
       | Error msg ->
           log_dmesg m "protego: bind_map rejected: %s" msg;
@@ -445,7 +452,9 @@ let install_proc_files m st disp =
       | Ok rules ->
           let prev = st.Policy_state.delegation in
           gated_load m st disp t ~file:"delegation" ~sources:[ "delegation" ]
-            ~apply:(fun () -> st.Policy_state.delegation <- rules)
+            ~apply:(fun () ->
+              st.Policy_state.delegation <- rules;
+              Policy_state.bump_generation st Policy_state.Delegation)
             ~rollback:(fun () -> st.Policy_state.delegation <- prev)
       | Error msg ->
           log_dmesg m "protego: delegation rejected: %s" msg;
@@ -466,7 +475,8 @@ let install_proc_files m st disp =
             ~sources:[ "delegation" ]
             ~apply:(fun () ->
               st.Policy_state.users <- users;
-              st.Policy_state.groups <- groups)
+              st.Policy_state.groups <- groups;
+              Policy_state.bump_generation st Policy_state.Accounts)
             ~rollback:(fun () ->
               st.Policy_state.users <- prev_u;
               st.Policy_state.groups <- prev_g)
@@ -485,7 +495,9 @@ let install_proc_files m st disp =
       | Ok policy ->
           let prev = st.Policy_state.ppp in
           gated_load m st disp t ~file:"ppp_policy" ~sources:[ "ppp" ]
-            ~apply:(fun () -> st.Policy_state.ppp <- policy)
+            ~apply:(fun () ->
+              st.Policy_state.ppp <- policy;
+              Policy_state.bump_generation st Policy_state.Ppp)
             ~rollback:(fun () -> st.Policy_state.ppp <- prev)
       | Error msg ->
           log_dmesg m "protego: ppp_policy rejected: %s" msg;
@@ -514,6 +526,14 @@ let install_proc_files m st disp =
     ~read:(fun _m _t -> Ok (Pfm_dispatch.render disp))
     ~write:(fun m _t contents ->
       match Pfm_dispatch.handle_write disp contents with
+      | Ok () -> Ok ()
+      | Error msg ->
+          log_dmesg m "protego: %s" msg;
+          Error Errno.EINVAL);
+  add "/proc/protego/cache_stats"
+    ~read:(fun _m _t -> Ok (Pfm_dispatch.render_cache disp))
+    ~write:(fun m _t contents ->
+      match Pfm_dispatch.handle_cache_write disp contents with
       | Ok () -> Ok ()
       | Error msg ->
           log_dmesg m "protego: %s" msg;

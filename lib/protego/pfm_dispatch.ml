@@ -4,6 +4,7 @@ module Netfilter = Protego_net.Netfilter
 module Packet = Protego_net.Packet
 module Bindconf = Protego_policy.Bindconf
 module Pppopts = Protego_policy.Pppopts
+module Errno = Protego_base.Errno
 
 module Policy_lint = Protego_analysis.Policy_lint
 
@@ -21,9 +22,40 @@ type hook_stats = {
 
 type 'k cache = { mutable slot : ('k * Pfm.program) option }
 
+(* Last source value observed by a decision, by physical identity.  When it
+   changes without a /proc write having bumped the generation (direct field
+   assignment, as the bench ablations and fuzz harnesses do), the observer
+   bumps the generation itself, so decision-cache entries stamped under the
+   old value can never be served. *)
+type 'k watch = { mutable seen : 'k option }
+
+(* One-entry front slot per hook, ahead of the {!Decision_cache} table.
+   Where the table keys on the canonical argument string, the slot keys on
+   the raw arguments by physical identity ('a is the hook's raw tuple) —
+   sound because the argument values are immutable, and cheap enough that a
+   repeated decision costs a handful of compares.  Validity is the same
+   generation check the table uses, plus the cache epoch (a wholesale
+   [clear]/[reset] must not leave a servable slot behind).  [s_x] carries
+   the hook's canonicalized integer argument (flag mask, port/proto,
+   option-safety bit); hooks without one leave it 0. *)
+type 'a slot = {
+  mutable s_epoch : int;  (* -1: never filled *)
+  mutable s_gen : int;
+  mutable s_sub : int;
+  mutable s_x : int;
+  mutable s_args : 'a option;
+  mutable s_verdict : Pfm.verdict;
+}
+
+let fresh_slot () =
+  { s_epoch = -1; s_gen = 0; s_sub = 0; s_x = 0; s_args = None;
+    s_verdict = Pfm.Deny }
+
 type t = {
   mutable engine : engine;
   mutable lint_mode : lint_mode;
+  mutable last_engine : string;
+      (** what served the most recent decision: "cache", "pfm" or "ref" *)
   mount_cache : Policy_state.mount_rule list cache;
   umount_cache : Policy_state.mount_rule list cache;
   bind_cache : Bindconf.entry list cache;
@@ -34,14 +66,43 @@ type t = {
   bind_stats : hook_stats;
   nf_stats : hook_stats;
   ppp_stats : hook_stats;
+  (* decision cache and its per-hook counters *)
+  dcache : Decision_cache.t;
+  ch_mount : Decision_cache.hook;
+  ch_umount : Decision_cache.hook;
+  ch_bind : Decision_cache.hook;
+  ch_nf : Decision_cache.hook;
+  ch_ppp : Decision_cache.hook;
+  (* physical-identity watches backing the generation counters *)
+  mounts_watch : Policy_state.mount_rule list watch;
+  binds_watch : Bindconf.entry list watch;
+  ppp_watch : Pppopts.t watch;
+  nf_watch : (Netfilter.rule list * Netfilter.verdict) watch;
+  mutable nf_gen : int;
+  (* per-hook front slots (physical-identity fast path) *)
+  mount_slot :
+    (string * string * string * Protego_kernel.Ktypes.mount_flag list) slot;
+  umount_slot : string slot;
+  bind_slot : string slot;
+  ppp_slot : (string * Protego_net.Ppp.option_) slot;
+  nf_slot : (Packet.t * Packet.origin) slot;
+  (* scratch generation vectors, one per hook, reused on every decision so
+     the hit path allocates nothing but the key *)
+  g_mount : int array;
+  g_umount : int array;
+  g_bind : int array;
+  g_ppp : int array;
+  g_nf : int array;
 }
 
 let fresh_stats () =
   { evals = 0; allow = 0; deny = 0; reject = 0; invalidations = 0; insns = 0 }
 
 let create () =
+  let dcache = Decision_cache.create () in
   { engine = `Pfm;
     lint_mode = `Warn;
+    last_engine = "pfm";
     mount_cache = { slot = None };
     umount_cache = { slot = None };
     bind_cache = { slot = None };
@@ -51,16 +112,40 @@ let create () =
     umount_stats = fresh_stats ();
     bind_stats = fresh_stats ();
     nf_stats = fresh_stats ();
-    ppp_stats = fresh_stats () }
+    ppp_stats = fresh_stats ();
+    dcache;
+    ch_mount = Decision_cache.register dcache "mount";
+    ch_umount = Decision_cache.register dcache "umount";
+    ch_bind = Decision_cache.register dcache "bind";
+    ch_nf = Decision_cache.register dcache "nf_output";
+    ch_ppp = Decision_cache.register dcache "ppp_ioctl";
+    mounts_watch = { seen = None };
+    binds_watch = { seen = None };
+    ppp_watch = { seen = None };
+    nf_watch = { seen = None };
+    nf_gen = 0;
+    mount_slot = fresh_slot ();
+    umount_slot = fresh_slot ();
+    bind_slot = fresh_slot ();
+    ppp_slot = fresh_slot ();
+    nf_slot = fresh_slot ();
+    g_mount = [| 0 |];
+    g_umount = [| 0 |];
+    g_bind = [| 0 |];
+    g_ppp = [| 0 |];
+    g_nf = [| 0 |] }
 
 let engine t = t.engine
 let set_engine t e = t.engine <- e
 let engine_name t = match t.engine with `Pfm -> "pfm" | `Ref -> "ref"
+let decision_engine_name t = t.last_engine
 let lint_mode t = t.lint_mode
 let set_lint_mode t m = t.lint_mode <- m
 
 let lint_mode_name t =
   match t.lint_mode with `Warn -> "warn" | `Enforce -> "enforce"
+
+let cache t = t.dcache
 
 let hooks t =
   [ ("mount", t.mount_stats); ("umount", t.umount_stats);
@@ -85,6 +170,48 @@ let cached_program t name =
   | "nf_output" -> slot t.nf_cache
   | "ppp_ioctl" -> slot t.ppp_cache
   | _ -> None
+
+(* --- generation vectors ------------------------------------------------- *)
+
+(* Refresh one watched Policy_state source and return the hook's current
+   generation vector (in the hook's scratch array). *)
+let source_gens watch st source ~key ~scratch =
+  (match watch.seen with
+   | Some k when k == key -> ()
+   | Some _ ->
+       Policy_state.bump_generation st source;
+       watch.seen <- Some key
+   | None -> watch.seen <- Some key);
+  scratch.(0) <- Policy_state.generation st source;
+  scratch
+
+let mount_gens t (st : Policy_state.t) =
+  source_gens t.mounts_watch st Policy_state.Mounts ~key:st.Policy_state.mounts
+    ~scratch:t.g_mount
+
+let umount_gens t (st : Policy_state.t) =
+  source_gens t.mounts_watch st Policy_state.Mounts ~key:st.Policy_state.mounts
+    ~scratch:t.g_umount
+
+let bind_gens t (st : Policy_state.t) =
+  source_gens t.binds_watch st Policy_state.Binds ~key:st.Policy_state.binds
+    ~scratch:t.g_bind
+
+let ppp_gens t (st : Policy_state.t) =
+  source_gens t.ppp_watch st Policy_state.Ppp ~key:st.Policy_state.ppp
+    ~scratch:t.g_ppp
+
+(* The netfilter chain lives on the machine, not in Policy_state; its
+   generation counter is dispatcher-local. *)
+let nf_gens t ~rules ~policy =
+  (match t.nf_watch.seen with
+   | Some (r, p) when r == rules && p = policy -> ()
+   | Some _ ->
+       t.nf_gen <- t.nf_gen + 1;
+       t.nf_watch.seen <- Some (rules, policy)
+   | None -> t.nf_watch.seen <- Some (rules, policy));
+  t.g_nf.(0) <- t.nf_gen;
+  t.g_nf
 
 (* --- cache + evaluation plumbing --------------------------------------- *)
 
@@ -115,6 +242,30 @@ let tally st (v : Pfm.verdict) =
 
 let of_bool b = if b then Pfm.Allow else Pfm.Deny
 
+(* Canonical argument-tuple encodings.  US (unit separator) cannot appear
+   in any path, fstype or rendered integer, so the encoding is injective.
+   Flag lists are canonicalized to their bitmask (order- and
+   duplicate-insensitive); a ppp option is canonicalized to the one bit of
+   it the decision reads (whether it is intrinsically safe). *)
+let sep = "\x1f"
+
+let deny_errno e (v : Pfm.verdict) =
+  match v with Pfm.Allow -> None | Pfm.Deny | Pfm.Reject -> Some e
+
+(* Refill a hook's front slot after a decision was served off the slow path
+   (table hit or engine run).  Skipped while the cache is disabled, so a
+   bypassed decision can never be replayed after re-enabling without the
+   table having seen it. *)
+let refill t (s : _ slot) ~gen ~sub ~x ~args ~verdict =
+  if Decision_cache.enabled t.dcache then begin
+    s.s_epoch <- Decision_cache.epoch t.dcache;
+    s.s_gen <- gen;
+    s.s_sub <- sub;
+    s.s_x <- x;
+    s.s_args <- Some args;
+    s.s_verdict <- verdict
+  end
+
 (* --- hook decisions ---------------------------------------------------- *)
 
 let filter_rule (r : Policy_state.mount_rule) : Compile.mount_rule =
@@ -124,77 +275,253 @@ let filter_rule (r : Policy_state.mount_rule) : Compile.mount_rule =
     fm_flags = r.Policy_state.mr_flags;
     fm_user_only = (r.Policy_state.mr_mode = `User) }
 
-let decide_mount t (st : Policy_state.t) ~source ~target ~fstype ~flags =
-  let v =
-    match t.engine with
-    | `Ref -> of_bool (Policy_state.mount_decision st ~source ~target ~fstype ~flags)
-    | `Pfm ->
-        let p =
-          fetch t.mount_cache t.mount_stats ~same:( == )
-            ~key:st.Policy_state.mounts
-            ~compile:(fun rules -> Compile.mount (List.map filter_rule rules))
-        in
-        run t.mount_stats p (Compile.mount_ctx ~source ~target ~fstype ~flags)
-  in
-  tally t.mount_stats v = Pfm.Allow
+let decide_mount t ?(subject = 0) (st : Policy_state.t) ~source ~target ~fstype
+    ~flags =
+  let gens = mount_gens t st in
+  let s = t.mount_slot in
+  if
+    Decision_cache.enabled t.dcache
+    && s.s_epoch = Decision_cache.epoch t.dcache
+    && s.s_gen = Array.unsafe_get gens 0
+    && s.s_sub = subject
+    && (match s.s_args with
+        | Some (sr, tg, fs, fl) ->
+            sr == source && tg == target && fs == fstype && fl == flags
+        | None -> false)
+  then begin
+    Decision_cache.record_hit t.dcache t.ch_mount;
+    t.last_engine <- "cache";
+    s.s_verdict = Pfm.Allow
+  end
+  else begin
+    let args =
+      String.concat sep
+        [ source; target; fstype; string_of_int (Compile.flags_mask flags) ]
+    in
+    let v =
+      match Decision_cache.find t.dcache t.ch_mount ~subject ~args ~gens with
+      | Some (v, _) ->
+          t.last_engine <- "cache";
+          v
+      | None ->
+          let v =
+            match t.engine with
+            | `Ref ->
+                of_bool
+                  (Policy_state.mount_decision st ~source ~target ~fstype ~flags)
+            | `Pfm ->
+                let p =
+                  fetch t.mount_cache t.mount_stats ~same:( == )
+                    ~key:st.Policy_state.mounts
+                    ~compile:(fun rules ->
+                      Compile.mount (List.map filter_rule rules))
+                in
+                run t.mount_stats p
+                  (Compile.mount_ctx ~source ~target ~fstype ~flags)
+          in
+          t.last_engine <- engine_name t;
+          let v = tally t.mount_stats v in
+          Decision_cache.add t.dcache t.ch_mount ~subject ~args ~gens ~verdict:v
+            ~errno:(deny_errno Errno.EPERM v);
+          v
+    in
+    refill t s ~gen:gens.(0) ~sub:subject ~x:0
+      ~args:(source, target, fstype, flags) ~verdict:v;
+    v = Pfm.Allow
+  end
 
 let decide_umount t (st : Policy_state.t) ~target ~mounted_by ~ruid =
-  let v =
-    match t.engine with
-    | `Ref -> of_bool (Policy_state.umount_decision st ~target ~mounted_by ~ruid)
-    | `Pfm ->
-        let p =
-          fetch t.umount_cache t.umount_stats ~same:( == )
-            ~key:st.Policy_state.mounts
-            ~compile:(fun rules -> Compile.umount (List.map filter_rule rules))
-        in
-        run t.umount_stats p (Compile.umount_ctx ~target ~mounted_by ~ruid)
-  in
-  tally t.umount_stats v = Pfm.Allow
+  let gens = umount_gens t st in
+  let s = t.umount_slot in
+  if
+    Decision_cache.enabled t.dcache
+    && s.s_epoch = Decision_cache.epoch t.dcache
+    && s.s_gen = Array.unsafe_get gens 0
+    && s.s_sub = ruid && s.s_x = mounted_by
+    && (match s.s_args with Some tg -> tg == target | None -> false)
+  then begin
+    Decision_cache.record_hit t.dcache t.ch_umount;
+    t.last_engine <- "cache";
+    s.s_verdict = Pfm.Allow
+  end
+  else begin
+    let args = target ^ sep ^ string_of_int mounted_by in
+    let v =
+      match
+        Decision_cache.find t.dcache t.ch_umount ~subject:ruid ~args ~gens
+      with
+      | Some (v, _) ->
+          t.last_engine <- "cache";
+          v
+      | None ->
+          let v =
+            match t.engine with
+            | `Ref ->
+                of_bool (Policy_state.umount_decision st ~target ~mounted_by ~ruid)
+            | `Pfm ->
+                let p =
+                  fetch t.umount_cache t.umount_stats ~same:( == )
+                    ~key:st.Policy_state.mounts
+                    ~compile:(fun rules ->
+                      Compile.umount (List.map filter_rule rules))
+                in
+                run t.umount_stats p (Compile.umount_ctx ~target ~mounted_by ~ruid)
+          in
+          t.last_engine <- engine_name t;
+          let v = tally t.umount_stats v in
+          Decision_cache.add t.dcache t.ch_umount ~subject:ruid ~args ~gens
+            ~verdict:v ~errno:(deny_errno Errno.EPERM v);
+          v
+    in
+    refill t s ~gen:gens.(0) ~sub:ruid ~x:mounted_by ~args:target ~verdict:v;
+    v = Pfm.Allow
+  end
 
 let decide_bind t (st : Policy_state.t) ~port ~proto ~exe ~uid =
-  let v =
-    match t.engine with
-    | `Ref -> of_bool (Policy_state.bind_allowed st ~port ~proto ~exe ~uid)
-    | `Pfm ->
-        let p =
-          fetch t.bind_cache t.bind_stats ~same:( == )
-            ~key:st.Policy_state.binds ~compile:Compile.bind
-        in
-        run t.bind_stats p (Compile.bind_ctx ~port ~proto ~exe ~uid)
-  in
-  tally t.bind_stats v = Pfm.Allow
+  let gens = bind_gens t st in
+  let s = t.bind_slot in
+  let x = (port * 2) + (match proto with Bindconf.Tcp -> 0 | Bindconf.Udp -> 1) in
+  if
+    Decision_cache.enabled t.dcache
+    && s.s_epoch = Decision_cache.epoch t.dcache
+    && s.s_gen = Array.unsafe_get gens 0
+    && s.s_sub = uid && s.s_x = x
+    && (match s.s_args with Some e -> e == exe | None -> false)
+  then begin
+    Decision_cache.record_hit t.dcache t.ch_bind;
+    t.last_engine <- "cache";
+    s.s_verdict = Pfm.Allow
+  end
+  else begin
+    let args =
+      string_of_int port ^ sep ^ Bindconf.proto_to_string proto ^ sep ^ exe
+    in
+    let v =
+      match Decision_cache.find t.dcache t.ch_bind ~subject:uid ~args ~gens with
+      | Some (v, _) ->
+          t.last_engine <- "cache";
+          v
+      | None ->
+          let v =
+            match t.engine with
+            | `Ref -> of_bool (Policy_state.bind_allowed st ~port ~proto ~exe ~uid)
+            | `Pfm ->
+                let p =
+                  fetch t.bind_cache t.bind_stats ~same:( == )
+                    ~key:st.Policy_state.binds ~compile:Compile.bind
+                in
+                run t.bind_stats p (Compile.bind_ctx ~port ~proto ~exe ~uid)
+          in
+          t.last_engine <- engine_name t;
+          let v = tally t.bind_stats v in
+          Decision_cache.add t.dcache t.ch_bind ~subject:uid ~args ~gens
+            ~verdict:v ~errno:(deny_errno Errno.EACCES v);
+          v
+    in
+    refill t s ~gen:gens.(0) ~sub:uid ~x ~args:exe ~verdict:v;
+    v = Pfm.Allow
+  end
 
-let decide_ppp_ioctl t (st : Policy_state.t) ~device ~opt =
-  let v =
-    match t.engine with
-    | `Ref -> of_bool (Policy_state.ppp_ioctl_decision st ~device ~opt)
-    | `Pfm ->
-        let p =
-          fetch t.ppp_cache t.ppp_stats ~same:( == )
-            ~key:st.Policy_state.ppp ~compile:Compile.ppp_ioctl
-        in
-        run t.ppp_stats p (Compile.ppp_ctx ~device ~opt)
-  in
-  tally t.ppp_stats v = Pfm.Allow
+let decide_ppp_ioctl t ?(subject = 0) (st : Policy_state.t) ~device ~opt =
+  let gens = ppp_gens t st in
+  let s = t.ppp_slot in
+  if
+    Decision_cache.enabled t.dcache
+    && s.s_epoch = Decision_cache.epoch t.dcache
+    && s.s_gen = Array.unsafe_get gens 0
+    && s.s_sub = subject
+    && (match s.s_args with
+        | Some (dv, op) -> dv == device && op == opt
+        | None -> false)
+  then begin
+    Decision_cache.record_hit t.dcache t.ch_ppp;
+    t.last_engine <- "cache";
+    s.s_verdict = Pfm.Allow
+  end
+  else begin
+    let args =
+      device ^ sep ^ (if Protego_net.Ppp.option_is_safe opt then "1" else "0")
+    in
+    let v =
+      match Decision_cache.find t.dcache t.ch_ppp ~subject ~args ~gens with
+      | Some (v, _) ->
+          t.last_engine <- "cache";
+          v
+      | None ->
+          let v =
+            match t.engine with
+            | `Ref -> of_bool (Policy_state.ppp_ioctl_decision st ~device ~opt)
+            | `Pfm ->
+                let p =
+                  fetch t.ppp_cache t.ppp_stats ~same:( == )
+                    ~key:st.Policy_state.ppp ~compile:Compile.ppp_ioctl
+                in
+                run t.ppp_stats p (Compile.ppp_ctx ~device ~opt)
+          in
+          t.last_engine <- engine_name t;
+          let v = tally t.ppp_stats v in
+          Decision_cache.add t.dcache t.ch_ppp ~subject ~args ~gens ~verdict:v
+            ~errno:(deny_errno Errno.EPERM v);
+          v
+    in
+    refill t s ~gen:gens.(0) ~sub:subject ~x:0 ~args:(device, opt) ~verdict:v;
+    v = Pfm.Allow
+  end
 
 let decide_nf_output t nf pkt ~origin =
-  match t.engine with
-  | `Ref ->
-      let v = Netfilter.walk nf Netfilter.Output pkt ~origin in
-      ignore (tally t.nf_stats (Compile.verdict_of_netfilter v));
-      v
-  | `Pfm ->
-      let rules = Netfilter.rules nf Netfilter.Output in
-      let policy = Netfilter.policy nf Netfilter.Output in
-      let p =
-        fetch t.nf_cache t.nf_stats
-          ~same:(fun (r1, p1) (r2, p2) -> r1 == r2 && p1 = p2)
-          ~key:(rules, policy)
-          ~compile:(fun (rules, policy) -> Compile.netfilter ~rules ~policy)
-      in
-      let v = tally t.nf_stats (run t.nf_stats p (Compile.packet_ctx pkt ~origin)) in
-      Compile.netfilter_of_verdict v
+  let rules = Netfilter.rules nf Netfilter.Output in
+  let policy = Netfilter.policy nf Netfilter.Output in
+  let gens = nf_gens t ~rules ~policy in
+  let s = t.nf_slot in
+  if
+    Decision_cache.enabled t.dcache
+    && s.s_epoch = Decision_cache.epoch t.dcache
+    && s.s_gen = Array.unsafe_get gens 0
+    && (match s.s_args with
+        | Some (p0, o0) -> p0 == pkt && o0 = origin
+        | None -> false)
+  then begin
+    Decision_cache.record_hit t.dcache t.ch_nf;
+    t.last_engine <- "cache";
+    Compile.netfilter_of_verdict s.s_verdict
+  end
+  else begin
+    (* packet_ctx is the canonical integer encoding of everything the chain
+       can match on; reuse it as the cache key. *)
+    let ctx = Compile.packet_ctx pkt ~origin in
+    let args =
+      String.concat sep (List.map string_of_int (Array.to_list ctx.Pfm.ints))
+    in
+    let v =
+      match Decision_cache.find t.dcache t.ch_nf ~subject:0 ~args ~gens with
+      | Some (v, _) ->
+          t.last_engine <- "cache";
+          v
+      | None ->
+          let v =
+            match t.engine with
+            | `Ref ->
+                Compile.verdict_of_netfilter
+                  (Netfilter.walk nf Netfilter.Output pkt ~origin)
+            | `Pfm ->
+                let p =
+                  fetch t.nf_cache t.nf_stats
+                    ~same:(fun (r1, p1) (r2, p2) -> r1 == r2 && p1 = p2)
+                    ~key:(rules, policy)
+                    ~compile:(fun (rules, policy) ->
+                      Compile.netfilter ~rules ~policy)
+                in
+                run t.nf_stats p ctx
+          in
+          t.last_engine <- engine_name t;
+          let v = tally t.nf_stats v in
+          Decision_cache.add t.dcache t.ch_nf ~subject:0 ~args ~gens ~verdict:v
+            ~errno:None;
+          v
+    in
+    refill t s ~gen:gens.(0) ~sub:0 ~x:0 ~args:(pkt, origin) ~verdict:v;
+    Compile.netfilter_of_verdict v
+  end
 
 (* --- load-time policy lint --------------------------------------------- *)
 
@@ -263,3 +590,8 @@ let handle_write t contents =
   | "engine pfm" -> t.engine <- `Pfm; Ok ()
   | "engine ref" -> t.engine <- `Ref; Ok ()
   | other -> Error ("filter_stats: unknown command: " ^ other)
+
+(* --- /proc/protego/cache_stats ------------------------------------------ *)
+
+let render_cache t = Decision_cache.render t.dcache
+let handle_cache_write t contents = Decision_cache.handle_write t.dcache contents

@@ -2,18 +2,33 @@
     compiled {!Protego_filter.Pfm} programs.
 
     Each filtered hook (mount, umount, bind, netfilter output, ppp ioctl)
-    asks the dispatcher for a verdict.  Under the [`Pfm] engine (the
-    default) the dispatcher compiles the hook's policy source into a
-    bytecode program, caches it, and evaluates it; under [`Ref] it runs
-    the original list-walking decision ({!Policy_state.mount_decision}
-    and friends, {!Protego_net.Netfilter.walk}).  Both paths must agree —
+    asks the dispatcher for a verdict.  The lookup order is {e decision
+    cache -> compiled PFM -> reference engine}: a {!Decision_cache} memo
+    keyed on (hook, subject credential key, canonicalized argument tuple)
+    is consulted first; on a miss, under the [`Pfm] engine (the default)
+    the dispatcher compiles the hook's policy source into a bytecode
+    program, caches it, and evaluates it; under [`Ref] it runs the
+    original list-walking decision ({!Policy_state.mount_decision} and
+    friends, {!Protego_net.Netfilter.walk}).  All three paths must agree —
     the [`Ref] engine is kept in-tree as the differential-testing oracle.
+    The computed verdict is memoized (negative results included), stamped
+    with the generation vector of the policy sources the hook reads
+    ({!Policy_state.generation}); a policy reload bumps the written
+    source's generation and lazily invalidates exactly the stamped
+    entries.
 
     Program caches key on the {e physical identity} of the policy source
     (the rule list / bind map / ppp policy record / netfilter chain).
     Every write to the corresponding /proc/protego file installs a fresh
     value, so the next evaluation recompiles; direct field assignment
-    (as the bench ablations do) is caught the same way. *)
+    (as the bench ablations do) is caught the same way — the dispatcher
+    watches each source's physical identity and bumps its generation on
+    any unannounced change, so the decision cache is invalidated too.
+
+    A dispatcher serves one {!Policy_state.t} (as {!Lsm.install} wires
+    it); decision-cache keys do not name the state, so sharing a
+    dispatcher between states would let entries from one answer for the
+    other. *)
 
 type engine = [ `Pfm | `Ref ]
 
@@ -39,7 +54,15 @@ val create : unit -> t
 val engine : t -> engine
 val set_engine : t -> engine -> unit
 val engine_name : t -> string
-(** ["pfm"] or ["ref"] — the value audit records and /proc report. *)
+(** ["pfm"] or ["ref"] — the configured evaluation engine. *)
+
+val decision_engine_name : t -> string
+(** What served the most recent decision: ["cache"], ["pfm"] or ["ref"] —
+    the value audit records carry.  Before any decision, the configured
+    engine's name. *)
+
+val cache : t -> Decision_cache.t
+(** The decision cache in front of both engines. *)
 
 val lint_mode : t -> lint_mode
 val set_lint_mode : t -> lint_mode -> unit
@@ -58,18 +81,26 @@ val cached_program : t -> string -> Protego_filter.Pfm.program option
 (** {1 Hook decisions} *)
 
 val decide_mount :
-  t -> Policy_state.t -> source:string -> target:string -> fstype:string ->
-  flags:Protego_kernel.Ktypes.mount_flag list -> bool
+  t -> ?subject:int -> Policy_state.t -> source:string -> target:string ->
+  fstype:string -> flags:Protego_kernel.Ktypes.mount_flag list -> bool
+(** [subject] is the caller's credential key (real uid) for the cache key;
+    the mount verdict itself is subject-independent, so it defaults to 0
+    for callers without task context (bench, fuzz). *)
 
 val decide_umount :
   t -> Policy_state.t -> target:string -> mounted_by:int -> ruid:int -> bool
+(** [ruid] doubles as the cache subject. *)
 
 val decide_bind :
   t -> Policy_state.t -> port:int -> proto:Protego_policy.Bindconf.proto ->
   exe:string -> uid:int -> bool
+(** [uid] doubles as the cache subject. *)
 
 val decide_ppp_ioctl :
-  t -> Policy_state.t -> device:string -> opt:Protego_net.Ppp.option_ -> bool
+  t -> ?subject:int -> Policy_state.t -> device:string ->
+  opt:Protego_net.Ppp.option_ -> bool
+(** The cached argument tuple canonicalizes [opt] to the one bit the
+    decision reads: whether the option is intrinsically safe. *)
 
 val decide_nf_output :
   t -> Protego_net.Netfilter.t -> Protego_net.Packet.t ->
@@ -118,3 +149,12 @@ val render : t -> string
 
 val handle_write : t -> string -> (unit, string) result
 (** ["reset"], ["engine pfm"], ["engine ref"]; anything else errors. *)
+
+(** {1 /proc/protego/cache_stats} *)
+
+val render_cache : t -> string
+(** {!Decision_cache.render} of the dispatcher's cache; hook lines come
+    out in the {!stats} order. *)
+
+val handle_cache_write : t -> string -> (unit, string) result
+(** ["enable on"], ["enable off"], ["reset"]; anything else errors. *)

@@ -22,6 +22,24 @@ type account_group = {
   ag_password : string option;
 }
 
+type source = Mounts | Binds | Delegation | Accounts | Ppp
+
+let source_count = 5
+
+let source_index = function
+  | Mounts -> 0
+  | Binds -> 1
+  | Delegation -> 2
+  | Accounts -> 3
+  | Ppp -> 4
+
+let source_name = function
+  | Mounts -> "mounts"
+  | Binds -> "binds"
+  | Delegation -> "delegation"
+  | Accounts -> "accounts"
+  | Ppp -> "ppp"
+
 type t = {
   mutable mounts : mount_rule list;
   mutable binds : Protego_policy.Bindconf.entry list;
@@ -31,6 +49,7 @@ type t = {
   mutable ppp : Protego_policy.Pppopts.t;
   mutable reauth_read_prefixes : string list;
   mutable file_acl : (string * string list) list;
+  generations : int array;
 }
 
 let create () =
@@ -38,7 +57,14 @@ let create () =
     users = []; groups = []; ppp = { Protego_policy.Pppopts.directives = [] };
     reauth_read_prefixes = [ "/etc/shadows/" ];
     file_acl =
-      [ ("/etc/ssh/ssh_host_rsa_key", [ "/usr/lib/openssh/ssh-keysign" ]) ] }
+      [ ("/etc/ssh/ssh_host_rsa_key", [ "/usr/lib/openssh/ssh-keysign" ]) ];
+    generations = Array.make source_count 0 }
+
+let generation t s = t.generations.(source_index s)
+
+let bump_generation t s =
+  let i = source_index s in
+  t.generations.(i) <- t.generations.(i) + 1
 
 (* --- name service ---------------------------------------------------- *)
 

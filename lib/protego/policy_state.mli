@@ -51,6 +51,9 @@ type account_group = {
   ag_password : string option;  (** hash for newgrp password-protected groups *)
 }
 
+type source = Mounts | Binds | Delegation | Accounts | Ppp
+(** The /proc-configurable policy sources, for generation accounting. *)
+
 type t = {
   mutable mounts : mount_rule list;
   mutable binds : Protego_policy.Bindconf.entry list;
@@ -62,11 +65,31 @@ type t = {
       (** reading files under these paths requires recent authentication *)
   mutable file_acl : (string * string list) list;
       (** sensitive file -> binaries allowed to open it (ssh-keysign rule) *)
+  generations : int array;
+      (** per-source generation counters, indexed by {!source} — use
+          {!generation} / {!bump_generation} rather than the raw array *)
 }
 
 val create : unit -> t
 (** Empty policy plus the hard-coded defaults: reauthentication on
-    [/etc/shadows/], host-key ACL for [/usr/lib/openssh/ssh-keysign]. *)
+    [/etc/shadows/], host-key ACL for [/usr/lib/openssh/ssh-keysign].
+    All generations start at 0. *)
+
+(** {1 Generations}
+
+    Every /proc/protego policy write bumps the written source's generation
+    counter.  The decision cache ({!Decision_cache}) stamps each memoized
+    verdict with the generation vector of the sources its hook reads, so a
+    reload lazily invalidates exactly the affected entries — no global
+    flush.  The dispatcher additionally bumps a source's generation when it
+    observes the source's physical identity change without a /proc write
+    (the bench and fuzz harnesses assign fields directly). *)
+
+val source_name : source -> string
+(** ["mounts"], ["binds"], ["delegation"], ["accounts"], ["ppp"]. *)
+
+val generation : t -> source -> int
+val bump_generation : t -> source -> unit
 
 (** {1 Name service} *)
 

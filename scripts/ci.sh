@@ -35,4 +35,19 @@ case "$out" in
     *) echo "CI: filter bench did not report filter_stats" >&2; exit 1 ;;
 esac
 
+echo "==> bench decision-cache smoke test"
+out=$(./_build/default/bench/main.exe cache)
+echo "$out"
+case "$out" in
+    *"warm hit vs compiled pfm"*) ;;
+    *) echo "CI: cache bench did not report the warm/pfm comparison" >&2; exit 1 ;;
+esac
+case "$out" in
+    *"cache on "*) ;;
+    *) echo "CI: cache bench did not render cache_stats" >&2; exit 1 ;;
+esac
+
+echo "==> decision-cache interleaving harness"
+./_build/default/test/test_main.exe test cache
+
 echo "CI: all checks passed"

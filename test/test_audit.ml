@@ -122,13 +122,22 @@ let test_engine_metadata () =
     | r :: _ -> r
     | [] -> Alcotest.fail "no mount record"
   in
-  (* Filtered hooks record the engine that evaluated them; the default
-     engine is the compiled filter machine. *)
+  (* Filtered hooks record what served them; the first decision misses
+     the cache and runs the default engine, the compiled filter machine. *)
   ignore
     (Syscall.mount m alice ~source:"/dev/sda2" ~target:"/etc" ~fstype:"ext4"
        ~flags:[]);
   check "pfm engine recorded" true
     ((last_mount ()).Audit.au_engine = Some "pfm");
+  (* Repeating the identical syscall is served by the decision cache. *)
+  ignore
+    (Syscall.mount m alice ~source:"/dev/sda2" ~target:"/etc" ~fstype:"ext4"
+       ~flags:[]);
+  check "cache engine recorded" true
+    ((last_mount ()).Audit.au_engine = Some "cache");
+  (* With the cache bypassed, the selected engine shows through again. *)
+  Syntax.expect_ok "disable cache"
+    (Syscall.write_file m root "/proc/protego/cache_stats" "enable off\n");
   Syntax.expect_ok "switch engine"
     (Syscall.write_file m root "/proc/protego/filter_stats" "engine ref\n");
   ignore
@@ -153,6 +162,7 @@ let test_engine_metadata () =
     go 0
   in
   check "engine=pfm rendered" true (has "engine=pfm");
+  check "engine=cache rendered" true (has "engine=cache");
   check "engine=ref rendered" true (has "engine=ref")
 
 let test_ring_bounded () =

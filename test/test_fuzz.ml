@@ -469,6 +469,129 @@ let prop_absint_sound_bind =
         queries
       && counters_within_reachability prog s)
 
+(* --- decision cache: cached == engine == reference under reloads --------
+   10k random decisions per hook, driven through the dispatcher with the
+   cache enabled, with a policy reload every ~100 decisions.  At every
+   step the (possibly cached) answer must equal a fresh engine evaluation
+   with the cache bypassed AND the reference oracle — so neither the memo
+   table nor the front slots can ever serve a verdict the live policy
+   would not produce.  Deterministic: a fixed Random.State drives the
+   QCheck generators directly. *)
+
+module PD = Protego_core.Pfm_dispatch
+module DC = Protego_core.Decision_cache
+
+let decisions_per_hook = 10_000
+let reload_every = 100
+
+let cache_differential ~name ~state ~reload ~query ~decide ~oracle () =
+  let rand = Random.State.make [| 0xCAC4ED; Hashtbl.hash name |] in
+  let gen1 g = QCheck2.Gen.generate1 ~rand g in
+  let st = state () in
+  let disp = PD.create () in
+  let dc = PD.cache disp in
+  reload gen1 st;
+  for i = 1 to decisions_per_hook do
+    if i mod reload_every = 0 then reload gen1 st;
+    let q = query gen1 in
+    let cached = decide disp st q in
+    DC.set_enabled dc false;
+    let engine = decide disp st q in
+    DC.set_enabled dc true;
+    let expect = oracle st q in
+    if cached <> expect then
+      Alcotest.failf "%s: step %d: cached verdict differs from the oracle" name
+        i;
+    if engine <> expect then
+      Alcotest.failf "%s: step %d: engine verdict differs from the oracle" name
+        i
+  done
+
+let subject_gen = QCheck2.Gen.oneofl [ 0; 1000; 1001 ]
+
+let mount_policy_gen = QCheck2.Gen.(list_size (int_bound 12) mount_rule_gen)
+
+let mount_query_gen =
+  QCheck2.Gen.(
+    pair
+      (pair (oneofl sources) (oneofl targets))
+      (pair (oneofl fstypes) (pair flags_gen subject_gen)))
+
+let cache_diff_mount =
+  cache_differential ~name:"mount" ~state:PS.create
+    ~reload:(fun gen1 st -> st.PS.mounts <- gen1 mount_policy_gen)
+    ~query:(fun gen1 -> gen1 mount_query_gen)
+    ~decide:(fun disp st ((source, target), (fstype, (flags, subject))) ->
+      PD.decide_mount disp ~subject st ~source ~target ~fstype ~flags)
+    ~oracle:(fun st ((source, target), (fstype, (flags, _))) ->
+      PS.mount_decision st ~source ~target ~fstype ~flags)
+
+let umount_query_gen =
+  QCheck2.Gen.(
+    triple (oneofl targets) (oneofl [ 0; 1000; 1001 ]) (oneofl [ 0; 1000; 1001 ]))
+
+let cache_diff_umount =
+  cache_differential ~name:"umount" ~state:PS.create
+    ~reload:(fun gen1 st -> st.PS.mounts <- gen1 mount_policy_gen)
+    ~query:(fun gen1 -> gen1 umount_query_gen)
+    ~decide:(fun disp st (target, mounted_by, ruid) ->
+      PD.decide_umount disp st ~target ~mounted_by ~ruid)
+    ~oracle:(fun st (target, mounted_by, ruid) ->
+      PS.umount_decision st ~target ~mounted_by ~ruid)
+
+let bind_query_gen =
+  QCheck2.Gen.(
+    pair
+      (pair (oneofl (1000 :: bind_ports)) bool)
+      (pair (oneofl bind_exes) (oneofl bind_uids)))
+
+let cache_diff_bind =
+  cache_differential ~name:"bind" ~state:PS.create
+    ~reload:(fun gen1 st ->
+      st.PS.binds <- gen1 QCheck2.Gen.(list_size (int_bound 10) bind_entry_gen))
+    ~query:(fun gen1 -> gen1 bind_query_gen)
+    ~decide:(fun disp st ((port, tcp), (exe, uid)) ->
+      let proto = if tcp then Bindconf.Tcp else Bindconf.Udp in
+      PD.decide_bind disp st ~port ~proto ~exe ~uid)
+    ~oracle:(fun st ((port, tcp), (exe, uid)) ->
+      let proto = if tcp then Bindconf.Tcp else Bindconf.Udp in
+      PS.bind_allowed st ~port ~proto ~exe ~uid)
+
+let ppp_query_gen =
+  QCheck2.Gen.(
+    pair (pair (oneofl ("/dev/ttyS9" :: ppp_devices)) (oneofl ppp_opts))
+      subject_gen)
+
+let cache_diff_ppp =
+  cache_differential ~name:"ppp_ioctl" ~state:PS.create
+    ~reload:(fun gen1 st ->
+      st.PS.ppp <-
+        { Pppopts.directives =
+            gen1 QCheck2.Gen.(list_size (int_bound 6) ppp_directive_gen) })
+    ~query:(fun gen1 -> gen1 ppp_query_gen)
+    ~decide:(fun disp st ((device, opt), subject) ->
+      PD.decide_ppp_ioctl disp ~subject st ~device ~opt)
+    ~oracle:(fun st ((device, opt), _) ->
+      PS.ppp_ioctl_decision st ~device ~opt)
+
+let nf_chain_gen =
+  QCheck2.Gen.(
+    pair (list_size (int_bound 8) nf_rule_gen) (oneofl nf_verdicts))
+
+let cache_diff_nf =
+  cache_differential ~name:"nf_output"
+    ~state:(fun () -> Netfilter.create ())
+    ~reload:(fun gen1 nf ->
+      let rules, policy = gen1 nf_chain_gen in
+      Netfilter.flush nf Netfilter.Output;
+      Netfilter.set_policy nf Netfilter.Output policy;
+      List.iter (Netfilter.append nf Netfilter.Output) rules)
+    ~query:(fun gen1 -> gen1 nf_packet_gen)
+    ~decide:(fun disp nf (pkt, origin) ->
+      PD.decide_nf_output disp nf pkt ~origin)
+    ~oracle:(fun nf (pkt, origin) ->
+      Netfilter.walk nf Netfilter.Output pkt ~origin)
+
 let suites =
   [ ("fuzz:properties",
       List.map
@@ -484,4 +607,15 @@ let suites =
       List.map
         (QCheck_alcotest.to_alcotest ~long:false)
         [ prop_absint_sound_mount; prop_absint_sound_nf;
-          prop_absint_sound_bind ]) ]
+          prop_absint_sound_bind ]);
+    ("fuzz:cache-differential",
+      [ Alcotest.test_case "mount: cached == engine == reference" `Quick
+          cache_diff_mount;
+        Alcotest.test_case "umount: cached == engine == reference" `Quick
+          cache_diff_umount;
+        Alcotest.test_case "bind: cached == engine == reference" `Quick
+          cache_diff_bind;
+        Alcotest.test_case "ppp_ioctl: cached == engine == reference" `Quick
+          cache_diff_ppp;
+        Alcotest.test_case "nf_output: cached == engine == reference" `Quick
+          cache_diff_nf ]) ]

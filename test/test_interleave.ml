@@ -1,0 +1,124 @@
+(* Deterministic interleaving harness for the decision cache.
+
+   A scripted scheduler replays every merge order of a fixed reloader
+   script (three /proc policy writes) against a fixed decider script
+   (three probe batches).  Each probe asks the dispatcher twice — the
+   second ask is typically a cache or front-slot hit — and compares both
+   answers against the uncached reference oracle computed from the live
+   policy state at that instant.  If any reload left a stale verdict
+   servable, some interleaving puts a probe right after it and the oracle
+   comparison fails.  With 3 reload and 3 probe steps this is C(6,3) = 20
+   schedules, each on a fresh image. *)
+
+open Protego_base
+open Protego_kernel
+open Ktypes
+module Image = Protego_dist.Image
+module PD = Protego_core.Pfm_dispatch
+module PS = Protego_core.Policy_state
+module Bindconf = Protego_policy.Bindconf
+
+let check = Alcotest.(check bool)
+
+(* All merge orders preserving the relative order within each script. *)
+let rec interleavings xs ys =
+  match (xs, ys) with
+  | [], rest | rest, [] -> [ rest ]
+  | x :: xs', y :: ys' ->
+      List.map (fun r -> x :: r) (interleavings xs' ys)
+      @ List.map (fun r -> y :: r) (interleavings xs ys')
+
+type step = Reload of string * string * string  (* label, /proc path, contents *)
+          | Probe
+
+let whitelist = "/proc/protego/mount_whitelist"
+let bind_map = "/proc/protego/bind_map"
+
+(* The initial policy: cdrom mountable with no flag requirement, port 777
+   granted to exim over tcp. *)
+let w1 = "allow /dev/cdrom /media/cdrom iso9660 - users\n"
+let b1 = "777 tcp /usr/sbin/exim4 0\n"
+
+(* The reloader script.  Each write flips a verdict the decider probes:
+   R1 adds a flag requirement (bare mount flips allow -> deny), R2 moves
+   the port grant tcp -> udp, R3 drops the cdrom rule entirely. *)
+let reloader =
+  [ Reload ("R1", whitelist,
+      "allow /dev/cdrom /media/cdrom iso9660 ro,nosuid,nodev users\n");
+    Reload ("R2", bind_map, "777 udp /usr/sbin/exim4 0\n");
+    Reload ("R3", whitelist, "allow /dev/sdb9 /mnt/usb vfat - users\n") ]
+
+let decider = [ Probe; Probe; Probe ]
+
+let mount_probes =
+  [ ("bare", []); ("full", [ Mf_readonly; Mf_nosuid; Mf_nodev ]) ]
+
+let bind_probes = [ ("tcp", Bindconf.Tcp); ("udp", Bindconf.Udp) ]
+
+let probe ~schedule ~at st disp =
+  let where what = Printf.sprintf "%s step %d %s" schedule at what in
+  List.iter
+    (fun (label, flags) ->
+      let oracle =
+        PS.mount_decision st ~source:"/dev/cdrom" ~target:"/media/cdrom"
+          ~fstype:"iso9660" ~flags
+      in
+      let ask () =
+        PD.decide_mount disp ~subject:1000 st ~source:"/dev/cdrom"
+          ~target:"/media/cdrom" ~fstype:"iso9660" ~flags
+      in
+      check (where ("mount " ^ label)) oracle (ask ());
+      (* The repeat is served from memo state when warm; it must still
+         agree with the oracle. *)
+      check (where ("mount " ^ label ^ " repeat")) oracle (ask ()))
+    mount_probes;
+  List.iter
+    (fun (label, proto) ->
+      let oracle =
+        PS.bind_allowed st ~port:777 ~proto ~exe:"/usr/sbin/exim4" ~uid:0
+      in
+      let ask () =
+        PD.decide_bind disp st ~port:777 ~proto ~exe:"/usr/sbin/exim4" ~uid:0
+      in
+      check (where ("bind " ^ label)) oracle (ask ());
+      check (where ("bind " ^ label ^ " repeat")) oracle (ask ()))
+    bind_probes
+
+let schedule_name steps =
+  String.concat ""
+    (List.map (function Reload (l, _, _) -> l | Probe -> "D") steps)
+
+let run_schedule steps =
+  let img = Image.build Image.Protego in
+  let m = img.Image.machine in
+  img.Image.machine.password_source <- (fun _ -> None);
+  let root = Image.login img "root" in
+  let st, disp =
+    match img.Image.protego with
+    | Some lsm -> (Protego_core.Lsm.state lsm, Protego_core.Lsm.dispatch lsm)
+    | None -> Alcotest.fail "Protego image has no LSM"
+  in
+  Syntax.expect_ok "seed whitelist" (Syscall.write_file m root whitelist w1);
+  Syntax.expect_ok "seed bind map" (Syscall.write_file m root bind_map b1);
+  let schedule = schedule_name steps in
+  List.iteri
+    (fun at step ->
+      match step with
+      | Reload (label, path, contents) ->
+          Syntax.expect_ok
+            (Printf.sprintf "%s step %d %s" schedule at label)
+            (Syscall.write_file m root path contents)
+      | Probe -> probe ~schedule ~at st disp)
+    steps;
+  (* Once the dust settles every schedule must agree on the final policy. *)
+  probe ~schedule ~at:(List.length steps) st disp
+
+let test_all_interleavings () =
+  let schedules = interleavings reloader decider in
+  Alcotest.(check int) "C(6,3) schedules" 20 (List.length schedules);
+  List.iter run_schedule schedules
+
+let suites =
+  [ ("cache:interleave",
+      [ Alcotest.test_case "reloads vs decisions, all orders" `Quick
+          test_all_interleavings ]) ]

@@ -14,4 +14,5 @@ let () =
    @ Test_hardening.suites @ Test_audit.suites @ Test_filter.suites
    @ Test_polkit.suites
    @ Test_analysis.suites @ Test_exploits.suites
-   @ Test_functional.suites @ Test_study.suites @ Test_fuzz.suites)
+   @ Test_functional.suites @ Test_study.suites @ Test_fuzz.suites
+   @ Test_cache.suites @ Test_interleave.suites)
