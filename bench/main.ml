@@ -14,6 +14,16 @@ module Image = Protego_dist.Image
 let section title =
   Printf.printf "\n================ %s ================\n%!" title
 
+(* Setup failures (a missing LSM, a refused mount during warm-up) are
+   environment problems, not bugs worth a backtrace: report and exit
+   nonzero so CI logs show the reason, not an uncaught exception. *)
+let die fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Printf.eprintf "protego-bench: %s\n%!" msg;
+      exit 1)
+    fmt
+
 (* --- Table 5 ------------------------------------------------------------ *)
 
 let fmt_ns ns =
@@ -211,8 +221,7 @@ let run_ablation () =
         ~flags:Protego_kernel.Ktypes.[ Mf_readonly; Mf_nosuid; Mf_nodev ]
     with
     | Ok () -> ignore (Protego_kernel.Syscall.umount m alice ~target:"/media/cdrom")
-    | Error e ->
-        failwith ("ablation mount failed: " ^ Protego_base.Errno.to_string e)
+    | Error e -> die "ablation mount failed: %s" (Protego_base.Errno.to_string e)
   in
   let rows =
     List.map
@@ -251,7 +260,7 @@ let run_ablation () =
         Protego_kernel.Ktypes.Sock_dgram 17
     with
     | Ok fd -> fd
-    | Error e -> failwith ("ablation socket: " ^ Protego_base.Errno.to_string e)
+    | Error e -> die "ablation socket: %s" (Protego_base.Errno.to_string e)
   in
   let send_cycle () =
     ignore
@@ -288,7 +297,7 @@ let run_filter () =
   let lsm =
     match protego.Image.protego with
     | Some l -> l
-    | None -> failwith "filter bench: Protego image has no LSM"
+    | None -> die "filter bench: Protego image has no LSM"
   in
   let st = Protego_core.Lsm.state lsm in
   let disp = Protego_core.Lsm.dispatch lsm in
@@ -356,7 +365,7 @@ let run_filter () =
     | Ok () ->
         ignore (Protego_kernel.Syscall.umount m alice ~target:"/media/cdrom")
     | Error e ->
-        failwith ("filter bench mount failed: " ^ Protego_base.Errno.to_string e)
+        die "filter bench mount failed: %s" (Protego_base.Errno.to_string e)
   in
   let measure name f =
     PD.set_engine disp `Pfm;
@@ -411,7 +420,7 @@ let run_cache () =
   let lsm =
     match protego.Image.protego with
     | Some l -> l
-    | None -> failwith "cache bench: Protego image has no LSM"
+    | None -> die "cache bench: Protego image has no LSM"
   in
   let st = Protego_core.Lsm.state lsm in
   let disp = Protego_core.Lsm.dispatch lsm in
@@ -569,6 +578,190 @@ let run_all () =
   run_filter ();
   run_table1 ~max_overhead_pct:max_oh ()
 
+(* --- machine-readable report (--json) ------------------------------------ *)
+
+(* The CI-facing subset of the suite: the filter, cache and lint
+   scenarios re-measured on the same adversarial policies as their prose
+   counterparts, plus the per-(hook, engine) latency histograms the
+   tracer collects once the bench installs a real nanosecond clock (the
+   only place one exists; see Protego_core.Trace).  Written as
+   Bench_report schema version 1 — bin/bench_gate.exe validates it and
+   gates regressions against bench/baseline.json. *)
+let run_json ~out =
+  let module PD = Protego_core.Pfm_dispatch in
+  let module PS = Protego_core.Policy_state in
+  let module DC = Protego_core.Decision_cache in
+  let module Trace = Protego_core.Trace in
+  let module NF = Protego_net.Netfilter in
+  let module BR = Study.Bench_report in
+  let protego = Harness.prepared_image Image.Protego in
+  let lsm =
+    match protego.Image.protego with
+    | Some l -> l
+    | None -> die "json bench: Protego image has no LSM"
+  in
+  let st = Protego_core.Lsm.state lsm in
+  let disp = Protego_core.Lsm.dispatch lsm in
+  let cache = PD.cache disp in
+  let m = protego.Image.machine in
+  (* The same adversarial policies as run_filter: matching entry last. *)
+  let filler i =
+    { PS.mr_source = Printf.sprintf "/dev/fake%d" i;
+      mr_target = Printf.sprintf "/media/fake%d" i;
+      mr_fstype = "ext4";
+      mr_flags = [];
+      mr_mode = `Users }
+  in
+  st.PS.mounts <-
+    List.init 128 filler
+    @ [ { PS.mr_source = "/dev/cdrom"; mr_target = "/media/cdrom";
+          mr_fstype = "iso9660";
+          mr_flags = [ Protego_kernel.Ktypes.Mf_nosuid ];
+          mr_mode = `User } ];
+  st.PS.binds <-
+    List.init 512 (fun i ->
+        { Protego_policy.Bindconf.port = 200 + i;
+          proto = Protego_policy.Bindconf.Tcp;
+          exe = "/usr/sbin/exim4";
+          owner = 0 });
+  let nf = m.Protego_kernel.Ktypes.netfilter in
+  let saved = NF.rules nf NF.Output in
+  NF.flush nf NF.Output;
+  for i = 1 to 128 do
+    NF.append nf NF.Output
+      { NF.matches =
+          [ NF.Dst_port { lo = 40000 + i; hi = 40000 + i };
+            NF.Proto Protego_net.Packet.Tcp ];
+        target = NF.Accept;
+        comment = "filler" }
+  done;
+  List.iter (NF.append nf NF.Output) saved;
+  let flags = Protego_kernel.Ktypes.[ Mf_readonly; Mf_nosuid; Mf_nodev ] in
+  let pkt =
+    { Protego_net.Packet.src = Protego_net.Ipaddr.v 10 0 0 1;
+      dst = Protego_net.Ipaddr.v 10 0 0 7;
+      ttl = 64;
+      transport =
+        Protego_net.Packet.Udp_dgram
+          { src_port = 5353; dst_port = 7; payload = "x" } }
+  in
+  let decide_mount () =
+    ignore
+      (PD.decide_mount disp st ~source:"/dev/cdrom" ~target:"/media/cdrom"
+         ~fstype:"iso9660" ~flags)
+  in
+  let decide_bind () =
+    ignore
+      (PD.decide_bind disp st ~port:711 ~proto:Protego_policy.Bindconf.Tcp
+         ~exe:"/usr/sbin/exim4" ~uid:0)
+  in
+  let decide_nf () =
+    ignore
+      (PD.decide_nf_output disp nf pkt ~origin:Protego_net.Packet.Kernel_stack)
+  in
+  (* Engine costs, cache bypassed. *)
+  DC.set_enabled cache false;
+  let engine_pair name f =
+    PD.set_engine disp `Pfm;
+    for _ = 1 to 64 do f () done;
+    let pfm_ns = Harness.measure_ns (name ^ ":pfm") f in
+    PD.set_engine disp `Ref;
+    for _ = 1 to 64 do f () done;
+    let ref_ns = Harness.measure_ns (name ^ ":ref") f in
+    PD.set_engine disp `Pfm;
+    (ref_ns, pfm_ns)
+  in
+  let filter_scenario name f =
+    let ref_ns, pfm_ns = engine_pair name f in
+    ( pfm_ns,
+      { BR.sc_name = "filter:" ^ name;
+        sc_metrics =
+          [ ("ref_ns", ref_ns); ("pfm_ns", pfm_ns);
+            ("speedup", ref_ns /. pfm_ns) ] } )
+  in
+  let mount_pfm_ns, filter_mount = filter_scenario "mount" decide_mount in
+  let _, filter_bind = filter_scenario "bind" decide_bind in
+  let _, filter_nf = filter_scenario "nf_output" decide_nf in
+  (* Cache cold-miss vs warm-hit on the mount decision. *)
+  DC.set_enabled cache true;
+  decide_mount ();
+  let cold_ns =
+    Harness.measure_ns "json:cache:cold" (fun () ->
+        PS.bump_generation st PS.Mounts;
+        decide_mount ())
+  in
+  decide_mount ();
+  let warm_ns = Harness.measure_ns "json:cache:warm" decide_mount in
+  let cache_scenario =
+    { BR.sc_name = "cache:mount";
+      sc_metrics =
+        [ ("cold_ns", cold_ns); ("warm_ns", warm_ns);
+          ("pfm_ns", mount_pfm_ns); ("warm_vs_pfm", mount_pfm_ns /. warm_ns) ]
+    }
+  in
+  (* Load-time lint gate cost on the loaded policy. *)
+  let lint_ns =
+    Harness.measure_ns "json:lint" (fun () ->
+        ignore (Protego_core.Lsm.state lsm |> PD.lint_report))
+  in
+  let lint_scenario =
+    { BR.sc_name = "lint:loaded-policy"; sc_metrics = [ ("lint_ns", lint_ns) ] }
+  in
+  (* Latency histograms: install the real clock (arming the tracer) and
+     drive each (hook, engine) pair the report covers. *)
+  Trace.set_clock (PD.trace disp) (fun () ->
+      Int64.to_int (Monotonic_clock.now ()));
+  let reps = 4096 in
+  PD.set_engine disp `Pfm;
+  decide_mount ();
+  for _ = 1 to reps do decide_mount (); decide_bind (); decide_nf () done;
+  DC.set_enabled cache false;
+  for _ = 1 to reps / 4 do decide_mount (); decide_bind (); decide_nf () done;
+  PD.set_engine disp `Ref;
+  for _ = 1 to reps / 8 do decide_mount (); decide_bind (); decide_nf () done;
+  PD.set_engine disp `Pfm;
+  DC.set_enabled cache true;
+  let latency =
+    List.filter_map
+      (fun k ->
+        if k.Trace.k_count = 0 then None
+        else
+          Some
+            { BR.lt_hook = k.Trace.k_hook;
+              lt_engine = k.Trace.k_engine;
+              lt_count = k.Trace.k_count;
+              lt_p50 = Trace.percentile k ~pct:50;
+              lt_p90 = Trace.percentile k ~pct:90;
+              lt_p99 = Trace.percentile k ~pct:99;
+              lt_max = k.Trace.k_max })
+      (Trace.keys (PD.trace disp))
+  in
+  let lookups = DC.hits cache + DC.misses cache in
+  let report =
+    { BR.scenarios =
+        [ filter_mount; filter_bind; filter_nf; cache_scenario; lint_scenario ];
+      latency;
+      cache =
+        { BR.cs_hits = DC.hits cache;
+          cs_misses = DC.misses cache;
+          cs_hit_ratio =
+            (if lookups = 0 then 0.0
+             else float_of_int (DC.hits cache) /. float_of_int lookups);
+          cs_stale = DC.stale_evictions cache;
+          cs_capacity = DC.capacity_evictions cache } }
+  in
+  (match BR.validate report with
+  | Ok () -> ()
+  | Error problems ->
+      die "generated report fails validation:\n  %s"
+        (String.concat "\n  " problems));
+  Out_channel.with_open_text out (fun oc ->
+      Out_channel.output_string oc (Study.Json.to_string (BR.to_json report));
+      Out_channel.output_char oc '\n');
+  Printf.printf "wrote %s (%d scenarios, %d latency series)\n%!" out
+    (List.length report.BR.scenarios)
+    (List.length latency)
+
 (* --- cmdliner ------------------------------------------------------------ *)
 
 open Cmdliner
@@ -593,7 +786,25 @@ let cmds =
     simple "lint" "Policy-lint analysis cost (extension)" run_lint;
     simple "all" "Everything, in paper order" run_all ]
 
+let json_flag =
+  Arg.(value & flag
+       & info [ "json" ]
+           ~doc:"Emit the machine-readable bench report instead of the prose \
+                 tables (Bench_report schema; see README)." )
+
+let out_arg =
+  Arg.(value
+       & opt string "BENCH_protego.json"
+       & info [ "o"; "out" ] ~docv:"FILE"
+           ~doc:"Where $(b,--json) writes the report.")
+
+let run_default json out = if json then run_json ~out else run_all ()
+
 let () =
-  let default = Term.(const run_all $ const ()) in
+  let default = Term.(const run_default $ json_flag $ out_arg) in
   let info = Cmd.info "protego-bench" ~doc:"Protego reproduction experiments" in
-  exit (Cmd.eval (Cmd.group ~default info cmds))
+  exit
+    (try Cmd.eval (Cmd.group ~default info cmds) with
+     | Failure msg ->
+         Printf.eprintf "protego-bench: %s\n%!" msg;
+         1)

@@ -1,0 +1,75 @@
+(* bench_gate: validate a BENCH_protego.json report and gate performance
+   regressions against a committed baseline.
+
+   CI runs this instead of grepping bench stdout: the report is parsed as
+   Bench_report schema 1, structurally validated (required keys, sane
+   non-zero rates), and — when a baseline is given — every *_ns metric is
+   compared with a generous tolerance, so only a real slowdown (default
+   >3x) fails the build while runner noise cannot.
+
+   Exit status: 0 clean, 1 validation/regression failure, 2 usage or I/O
+   error (cmdliner's convention for bad command lines is also ~2). *)
+
+module BR = Protego_study.Bench_report
+
+let gate report baseline tolerance =
+  match BR.load_file report with
+  | Error msg ->
+      Printf.eprintf "bench-gate: cannot load report: %s\n%!" msg;
+      exit 2
+  | Ok current -> (
+      (match BR.validate current with
+      | Ok () ->
+          Printf.printf "bench-gate: %s: structure ok (%d scenarios, %d \
+                         latency series)\n%!"
+            report
+            (List.length current.BR.scenarios)
+            (List.length current.BR.latency)
+      | Error problems ->
+          Printf.eprintf "bench-gate: %s: validation failed:\n%!" report;
+          List.iter (Printf.eprintf "  %s\n%!") problems;
+          exit 1);
+      match baseline with
+      | None -> ()
+      | Some path -> (
+          match BR.load_file path with
+          | Error msg ->
+              Printf.eprintf "bench-gate: cannot load baseline: %s\n%!" msg;
+              exit 2
+          | Ok base -> (
+              match BR.compare_baseline ~current ~baseline:base ~tolerance with
+              | Ok () ->
+                  Printf.printf
+                    "bench-gate: no regression beyond %gx vs %s\n%!" tolerance
+                    path
+              | Error problems ->
+                  Printf.eprintf "bench-gate: regression gate failed:\n%!";
+                  List.iter (Printf.eprintf "  %s\n%!") problems;
+                  exit 1)))
+
+open Cmdliner
+
+let report_arg =
+  Arg.(required
+       & pos 0 (some file) None
+       & info [] ~docv:"REPORT" ~doc:"The BENCH_protego.json to check.")
+
+let baseline_arg =
+  Arg.(value
+       & opt (some file) None
+       & info [ "baseline" ] ~docv:"FILE"
+           ~doc:"Baseline report to gate $(i,*_ns) metrics against.")
+
+let tolerance_arg =
+  Arg.(value
+       & opt float 3.0
+       & info [ "tolerance" ] ~docv:"X"
+           ~doc:"Fail only when a metric exceeds X times its baseline.")
+
+let () =
+  let term = Term.(const gate $ report_arg $ baseline_arg $ tolerance_arg) in
+  let info =
+    Cmd.info "bench-gate"
+      ~doc:"Validate a Protego bench report and gate regressions"
+  in
+  exit (Cmd.eval (Cmd.v info term))

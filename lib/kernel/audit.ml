@@ -6,16 +6,17 @@ type record = Ktypes.audit_record = {
   au_obj : string;
   au_allowed : bool;
   au_engine : string option;
+  au_span : int option;
 }
 
 let capacity = 1024
 
-let emit ?engine m (task : Ktypes.task) ~op ~obj ~allowed =
+let emit ?engine ?span m (task : Ktypes.task) ~op ~obj ~allowed =
   let q = m.Ktypes.audit in
   Queue.add
     { au_time = m.Ktypes.now; au_pid = task.Ktypes.tpid;
       au_uid = task.Ktypes.cred.Ktypes.ruid; au_op = op; au_obj = obj;
-      au_allowed = allowed; au_engine = engine }
+      au_allowed = allowed; au_engine = engine; au_span = span }
     q;
   if Queue.length q > capacity then ignore (Queue.pop q)
 
@@ -31,8 +32,12 @@ let render m =
            (if r.au_allowed then "GRANT" else "DENIAL")
            r.au_time r.au_pid r.au_uid r.au_op r.au_obj
            (if r.au_allowed then "success" else "failed")
-           (match r.au_engine with
-            | Some e -> " engine=" ^ e
+           ((match r.au_engine with
+             | Some e -> " engine=" ^ e
+             | None -> "")
+            ^
+            match r.au_span with
+            | Some id -> " span=" ^ string_of_int id
             | None -> ""))
   |> String.concat "\n"
   |> fun s -> if s = "" then "" else s ^ "\n"

@@ -14,14 +14,20 @@ type record = Ktypes.audit_record = {
   au_engine : string option;
       (** what served the decision for filter-machine-backed hooks
           (["cache"], ["pfm"] or ["ref"]); [None] for unfiltered decisions *)
+  au_span : int option;
+      (** trace span id of the decision when span recording was on
+          (see [Protego.Trace]); correlates the record with
+          /proc/protego/trace *)
 }
 
 val emit :
   ?engine:string ->
+  ?span:int ->
   Ktypes.machine -> Ktypes.task -> op:string -> obj:string -> allowed:bool ->
   unit
 (** [engine] tags the record with the evaluating engine; it appears as
-    [engine=<e>] at the end of the rendered line. *)
+    [engine=<e>] at the end of the rendered line.  [span] is the trace
+    span id of the decision and renders as [span=<n>]. *)
 
 val records : Ktypes.machine -> record list
 (** Oldest first. *)

@@ -43,6 +43,8 @@ type audit_record = {
   au_allowed : bool;
   au_engine : string option;
       (* evaluating engine for filtered hooks: "pfm" or "ref" *)
+  au_span : int option;
+      (* trace span id of the decision, when spans were being recorded *)
 }
 
 (* Devices under /dev.  Block devices may hold removable media (a CD-ROM or

@@ -72,8 +72,8 @@ let sb_mount disp st m task ~source ~target ~fstype ~flags =
         Pfm_dispatch.decide_mount disp ~subject:task.cred.ruid st ~source
           ~target ~fstype ~flags
       in
-      Audit.emit ~engine:(Pfm_dispatch.decision_engine_name disp) m task
-        ~op:"mount" ~obj ~allowed;
+      Audit.emit ~engine:(Pfm_dispatch.decision_engine_name disp)
+        ?span:(Pfm_dispatch.last_span disp) m task ~op:"mount" ~obj ~allowed;
       if allowed then Ok () else Error Errno.EPERM
 
 let sb_umount disp st m task ~target =
@@ -88,8 +88,9 @@ let sb_umount disp st m task ~target =
             Pfm_dispatch.decide_umount disp st ~target ~mounted_by:mnt.mnt_by
               ~ruid:task.cred.ruid
           in
-          Audit.emit ~engine:(Pfm_dispatch.decision_engine_name disp) m task
-            ~op:"umount" ~obj:target ~allowed;
+          Audit.emit ~engine:(Pfm_dispatch.decision_engine_name disp)
+            ?span:(Pfm_dispatch.last_span disp) m task ~op:"umount" ~obj:target
+            ~allowed;
           if allowed then Ok () else Error Errno.EPERM)
 
 let socket_create _st _m _task _domain _stype _proto =
@@ -120,8 +121,8 @@ let socket_bind disp st m task sock _addr port =
           Pfm_dispatch.decide_bind disp st ~port ~proto ~exe:task.exe_path
             ~uid:task.cred.euid
         in
-        Audit.emit ~engine:(Pfm_dispatch.decision_engine_name disp) m task
-          ~op:"bind" ~obj ~allowed;
+        Audit.emit ~engine:(Pfm_dispatch.decision_engine_name disp)
+          ?span:(Pfm_dispatch.last_span disp) m task ~op:"bind" ~obj ~allowed;
         if allowed then Ok () else Error Errno.EACCES
 
 let names_for_delegation st task =
@@ -534,6 +535,22 @@ let install_proc_files m st disp =
     ~read:(fun _m _t -> Ok (Pfm_dispatch.render_cache disp))
     ~write:(fun m _t contents ->
       match Pfm_dispatch.handle_cache_write disp contents with
+      | Ok () -> Ok ()
+      | Error msg ->
+          log_dmesg m "protego: %s" msg;
+          Error Errno.EINVAL);
+  add "/proc/protego/trace"
+    ~read:(fun _m _t -> Ok (Pfm_dispatch.render_trace disp))
+    ~write:(fun m _t contents ->
+      match Pfm_dispatch.handle_trace_write disp contents with
+      | Ok () -> Ok ()
+      | Error msg ->
+          log_dmesg m "protego: %s" msg;
+          Error Errno.EINVAL);
+  add "/proc/protego/latency"
+    ~read:(fun _m _t -> Ok (Pfm_dispatch.render_latency disp))
+    ~write:(fun m _t contents ->
+      match Pfm_dispatch.handle_latency_write disp contents with
       | Ok () -> Ok ()
       | Error msg ->
           log_dmesg m "protego: %s" msg;

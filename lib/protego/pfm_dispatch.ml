@@ -51,6 +51,13 @@ let fresh_slot () =
   { s_epoch = -1; s_gen = 0; s_sub = 0; s_x = 0; s_args = None;
     s_verdict = Pfm.Deny }
 
+(* One latency histogram per engine that can serve a hook's decision. *)
+type engine_keys = {
+  ek_cache : Trace.key;
+  ek_pfm : Trace.key;
+  ek_ref : Trace.key;
+}
+
 type t = {
   mutable engine : engine;
   mutable lint_mode : lint_mode;
@@ -93,14 +100,36 @@ type t = {
   g_bind : int array;
   g_ppp : int array;
   g_nf : int array;
+  (* decision tracing: per-(hook, engine) latency histograms, the span
+     ring, and the span id of the most recent decision (for audit) *)
+  trace : Trace.t;
+  mutable traced : bool;
+      (* mirror of [Trace.armed trace] (kept current via [Trace.on_arm]):
+         the decision prologue reads it from this record instead of
+         chasing into the tracer *)
+  tk_mount : engine_keys;
+  tk_umount : engine_keys;
+  tk_bind : engine_keys;
+  tk_nf : engine_keys;
+  tk_ppp : engine_keys;
+  mutable last_span : int;
+      (* span id of the last decision, 0 when none: kept unboxed so the
+         untraced hot path clears it with a plain store, not caml_modify *)
 }
 
 let fresh_stats () =
   { evals = 0; allow = 0; deny = 0; reject = 0; invalidations = 0; insns = 0 }
 
+let engine_keys tr hook =
+  { ek_cache = Trace.register tr ~hook ~engine:"cache";
+    ek_pfm = Trace.register tr ~hook ~engine:"pfm";
+    ek_ref = Trace.register tr ~hook ~engine:"ref" }
+
 let create () =
   let dcache = Decision_cache.create () in
-  { engine = `Pfm;
+  let tr = Trace.create () in
+  let t =
+    { engine = `Pfm;
     lint_mode = `Warn;
     last_engine = "pfm";
     mount_cache = { slot = None };
@@ -133,7 +162,23 @@ let create () =
     g_umount = [| 0 |];
     g_bind = [| 0 |];
     g_ppp = [| 0 |];
-    g_nf = [| 0 |] }
+    g_nf = [| 0 |];
+    trace = tr;
+    traced = false;
+    tk_mount = engine_keys tr "mount";
+    tk_umount = engine_keys tr "umount";
+    tk_bind = engine_keys tr "bind";
+    tk_nf = engine_keys tr "nf_output";
+    tk_ppp = engine_keys tr "ppp_ioctl";
+      last_span = 0 }
+  in
+  (* Clearing last_span here (not per decision) keeps the unarmed hot
+     path store-free: while armed every decision sets it in [conclude],
+     while unarmed it stays 0. *)
+  Trace.on_arm tr (fun armed ->
+      t.traced <- armed;
+      t.last_span <- 0);
+  t
 
 let engine t = t.engine
 let set_engine t e = t.engine <- e
@@ -146,6 +191,8 @@ let lint_mode_name t =
   match t.lint_mode with `Warn -> "warn" | `Enforce -> "enforce"
 
 let cache t = t.dcache
+let trace t = t.trace
+let last_span t = if t.last_span = 0 then None else Some t.last_span
 
 let hooks t =
   [ ("mount", t.mount_stats); ("umount", t.umount_stats);
@@ -252,6 +299,30 @@ let sep = "\x1f"
 let deny_errno e (v : Pfm.verdict) =
   match v with Pfm.Allow -> None | Pfm.Deny | Pfm.Reject -> Some e
 
+(* Close out a traced decision: the serving engine's histogram always sees
+   the latency; a span is recorded only when spans are on ([stages] is
+   oldest-first by then).  Callers only reach this while {!Trace.armed} —
+   the untraced path skips it entirely ([last_span] was zeroed when the
+   tracer disarmed). *)
+let conclude t ek ~t0 ~stages ~verdict ~errno ~gen =
+  let tr = t.trace in
+  let fin = Trace.now tr in
+  let k =
+    match t.last_engine with
+    | "cache" -> ek.ek_cache
+    | "ref" -> ek.ek_ref
+    | _ -> ek.ek_pfm
+  in
+  Trace.observe k ~ns:(fin - t0);
+  t.last_span <-
+    (match
+       Trace.record_span tr ~hook:k.Trace.k_hook ~engine:k.Trace.k_engine
+         ~verdict ~errno ~gen ~epoch:(Decision_cache.epoch t.dcache) ~start:t0
+         ~finish:fin ~stages
+     with
+     | Some id -> id
+     | None -> 0)
+
 (* Refill a hook's front slot after a decision was served off the slow path
    (table hit or engine run).  Skipped while the cache is disabled, so a
    bypassed decision can never be replayed after re-enabling without the
@@ -277,6 +348,7 @@ let filter_rule (r : Policy_state.mount_rule) : Compile.mount_rule =
 
 let decide_mount t ?(subject = 0) (st : Policy_state.t) ~source ~target ~fstype
     ~flags =
+  let t0 = if t.traced then Trace.now t.trace else 0 in
   let gens = mount_gens t st in
   let s = t.mount_slot in
   if
@@ -291,18 +363,30 @@ let decide_mount t ?(subject = 0) (st : Policy_state.t) ~source ~target ~fstype
   then begin
     Decision_cache.record_hit t.dcache t.ch_mount;
     t.last_engine <- "cache";
-    s.s_verdict = Pfm.Allow
+    let v = s.s_verdict in
+    if t.traced then
+      conclude t t.tk_mount ~t0
+        ~stages:
+          (if Trace.spans_enabled t.trace then [ ("slot", Trace.now t.trace - t0) ]
+           else [])
+        ~verdict:v ~errno:(deny_errno Errno.EPERM v)
+        ~gen:(Array.unsafe_get gens 0);
+    v = Pfm.Allow
   end
   else begin
+    let sp = t.traced && Trace.spans_enabled t.trace in
+    let stages = if sp then [ ("slot", Trace.now t.trace - t0) ] else [] in
     let args =
       String.concat sep
         [ source; target; fstype; string_of_int (Compile.flags_mask flags) ]
     in
-    let v =
-      match Decision_cache.find t.dcache t.ch_mount ~subject ~args ~gens with
-      | Some (v, _) ->
+    let found = Decision_cache.find t.dcache t.ch_mount ~subject ~args ~gens in
+    let stages = if sp then ("table", Trace.now t.trace - t0) :: stages else stages in
+    let v, errno, stages =
+      match found with
+      | Some (v, e) ->
           t.last_engine <- "cache";
-          v
+          (v, e, stages)
       | None ->
           let v =
             match t.engine with
@@ -321,16 +405,22 @@ let decide_mount t ?(subject = 0) (st : Policy_state.t) ~source ~target ~fstype
           in
           t.last_engine <- engine_name t;
           let v = tally t.mount_stats v in
+          let e = deny_errno Errno.EPERM v in
           Decision_cache.add t.dcache t.ch_mount ~subject ~args ~gens ~verdict:v
-            ~errno:(deny_errno Errno.EPERM v);
-          v
+            ~errno:e;
+          (v, e,
+           if sp then ("engine", Trace.now t.trace - t0) :: stages else stages)
     in
     refill t s ~gen:gens.(0) ~sub:subject ~x:0
       ~args:(source, target, fstype, flags) ~verdict:v;
+    if t.traced then
+      conclude t t.tk_mount ~t0 ~stages:(List.rev stages) ~verdict:v ~errno
+        ~gen:gens.(0);
     v = Pfm.Allow
   end
 
 let decide_umount t (st : Policy_state.t) ~target ~mounted_by ~ruid =
+  let t0 = if t.traced then Trace.now t.trace else 0 in
   let gens = umount_gens t st in
   let s = t.umount_slot in
   if
@@ -342,17 +432,29 @@ let decide_umount t (st : Policy_state.t) ~target ~mounted_by ~ruid =
   then begin
     Decision_cache.record_hit t.dcache t.ch_umount;
     t.last_engine <- "cache";
-    s.s_verdict = Pfm.Allow
+    let v = s.s_verdict in
+    if t.traced then
+      conclude t t.tk_umount ~t0
+        ~stages:
+          (if Trace.spans_enabled t.trace then [ ("slot", Trace.now t.trace - t0) ]
+           else [])
+        ~verdict:v ~errno:(deny_errno Errno.EPERM v)
+        ~gen:(Array.unsafe_get gens 0);
+    v = Pfm.Allow
   end
   else begin
+    let sp = t.traced && Trace.spans_enabled t.trace in
+    let stages = if sp then [ ("slot", Trace.now t.trace - t0) ] else [] in
     let args = target ^ sep ^ string_of_int mounted_by in
-    let v =
-      match
-        Decision_cache.find t.dcache t.ch_umount ~subject:ruid ~args ~gens
-      with
-      | Some (v, _) ->
+    let found =
+      Decision_cache.find t.dcache t.ch_umount ~subject:ruid ~args ~gens
+    in
+    let stages = if sp then ("table", Trace.now t.trace - t0) :: stages else stages in
+    let v, errno, stages =
+      match found with
+      | Some (v, e) ->
           t.last_engine <- "cache";
-          v
+          (v, e, stages)
       | None ->
           let v =
             match t.engine with
@@ -369,15 +471,21 @@ let decide_umount t (st : Policy_state.t) ~target ~mounted_by ~ruid =
           in
           t.last_engine <- engine_name t;
           let v = tally t.umount_stats v in
+          let e = deny_errno Errno.EPERM v in
           Decision_cache.add t.dcache t.ch_umount ~subject:ruid ~args ~gens
-            ~verdict:v ~errno:(deny_errno Errno.EPERM v);
-          v
+            ~verdict:v ~errno:e;
+          (v, e,
+           if sp then ("engine", Trace.now t.trace - t0) :: stages else stages)
     in
     refill t s ~gen:gens.(0) ~sub:ruid ~x:mounted_by ~args:target ~verdict:v;
+    if t.traced then
+      conclude t t.tk_umount ~t0 ~stages:(List.rev stages) ~verdict:v ~errno
+        ~gen:gens.(0);
     v = Pfm.Allow
   end
 
 let decide_bind t (st : Policy_state.t) ~port ~proto ~exe ~uid =
+  let t0 = if t.traced then Trace.now t.trace else 0 in
   let gens = bind_gens t st in
   let s = t.bind_slot in
   let x = (port * 2) + (match proto with Bindconf.Tcp -> 0 | Bindconf.Udp -> 1) in
@@ -390,17 +498,29 @@ let decide_bind t (st : Policy_state.t) ~port ~proto ~exe ~uid =
   then begin
     Decision_cache.record_hit t.dcache t.ch_bind;
     t.last_engine <- "cache";
-    s.s_verdict = Pfm.Allow
+    let v = s.s_verdict in
+    if t.traced then
+      conclude t t.tk_bind ~t0
+        ~stages:
+          (if Trace.spans_enabled t.trace then [ ("slot", Trace.now t.trace - t0) ]
+           else [])
+        ~verdict:v ~errno:(deny_errno Errno.EACCES v)
+        ~gen:(Array.unsafe_get gens 0);
+    v = Pfm.Allow
   end
   else begin
+    let sp = t.traced && Trace.spans_enabled t.trace in
+    let stages = if sp then [ ("slot", Trace.now t.trace - t0) ] else [] in
     let args =
       string_of_int port ^ sep ^ Bindconf.proto_to_string proto ^ sep ^ exe
     in
-    let v =
-      match Decision_cache.find t.dcache t.ch_bind ~subject:uid ~args ~gens with
-      | Some (v, _) ->
+    let found = Decision_cache.find t.dcache t.ch_bind ~subject:uid ~args ~gens in
+    let stages = if sp then ("table", Trace.now t.trace - t0) :: stages else stages in
+    let v, errno, stages =
+      match found with
+      | Some (v, e) ->
           t.last_engine <- "cache";
-          v
+          (v, e, stages)
       | None ->
           let v =
             match t.engine with
@@ -414,15 +534,21 @@ let decide_bind t (st : Policy_state.t) ~port ~proto ~exe ~uid =
           in
           t.last_engine <- engine_name t;
           let v = tally t.bind_stats v in
+          let e = deny_errno Errno.EACCES v in
           Decision_cache.add t.dcache t.ch_bind ~subject:uid ~args ~gens
-            ~verdict:v ~errno:(deny_errno Errno.EACCES v);
-          v
+            ~verdict:v ~errno:e;
+          (v, e,
+           if sp then ("engine", Trace.now t.trace - t0) :: stages else stages)
     in
     refill t s ~gen:gens.(0) ~sub:uid ~x ~args:exe ~verdict:v;
+    if t.traced then
+      conclude t t.tk_bind ~t0 ~stages:(List.rev stages) ~verdict:v ~errno
+        ~gen:gens.(0);
     v = Pfm.Allow
   end
 
 let decide_ppp_ioctl t ?(subject = 0) (st : Policy_state.t) ~device ~opt =
+  let t0 = if t.traced then Trace.now t.trace else 0 in
   let gens = ppp_gens t st in
   let s = t.ppp_slot in
   if
@@ -436,17 +562,29 @@ let decide_ppp_ioctl t ?(subject = 0) (st : Policy_state.t) ~device ~opt =
   then begin
     Decision_cache.record_hit t.dcache t.ch_ppp;
     t.last_engine <- "cache";
-    s.s_verdict = Pfm.Allow
+    let v = s.s_verdict in
+    if t.traced then
+      conclude t t.tk_ppp ~t0
+        ~stages:
+          (if Trace.spans_enabled t.trace then [ ("slot", Trace.now t.trace - t0) ]
+           else [])
+        ~verdict:v ~errno:(deny_errno Errno.EPERM v)
+        ~gen:(Array.unsafe_get gens 0);
+    v = Pfm.Allow
   end
   else begin
+    let sp = t.traced && Trace.spans_enabled t.trace in
+    let stages = if sp then [ ("slot", Trace.now t.trace - t0) ] else [] in
     let args =
       device ^ sep ^ (if Protego_net.Ppp.option_is_safe opt then "1" else "0")
     in
-    let v =
-      match Decision_cache.find t.dcache t.ch_ppp ~subject ~args ~gens with
-      | Some (v, _) ->
+    let found = Decision_cache.find t.dcache t.ch_ppp ~subject ~args ~gens in
+    let stages = if sp then ("table", Trace.now t.trace - t0) :: stages else stages in
+    let v, errno, stages =
+      match found with
+      | Some (v, e) ->
           t.last_engine <- "cache";
-          v
+          (v, e, stages)
       | None ->
           let v =
             match t.engine with
@@ -460,15 +598,21 @@ let decide_ppp_ioctl t ?(subject = 0) (st : Policy_state.t) ~device ~opt =
           in
           t.last_engine <- engine_name t;
           let v = tally t.ppp_stats v in
+          let e = deny_errno Errno.EPERM v in
           Decision_cache.add t.dcache t.ch_ppp ~subject ~args ~gens ~verdict:v
-            ~errno:(deny_errno Errno.EPERM v);
-          v
+            ~errno:e;
+          (v, e,
+           if sp then ("engine", Trace.now t.trace - t0) :: stages else stages)
     in
     refill t s ~gen:gens.(0) ~sub:subject ~x:0 ~args:(device, opt) ~verdict:v;
+    if t.traced then
+      conclude t t.tk_ppp ~t0 ~stages:(List.rev stages) ~verdict:v ~errno
+        ~gen:gens.(0);
     v = Pfm.Allow
   end
 
 let decide_nf_output t nf pkt ~origin =
+  let t0 = if t.traced then Trace.now t.trace else 0 in
   let rules = Netfilter.rules nf Netfilter.Output in
   let policy = Netfilter.policy nf Netfilter.Output in
   let gens = nf_gens t ~rules ~policy in
@@ -483,20 +627,31 @@ let decide_nf_output t nf pkt ~origin =
   then begin
     Decision_cache.record_hit t.dcache t.ch_nf;
     t.last_engine <- "cache";
-    Compile.netfilter_of_verdict s.s_verdict
+    let v = s.s_verdict in
+    if t.traced then
+      conclude t t.tk_nf ~t0
+        ~stages:
+          (if Trace.spans_enabled t.trace then [ ("slot", Trace.now t.trace - t0) ]
+           else [])
+        ~verdict:v ~errno:None ~gen:(Array.unsafe_get gens 0);
+    Compile.netfilter_of_verdict v
   end
   else begin
+    let sp = t.traced && Trace.spans_enabled t.trace in
+    let stages = if sp then [ ("slot", Trace.now t.trace - t0) ] else [] in
     (* packet_ctx is the canonical integer encoding of everything the chain
        can match on; reuse it as the cache key. *)
     let ctx = Compile.packet_ctx pkt ~origin in
     let args =
       String.concat sep (List.map string_of_int (Array.to_list ctx.Pfm.ints))
     in
-    let v =
-      match Decision_cache.find t.dcache t.ch_nf ~subject:0 ~args ~gens with
+    let found = Decision_cache.find t.dcache t.ch_nf ~subject:0 ~args ~gens in
+    let stages = if sp then ("table", Trace.now t.trace - t0) :: stages else stages in
+    let v, stages =
+      match found with
       | Some (v, _) ->
           t.last_engine <- "cache";
-          v
+          (v, stages)
       | None ->
           let v =
             match t.engine with
@@ -517,9 +672,12 @@ let decide_nf_output t nf pkt ~origin =
           let v = tally t.nf_stats v in
           Decision_cache.add t.dcache t.ch_nf ~subject:0 ~args ~gens ~verdict:v
             ~errno:None;
-          v
+          (v, if sp then ("engine", Trace.now t.trace - t0) :: stages else stages)
     in
     refill t s ~gen:gens.(0) ~sub:0 ~x:0 ~args:(pkt, origin) ~verdict:v;
+    if t.traced then
+      conclude t t.tk_nf ~t0 ~stages:(List.rev stages) ~verdict:v ~errno:None
+        ~gen:gens.(0);
     Compile.netfilter_of_verdict v
   end
 
@@ -595,3 +753,12 @@ let handle_write t contents =
 
 let render_cache t = Decision_cache.render t.dcache
 let handle_cache_write t contents = Decision_cache.handle_write t.dcache contents
+
+(* --- /proc/protego/trace and /proc/protego/latency ---------------------- *)
+
+let render_trace t = Trace.render_trace t.trace
+let handle_trace_write t contents = Trace.handle_trace_write t.trace contents
+let render_latency t = Trace.render_latency t.trace
+
+let handle_latency_write t contents =
+  Trace.handle_latency_write t.trace contents

@@ -64,6 +64,16 @@ val decision_engine_name : t -> string
 val cache : t -> Decision_cache.t
 (** The decision cache in front of both engines. *)
 
+val trace : t -> Trace.t
+(** The decision tracer: per-(hook, engine) latency histograms plus the
+    opt-in span ring.  Unarmed (and skipped by every decision) until a
+    clock is installed with {!Trace.set_clock} or spans are switched
+    on. *)
+
+val last_span : t -> int option
+(** Span id of the most recent decision — what its audit record carries.
+    [None] when spans were off for that decision. *)
+
 val lint_mode : t -> lint_mode
 val set_lint_mode : t -> lint_mode -> unit
 val lint_mode_name : t -> string
@@ -158,3 +168,21 @@ val render_cache : t -> string
 
 val handle_cache_write : t -> string -> (unit, string) result
 (** ["enable on"], ["enable off"], ["reset"]; anything else errors. *)
+
+(** {1 /proc/protego/trace} *)
+
+val render_trace : t -> string
+(** {!Trace.render_trace} of the dispatcher's tracer. *)
+
+val handle_trace_write : t -> string -> (unit, string) result
+(** ["on"], ["off"], ["reset"], ["capacity <n>"]; anything else
+    errors. *)
+
+(** {1 /proc/protego/latency} *)
+
+val render_latency : t -> string
+(** {!Trace.render_latency}: one line per (hook, engine) pair with
+    p50/p90/p99 and max. *)
+
+val handle_latency_write : t -> string -> (unit, string) result
+(** ["reset"]; anything else errors. *)

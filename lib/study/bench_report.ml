@@ -1,0 +1,232 @@
+let schema_version = 1
+
+type scenario = {
+  sc_name : string;
+  sc_metrics : (string * float) list;
+}
+
+type latency_row = {
+  lt_hook : string;
+  lt_engine : string;
+  lt_count : int;
+  lt_p50 : int;
+  lt_p90 : int;
+  lt_p99 : int;
+  lt_max : int;
+}
+
+type cache_stats = {
+  cs_hits : int;
+  cs_misses : int;
+  cs_hit_ratio : float;
+  cs_stale : int;
+  cs_capacity : int;
+}
+
+type t = {
+  scenarios : scenario list;
+  latency : latency_row list;
+  cache : cache_stats;
+}
+
+(* --- JSON --------------------------------------------------------------- *)
+
+let to_json t =
+  let scenario sc =
+    Json.Obj
+      [ ("name", Json.Str sc.sc_name);
+        ("metrics", Json.Obj (List.map (fun (k, v) -> (k, Json.num v)) sc.sc_metrics)) ]
+  in
+  let latency_row r =
+    Json.Obj
+      [ ("hook", Json.Str r.lt_hook);
+        ("engine", Json.Str r.lt_engine);
+        ("count", Json.num (float_of_int r.lt_count));
+        ("p50_ns", Json.num (float_of_int r.lt_p50));
+        ("p90_ns", Json.num (float_of_int r.lt_p90));
+        ("p99_ns", Json.num (float_of_int r.lt_p99));
+        ("max_ns", Json.num (float_of_int r.lt_max)) ]
+  in
+  Json.Obj
+    [ ("schema_version", Json.num (float_of_int schema_version));
+      ("tool", Json.Str "protego-bench");
+      ("scenarios", Json.List (List.map scenario t.scenarios));
+      ("latency", Json.List (List.map latency_row t.latency));
+      ( "cache",
+        Json.Obj
+          [ ("hits", Json.num (float_of_int t.cache.cs_hits));
+            ("misses", Json.num (float_of_int t.cache.cs_misses));
+            ("hit_ratio", Json.num t.cache.cs_hit_ratio);
+            ("stale_evictions", Json.num (float_of_int t.cache.cs_stale));
+            ("capacity_evictions", Json.num (float_of_int t.cache.cs_capacity))
+          ] ) ]
+
+let ( let* ) = Result.bind
+
+let field what k j =
+  match Json.member k j with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "%s: missing key %S" what k)
+
+let num_field what k j =
+  let* v = field what k j in
+  match Json.to_num v with
+  | Some f -> Ok f
+  | None -> Error (Printf.sprintf "%s: key %S is not a number" what k)
+
+let int_field what k j =
+  let* f = num_field what k j in
+  Ok (int_of_float f)
+
+let str_field what k j =
+  let* v = field what k j in
+  match Json.to_str v with
+  | Some s -> Ok s
+  | None -> Error (Printf.sprintf "%s: key %S is not a string" what k)
+
+let rec map_result f = function
+  | [] -> Ok []
+  | x :: rest ->
+      let* y = f x in
+      let* ys = map_result f rest in
+      Ok (y :: ys)
+
+let of_json j =
+  let* version = num_field "report" "schema_version" j in
+  if int_of_float version <> schema_version then
+    Error
+      (Printf.sprintf "report: schema_version %d wanted, got %g" schema_version
+         version)
+  else
+    let* scenarios_j = field "report" "scenarios" j in
+    let* scenarios =
+      map_result
+        (fun sj ->
+          let* name = str_field "scenario" "name" sj in
+          let* metrics_j = field ("scenario " ^ name) "metrics" sj in
+          match metrics_j with
+          | Json.Obj fields ->
+              let* metrics =
+                map_result
+                  (fun (k, v) ->
+                    match Json.to_num v with
+                    | Some f -> Ok (k, f)
+                    | None ->
+                        Error
+                          (Printf.sprintf "scenario %s: metric %S not a number"
+                             name k))
+                  fields
+              in
+              Ok { sc_name = name; sc_metrics = metrics }
+          | _ -> Error (Printf.sprintf "scenario %s: metrics not an object" name))
+        (Json.to_list scenarios_j)
+    in
+    let* latency_j = field "report" "latency" j in
+    let* latency =
+      map_result
+        (fun lj ->
+          let* hook = str_field "latency row" "hook" lj in
+          let what = "latency " ^ hook in
+          let* engine = str_field what "engine" lj in
+          let* count = int_field what "count" lj in
+          let* p50 = int_field what "p50_ns" lj in
+          let* p90 = int_field what "p90_ns" lj in
+          let* p99 = int_field what "p99_ns" lj in
+          let* mx = int_field what "max_ns" lj in
+          Ok
+            { lt_hook = hook; lt_engine = engine; lt_count = count;
+              lt_p50 = p50; lt_p90 = p90; lt_p99 = p99; lt_max = mx })
+        (Json.to_list latency_j)
+    in
+    let* cache_j = field "report" "cache" j in
+    let* hits = int_field "cache" "hits" cache_j in
+    let* misses = int_field "cache" "misses" cache_j in
+    let* ratio = num_field "cache" "hit_ratio" cache_j in
+    let* stale = int_field "cache" "stale_evictions" cache_j in
+    let* capacity = int_field "cache" "capacity_evictions" cache_j in
+    Ok
+      { scenarios; latency;
+        cache =
+          { cs_hits = hits; cs_misses = misses; cs_hit_ratio = ratio;
+            cs_stale = stale; cs_capacity = capacity } }
+
+(* --- structural assertions ---------------------------------------------- *)
+
+let is_ns_metric k =
+  let suffix = "_ns" in
+  let lk = String.length k and ls = String.length suffix in
+  lk >= ls && String.sub k (lk - ls) ls = suffix
+
+let validate t =
+  let problems = ref [] in
+  let bad fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  if t.scenarios = [] then bad "no scenarios";
+  List.iter
+    (fun sc ->
+      if sc.sc_metrics = [] then bad "scenario %s: no metrics" sc.sc_name;
+      List.iter
+        (fun (k, v) ->
+          if not (Float.is_finite v) then
+            bad "scenario %s: %s is not finite" sc.sc_name k
+          else if v < 0.0 then bad "scenario %s: %s < 0" sc.sc_name k
+          else if is_ns_metric k && v <= 0.0 then
+            bad "scenario %s: %s is not a positive rate" sc.sc_name k)
+        sc.sc_metrics)
+    t.scenarios;
+  if t.latency = [] then bad "no latency rows";
+  List.iter
+    (fun r ->
+      let where = Printf.sprintf "latency %s/%s" r.lt_hook r.lt_engine in
+      if r.lt_count <= 0 then bad "%s: count %d" where r.lt_count;
+      if r.lt_p50 < 0 then bad "%s: negative p50" where;
+      if not (r.lt_p50 <= r.lt_p90 && r.lt_p90 <= r.lt_p99) then
+        bad "%s: percentiles not monotone (p50 %d p90 %d p99 %d)" where
+          r.lt_p50 r.lt_p90 r.lt_p99;
+      if r.lt_p99 > r.lt_max && r.lt_max > 0 && r.lt_p99 <> max_int then
+        bad "%s: p99 %d exceeds max %d" where r.lt_p99 r.lt_max)
+    t.latency;
+  if t.cache.cs_hit_ratio < 0.0 || t.cache.cs_hit_ratio > 1.0 then
+    bad "cache: hit_ratio %g out of [0,1]" t.cache.cs_hit_ratio;
+  match !problems with [] -> Ok () | ps -> Error (List.rev ps)
+
+(* --- regression gate ----------------------------------------------------- *)
+
+let compare_baseline ~current ~baseline ~tolerance =
+  let problems = ref [] in
+  let bad fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  List.iter
+    (fun base_sc ->
+      match
+        List.find_opt (fun sc -> sc.sc_name = base_sc.sc_name)
+          current.scenarios
+      with
+      | None -> bad "scenario %s: in baseline but not in report" base_sc.sc_name
+      | Some cur_sc ->
+          List.iter
+            (fun (k, base_v) ->
+              if is_ns_metric k && base_v > 0.0 then
+                match List.assoc_opt k cur_sc.sc_metrics with
+                | None ->
+                    bad "scenario %s: metric %s in baseline but not in report"
+                      base_sc.sc_name k
+                | Some cur_v ->
+                    if cur_v > tolerance *. base_v then
+                      bad
+                        "scenario %s: %s regressed %.1fx (%.1fns vs baseline \
+                         %.1fns, tolerance %gx)"
+                        base_sc.sc_name k (cur_v /. base_v) cur_v base_v
+                        tolerance)
+            base_sc.sc_metrics)
+    baseline.scenarios;
+  match !problems with [] -> Ok () | ps -> Error (List.rev ps)
+
+let load_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error msg -> Error msg
+  | contents -> (
+      match Json.parse contents with
+      | Error e -> Error (path ^ ": " ^ e)
+      | Ok j -> (
+          match of_json j with
+          | Error e -> Error (path ^ ": " ^ e)
+          | Ok t -> Ok t))

@@ -1,0 +1,43 @@
+(** A minimal JSON tree, printer and parser.
+
+    The repository has no JSON dependency, and the bench report
+    ({!Bench_report}) plus the CI regression gate only need a small,
+    strict subset: this module implements RFC 8259 values with decimal
+    numbers, [\uXXXX]-free string escapes on output (inputs may use
+    them), and no streaming.  It is not a general-purpose JSON library
+    and does not try to be one. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?indent:int -> t -> string
+(** Render with [indent] spaces per level (default 2); a trailing
+    newline is not added. *)
+
+val parse : string -> (t, string) result
+(** Strict parse of a complete document; trailing garbage, unterminated
+    literals and unknown escapes are errors with a character offset. *)
+
+(** {1 Accessors}
+
+    All return [None] (or [[]]) on shape mismatch rather than raising —
+    the CI gate reports missing keys itself. *)
+
+val member : string -> t -> t option
+(** Key lookup in an [Obj]. *)
+
+val path : string list -> t -> t option
+(** Nested {!member}. *)
+
+val to_num : t -> float option
+val to_str : t -> string option
+val to_list : t -> t list
+(** The elements of a [List]; [[]] for anything else. *)
+
+val num : float -> t
+(** [Num], for symmetry in builders. *)

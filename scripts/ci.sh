@@ -1,5 +1,6 @@
 #!/bin/sh
-# CI entry point: tier-1 checks plus the filter-machine bench smoke test.
+# CI entry point: tier-1 checks plus the structural bench report check
+# and the regression gate against the committed baseline.
 # Usage: scripts/ci.sh   (from the repository root)
 set -eu
 
@@ -27,25 +28,17 @@ echo "==> protego-lint --strict over the example policies"
     --netfilter output=examples/policies/output.chain \
     --strict
 
-echo "==> bench filter smoke test"
-out=$(./_build/default/bench/main.exe filter)
-echo "$out"
-case "$out" in
-    *"engine pfm"*) ;;
-    *) echo "CI: filter bench did not report filter_stats" >&2; exit 1 ;;
-esac
+# The bench emits a versioned JSON report; bench_gate parses it back,
+# asserts its structure (schema, required scenarios, sane non-zero
+# rates, monotone percentiles) and compares every *_ns metric against
+# the committed baseline.  The 3x tolerance is deliberately loose: it
+# only trips on a real algorithmic regression, never on runner noise.
+echo "==> bench report (BENCH_protego.json)"
+./_build/default/bench/main.exe --json -o BENCH_protego.json
 
-echo "==> bench decision-cache smoke test"
-out=$(./_build/default/bench/main.exe cache)
-echo "$out"
-case "$out" in
-    *"warm hit vs compiled pfm"*) ;;
-    *) echo "CI: cache bench did not report the warm/pfm comparison" >&2; exit 1 ;;
-esac
-case "$out" in
-    *"cache on "*) ;;
-    *) echo "CI: cache bench did not render cache_stats" >&2; exit 1 ;;
-esac
+echo "==> bench structural check + regression gate"
+./_build/default/bin/bench_gate.exe BENCH_protego.json \
+    --baseline bench/baseline.json --tolerance 3
 
 echo "==> decision-cache interleaving harness"
 ./_build/default/test/test_main.exe test cache
