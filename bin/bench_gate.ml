@@ -24,7 +24,13 @@ let gate report baseline tolerance =
                          latency series)\n%!"
             report
             (List.length current.BR.scenarios)
-            (List.length current.BR.latency)
+            (List.length current.BR.latency);
+          (* Run provenance, when the report records it (older reports
+             simply lack the key): which machine shape produced the
+             numbers the gate is about to judge. *)
+          List.iter
+            (fun (k, v) -> Printf.printf "bench-gate:   env %s = %s\n%!" k v)
+            current.BR.environment
       | Error problems ->
           Printf.eprintf "bench-gate: %s: validation failed:\n%!" report;
           List.iter (Printf.eprintf "  %s\n%!") problems;

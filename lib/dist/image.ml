@@ -11,6 +11,7 @@ type t = {
   config : config;
   apparmor : Protego_apparmor.Apparmor.t option;
   protego : Protego_core.Lsm.t option;
+  plane : Protego_plane.Plane.t option;
   daemon : Protego_services.Monitor_daemon.t option;
 }
 
@@ -404,13 +405,20 @@ let build config =
       (* Baseline: AppArmor LSM loaded, no profiles — the paper's
          measurement baseline. *)
       let aa = Protego_apparmor.Apparmor.install m in
-      { machine = m; config; apparmor = Some aa; protego = None; daemon = None }
+      { machine = m; config; apparmor = Some aa; protego = None; plane = None;
+        daemon = None }
   | Protego ->
       let lsm = Protego_core.Lsm.install m in
+      let plane =
+        Protego_plane.Plane.create
+          ~domains:(Domain.recommended_domain_count ())
+          (Protego_core.Lsm.state lsm)
+      in
+      Protego_plane.Plane.install_proc m plane;
       Protego_services.Auth_service.install m;
       let daemon = Protego_services.Monitor_daemon.start m in
       { machine = m; config; apparmor = None; protego = Some lsm;
-        daemon = Some daemon }
+        plane = Some plane; daemon = Some daemon }
 
 let uid_of _t name =
   match List.find_opt (fun (n, _, _, _, _, _, _) -> n = name) account_users with

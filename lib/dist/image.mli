@@ -24,6 +24,9 @@ type t = {
   config : config;
   apparmor : Protego_apparmor.Apparmor.t option;  (** baseline LSM handle *)
   protego : Protego_core.Lsm.t option;            (** Protego LSM handle *)
+  plane : Protego_plane.Plane.t option;
+      (** parallel decision plane over the LSM's policy state, with
+          [/proc/protego/plane] installed; [None] on the Linux baseline *)
   daemon : Protego_services.Monitor_daemon.t option;
 }
 

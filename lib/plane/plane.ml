@@ -1,0 +1,568 @@
+module PS = Protego_core.Policy_state
+module DC = Protego_core.Decision_cache
+module Trace = Protego_core.Trace
+module Pfm = Protego_filter.Pfm
+module Compile = Protego_filter.Pfm_compile
+module Bindconf = Protego_policy.Bindconf
+module Errno = Protego_base.Errno
+
+type request =
+  | Mount of {
+      subject : int;
+      source : string;
+      target : string;
+      fstype : string;
+      flags : Protego_kernel.Ktypes.mount_flag list;
+    }
+  | Umount of { subject : int; target : string; mounted_by : int }
+  | Bind of {
+      subject : int;
+      port : int;
+      proto : Bindconf.proto;
+      exe : string;
+    }
+  | Ppp_ioctl of { subject : int; device : string; opt : Protego_net.Ppp.option_ }
+
+let hook_count = 4
+
+let hook_index = function
+  | Mount _ -> 0
+  | Umount _ -> 1
+  | Bind _ -> 2
+  | Ppp_ioctl _ -> 3
+
+let hook_name = function
+  | 0 -> "mount"
+  | 1 -> "umount"
+  | 2 -> "bind"
+  | 3 -> "ppp_ioctl"
+  | _ -> invalid_arg "Plane.hook_name"
+
+(* Generation-vector source backing each hook, as a snapshot gens index
+   ({!PS.source_index} order): mount/umount read the mount whitelist,
+   bind the bind map, ppp_ioctl the ppp policy. *)
+let gens_index = [| 0; 0; 1; 4 |]
+
+type outcome = {
+  o_verdict : Pfm.verdict;
+  o_errno : Errno.t option;
+  o_epoch : int;
+}
+
+type audit_entry = {
+  a_seq : int;
+  a_hook : int;
+  a_subject : int;
+  a_allowed : bool;
+  a_epoch : int;
+}
+
+type run_result = {
+  rr_outcomes : outcome array;
+  rr_audit : audit_entry array;
+  rr_wall_ns : int;
+  rr_min_op_ns : float array;
+}
+
+let capacity_per_sec rr =
+  Array.fold_left
+    (fun acc ns -> if Float.is_finite ns && ns > 0. then acc +. (1e9 /. ns) else acc)
+    0. rr.rr_min_op_ns
+
+(* One-entry front slot per hook, ahead of the worker's memo table.
+   Keyed on the request value by physical identity plus the snapshot
+   epoch (same epoch implies the same generation vector — epochs only
+   ever move by publication) and the worker cache's epoch (a [reset]
+   must kill slots, as in the sequential dispatcher). *)
+type slot = {
+  mutable f_sepoch : int;  (* snapshot epoch; -1: never filled *)
+  mutable f_cepoch : int;  (* worker decision-cache epoch *)
+  mutable f_req : request option;
+  mutable f_verdict : Pfm.verdict;
+  mutable f_errno : Errno.t option;
+}
+
+let fresh_slot () =
+  { f_sepoch = -1; f_cepoch = 0; f_req = None; f_verdict = Pfm.Deny;
+    f_errno = None }
+
+(* Everything a worker touches on a decision is domain-private; the only
+   shared reads are the snapshot pointer and the live [t.engine]/clock
+   configuration (constant during a run). *)
+type worker = {
+  w_id : int;
+  w_cache : DC.t;
+  w_ch : DC.hook array;            (* per hook, this worker's cache hooks *)
+  w_slots : slot array;            (* per hook *)
+  mutable w_snap : Snapshot.t;
+  mutable w_progs : Snapshot.progs;
+  w_gens : int array array;        (* per-hook scratch generation vectors *)
+  w_dec : int array;               (* per-hook decisions served *)
+  w_allow : int array;
+  w_deny : int array;
+  w_evals : int array;             (* per-hook engine evaluations *)
+  w_completed : int Atomic.t;      (* this run's progress, coordinator-read *)
+  mutable w_min_op_ns : float;     (* min per-op cost over timed batches *)
+  mutable w_sample : int;          (* latency sampling phase counter *)
+  w_trace : Trace.t;
+  w_keys : Trace.key array;        (* per hook, engine "plane" *)
+}
+
+let make_worker id snap =
+  let cache = DC.create () in
+  let ch = Array.init hook_count (fun hi -> DC.register cache (hook_name hi)) in
+  let tr = Trace.create () in
+  let keys =
+    Array.init hook_count (fun hi ->
+        Trace.register tr ~hook:(hook_name hi) ~engine:"plane")
+  in
+  { w_id = id; w_cache = cache; w_ch = ch;
+    w_slots = Array.init hook_count (fun _ -> fresh_slot ());
+    w_snap = snap; w_progs = Snapshot.clone_progs snap;
+    w_gens = Array.init hook_count (fun _ -> [| 0 |]);
+    w_dec = Array.make hook_count 0; w_allow = Array.make hook_count 0;
+    w_deny = Array.make hook_count 0; w_evals = Array.make hook_count 0;
+    w_completed = Atomic.make 0; w_min_op_ns = infinity; w_sample = 0;
+    w_trace = tr; w_keys = keys }
+
+type t = {
+  st : PS.t;
+  pub : Snapshot.pub;
+  mutable domains : int;
+  mutable workers : worker array;
+  mutable engine : [ `Pfm | `Ref ];
+  mutable clock : (unit -> int) option;
+  mutable runs : int;
+}
+
+let max_domains = 64
+
+let clamp_domains d = max 1 (min max_domains d)
+
+let create ?(domains = 1) st =
+  let pub = Snapshot.make st in
+  let d = clamp_domains domains in
+  let snap = Snapshot.current pub in
+  { st; pub; domains = d;
+    workers = Array.init d (fun i -> make_worker i snap);
+    engine = `Pfm; clock = None; runs = 0 }
+
+let domains t = t.domains
+
+let set_domains t d =
+  let d = clamp_domains d in
+  t.domains <- d;
+  let snap = Snapshot.current t.pub in
+  t.workers <- Array.init d (fun i -> make_worker i snap)
+
+let engine t = t.engine
+let set_engine t e = t.engine <- e
+let set_clock t f = t.clock <- Some f
+let state t = t.st
+let current t = Snapshot.current t.pub
+let publish t = Snapshot.publish t.pub t.st
+
+let refresh t =
+  if Snapshot.stale t.pub t.st then publish t else Snapshot.current t.pub
+
+let runs t = t.runs
+
+(* --- the decision ------------------------------------------------------- *)
+
+let sep = "\x1f"
+
+let of_bool b = if b then Pfm.Allow else Pfm.Deny
+
+let deny_errno e (v : Pfm.verdict) =
+  match v with Pfm.Allow -> None | Pfm.Deny | Pfm.Reject -> Some e
+
+let adopt w snap =
+  if snap != w.w_snap then begin
+    w.w_snap <- snap;
+    w.w_progs <- Snapshot.clone_progs snap
+  end
+
+let refill w hi snap req ~verdict ~errno =
+  let s = w.w_slots.(hi) in
+  s.f_sepoch <- snap.Snapshot.epoch;
+  s.f_cepoch <- DC.epoch w.w_cache;
+  s.f_req <- Some req;
+  s.f_verdict <- verdict;
+  s.f_errno <- errno
+
+let tally w hi (v : Pfm.verdict) =
+  w.w_dec.(hi) <- w.w_dec.(hi) + 1;
+  match v with
+  | Pfm.Allow -> w.w_allow.(hi) <- w.w_allow.(hi) + 1
+  | Pfm.Deny | Pfm.Reject -> w.w_deny.(hi) <- w.w_deny.(hi) + 1
+
+let slot_valid w hi snap req =
+  let s = w.w_slots.(hi) in
+  s.f_sepoch = snap.Snapshot.epoch
+  && s.f_cepoch = DC.epoch w.w_cache
+  && (match s.f_req with Some r -> r == req | None -> false)
+
+(* Serve one request on a worker against the currently published
+   snapshot: front slot -> memo table -> engine, exactly the sequential
+   dispatcher's ladder, but over domain-private structures. *)
+let decide_one t w engine req =
+  let snap = Snapshot.current t.pub in
+  adopt w snap;
+  let hi = hook_index req in
+  if slot_valid w hi snap req then begin
+    let s = w.w_slots.(hi) in
+    DC.record_hit w.w_cache w.w_ch.(hi);
+    tally w hi s.f_verdict;
+    { o_verdict = s.f_verdict; o_errno = s.f_errno;
+      o_epoch = snap.Snapshot.epoch }
+  end
+  else begin
+    let gens = w.w_gens.(hi) in
+    gens.(0) <- snap.Snapshot.gens.(gens_index.(hi));
+    let subject, args =
+      match req with
+      | Mount { subject; source; target; fstype; flags } ->
+          ( subject,
+            String.concat sep
+              [ source; target; fstype;
+                string_of_int (Compile.flags_mask flags) ] )
+      | Umount { subject; target; mounted_by } ->
+          (subject, target ^ sep ^ string_of_int mounted_by)
+      | Bind { subject; port; proto; exe } ->
+          ( subject,
+            string_of_int port ^ sep ^ Bindconf.proto_to_string proto ^ sep
+            ^ exe )
+      | Ppp_ioctl { subject; device; opt } ->
+          ( subject,
+            device ^ sep
+            ^ if Protego_net.Ppp.option_is_safe opt then "1" else "0" )
+    in
+    match DC.find w.w_cache w.w_ch.(hi) ~subject ~args ~gens with
+    | Some (v, e) ->
+        tally w hi v;
+        refill w hi snap req ~verdict:v ~errno:e;
+        { o_verdict = v; o_errno = e; o_epoch = snap.Snapshot.epoch }
+    | None ->
+        let v =
+          match req, engine with
+          | Mount { source; target; fstype; flags; _ }, `Pfm ->
+              Pfm.eval w.w_progs.Snapshot.p_mount
+                (Compile.mount_ctx ~source ~target ~fstype ~flags)
+          | Mount { source; target; fstype; flags; _ }, `Ref ->
+              of_bool (Snapshot.ref_mount snap ~source ~target ~fstype ~flags)
+          | Umount { subject; target; mounted_by }, `Pfm ->
+              Pfm.eval w.w_progs.Snapshot.p_umount
+                (Compile.umount_ctx ~target ~mounted_by ~ruid:subject)
+          | Umount { subject; target; mounted_by }, `Ref ->
+              of_bool
+                (Snapshot.ref_umount snap ~target ~mounted_by ~ruid:subject)
+          | Bind { subject; port; proto; exe }, `Pfm ->
+              Pfm.eval w.w_progs.Snapshot.p_bind
+                (Compile.bind_ctx ~port ~proto ~exe ~uid:subject)
+          | Bind { subject; port; proto; exe }, `Ref ->
+              of_bool (Snapshot.ref_bind snap ~port ~proto ~exe ~uid:subject)
+          | Ppp_ioctl { device; opt; _ }, `Pfm ->
+              Pfm.eval w.w_progs.Snapshot.p_ppp (Compile.ppp_ctx ~device ~opt)
+          | Ppp_ioctl { device; opt; _ }, `Ref ->
+              of_bool (Snapshot.ref_ppp snap ~device ~opt)
+        in
+        let e =
+          match req with
+          | Bind _ -> deny_errno Errno.EACCES v
+          | Mount _ | Umount _ | Ppp_ioctl _ -> deny_errno Errno.EPERM v
+        in
+        w.w_evals.(hi) <- w.w_evals.(hi) + 1;
+        tally w hi v;
+        DC.add w.w_cache w.w_ch.(hi) ~subject ~args ~gens ~verdict:v ~errno:e;
+        refill w hi snap req ~verdict:v ~errno:e;
+        { o_verdict = v; o_errno = e; o_epoch = snap.Snapshot.epoch }
+  end
+
+let decide t req =
+  ignore (refresh t);
+  decide_one t t.workers.(0) t.engine req
+
+(* --- audit spools ------------------------------------------------------- *)
+
+type spool = {
+  sp_seq : int array;
+  sp_hook : int array;
+  sp_subject : int array;
+  sp_allowed : int array;
+  sp_epoch : int array;
+  mutable sp_len : int;
+}
+
+let make_spool cap =
+  { sp_seq = Array.make (max cap 1) 0; sp_hook = Array.make (max cap 1) 0;
+    sp_subject = Array.make (max cap 1) 0;
+    sp_allowed = Array.make (max cap 1) 0;
+    sp_epoch = Array.make (max cap 1) 0; sp_len = 0 }
+
+let subject_of = function
+  | Mount { subject; _ } | Umount { subject; _ } | Bind { subject; _ }
+  | Ppp_ioctl { subject; _ } ->
+      subject
+
+(* Worker [w] of [d] owns exactly the sequence numbers congruent to
+   [w] mod [d]. *)
+let slice_len n d w = if w >= n then 0 else ((n - w - 1) / d) + 1
+
+let merge_audit spools n d =
+  Array.iteri
+    (fun w sp ->
+      if sp.sp_len <> slice_len n d w then
+        failwith "Plane.run: audit spool length mismatch")
+    spools;
+  Array.init n (fun s ->
+      let sp = spools.(s mod d) in
+      let k = s / d in
+      if sp.sp_seq.(k) <> s then failwith "Plane.run: audit spool out of order";
+      { a_seq = s; a_hook = sp.sp_hook.(k); a_subject = sp.sp_subject.(k);
+        a_allowed = sp.sp_allowed.(k) = 1; a_epoch = sp.sp_epoch.(k) })
+
+(* --- the run loop ------------------------------------------------------- *)
+
+let batch_len = 1024
+
+let dummy_outcome = { o_verdict = Pfm.Deny; o_errno = None; o_epoch = -1 }
+
+(* Process this worker's stride of [start, stop) in timed batches.
+   [base] is the completed-count already published for earlier segments
+   of the same run (one-domain runs are split at reload thresholds). *)
+let worker_slice t w reqs ~start ~stop ~d ~engine ~clock ~collect ~outcomes
+    ~spool ~base =
+  let i = ref start in
+  let done_ = ref 0 in
+  while !i < stop do
+    let remaining = ((stop - !i - 1) / d) + 1 in
+    let len = min batch_len remaining in
+    let t0 = match clock with Some c -> c () | None -> 0 in
+    for _ = 1 to len do
+      let req = reqs.(!i) in
+      let o =
+        match clock with
+        | Some c when w.w_sample land 63 = 0 ->
+            let s0 = c () in
+            let o = decide_one t w engine req in
+            Trace.observe w.w_keys.(hook_index req) ~ns:(c () - s0);
+            o
+        | _ -> decide_one t w engine req
+      in
+      w.w_sample <- w.w_sample + 1;
+      if collect then outcomes.(!i) <- o;
+      let k = spool.sp_len in
+      spool.sp_seq.(k) <- !i;
+      spool.sp_hook.(k) <- hook_index req;
+      spool.sp_subject.(k) <- subject_of req;
+      spool.sp_allowed.(k) <- (if o.o_verdict = Pfm.Allow then 1 else 0);
+      spool.sp_epoch.(k) <- o.o_epoch;
+      spool.sp_len <- k + 1;
+      i := !i + d
+    done;
+    (match clock with
+     | Some c ->
+         let per = float_of_int (c () - t0) /. float_of_int len in
+         if per < w.w_min_op_ns then w.w_min_op_ns <- per
+     | None -> ());
+    done_ := !done_ + len;
+    Atomic.set w.w_completed (base + !done_)
+  done
+
+let run t ?(collect = true) ?(reloads = []) reqs =
+  ignore (refresh t);
+  let n = Array.length reqs in
+  let d = t.domains in
+  let ws = t.workers in
+  let engine = t.engine in
+  let clock = t.clock in
+  let outcomes = if collect then Array.make n dummy_outcome else [||] in
+  let spools = Array.init d (fun w -> make_spool (slice_len n d w)) in
+  Array.iter
+    (fun w ->
+      Atomic.set w.w_completed 0;
+      w.w_min_op_ns <- infinity)
+    ws;
+  let reloads = List.sort (fun (a, _) (b, _) -> compare a b) reloads in
+  let t0 = match clock with Some c -> c () | None -> 0 in
+  if d = 1 then begin
+    (* Inline and deterministic: split the stream at the reload
+       thresholds, so an action fires exactly before the decision with
+       its sequence number. *)
+    let w = ws.(0) in
+    let sp = spools.(0) in
+    let seg start stop =
+      if start < stop then
+        worker_slice t w reqs ~start ~stop ~d:1 ~engine ~clock ~collect
+          ~outcomes ~spool:sp ~base:start
+    in
+    let pos = ref 0 in
+    List.iter
+      (fun (th, act) ->
+        if th < n then begin
+          seg !pos (max th !pos);
+          pos := max th !pos;
+          act ()
+        end)
+      reloads;
+    seg !pos n
+  end
+  else begin
+    let spawn w =
+      Domain.spawn (fun () ->
+          worker_slice t w reqs ~start:w.w_id ~stop:n ~d ~engine ~clock
+            ~collect ~outcomes ~spool:spools.(w.w_id) ~base:0)
+    in
+    let doms = Array.map spawn ws in
+    (* Coordinate reloads off the published progress counters; a
+       threshold past the end of the stream never fires. *)
+    let pending = ref reloads in
+    let finished () =
+      Array.for_all (fun w -> Atomic.get w.w_completed >= slice_len n d w.w_id) ws
+    in
+    while not (finished ()) do
+      (match !pending with
+       | (th, act) :: rest
+         when Array.fold_left (fun acc w -> acc + Atomic.get w.w_completed) 0 ws
+              >= th ->
+           act ();
+           pending := rest
+       | _ -> ());
+      Domain.cpu_relax ()
+    done;
+    Array.iter Domain.join doms
+  end;
+  let wall = match clock with Some c -> c () - t0 | None -> 0 in
+  t.runs <- t.runs + 1;
+  { rr_outcomes = outcomes; rr_audit = merge_audit spools n d;
+    rr_wall_ns = wall;
+    rr_min_op_ns = Array.map (fun w -> w.w_min_op_ns) ws }
+
+(* --- merged statistics and /proc -------------------------------------- *)
+
+type hook_totals = {
+  ht_decisions : int;
+  ht_allow : int;
+  ht_deny : int;
+  ht_evals : int;
+  ht_hits : int;
+}
+
+let hook_stats t =
+  List.init hook_count (fun hi ->
+      let sum f = Array.fold_left (fun acc w -> acc + f w) 0 t.workers in
+      let hits =
+        sum (fun w ->
+            let h = List.nth (DC.hook_stats w.w_cache) hi in
+            h.DC.h_hits)
+      in
+      ( hook_name hi,
+        { ht_decisions = sum (fun w -> w.w_dec.(hi));
+          ht_allow = sum (fun w -> w.w_allow.(hi));
+          ht_deny = sum (fun w -> w.w_deny.(hi));
+          ht_evals = sum (fun w -> w.w_evals.(hi));
+          ht_hits = hits } ))
+
+(* Percentile over summed per-worker histograms, the same bucket-walk
+   {!Trace.percentile} does on a single key. *)
+let merged_pct buckets total ~pct =
+  if total = 0 then 0
+  else
+    let need =
+      let p = total * pct in
+      (p / 100) + (if p mod 100 = 0 then 0 else 1)
+    in
+    let rec go i acc =
+      if i >= Trace.bucket_count then Trace.bucket_upper (Trace.bucket_count - 1)
+      else
+        let acc = acc + buckets.(i) in
+        if acc >= need then Trace.bucket_upper i else go (i + 1) acc
+    in
+    go 0 0
+
+let merged_latency t hi =
+  let buckets = Array.make Trace.bucket_count 0 in
+  let total = ref 0 in
+  Array.iter
+    (fun w ->
+      let k = w.w_keys.(hi) in
+      let b = Trace.buckets k in
+      Array.iteri (fun i c -> buckets.(i) <- buckets.(i) + c) b;
+      total := !total + k.Trace.k_count)
+    t.workers;
+  (!total, buckets)
+
+let engine_name t = match t.engine with `Pfm -> "pfm" | `Ref -> "ref"
+
+let render t =
+  let b = Buffer.create 512 in
+  Buffer.add_string b
+    (Printf.sprintf "plane domains %d engine %s epoch %d runs %d\n" t.domains
+       (engine_name t)
+       (Snapshot.current t.pub).Snapshot.epoch
+       t.runs);
+  Array.iter
+    (fun w ->
+      Buffer.add_string b
+        (Printf.sprintf "worker %d decisions %d evals %d hits %d misses %d stale %d\n"
+           w.w_id
+           (Array.fold_left ( + ) 0 w.w_dec)
+           (Array.fold_left ( + ) 0 w.w_evals)
+           (DC.hits w.w_cache) (DC.misses w.w_cache)
+           (DC.stale_evictions w.w_cache)))
+    t.workers;
+  List.iter
+    (fun (name, ht) ->
+      Buffer.add_string b
+        (Printf.sprintf "hook %s decisions %d allow %d deny %d evals %d hits %d\n"
+           name ht.ht_decisions ht.ht_allow ht.ht_deny ht.ht_evals ht.ht_hits))
+    (hook_stats t);
+  for hi = 0 to hook_count - 1 do
+    let total, buckets = merged_latency t hi in
+    if total > 0 then
+      Buffer.add_string b
+        (Printf.sprintf "latency hook %s count %d p50 %d p90 %d p99 %d\n"
+           (hook_name hi) total
+           (merged_pct buckets total ~pct:50)
+           (merged_pct buckets total ~pct:90)
+           (merged_pct buckets total ~pct:99))
+  done;
+  Buffer.contents b
+
+let handle_write t contents =
+  match String.trim contents with
+  | "publish" ->
+      ignore (publish t);
+      Ok ()
+  | "reset" ->
+      set_domains t t.domains;
+      t.runs <- 0;
+      Ok ()
+  | "engine pfm" -> set_engine t `Pfm; Ok ()
+  | "engine ref" -> set_engine t `Ref; Ok ()
+  | other -> (
+      match String.split_on_char ' ' other with
+      | [ "domains"; ns ] -> (
+          match int_of_string_opt ns with
+          | Some d when d >= 1 && d <= max_domains ->
+              set_domains t d;
+              Ok ()
+          | _ ->
+              Error
+                (Printf.sprintf "plane: domains must be 1..%d" max_domains))
+      | _ -> Error ("plane: unknown command: " ^ other))
+
+let install_proc m t =
+  let open Protego_kernel in
+  let kt = Machine.kernel_task m in
+  ignore (Machine.mkdir_p m kt "/proc/protego" ());
+  ignore
+    (Machine.add_vnode m kt ~path:"/proc/protego/plane" ~mode:0o600
+       ~read:(fun _m _t -> Ok (render t))
+       ~write:(fun m _t contents ->
+         match handle_write t contents with
+         | Ok () -> Ok ()
+         | Error msg ->
+             Ktypes.log_dmesg m "protego: %s" msg;
+             Error Errno.EINVAL)
+       ())

@@ -1,0 +1,171 @@
+(** The parallel decision plane: sharded multi-domain dispatch over
+    epoch-published policy snapshots.
+
+    The sequential dispatcher ({!Protego_core.Pfm_dispatch}) serves one
+    caller at a time over global mutable state.  A real LSM answers the
+    same hooks concurrently from every CPU; this module is that shape on
+    OCaml 5 Domains.  Per worker domain: a private decision cache, a
+    per-hook front slot keyed to the snapshot epoch, private compiled
+    programs (counters and all), private filter/latency counters, and a
+    private audit spool — so the warm path shares {e nothing} writable
+    between domains.  The only cross-domain communication on a decision
+    is one [Atomic.get] of the current {!Snapshot.t}.  Policy changes
+    build a new snapshot off to the side and swap the pointer
+    ({!publish}); in-flight decisions finish against whichever snapshot
+    they acquired, so every verdict is consistent with exactly one
+    published policy — never a torn mix (DESIGN.md §6).
+
+    Audit: each worker spools its records (request sequence number,
+    hook, subject, verdict, epoch) into a private columnar buffer; after
+    a run the spools are merged back into submission order.  Requests
+    are partitioned round-robin, so worker [w] of [d] owns exactly the
+    sequence numbers congruent to [w] mod [d] and the merge is a direct
+    index calculation — zero lost, zero duplicated, by construction
+    (and by test). *)
+
+module PS = Protego_core.Policy_state
+module Pfm = Protego_filter.Pfm
+
+(** One decision request.  Arguments mirror the LSM hook signatures; the
+    [subject] is the caller's uid (ruid for umount).  Requests are
+    compared by physical identity on the front-slot fast path, so
+    generators should intern and reuse request values. *)
+type request =
+  | Mount of {
+      subject : int;
+      source : string;
+      target : string;
+      fstype : string;
+      flags : Protego_kernel.Ktypes.mount_flag list;
+    }
+  | Umount of { subject : int; target : string; mounted_by : int }
+  | Bind of {
+      subject : int;
+      port : int;
+      proto : Protego_policy.Bindconf.proto;
+      exe : string;
+    }
+  | Ppp_ioctl of { subject : int; device : string; opt : Protego_net.Ppp.option_ }
+
+val hook_count : int
+(** 4: mount, umount, bind, ppp_ioctl. *)
+
+val hook_index : request -> int
+val hook_name : int -> string
+
+type outcome = {
+  o_verdict : Pfm.verdict;
+  o_errno : Protego_base.Errno.t option;
+  o_epoch : int;  (** epoch of the snapshot that served the decision *)
+}
+
+type audit_entry = {
+  a_seq : int;  (** submission index of the request *)
+  a_hook : int;  (** {!hook_index} *)
+  a_subject : int;
+  a_allowed : bool;
+  a_epoch : int;
+}
+
+type run_result = {
+  rr_outcomes : outcome array;
+      (** one per request, submission order; [[||]] when collection was
+          disabled *)
+  rr_audit : audit_entry array;
+      (** merged spools, strictly ascending [a_seq] = 0..n-1 *)
+  rr_wall_ns : int;  (** whole-run wall time; 0 without a clock *)
+  rr_min_op_ns : float array;
+      (** per worker: minimum per-decision cost over timed batches of
+          its slice — the contention-free cost of its warm path.
+          [infinity] without a clock or for an empty slice. *)
+}
+
+val capacity_per_sec : run_result -> float
+(** Aggregate decision capacity: sum over workers of [1e9 /. min_op_ns]
+    — what the plane would sustain given a core per domain.  The batch
+    minimum filters out descheduled batches, so on fewer cores than
+    domains this measures contention-freedom rather than wall-clock
+    parallelism; methodology in DESIGN.md §6.  [0.] without a clock. *)
+
+type t
+
+val create : ?domains:int -> PS.t -> t
+(** A plane over the live state, initial snapshot published at epoch 0.
+    [domains] defaults to 1 and is clamped to [1..max_domains]. *)
+
+val max_domains : int
+
+val domains : t -> int
+val set_domains : t -> int -> unit
+(** Clamped to [1..max_domains]; workers are recreated (their caches and
+    counters reset). *)
+
+val engine : t -> [ `Pfm | `Ref ]
+val set_engine : t -> [ `Pfm | `Ref ] -> unit
+
+val set_clock : t -> (unit -> int) -> unit
+(** Install a monotonic nanosecond clock: arms wall/batch timing and the
+    per-worker latency histograms (sampled, 1 in 64 decisions). *)
+
+val state : t -> PS.t
+val current : t -> Snapshot.t
+val publish : t -> Snapshot.t
+(** Unconditionally freeze the live state and swap it in. *)
+
+val refresh : t -> Snapshot.t
+(** {!publish} only if the live state drifted from the current snapshot
+    ({!Snapshot.stale}); otherwise the current snapshot unchanged. *)
+
+val decide : t -> request -> outcome
+(** One decision on worker 0, after a {!refresh} — the deterministic
+    sequential entry point tests and the /proc surface use.  Does not
+    spool audit records. *)
+
+val run :
+  t -> ?collect:bool -> ?reloads:(int * (unit -> unit)) list ->
+  request array -> run_result
+(** Drive the whole request array through the plane, round-robin across
+    [domains t] workers (request [i] goes to worker [i mod d]).  With
+    one domain the run is inline and deterministic; otherwise one
+    OCaml domain is spawned per worker.  [collect:false] skips the
+    outcome array (bench mode).  [reloads] are [(threshold, action)]
+    pairs: each action fires once, off the coordinating domain, as soon
+    as the total completed-decision count reaches its threshold (with
+    one domain: exactly at that submission index).  Actions typically
+    mutate the live state and {!publish}. *)
+
+val runs : t -> int
+(** Completed {!run} invocations since creation/reset. *)
+
+(** {1 Merged statistics and /proc/protego/plane} *)
+
+type hook_totals = {
+  ht_decisions : int;
+  ht_allow : int;
+  ht_deny : int;
+  ht_evals : int;  (** engine evaluations (cache misses) *)
+  ht_hits : int;   (** decision-cache + front-slot hits *)
+}
+
+val hook_stats : t -> (string * hook_totals) list
+(** Summed across workers, hook order. *)
+
+val render : t -> string
+(** {v
+    plane domains <d> engine <pfm|ref> epoch <e> runs <n>
+    worker <i> decisions <n> evals <n> hits <n> misses <n> stale <n>
+    hook <name> decisions <n> allow <n> deny <n> evals <n> hits <n>
+    latency hook <name> count <n> p50 <ns> p90 <ns> p99 <ns>
+    v}
+    [latency] lines only for hooks with sampled observations (needs a
+    clock); histograms are summed across workers before the percentile
+    walk. *)
+
+val handle_write : t -> string -> (unit, string) result
+(** ["domains <n>"], ["engine pfm|ref"], ["publish"], ["reset"] (zero
+    counters, drop caches); anything else errors. *)
+
+val install_proc :
+  Protego_kernel.Ktypes.machine -> t -> unit
+(** Install [/proc/protego/plane] (root-only, 0600): read renders, write
+    dispatches to {!handle_write} (EINVAL + dmesg on parse errors). *)

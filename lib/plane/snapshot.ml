@@ -1,0 +1,110 @@
+module PS = Protego_core.Policy_state
+module Pfm = Protego_filter.Pfm
+module Compile = Protego_filter.Pfm_compile
+
+type progs = {
+  p_mount : Pfm.program;
+  p_umount : Pfm.program;
+  p_bind : Pfm.program;
+  p_ppp : Pfm.program;
+}
+
+type t = {
+  epoch : int;
+  gens : int array;
+  frozen : PS.t;
+  progs : progs;
+}
+
+let filter_rule (r : PS.mount_rule) : Compile.mount_rule =
+  { Compile.fm_source = r.PS.mr_source;
+    fm_target = r.PS.mr_target;
+    fm_fstype = r.PS.mr_fstype;
+    fm_flags = r.PS.mr_flags;
+    fm_user_only = (r.PS.mr_mode = `User) }
+
+(* The policy fields are immutable values (lists, records): aliasing them
+   into a fresh record decouples the snapshot from every future mutation
+   of the live state, which only ever replaces whole fields. *)
+let copy_state (st : PS.t) =
+  let c = PS.create () in
+  c.PS.mounts <- st.PS.mounts;
+  c.PS.binds <- st.PS.binds;
+  c.PS.delegation <- st.PS.delegation;
+  c.PS.users <- st.PS.users;
+  c.PS.groups <- st.PS.groups;
+  c.PS.ppp <- st.PS.ppp;
+  c.PS.reauth_read_prefixes <- st.PS.reauth_read_prefixes;
+  c.PS.file_acl <- st.PS.file_acl;
+  c
+
+let freeze ~epoch (st : PS.t) =
+  let frozen = copy_state st in
+  let gens = Array.of_list (List.map (PS.generation st) PS.sources) in
+  let rules = List.map filter_rule frozen.PS.mounts in
+  let progs =
+    { p_mount = Compile.mount rules;
+      p_umount = Compile.umount rules;
+      p_bind = Compile.bind frozen.PS.binds;
+      p_ppp = Compile.ppp_ioctl frozen.PS.ppp }
+  in
+  { epoch; gens; frozen; progs }
+
+let clone_prog (p : Pfm.program) =
+  { p with Pfm.counters = Array.make (Array.length p.Pfm.counters) 0;
+    retired = 0 }
+
+let clone_progs t =
+  { p_mount = clone_prog t.progs.p_mount;
+    p_umount = clone_prog t.progs.p_umount;
+    p_bind = clone_prog t.progs.p_bind;
+    p_ppp = clone_prog t.progs.p_ppp }
+
+let gen_for t s = t.gens.(PS.source_index s)
+
+let ref_mount t ~source ~target ~fstype ~flags =
+  PS.mount_decision t.frozen ~source ~target ~fstype ~flags
+
+let ref_umount t ~target ~mounted_by ~ruid =
+  PS.umount_decision t.frozen ~target ~mounted_by ~ruid
+
+let ref_bind t ~port ~proto ~exe ~uid =
+  PS.bind_allowed t.frozen ~port ~proto ~exe ~uid
+
+let ref_ppp t ~device ~opt = PS.ppp_ioctl_decision t.frozen ~device ~opt
+
+(* --- publication -------------------------------------------------------- *)
+
+type pub = { cur : t Atomic.t }
+
+let make st = { cur = Atomic.make (freeze ~epoch:0 st) }
+
+let current pub = Atomic.get pub.cur
+
+(* The same discipline as the dispatcher's physical-identity watches: a
+   harness that assigns a watched field directly (bypassing the /proc
+   write path and its generation bump) must still invalidate stale
+   verdicts.  The previous snapshot aliased the field value it froze, so
+   identity against it detects exactly those unannounced replacements. *)
+let watch_parity prev (st : PS.t) ~bump =
+  let check source changed =
+    if changed && PS.generation st source = gen_for prev source then
+      if bump then PS.bump_generation st source else raise Exit
+  in
+  check PS.Mounts (st.PS.mounts != prev.frozen.PS.mounts);
+  check PS.Binds (st.PS.binds != prev.frozen.PS.binds);
+  check PS.Ppp (st.PS.ppp != prev.frozen.PS.ppp)
+
+let publish pub st =
+  let prev = Atomic.get pub.cur in
+  watch_parity prev st ~bump:true;
+  let next = freeze ~epoch:(prev.epoch + 1) st in
+  Atomic.set pub.cur next;
+  next
+
+let stale pub st =
+  let prev = Atomic.get pub.cur in
+  match watch_parity prev st ~bump:false with
+  | () ->
+      List.exists (fun s -> PS.generation st s <> gen_for prev s) PS.sources
+  | exception Exit -> true

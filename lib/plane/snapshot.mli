@@ -1,0 +1,93 @@
+(** Immutable, epoch-stamped policy snapshots and their single-writer
+    publication point — the RCU analogue the parallel decision plane
+    reads through.
+
+    A {!t} freezes everything a decision needs — the policy lists, the
+    per-source generation vector, and the compiled PFM programs — into a
+    value that is never mutated after {!freeze} returns.  Publication is
+    one [Atomic.set] of a pointer ({!publish}); acquisition is one
+    [Atomic.get] ({!current}).  Readers therefore never lock, never see
+    a half-updated policy, and never observe generation/rule skew: a
+    snapshot's programs were compiled from exactly the rules its
+    generation vector stamps.  Memory-model details and the
+    linearizability claim are in DESIGN.md §6. *)
+
+module PS = Protego_core.Policy_state
+module Pfm = Protego_filter.Pfm
+
+(** The four compiled programs of the plane-served hooks.  The netfilter
+    hook is deliberately absent: its chain lives on the machine, not in
+    [Policy_state], so it stays on the sequential dispatcher. *)
+type progs = {
+  p_mount : Pfm.program;
+  p_umount : Pfm.program;
+  p_bind : Pfm.program;
+  p_ppp : Pfm.program;
+}
+
+type t = private {
+  epoch : int;        (** publication counter, 0 for the initial snapshot *)
+  gens : int array;   (** generation vector at freeze, {!PS.source_index} order *)
+  frozen : PS.t;      (** private copy of the live state; never mutated *)
+  progs : progs;      (** compiled from [frozen] at freeze time *)
+}
+
+val freeze : epoch:int -> PS.t -> t
+(** Copy the live state's fields (the field values are immutable, so
+    aliasing them is a deep-enough copy), snapshot the generation
+    vector, and compile the four programs. *)
+
+val clone_progs : t -> progs
+(** Per-domain copies of the compiled programs: the instruction arrays
+    and dispatch tables are shared (read-only under evaluation), the
+    mutable execution counters ([counters], [retired]) are fresh, so
+    domains never write to a shared program. *)
+
+val gen_for : t -> PS.source -> int
+(** The frozen generation of one source. *)
+
+(** {1 Reference oracles}
+
+    The list-walking reference semantics evaluated against the frozen
+    state — what the [ref] engine runs and what differential tests
+    compare compiled verdicts to. *)
+
+val ref_mount :
+  t -> source:string -> target:string -> fstype:string ->
+  flags:Protego_kernel.Ktypes.mount_flag list -> bool
+
+val ref_umount : t -> target:string -> mounted_by:int -> ruid:int -> bool
+
+val ref_bind :
+  t -> port:int -> proto:Protego_policy.Bindconf.proto -> exe:string ->
+  uid:int -> bool
+
+val ref_ppp : t -> device:string -> opt:Protego_net.Ppp.option_ -> bool
+
+(** {1 Publication} *)
+
+type pub
+(** The publication point: one atomic pointer to the current snapshot.
+    Publication is single-writer — /proc writes and reload actions are
+    serialized by the caller (in the simulated kernel they already are);
+    readers are unrestricted. *)
+
+val make : PS.t -> pub
+(** Freeze [st] at epoch 0 and publish it. *)
+
+val current : pub -> t
+(** The latest published snapshot — a single [Atomic.get]. *)
+
+val publish : pub -> PS.t -> t
+(** Build-then-swap: freeze [st] at [epoch (current pub) + 1], then
+    atomically replace the pointer.  Returns the new snapshot.  Before
+    freezing, performs the same physical-identity watch the sequential
+    dispatcher does: a watched source (mounts, binds, ppp) whose field
+    changed identity since the previous snapshot without a generation
+    bump gets its generation bumped here, so stale per-domain cache
+    entries can never be served under the new snapshot. *)
+
+val stale : pub -> PS.t -> bool
+(** Would {!publish} produce a snapshot with a different generation
+    vector?  True when any source generation moved since the current
+    snapshot froze, or a watched field changed physical identity. *)

@@ -31,7 +31,10 @@ type t = {
   mutable tail : entry option;
   mutable size : int;
   mutable enabled : bool;
-  mutable epoch : int;
+  (* Atomic: the dispatcher's front slots in other domains compare their
+     stamped epoch against this on every decision, while [clear] bumps it
+     from whichever domain serviced the /proc write. *)
+  epoch : int Atomic.t;
   mutable hits : int;
   mutable misses : int;
   mutable stale : int;
@@ -44,7 +47,8 @@ let default_capacity = 1024
 let create ?(capacity = default_capacity) () =
   let cap = max 1 capacity in
   { cap; table = Hashtbl.create cap; head = None; tail = None; size = 0;
-    enabled = true; epoch = 0; hits = 0; misses = 0; stale = 0; evicted = 0;
+    enabled = true; epoch = Atomic.make 0; hits = 0; misses = 0; stale = 0;
+    evicted = 0;
     hooks = [] }
 
 let register t name =
@@ -62,7 +66,7 @@ let capacity t = t.cap
 let length t = t.size
 let enabled t = t.enabled
 let set_enabled t e = t.enabled <- e
-let epoch t = t.epoch
+let epoch t = Atomic.get t.epoch
 
 let record_hit t hook =
   t.hits <- t.hits + 1;
@@ -167,7 +171,7 @@ let clear t =
   t.head <- None;
   t.tail <- None;
   t.size <- 0;
-  t.epoch <- t.epoch + 1
+  Atomic.incr t.epoch
 
 let reset t =
   clear t;

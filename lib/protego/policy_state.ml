@@ -49,7 +49,7 @@ type t = {
   mutable ppp : Protego_policy.Pppopts.t;
   mutable reauth_read_prefixes : string list;
   mutable file_acl : (string * string list) list;
-  generations : int array;
+  generations : int Atomic.t array;
 }
 
 let create () =
@@ -58,13 +58,19 @@ let create () =
     reauth_read_prefixes = [ "/etc/shadows/" ];
     file_acl =
       [ ("/etc/ssh/ssh_host_rsa_key", [ "/usr/lib/openssh/ssh-keysign" ]) ];
-    generations = Array.make source_count 0 }
+    generations = Array.init source_count (fun _ -> Atomic.make 0) }
 
-let generation t s = t.generations.(source_index s)
+let sources = [ Mounts; Binds; Delegation; Accounts; Ppp ]
 
-let bump_generation t s =
-  let i = source_index s in
-  t.generations.(i) <- t.generations.(i) + 1
+(* Generations are Atomic.t, not plain ints: the decision plane
+   (lib/plane) freezes the vector from, and the /proc writers bump it
+   from, different domains.  Single-domain behaviour is unchanged —
+   [Atomic.get]/[Atomic.incr] on an uncontended cell cost the same as the
+   plain loads and stores they replace — but multi-domain reads are
+   well-defined instead of racy. *)
+let generation t s = Atomic.get t.generations.(source_index s)
+
+let bump_generation t s = Atomic.incr t.generations.(source_index s)
 
 (* --- name service ---------------------------------------------------- *)
 

@@ -65,9 +65,11 @@ type t = {
       (** reading files under these paths requires recent authentication *)
   mutable file_acl : (string * string list) list;
       (** sensitive file -> binaries allowed to open it (ssh-keysign rule) *)
-  generations : int array;
+  generations : int Atomic.t array;
       (** per-source generation counters, indexed by {!source} — use
-          {!generation} / {!bump_generation} rather than the raw array *)
+          {!generation} / {!bump_generation} rather than the raw array.
+          Atomic so the multi-domain decision plane can read the vector
+          while a /proc writer bumps it; see DESIGN.md §6. *)
 }
 
 val create : unit -> t
@@ -87,6 +89,12 @@ val create : unit -> t
 
 val source_name : source -> string
 (** ["mounts"], ["binds"], ["delegation"], ["accounts"], ["ppp"]. *)
+
+val sources : source list
+(** All sources, in {!source_index} order — for freezing the full vector. *)
+
+val source_index : source -> int
+(** Dense index into {!t.generations} (0..4, {!sources} order). *)
 
 val generation : t -> source -> int
 val bump_generation : t -> source -> unit

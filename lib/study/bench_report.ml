@@ -27,6 +27,7 @@ type t = {
   scenarios : scenario list;
   latency : latency_row list;
   cache : cache_stats;
+  environment : (string * string) list;
 }
 
 (* --- JSON --------------------------------------------------------------- *)
@@ -50,6 +51,8 @@ let to_json t =
   Json.Obj
     [ ("schema_version", Json.num (float_of_int schema_version));
       ("tool", Json.Str "protego-bench");
+      ( "environment",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) t.environment) );
       ("scenarios", Json.List (List.map scenario t.scenarios));
       ("latency", Json.List (List.map latency_row t.latency));
       ( "cache",
@@ -144,11 +147,31 @@ let of_json j =
     let* ratio = num_field "cache" "hit_ratio" cache_j in
     let* stale = int_field "cache" "stale_evictions" cache_j in
     let* capacity = int_field "cache" "capacity_evictions" cache_j in
+    (* Optional since its introduction: reports written by older benches
+       (and hand-trimmed baselines) simply lack the key.  Like every
+       other lookup here this is member-based, so keys this reader does
+       not know are ignored rather than rejected — the report can grow
+       without breaking an older gate. *)
+    let* environment =
+      match Json.member "environment" j with
+      | None -> Ok []
+      | Some (Json.Obj fields) ->
+          map_result
+            (fun (k, v) ->
+              match Json.to_str v with
+              | Some s -> Ok (k, s)
+              | None ->
+                  Error
+                    (Printf.sprintf "environment: key %S is not a string" k))
+            fields
+      | Some _ -> Error "environment: not an object"
+    in
     Ok
       { scenarios; latency;
         cache =
           { cs_hits = hits; cs_misses = misses; cs_hit_ratio = ratio;
-            cs_stale = stale; cs_capacity = capacity } }
+            cs_stale = stale; cs_capacity = capacity };
+        environment }
 
 (* --- structural assertions ---------------------------------------------- *)
 

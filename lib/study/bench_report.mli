@@ -9,6 +9,8 @@
     {v
     { "schema_version": 1,
       "tool": "protego-bench",
+      "environment": { "ocaml_version": "5.1.1",
+                       "recommended_domain_count": "8", ... },
       "scenarios": [ { "name": "filter:mount",
                        "metrics": { "ref_ns": 410.2, "pfm_ns": 217.8,
                                     "speedup": 1.88 } }, ... ],
@@ -52,6 +54,11 @@ type t = {
   scenarios : scenario list;
   latency : latency_row list;
   cache : cache_stats;
+  environment : (string * string) list;
+      (** free-form provenance for the run ([ocaml_version],
+          [recommended_domain_count], plane domain counts, ...);
+          informational — never gated, optional on read (reports
+          predating the key load as [[]]) *)
 }
 
 val to_json : t -> Json.t

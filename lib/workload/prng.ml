@@ -1,0 +1,29 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+(* splitmix64 (Steele, Lea & Flood): one additive constant walk plus two
+   xor-shift-multiply finalizer rounds.  Chosen for its tiny state and
+   because a single step is enough mixing for consecutive seeds. *)
+let next t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int";
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (next t) 1) (Int64.of_int bound))
+
+let float t =
+  (* 53 mantissa bits, the usual double-in-[0,1) construction *)
+  Int64.to_float (Int64.shift_right_logical (next t) 11) *. 0x1p-53
+
+let split t = { state = next t }

@@ -1,0 +1,21 @@
+(** Deterministic pseudo-random numbers for the workload generator —
+    splitmix64, seeded explicitly, no wall clock anywhere.  The same
+    seed always yields the same stream on every platform, which is what
+    makes generated schedules replayable byte-for-byte. *)
+
+type t
+
+val create : int -> t
+(** A generator from a seed. *)
+
+val next : t -> int64
+(** The next 64 raw bits. *)
+
+val int : t -> int -> int
+(** [int t bound]: uniform in [0, bound); [bound] must be positive. *)
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val split : t -> t
+(** An independent generator derived from this one's stream. *)

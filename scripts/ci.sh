@@ -43,4 +43,16 @@ echo "==> bench structural check + regression gate"
 echo "==> decision-cache interleaving harness"
 ./_build/default/test/test_main.exe test cache
 
+# Plane stress: the multi-domain differential suites (N-domain run vs
+# the sequential reference, snapshot interleavings, audit integrity)
+# and a scaling smoke run whose numbers ride along with the bench
+# artifact.  The suites spawn real domains, so this exercises the
+# epoch-publication path under actual parallelism even on a small
+# runner.
+echo "==> decision-plane stress (multi-domain differential + interleavings)"
+./_build/default/test/test_main.exe test plane
+
+echo "==> decision-plane scaling smoke (numbers land in PLANE_scaling.txt)"
+./_build/default/bench/main.exe plane | tee PLANE_scaling.txt
+
 echo "CI: all checks passed"

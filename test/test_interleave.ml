@@ -118,7 +118,125 @@ let test_all_interleavings () =
   Alcotest.(check int) "C(6,3) schedules" 20 (List.length schedules);
   List.iter run_schedule schedules
 
+(* --- snapshot publication vs plane decisions ---------------------------
+
+   The same scripted-scheduler idea against the parallel decision plane:
+   every merge order of three semantic policy flips (each one
+   mutate + bump + publish) with three probe batches on [Plane.decide].
+   A probe must see a verdict consistent with the {e last published}
+   snapshot — matching both the live-state oracle and the snapshot its
+   outcome is epoch-stamped with — and a warm repeat must agree.  If
+   publication could expose a half-frozen snapshot, or leave a stale
+   front slot or memo entry servable across an epoch swap, some
+   interleaving puts a probe right behind the offending publish. *)
+
+module Plane = Protego_plane.Plane
+module Snapshot = Protego_plane.Snapshot
+module Pfm = Protego_filter.Pfm
+
+type pstep = Publish of string * (PS.t -> unit) | PProbe
+
+let cdrom flags mode =
+  { PS.mr_source = "/dev/cdrom"; mr_target = "/media/cdrom";
+    mr_fstype = "iso9660"; mr_flags = flags; mr_mode = mode }
+
+let exim port proto =
+  { Bindconf.port; proto; exe = "/usr/sbin/exim4"; owner = 0 }
+
+(* P1 adds a flag requirement (bare mount flips allow -> deny), P2 moves
+   the port grant tcp -> udp, P3 drops the cdrom rule. *)
+let publisher =
+  [ Publish ("P1", fun st ->
+        st.PS.mounts <- [ cdrom [ Mf_readonly; Mf_nosuid; Mf_nodev ] `Users ];
+        PS.bump_generation st PS.Mounts);
+    Publish ("P2", fun st ->
+        st.PS.binds <- [ exim 777 Bindconf.Udp ];
+        PS.bump_generation st PS.Binds);
+    Publish ("P3", fun st ->
+        st.PS.mounts <- [];
+        PS.bump_generation st PS.Mounts) ]
+
+let pdecider = [ PProbe; PProbe; PProbe ]
+
+let plane_probe ~schedule ~at st plane =
+  let where what = Printf.sprintf "%s step %d %s" schedule at what in
+  let snap_of epoch =
+    let cur = Plane.current plane in
+    if cur.Snapshot.epoch <> epoch then
+      Alcotest.fail (where "decision stamped a non-current epoch");
+    cur
+  in
+  List.iter
+    (fun (label, flags) ->
+      let req =
+        Plane.Mount
+          { subject = 1000; source = "/dev/cdrom"; target = "/media/cdrom";
+            fstype = "iso9660"; flags }
+      in
+      let oracle =
+        PS.mount_decision st ~source:"/dev/cdrom" ~target:"/media/cdrom"
+          ~fstype:"iso9660" ~flags
+      in
+      let ask () =
+        let o = Plane.decide plane req in
+        let snap = snap_of o.Plane.o_epoch in
+        check
+          (where ("snapshot oracle " ^ label))
+          (Snapshot.ref_mount snap ~source:"/dev/cdrom" ~target:"/media/cdrom"
+             ~fstype:"iso9660" ~flags)
+          (o.Plane.o_verdict = Pfm.Allow);
+        o.Plane.o_verdict = Pfm.Allow
+      in
+      check (where ("plane mount " ^ label)) oracle (ask ());
+      check (where ("plane mount " ^ label ^ " repeat")) oracle (ask ()))
+    mount_probes;
+  List.iter
+    (fun (label, proto) ->
+      let req =
+        Plane.Bind
+          { subject = 0; port = 777; proto; exe = "/usr/sbin/exim4" }
+      in
+      let oracle =
+        PS.bind_allowed st ~port:777 ~proto ~exe:"/usr/sbin/exim4" ~uid:0
+      in
+      let ask () =
+        (Plane.decide plane req).Plane.o_verdict = Pfm.Allow
+      in
+      check (where ("plane bind " ^ label)) oracle (ask ());
+      check (where ("plane bind " ^ label ^ " repeat")) oracle (ask ()))
+    bind_probes
+
+let pschedule_name steps =
+  String.concat ""
+    (List.map (function Publish (l, _) -> l | PProbe -> "D") steps)
+
+let run_pschedule steps =
+  let st = PS.create () in
+  st.PS.mounts <- [ cdrom [] `Users ];
+  st.PS.binds <- [ exim 777 Bindconf.Tcp ];
+  PS.bump_generation st PS.Mounts;
+  PS.bump_generation st PS.Binds;
+  let plane = Plane.create st in
+  let schedule = pschedule_name steps in
+  List.iteri
+    (fun at step ->
+      match step with
+      | Publish (_, mutate) ->
+          mutate st;
+          ignore (Plane.publish plane)
+      | PProbe -> plane_probe ~schedule ~at st plane)
+    steps;
+  plane_probe ~schedule ~at:(List.length steps) st plane
+
+let test_publish_interleavings () =
+  let schedules = interleavings publisher pdecider in
+  Alcotest.(check int) "C(6,3) schedules" 20 (List.length schedules);
+  List.iter run_pschedule schedules
+
 let suites =
   [ ("cache:interleave",
       [ Alcotest.test_case "reloads vs decisions, all orders" `Quick
-          test_all_interleavings ]) ]
+          test_all_interleavings ]);
+    ("plane:interleave",
+      [ Alcotest.test_case "publishes vs plane decisions, all orders" `Quick
+          test_publish_interleavings ]) ]

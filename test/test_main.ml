@@ -15,4 +15,5 @@ let () =
    @ Test_polkit.suites
    @ Test_analysis.suites @ Test_exploits.suites
    @ Test_functional.suites @ Test_study.suites @ Test_fuzz.suites
-   @ Test_cache.suites @ Test_trace.suites @ Test_interleave.suites)
+   @ Test_cache.suites @ Test_trace.suites @ Test_interleave.suites
+   @ Test_plane.suites)

@@ -1,0 +1,446 @@
+(* The parallel decision plane: snapshot lifecycle, sequential and
+   N-domain differential correctness, audit-spool integrity, the
+   workload generator's determinism, and /proc/protego/plane. *)
+
+open Protego_kernel
+open Ktypes
+module Image = Protego_dist.Image
+module PS = Protego_core.Policy_state
+module Pfm = Protego_filter.Pfm
+module Snapshot = Protego_plane.Snapshot
+module Plane = Protego_plane.Plane
+module Workload = Protego_workload.Workload
+module Prng = Protego_workload.Prng
+module Errno = Protego_base.Errno
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* A small but non-trivial synthetic policy + workload. *)
+let spec ?(seed = 7) ?(phases = [ (Workload.Steady, 2_000) ]) () =
+  { (Workload.default ~seed ~phases ()) with Workload.rules = 24; pool = 64 }
+
+let fresh_state spec =
+  let st = PS.create () in
+  Workload.install_policy spec st;
+  st
+
+(* The uncached, unsnapshotted reference verdict straight off the live
+   policy state — what every plane decision must agree with as long as
+   reloads are semantics-preserving. *)
+let oracle (st : PS.t) = function
+  | Plane.Mount { source; target; fstype; flags; _ } ->
+      PS.mount_decision st ~source ~target ~fstype ~flags
+  | Plane.Umount { subject; target; mounted_by } ->
+      PS.umount_decision st ~target ~mounted_by ~ruid:subject
+  | Plane.Bind { subject; port; proto; exe } ->
+      PS.bind_allowed st ~port ~proto ~exe ~uid:subject
+  | Plane.Ppp_ioctl { device; opt; _ } -> PS.ppp_ioctl_decision st ~device ~opt
+
+let snapshot_oracle snap = function
+  | Plane.Mount { source; target; fstype; flags; _ } ->
+      Snapshot.ref_mount snap ~source ~target ~fstype ~flags
+  | Plane.Umount { subject; target; mounted_by } ->
+      Snapshot.ref_umount snap ~target ~mounted_by ~ruid:subject
+  | Plane.Bind { subject; port; proto; exe } ->
+      Snapshot.ref_bind snap ~port ~proto ~exe ~uid:subject
+  | Plane.Ppp_ioctl { device; opt; _ } -> Snapshot.ref_ppp snap ~device ~opt
+
+(* --- snapshot lifecycle ------------------------------------------------- *)
+
+let test_freeze_publish () =
+  let sp = spec () in
+  let st = fresh_state sp in
+  let pub = Snapshot.make st in
+  let s0 = Snapshot.current pub in
+  check_int "initial epoch" 0 s0.Snapshot.epoch;
+  check_int "frozen mounts gen" (PS.generation st PS.Mounts)
+    (Snapshot.gen_for s0 PS.Mounts);
+  check_bool "not stale at rest" false (Snapshot.stale pub st);
+  (* A /proc-style reload: replace a field, bump, republish. *)
+  st.PS.mounts <-
+    [ { PS.mr_source = "/dev/cdrom"; mr_target = "/media/cdrom";
+        mr_fstype = "iso9660"; mr_flags = []; mr_mode = `Users } ];
+  PS.bump_generation st PS.Mounts;
+  check_bool "stale after bump" true (Snapshot.stale pub st);
+  let s1 = Snapshot.publish pub st in
+  check_int "epoch advanced" 1 s1.Snapshot.epoch;
+  check_bool "published pointer" true (Snapshot.current pub == s1);
+  (* The old snapshot is immutable: it still answers with the old policy. *)
+  check_bool "old snapshot, old verdict" true
+    (Snapshot.ref_mount s0 ~source:"/dev/wl1" ~target:"/media/wl1"
+       ~fstype:"ext4" ~flags:[]);
+  check_bool "old snapshot misses new rule" false
+    (Snapshot.ref_mount s0 ~source:"/dev/cdrom" ~target:"/media/cdrom"
+       ~fstype:"iso9660" ~flags:[]);
+  check_bool "new snapshot, new verdict" true
+    (Snapshot.ref_mount s1 ~source:"/dev/cdrom" ~target:"/media/cdrom"
+       ~fstype:"iso9660" ~flags:[])
+
+let test_watch_parity () =
+  let sp = spec () in
+  let st = fresh_state sp in
+  let pub = Snapshot.make st in
+  let before = PS.generation st PS.Binds in
+  (* Direct assignment without a generation bump — the harness pattern
+     the dispatcher's watches exist for. *)
+  st.PS.binds <- [];
+  check_bool "identity change is stale" true (Snapshot.stale pub st);
+  let s1 = Snapshot.publish pub st in
+  check_int "publish bumped the unannounced source" (before + 1)
+    (PS.generation st PS.Binds);
+  check_int "snapshot froze the bumped gen" (before + 1)
+    (Snapshot.gen_for s1 PS.Binds)
+
+let test_atomic_generations () =
+  (* The satellite contract: generation bumps are atomic increments, so
+     concurrent bumps never lose updates. *)
+  let st = PS.create () in
+  let bumps = 1_000 in
+  let dom () =
+    Domain.spawn (fun () ->
+        for _ = 1 to bumps do
+          PS.bump_generation st PS.Mounts
+        done)
+  in
+  let d1 = dom () and d2 = dom () in
+  Domain.join d1;
+  Domain.join d2;
+  check_int "no lost bumps" (2 * bumps) (PS.generation st PS.Mounts)
+
+(* --- sequential decide vs the oracle ------------------------------------ *)
+
+let test_decide_matches_oracle () =
+  let sp = spec () in
+  let st = fresh_state sp in
+  let plane = Plane.create st in
+  let { Workload.s_requests; _ } = Workload.generate sp ~workers:1 in
+  Array.iteri
+    (fun i req ->
+      let expect = oracle st req in
+      let o1 = Plane.decide plane req in
+      let o2 = Plane.decide plane req in
+      check_bool
+        (Printf.sprintf "decision %d" i)
+        expect
+        (o1.Plane.o_verdict = Pfm.Allow);
+      check_bool
+        (Printf.sprintf "decision %d warm repeat" i)
+        expect
+        (o2.Plane.o_verdict = Pfm.Allow);
+      (match o1.Plane.o_errno with
+       | Some _ when expect -> Alcotest.fail "errno on an allow"
+       | None when not expect -> Alcotest.fail "no errno on a deny"
+       | _ -> ());
+      check_int (Printf.sprintf "decision %d epoch" i)
+        (Plane.current plane).Snapshot.epoch o1.Plane.o_epoch)
+    s_requests
+
+let test_bind_errno () =
+  let sp = spec () in
+  let st = fresh_state sp in
+  let plane = Plane.create st in
+  let denied =
+    Plane.decide plane
+      (Plane.Bind
+         { subject = 9999; port = 1000; proto = Protego_policy.Bindconf.Tcp;
+           exe = "/usr/bin/rogue" })
+  in
+  Alcotest.(check (option (testable Errno.pp ( = ))))
+    "bind denies with EACCES" (Some Errno.EACCES) denied.Plane.o_errno;
+  let denied_mount =
+    Plane.decide plane
+      (Plane.Mount
+         { subject = 1; source = "/dev/evil"; target = "/media/wl0";
+           fstype = "ext4"; flags = [] })
+  in
+  Alcotest.(check (option (testable Errno.pp ( = ))))
+    "mount denies with EPERM" (Some Errno.EPERM) denied_mount.Plane.o_errno
+
+(* --- N-domain differential ---------------------------------------------- *)
+
+let storm_phases =
+  [ (Workload.Steady, 3_000);
+    (Workload.Reload_storm { period = 500 }, 4_000);
+    (Workload.Deny_flood, 2_000);
+    (Workload.Steady, 2_000) ]
+
+let run_with_reloads plane (sched : Workload.schedule) =
+  let st = Plane.state plane in
+  let reloads =
+    List.map
+      (fun (th, source) ->
+        ( th,
+          fun () ->
+            PS.bump_generation st source;
+            ignore (Plane.publish plane) ))
+      sched.Workload.s_reloads
+  in
+  Plane.run plane ~reloads sched.Workload.s_requests
+
+let test_differential_domains () =
+  let sp =
+    { (spec ~seed:11 ~phases:storm_phases ()) with Workload.loop = `Closed }
+  in
+  let n = List.fold_left (fun a (_, c) -> a + c) 0 storm_phases in
+  let sched = Workload.generate sp ~workers:4 in
+  check_int "schedule length" n (Array.length sched.Workload.s_requests);
+  check_bool "storm produced reloads" true (sched.Workload.s_reloads <> []);
+  (* Sequential reference: 1 domain, ref engine, same storms. *)
+  let st_seq = fresh_state sp in
+  let seq = Plane.create ~domains:1 st_seq in
+  Plane.set_engine seq `Ref;
+  let rr_seq = run_with_reloads seq sched in
+  (* Parallel run: 4 domains, compiled engine, same storms. *)
+  let st_par = fresh_state sp in
+  let par = Plane.create ~domains:4 st_par in
+  let rr_par = run_with_reloads par sched in
+  check_int "outcome count" n (Array.length rr_par.Plane.rr_outcomes);
+  Array.iteri
+    (fun i (o : Plane.outcome) ->
+      let s = rr_seq.Plane.rr_outcomes.(i) in
+      if o.Plane.o_verdict <> s.Plane.o_verdict then
+        Alcotest.failf "verdict divergence at %d" i;
+      if o.Plane.o_errno <> s.Plane.o_errno then
+        Alcotest.failf "errno divergence at %d" i;
+      (* Storm reloads preserve semantics, so the fixed-policy oracle
+         also holds, whatever snapshot epoch served the decision. *)
+      let expect = oracle st_par sched.Workload.s_requests.(i) in
+      if (o.Plane.o_verdict = Pfm.Allow) <> expect then
+        Alcotest.failf "oracle divergence at %d" i)
+    rr_par.Plane.rr_outcomes;
+  (* Audit-spool integrity: exactly one record per request, in order. *)
+  check_int "audit count" n (Array.length rr_par.Plane.rr_audit);
+  Array.iteri
+    (fun i (a : Plane.audit_entry) ->
+      if a.Plane.a_seq <> i then Alcotest.failf "audit seq hole at %d" i;
+      let req = sched.Workload.s_requests.(i) in
+      if a.Plane.a_hook <> Plane.hook_index req then
+        Alcotest.failf "audit hook mismatch at %d" i;
+      if
+        a.Plane.a_allowed
+        <> (rr_par.Plane.rr_outcomes.(i).Plane.o_verdict = Pfm.Allow)
+      then Alcotest.failf "audit verdict mismatch at %d" i)
+    rr_par.Plane.rr_audit;
+  (* Merged per-hook stats add up across workers. *)
+  let total =
+    List.fold_left
+      (fun acc (_, ht) -> acc + ht.Plane.ht_decisions)
+      0 (Plane.hook_stats par)
+  in
+  check_int "per-hook decisions sum to the run" n total
+
+(* A reload that flips semantics mid-flight: every verdict must match
+   the snapshot its decision reports — old or new policy, never a torn
+   mix of both. *)
+let test_semantic_flip_never_torn () =
+  let st = PS.create () in
+  let rule flags =
+    [ { PS.mr_source = "/dev/cdrom"; mr_target = "/media/cdrom";
+        mr_fstype = "iso9660"; mr_flags = flags; mr_mode = `Users } ]
+  in
+  st.PS.mounts <- rule [];
+  PS.bump_generation st PS.Mounts;
+  let plane = Plane.create ~domains:2 st in
+  let snaps = Hashtbl.create 8 in
+  let remember s = Hashtbl.replace snaps s.Snapshot.epoch s in
+  remember (Plane.current plane);
+  (* One interned request, asked 10k times across 2 domains. *)
+  let req =
+    Plane.Mount
+      { subject = 1000; source = "/dev/cdrom"; target = "/media/cdrom";
+        fstype = "iso9660"; flags = [] }
+  in
+  let reqs = Array.make 10_000 req in
+  let flip flags () =
+    st.PS.mounts <- rule flags;
+    PS.bump_generation st PS.Mounts;
+    remember (Plane.publish plane)
+  in
+  let reloads =
+    [ (2_000, flip [ Ktypes.Mf_nosuid ]); (5_000, flip []);
+      (8_000, flip [ Ktypes.Mf_readonly ]) ]
+  in
+  let rr = Plane.run plane ~reloads reqs in
+  remember (Plane.current plane);
+  Array.iteri
+    (fun i (o : Plane.outcome) ->
+      match Hashtbl.find_opt snaps o.Plane.o_epoch with
+      | None -> Alcotest.failf "decision %d stamped unknown epoch %d" i o.Plane.o_epoch
+      | Some snap ->
+          let expect = snapshot_oracle snap req in
+          if (o.Plane.o_verdict = Pfm.Allow) <> expect then
+            Alcotest.failf
+              "decision %d torn: verdict disagrees with its epoch %d" i
+              o.Plane.o_epoch)
+    rr.Plane.rr_outcomes;
+  (* Audit epochs agree with outcome epochs. *)
+  Array.iteri
+    (fun i (a : Plane.audit_entry) ->
+      if a.Plane.a_epoch <> rr.Plane.rr_outcomes.(i).Plane.o_epoch then
+        Alcotest.failf "audit epoch mismatch at %d" i)
+    rr.Plane.rr_audit
+
+(* --- workload generator -------------------------------------------------- *)
+
+let test_workload_deterministic () =
+  let sp =
+    { (spec ~seed:5 ~phases:storm_phases ()) with Workload.loop = `Closed }
+  in
+  let a = Workload.generate sp ~workers:4 in
+  let b = Workload.generate sp ~workers:4 in
+  check_bool "same spec, same schedule" true
+    (a.Workload.s_requests = b.Workload.s_requests);
+  check_bool "same spec, same reloads" true
+    (a.Workload.s_reloads = b.Workload.s_reloads);
+  let c = Workload.generate { sp with Workload.seed = 6 } ~workers:4 in
+  check_bool "different seed, different schedule" false
+    (a.Workload.s_requests = c.Workload.s_requests)
+
+let test_workload_zipf_and_interning () =
+  let sp = spec ~seed:3 () in
+  let { Workload.s_requests; _ } = Workload.generate sp ~workers:1 in
+  let n = Array.length s_requests in
+  (* Interning: draws alias pool values, so the number of distinct
+     physical requests is bounded by the pools, far below n. *)
+  let distinct = ref [] in
+  Array.iter
+    (fun r -> if not (List.memq r !distinct) then distinct := r :: !distinct)
+    s_requests;
+  check_bool "interned pool"
+    true
+    (List.length !distinct <= 8 * sp.Workload.pool);
+  (* Zipf: the hottest request dominates a uniform draw by a wide margin. *)
+  let counts = Hashtbl.create 256 in
+  Array.iter
+    (fun r ->
+      Hashtbl.replace counts (Obj.repr r)
+        (1 + Option.value ~default:0 (Hashtbl.find_opt counts (Obj.repr r))))
+    s_requests;
+  let hottest = Hashtbl.fold (fun _ c acc -> max c acc) counts 0 in
+  check_bool "zipf head heat" true (hottest * sp.Workload.pool > 5 * n)
+
+let test_workload_deny_flood () =
+  let sp = spec ~seed:9 ~phases:[ (Workload.Deny_flood, 2_000) ] () in
+  let st = fresh_state sp in
+  let { Workload.s_requests; _ } = Workload.generate sp ~workers:1 in
+  let denies =
+    Array.fold_left
+      (fun acc r -> if oracle st r then acc else acc + 1)
+      0 s_requests
+  in
+  check_bool "flood mostly denies" true (denies * 2 > Array.length s_requests)
+
+(* --- /proc/protego/plane ------------------------------------------------- *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let test_proc_render_and_write () =
+  let sp = spec () in
+  let st = fresh_state sp in
+  let plane = Plane.create st in
+  check_bool "initial render" true
+    (contains (Plane.render plane) "plane domains 1 engine pfm epoch 0 runs 0");
+  Alcotest.(check (result unit string))
+    "domains write" (Ok ())
+    (Plane.handle_write plane "domains 4");
+  check_int "domains applied" 4 (Plane.domains plane);
+  Alcotest.(check (result unit string))
+    "engine write" (Ok ())
+    (Plane.handle_write plane "engine ref");
+  check_bool "engine applied" true (Plane.engine plane = `Ref);
+  Alcotest.(check (result unit string))
+    "publish write" (Ok ())
+    (Plane.handle_write plane "publish");
+  check_int "publish bumped epoch" 1 (Plane.current plane).Snapshot.epoch;
+  check_bool "bad domains rejected" true
+    (Result.is_error (Plane.handle_write plane "domains 0"));
+  check_bool "unknown command rejected" true
+    (Result.is_error (Plane.handle_write plane "frobnicate"));
+  ignore (Plane.run plane (Workload.generate sp ~workers:4).Workload.s_requests);
+  check_int "runs counted" 1 (Plane.runs plane);
+  Alcotest.(check (result unit string))
+    "reset" (Ok ())
+    (Plane.handle_write plane "reset");
+  check_int "reset zeroed runs" 0 (Plane.runs plane)
+
+let test_proc_in_image () =
+  let img = Image.build Image.Protego in
+  let m = img.Image.machine in
+  m.password_source <- (fun _ -> None);
+  let root = Image.login img "root" in
+  (match Syscall.read_file m root "/proc/protego/plane" with
+   | Ok s -> check_bool "image render" true (contains s "plane domains")
+   | Error _ -> Alcotest.fail "cannot read /proc/protego/plane");
+  (match Syscall.write_file m root "/proc/protego/plane" "domains 2" with
+   | Ok () -> ()
+   | Error _ -> Alcotest.fail "cannot write /proc/protego/plane");
+  (match Syscall.read_file m root "/proc/protego/plane" with
+   | Ok s -> check_bool "domains visible" true (contains s "plane domains 2")
+   | Error _ -> Alcotest.fail "cannot re-read /proc/protego/plane");
+  (match Syscall.write_file m root "/proc/protego/plane" "bogus" with
+   | Error Errno.EINVAL -> ()
+   | _ -> Alcotest.fail "bogus write must be EINVAL");
+  (* The plane serves decisions against the policy the LSM loaded. *)
+  (match img.Image.plane with
+   | None -> Alcotest.fail "Protego image has no plane"
+   | Some plane ->
+       let st = Plane.state plane in
+       let req =
+         Plane.Mount
+           { subject = Image.alice_uid; source = "/dev/cdrom";
+             target = "/media/cdrom"; fstype = "iso9660"; flags = [] }
+       in
+       let o = Plane.decide plane req in
+       check_bool "plane agrees with the live policy" (oracle st req)
+         (o.Plane.o_verdict = Pfm.Allow))
+
+(* --- capacity accounting -------------------------------------------------- *)
+
+let test_capacity_and_latency () =
+  let sp = spec () in
+  let st = fresh_state sp in
+  let plane = Plane.create ~domains:2 st in
+  let counter = ref 0 in
+  (* A deterministic "clock": 10ns per read. *)
+  Plane.set_clock plane (fun () -> incr counter; !counter * 10);
+  let rr = Plane.run plane (Workload.generate sp ~workers:2).Workload.s_requests in
+  check_bool "wall time measured" true (rr.Plane.rr_wall_ns > 0);
+  check_int "one min-op sample per worker" 2 (Array.length rr.Plane.rr_min_op_ns);
+  Array.iter
+    (fun ns -> check_bool "min op cost finite" true (Float.is_finite ns))
+    rr.Plane.rr_min_op_ns;
+  check_bool "capacity positive" true (Plane.capacity_per_sec rr > 0.);
+  check_bool "latency lines rendered" true
+    (contains (Plane.render plane) "latency hook")
+
+let suites =
+  [ ("plane:snapshot",
+     [ Alcotest.test_case "freeze and publish" `Quick test_freeze_publish;
+       Alcotest.test_case "watch parity" `Quick test_watch_parity;
+       Alcotest.test_case "atomic generations" `Quick test_atomic_generations ]);
+    ("plane:decide",
+     [ Alcotest.test_case "sequential decide vs oracle" `Quick
+         test_decide_matches_oracle;
+       Alcotest.test_case "per-hook errnos" `Quick test_bind_errno ]);
+    ("plane:differential",
+     [ Alcotest.test_case "4-domain run equals sequential reference" `Quick
+         test_differential_domains;
+       Alcotest.test_case "semantic flip never torn" `Quick
+         test_semantic_flip_never_torn ]);
+    ("plane:workload",
+     [ Alcotest.test_case "deterministic generation" `Quick
+         test_workload_deterministic;
+       Alcotest.test_case "zipf and interning" `Quick
+         test_workload_zipf_and_interning;
+       Alcotest.test_case "deny flood floods" `Quick test_workload_deny_flood ]);
+    ("plane:proc",
+     [ Alcotest.test_case "render and commands" `Quick
+         test_proc_render_and_write;
+       Alcotest.test_case "vnode in the image" `Quick test_proc_in_image ]);
+    ("plane:capacity",
+     [ Alcotest.test_case "timing and latency merge" `Quick
+         test_capacity_and_latency ]) ]
