@@ -128,3 +128,20 @@ let message = function
   | EPROTONOSUPPORT -> "Protocol not supported"
 
 let pp ppf e = Format.pp_print_string ppf (to_string e)
+
+(* Stable wire codes for binary records (the audit journal): constructor
+   order, 1-based so 0 can mean "no errno" in fixed-width encodings.
+   Appending constructors keeps old codes valid; reordering would not. *)
+let all =
+  [| EPERM; ENOENT; ESRCH; EINTR; EIO; ENXIO; ENOEXEC; EBADF; ECHILD;
+     EAGAIN; ENOMEM; EACCES; EFAULT; EBUSY; EEXIST; EXDEV; ENODEV;
+     ENOTDIR; EISDIR; EINVAL; ENFILE; EMFILE; ENOTTY; ENOSPC; EROFS;
+     EMLINK; EPIPE; ERANGE; ENAMETOOLONG; ENOSYS; ENOTEMPTY; ELOOP;
+     EADDRINUSE; EADDRNOTAVAIL; ENETUNREACH; ECONNREFUSED; ETIMEDOUT;
+     EHOSTUNREACH; ENOPROTOOPT; EPROTONOSUPPORT |]
+
+let to_code e =
+  let rec go i = if all.(i) = e then i + 1 else go (i + 1) in
+  go 0
+
+let of_code c = if c >= 1 && c <= Array.length all then Some all.(c - 1) else None

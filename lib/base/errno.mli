@@ -55,3 +55,10 @@ val message : t -> string
 (** Human-readable message, e.g. ["Operation not permitted"]. *)
 
 val pp : Format.formatter -> t -> unit
+
+val to_code : t -> int
+(** Stable positive wire code (constructor order, 1-based) for binary
+    encodings; 0 is reserved for "no errno". *)
+
+val of_code : int -> t option
+(** Inverse of {!to_code}; [None] for 0 or out-of-range codes. *)

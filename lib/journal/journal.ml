@@ -1,0 +1,583 @@
+module Errno = Protego_base.Errno
+
+(* Record framing.  Every record is 8-byte aligned and starts with one
+   little-endian 32-bit header word:
+
+     bit 31      lap parity of the record's logical offset
+     bit 30      padding flag (dead space at a segment end)
+     bits 0..29  total record length in bytes, header included
+
+   The header is written last (claim, fill, commit): a reader that sees
+   zero or an invalid length at a record boundary is looking at the
+   in-flight tail of that segment and stops.  Segments are zeroed when
+   (re)claimed, so stale previous-lap bytes can never alias a valid
+   header; the parity bit is a second, independent guard for readers
+   racing a wrap. *)
+
+let align = 8
+let max_string = 255
+
+type t = {
+  jseg_bytes : int;
+  jseg_shift : int;
+  jseg_mask : int;
+  jsegs : int;
+  jsegs_mask : int;
+  jcapacity : int;
+  jcap_shift : int;
+  store : Bytes.t array;
+  jtail : int Atomic.t;  (* logical bytes claimed; multiple of jseg_bytes *)
+  mutable jterms : term list;  (* registration is setup-time, coordinator-side *)
+}
+
+and term = {
+  tm_domain : int;
+  tm_j : t;
+  mutable tm_pos : int;  (* next free logical offset in the current segment *)
+  mutable tm_end : int;  (* logical end of the current segment *)
+  mutable tm_records : int;
+  mutable tm_bytes : int;
+  mutable tm_padding : int;
+}
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let rec shift_of n = if n <= 1 then 0 else 1 + shift_of (n lsr 1)
+
+let create ?(seg_bytes = 65536) ?(segments = 16) () =
+  if (not (is_pow2 seg_bytes)) || seg_bytes < 4096 then
+    invalid_arg "Journal.create: seg_bytes must be a power of two >= 4096";
+  if not (is_pow2 segments) then
+    invalid_arg "Journal.create: segments must be a power of two";
+  { jseg_bytes = seg_bytes; jseg_shift = shift_of seg_bytes;
+    jseg_mask = seg_bytes - 1; jsegs = segments; jsegs_mask = segments - 1;
+    jcapacity = seg_bytes * segments;
+    jcap_shift = shift_of (seg_bytes * segments);
+    store = Array.init segments (fun _ -> Bytes.make seg_bytes '\000');
+    jtail = Atomic.make 0; jterms = [] }
+
+let seg_bytes j = j.jseg_bytes
+let segments j = j.jsegs
+let capacity j = j.jcapacity
+let tail j = Atomic.get j.jtail
+
+let term j ~domain =
+  let tm =
+    { tm_domain = domain; tm_j = j; tm_pos = 0; tm_end = 0; tm_records = 0;
+      tm_bytes = 0; tm_padding = 0 }
+  in
+  j.jterms <- tm :: j.jterms;
+  tm
+
+(* Physical backing of a logical offset. *)
+let phys j o = Array.unsafe_get j.store ((o lsr j.jseg_shift) land j.jsegs_mask)
+let parity j o = (o lsr j.jcap_shift) land 1
+
+let set_header j ~at ~len ~padding =
+  let h =
+    (parity j at lsl 31) lor ((if padding then 1 else 0) lsl 30) lor len
+  in
+  Bytes.set_int32_le (phys j at) (at land j.jseg_mask) (Int32.of_int h)
+
+let get_header j ~at =
+  Int32.to_int (Bytes.get_int32_le (phys j at) (at land j.jseg_mask))
+  land 0xFFFFFFFF
+
+(* Claim a whole fresh segment: the single shared-state operation on the
+   write path.  The claiming term owns the segment exclusively, so the
+   wrap-lap zeroing below is single-writer. *)
+let new_chunk tm =
+  let j = tm.tm_j in
+  let pos = Atomic.fetch_and_add j.jtail j.jseg_bytes in
+  if pos >= j.jcapacity then Bytes.fill (phys j pos) 0 j.jseg_bytes '\000';
+  tm.tm_pos <- pos;
+  tm.tm_end <- pos + j.jseg_bytes
+
+(* Bump-allocate [len] (8-aligned, <= jseg_bytes) in the term's current
+   segment; pad out the remainder and claim a fresh segment when it does
+   not fit.  Domain-local: no atomics on the common path. *)
+let rec claim tm len =
+  if tm.tm_pos + len <= tm.tm_end then begin
+    let at = tm.tm_pos in
+    tm.tm_pos <- at + len;
+    at
+  end
+  else begin
+    let rem = tm.tm_end - tm.tm_pos in
+    if rem > 0 then begin
+      set_header tm.tm_j ~at:tm.tm_pos ~len:rem ~padding:true;
+      tm.tm_padding <- tm.tm_padding + 1
+    end;
+    new_chunk tm;
+    claim tm len
+  end
+
+let rounded n = (n + align - 1) land lnot (align - 1)
+
+let str_len s =
+  let l = String.length s in
+  1 + if l > max_string then max_string else l
+
+let put_str b off s =
+  let l = String.length s in
+  let n = if l > max_string then max_string else l in
+  Bytes.unsafe_set b off (Char.unsafe_chr n);
+  Bytes.blit_string s 0 b (off + 1) n;
+  off + 1 + n
+
+let put_u8 b off v = Bytes.unsafe_set b off (Char.unsafe_chr (v land 0xff))
+let put_u16 b off v = Bytes.set_uint16_le b off v
+let put_u32 b off v = Bytes.set_int32_le b off (Int32.of_int v)
+let get_u32 b off = Int32.to_int (Bytes.get_int32_le b off) land 0xFFFFFFFF
+
+(* Decision record, after the header word:
+     4  kind = 1          5  domain         6  reqtag (0..3)
+     7  verdict           8  errno (0 = none)
+     9  seq u32          13  run u32       17  epoch u32     21  subject u32
+    25  per-reqtag body (fixed fields first, then length-prefixed strings) *)
+
+let put_decision tm ~at ~reqtag ~seq ~run ~epoch ~subject ~verdict ~errno =
+  let j = tm.tm_j in
+  let b = phys j at in
+  let o = at land j.jseg_mask in
+  put_u8 b (o + 4) 1;
+  put_u8 b (o + 5) tm.tm_domain;
+  put_u8 b (o + 6) reqtag;
+  put_u8 b (o + 7) verdict;
+  put_u8 b (o + 8) errno;
+  put_u32 b (o + 9) seq;
+  put_u32 b (o + 13) run;
+  put_u32 b (o + 17) epoch;
+  put_u32 b (o + 21) subject;
+  (b, o)
+
+let finish tm ~at ~len =
+  set_header tm.tm_j ~at ~len ~padding:false;
+  tm.tm_records <- tm.tm_records + 1;
+  tm.tm_bytes <- tm.tm_bytes + len
+
+let append_mount tm ~seq ~run ~epoch ~subject ~verdict ~errno ~source ~target
+    ~fstype ~flags =
+  let len =
+    rounded (27 + str_len source + str_len target + str_len fstype)
+  in
+  let at = claim tm len in
+  let b, o =
+    put_decision tm ~at ~reqtag:0 ~seq ~run ~epoch ~subject ~verdict ~errno
+  in
+  put_u16 b (o + 25) flags;
+  let p = put_str b (o + 27) source in
+  let p = put_str b p target in
+  ignore (put_str b p fstype : int);
+  finish tm ~at ~len
+
+let append_umount tm ~seq ~run ~epoch ~subject ~verdict ~errno ~target
+    ~mounted_by =
+  let len = rounded (29 + str_len target) in
+  let at = claim tm len in
+  let b, o =
+    put_decision tm ~at ~reqtag:1 ~seq ~run ~epoch ~subject ~verdict ~errno
+  in
+  put_u32 b (o + 25) mounted_by;
+  ignore (put_str b (o + 29) target : int);
+  finish tm ~at ~len
+
+let append_bind tm ~seq ~run ~epoch ~subject ~verdict ~errno ~port ~proto ~exe =
+  let len = rounded (28 + str_len exe) in
+  let at = claim tm len in
+  let b, o =
+    put_decision tm ~at ~reqtag:2 ~seq ~run ~epoch ~subject ~verdict ~errno
+  in
+  put_u16 b (o + 25) port;
+  put_u8 b (o + 27) proto;
+  ignore (put_str b (o + 28) exe : int);
+  finish tm ~at ~len
+
+let append_ppp tm ~seq ~run ~epoch ~subject ~verdict ~errno ~device ~safe =
+  let len = rounded (26 + str_len device) in
+  let at = claim tm len in
+  let b, o =
+    put_decision tm ~at ~reqtag:3 ~seq ~run ~epoch ~subject ~verdict ~errno
+  in
+  put_u8 b (o + 25) (if safe then 1 else 0);
+  ignore (put_str b (o + 26) device : int);
+  finish tm ~at ~len
+
+(* Kernel audit record, after the header word:
+     4  kind = 2          5  allowed
+     6  time f64 bits    14  pid u32       18  uid u32
+    22  span u32 (0xFFFFFFFF = none)
+    26  strings: op, obj, engine ("" = none) *)
+
+let append_kaudit tm ~time ~pid ~uid ~op ~obj ~allowed ~engine ~span =
+  let engine_s = match engine with Some e -> e | None -> "" in
+  let len = rounded (26 + str_len op + str_len obj + str_len engine_s) in
+  let at = claim tm len in
+  let j = tm.tm_j in
+  let b = phys j at in
+  let o = at land j.jseg_mask in
+  put_u8 b (o + 4) 2;
+  put_u8 b (o + 5) (if allowed then 1 else 0);
+  Bytes.set_int64_le b (o + 6) (Int64.bits_of_float time);
+  put_u32 b (o + 14) pid;
+  put_u32 b (o + 18) uid;
+  put_u32 b (o + 22) (match span with Some s -> s | None -> 0xFFFFFFFF);
+  let p = put_str b (o + 26) op in
+  let p = put_str b p obj in
+  ignore (put_str b p engine_s : int);
+  finish tm ~at ~len
+
+(* --- decoding ----------------------------------------------------------- *)
+
+type req =
+  | Mount of { source : string; target : string; fstype : string; flags : int }
+  | Umount of { target : string; mounted_by : int }
+  | Bind of { port : int; proto : int; exe : string }
+  | Ppp of { device : string; safe : bool }
+
+type decision = {
+  d_seq : int;
+  d_run : int;
+  d_epoch : int;
+  d_domain : int;
+  d_subject : int;
+  d_verdict : int;
+  d_errno : int;
+  d_req : req;
+}
+
+type kaudit = {
+  k_time : float;
+  k_pid : int;
+  k_uid : int;
+  k_allowed : bool;
+  k_op : string;
+  k_obj : string;
+  k_engine : string option;
+  k_span : int option;
+}
+
+type entry = Decision of decision | Kaudit of kaudit
+
+let get_str b off lim =
+  let n = Bytes.get_uint8 b off in
+  if off + 1 + n > lim then failwith "Journal: string runs past record end";
+  (Bytes.sub_string b (off + 1) n, off + 1 + n)
+
+let decode_entry j ~at ~len =
+  let b = phys j at in
+  let o = at land j.jseg_mask in
+  let lim = o + len in
+  match Bytes.get_uint8 b (o + 4) with
+  | 1 ->
+      let domain = Bytes.get_uint8 b (o + 5) in
+      let reqtag = Bytes.get_uint8 b (o + 6) in
+      let verdict = Bytes.get_uint8 b (o + 7) in
+      let errno = Bytes.get_uint8 b (o + 8) in
+      let seq = get_u32 b (o + 9) in
+      let run = get_u32 b (o + 13) in
+      let epoch = get_u32 b (o + 17) in
+      let subject = get_u32 b (o + 21) in
+      let req =
+        match reqtag with
+        | 0 ->
+            let flags = Bytes.get_uint16_le b (o + 25) in
+            let source, p = get_str b (o + 27) lim in
+            let target, p = get_str b p lim in
+            let fstype, _ = get_str b p lim in
+            Mount { source; target; fstype; flags }
+        | 1 ->
+            let mounted_by = get_u32 b (o + 25) in
+            let target, _ = get_str b (o + 29) lim in
+            Umount { target; mounted_by }
+        | 2 ->
+            let port = Bytes.get_uint16_le b (o + 25) in
+            let proto = Bytes.get_uint8 b (o + 27) in
+            let exe, _ = get_str b (o + 28) lim in
+            Bind { port; proto; exe }
+        | 3 ->
+            let safe = Bytes.get_uint8 b (o + 25) = 1 in
+            let device, _ = get_str b (o + 26) lim in
+            Ppp { device; safe }
+        | n -> failwith (Printf.sprintf "Journal: unknown reqtag %d" n)
+      in
+      Decision
+        { d_seq = seq; d_run = run; d_epoch = epoch; d_domain = domain;
+          d_subject = subject; d_verdict = verdict; d_errno = errno;
+          d_req = req }
+  | 2 ->
+      let allowed = Bytes.get_uint8 b (o + 5) = 1 in
+      let time = Int64.float_of_bits (Bytes.get_int64_le b (o + 6)) in
+      let pid = get_u32 b (o + 14) in
+      let uid = get_u32 b (o + 18) in
+      let span =
+        let v = get_u32 b (o + 22) in
+        if v = 0xFFFFFFFF then None else Some v
+      in
+      let op, p = get_str b (o + 26) lim in
+      let obj, p = get_str b p lim in
+      let engine, _ = get_str b p lim in
+      Kaudit
+        { k_time = time; k_pid = pid; k_uid = uid; k_allowed = allowed;
+          k_op = op; k_obj = obj;
+          k_engine = (if engine = "" then None else Some engine);
+          k_span = span }
+  | k -> failwith (Printf.sprintf "Journal: unknown record kind %d" k)
+
+(* Oldest logical segment still physically intact: the live window is
+   exactly the last [jsegs] claimed segments. *)
+let first_live j tl = if tl <= j.jcapacity then 0 else tl - j.jcapacity
+
+(* Walk one segment's committed records.  Stops at the first header that
+   is zero, has the wrong lap parity, or frames an impossible length —
+   the uncommitted (or in-flight) tail of this segment. *)
+let scan_segment j ~start f =
+  let p = parity j start in
+  let stop = start + j.jseg_bytes in
+  let o = ref start in
+  let go = ref true in
+  while !go && !o < stop do
+    let h = get_header j ~at:!o in
+    let par = (h lsr 31) land 1 in
+    let pad = (h lsr 30) land 1 in
+    let len = h land 0x3FFFFFFF in
+    if par <> p || len < align || len land (align - 1) <> 0 || !o + len > stop
+    then go := false
+    else begin
+      if pad = 0 then f ~at:!o ~len;
+      o := !o + len
+    end
+  done
+
+let iter_raw j f =
+  let tl = Atomic.get j.jtail in
+  let s = ref (first_live j tl) in
+  while !s < tl do
+    scan_segment j ~start:!s f;
+    s := !s + j.jseg_bytes
+  done
+
+let iter j f = iter_raw j (fun ~at ~len -> f (decode_entry j ~at ~len))
+
+let entries j =
+  let acc = ref [] in
+  iter j (fun e -> acc := e :: !acc);
+  List.rev !acc
+
+let decisions j =
+  let acc = ref [] in
+  iter j (function Decision d -> acc := d :: !acc | Kaudit _ -> ());
+  List.rev !acc
+
+let records_written j =
+  List.fold_left (fun acc tm -> acc + tm.tm_records) 0 j.jterms
+
+let live_entries j =
+  let n = ref 0 in
+  iter_raw j (fun ~at:_ ~len:_ -> incr n);
+  !n
+
+let dropped j = max 0 (records_written j - live_entries j)
+
+type stats = {
+  s_seg_bytes : int;
+  s_segments : int;
+  s_capacity : int;
+  s_tail : int;
+  s_laps : int;
+  s_terms : int;
+  s_records : int;
+  s_bytes : int;
+  s_padding : int;
+  s_live : int;
+  s_dropped : int;
+}
+
+let stats j =
+  let records = records_written j in
+  let bytes = List.fold_left (fun acc tm -> acc + tm.tm_bytes) 0 j.jterms in
+  let padding =
+    List.fold_left (fun acc tm -> acc + tm.tm_padding) 0 j.jterms
+  in
+  let live = live_entries j in
+  let tl = Atomic.get j.jtail in
+  { s_seg_bytes = j.jseg_bytes; s_segments = j.jsegs;
+    s_capacity = j.jcapacity; s_tail = tl; s_laps = tl lsr j.jcap_shift;
+    s_terms = List.length j.jterms; s_records = records; s_bytes = bytes;
+    s_padding = padding; s_live = live;
+    s_dropped = max 0 (records - live) }
+
+let render_stats j =
+  let s = stats j in
+  Printf.sprintf
+    "journal seg_bytes %d segments %d capacity %d tail %d laps %d\n\
+     journal records %d bytes %d padding %d live %d dropped %d terms %d\n"
+    s.s_seg_bytes s.s_segments s.s_capacity s.s_tail s.s_laps s.s_records
+    s.s_bytes s.s_padding s.s_live s.s_dropped s.s_terms
+
+let stitch j ~run ~base ~count =
+  if count < 0 then invalid_arg "Journal.stitch: negative count";
+  let slots = Array.make (max count 1) None in
+  let dup = ref (-1) in
+  iter j (function
+    | Decision d
+      when d.d_run = run && d.d_seq >= base && d.d_seq - base < count -> (
+        let i = d.d_seq - base in
+        match slots.(i) with
+        | Some _ -> if !dup < 0 then dup := d.d_seq
+        | None -> slots.(i) <- Some d)
+    | Decision _ | Kaudit _ -> ());
+  if !dup >= 0 then
+    Error
+      (Printf.sprintf "journal stitch: duplicate seq %d in run %d" !dup run)
+  else begin
+    let missing = ref 0 in
+    let first_missing = ref (-1) in
+    for i = 0 to count - 1 do
+      if slots.(i) = None then begin
+        incr missing;
+        if !first_missing < 0 then first_missing := base + i
+      end
+    done;
+    if !missing > 0 then
+      Error
+        (Printf.sprintf
+           "journal stitch: %d lost record(s) in run %d (first missing seq %d)"
+           !missing run !first_missing)
+    else
+      Ok
+        (Array.init count (fun i ->
+             match slots.(i) with Some d -> d | None -> assert false))
+  end
+
+(* --- rendering ---------------------------------------------------------- *)
+
+let verdict_name = function
+  | 0 -> "deny"
+  | 1 -> "allow"
+  | 2 -> "reject"
+  | n -> Printf.sprintf "verdict%d" n
+
+let errno_name = function
+  | 0 -> "-"
+  | c -> ( match Errno.of_code c with
+           | Some e -> Errno.to_string e
+           | None -> Printf.sprintf "errno%d" c)
+
+let entry_to_string = function
+  | Decision d ->
+      let req =
+        match d.d_req with
+        | Mount { source; target; fstype; flags } ->
+            Printf.sprintf "mount %s %s %s flags=0x%x" source target fstype
+              flags
+        | Umount { target; mounted_by } ->
+            Printf.sprintf "umount %s mounted_by=%d" target mounted_by
+        | Bind { port; proto; exe } ->
+            Printf.sprintf "bind port=%d proto=%s exe=%s" port
+              (if proto = 0 then "tcp" else "udp")
+              exe
+        | Ppp { device; safe } ->
+            Printf.sprintf "ppp %s %s" device (if safe then "safe" else "unsafe")
+      in
+      Printf.sprintf
+        "decision seq=%d run=%d epoch=%d domain=%d subject=%d verdict=%s \
+         errno=%s %s"
+        d.d_seq d.d_run d.d_epoch d.d_domain d.d_subject
+        (verdict_name d.d_verdict) (errno_name d.d_errno) req
+  | Kaudit k ->
+      Printf.sprintf
+        "kaudit time=%.0f pid=%d uid=%d op=%s obj=%s res=%s%s%s" k.k_time
+        k.k_pid k.k_uid k.k_op k.k_obj
+        (if k.k_allowed then "success" else "failed")
+        (match k.k_engine with Some e -> " engine=" ^ e | None -> "")
+        (match k.k_span with Some s -> " span=" ^ string_of_int s | None -> "")
+
+(* --- persistence -------------------------------------------------------- *)
+
+let magic = "PJRNL1\n"
+
+let save j path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc magic;
+      Printf.fprintf oc "%d %d %d %d\n" j.jseg_bytes j.jsegs
+        (Atomic.get j.jtail) (List.length j.jterms);
+      List.iter
+        (fun tm ->
+          Printf.fprintf oc "%d %d %d %d\n" tm.tm_domain tm.tm_records
+            tm.tm_bytes tm.tm_padding)
+        j.jterms;
+      Array.iter (output_bytes oc) j.store)
+
+let load path =
+  try
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let m = really_input_string ic (String.length magic) in
+        if m <> magic then Error "not a protego journal (bad magic)"
+        else
+          let ints line =
+            List.map int_of_string (String.split_on_char ' ' line)
+          in
+          match ints (input_line ic) with
+          | [ seg_bytes; segs; tl; nterms ] ->
+              let j = create ~seg_bytes ~segments:segs () in
+              Atomic.set j.jtail tl;
+              let terms = ref [] in
+              for _ = 1 to nterms do
+                match ints (input_line ic) with
+                | [ dom; records; bytes; padding ] ->
+                    terms :=
+                      { tm_domain = dom; tm_j = j; tm_pos = 0; tm_end = 0;
+                        tm_records = records; tm_bytes = bytes;
+                        tm_padding = padding }
+                      :: !terms
+                | _ -> failwith "corrupt journal term header"
+              done;
+              j.jterms <- !terms;
+              Array.iter (fun b -> really_input ic b 0 (Bytes.length b)) j.store;
+              Ok j
+          | _ -> Error "corrupt journal header")
+  with
+  | Sys_error e -> Error e
+  | End_of_file -> Error "truncated journal file"
+  | Failure e -> Error e
+  | Invalid_argument e -> Error e
+
+(* --- test hooks --------------------------------------------------------- *)
+
+let unsafe_claim tm len =
+  if len < align || len land (align - 1) <> 0 || len > tm.tm_j.jseg_bytes then
+    invalid_arg "Journal.unsafe_claim: bad length";
+  claim tm len
+
+let commit j ~at ~len ~padding = set_header j ~at ~len ~padding
+
+(* --- kernel audit sink -------------------------------------------------- *)
+
+type sink = {
+  mutable sk_journal : t;
+  mutable sk_term : term;
+  mutable sk_emitted : int;
+}
+
+let sink ?(seg_bytes = 65536) ?(segments = 16) () =
+  let j = create ~seg_bytes ~segments () in
+  { sk_journal = j; sk_term = term j ~domain:0; sk_emitted = 0 }
+
+let sink_emit sk ~time ~pid ~uid ~op ~obj ~allowed ~engine ~span =
+  sk.sk_emitted <- sk.sk_emitted + 1;
+  append_kaudit sk.sk_term ~time ~pid ~uid ~op ~obj ~allowed ~engine ~span
+
+let sink_clear sk =
+  let j =
+    create ~seg_bytes:sk.sk_journal.jseg_bytes ~segments:sk.sk_journal.jsegs ()
+  in
+  sk.sk_journal <- j;
+  sk.sk_term <- term j ~domain:0;
+  sk.sk_emitted <- 0

@@ -1,0 +1,208 @@
+(** Lock-free append-only binary audit journal.
+
+    An Aeron-style log over a fixed ring of power-of-two [Bytes]
+    segments.  Writers never lock and never allocate on the hot path:
+    each writer holds a {e term}, claims whole segments from the shared
+    logical tail with a single [Atomic.fetch_and_add], and bump-allocates
+    records inside its current segment with plain (domain-private)
+    arithmetic — so the common-case append touches no shared state at
+    all.  A record becomes visible by {e commit}: the body is filled
+    first, then a one-word length-prefix header is written over the
+    record's first four bytes.  Readers treat a zero/invalid header as
+    the in-flight tail of that segment and stop scanning it, so they can
+    never observe a torn record (binary format and the memory-model
+    argument: DESIGN.md §8).
+
+    The logical tail grows forever; physical segment [l mod segments]
+    backs logical segment [l].  Once the tail passes [capacity], the
+    oldest segments are overwritten ({e laps}); records written minus
+    records still decodable is the journal's drop count, surfaced by
+    {!dropped} and in {!render_stats}.
+
+    Two record kinds share the store: plane {e decision} records (one
+    per {!Protego_plane.Plane} request, stamped with run / submission
+    sequence / snapshot epoch, which is what lets {!stitch} rebuild one
+    total submission order from per-domain terms without any merge
+    barrier) and kernel {e kaudit} records (the [Audit] ring's storage). *)
+
+type t
+type term
+
+val create : ?seg_bytes:int -> ?segments:int -> unit -> t
+(** [seg_bytes] (default 65536) and [segments] (default 16) must both be
+    powers of two; [seg_bytes >= 4096].  Raises [Invalid_argument]
+    otherwise.  Segments are zeroed at creation (and re-zeroed by their
+    owning term on every wrap lap), so a reader can always distinguish
+    committed records from virgin space. *)
+
+val seg_bytes : t -> int
+val segments : t -> int
+
+val capacity : t -> int
+(** [seg_bytes * segments]: bytes of live window. *)
+
+val tail : t -> int
+(** Logical bytes claimed so far (a multiple of [seg_bytes]). *)
+
+val term : t -> domain:int -> term
+(** A writer handle for one domain.  Terms must not be shared between
+    domains; a journal may serve any number of terms concurrently. *)
+
+(** {1 Zero-allocation appenders}
+
+    Each appender claims space in the term's current segment (claiming a
+    fresh segment — and padding out the remainder — when the record does
+    not fit), writes fixed-width fields and length-prefixed inline
+    strings directly into the store, and commits.  Strings are truncated
+    to 255 bytes.  No OCaml heap allocation occurs.
+
+    Decision fields: [verdict] is 0 deny / 1 allow / 2 reject; [errno]
+    is 0 for none, else {!Protego_base.Errno.to_code}; [flags] is the
+    compiled mount-flag mask; [proto] is 0 tcp / 1 udp. *)
+
+val append_mount :
+  term -> seq:int -> run:int -> epoch:int -> subject:int -> verdict:int ->
+  errno:int -> source:string -> target:string -> fstype:string ->
+  flags:int -> unit
+
+val append_umount :
+  term -> seq:int -> run:int -> epoch:int -> subject:int -> verdict:int ->
+  errno:int -> target:string -> mounted_by:int -> unit
+
+val append_bind :
+  term -> seq:int -> run:int -> epoch:int -> subject:int -> verdict:int ->
+  errno:int -> port:int -> proto:int -> exe:string -> unit
+
+val append_ppp :
+  term -> seq:int -> run:int -> epoch:int -> subject:int -> verdict:int ->
+  errno:int -> device:string -> safe:bool -> unit
+
+val append_kaudit :
+  term -> time:float -> pid:int -> uid:int -> op:string -> obj:string ->
+  allowed:bool -> engine:string option -> span:int option -> unit
+(** Kernel audit record ({!Protego_kernel.Audit} storage).  [engine] is
+    encoded as an inline string, [""] meaning [None]. *)
+
+(** {1 Decoding} *)
+
+type req =
+  | Mount of { source : string; target : string; fstype : string; flags : int }
+  | Umount of { target : string; mounted_by : int }
+  | Bind of { port : int; proto : int; exe : string }
+  | Ppp of { device : string; safe : bool }
+
+type decision = {
+  d_seq : int;
+  d_run : int;
+  d_epoch : int;
+  d_domain : int;
+  d_subject : int;
+  d_verdict : int;
+  d_errno : int;
+  d_req : req;
+}
+
+type kaudit = {
+  k_time : float;
+  k_pid : int;
+  k_uid : int;
+  k_allowed : bool;
+  k_op : string;
+  k_obj : string;
+  k_engine : string option;
+  k_span : int option;
+}
+
+type entry = Decision of decision | Kaudit of kaudit
+
+val iter : t -> (entry -> unit) -> unit
+(** Committed records of the live window, oldest claimed segment first,
+    in-segment order.  Within one segment this is that term's append
+    order; across segments it is claim order.  Scanning a segment stops
+    at the first uncommitted or invalid header (the in-flight tail); a
+    concurrent writer's unfinished records are simply not yet visible.
+    Intended for quiescent reads (after a run, or [Domain.join]);
+    mid-run reads are best-effort. *)
+
+val entries : t -> entry list
+val decisions : t -> decision list
+
+val records_written : t -> int
+(** Total committed records over all terms since creation (padding
+    records excluded) — including those already overwritten by laps. *)
+
+val live_entries : t -> int
+(** Records currently decodable ({!iter} count). *)
+
+val dropped : t -> int
+(** [records_written - live_entries]: records lost to wraparound. *)
+
+type stats = {
+  s_seg_bytes : int;
+  s_segments : int;
+  s_capacity : int;
+  s_tail : int;
+  s_laps : int;       (** completed capacity wraps of the logical tail *)
+  s_terms : int;
+  s_records : int;    (** committed records, padding excluded *)
+  s_bytes : int;      (** committed record bytes, padding included *)
+  s_padding : int;    (** padding records written at segment ends *)
+  s_live : int;
+  s_dropped : int;
+}
+
+val stats : t -> stats
+
+val render_stats : t -> string
+(** Two ["journal ..."] key/value lines, one field layout forever. *)
+
+val stitch :
+  t -> run:int -> base:int -> count:int -> (decision array, string) result
+(** Reconstruct the total submission order of one plane run: collect the
+    live decisions stamped [run] with [base <= d_seq < base + count] and
+    place each at index [d_seq - base].  Errors on a duplicate sequence
+    number or on any missing (lost) record — the zero-lost,
+    zero-duplicated guarantee is checked, not assumed. *)
+
+val entry_to_string : entry -> string
+(** One-line rendering for the CLI ([protego-journal dump]). *)
+
+(** {1 Persistence} *)
+
+val save : t -> string -> unit
+(** Write the whole store (header, term counters, raw segments) to a
+    file; the format is what {!load} and the [protego-journal] CLI
+    read. *)
+
+val load : string -> (t, string) result
+
+(** {1 Test hooks}
+
+    The torn-record suites need to place a claim without committing it. *)
+
+val unsafe_claim : term -> int -> int
+(** Claim [len] bytes (8-aligned, min 8) in the term's current segment
+    without writing anything; returns the logical offset.  The region
+    stays invisible to readers until {!commit}. *)
+
+val commit : t -> at:int -> len:int -> padding:bool -> unit
+(** Write the header word for a claim obtained from {!unsafe_claim}. *)
+
+(** {1 Kernel audit sink}
+
+    A journal, one term, and an emit counter bundled for
+    {!Protego_kernel.Ktypes.machine} (which cannot depend on the kernel
+    [Audit] module's own types). *)
+
+type sink = {
+  mutable sk_journal : t;
+  mutable sk_term : term;
+  mutable sk_emitted : int;
+}
+
+val sink : ?seg_bytes:int -> ?segments:int -> unit -> sink
+val sink_emit :
+  sink -> time:float -> pid:int -> uid:int -> op:string -> obj:string ->
+  allowed:bool -> engine:string option -> span:int option -> unit
+val sink_clear : sink -> unit
+(** Fresh journal and term; the emit counter restarts at zero. *)

@@ -1,3 +1,5 @@
+module J = Protego_journal.Journal
+
 type record = Ktypes.audit_record = {
   au_time : float;
   au_pid : Ktypes.pid;
@@ -11,33 +13,61 @@ type record = Ktypes.audit_record = {
 
 let capacity = 1024
 
+(* Emission encodes straight into the machine's binary journal — no
+   OCaml record is allocated.  The ring view below is decoded back out
+   of the journal tail on demand (/proc reads, tests). *)
 let emit ?engine ?span m (task : Ktypes.task) ~op ~obj ~allowed =
-  let q = m.Ktypes.audit in
-  Queue.add
-    { au_time = m.Ktypes.now; au_pid = task.Ktypes.tpid;
-      au_uid = task.Ktypes.cred.Ktypes.ruid; au_op = op; au_obj = obj;
-      au_allowed = allowed; au_engine = engine; au_span = span }
-    q;
-  if Queue.length q > capacity then ignore (Queue.pop q)
+  J.sink_emit m.Ktypes.audit ~time:m.Ktypes.now ~pid:task.Ktypes.tpid
+    ~uid:task.Ktypes.cred.Ktypes.ruid ~op ~obj ~allowed ~engine ~span
 
-let records m = List.of_seq (Queue.to_seq m.Ktypes.audit)
+let live m =
+  let acc = ref [] in
+  J.iter m.Ktypes.audit.J.sk_journal (function
+    | J.Kaudit k ->
+        acc :=
+          { au_time = k.J.k_time; au_pid = k.J.k_pid; au_uid = k.J.k_uid;
+            au_op = k.J.k_op; au_obj = k.J.k_obj; au_allowed = k.J.k_allowed;
+            au_engine = k.J.k_engine; au_span = k.J.k_span }
+          :: !acc
+    | J.Decision _ -> ());
+  List.rev !acc
+
+let rec drop k l =
+  if k <= 0 then l else match l with [] -> [] | _ :: tl -> drop (k - 1) tl
+
+let records m =
+  let l = live m in
+  drop (List.length l - capacity) l
+
+let dropped m =
+  let retained = min (List.length (live m)) capacity in
+  max 0 (m.Ktypes.audit.J.sk_emitted - retained)
+
 let denials m = List.filter (fun r -> not r.au_allowed) (records m)
 let by_engine m e = List.filter (fun r -> r.au_engine = Some e) (records m)
-let clear m = Queue.clear m.Ktypes.audit
+let clear m = J.sink_clear m.Ktypes.audit
 
 let render m =
-  records m
-  |> List.map (fun r ->
-         Printf.sprintf "type=%s msg=audit(%.0f): pid=%d uid=%d op=%s obj=%s res=%s%s"
-           (if r.au_allowed then "GRANT" else "DENIAL")
-           r.au_time r.au_pid r.au_uid r.au_op r.au_obj
-           (if r.au_allowed then "success" else "failed")
-           ((match r.au_engine with
-             | Some e -> " engine=" ^ e
-             | None -> "")
-            ^
-            match r.au_span with
-            | Some id -> " span=" ^ string_of_int id
-            | None -> ""))
-  |> String.concat "\n"
-  |> fun s -> if s = "" then "" else s ^ "\n"
+  let lines =
+    records m
+    |> List.map (fun r ->
+           Printf.sprintf
+             "type=%s msg=audit(%.0f): pid=%d uid=%d op=%s obj=%s res=%s%s"
+             (if r.au_allowed then "GRANT" else "DENIAL")
+             r.au_time r.au_pid r.au_uid r.au_op r.au_obj
+             (if r.au_allowed then "success" else "failed")
+             ((match r.au_engine with
+               | Some e -> " engine=" ^ e
+               | None -> "")
+              ^
+              match r.au_span with
+              | Some id -> " span=" ^ string_of_int id
+              | None -> ""))
+    |> String.concat "\n"
+  in
+  let summary =
+    Printf.sprintf "type=SUMMARY msg=audit: records=%d dropped=%d\n"
+      (List.length (records m))
+      (dropped m)
+  in
+  (if lines = "" then "" else lines ^ "\n") ^ summary

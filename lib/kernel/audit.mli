@@ -1,8 +1,15 @@
 (** Security audit records (modelled on the LSM audit facility).
 
-    Policy modules emit a record for each interesting decision; the ring is
-    bounded, readable through a /proc file the policy module installs, and
-    queryable from tests. *)
+    Policy modules emit a record for each interesting decision.  Since
+    the journal subsystem landed, emission encodes straight into the
+    machine's binary audit journal ({!Protego_journal.Journal.sink}) —
+    zero heap records on the emit path — and this module is the decoded
+    {e ring view} over the journal tail: the newest {!capacity} records,
+    readable through a /proc file the policy module installs and
+    queryable from tests.  Records pushed out of the view (by the ring
+    bound or by journal wraparound) are counted, not silently lost:
+    {!dropped} and the [dropped=<n>] summary line of {!render} surface
+    them. *)
 
 type record = Ktypes.audit_record = {
   au_time : float;
@@ -38,9 +45,16 @@ val by_engine : Ktypes.machine -> string -> record list
 (** Records tagged [engine=<e>], oldest first. *)
 
 val clear : Ktypes.machine -> unit
+(** Fresh journal; the emit and drop counters restart. *)
+
+val dropped : Ktypes.machine -> int
+(** Records emitted but no longer in the ring view — pushed out by the
+    {!capacity} bound or overwritten by journal wraparound. *)
 
 val render : Ktypes.machine -> string
-(** One line per record, auditd-style. *)
+(** One line per record, auditd-style, then a
+    [type=SUMMARY msg=audit: records=<n> dropped=<n>] line. *)
 
 val capacity : int
-(** Ring bound (oldest records are dropped beyond it). *)
+(** Ring-view bound (oldest records leave the view beyond it — and are
+    counted by {!dropped}). *)

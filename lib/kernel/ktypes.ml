@@ -275,7 +275,7 @@ and machine = {
   mutable local_addrs : Protego_net.Ipaddr.t list;
   mutable remote_hosts : remote_host list;
   wire : (Protego_net.Packet.t * Protego_net.Packet.origin) Queue.t;
-  audit : audit_record Queue.t;              (* bounded security audit ring *)
+  audit : Protego_journal.Journal.sink;      (* binary audit journal store *)
   mutable console : string list;             (* program output, newest first *)
 }
 

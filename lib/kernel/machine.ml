@@ -15,7 +15,8 @@ let create () =
     programs = Hashtbl.create 64; dmesg = []; fs_events = Queue.create ();
     auth_agent = None; password_source = (fun _ -> None); tty_auth = [];
     local_addrs = [ Protego_net.Ipaddr.localhost ]; remote_hosts = [];
-    wire = Queue.create (); audit = Queue.create (); console = [] }
+    wire = Queue.create (); audit = Protego_journal.Journal.sink ();
+    console = [] }
 
 let advance_clock m seconds = m.now <- m.now +. seconds
 

@@ -5,6 +5,7 @@ module Pfm = Protego_filter.Pfm
 module Compile = Protego_filter.Pfm_compile
 module Bindconf = Protego_policy.Bindconf
 module Errno = Protego_base.Errno
+module J = Protego_journal.Journal
 
 type request =
   | Mount of {
@@ -89,8 +90,17 @@ let fresh_slot () =
 (* Everything a worker touches on a decision is domain-private; the only
    shared reads are the snapshot pointer and the live [t.engine]/clock
    configuration (constant during a run). *)
+type audit_mode = [ `Off | `Spool | `Journal | `Both ]
+
+let audit_mode_name = function
+  | `Off -> "off"
+  | `Spool -> "spool"
+  | `Journal -> "journal"
+  | `Both -> "both"
+
 type worker = {
   w_id : int;
+  mutable w_term : J.term;         (* this worker's journal write handle *)
   w_cache : DC.t;
   w_ch : DC.hook array;            (* per hook, this worker's cache hooks *)
   w_slots : slot array;            (* per hook *)
@@ -108,7 +118,7 @@ type worker = {
   w_keys : Trace.key array;        (* per hook, engine "plane" *)
 }
 
-let make_worker id snap =
+let make_worker journal id snap =
   let cache = DC.create () in
   let ch = Array.init hook_count (fun hi -> DC.register cache (hook_name hi)) in
   let tr = Trace.create () in
@@ -116,7 +126,7 @@ let make_worker id snap =
     Array.init hook_count (fun hi ->
         Trace.register tr ~hook:(hook_name hi) ~engine:"plane")
   in
-  { w_id = id; w_cache = cache; w_ch = ch;
+  { w_id = id; w_term = J.term journal ~domain:id; w_cache = cache; w_ch = ch;
     w_slots = Array.init hook_count (fun _ -> fresh_slot ());
     w_snap = snap; w_progs = Snapshot.clone_progs snap;
     w_gens = Array.init hook_count (fun _ -> [| 0 |]);
@@ -133,19 +143,29 @@ type t = {
   mutable engine : [ `Pfm | `Ref ];
   mutable clock : (unit -> int) option;
   mutable runs : int;
+  mutable audit : audit_mode;
+  mutable journal : J.t;
+  mutable rotations : int;
+  jseg_bytes : int;   (* journal geometry, reused on rotate *)
+  jsegs : int;
 }
 
 let max_domains = 64
 
 let clamp_domains d = max 1 (min max_domains d)
 
-let create ?(domains = 1) st =
+let create ?(domains = 1) ?(journal_seg_bytes = 262144)
+    ?(journal_segments = 32) st =
   let pub = Snapshot.make st in
   let d = clamp_domains domains in
   let snap = Snapshot.current pub in
+  let journal =
+    J.create ~seg_bytes:journal_seg_bytes ~segments:journal_segments ()
+  in
   { st; pub; domains = d;
-    workers = Array.init d (fun i -> make_worker i snap);
-    engine = `Pfm; clock = None; runs = 0 }
+    workers = Array.init d (fun i -> make_worker journal i snap);
+    engine = `Pfm; clock = None; runs = 0; audit = `Journal; journal;
+    rotations = 0; jseg_bytes = journal_seg_bytes; jsegs = journal_segments }
 
 let domains t = t.domains
 
@@ -153,7 +173,27 @@ let set_domains t d =
   let d = clamp_domains d in
   t.domains <- d;
   let snap = Snapshot.current t.pub in
-  t.workers <- Array.init d (fun i -> make_worker i snap)
+  t.workers <- Array.init d (fun i -> make_worker t.journal i snap)
+
+let audit_mode t = t.audit
+let set_audit_mode t m = t.audit <- m
+let journal t = t.journal
+let rotations t = t.rotations
+
+(* Swap in a fresh journal and re-attach every worker's term to it.  The
+   run counter keeps growing, so run stamps never collide across a
+   rotation even though sequence numbers restart. *)
+let rotate_journal t =
+  let j = J.create ~seg_bytes:t.jseg_bytes ~segments:t.jsegs () in
+  t.journal <- j;
+  t.rotations <- t.rotations + 1;
+  Array.iter (fun w -> w.w_term <- J.term j ~domain:w.w_id) t.workers
+
+let reset_journal t =
+  rotate_journal t;
+  t.rotations <- 0
+
+let snapshot_at t e = Snapshot.at_epoch t.pub e
 
 let engine t = t.engine
 let set_engine t e = t.engine <- e
@@ -308,6 +348,30 @@ let subject_of = function
    [w] mod [d]. *)
 let slice_len n d w = if w >= n then 0 else ((n - w - 1) / d) + 1
 
+(* Claim-and-encode one decision into the worker's journal term.  The
+   ppp option collapses to its safe bit, which is the only thing the
+   decision depends on; the flags list collapses to the compiled mask. *)
+let journal_append term ~run ~seq req (o : outcome) =
+  let verdict =
+    match o.o_verdict with Pfm.Allow -> 1 | Pfm.Deny -> 0 | Pfm.Reject -> 2
+  in
+  let errno = match o.o_errno with None -> 0 | Some e -> Errno.to_code e in
+  let epoch = o.o_epoch in
+  match req with
+  | Mount { subject; source; target; fstype; flags } ->
+      J.append_mount term ~seq ~run ~epoch ~subject ~verdict ~errno ~source
+        ~target ~fstype ~flags:(Compile.flags_mask flags)
+  | Umount { subject; target; mounted_by } ->
+      J.append_umount term ~seq ~run ~epoch ~subject ~verdict ~errno ~target
+        ~mounted_by
+  | Bind { subject; port; proto; exe } ->
+      J.append_bind term ~seq ~run ~epoch ~subject ~verdict ~errno ~port
+        ~proto:(match proto with Bindconf.Tcp -> 0 | Bindconf.Udp -> 1)
+        ~exe
+  | Ppp_ioctl { subject; device; opt } ->
+      J.append_ppp term ~seq ~run ~epoch ~subject ~verdict ~errno ~device
+        ~safe:(Protego_net.Ppp.option_is_safe opt)
+
 let merge_audit spools n d =
   Array.iteri
     (fun w sp ->
@@ -331,7 +395,7 @@ let dummy_outcome = { o_verdict = Pfm.Deny; o_errno = None; o_epoch = -1 }
    [base] is the completed-count already published for earlier segments
    of the same run (one-domain runs are split at reload thresholds). *)
 let worker_slice t w reqs ~start ~stop ~d ~engine ~clock ~collect ~outcomes
-    ~spool ~base =
+    ~spool ~base ~mode ~run_id =
   let i = ref start in
   let done_ = ref 0 in
   while !i < stop do
@@ -351,13 +415,19 @@ let worker_slice t w reqs ~start ~stop ~d ~engine ~clock ~collect ~outcomes
       in
       w.w_sample <- w.w_sample + 1;
       if collect then outcomes.(!i) <- o;
-      let k = spool.sp_len in
-      spool.sp_seq.(k) <- !i;
-      spool.sp_hook.(k) <- hook_index req;
-      spool.sp_subject.(k) <- subject_of req;
-      spool.sp_allowed.(k) <- (if o.o_verdict = Pfm.Allow then 1 else 0);
-      spool.sp_epoch.(k) <- o.o_epoch;
-      spool.sp_len <- k + 1;
+      (match mode with
+       | `Off -> ()
+       | `Journal -> journal_append w.w_term ~run:run_id ~seq:!i req o
+       | `Spool | `Both ->
+           let k = spool.sp_len in
+           spool.sp_seq.(k) <- !i;
+           spool.sp_hook.(k) <- hook_index req;
+           spool.sp_subject.(k) <- subject_of req;
+           spool.sp_allowed.(k) <- (if o.o_verdict = Pfm.Allow then 1 else 0);
+           spool.sp_epoch.(k) <- o.o_epoch;
+           spool.sp_len <- k + 1;
+           if mode = `Both then
+             journal_append w.w_term ~run:run_id ~seq:!i req o);
       i := !i + d
     done;
     (match clock with
@@ -369,6 +439,27 @@ let worker_slice t w reqs ~start ~stop ~d ~engine ~clock ~collect ~outcomes
     Atomic.set w.w_completed (base + !done_)
   done
 
+(* Rebuild the submission-ordered audit view from the journal: stitch
+   the run's records by their sequence stamps (zero lost, zero
+   duplicated — checked, not assumed) and decode each into the same
+   audit entry the spool merge produces. *)
+let stitched_audit t ~run_id ~n =
+  match J.stitch t.journal ~run:run_id ~base:0 ~count:n with
+  | Error e -> failwith ("Plane.run: " ^ e)
+  | Ok ds ->
+      Array.map
+        (fun (dec : J.decision) ->
+          let hook =
+            match dec.J.d_req with
+            | J.Mount _ -> 0
+            | J.Umount _ -> 1
+            | J.Bind _ -> 2
+            | J.Ppp _ -> 3
+          in
+          { a_seq = dec.J.d_seq; a_hook = hook; a_subject = dec.J.d_subject;
+            a_allowed = dec.J.d_verdict = 1; a_epoch = dec.J.d_epoch })
+        ds
+
 let run t ?(collect = true) ?(reloads = []) reqs =
   ignore (refresh t);
   let n = Array.length reqs in
@@ -376,8 +467,14 @@ let run t ?(collect = true) ?(reloads = []) reqs =
   let ws = t.workers in
   let engine = t.engine in
   let clock = t.clock in
+  let mode = t.audit in
+  let run_id = t.runs in
   let outcomes = if collect then Array.make n dummy_outcome else [||] in
-  let spools = Array.init d (fun w -> make_spool (slice_len n d w)) in
+  let spools =
+    match mode with
+    | `Spool | `Both -> Array.init d (fun w -> make_spool (slice_len n d w))
+    | `Off | `Journal -> Array.init d (fun _ -> make_spool 0)
+  in
   Array.iter
     (fun w ->
       Atomic.set w.w_completed 0;
@@ -394,7 +491,7 @@ let run t ?(collect = true) ?(reloads = []) reqs =
     let seg start stop =
       if start < stop then
         worker_slice t w reqs ~start ~stop ~d:1 ~engine ~clock ~collect
-          ~outcomes ~spool:sp ~base:start
+          ~outcomes ~spool:sp ~base:start ~mode ~run_id
     in
     let pos = ref 0 in
     List.iter
@@ -411,7 +508,7 @@ let run t ?(collect = true) ?(reloads = []) reqs =
     let spawn w =
       Domain.spawn (fun () ->
           worker_slice t w reqs ~start:w.w_id ~stop:n ~d ~engine ~clock
-            ~collect ~outcomes ~spool:spools.(w.w_id) ~base:0)
+            ~collect ~outcomes ~spool:spools.(w.w_id) ~base:0 ~mode ~run_id)
     in
     let doms = Array.map spawn ws in
     (* Coordinate reloads off the published progress counters; a
@@ -434,8 +531,23 @@ let run t ?(collect = true) ?(reloads = []) reqs =
   end;
   let wall = match clock with Some c -> c () - t0 | None -> 0 in
   t.runs <- t.runs + 1;
-  { rr_outcomes = outcomes; rr_audit = merge_audit spools n d;
-    rr_wall_ns = wall;
+  let audit =
+    match mode with
+    | _ when not collect -> [||]
+    | `Off -> [||]
+    | `Spool -> merge_audit spools n d
+    | `Journal -> stitched_audit t ~run_id ~n
+    | `Both ->
+        (* Differential oracle: the index-arithmetic spool merge and the
+           stamp-driven journal stitch must reconstruct the exact same
+           submission-ordered trail. *)
+        let sp = merge_audit spools n d in
+        let js = stitched_audit t ~run_id ~n in
+        if sp <> js then
+          failwith "Plane.run: journal/spool audit divergence";
+        sp
+  in
+  { rr_outcomes = outcomes; rr_audit = audit; rr_wall_ns = wall;
     rr_min_op_ns = Array.map (fun w -> w.w_min_op_ns) ws }
 
 (* --- merged statistics and /proc -------------------------------------- *)
@@ -501,6 +613,12 @@ let render t =
        (engine_name t)
        (Snapshot.current t.pub).Snapshot.epoch
        t.runs);
+  let js = J.stats t.journal in
+  Buffer.add_string b
+    (Printf.sprintf
+       "audit mode %s records %d live %d dropped %d rotations %d\n"
+       (audit_mode_name t.audit) js.J.s_records js.J.s_live js.J.s_dropped
+       t.rotations);
   Array.iter
     (fun w ->
       Buffer.add_string b
@@ -537,9 +655,14 @@ let handle_write t contents =
   | "reset" ->
       set_domains t t.domains;
       t.runs <- 0;
+      reset_journal t;
       Ok ()
   | "engine pfm" -> set_engine t `Pfm; Ok ()
   | "engine ref" -> set_engine t `Ref; Ok ()
+  | "audit off" -> set_audit_mode t `Off; Ok ()
+  | "audit spool" -> set_audit_mode t `Spool; Ok ()
+  | "audit journal" -> set_audit_mode t `Journal; Ok ()
+  | "audit both" -> set_audit_mode t `Both; Ok ()
   | other -> (
       match String.split_on_char ' ' other with
       | [ "domains"; ns ] -> (
@@ -552,6 +675,17 @@ let handle_write t contents =
                 (Printf.sprintf "plane: domains must be 1..%d" max_domains))
       | _ -> Error ("plane: unknown command: " ^ other))
 
+let render_journal t =
+  Printf.sprintf "journal mode %s rotations %d\n%s" (audit_mode_name t.audit)
+    t.rotations
+    (J.render_stats t.journal)
+
+let handle_journal_write t contents =
+  match String.trim contents with
+  | "rotate" -> rotate_journal t; Ok ()
+  | "reset" -> reset_journal t; Ok ()
+  | other -> Error ("journal: unknown command: " ^ other)
+
 let install_proc m t =
   let open Protego_kernel in
   let kt = Machine.kernel_task m in
@@ -561,6 +695,16 @@ let install_proc m t =
        ~read:(fun _m _t -> Ok (render t))
        ~write:(fun m _t contents ->
          match handle_write t contents with
+         | Ok () -> Ok ()
+         | Error msg ->
+             Ktypes.log_dmesg m "protego: %s" msg;
+             Error Errno.EINVAL)
+       ());
+  ignore
+    (Machine.add_vnode m kt ~path:"/proc/protego/journal" ~mode:0o600
+       ~read:(fun _m _t -> Ok (render_journal t))
+       ~write:(fun m _t contents ->
+         match handle_journal_write t contents with
          | Ok () -> Ok ()
          | Error msg ->
              Ktypes.log_dmesg m "protego: %s" msg;

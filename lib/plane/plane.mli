@@ -15,13 +15,18 @@
     they acquired, so every verdict is consistent with exactly one
     published policy — never a torn mix (DESIGN.md §6).
 
-    Audit: each worker spools its records (request sequence number,
-    hook, subject, verdict, epoch) into a private columnar buffer; after
-    a run the spools are merged back into submission order.  Requests
-    are partitioned round-robin, so worker [w] of [d] owns exactly the
-    sequence numbers congruent to [w] mod [d] and the merge is a direct
-    index calculation — zero lost, zero duplicated, by construction
-    (and by test). *)
+    Audit: the plane's default sink is the lock-free binary journal
+    ({!Protego_journal.Journal}) — each worker holds a private {e term}
+    of the plane's journal and encodes every decision in place with one
+    segment-granular atomic claim amortized over thousands of records;
+    after a run the epoch/sequence stamps let {!Protego_journal.
+    Journal.stitch} reconstruct the total submission order without a
+    merge barrier (DESIGN.md §8).  The pre-journal columnar spool
+    survives as a runtime-selectable fallback ([`Spool]) and as a
+    differential oracle ([`Both] runs both sinks and fails the run on
+    any divergence).  Requests are partitioned round-robin, so worker
+    [w] of [d] owns exactly the sequence numbers congruent to [w] mod
+    [d] — zero lost, zero duplicated, by construction (and by test). *)
 
 module PS = Protego_core.Policy_state
 module Pfm = Protego_filter.Pfm
@@ -87,11 +92,23 @@ val capacity_per_sec : run_result -> float
     domains this measures contention-freedom rather than wall-clock
     parallelism; methodology in DESIGN.md §6.  [0.] without a clock. *)
 
+type audit_mode = [ `Off | `Spool | `Journal | `Both ]
+(** What records decisions during {!run}: nothing, the legacy columnar
+    spool, the binary journal (default), or both (differential oracle —
+    the run fails if the two sinks disagree record-for-record). *)
+
+val audit_mode_name : audit_mode -> string
+
 type t
 
-val create : ?domains:int -> PS.t -> t
+val create :
+  ?domains:int -> ?journal_seg_bytes:int -> ?journal_segments:int ->
+  PS.t -> t
 (** A plane over the live state, initial snapshot published at epoch 0.
-    [domains] defaults to 1 and is clamped to [1..max_domains]. *)
+    [domains] defaults to 1 and is clamped to [1..max_domains].
+    [journal_seg_bytes] (default 256 KiB) and [journal_segments]
+    (default 32) size the audit journal; both must be powers of two
+    (see {!Protego_journal.Journal.create}). *)
 
 val max_domains : int
 
@@ -128,7 +145,9 @@ val run :
     [domains t] workers (request [i] goes to worker [i mod d]).  With
     one domain the run is inline and deterministic; otherwise one
     OCaml domain is spawned per worker.  [collect:false] skips the
-    outcome array (bench mode).  [reloads] are [(threshold, action)]
+    outcome array and the [rr_audit] reconstruction (bench mode; the
+    configured audit sinks still record every decision — use
+    {!stitched_audit} to rebuild the trail afterwards).  [reloads] are [(threshold, action)]
     pairs: each action fires once, off the coordinating domain, as soon
     as the total completed-decision count reaches its threshold (with
     one domain: exactly at that submission index).  Actions typically
@@ -136,6 +155,34 @@ val run :
 
 val runs : t -> int
 (** Completed {!run} invocations since creation/reset. *)
+
+(** {1 Audit journal} *)
+
+val audit_mode : t -> audit_mode
+val set_audit_mode : t -> audit_mode -> unit
+
+val journal : t -> Protego_journal.Journal.t
+(** The plane's current journal (replaced by {!rotate_journal}). *)
+
+val rotations : t -> int
+(** Journal rotations since creation/reset. *)
+
+val rotate_journal : t -> unit
+(** Swap in a fresh journal of the same geometry and re-attach every
+    worker's term to it; the old journal is dropped.  Counted by
+    {!rotations}. *)
+
+val reset_journal : t -> unit
+(** {!rotate_journal} and zero the rotation counter. *)
+
+val snapshot_at : t -> int -> Snapshot.t option
+(** The snapshot published at a given epoch ({!Snapshot.at_epoch}) —
+    what a journal replay evaluates epoch-stamped decisions against. *)
+
+val stitched_audit : t -> run_id:int -> n:int -> audit_entry array
+(** Reconstruct the audit trail of run [run_id] ([n] requests) from the
+    journal by total-order stitch.  Raises [Failure] if any record of
+    the run is missing or duplicated (e.g. after {!rotate_journal}). *)
 
 (** {1 Merged statistics and /proc/protego/plane} *)
 
@@ -153,6 +200,7 @@ val hook_stats : t -> (string * hook_totals) list
 val render : t -> string
 (** {v
     plane domains <d> engine <pfm|ref> epoch <e> runs <n>
+    audit mode <m> records <n> live <n> dropped <n> rotations <n>
     worker <i> decisions <n> evals <n> hits <n> misses <n> stale <n>
     hook <name> decisions <n> allow <n> deny <n> evals <n> hits <n>
     latency hook <name> count <n> p50 <ns> p90 <ns> p99 <ns>
@@ -162,10 +210,20 @@ val render : t -> string
     walk. *)
 
 val handle_write : t -> string -> (unit, string) result
-(** ["domains <n>"], ["engine pfm|ref"], ["publish"], ["reset"] (zero
-    counters, drop caches); anything else errors. *)
+(** ["domains <n>"], ["engine pfm|ref"], ["publish"],
+    ["audit off|spool|journal|both"], ["reset"] (zero counters, drop
+    caches, fresh journal); anything else errors. *)
+
+val render_journal : t -> string
+(** The /proc/protego/journal read image: a
+    [journal mode <m> rotations <n>] line, then
+    {!Protego_journal.Journal.render_stats}. *)
+
+val handle_journal_write : t -> string -> (unit, string) result
+(** ["rotate"], ["reset"]; anything else errors. *)
 
 val install_proc :
   Protego_kernel.Ktypes.machine -> t -> unit
-(** Install [/proc/protego/plane] (root-only, 0600): read renders, write
-    dispatches to {!handle_write} (EINVAL + dmesg on parse errors). *)
+(** Install [/proc/protego/plane] and [/proc/protego/journal] (both
+    root-only, 0600): reads render, writes dispatch to {!handle_write}
+    / {!handle_journal_write} (EINVAL + dmesg on parse errors). *)

@@ -75,11 +75,18 @@ let ref_ppp t ~device ~opt = PS.ppp_ioctl_decision t.frozen ~device ~opt
 
 (* --- publication -------------------------------------------------------- *)
 
-type pub = { cur : t Atomic.t }
+type pub = { cur : t Atomic.t; mutable hist : t list }
 
-let make st = { cur = Atomic.make (freeze ~epoch:0 st) }
+let make st =
+  let s0 = freeze ~epoch:0 st in
+  { cur = Atomic.make s0; hist = [ s0 ] }
 
 let current pub = Atomic.get pub.cur
+
+(* Snapshots are tiny (aliased policy lists + compiled programs), and
+   the history is what lets the journal replay re-evaluate an
+   epoch-stamped decision against the exact policy that served it. *)
+let at_epoch pub e = List.find_opt (fun s -> s.epoch = e) pub.hist
 
 (* The same discipline as the dispatcher's physical-identity watches: a
    harness that assigns a watched field directly (bypassing the /proc
@@ -100,6 +107,7 @@ let publish pub st =
   watch_parity prev st ~bump:true;
   let next = freeze ~epoch:(prev.epoch + 1) st in
   Atomic.set pub.cur next;
+  pub.hist <- next :: pub.hist;
   next
 
 let stale pub st =

@@ -78,6 +78,12 @@ val make : PS.t -> pub
 val current : pub -> t
 (** The latest published snapshot — a single [Atomic.get]. *)
 
+val at_epoch : pub -> int -> t option
+(** The snapshot published at a given epoch, from the publication
+    history this [pub] retains (every snapshot since creation).  What
+    lets a journal replay re-execute an epoch-stamped decision against
+    exactly the policy that served it. *)
+
 val publish : pub -> PS.t -> t
 (** Build-then-swap: freeze [st] at [epoch (current pub) + 1], then
     atomically replace the pointer.  Returns the new snapshot.  Before

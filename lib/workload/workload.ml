@@ -8,6 +8,7 @@ module Ktypes = Protego_kernel.Ktypes
 type phase =
   | Steady
   | Deny_flood
+  | Audit_heavy
   | Reload_storm of { period : int }
 
 type spec = {
@@ -61,15 +62,45 @@ let bind_exe i = "/usr/sbin/svc" ^ string_of_int (i mod 8)
 let bind_owner spec i = i mod spec.subjects
 let ppp_devices = [ "/dev/ttyS0"; "/dev/ttyS1" ]
 
+(* Audit_heavy exercises the journal's string encoder: deep paths that
+   approach the journal's 255-byte string cap.  The heavy rules only
+   enter the policy when the spec actually has a heavy phase, so every
+   other schedule is byte-for-byte what it was before the phase
+   existed. *)
+let heavy_pad = String.make 150 'p'
+let heavy_count = 8
+let heavy_source i = "/dev/hv" ^ string_of_int i
+let heavy_target i = "/media/heavy/" ^ heavy_pad ^ "/vol" ^ string_of_int i
+let heavy_port i = 9000 + i
+let heavy_exe i = "/opt/heavy/" ^ heavy_pad ^ "/svc" ^ string_of_int (i mod 4)
+
+let has_heavy spec = List.exists (fun (p, _) -> p = Audit_heavy) spec.phases
+
 let install_policy spec (st : PS.t) =
+  let heavy_mounts =
+    if has_heavy spec then
+      List.init heavy_count (fun i ->
+          { PS.mr_source = heavy_source i; mr_target = heavy_target i;
+            mr_fstype = "ext4"; mr_flags = []; mr_mode = `Users })
+    else []
+  in
+  let heavy_binds =
+    if has_heavy spec then
+      List.init heavy_count (fun i ->
+          { Bindconf.port = heavy_port i; proto = Bindconf.Tcp;
+            exe = heavy_exe i; owner = bind_owner spec i })
+    else []
+  in
   st.PS.mounts <-
     List.init spec.rules (fun i ->
         { PS.mr_source = rule_source i; mr_target = rule_target i;
-          mr_fstype = "ext4"; mr_flags = rule_flags i; mr_mode = rule_mode i });
+          mr_fstype = "ext4"; mr_flags = rule_flags i; mr_mode = rule_mode i })
+    @ heavy_mounts;
   st.PS.binds <-
     List.init spec.rules (fun i ->
         { Bindconf.port = bind_port i; proto = bind_proto i; exe = bind_exe i;
-          owner = bind_owner spec i });
+          owner = bind_owner spec i })
+    @ heavy_binds;
   st.PS.ppp <-
     { Pppopts.directives =
         Pppopts.Session_option (Ppp.Compression "deflate")
@@ -176,6 +207,66 @@ let build_pools spec =
      (pool bind_allow, pool bind_deny);
      (pool ppp_allow, pool ppp_deny) |]
 
+(* Long-string pools for the [Audit_heavy] phase, against the gated
+   heavy rules [install_policy] adds.  Separate PRNG stream so the
+   heavy pools never perturb the normal ones. *)
+let build_heavy_pools spec =
+  let rng = Prng.create (spec.seed lxor 0x4eaf) in
+  let subj_cdf = zipf_cdf spec.subjects spec.zipf_s in
+  let subj () = zipf_draw subj_cdf rng in
+  let hrule () = Prng.int rng heavy_count in
+  let mount_allow () =
+    let i = hrule () in
+    Plane.Mount
+      { subject = subj (); source = heavy_source i; target = heavy_target i;
+        fstype = "ext4"; flags = [] }
+  in
+  let mount_deny () =
+    let i = hrule () in
+    Plane.Mount
+      { subject = subj (); source = heavy_source i; target = heavy_target i;
+        fstype = "vfat"; flags = [] }
+  in
+  let umount_allow () =
+    let s = subj () in
+    Plane.Umount
+      { subject = s; target = heavy_target (hrule ()); mounted_by = s + 3 }
+  in
+  let umount_deny () =
+    let s = subj () in
+    Plane.Umount
+      { subject = s; target = "/media/heavy/" ^ heavy_pad ^ "/none";
+        mounted_by = s }
+  in
+  let bind_allow () =
+    let i = hrule () in
+    Plane.Bind
+      { subject = bind_owner spec i; port = heavy_port i;
+        proto = Bindconf.Tcp; exe = heavy_exe i }
+  in
+  let bind_deny () =
+    let i = hrule () in
+    Plane.Bind
+      { subject = bind_owner spec i; port = heavy_port i;
+        proto = Bindconf.Tcp; exe = "/opt/rogue/" ^ heavy_pad ^ "/bin" }
+  in
+  let ppp_allow () =
+    Plane.Ppp_ioctl
+      { subject = subj ();
+        device = List.nth ppp_devices (Prng.int rng (List.length ppp_devices));
+        opt = safe_opts.(Prng.int rng (Array.length safe_opts)) }
+  in
+  let ppp_deny () =
+    Plane.Ppp_ioctl
+      { subject = subj (); device = "/dev/tty/" ^ heavy_pad;
+        opt = safe_opts.(Prng.int rng (Array.length safe_opts)) }
+  in
+  let pool f = Array.init spec.pool (fun _ -> f ()) in
+  [| (pool mount_allow, pool mount_deny);
+     (pool umount_allow, pool umount_deny);
+     (pool bind_allow, pool bind_deny);
+     (pool ppp_allow, pool ppp_deny) |]
+
 (* --- schedule generation ------------------------------------------------ *)
 
 type schedule = {
@@ -188,6 +279,7 @@ let storm_sources = [| PS.Mounts; PS.Binds; PS.Ppp |]
 let generate spec ~workers =
   if workers < 1 then invalid_arg "Workload.generate";
   let pools = build_pools spec in
+  let hpools = if has_heavy spec then build_heavy_pools spec else pools in
   let pool_cdf = zipf_cdf spec.pool spec.zipf_s in
   let m1, m2, m3, m4 = spec.mix in
   let mix_total = m1 + m2 + m3 + m4 in
@@ -214,8 +306,12 @@ let generate spec ~workers =
   List.iter
     (fun (phase, count) ->
       let deny_pct =
-        match phase with Steady | Reload_storm _ -> 10 | Deny_flood -> 85
+        match phase with
+        | Steady | Reload_storm _ -> 10
+        | Audit_heavy -> 30
+        | Deny_flood -> 85
       in
+      let pools = if phase = Audit_heavy then hpools else pools in
       (match phase with
        | Reload_storm { period } when period > 0 ->
            let th = ref (!off + period) in

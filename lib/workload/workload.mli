@@ -11,11 +11,15 @@
     - a configurable {b hook mix} (mount/umount/bind/ppp weights) and
       zipfian subject skew;
     - {b phases}: [Steady] (mostly grants), [Deny_flood] (a burst of
-      denials, the audit-heavy worst case), and [Reload_storm] (policy
-      republication every [period] requests — the snapshot-churn worst
-      case).  Storm reloads are generation bumps, i.e. semantics
-      preserving: every verdict stays equal to the fixed-policy oracle,
-      which is what lets differential tests run under storms;
+      denials), [Audit_heavy] (every request carries ~160-byte object
+      strings drawn against gated long-path rules — the journal
+      encoder's worst case; the long rules only enter the policy when a
+      heavy phase is present, so other schedules are unchanged), and
+      [Reload_storm] (policy republication every [period] requests —
+      the snapshot-churn worst case).  Storm reloads are generation
+      bumps, i.e. semantics preserving: every verdict stays equal to
+      the fixed-policy oracle, which is what lets differential tests
+      run under storms;
     - {b open or closed} loop shape: [`Open] draws one global arrival
       stream (workers share it round-robin); [`Closed] gives each of
       [workers] simulated callers its own stream, interleaved at its
@@ -30,6 +34,7 @@ module Plane = Protego_plane.Plane
 type phase =
   | Steady
   | Deny_flood
+  | Audit_heavy
   | Reload_storm of { period : int }
 
 type spec = {

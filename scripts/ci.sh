@@ -40,6 +40,13 @@ echo "==> bench structural check + regression gate"
 ./_build/default/bin/bench_gate.exe BENCH_protego.json \
     --baseline bench/baseline.json --tolerance 3
 
+# The audit bench saves the steady journal's binary image; verifying it
+# with the standalone CLI exercises the full persistence + decode +
+# stitch path on a real multi-run, multi-domain artifact.  --strict
+# additionally asserts zero dropped records and per-run contiguity.
+echo "==> journal artifact verification (JOURNAL_protego.bin)"
+./_build/default/bin/journal.exe verify JOURNAL_protego.bin --strict
+
 echo "==> decision-cache interleaving harness"
 ./_build/default/test/test_main.exe test cache
 
@@ -51,6 +58,13 @@ echo "==> decision-cache interleaving harness"
 # runner.
 echo "==> decision-plane stress (multi-domain differential + interleavings)"
 ./_build/default/test/test_main.exe test plane
+
+# Journal stress: torn-tail/wraparound/stitch unit suites plus the
+# 20k-request 4-domain `Both`-mode differential (journal vs spool
+# record-for-record) and the total-order replay against epoch-stamped
+# snapshots.
+echo "==> audit-journal stress (differential + total-order replay)"
+./_build/default/test/test_main.exe test journal
 
 echo "==> decision-plane scaling smoke (numbers land in PLANE_scaling.txt)"
 ./_build/default/bench/main.exe plane | tee PLANE_scaling.txt

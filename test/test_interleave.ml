@@ -132,7 +132,10 @@ let test_all_interleavings () =
 
 module Plane = Protego_plane.Plane
 module Snapshot = Protego_plane.Snapshot
+module Replay = Protego_plane.Replay
 module Pfm = Protego_filter.Pfm
+module J = Protego_journal.Journal
+module Compile = Protego_filter.Pfm_compile
 
 type pstep = Publish of string * (PS.t -> unit) | PProbe
 
@@ -158,7 +161,29 @@ let publisher =
 
 let pdecider = [ PProbe; PProbe; PProbe ]
 
-let plane_probe ~schedule ~at st plane =
+(* Every probe decision is also journaled, exactly as a plane worker
+   would encode it; after the schedule the journal is stitched and
+   replayed against the snapshot history, so all 20 interleavings also
+   exercise the journal's epoch-stamp/replay contract. *)
+let journal_outcome jterm jseq req (o : Plane.outcome) =
+  let verdict =
+    match o.Plane.o_verdict with Pfm.Allow -> 1 | Pfm.Deny -> 0 | Pfm.Reject -> 2
+  in
+  let errno = match o.Plane.o_errno with None -> 0 | Some e -> Errno.to_code e in
+  let seq = !jseq in
+  incr jseq;
+  match req with
+  | Plane.Mount { subject; source; target; fstype; flags } ->
+      J.append_mount jterm ~seq ~run:0 ~epoch:o.Plane.o_epoch ~subject
+        ~verdict ~errno ~source ~target ~fstype ~flags:(Compile.flags_mask flags)
+  | Plane.Bind { subject; port; proto; exe } ->
+      J.append_bind jterm ~seq ~run:0 ~epoch:o.Plane.o_epoch ~subject ~verdict
+        ~errno ~port
+        ~proto:(match proto with Bindconf.Tcp -> 0 | Bindconf.Udp -> 1)
+        ~exe
+  | Plane.Umount _ | Plane.Ppp_ioctl _ -> ()
+
+let plane_probe ~schedule ~at ~jterm ~jseq st plane =
   let where what = Printf.sprintf "%s step %d %s" schedule at what in
   let snap_of epoch =
     let cur = Plane.current plane in
@@ -179,6 +204,7 @@ let plane_probe ~schedule ~at st plane =
       in
       let ask () =
         let o = Plane.decide plane req in
+        journal_outcome jterm jseq req o;
         let snap = snap_of o.Plane.o_epoch in
         check
           (where ("snapshot oracle " ^ label))
@@ -200,7 +226,9 @@ let plane_probe ~schedule ~at st plane =
         PS.bind_allowed st ~port:777 ~proto ~exe:"/usr/sbin/exim4" ~uid:0
       in
       let ask () =
-        (Plane.decide plane req).Plane.o_verdict = Pfm.Allow
+        let o = Plane.decide plane req in
+        journal_outcome jterm jseq req o;
+        o.Plane.o_verdict = Pfm.Allow
       in
       check (where ("plane bind " ^ label)) oracle (ask ());
       check (where ("plane bind " ^ label ^ " repeat")) oracle (ask ()))
@@ -217,6 +245,8 @@ let run_pschedule steps =
   PS.bump_generation st PS.Mounts;
   PS.bump_generation st PS.Binds;
   let plane = Plane.create st in
+  let jterm = J.term (Plane.journal plane) ~domain:0 in
+  let jseq = ref 0 in
   let schedule = pschedule_name steps in
   List.iteri
     (fun at step ->
@@ -224,9 +254,26 @@ let run_pschedule steps =
       | Publish (_, mutate) ->
           mutate st;
           ignore (Plane.publish plane)
-      | PProbe -> plane_probe ~schedule ~at st plane)
+      | PProbe -> plane_probe ~schedule ~at ~jterm ~jseq st plane)
     steps;
-  plane_probe ~schedule ~at:(List.length steps) st plane
+  plane_probe ~schedule ~at:(List.length steps) ~jterm ~jseq st plane;
+  (* Stitch the probes back into one total order and replay them: every
+     journaled verdict/errno must reproduce against the snapshot its
+     epoch stamp names, whatever the publish/probe interleaving was. *)
+  match J.stitch (Plane.journal plane) ~run:0 ~base:0 ~count:!jseq with
+  | Error e -> Alcotest.failf "%s: journal stitch failed: %s" schedule e
+  | Ok ds ->
+      let rep = Replay.replay ~snapshot_of_epoch:(Plane.snapshot_at plane) ds in
+      (match rep.Replay.rp_mismatches with
+      | [] -> ()
+      | m :: _ ->
+          Alcotest.failf "%s: replay mismatch at seq %d (%s)" schedule
+            m.Replay.mm_seq m.Replay.mm_field);
+      if rep.Replay.rp_missing_epochs <> [] then
+        Alcotest.failf "%s: replay lost epochs" schedule;
+      Alcotest.(check int)
+        (schedule ^ " all probes replayed")
+        !jseq rep.Replay.rp_matched
 
 let test_publish_interleavings () =
   let schedules = interleavings publisher pdecider in

@@ -1,0 +1,451 @@
+(* The binary audit journal: commit-protocol torn-tail tolerance,
+   segment-boundary padding, wraparound accounting, cross-term stitch,
+   persistence, the kernel audit ring view's drop counting, the
+   journal-vs-spool differential under a 4-domain storm run, and
+   total-order replay against the snapshot history. *)
+
+open Protego_kernel
+open Ktypes
+module Image = Protego_dist.Image
+module J = Protego_journal.Journal
+module PS = Protego_core.Policy_state
+module Pfm = Protego_filter.Pfm
+module Plane = Protego_plane.Plane
+module Replay = Protego_plane.Replay
+module Workload = Protego_workload.Workload
+module Errno = Protego_base.Errno
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(* --- encoding roundtrip -------------------------------------------------- *)
+
+let test_roundtrip () =
+  let j = J.create () in
+  let tm = J.term j ~domain:3 in
+  J.append_mount tm ~seq:0 ~run:1 ~epoch:2 ~subject:1000 ~verdict:1 ~errno:0
+    ~source:"/dev/cdrom" ~target:"/media/cdrom" ~fstype:"iso9660" ~flags:0xb;
+  J.append_umount tm ~seq:1 ~run:1 ~epoch:2 ~subject:1001 ~verdict:0
+    ~errno:(Errno.to_code Errno.EPERM) ~target:"/media/usb" ~mounted_by:7;
+  J.append_bind tm ~seq:2 ~run:1 ~epoch:3 ~subject:25 ~verdict:0
+    ~errno:(Errno.to_code Errno.EACCES) ~port:25 ~proto:1 ~exe:"/usr/sbin/smtpd";
+  J.append_ppp tm ~seq:3 ~run:1 ~epoch:3 ~subject:8 ~verdict:1 ~errno:0
+    ~device:"/dev/ttyS0" ~safe:true;
+  J.append_kaudit tm ~time:42. ~pid:99 ~uid:1000 ~op:"mount" ~obj:"x"
+    ~allowed:false ~engine:(Some "pfm") ~span:(Some 5);
+  check_int "five records" 5 (J.live_entries j);
+  check_int "nothing dropped" 0 (J.dropped j);
+  (match J.entries j with
+  | [ J.Decision m; J.Decision u; J.Decision b; J.Decision p; J.Kaudit k ] ->
+      (match m.J.d_req with
+      | J.Mount { source; target; fstype; flags } ->
+          check_bool "mount fields" true
+            (source = "/dev/cdrom" && target = "/media/cdrom"
+            && fstype = "iso9660" && flags = 0xb)
+      | _ -> Alcotest.fail "mount reqtag");
+      check_bool "mount stamps" true
+        (m.J.d_seq = 0 && m.J.d_run = 1 && m.J.d_epoch = 2
+        && m.J.d_domain = 3 && m.J.d_subject = 1000 && m.J.d_verdict = 1
+        && m.J.d_errno = 0);
+      (match u.J.d_req with
+      | J.Umount { target; mounted_by } ->
+          check_bool "umount fields" true
+            (target = "/media/usb" && mounted_by = 7)
+      | _ -> Alcotest.fail "umount reqtag");
+      check_bool "umount errno survives the wire" true
+        (Errno.of_code u.J.d_errno = Some Errno.EPERM);
+      (match b.J.d_req with
+      | J.Bind { port; proto; exe } ->
+          check_bool "bind fields" true
+            (port = 25 && proto = 1 && exe = "/usr/sbin/smtpd")
+      | _ -> Alcotest.fail "bind reqtag");
+      (match p.J.d_req with
+      | J.Ppp { device; safe } ->
+          check_bool "ppp fields" true (device = "/dev/ttyS0" && safe)
+      | _ -> Alcotest.fail "ppp reqtag");
+      check_bool "kaudit fields" true
+        (k.J.k_time = 42. && k.J.k_pid = 99 && k.J.k_uid = 1000
+        && k.J.k_op = "mount" && k.J.k_obj = "x" && not k.J.k_allowed
+        && k.J.k_engine = Some "pfm" && k.J.k_span = Some 5)
+  | _ -> Alcotest.fail "unexpected entry shapes");
+  (* Strings cap at 255 bytes on the wire. *)
+  let long = String.make 400 'a' in
+  J.append_umount tm ~seq:4 ~run:1 ~epoch:3 ~subject:0 ~verdict:1 ~errno:0
+    ~target:long ~mounted_by:0;
+  match List.rev (J.entries j) with
+  | J.Decision { J.d_req = J.Umount { target; _ }; _ } :: _ ->
+      check_int "string truncated" 255 (String.length target);
+      check_bool "truncated prefix" true (target = String.sub long 0 255)
+  | _ -> Alcotest.fail "long-string record missing"
+
+(* --- torn tail ----------------------------------------------------------- *)
+
+let test_torn_tail () =
+  let j = J.create ~seg_bytes:4096 ~segments:4 () in
+  let tm = J.term j ~domain:0 in
+  let app seq =
+    J.append_ppp tm ~seq ~run:0 ~epoch:0 ~subject:1 ~verdict:1 ~errno:0
+      ~device:"/dev/ttyS0" ~safe:true
+  in
+  app 0;
+  app 1;
+  (* A claim that never commits: the body region is claimed and may be
+     half-filled, but the header stays zero. *)
+  let at = J.unsafe_claim tm 64 in
+  app 2;
+  (* The reader must stop at the uncommitted header — record 2 exists
+     physically after the torn region but is unreachable until the torn
+     record commits.  Nothing decodes partially, nothing throws. *)
+  check_int "scan stops at the torn record" 2 (J.live_entries j);
+  (match J.entries j with
+  | [ J.Decision a; J.Decision b ] ->
+      check_bool "prefix intact" true (a.J.d_seq = 0 && b.J.d_seq = 1)
+  | _ -> Alcotest.fail "prefix damaged by the torn tail");
+  (* Commit the claim as padding: the scan now skips it and record 2
+     becomes visible — torn-tail recovery is just late commit. *)
+  J.commit j ~at ~len:64 ~padding:true;
+  check_int "recovered past the commit" 3 (J.live_entries j);
+  match List.rev (J.entries j) with
+  | J.Decision c :: _ -> check_int "record after the gap" 2 c.J.d_seq
+  | _ -> Alcotest.fail "record after the gap missing"
+
+(* --- segment boundaries -------------------------------------------------- *)
+
+let test_segment_boundary () =
+  let j = J.create ~seg_bytes:4096 ~segments:8 () in
+  let tm = J.term j ~domain:0 in
+  (* 72-byte records: 4096 mod 72 <> 0, so every segment ends in a
+     padding record the reader must skip. *)
+  let n = 200 in
+  for seq = 0 to n - 1 do
+    J.append_mount tm ~seq ~run:0 ~epoch:0 ~subject:seq ~verdict:1 ~errno:0
+      ~source:"/dev/wl00" ~target:"/media/wl00" ~fstype:"ext4" ~flags:0
+  done;
+  let st = J.stats j in
+  check_bool "crossed segments" true (st.J.s_tail > J.seg_bytes j);
+  check_bool "padding written" true (st.J.s_padding >= 1);
+  check_int "padding is invisible" n st.J.s_live;
+  check_int "no drops below capacity" 0 st.J.s_dropped;
+  (* Order and content survive the boundary crossings. *)
+  List.iteri
+    (fun i e ->
+      match e with
+      | J.Decision d ->
+          if d.J.d_seq <> i || d.J.d_subject <> i then
+            Alcotest.failf "record %d corrupted across boundary" i
+      | J.Kaudit _ -> Alcotest.fail "unexpected kaudit")
+    (J.entries j)
+
+(* --- wraparound ---------------------------------------------------------- *)
+
+let test_wraparound () =
+  let j = J.create ~seg_bytes:4096 ~segments:4 () in
+  let tm = J.term j ~domain:0 in
+  let n = 2_000 in
+  (* ~48B per record * 2000 >> 16KiB capacity: several full laps. *)
+  for seq = 0 to n - 1 do
+    J.append_umount tm ~seq ~run:0 ~epoch:0 ~subject:seq ~verdict:0
+      ~errno:(Errno.to_code Errno.EPERM) ~target:"/media/none" ~mounted_by:1
+  done;
+  let st = J.stats j in
+  check_bool "lapped" true (st.J.s_laps >= 2);
+  check_int "every append counted" n st.J.s_records;
+  check_bool "live window bounded" true
+    (st.J.s_live > 0 && st.J.s_live < n);
+  check_int "drop arithmetic" n (st.J.s_live + st.J.s_dropped);
+  (* The live window is exactly the newest records, still in order, and
+     every one decodes — no stale previous-lap bytes survive the
+     re-zeroing, no header aliases across laps. *)
+  let seqs =
+    List.filter_map
+      (function J.Decision d -> Some d.J.d_seq | J.Kaudit _ -> None)
+      (J.entries j)
+  in
+  check_int "decoded = live" st.J.s_live (List.length seqs);
+  List.iteri
+    (fun i s ->
+      if s <> n - st.J.s_live + i then
+        Alcotest.failf "live window not the newest suffix at %d" i)
+    seqs
+
+(* --- stitch -------------------------------------------------------------- *)
+
+let test_stitch_terms () =
+  let j = J.create () in
+  let d = 4 and n = 100 in
+  let terms = Array.init d (fun w -> J.term j ~domain:w) in
+  (* Round-robin like the plane: term w owns seqs congruent to w mod d,
+     epochs advance every 25 requests (as if three reloads landed). *)
+  for w = 0 to d - 1 do
+    let seq = ref w in
+    while !seq < n do
+      J.append_bind terms.(w) ~seq:!seq ~run:7 ~epoch:(!seq / 25)
+        ~subject:w ~verdict:1 ~errno:0 ~port:(1000 + !seq) ~proto:0
+        ~exe:"/usr/sbin/svc0";
+      seq := !seq + d
+    done
+  done;
+  (match J.stitch j ~run:7 ~base:0 ~count:n with
+  | Error e -> Alcotest.failf "stitch failed: %s" e
+  | Ok ds ->
+      check_int "full run" n (Array.length ds);
+      Array.iteri
+        (fun i dec ->
+          if dec.J.d_seq <> i then Alcotest.failf "order hole at %d" i;
+          if dec.J.d_domain <> i mod d then
+            Alcotest.failf "wrong owning term at %d" i;
+          if dec.J.d_epoch <> i / 25 then
+            Alcotest.failf "epoch stamp lost at %d" i)
+        ds);
+  (* Records of other runs are invisible to the stitch. *)
+  J.append_bind terms.(0) ~seq:0 ~run:8 ~epoch:4 ~subject:0 ~verdict:0
+    ~errno:(Errno.to_code Errno.EACCES) ~port:2000 ~proto:1 ~exe:"/bin/x";
+  (match J.stitch j ~run:7 ~base:0 ~count:n with
+  | Error e -> Alcotest.failf "stitch polluted by another run: %s" e
+  | Ok ds -> check_int "still the full run" n (Array.length ds));
+  (* A duplicate sequence stamp is an error, not a silent overwrite. *)
+  J.append_bind terms.(1) ~seq:5 ~run:7 ~epoch:0 ~subject:1 ~verdict:1
+    ~errno:0 ~port:1005 ~proto:0 ~exe:"/usr/sbin/svc0";
+  (match J.stitch j ~run:7 ~base:0 ~count:n with
+  | Error e -> check_bool "duplicate reported" true (contains e "duplicate")
+  | Ok _ -> Alcotest.fail "duplicate seq must fail the stitch");
+  (* A missing record likewise. *)
+  match J.stitch j ~run:8 ~base:0 ~count:3 with
+  | Error e -> check_bool "loss reported" true (contains e "lost")
+  | Ok _ -> Alcotest.fail "missing seq must fail the stitch"
+
+(* --- persistence --------------------------------------------------------- *)
+
+let test_save_load () =
+  let j = J.create ~seg_bytes:4096 ~segments:4 () in
+  let tm = J.term j ~domain:2 in
+  for seq = 0 to 499 do
+    J.append_ppp tm ~seq ~run:3 ~epoch:1 ~subject:seq ~verdict:(seq land 1)
+      ~errno:(if seq land 1 = 1 then 0 else Errno.to_code Errno.EPERM)
+      ~device:"/dev/ttyS1" ~safe:false
+  done;
+  let path = Filename.temp_file "protego_journal" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      J.save j path;
+      match J.load path with
+      | Error e -> Alcotest.failf "load failed: %s" e
+      | Ok j2 ->
+          check_bool "stats survive" true (J.stats j2 = J.stats j);
+          check_bool "entries survive" true (J.entries j2 = J.entries j));
+  match J.load "/nonexistent/journal.bin" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "loading a missing file must error"
+
+(* --- kernel audit ring view ---------------------------------------------- *)
+
+let fixture () =
+  let img = Image.build Image.Protego in
+  img.Image.machine.password_source <- (fun _ -> None);
+  Audit.clear img.Image.machine;
+  img
+
+let test_kernel_audit_dropped () =
+  let img = fixture () in
+  let m = img.Image.machine in
+  let root = Image.login img "root" in
+  let over = 50 in
+  for i = 1 to Audit.capacity + over do
+    Audit.emit m root ~op:"probe" ~obj:(string_of_int i) ~allowed:true
+  done;
+  check_int "view bounded" Audit.capacity (List.length (Audit.records m));
+  check_int "overflow counted, not lost silently" over (Audit.dropped m);
+  (* The view keeps the newest records. *)
+  (match List.rev (Audit.records m) with
+  | newest :: _ ->
+      check_bool "newest retained" true
+        (newest.Audit.au_obj = string_of_int (Audit.capacity + over))
+  | [] -> Alcotest.fail "empty view");
+  check_bool "summary line renders the count" true
+    (contains (Audit.render m)
+       (Printf.sprintf "records=%d dropped=%d" Audit.capacity over));
+  Audit.clear m;
+  check_int "clear restarts the counters" 0 (Audit.dropped m);
+  check_bool "clear empties the view" true (Audit.records m = [])
+
+(* --- plane differential + replay ----------------------------------------- *)
+
+let spec ?(seed = 7) ?(phases = [ (Workload.Steady, 2_000) ]) () =
+  { (Workload.default ~seed ~phases ()) with Workload.rules = 24; pool = 64 }
+
+let fresh_state sp =
+  let st = PS.create () in
+  Workload.install_policy sp st;
+  st
+
+let oracle (st : PS.t) = function
+  | Plane.Mount { source; target; fstype; flags; _ } ->
+      PS.mount_decision st ~source ~target ~fstype ~flags
+  | Plane.Umount { subject; target; mounted_by } ->
+      PS.umount_decision st ~target ~mounted_by ~ruid:subject
+  | Plane.Bind { subject; port; proto; exe } ->
+      PS.bind_allowed st ~port ~proto ~exe ~uid:subject
+  | Plane.Ppp_ioctl { device; opt; _ } -> PS.ppp_ioctl_decision st ~device ~opt
+
+let storm_phases =
+  [ (Workload.Steady, 6_000);
+    (Workload.Reload_storm { period = 500 }, 6_000);
+    (Workload.Audit_heavy, 4_000);
+    (Workload.Deny_flood, 4_000) ]
+
+let run_with_reloads plane (sched : Workload.schedule) =
+  let st = Plane.state plane in
+  let reloads =
+    List.map
+      (fun (th, source) ->
+        ( th,
+          fun () ->
+            PS.bump_generation st source;
+            ignore (Plane.publish plane) ))
+      sched.Workload.s_reloads
+  in
+  Plane.run plane ~reloads sched.Workload.s_requests
+
+(* The tentpole acceptance test: 20k requests over 4 domains in [`Both]
+   mode.  Plane.run itself fails if the journal stitch and the spool
+   merge ever disagree; on top of that the journal replay must
+   reproduce every verdict and errno against the snapshot history, in
+   submission order, with zero lost and zero duplicated records. *)
+let test_replay_differential () =
+  let sp =
+    { (spec ~seed:13 ~phases:storm_phases ()) with Workload.loop = `Closed }
+  in
+  let n = List.fold_left (fun a (_, c) -> a + c) 0 storm_phases in
+  check_int "twenty thousand" 20_000 n;
+  let sched = Workload.generate sp ~workers:4 in
+  let st = fresh_state sp in
+  let plane = Plane.create ~domains:4 st in
+  Plane.set_audit_mode plane `Both;
+  let run_id = Plane.runs plane in
+  let rr = run_with_reloads plane sched in
+  check_int "audit complete" n (Array.length rr.Plane.rr_audit);
+  Array.iteri
+    (fun i (a : Plane.audit_entry) ->
+      if a.Plane.a_seq <> i then Alcotest.failf "audit seq hole at %d" i)
+    rr.Plane.rr_audit;
+  (* Stitch the run straight out of the journal and check it against
+     the fixed-policy oracle (storm reloads preserve semantics). *)
+  (match J.stitch (Plane.journal plane) ~run:run_id ~base:0 ~count:n with
+  | Error e -> Alcotest.failf "stitch failed: %s" e
+  | Ok ds ->
+      Array.iteri
+        (fun i (dec : J.decision) ->
+          let req = sched.Workload.s_requests.(i) in
+          let expect = oracle st req in
+          if (dec.J.d_verdict = 1) <> expect then
+            Alcotest.failf "journal verdict diverges from oracle at %d" i;
+          if
+            (dec.J.d_verdict = 1)
+            <> (rr.Plane.rr_outcomes.(i).Plane.o_verdict = Pfm.Allow)
+          then Alcotest.failf "journal diverges from live outcome at %d" i)
+        ds);
+  (* Replay: re-execute every record against the snapshot its epoch
+     stamp names; verdict and errno must match record-for-record. *)
+  let rep = Replay.replay_run plane ~run:run_id ~count:n in
+  check_int "replayed everything" n rep.Replay.rp_total;
+  check_bool "no missing epochs" true (rep.Replay.rp_missing_epochs = []);
+  (match rep.Replay.rp_mismatches with
+  | [] -> ()
+  | m :: _ ->
+      Alcotest.failf "replay mismatch at seq %d (%s: expected %s, got %s)"
+        m.Replay.mm_seq m.Replay.mm_field m.Replay.mm_expected
+        m.Replay.mm_got);
+  check_int "all matched" n rep.Replay.rp_matched;
+  check_bool "report renders" true
+    (contains (Replay.render rep)
+       (Printf.sprintf "replay total %d matched %d" n n))
+
+let test_rotation () =
+  let sp = spec () in
+  let st = fresh_state sp in
+  let plane = Plane.create ~domains:2 st in
+  let sched = Workload.generate sp ~workers:2 in
+  let n = Array.length sched.Workload.s_requests in
+  ignore (Plane.run plane sched.Workload.s_requests);
+  (match J.stitch (Plane.journal plane) ~run:0 ~base:0 ~count:n with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "pre-rotation stitch failed: %s" e);
+  Plane.rotate_journal plane;
+  check_int "rotation counted" 1 (Plane.rotations plane);
+  check_int "fresh journal is empty" 0 (J.live_entries (Plane.journal plane));
+  (* The old run is gone from the new journal — and the stitcher says
+     so instead of fabricating records. *)
+  (match J.stitch (Plane.journal plane) ~run:0 ~base:0 ~count:n with
+  | Error e -> check_bool "loss reported" true (contains e "lost")
+  | Ok _ -> Alcotest.fail "stitch after rotation must fail");
+  (* Terms re-attached: the next run journals into the new store. *)
+  ignore (Plane.run plane sched.Workload.s_requests);
+  (match J.stitch (Plane.journal plane) ~run:1 ~base:0 ~count:n with
+  | Ok ds -> check_int "new run journaled" n (Array.length ds)
+  | Error e -> Alcotest.failf "post-rotation stitch failed: %s" e);
+  Plane.reset_journal plane;
+  check_int "reset zeroes rotations" 0 (Plane.rotations plane)
+
+(* --- /proc/protego/journal ----------------------------------------------- *)
+
+let test_proc_journal () =
+  let img = fixture () in
+  let m = img.Image.machine in
+  let root = Image.login img "root" in
+  (match Syscall.read_file m root "/proc/protego/journal" with
+  | Ok s ->
+      check_bool "stats render" true (contains s "journal mode journal");
+      check_bool "geometry line" true (contains s "journal seg_bytes")
+  | Error _ -> Alcotest.fail "cannot read /proc/protego/journal");
+  (match img.Image.plane with
+  | None -> Alcotest.fail "Protego image has no plane"
+  | Some plane ->
+      (match Syscall.write_file m root "/proc/protego/journal" "rotate" with
+      | Ok () -> check_int "rotate via proc" 1 (Plane.rotations plane)
+      | Error _ -> Alcotest.fail "cannot write rotate");
+      (match Syscall.write_file m root "/proc/protego/journal" "reset" with
+      | Ok () -> check_int "reset via proc" 0 (Plane.rotations plane)
+      | Error _ -> Alcotest.fail "cannot write reset");
+      (* Mode switching through /proc/protego/plane. *)
+      (match Syscall.write_file m root "/proc/protego/plane" "audit spool" with
+      | Ok () -> check_bool "mode applied" true (Plane.audit_mode plane = `Spool)
+      | Error _ -> Alcotest.fail "cannot switch audit mode");
+      match Syscall.read_file m root "/proc/protego/plane" with
+      | Ok s -> check_bool "mode rendered" true (contains s "audit mode spool")
+      | Error _ -> Alcotest.fail "cannot re-read /proc/protego/plane");
+  (match Syscall.write_file m root "/proc/protego/journal" "bogus" with
+  | Error Protego_base.Errno.EINVAL -> ()
+  | _ -> Alcotest.fail "bogus journal write must be EINVAL");
+  (* Root-only, like every protego control file. *)
+  let alice = Image.login img "alice" in
+  match Syscall.read_file m alice "/proc/protego/journal" with
+  | Error Protego_base.Errno.EACCES -> ()
+  | _ -> Alcotest.fail "journal vnode must be root-only"
+
+let suites =
+  [ ("journal:core",
+     [ Alcotest.test_case "encode/decode roundtrip" `Quick test_roundtrip;
+       Alcotest.test_case "torn tail tolerated" `Quick test_torn_tail;
+       Alcotest.test_case "segment boundaries padded" `Quick
+         test_segment_boundary;
+       Alcotest.test_case "wraparound at capacity" `Quick test_wraparound ]);
+    ("journal:stitch",
+     [ Alcotest.test_case "total order across terms and epochs" `Quick
+         test_stitch_terms ]);
+    ("journal:persistence",
+     [ Alcotest.test_case "save and load" `Quick test_save_load ]);
+    ("journal:kaudit",
+     [ Alcotest.test_case "ring view drop counting" `Quick
+         test_kernel_audit_dropped ]);
+    ("journal:replay",
+     [ Alcotest.test_case "4-domain 20k differential replay" `Quick
+         test_replay_differential;
+       Alcotest.test_case "rotation" `Quick test_rotation ]);
+    ("journal:proc",
+     [ Alcotest.test_case "/proc/protego/journal" `Quick test_proc_journal ]) ]
