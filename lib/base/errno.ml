@@ -140,8 +140,51 @@ let all =
      EADDRINUSE; EADDRNOTAVAIL; ENETUNREACH; ECONNREFUSED; ETIMEDOUT;
      EHOSTUNREACH; ENOPROTOOPT; EPROTONOSUPPORT |]
 
-let to_code e =
-  let rec go i = if all.(i) = e then i + 1 else go (i + 1) in
-  go 0
+(* Exhaustive on purpose: adding a constructor without assigning its
+   wire code is a compile error here, and the assertion below keeps
+   [all] (the decode table) in sync with these codes. *)
+let to_code = function
+  | EPERM -> 1
+  | ENOENT -> 2
+  | ESRCH -> 3
+  | EINTR -> 4
+  | EIO -> 5
+  | ENXIO -> 6
+  | ENOEXEC -> 7
+  | EBADF -> 8
+  | ECHILD -> 9
+  | EAGAIN -> 10
+  | ENOMEM -> 11
+  | EACCES -> 12
+  | EFAULT -> 13
+  | EBUSY -> 14
+  | EEXIST -> 15
+  | EXDEV -> 16
+  | ENODEV -> 17
+  | ENOTDIR -> 18
+  | EISDIR -> 19
+  | EINVAL -> 20
+  | ENFILE -> 21
+  | EMFILE -> 22
+  | ENOTTY -> 23
+  | ENOSPC -> 24
+  | EROFS -> 25
+  | EMLINK -> 26
+  | EPIPE -> 27
+  | ERANGE -> 28
+  | ENAMETOOLONG -> 29
+  | ENOSYS -> 30
+  | ENOTEMPTY -> 31
+  | ELOOP -> 32
+  | EADDRINUSE -> 33
+  | EADDRNOTAVAIL -> 34
+  | ENETUNREACH -> 35
+  | ECONNREFUSED -> 36
+  | ETIMEDOUT -> 37
+  | EHOSTUNREACH -> 38
+  | ENOPROTOOPT -> 39
+  | EPROTONOSUPPORT -> 40
+
+let () = Array.iteri (fun i e -> assert (to_code e = i + 1)) all
 
 let of_code c = if c >= 1 && c <= Array.length all then Some all.(c - 1) else None

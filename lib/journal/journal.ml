@@ -27,7 +27,13 @@ type t = {
   jcap_shift : int;
   store : Bytes.t array;
   jtail : int Atomic.t;  (* logical bytes claimed; multiple of jseg_bytes *)
+  jowners : int Atomic.t array;
+      (* per physical segment: 1 + logical start of the owning claim, or
+         0 when no term is writing into it — the writer-overrun guard *)
   mutable jterms : term list;  (* registration is setup-time, coordinator-side *)
+  mutable jretired_records : int;  (* counters of retired terms, folded *)
+  mutable jretired_bytes : int;    (* into the journal-wide stats *)
+  mutable jretired_padding : int;
 }
 
 and term = {
@@ -54,7 +60,10 @@ let create ?(seg_bytes = 65536) ?(segments = 16) () =
     jcapacity = seg_bytes * segments;
     jcap_shift = shift_of (seg_bytes * segments);
     store = Array.init segments (fun _ -> Bytes.make seg_bytes '\000');
-    jtail = Atomic.make 0; jterms = [] }
+    jtail = Atomic.make 0;
+    jowners = Array.init segments (fun _ -> Atomic.make 0);
+    jterms = []; jretired_records = 0; jretired_bytes = 0;
+    jretired_padding = 0 }
 
 let seg_bytes j = j.jseg_bytes
 let segments j = j.jsegs
@@ -62,6 +71,12 @@ let capacity j = j.jcapacity
 let tail j = Atomic.get j.jtail
 
 let term j ~domain =
+  if List.length j.jterms >= j.jsegs then
+    invalid_arg
+      (Printf.sprintf
+         "Journal.term: %d active terms on %d segments (each active term \
+          owns a whole segment)"
+         (List.length j.jterms) j.jsegs);
   let tm =
     { tm_domain = domain; tm_j = j; tm_pos = 0; tm_end = 0; tm_records = 0;
       tm_bytes = 0; tm_padding = 0 }
@@ -70,7 +85,8 @@ let term j ~domain =
   tm
 
 (* Physical backing of a logical offset. *)
-let phys j o = Array.unsafe_get j.store ((o lsr j.jseg_shift) land j.jsegs_mask)
+let seg_index j o = (o lsr j.jseg_shift) land j.jsegs_mask
+let phys j o = Array.unsafe_get j.store (seg_index j o)
 let parity j o = (o lsr j.jcap_shift) land 1
 
 let set_header j ~at ~len ~padding =
@@ -83,12 +99,33 @@ let get_header j ~at =
   Int32.to_int (Bytes.get_int32_le (phys j at) (at land j.jseg_mask))
   land 0xFFFFFFFF
 
+(* A term's current segment, released when it claims the next one (or
+   retires).  The CAS-from-our-own-token makes the release a no-op if
+   the slot somehow changed hands — it cannot unless we already failed. *)
+let release_segment tm =
+  let j = tm.tm_j in
+  if tm.tm_end > 0 then begin
+    let start = tm.tm_end - j.jseg_bytes in
+    ignore
+      (Atomic.compare_and_set j.jowners.(seg_index j start) (start + 1) 0
+        : bool)
+  end
+
 (* Claim a whole fresh segment: the single shared-state operation on the
-   write path.  The claiming term owns the segment exclusively, so the
-   wrap-lap zeroing below is single-writer. *)
+   write path.  The claiming term owns the segment exclusively (recorded
+   in [jowners]), so the wrap-lap zeroing below is single-writer.  If
+   the physical segment backing the new claim is still some lagging
+   term's active segment — a writer a full capacity lap behind the
+   shared tail — zero-filling it would corrupt that term's committed
+   records under it, so the claim fails loudly instead. *)
 let new_chunk tm =
   let j = tm.tm_j in
+  release_segment tm;
   let pos = Atomic.fetch_and_add j.jtail j.jseg_bytes in
+  if not (Atomic.compare_and_set j.jowners.(seg_index j pos) 0 (pos + 1)) then
+    failwith
+      "Journal: writer overrun: reclaimed physical segment is still a \
+       lagging term's active segment";
   if pos >= j.jcapacity then Bytes.fill (phys j pos) 0 j.jseg_bytes '\000';
   tm.tm_pos <- pos;
   tm.tm_end <- pos + j.jseg_bytes
@@ -110,6 +147,28 @@ let rec claim tm len =
     end;
     new_chunk tm;
     claim tm len
+  end
+
+(* Deregister a term: pad out the unwritten remainder of its active
+   segment (so readers skip it), release the segment's ownership, and
+   fold the term's counters into the journal-wide retired totals.  Used
+   when the plane replaces its workers without rotating the journal. *)
+let retire tm =
+  let j = tm.tm_j in
+  if List.memq tm j.jterms then begin
+    if tm.tm_end > 0 then begin
+      let rem = tm.tm_end - tm.tm_pos in
+      if rem > 0 then begin
+        set_header j ~at:tm.tm_pos ~len:rem ~padding:true;
+        tm.tm_padding <- tm.tm_padding + 1
+      end;
+      release_segment tm;
+      tm.tm_pos <- tm.tm_end
+    end;
+    j.jterms <- List.filter (fun t -> t != tm) j.jterms;
+    j.jretired_records <- j.jretired_records + tm.tm_records;
+    j.jretired_bytes <- j.jretired_bytes + tm.tm_bytes;
+    j.jretired_padding <- j.jretired_padding + tm.tm_padding
   end
 
 let rounded n = (n + align - 1) land lnot (align - 1)
@@ -370,7 +429,8 @@ let decisions j =
   List.rev !acc
 
 let records_written j =
-  List.fold_left (fun acc tm -> acc + tm.tm_records) 0 j.jterms
+  List.fold_left (fun acc tm -> acc + tm.tm_records) j.jretired_records
+    j.jterms
 
 let live_entries j =
   let n = ref 0 in
@@ -395,9 +455,12 @@ type stats = {
 
 let stats j =
   let records = records_written j in
-  let bytes = List.fold_left (fun acc tm -> acc + tm.tm_bytes) 0 j.jterms in
+  let bytes =
+    List.fold_left (fun acc tm -> acc + tm.tm_bytes) j.jretired_bytes j.jterms
+  in
   let padding =
-    List.fold_left (fun acc tm -> acc + tm.tm_padding) 0 j.jterms
+    List.fold_left (fun acc tm -> acc + tm.tm_padding) j.jretired_padding
+      j.jterms
   in
   let live = live_entries j in
   let tl = Atomic.get j.jtail in
@@ -503,8 +566,9 @@ let save j path =
     ~finally:(fun () -> close_out_noerr oc)
     (fun () ->
       output_string oc magic;
-      Printf.fprintf oc "%d %d %d %d\n" j.jseg_bytes j.jsegs
-        (Atomic.get j.jtail) (List.length j.jterms);
+      Printf.fprintf oc "%d %d %d %d %d %d %d\n" j.jseg_bytes j.jsegs
+        (Atomic.get j.jtail) (List.length j.jterms) j.jretired_records
+        j.jretired_bytes j.jretired_padding;
       List.iter
         (fun tm ->
           Printf.fprintf oc "%d %d %d %d\n" tm.tm_domain tm.tm_records
@@ -524,10 +588,22 @@ let load path =
           let ints line =
             List.map int_of_string (String.split_on_char ' ' line)
           in
-          match ints (input_line ic) with
-          | [ seg_bytes; segs; tl; nterms ] ->
+          let header =
+            match ints (input_line ic) with
+            | [ seg_bytes; segs; tl; nterms ] ->
+                (* pre-retire header layout: no retired counters *)
+                Some (seg_bytes, segs, tl, nterms, 0, 0, 0)
+            | [ seg_bytes; segs; tl; nterms; rrec; rbytes; rpad ] ->
+                Some (seg_bytes, segs, tl, nterms, rrec, rbytes, rpad)
+            | _ -> None
+          in
+          match header with
+          | Some (seg_bytes, segs, tl, nterms, rrec, rbytes, rpad) ->
               let j = create ~seg_bytes ~segments:segs () in
               Atomic.set j.jtail tl;
+              j.jretired_records <- rrec;
+              j.jretired_bytes <- rbytes;
+              j.jretired_padding <- rpad;
               let terms = ref [] in
               for _ = 1 to nterms do
                 match ints (input_line ic) with
@@ -542,7 +618,7 @@ let load path =
               j.jterms <- !terms;
               Array.iter (fun b -> really_input ic b 0 (Bytes.length b)) j.store;
               Ok j
-          | _ -> Error "corrupt journal header")
+          | None -> Error "corrupt journal header")
   with
   | Sys_error e -> Error e
   | End_of_file -> Error "truncated journal file"

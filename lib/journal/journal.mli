@@ -46,7 +46,18 @@ val tail : t -> int
 
 val term : t -> domain:int -> term
 (** A writer handle for one domain.  Terms must not be shared between
-    domains; a journal may serve any number of terms concurrently. *)
+    domains.  Each active term owns one whole segment at a time, so a
+    journal serves at most [segments] concurrent terms: registering
+    more raises [Invalid_argument] ({!retire} frees a slot).  A term
+    lagging a full capacity lap behind the shared tail is a {e writer
+    overrun}: the overrunning claim raises [Failure] rather than
+    zero-filling the laggard's live segment under it. *)
+
+val retire : term -> unit
+(** Deregister a term: pad out the unwritten remainder of its active
+    segment, release the segment, and fold the term's counters into the
+    journal-wide totals ({!records_written}, {!stats}).  Idempotent; the
+    term must not be used afterwards. *)
 
 (** {1 Zero-allocation appenders}
 
@@ -128,8 +139,9 @@ val entries : t -> entry list
 val decisions : t -> decision list
 
 val records_written : t -> int
-(** Total committed records over all terms since creation (padding
-    records excluded) — including those already overwritten by laps. *)
+(** Total committed records over all terms (active and retired) since
+    creation, padding records excluded — including those already
+    overwritten by laps. *)
 
 val live_entries : t -> int
 (** Records currently decodable ({!iter} count). *)
@@ -143,7 +155,8 @@ type stats = {
   s_capacity : int;
   s_tail : int;
   s_laps : int;       (** completed capacity wraps of the logical tail *)
-  s_terms : int;
+  s_terms : int;      (** active terms; retired terms' counters stay folded
+                          into [s_records]/[s_bytes]/[s_padding] *)
   s_records : int;    (** committed records, padding excluded *)
   s_bytes : int;      (** committed record bytes, padding included *)
   s_padding : int;    (** padding records written at segment ends *)

@@ -61,6 +61,7 @@ type audit_entry = {
 type run_result = {
   rr_outcomes : outcome array;
   rr_audit : audit_entry array;
+  rr_audit_lost : string option;
   rr_wall_ns : int;
   rr_min_op_ns : float array;
 }
@@ -152,12 +153,14 @@ type t = {
 
 let max_domains = 64
 
-let clamp_domains d = max 1 (min max_domains d)
+(* Each worker's journal term owns a whole segment, so a plane can never
+   run more domains than its journal has segments. *)
+let clamp_domains ~segments d = max 1 (min (min max_domains segments) d)
 
 let create ?(domains = 1) ?(journal_seg_bytes = 262144)
     ?(journal_segments = 32) st =
   let pub = Snapshot.make st in
-  let d = clamp_domains domains in
+  let d = clamp_domains ~segments:journal_segments domains in
   let snap = Snapshot.current pub in
   let journal =
     J.create ~seg_bytes:journal_seg_bytes ~segments:journal_segments ()
@@ -168,9 +171,14 @@ let create ?(domains = 1) ?(journal_seg_bytes = 262144)
     rotations = 0; jseg_bytes = journal_seg_bytes; jsegs = journal_segments }
 
 let domains t = t.domains
+let plane_max_domains t = min max_domains t.jsegs
 
 let set_domains t d =
-  let d = clamp_domains d in
+  let d = clamp_domains ~segments:t.jsegs d in
+  (* The replaced workers' terms would otherwise stay registered on the
+     journal forever (inflating stats and pinning half-filled
+     segments): pad them out and deregister before attaching new ones. *)
+  Array.iter (fun w -> J.retire w.w_term) t.workers;
   t.domains <- d;
   let snap = Snapshot.current t.pub in
   t.workers <- Array.init d (fun i -> make_worker t.journal i snap)
@@ -443,22 +451,24 @@ let worker_slice t w reqs ~start ~stop ~d ~engine ~clock ~collect ~outcomes
    the run's records by their sequence stamps (zero lost, zero
    duplicated — checked, not assumed) and decode each into the same
    audit entry the spool merge produces. *)
+let audit_of_stitched ds =
+  Array.map
+    (fun (dec : J.decision) ->
+      let hook =
+        match dec.J.d_req with
+        | J.Mount _ -> 0
+        | J.Umount _ -> 1
+        | J.Bind _ -> 2
+        | J.Ppp _ -> 3
+      in
+      { a_seq = dec.J.d_seq; a_hook = hook; a_subject = dec.J.d_subject;
+        a_allowed = dec.J.d_verdict = 1; a_epoch = dec.J.d_epoch })
+    ds
+
 let stitched_audit t ~run_id ~n =
   match J.stitch t.journal ~run:run_id ~base:0 ~count:n with
-  | Error e -> failwith ("Plane.run: " ^ e)
-  | Ok ds ->
-      Array.map
-        (fun (dec : J.decision) ->
-          let hook =
-            match dec.J.d_req with
-            | J.Mount _ -> 0
-            | J.Umount _ -> 1
-            | J.Bind _ -> 2
-            | J.Ppp _ -> 3
-          in
-          { a_seq = dec.J.d_seq; a_hook = hook; a_subject = dec.J.d_subject;
-            a_allowed = dec.J.d_verdict = 1; a_epoch = dec.J.d_epoch })
-        ds
+  | Error e -> failwith ("Plane.stitched_audit: " ^ e)
+  | Ok ds -> audit_of_stitched ds
 
 let run t ?(collect = true) ?(reloads = []) reqs =
   ignore (refresh t);
@@ -531,24 +541,41 @@ let run t ?(collect = true) ?(reloads = []) reqs =
   end;
   let wall = match clock with Some c -> c () - t0 | None -> 0 in
   t.runs <- t.runs + 1;
-  let audit =
+  (* Records lost to wraparound (the run outgrew the journal, or enough
+     un-rotated prior runs preceded it) are a capacity condition, not a
+     correctness failure: surface them in [rr_audit_lost] rather than
+     throwing away the whole run's computed outcomes.  Any stitch error
+     with nothing dropped is real corruption and still aborts. *)
+  let stitch_run () = J.stitch t.journal ~run:run_id ~base:0 ~count:n in
+  let degrade e =
+    if J.dropped t.journal > 0 then ([||], Some e)
+    else failwith ("Plane.run: " ^ e)
+  in
+  let audit, audit_lost =
     match mode with
-    | _ when not collect -> [||]
-    | `Off -> [||]
-    | `Spool -> merge_audit spools n d
-    | `Journal -> stitched_audit t ~run_id ~n
-    | `Both ->
+    | _ when not collect -> ([||], None)
+    | `Off -> ([||], None)
+    | `Spool -> (merge_audit spools n d, None)
+    | `Journal -> (
+        match stitch_run () with
+        | Ok ds -> (audit_of_stitched ds, None)
+        | Error e -> degrade e)
+    | `Both -> (
         (* Differential oracle: the index-arithmetic spool merge and the
            stamp-driven journal stitch must reconstruct the exact same
            submission-ordered trail. *)
         let sp = merge_audit spools n d in
-        let js = stitched_audit t ~run_id ~n in
-        if sp <> js then
-          failwith "Plane.run: journal/spool audit divergence";
-        sp
+        match stitch_run () with
+        | Ok ds ->
+            if sp <> audit_of_stitched ds then
+              failwith "Plane.run: journal/spool audit divergence";
+            (sp, None)
+        | Error e ->
+            let _, lost = degrade e in
+            (sp, lost))
   in
-  { rr_outcomes = outcomes; rr_audit = audit; rr_wall_ns = wall;
-    rr_min_op_ns = Array.map (fun w -> w.w_min_op_ns) ws }
+  { rr_outcomes = outcomes; rr_audit = audit; rr_audit_lost = audit_lost;
+    rr_wall_ns = wall; rr_min_op_ns = Array.map (fun w -> w.w_min_op_ns) ws }
 
 (* --- merged statistics and /proc -------------------------------------- *)
 
@@ -667,12 +694,13 @@ let handle_write t contents =
       match String.split_on_char ' ' other with
       | [ "domains"; ns ] -> (
           match int_of_string_opt ns with
-          | Some d when d >= 1 && d <= max_domains ->
+          | Some d when d >= 1 && d <= plane_max_domains t ->
               set_domains t d;
               Ok ()
           | _ ->
               Error
-                (Printf.sprintf "plane: domains must be 1..%d" max_domains))
+                (Printf.sprintf "plane: domains must be 1..%d"
+                   (plane_max_domains t)))
       | _ -> Error ("plane: unknown command: " ^ other))
 
 let render_journal t =

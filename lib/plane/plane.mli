@@ -77,7 +77,13 @@ type run_result = {
       (** one per request, submission order; [[||]] when collection was
           disabled *)
   rr_audit : audit_entry array;
-      (** merged spools, strictly ascending [a_seq] = 0..n-1 *)
+      (** merged spools, strictly ascending [a_seq] = 0..n-1; [[||]]
+          when the journal trail degraded (see [rr_audit_lost]) *)
+  rr_audit_lost : string option;
+      (** [Some reason] when the run's journaled trail could not be
+          stitched because wraparound overwrote part of it (the run
+          outgrew the journal, or un-rotated prior runs filled it);
+          outcomes are still complete.  [None] for a complete trail. *)
   rr_wall_ns : int;  (** whole-run wall time; 0 without a clock *)
   rr_min_op_ns : float array;
       (** per worker: minimum per-decision cost over timed batches of
@@ -105,17 +111,26 @@ val create :
   ?domains:int -> ?journal_seg_bytes:int -> ?journal_segments:int ->
   PS.t -> t
 (** A plane over the live state, initial snapshot published at epoch 0.
-    [domains] defaults to 1 and is clamped to [1..max_domains].
-    [journal_seg_bytes] (default 256 KiB) and [journal_segments]
+    [domains] defaults to 1 and is clamped to
+    [1..min max_domains journal_segments] — each worker's journal term
+    owns a whole segment, so the journal geometry bounds the domain
+    count.  [journal_seg_bytes] (default 256 KiB) and [journal_segments]
     (default 32) size the audit journal; both must be powers of two
     (see {!Protego_journal.Journal.create}). *)
 
 val max_domains : int
 
+val plane_max_domains : t -> int
+(** [min max_domains (journal segments)]: the effective domain ceiling
+    of this plane's geometry. *)
+
 val domains : t -> int
 val set_domains : t -> int -> unit
-(** Clamped to [1..max_domains]; workers are recreated (their caches and
-    counters reset). *)
+(** Clamped to [1..plane_max_domains]; workers are recreated (their
+    caches and counters reset) and the replaced workers' journal terms
+    are retired (padded out and deregistered), so repeated domain
+    changes neither inflate journal stats nor pin half-filled
+    segments. *)
 
 val engine : t -> [ `Pfm | `Ref ]
 val set_engine : t -> [ `Pfm | `Ref ] -> unit
@@ -182,7 +197,9 @@ val snapshot_at : t -> int -> Snapshot.t option
 val stitched_audit : t -> run_id:int -> n:int -> audit_entry array
 (** Reconstruct the audit trail of run [run_id] ([n] requests) from the
     journal by total-order stitch.  Raises [Failure] if any record of
-    the run is missing or duplicated (e.g. after {!rotate_journal}). *)
+    the run is missing or duplicated (e.g. after {!rotate_journal}).
+    {!run} itself never raises for wraparound loss — it degrades and
+    reports via [rr_audit_lost]. *)
 
 (** {1 Merged statistics and /proc/protego/plane} *)
 

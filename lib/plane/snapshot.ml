@@ -75,18 +75,30 @@ let ref_ppp t ~device ~opt = PS.ppp_ioctl_decision t.frozen ~device ~opt
 
 (* --- publication -------------------------------------------------------- *)
 
-type pub = { cur : t Atomic.t; mutable hist : t list }
+type pub = {
+  cur : t Atomic.t;
+  hist : (int, t) Hashtbl.t;  (* epoch -> snapshot, last [hcap] epochs *)
+  hcap : int;
+}
 
-let make st =
+let default_history = 1024
+
+let make ?(history = default_history) st =
   let s0 = freeze ~epoch:0 st in
-  { cur = Atomic.make s0; hist = [ s0 ] }
+  let hist = Hashtbl.create 64 in
+  Hashtbl.replace hist 0 s0;
+  { cur = Atomic.make s0; hist; hcap = max 1 history }
 
 let current pub = Atomic.get pub.cur
 
-(* Snapshots are tiny (aliased policy lists + compiled programs), and
-   the history is what lets the journal replay re-evaluate an
-   epoch-stamped decision against the exact policy that served it. *)
-let at_epoch pub e = List.find_opt (fun s -> s.epoch = e) pub.hist
+(* The history is what lets the journal replay re-evaluate an
+   epoch-stamped decision against the exact policy that served it.
+   Each retained snapshot pins its frozen policy and compiled programs,
+   so the window is bounded: only the newest [hcap] epochs survive, and
+   a replay reaching further back reports the miss
+   (Replay.rp_missing_epochs) instead of growing the plane without
+   limit under reload storms. *)
+let at_epoch pub e = Hashtbl.find_opt pub.hist e
 
 (* The same discipline as the dispatcher's physical-identity watches: a
    harness that assigns a watched field directly (bypassing the /proc
@@ -107,7 +119,10 @@ let publish pub st =
   watch_parity prev st ~bump:true;
   let next = freeze ~epoch:(prev.epoch + 1) st in
   Atomic.set pub.cur next;
-  pub.hist <- next :: pub.hist;
+  Hashtbl.replace pub.hist next.epoch next;
+  (* Epochs advance by exactly one, so evicting [epoch - hcap] keeps
+     precisely the newest [hcap]. *)
+  Hashtbl.remove pub.hist (next.epoch - pub.hcap);
   next
 
 let stale pub st =

@@ -72,17 +72,23 @@ type pub
     serialized by the caller (in the simulated kernel they already are);
     readers are unrestricted. *)
 
-val make : PS.t -> pub
-(** Freeze [st] at epoch 0 and publish it. *)
+val make : ?history:int -> PS.t -> pub
+(** Freeze [st] at epoch 0 and publish it.  [history] (default 1024,
+    min 1) bounds the publication history {!at_epoch} serves: only the
+    newest [history] epochs are retained, so a reload-storm workload or
+    a long-lived plane cannot grow memory without limit. *)
 
 val current : pub -> t
 (** The latest published snapshot — a single [Atomic.get]. *)
 
 val at_epoch : pub -> int -> t option
-(** The snapshot published at a given epoch, from the publication
-    history this [pub] retains (every snapshot since creation).  What
-    lets a journal replay re-execute an epoch-stamped decision against
-    exactly the policy that served it. *)
+(** The snapshot published at a given epoch, from the bounded
+    publication history (the newest [history] epochs; [None] for evicted
+    or unknown epochs — a replay tolerates this via
+    [Replay.rp_missing_epochs]).  What lets a journal replay re-execute
+    an epoch-stamped decision against exactly the policy that served
+    it.  Like publication, history maintenance is single-writer;
+    lookups are meant for quiescent replay, not mid-publish racing. *)
 
 val publish : pub -> PS.t -> t
 (** Build-then-swap: freeze [st] at [epoch (current pub) + 1], then

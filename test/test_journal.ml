@@ -173,6 +173,53 @@ let test_wraparound () =
         Alcotest.failf "live window not the newest suffix at %d" i)
     seqs
 
+(* --- writer backpressure -------------------------------------------------- *)
+
+let test_term_capacity () =
+  let j = J.create ~seg_bytes:4096 ~segments:4 () in
+  let terms = Array.init 4 (fun w -> J.term j ~domain:w) in
+  (* Every active term owns a whole segment: a fifth writer on four
+     segments would alias a physical segment from its first claim. *)
+  (match J.term j ~domain:4 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "fifth term on four segments must be rejected");
+  (* Retiring a term frees its slot — and folds its counters into the
+     journal-wide totals instead of losing them. *)
+  J.append_ppp terms.(0) ~seq:0 ~run:0 ~epoch:0 ~subject:1 ~verdict:1
+    ~errno:0 ~device:"/dev/ttyS0" ~safe:true;
+  J.retire terms.(0);
+  let st = J.stats j in
+  check_int "retired term deregistered" 3 st.J.s_terms;
+  check_int "retired records survive in totals" 1 st.J.s_records;
+  check_bool "retired remainder padded out" true (st.J.s_padding >= 1);
+  check_int "retired record still decodes" 1 (J.live_entries j);
+  let tm = J.term j ~domain:4 in
+  J.append_ppp tm ~seq:1 ~run:0 ~epoch:0 ~subject:1 ~verdict:1 ~errno:0
+    ~device:"/dev/ttyS1" ~safe:true;
+  check_int "freed slot reusable" 2 (J.live_entries j)
+
+let test_writer_overrun () =
+  let j = J.create ~seg_bytes:4096 ~segments:4 () in
+  let a = J.term j ~domain:0 in
+  let b = J.term j ~domain:1 in
+  (* A claims physical segment 0 and stalls. *)
+  J.append_ppp a ~seq:0 ~run:0 ~epoch:0 ~subject:1 ~verdict:1 ~errno:0
+    ~device:"/dev/ttyS0" ~safe:true;
+  (* B writes through segments 1..3; its next claim wraps onto physical
+     segment 0, which A still owns — the journal must refuse loudly
+     rather than zero-fill A's committed records under it. *)
+  match
+    for seq = 1 to 10_000 do
+      J.append_umount b ~seq ~run:0 ~epoch:0 ~subject:seq ~verdict:1
+        ~errno:0 ~target:"/media/none" ~mounted_by:1
+    done
+  with
+  | () -> Alcotest.fail "a full-lap writer overrun must fail loudly"
+  | exception Failure msg ->
+      check_bool "overrun names the cause" true (contains msg "overrun");
+      (* The store is still coherent: everything live decodes. *)
+      check_bool "journal still readable" true (J.live_entries j > 0)
+
 (* --- stitch -------------------------------------------------------------- *)
 
 let test_stitch_terms () =
@@ -366,6 +413,56 @@ let test_replay_differential () =
     (contains (Replay.render rep)
        (Printf.sprintf "replay total %d matched %d" n n))
 
+(* A collected [`Journal] run whose audit volume exceeds the journal
+   capacity: wraparound eats part of the trail.  The run must keep its
+   computed outcomes and surface the loss, not abort. *)
+let test_wraparound_degrades () =
+  let sp = spec () in
+  let st = fresh_state sp in
+  let plane =
+    Plane.create ~domains:1 ~journal_seg_bytes:4096 ~journal_segments:4 st
+  in
+  let sched = Workload.generate sp ~workers:1 in
+  let n = Array.length sched.Workload.s_requests in
+  let rr = Plane.run plane sched.Workload.s_requests in
+  check_bool "journal wrapped" true (J.dropped (Plane.journal plane) > 0);
+  check_bool "loss surfaced, not thrown" true (rr.Plane.rr_audit_lost <> None);
+  check_int "degraded audit is empty" 0 (Array.length rr.Plane.rr_audit);
+  check_int "outcomes intact" n (Array.length rr.Plane.rr_outcomes);
+  Array.iteri
+    (fun i (o : Plane.outcome) ->
+      if (o.Plane.o_verdict = Pfm.Allow) <> oracle st sched.Workload.s_requests.(i)
+      then Alcotest.failf "outcome %d lost to the degraded audit" i)
+    rr.Plane.rr_outcomes;
+  (* A run that fits (after a rotate) reports a complete trail again. *)
+  Plane.rotate_journal plane;
+  let small = Array.sub sched.Workload.s_requests 0 64 in
+  let rr2 = Plane.run plane small in
+  check_bool "complete trail after rotate" true (rr2.Plane.rr_audit_lost = None);
+  check_int "audit complete again" 64 (Array.length rr2.Plane.rr_audit)
+
+(* Repeated domain changes must not leak terms into the journal: the
+   replaced workers' terms are padded out and deregistered. *)
+let test_set_domains_retires_terms () =
+  let sp = spec () in
+  let st = fresh_state sp in
+  let plane = Plane.create ~domains:4 st in
+  let sched = Workload.generate sp ~workers:4 in
+  ignore (Plane.run plane sched.Workload.s_requests);
+  let written = J.records_written (Plane.journal plane) in
+  for _ = 1 to 10 do
+    Plane.set_domains plane 2;
+    Plane.set_domains plane 4
+  done;
+  let st' = J.stats (Plane.journal plane) in
+  check_int "no term leak across domain changes" 4 st'.J.s_terms;
+  check_int "retired terms' records survive in totals" written
+    st'.J.s_records;
+  (* The plane's effective ceiling is its journal geometry. *)
+  let tiny = Plane.create ~domains:64 ~journal_segments:8 (fresh_state sp) in
+  check_int "domains clamped to segments" 8 (Plane.domains tiny);
+  check_int "ceiling reported" 8 (Plane.plane_max_domains tiny)
+
 let test_rotation () =
   let sp = spec () in
   let st = fresh_state sp in
@@ -435,6 +532,11 @@ let suites =
        Alcotest.test_case "segment boundaries padded" `Quick
          test_segment_boundary;
        Alcotest.test_case "wraparound at capacity" `Quick test_wraparound ]);
+    ("journal:backpressure",
+     [ Alcotest.test_case "terms capped at segments, retire frees" `Quick
+         test_term_capacity;
+       Alcotest.test_case "lagging-term overrun fails loudly" `Quick
+         test_writer_overrun ]);
     ("journal:stitch",
      [ Alcotest.test_case "total order across terms and epochs" `Quick
          test_stitch_terms ]);
@@ -446,6 +548,10 @@ let suites =
     ("journal:replay",
      [ Alcotest.test_case "4-domain 20k differential replay" `Quick
          test_replay_differential;
+       Alcotest.test_case "wraparound degrades, never aborts" `Quick
+         test_wraparound_degrades;
+       Alcotest.test_case "set_domains retires terms" `Quick
+         test_set_domains_retires_terms;
        Alcotest.test_case "rotation" `Quick test_rotation ]);
     ("journal:proc",
      [ Alcotest.test_case "/proc/protego/journal" `Quick test_proc_journal ]) ]

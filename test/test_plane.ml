@@ -92,6 +92,28 @@ let test_watch_parity () =
   check_int "snapshot froze the bumped gen" (before + 1)
     (Snapshot.gen_for s1 PS.Binds)
 
+let test_history_bound () =
+  (* The publication history is a bounded window, not an unbounded log:
+     under a reload storm only the newest [history] epochs stay
+     reachable for replay, older ones report as missing. *)
+  let sp = spec () in
+  let st = fresh_state sp in
+  let pub = Snapshot.make ~history:4 st in
+  for _ = 1 to 10 do
+    PS.bump_generation st PS.Mounts;
+    ignore (Snapshot.publish pub st)
+  done;
+  check_int "current epoch" 10 (Snapshot.current pub).Snapshot.epoch;
+  let has e =
+    match Snapshot.at_epoch pub e with
+    | Some s -> check_int "epoch lookup exact" e s.Snapshot.epoch; true
+    | None -> false
+  in
+  check_bool "initial epoch evicted" false (has 0);
+  check_bool "just outside the window" false (has 6);
+  check_bool "oldest retained" true (has 7);
+  check_bool "newest retained" true (has 10)
+
 let test_atomic_generations () =
   (* The satellite contract: generation bumps are atomic increments, so
      concurrent bumps never lose updates. *)
@@ -421,6 +443,7 @@ let suites =
   [ ("plane:snapshot",
      [ Alcotest.test_case "freeze and publish" `Quick test_freeze_publish;
        Alcotest.test_case "watch parity" `Quick test_watch_parity;
+       Alcotest.test_case "bounded history" `Quick test_history_bound;
        Alcotest.test_case "atomic generations" `Quick test_atomic_generations ]);
     ("plane:decide",
      [ Alcotest.test_case "sequential decide vs oracle" `Quick
