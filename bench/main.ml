@@ -371,18 +371,28 @@ let run_filter () =
     PD.set_engine disp `Pfm;
     for _ = 1 to 64 do f () done;
     let pfm_ns = Harness.measure_ns (name ^ ":pfm") f in
+    (* Profile-guided recompilation: the pfm run above warmed the
+       instruction counters; every rewrite is gated on verify + an
+       equivalence proof before it is installed. *)
+    ignore (PD.optimize disp : (string * string) list);
+    ignore (PD.drain_opt_log disp : string list);
+    for _ = 1 to 64 do f () done;
+    let opt_ns = Harness.measure_ns (name ^ ":opt") f in
+    PD.deoptimize disp;
+    ignore (PD.drain_opt_log disp : string list);
     PD.set_engine disp `Ref;
     for _ = 1 to 64 do f () done;
     let ref_ns = Harness.measure_ns (name ^ ":ref") f in
     PD.set_engine disp `Pfm;
-    (ref_ns, pfm_ns)
+    (ref_ns, pfm_ns, opt_ns)
   in
   let rows =
     List.map
       (fun (name, f) ->
-        let ref_ns, pfm_ns = measure name f in
-        [ name; fmt_ns ref_ns; fmt_ns pfm_ns;
-          Printf.sprintf "%.2fx" (ref_ns /. pfm_ns) ])
+        let ref_ns, pfm_ns, opt_ns = measure name f in
+        [ name; fmt_ns ref_ns; fmt_ns pfm_ns; fmt_ns opt_ns;
+          Printf.sprintf "%.2fx" (ref_ns /. pfm_ns);
+          Printf.sprintf "%.2fx" (ref_ns /. opt_ns) ])
       [ ("mount decision (129-rule whitelist)", decide_mount);
         ("bind decision (512-entry map)", decide_bind);
         ("nf OUTPUT verdict (135-rule chain)", decide_nf);
@@ -390,10 +400,15 @@ let run_filter () =
   in
   print_string
     (Study.Report.table
-       ~title:"per-operation cost, reference walk vs compiled program"
-       ~header:[ "operation"; "ref"; "pfm"; "speedup" ]
-       ~align:Study.Report.[ L; R; R; R ]
+       ~title:"per-operation cost, reference walk vs compiled vs optimized"
+       ~header:[ "operation"; "ref"; "pfm"; "opt"; "pfm x"; "opt x" ]
+       ~align:Study.Report.[ L; R; R; R; R; R ]
        rows);
+  Printf.printf "\nProfile-guided recompilation (verify + prove gated):\n";
+  List.iter
+    (fun (hook, status) -> Printf.printf "  %-10s %s\n" hook status)
+    (PD.optimize disp);
+  ignore (PD.drain_opt_log disp : string list);
   Printf.printf "\nCompiled program sizes:\n";
   List.iter
     (fun name ->
@@ -865,11 +880,20 @@ let run_json ~out =
   in
   let filter_scenario name f =
     let ref_ns, pfm_ns = engine_pair name f in
+    (* Optimized engine: recompile from the profile the pfm run just
+       warmed; each rewrite is verify + prove gated before install. *)
+    ignore (PD.optimize disp : (string * string) list);
+    ignore (PD.drain_opt_log disp : string list);
+    for _ = 1 to 64 do f () done;
+    let opt_ns = Harness.measure_ns (name ^ ":opt") f in
+    PD.deoptimize disp;
+    ignore (PD.drain_opt_log disp : string list);
     ( pfm_ns,
       { BR.sc_name = "filter:" ^ name;
         sc_metrics =
-          [ ("ref_ns", ref_ns); ("pfm_ns", pfm_ns);
-            ("speedup", ref_ns /. pfm_ns) ] } )
+          [ ("ref_ns", ref_ns); ("pfm_ns", pfm_ns); ("opt_ns", opt_ns);
+            ("speedup", ref_ns /. pfm_ns);
+            ("opt_speedup", ref_ns /. opt_ns) ] } )
   in
   let mount_pfm_ns, filter_mount = filter_scenario "mount" decide_mount in
   let _, filter_bind = filter_scenario "bind" decide_bind in

@@ -12,7 +12,48 @@
 
 module BR = Protego_study.Bench_report
 
-let gate report baseline tolerance =
+(* --floor SCENARIO,METRIC,MIN: assert an absolute lower bound on one
+   metric of the fresh report — e.g. the optimized filter engine must
+   keep a real speedup over the reference walk, not merely avoid
+   regressing against the baseline.  Scenario names contain ':', so the
+   spec is comma-separated. *)
+let parse_floor spec =
+  match String.split_on_char ',' spec with
+  | [ scenario; metric; min_s ] -> (
+      match float_of_string_opt min_s with
+      | Some f -> (scenario, metric, f)
+      | None ->
+          Printf.eprintf "bench-gate: --floor %s: MIN is not a number\n%!" spec;
+          exit 2)
+  | _ ->
+      Printf.eprintf
+        "bench-gate: --floor %s: expected SCENARIO,METRIC,MIN\n%!" spec;
+      exit 2
+
+let check_floor current (scenario, metric, min_v) =
+  match
+    List.find_opt (fun s -> s.BR.sc_name = scenario) current.BR.scenarios
+  with
+  | None ->
+      Printf.eprintf "bench-gate: floor: scenario %s missing from report\n%!"
+        scenario;
+      true
+  | Some s -> (
+      match List.assoc_opt metric s.BR.sc_metrics with
+      | None ->
+          Printf.eprintf "bench-gate: floor: %s has no metric %s\n%!" scenario
+            metric;
+          true
+      | Some v when v < min_v ->
+          Printf.eprintf "bench-gate: floor: %s %s = %g < required %g\n%!"
+            scenario metric v min_v;
+          true
+      | Some v ->
+          Printf.printf "bench-gate: floor ok: %s %s = %g >= %g\n%!" scenario
+            metric v min_v;
+          false)
+
+let gate report baseline tolerance floors =
   match BR.load_file report with
   | Error msg ->
       Printf.eprintf "bench-gate: cannot load report: %s\n%!" msg;
@@ -35,6 +76,12 @@ let gate report baseline tolerance =
           Printf.eprintf "bench-gate: %s: validation failed:\n%!" report;
           List.iter (Printf.eprintf "  %s\n%!") problems;
           exit 1);
+      let floor_failed =
+        List.fold_left
+          (fun acc spec -> check_floor current (parse_floor spec) || acc)
+          false floors
+      in
+      if floor_failed then exit 1;
       match baseline with
       | None -> ()
       | Some path -> (
@@ -72,8 +119,19 @@ let tolerance_arg =
        & info [ "tolerance" ] ~docv:"X"
            ~doc:"Fail only when a metric exceeds X times its baseline.")
 
+let floor_arg =
+  Arg.(value
+       & opt_all string []
+       & info [ "floor" ] ~docv:"SCENARIO,METRIC,MIN"
+           ~doc:
+             "Require metric METRIC of scenario SCENARIO in the fresh \
+              report to be at least MIN (absolute, not baseline-relative).  \
+              Repeatable.")
+
 let () =
-  let term = Term.(const gate $ report_arg $ baseline_arg $ tolerance_arg) in
+  let term =
+    Term.(const gate $ report_arg $ baseline_arg $ tolerance_arg $ floor_arg)
+  in
   let info =
     Cmd.info "bench-gate"
       ~doc:"Validate a Protego bench report and gate regressions"

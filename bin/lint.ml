@@ -15,6 +15,8 @@ module Pppopts = Protego_policy.Pppopts
 module Fstab = Protego_policy.Fstab
 module Policy_state = Protego_core.Policy_state
 module Compile = Protego_filter.Pfm_compile
+module Pfm = Protego_filter.Pfm
+module Equiv = Protego_analysis.Pfm_equiv
 
 exception Fail of string
 
@@ -77,7 +79,60 @@ let load_chain spec =
       let rules, policy = load ("chain " ^ name) path Lint.parse_chain in
       (name, rules, policy)
 
-let run fstab mounts binds delegation accounts ppp chain_specs strict =
+(* --prove: translation validation of the production hook compilers.
+   For every source provided, compile it twice — with the production
+   compiler (shared-prefix dispatch, hashed switches) and with the
+   naive linear reference compiler — and require the symbolic
+   equivalence prover to certify the pair.  [Not_equal] means a
+   compiler bug (the counterexample replays to a real divergence) and
+   always fails; [Unknown] is a refused proof and fails under
+   [--strict]. *)
+let prove_sources input strict =
+  let pairs =
+    (match input.Lint.mounts with
+     | [] -> []
+     | rules ->
+         [ ("mount", Compile.mount rules, Compile.mount_linear rules);
+           ("umount", Compile.umount rules, Compile.umount_linear rules) ])
+    @ (match input.Lint.binds with
+       | [] -> []
+       | entries ->
+           [ ("bind", Compile.bind entries, Compile.bind_linear entries) ])
+    @ (match input.Lint.ppp with
+       | None -> []
+       | Some ppp ->
+           [ ("ppp_ioctl", Compile.ppp_ioctl ppp, Compile.ppp_linear ppp) ])
+    @ List.map
+        (fun (name, rules, policy) ->
+          ( "netfilter:" ^ name,
+            Compile.netfilter ~rules ~policy,
+            Compile.netfilter_linear ~rules ~policy ))
+        input.Lint.chains
+  in
+  if pairs = [] then begin
+    prerr_endline "protego-lint: --prove: no compilable sources given";
+    2
+  end
+  else
+    List.fold_left
+      (fun worst (name, prod, linear) ->
+        match Equiv.prove prod linear with
+        | Equiv.Equal ->
+            Printf.printf "PROVE %s: equal (%d vs %d insns)\n" name
+              (Array.length prod.Pfm.insns)
+              (Array.length linear.Pfm.insns);
+            worst
+        | Equiv.Not_equal _ as r ->
+            Printf.printf "PROVE %s: NOT EQUAL — compiler bug: %s\n" name
+              (Equiv.result_to_string r);
+            max worst 1
+        | Equiv.Unknown msg ->
+            Printf.printf "PROVE %s: unknown (%s)%s\n" name msg
+              (if strict then " — refused under --strict" else "");
+            if strict then max worst 1 else worst)
+      0 pairs
+
+let run fstab mounts binds delegation accounts ppp chain_specs strict prove =
   try
     let input =
       { Lint.mounts =
@@ -100,7 +155,11 @@ let run fstab mounts binds delegation accounts ppp chain_specs strict =
     in
     let findings = Lint.lint input in
     print_string (Lint.render findings);
-    if Lint.has_errors findings || (strict && findings <> []) then 1 else 0
+    let lint_rc =
+      if Lint.has_errors findings || (strict && findings <> []) then 1 else 0
+    in
+    let prove_rc = if prove then prove_sources input strict else 0 in
+    max lint_rc prove_rc
   with Fail msg ->
     prerr_endline ("protego-lint: " ^ msg);
     2
@@ -148,6 +207,18 @@ let strict_t =
     value & flag
     & info [ "strict" ] ~doc:"Exit nonzero on any finding, not only errors.")
 
+let prove_t =
+  Arg.(
+    value & flag
+    & info [ "prove" ]
+        ~doc:
+          "Translation-validate the hook compilers: compile each given \
+           source with both the production and the linear reference \
+           compiler and run the symbolic equivalence prover over the pair.  \
+           A disproved pair (compiler bug, with a replayable \
+           counterexample) always exits 1; an unproved pair exits 1 only \
+           under $(b,--strict).")
+
 let cmd =
   let doc = "semantic lint over Protego policy sources" in
   let man =
@@ -166,6 +237,6 @@ let cmd =
     (Cmd.info "protego-lint" ~doc ~man)
     Term.(
       const run $ fstab_t $ mounts_t $ binds_t $ delegation_t $ accounts_t
-      $ ppp_t $ chains_t $ strict_t)
+      $ ppp_t $ chains_t $ strict_t $ prove_t)
 
 let () = exit (Cmd.eval' cmd)

@@ -405,3 +405,144 @@ let ppp_ioctl policy = fst (ppp_ioctl_notes policy)
 let ppp_ctx ~device ~opt =
   { Pfm.ints = [| (if Ppp.option_is_safe opt then 1 else 0) |];
     strs = [| device |] }
+
+(* --- reference (linear) compilers --------------------------------------
+
+   Straight-line transliterations of each policy in declaration order,
+   with none of the hash-dispatch or grouping tricks the production
+   compilers use.  They exist to give `protego-lint --prove` and the
+   equivalence test suites an independently-derived second program per
+   source: if the production compiler's dispatch structure ever drifts
+   from first-match semantics, Pfm_equiv.prove against these programs
+   produces a replayable counterexample. *)
+
+let mount_linear rules =
+  if rules = [] then trivial "mount_linear" Pfm.Deny
+  else begin
+    let a = Asm.create () in
+    let l_allow = Asm.fresh_label a and l_deny = Asm.fresh_label a in
+    let n = List.length rules in
+    List.iteri
+      (fun i r ->
+        let l_next = if i = n - 1 then l_deny else Asm.fresh_label a in
+        Asm.ld_str a s_source;
+        check a (Pfm.Str_eq r.fm_source) ~jf:l_next;
+        Asm.ld_str a s_target;
+        check a (Pfm.Str_eq r.fm_target) ~jf:l_next;
+        if r.fm_fstype <> "auto" then begin
+          let l_flags = Asm.fresh_label a in
+          let l_try_auto = Asm.fresh_label a in
+          Asm.ld_str a s_fstype;
+          Asm.jif a (Pfm.Str_eq r.fm_fstype) ~jt:l_flags ~jf:l_try_auto;
+          Asm.place a l_try_auto;
+          Asm.jif a (Pfm.Str_eq "auto") ~jt:l_flags ~jf:l_next;
+          Asm.place a l_flags
+        end;
+        let mask = flags_mask r.fm_flags in
+        if mask = 0 then Asm.jmp a l_allow
+        else begin
+          Asm.ld_int a i_flags;
+          Asm.jif a (Pfm.All_bits mask) ~jt:l_allow ~jf:l_deny
+        end;
+        if i < n - 1 then Asm.place a l_next)
+      rules;
+    Asm.place a l_allow;
+    Asm.ret a Pfm.Allow;
+    Asm.place a l_deny;
+    Asm.ret a Pfm.Deny;
+    checked
+      (Asm.assemble a ~name:"mount_linear" ~n_int_fields:1 ~n_str_fields:3)
+  end
+
+let umount_linear rules =
+  if rules = [] then trivial "umount_linear" Pfm.Deny
+  else begin
+    let a = Asm.create () in
+    let l_allow = Asm.fresh_label a and l_deny = Asm.fresh_label a in
+    let n = List.length rules in
+    (* The first rule naming a target decides in the reference walk;
+       a straight in-order scan reproduces that without grouping. *)
+    List.iteri
+      (fun i r ->
+        let l_next = if i = n - 1 then l_deny else Asm.fresh_label a in
+        Asm.ld_str a u_target;
+        check a (Pfm.Str_eq r.fm_target) ~jf:l_next;
+        if r.fm_user_only then begin
+          Asm.ld_int a i_mounted_by;
+          Asm.jif a (Pfm.Eq_field i_ruid) ~jt:l_allow ~jf:l_deny
+        end
+        else Asm.jmp a l_allow;
+        if i < n - 1 then Asm.place a l_next)
+      rules;
+    Asm.place a l_allow;
+    Asm.ret a Pfm.Allow;
+    Asm.place a l_deny;
+    Asm.ret a Pfm.Deny;
+    checked
+      (Asm.assemble a ~name:"umount_linear" ~n_int_fields:2 ~n_str_fields:1)
+  end
+
+let bind_linear entries =
+  if entries = [] then trivial "bind_linear" Pfm.Deny
+  else begin
+    let a = Asm.create () in
+    let l_allow = Asm.fresh_label a and l_deny = Asm.fresh_label a in
+    let n = List.length entries in
+    List.iteri
+      (fun i (e : Bindconf.entry) ->
+        let l_next = if i = n - 1 then l_deny else Asm.fresh_label a in
+        Asm.ld_int a i_port;
+        check a (Pfm.Eq e.port) ~jf:l_next;
+        Asm.ld_int a i_proto;
+        check a (Pfm.Eq (bind_proto_code e.proto)) ~jf:l_next;
+        (* Port and protocol matched: this entry decides, as in the
+           production compiler and the reference walk. *)
+        Asm.ld_str a b_exe;
+        check a (Pfm.Str_eq e.exe) ~jf:l_deny;
+        Asm.ld_int a i_uid;
+        Asm.jif a (Pfm.Eq e.owner) ~jt:l_allow ~jf:l_deny;
+        if i < n - 1 then Asm.place a l_next)
+      entries;
+    Asm.place a l_allow;
+    Asm.ret a Pfm.Allow;
+    Asm.place a l_deny;
+    Asm.ret a Pfm.Deny;
+    checked (Asm.assemble a ~name:"bind_linear" ~n_int_fields:3 ~n_str_fields:1)
+  end
+
+let netfilter_linear ~rules ~policy =
+  (* Conjunction order inside a rule is semantically free; reversing it
+     yields a genuinely different instruction stream for the prover to
+     relate to the production one. *)
+  let rev (r : Netfilter.rule) = { r with Netfilter.matches = List.rev r.matches } in
+  fst (netfilter_notes ~rules:(List.map rev rules) ~policy)
+
+let ppp_linear (policy : Pppopts.t) =
+  let devices =
+    List.filter_map
+      (function Pppopts.Allow_device d -> Some d | _ -> None)
+      policy.Pppopts.directives
+  in
+  if devices = [] then trivial "ppp_linear" Pfm.Deny
+  else begin
+    let a = Asm.create () in
+    let l_safe = Asm.fresh_label a in
+    let l_allow = Asm.fresh_label a and l_deny = Asm.fresh_label a in
+    let n = List.length devices in
+    List.iteri
+      (fun i d ->
+        let l_next = if i = n - 1 then l_deny else Asm.fresh_label a in
+        Asm.ld_str a p_device;
+        check a (Pfm.Str_eq d) ~jf:l_next;
+        Asm.jmp a l_safe;
+        if i < n - 1 then Asm.place a l_next)
+      devices;
+    Asm.place a l_safe;
+    Asm.ld_int a i_safe;
+    Asm.jif a (Pfm.Eq 1) ~jt:l_allow ~jf:l_deny;
+    Asm.place a l_allow;
+    Asm.ret a Pfm.Allow;
+    Asm.place a l_deny;
+    Asm.ret a Pfm.Deny;
+    checked (Asm.assemble a ~name:"ppp_linear" ~n_int_fields:1 ~n_str_fields:1)
+  end

@@ -109,3 +109,23 @@ val ppp_ioctl : Pppopts.t -> Pfm.program
 val ppp_ioctl_notes : Pppopts.t -> Pfm.program * (int * string) list
 
 val ppp_ctx : device:string -> opt:Protego_net.Ppp.option_ -> Pfm.ctx
+
+(** {1 Reference (linear) compilers}
+
+    Straight-line transliterations of each policy in declaration order
+    with no hash dispatch or grouping — an independently-derived second
+    program per source.  [protego-lint --prove] and the equivalence
+    suites run [Pfm_equiv.prove] between each production program and
+    its linear sibling: if the production compiler's dispatch structure
+    ever drifts from first-match semantics, the prover produces a
+    replayable counterexample instead of a silent divergence.
+    [netfilter_linear] additionally reverses each rule's match
+    conjunction (semantically free) so the two instruction streams are
+    genuinely different. *)
+
+val mount_linear : mount_rule list -> Pfm.program
+val umount_linear : mount_rule list -> Pfm.program
+val bind_linear : Bindconf.entry list -> Pfm.program
+val netfilter_linear :
+  rules:Netfilter.rule list -> policy:Netfilter.verdict -> Pfm.program
+val ppp_linear : Pppopts.t -> Pfm.program

@@ -525,9 +525,26 @@ let install_proc_files m st disp =
           Error Errno.EINVAL);
   add "/proc/protego/filter_stats"
     ~read:(fun _m _t -> Ok (Pfm_dispatch.render disp))
-    ~write:(fun m _t contents ->
+    ~write:(fun m t contents ->
       match Pfm_dispatch.handle_write disp contents with
-      | Ok () -> Ok ()
+      | Ok () ->
+          (* optimize/deoptimize queue install/reject/revert lines; a
+             rejected rewrite is an audited event, not a write error *)
+          let rejected line =
+            let pat = " rejected: " and n = String.length line in
+            let pn = String.length pat in
+            let rec scan i =
+              i + pn <= n && (String.sub line i pn = pat || scan (i + 1))
+            in
+            scan 0
+          in
+          List.iter
+            (fun line ->
+              log_dmesg m "protego: %s" line;
+              Audit.emit ~engine:(Pfm_dispatch.engine_name disp) m t
+                ~op:"filter-opt" ~obj:line ~allowed:(not (rejected line)))
+            (Pfm_dispatch.drain_opt_log disp);
+          Ok ()
       | Error msg ->
           log_dmesg m "protego: %s" msg;
           Error Errno.EINVAL);

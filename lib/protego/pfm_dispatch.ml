@@ -7,6 +7,8 @@ module Pppopts = Protego_policy.Pppopts
 module Errno = Protego_base.Errno
 
 module Policy_lint = Protego_analysis.Policy_lint
+module Pfm_opt = Protego_filter.Pfm_opt
+module Pfm_equiv = Protego_analysis.Pfm_equiv
 
 type engine = [ `Pfm | `Ref ]
 type lint_mode = [ `Warn | `Enforce ]
@@ -115,6 +117,13 @@ type t = {
   mutable last_span : int;
       (* span id of the last decision, 0 when none: kept unboxed so the
          untraced hot path clears it with a plain store, not caml_modify *)
+  (* profile-guided recompilation: per hook the (original, optimized)
+     pair currently installed, a human-readable status, the running
+     count of gate rejections, and pending log lines for dmesg/audit *)
+  opt_installed : (string, Pfm.program * Pfm.program) Hashtbl.t;
+  opt_status : (string, string) Hashtbl.t;
+  mutable opt_rejects : int;
+  mutable opt_log : string list; (* newest first *)
 }
 
 let fresh_stats () =
@@ -170,7 +179,11 @@ let create () =
     tk_bind = engine_keys tr "bind";
     tk_nf = engine_keys tr "nf_output";
     tk_ppp = engine_keys tr "ppp_ioctl";
-      last_span = 0 }
+      last_span = 0;
+      opt_installed = Hashtbl.create 8;
+      opt_status = Hashtbl.create 8;
+      opt_rejects = 0;
+      opt_log = [] }
   in
   (* Clearing last_span here (not per decision) keeps the unarmed hot
      path store-free: while armed every decision sets it in [conclude],
@@ -217,6 +230,104 @@ let cached_program t name =
   | "nf_output" -> slot t.nf_cache
   | "ppp_ioctl" -> slot t.ppp_cache
   | _ -> None
+
+(* --- profile-guided recompilation --------------------------------------- *)
+
+let log_opt t line = t.opt_log <- line :: t.opt_log
+
+let drain_opt_log t =
+  let l = List.rev t.opt_log in
+  t.opt_log <- [];
+  l
+
+let opt_rejects t = t.opt_rejects
+
+(* Gate and install one hook's optimized program.  The cache slot keeps
+   its key, so a policy reload still recompiles from source (after which
+   the installed optimization reads as stale in {!render}).  Soundness
+   rests entirely on the gate: {!Pfm.verify} must accept AND
+   {!Pfm_equiv.prove} must return [Equal].  A counterexample or an
+   [Unknown] keeps the original program running and leaves an audit line
+   — "trust me" never installs. *)
+let optimize_slot t name (c : _ cache) =
+  match c.slot with
+  | None -> (name, "skipped: no compiled program")
+  | Some (key, p) ->
+      let already =
+        match Hashtbl.find_opt t.opt_installed name with
+        | Some (_, q) -> q == p
+        | None -> false
+      in
+      if already then (name, "unchanged: optimization already installed")
+      else begin
+        match Pfm_opt.optimize p with
+        | None -> (name, "unchanged: no profitable rewrite")
+        | Some (q, rep) -> (
+            let reject reason =
+              t.opt_rejects <- t.opt_rejects + 1;
+              Hashtbl.replace t.opt_status name ("rejected: " ^ reason);
+              log_opt t (Printf.sprintf "opt %s rejected: %s" name reason);
+              (name, "rejected: " ^ reason)
+            in
+            match Pfm.verify q with
+            | Error e -> reject ("verify: " ^ Pfm.verify_error_to_string e)
+            | Ok () -> (
+                match Pfm_equiv.prove p q with
+                | Pfm_equiv.Equal ->
+                    c.slot <- Some (key, q);
+                    Hashtbl.replace t.opt_installed name (p, q);
+                    let d = Pfm_opt.report_to_string rep in
+                    Hashtbl.replace t.opt_status name ("active: " ^ d);
+                    log_opt t (Printf.sprintf "opt %s installed: %s" name d);
+                    (name, "installed: " ^ d)
+                | Pfm_equiv.Not_equal _ as r ->
+                    reject ("refuted: " ^ Pfm_equiv.result_to_string r)
+                | Pfm_equiv.Unknown m -> reject ("unproven: " ^ m)))
+      end
+
+let optimize t =
+  [ optimize_slot t "mount" t.mount_cache;
+    optimize_slot t "umount" t.umount_cache;
+    optimize_slot t "bind" t.bind_cache;
+    optimize_slot t "nf_output" t.nf_cache;
+    optimize_slot t "ppp_ioctl" t.ppp_cache ]
+
+let deoptimize_slot t name (c : _ cache) =
+  match Hashtbl.find_opt t.opt_installed name with
+  | None -> ()
+  | Some (orig, q) ->
+      (match c.slot with
+       | Some (key, cur) when cur == q -> c.slot <- Some (key, orig)
+       | _ -> () (* policy changed since: slot already holds fresh code *));
+      Hashtbl.remove t.opt_installed name;
+      Hashtbl.remove t.opt_status name;
+      log_opt t (Printf.sprintf "opt %s reverted" name)
+
+let deoptimize t =
+  deoptimize_slot t "mount" t.mount_cache;
+  deoptimize_slot t "umount" t.umount_cache;
+  deoptimize_slot t "bind" t.bind_cache;
+  deoptimize_slot t "nf_output" t.nf_cache;
+  deoptimize_slot t "ppp_ioctl" t.ppp_cache
+
+(* The status {!render} shows: "active" only while the optimized program
+   is still the one the slot serves; a reload that recompiled from
+   source demotes it to stale. *)
+let opt_status_line t name (c : _ cache) =
+  match Hashtbl.find_opt t.opt_status name with
+  | None -> "none"
+  | Some s -> (
+      match Hashtbl.find_opt t.opt_installed name, c.slot with
+      | Some (_, q), Some (_, cur) when cur == q -> s
+      | Some _, _ -> "stale (policy changed)"
+      | None, _ -> s)
+
+let opt_statuses t =
+  [ ("mount", opt_status_line t "mount" t.mount_cache);
+    ("umount", opt_status_line t "umount" t.umount_cache);
+    ("bind", opt_status_line t "bind" t.bind_cache);
+    ("nf_output", opt_status_line t "nf_output" t.nf_cache);
+    ("ppp_ioctl", opt_status_line t "ppp_ioctl" t.ppp_cache) ]
 
 (* --- generation vectors ------------------------------------------------- *)
 
@@ -642,10 +753,20 @@ let decide_nf_output t nf pkt ~origin =
     (* packet_ctx is the canonical integer encoding of everything the chain
        can match on; reuse it as the cache key. *)
     let ctx = Compile.packet_ctx pkt ~origin in
+    (* Rendering the key string costs more than a short program run;
+       skip it entirely while the cache is off (find/add would ignore
+       it anyway) rather than taxing every engine decision with it. *)
+    let cache_on = Decision_cache.enabled t.dcache in
     let args =
-      String.concat sep (List.map string_of_int (Array.to_list ctx.Pfm.ints))
+      if cache_on then
+        String.concat sep (List.map string_of_int (Array.to_list ctx.Pfm.ints))
+      else ""
     in
-    let found = Decision_cache.find t.dcache t.ch_nf ~subject:0 ~args ~gens in
+    let found =
+      if cache_on then
+        Decision_cache.find t.dcache t.ch_nf ~subject:0 ~args ~gens
+      else None
+    in
     let stages = if sp then ("table", Trace.now t.trace - t0) :: stages else stages in
     let v, stages =
       match found with
@@ -740,6 +861,11 @@ let render t =
            "hook %s evals %d allow %d deny %d reject %d invalidations %d insns %d\n"
            name s.evals s.allow s.deny s.reject s.invalidations s.insns))
     (hooks t);
+  List.iter
+    (fun (name, status) ->
+      Buffer.add_string b (Printf.sprintf "opt %s %s\n" name status))
+    (opt_statuses t);
+  Buffer.add_string b (Printf.sprintf "opt_rejects %d\n" t.opt_rejects);
   Buffer.contents b
 
 let handle_write t contents =
@@ -747,6 +873,12 @@ let handle_write t contents =
   | "reset" -> reset_stats t; Ok ()
   | "engine pfm" -> t.engine <- `Pfm; Ok ()
   | "engine ref" -> t.engine <- `Ref; Ok ()
+  | "optimize" ->
+      (* Gate rejections are not write errors: the original program
+         keeps serving and the rejection is audited via the opt log. *)
+      ignore (optimize t : (string * string) list);
+      Ok ()
+  | "deoptimize" -> deoptimize t; Ok ()
   | other -> Error ("filter_stats: unknown command: " ^ other)
 
 (* --- /proc/protego/cache_stats ------------------------------------------ *)

@@ -88,6 +88,32 @@ val cached_program : t -> string -> Protego_filter.Pfm.program option
 (** The compiled program currently cached for a hook name (as listed by
     {!stats}), if any evaluation has compiled one. *)
 
+(** {1 Profile-guided recompilation}
+
+    [optimize] runs {!Protego_filter.Pfm_opt.optimize} over every hook's
+    cached program and gates each rewrite on {!Protego_filter.Pfm.verify}
+    {e and} a {!Protego_analysis.Pfm_equiv.prove} equivalence proof
+    before installing it in the program cache.  A refuted or unproven
+    rewrite is never installed: the original program keeps serving, the
+    rejection counter is bumped, and a line is queued on the opt log for
+    the caller (the LSM's /proc handler) to push to dmesg/audit.  A
+    policy reload recompiles from source as usual, demoting a previously
+    installed optimization to "stale" in {!render}. *)
+
+val optimize : t -> (string * string) list
+(** Per hook, in {!stats} order: what happened ("installed: ...",
+    "unchanged: ...", "rejected: ...", "skipped: no compiled program"). *)
+
+val deoptimize : t -> unit
+(** Restore every hook whose slot still serves an installed optimized
+    program back to its original compiled program. *)
+
+val opt_rejects : t -> int
+(** Rewrites the verify/prove gate has refused since [create]. *)
+
+val drain_opt_log : t -> string list
+(** Pending install/reject/revert lines, oldest first; clears the log. *)
+
 (** {1 Hook decisions} *)
 
 val decide_mount :
@@ -154,11 +180,17 @@ val check_policy_load :
 (** {1 /proc/protego/filter_stats} *)
 
 val render : t -> string
-(** The grammar documented in {!Policy_state}: an [engine] header line
-    followed by one [hook] line per filtered hook. *)
+(** The grammar documented in {!Policy_state}: an [engine] header line,
+    one [hook] line per filtered hook, one [opt <hook> <status>] line
+    per hook ("none", "active: ...", "rejected: ...", or "stale (policy
+    changed)"), and a closing [opt_rejects <n>] line. *)
 
 val handle_write : t -> string -> (unit, string) result
-(** ["reset"], ["engine pfm"], ["engine ref"]; anything else errors. *)
+(** ["reset"], ["engine pfm"], ["engine ref"], ["optimize"],
+    ["deoptimize"]; anything else errors.  ["optimize"] returns [Ok]
+    even when rewrites are rejected by the proof gate — rejections are
+    reported through {!render} and {!drain_opt_log}, not as write
+    errors. *)
 
 (** {1 /proc/protego/cache_stats} *)
 

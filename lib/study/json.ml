@@ -25,12 +25,17 @@ let escape s =
   Buffer.contents b
 
 (* Integers print without a fractional part so the report stays readable
-   (latencies and counts are integral); everything else keeps OCaml's
-   shortest round-trippable form. *)
+   (latencies and counts are integral).  Other values are measurements —
+   nanosecond timings and ratios where 17 significant digits are pure
+   run-to-run noise that churns every committed baseline diff — so they
+   keep three decimals, falling back to %.6g for magnitudes where three
+   decimals would collapse to zero (tiny rates must stay non-zero for
+   the report validator). *)
 let num_to_string f =
   if Float.is_integer f && Float.abs f < 1e15 then
     Printf.sprintf "%.0f" f
-  else Printf.sprintf "%.17g" f
+  else if Float.abs f >= 0.001 then Printf.sprintf "%.3f" f
+  else Printf.sprintf "%.6g" f
 
 let to_string ?(indent = 2) t =
   let b = Buffer.create 256 in

@@ -10,6 +10,7 @@ type phase =
   | Deny_flood
   | Audit_heavy
   | Reload_storm of { period : int }
+  | Opt_storm of { period : int }
 
 type spec = {
   seed : int;
@@ -272,6 +273,7 @@ let build_heavy_pools spec =
 type schedule = {
   s_requests : Plane.request array;
   s_reloads : (int * PS.source) list;
+  s_optimizes : int list;
 }
 
 let storm_sources = [| PS.Mounts; PS.Binds; PS.Ppp |]
@@ -301,13 +303,14 @@ let generate spec ~workers =
   in
   let requests = Array.make n (fst pools.(0)).(0) in
   let reloads = ref [] in
+  let optimizes = ref [] in
   let storms = ref 0 in
   let off = ref 0 in
   List.iter
     (fun (phase, count) ->
       let deny_pct =
         match phase with
-        | Steady | Reload_storm _ -> 10
+        | Steady | Reload_storm _ | Opt_storm _ -> 10
         | Audit_heavy -> 30
         | Deny_flood -> 85
       in
@@ -322,6 +325,16 @@ let generate spec ~workers =
              incr storms;
              th := !th + period
            done
+       | Opt_storm { period } when period > 0 ->
+           (* Same threshold shape as Reload_storm, but the action is a
+              recompile toggle instead of a generation bump: the runner
+              alternates optimize / deoptimize at each threshold, so the
+              schedule itself only records where the toggles land. *)
+           let th = ref (!off + period) in
+           while !th < !off + count do
+             optimizes := !th :: !optimizes;
+             th := !th + period
+           done
        | _ -> ());
       for i = !off to !off + count - 1 do
         let rng = rng_for i in
@@ -334,4 +347,5 @@ let generate spec ~workers =
       done;
       off := !off + count)
     spec.phases;
-  { s_requests = requests; s_reloads = List.rev !reloads }
+  { s_requests = requests; s_reloads = List.rev !reloads;
+    s_optimizes = List.rev !optimizes }

@@ -16,8 +16,11 @@
       encoder's worst case; the long rules only enter the policy when a
       heavy phase is present, so other schedules are unchanged), and
       [Reload_storm] (policy republication every [period] requests —
-      the snapshot-churn worst case).  Storm reloads are generation
-      bumps, i.e. semantics preserving: every verdict stays equal to
+      the snapshot-churn worst case), and [Opt_storm] (a profile-guided
+      recompile toggle every [period] requests — optimize/deoptimize
+      alternation racing the decision path).  Storm reloads are
+      generation bumps and optimizations are proof-gated rewrites,
+      i.e. both are semantics preserving: every verdict stays equal to
       the fixed-policy oracle, which is what lets differential tests
       run under storms;
     - {b open or closed} loop shape: [`Open] draws one global arrival
@@ -36,6 +39,7 @@ type phase =
   | Deny_flood
   | Audit_heavy
   | Reload_storm of { period : int }
+  | Opt_storm of { period : int }
 
 type spec = {
   seed : int;
@@ -65,6 +69,11 @@ type schedule = {
       (** (completed-count threshold, source whose generation to bump)
           — from [Reload_storm] phases, ascending.  The runner turns
           each into a bump + publish action. *)
+  s_optimizes : int list;
+      (** completed-count thresholds from [Opt_storm] phases,
+          ascending.  The runner alternates a filter optimize /
+          deoptimize toggle at each threshold; both directions are
+          verdict-preserving, so the oracle is unchanged. *)
 }
 
 val generate : spec -> workers:int -> schedule

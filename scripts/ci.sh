@@ -18,7 +18,12 @@ dune build
 echo "==> dune runtest"
 dune runtest
 
-echo "==> protego-lint --strict over the example policies"
+# --prove runs the symbolic equivalence prover over every compilable
+# source: each production compiler's output must be proven equal to the
+# naive linear compilation.  Under --strict an Unknown (not just a
+# refutation) also fails, so the prover must actually discharge the
+# example policies, not time out on them.
+echo "==> protego-lint --strict --prove over the example policies"
 ./_build/default/bin/lint.exe \
     --fstab examples/policies/fstab \
     --binds examples/policies/bind.map \
@@ -26,7 +31,7 @@ echo "==> protego-lint --strict over the example policies"
     --accounts examples/policies/accounts \
     --ppp examples/policies/options.ppp \
     --netfilter output=examples/policies/output.chain \
-    --strict
+    --strict --prove
 
 # The bench emits a versioned JSON report; bench_gate parses it back,
 # asserts its structure (schema, required scenarios, sane non-zero
@@ -36,9 +41,13 @@ echo "==> protego-lint --strict over the example policies"
 echo "==> bench report (BENCH_protego.json)"
 ./_build/default/bench/main.exe --json -o BENCH_protego.json
 
+# The --floor is absolute, not baseline-relative: the proof-gated
+# recompilation of the 128-rule netfilter chain must keep a >=3x win
+# over the reference walk (it measures ~8x on a quiet box).
 echo "==> bench structural check + regression gate"
 ./_build/default/bin/bench_gate.exe BENCH_protego.json \
-    --baseline bench/baseline.json --tolerance 3
+    --baseline bench/baseline.json --tolerance 3 \
+    --floor filter:nf_output,opt_speedup,3
 
 # The audit bench saves the steady journal's binary image; verifying it
 # with the standalone CLI exercises the full persistence + decode +
@@ -49,6 +58,14 @@ echo "==> journal artifact verification (JOURNAL_protego.bin)"
 
 echo "==> decision-cache interleaving harness"
 ./_build/default/test/test_main.exe test cache
+
+# Equivalence prover + optimizer gate: golden proven-equal/-different
+# pairs per hook compiler, the QCheck prove-vs-differential properties,
+# the /proc optimize/stale/deoptimize lifecycle, and the
+# optimize-vs-decide interleaving replays (incl. the Opt_storm
+# workload phase against the live oracle).
+echo "==> equivalence prover + translation-validation suites"
+./_build/default/test/test_main.exe test equiv
 
 # Plane stress: the multi-domain differential suites (N-domain run vs
 # the sequential reference, snapshot interleavings, audit integrity)

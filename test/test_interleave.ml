@@ -280,10 +280,186 @@ let test_publish_interleavings () =
   Alcotest.(check int) "C(6,3) schedules" 20 (List.length schedules);
   List.iter run_pschedule schedules
 
+(* --- profile-guided recompilation vs nf decisions -----------------------
+
+   The same scripted-scheduler idea against the optimizer gate: every
+   merge order of three recompile actions — a proof-gated optimize, a
+   chain edit (which both flips a probed verdict and demotes any
+   installed rewrite to stale), and a re-optimize of whatever is
+   compiled by then — with three probe batches on [decide_nf_output].
+   Each probe compares the dispatcher's verdict (and a warm repeat)
+   against the uncompiled [Netfilter.walk] oracle on the live chain at
+   that instant.  If optimize could install a semantics-changing
+   rewrite, or a stale optimized program could outlive the chain edit,
+   some interleaving puts a probe right behind the offending toggle. *)
+
+module Netfilter = Protego_net.Netfilter
+module Packet = Protego_net.Packet
+module Ipaddr = Protego_net.Ipaddr
+module Workload = Protego_workload.Workload
+
+type oaction = Optimize | Deoptimize | Edit_chain
+type ostep = Oact of string * oaction | OProbe
+
+let optimizer =
+  [ Oact ("O1", Optimize); Oact ("E2", Edit_chain); Oact ("O3", Optimize) ]
+
+let odecider = [ OProbe; OProbe; OProbe ]
+
+(* 64 singleton-port accepts over a Drop policy: the eq-cascade shape
+   the switch conversion targets, so optimize really installs. *)
+let ofiller_rules =
+  List.init 64 (fun i ->
+      { Netfilter.matches =
+          [ Netfilter.Dst_port { lo = 40000 + i; hi = 40000 + i };
+            Netfilter.Proto Protego_net.Packet.Tcp ];
+        target = Netfilter.Accept; comment = "" })
+
+(* E2 prepends this: dport 7 flips Drop (policy) -> Accept. *)
+let edit_rule =
+  { Netfilter.matches = [ Netfilter.Dst_port { lo = 7; hi = 7 } ];
+    target = Netfilter.Accept; comment = "" }
+
+let opkt dport =
+  { Packet.src = Ipaddr.v 10 0 0 2; dst = Ipaddr.v 8 8 8 8; ttl = 64;
+    transport =
+      Packet.Tcp_seg { src_port = 5000; dst_port = dport; syn = false;
+                       payload = "" } }
+
+let oprobe_ports = [ 7; 22; 40000; 40031; 40063; 41000 ]
+
+let oprobe ~schedule ~at disp nf =
+  let where what = Printf.sprintf "%s step %d %s" schedule at what in
+  List.iter
+    (fun dport ->
+      let oracle =
+        Netfilter.walk nf Netfilter.Output (opkt dport)
+          ~origin:Packet.Kernel_stack
+      in
+      let ask () =
+        PD.decide_nf_output disp nf (opkt dport) ~origin:Packet.Kernel_stack
+      in
+      check (where (Printf.sprintf "nf dport %d" dport)) true (ask () = oracle);
+      check
+        (where (Printf.sprintf "nf dport %d repeat" dport))
+        true (ask () = oracle))
+    oprobe_ports
+
+let oschedule_name steps =
+  String.concat ""
+    (List.map (function Oact (l, _) -> l | OProbe -> "D") steps)
+
+let run_oschedule steps =
+  let disp = PD.create () in
+  let nf = Netfilter.create ~output_policy:Netfilter.Drop () in
+  List.iter (Netfilter.append nf Netfilter.Output) ofiller_rules;
+  (* Warm with distinct ports so the profile counters heat up and the
+     compiled program exists before the first optimize can land. *)
+  for d = 1 to 300 do
+    ignore
+      (PD.decide_nf_output disp nf (opkt d) ~origin:Packet.Kernel_stack
+        : Netfilter.verdict)
+  done;
+  let schedule = oschedule_name steps in
+  List.iteri
+    (fun at step ->
+      match step with
+      | Oact (label, Optimize) | Oact (label, Deoptimize) ->
+          let cmd =
+            match step with Oact (_, Deoptimize) -> "deoptimize" | _ -> "optimize"
+          in
+          (match PD.handle_write disp cmd with
+           | Ok () -> ()
+           | Error e ->
+               Alcotest.failf "%s step %d %s: %s refused: %s" schedule at label
+                 cmd e)
+      | Oact (_, Edit_chain) -> Netfilter.insert nf Netfilter.Output edit_rule
+      | OProbe -> oprobe ~schedule ~at disp nf)
+    steps;
+  (* Whatever the order, the settled chain must decide identically. *)
+  oprobe ~schedule ~at:(List.length steps) disp nf;
+  ignore (PD.drain_opt_log disp : string list)
+
+let test_opt_interleavings () =
+  let schedules = interleavings optimizer odecider in
+  Alcotest.(check int) "C(6,3) schedules" 20 (List.length schedules);
+  List.iter run_oschedule schedules
+
+(* --- Opt_storm: scheduled recompile toggles under a full workload ------- *)
+
+let request_oracle (st : PS.t) = function
+  | Plane.Mount { source; target; fstype; flags; _ } ->
+      PS.mount_decision st ~source ~target ~fstype ~flags
+  | Plane.Umount { subject; target; mounted_by } ->
+      PS.umount_decision st ~target ~mounted_by ~ruid:subject
+  | Plane.Bind { subject; port; proto; exe } ->
+      PS.bind_allowed st ~port ~proto ~exe ~uid:subject
+  | Plane.Ppp_ioctl { device; opt; _ } -> PS.ppp_ioctl_decision st ~device ~opt
+
+let pd_decide disp st = function
+  | Plane.Mount { subject; source; target; fstype; flags } ->
+      PD.decide_mount disp ~subject st ~source ~target ~fstype ~flags
+  | Plane.Umount { subject; target; mounted_by } ->
+      PD.decide_umount disp st ~target ~mounted_by ~ruid:subject
+  | Plane.Bind { subject; port; proto; exe } ->
+      PD.decide_bind disp st ~port ~proto ~exe ~uid:subject
+  | Plane.Ppp_ioctl { subject; device; opt } ->
+      PD.decide_ppp_ioctl disp ~subject st ~device ~opt
+
+(* An [Opt_storm] phase alternates optimize / deoptimize every [period]
+   requests while the whole generated workload flows through the
+   sequential dispatcher: every verdict, before, between and after
+   toggles, must match the live policy-state oracle. *)
+let test_opt_storm_schedule () =
+  let sp =
+    Workload.default
+      ~phases:
+        [ (Workload.Steady, 64);
+          (Workload.Opt_storm { period = 32 }, 256);
+          (Workload.Deny_flood, 64) ]
+      ()
+  in
+  let sched = Workload.generate sp ~workers:1 in
+  check "storm produced toggles" true (sched.Workload.s_optimizes <> []);
+  let rec ascending = function
+    | a :: (b :: _ as rest) -> a < b && ascending rest
+    | _ -> true
+  in
+  check "toggle thresholds ascend" true (ascending sched.Workload.s_optimizes);
+  List.iter
+    (fun th -> check "toggle inside storm phase" true (th > 64 && th < 320))
+    sched.Workload.s_optimizes;
+  let st = PS.create () in
+  Workload.install_policy sp st;
+  let disp = PD.create () in
+  let toggles = ref sched.Workload.s_optimizes in
+  let deopt = ref false in
+  Array.iteri
+    (fun i req ->
+      (match !toggles with
+       | th :: rest when i = th ->
+           toggles := rest;
+           let cmd = if !deopt then "deoptimize" else "optimize" in
+           deopt := not !deopt;
+           (match PD.handle_write disp cmd with
+            | Ok () -> ()
+            | Error e -> Alcotest.failf "toggle at %d: %s" i e)
+       | _ -> ());
+      if pd_decide disp st req <> request_oracle st req then
+        Alcotest.failf "opt storm verdict diverged from oracle at request %d" i)
+    sched.Workload.s_requests;
+  check "all toggles consumed" true (!toggles = []);
+  ignore (PD.drain_opt_log disp : string list)
+
 let suites =
   [ ("cache:interleave",
       [ Alcotest.test_case "reloads vs decisions, all orders" `Quick
           test_all_interleavings ]);
     ("plane:interleave",
       [ Alcotest.test_case "publishes vs plane decisions, all orders" `Quick
-          test_publish_interleavings ]) ]
+          test_publish_interleavings ]);
+    ("equiv:interleave",
+      [ Alcotest.test_case "optimize toggles vs nf decisions, all orders"
+          `Quick test_opt_interleavings;
+        Alcotest.test_case "Opt_storm schedule replays against the oracle"
+          `Quick test_opt_storm_schedule ]) ]
