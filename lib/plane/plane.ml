@@ -149,6 +149,7 @@ type t = {
   mutable rotations : int;
   jseg_bytes : int;   (* journal geometry, reused on rotate *)
   jsegs : int;
+  mutable running : bool;  (* a run (real or simulated) is in flight *)
 }
 
 let max_domains = 64
@@ -168,12 +169,18 @@ let create ?(domains = 1) ?(journal_seg_bytes = 262144)
   { st; pub; domains = d;
     workers = Array.init d (fun i -> make_worker journal i snap);
     engine = `Pfm; clock = None; runs = 0; audit = `Journal; journal;
-    rotations = 0; jseg_bytes = journal_seg_bytes; jsegs = journal_segments }
+    rotations = 0; jseg_bytes = journal_seg_bytes; jsegs = journal_segments;
+    running = false }
 
 let domains t = t.domains
 let plane_max_domains t = min max_domains t.jsegs
 
+let in_flight_msg op =
+  Printf.sprintf
+    "Plane.%s: a run is in flight; apply the change between runs" op
+
 let set_domains t d =
+  if t.running then invalid_arg (in_flight_msg "set_domains");
   let d = clamp_domains ~segments:t.jsegs d in
   (* The replaced workers' terms would otherwise stay registered on the
      journal forever (inflating stats and pinning half-filled
@@ -253,8 +260,7 @@ let slot_valid w hi snap req =
 (* Serve one request on a worker against the currently published
    snapshot: front slot -> memo table -> engine, exactly the sequential
    dispatcher's ladder, but over domain-private structures. *)
-let decide_one t w engine req =
-  let snap = Snapshot.current t.pub in
+let decide_with w engine snap req =
   adopt w snap;
   let hi = hook_index req in
   if slot_valid w hi snap req then begin
@@ -325,6 +331,9 @@ let decide_one t w engine req =
         refill w hi snap req ~verdict:v ~errno:e;
         { o_verdict = v; o_errno = e; o_epoch = snap.Snapshot.epoch }
   end
+
+let decide_one t w engine req =
+  decide_with w engine (Snapshot.current t.pub) req
 
 let decide t req =
   ignore (refresh t);
@@ -471,7 +480,10 @@ let stitched_audit t ~run_id ~n =
   | Ok ds -> audit_of_stitched ds
 
 let run t ?(collect = true) ?(reloads = []) reqs =
+  if t.running then failwith "Plane.run: a run is already in flight";
   ignore (refresh t);
+  t.running <- true;
+  Fun.protect ~finally:(fun () -> t.running <- false) @@ fun () ->
   let n = Array.length reqs in
   let d = t.domains in
   let ws = t.workers in
@@ -680,10 +692,14 @@ let handle_write t contents =
       ignore (publish t);
       Ok ()
   | "reset" ->
-      set_domains t t.domains;
-      t.runs <- 0;
-      reset_journal t;
-      Ok ()
+      if t.running then
+        Error "plane: a run is in flight; retry reset after it completes"
+      else begin
+        set_domains t t.domains;
+        t.runs <- 0;
+        reset_journal t;
+        Ok ()
+      end
   | "engine pfm" -> set_engine t `Pfm; Ok ()
   | "engine ref" -> set_engine t `Ref; Ok ()
   | "audit off" -> set_audit_mode t `Off; Ok ()
@@ -694,6 +710,8 @@ let handle_write t contents =
       match String.split_on_char ' ' other with
       | [ "domains"; ns ] -> (
           match int_of_string_opt ns with
+          | Some _ when t.running ->
+              Error "plane: a run is in flight; retry after it completes"
           | Some d when d >= 1 && d <= plane_max_domains t ->
               set_domains t d;
               Ok ()
@@ -738,3 +756,58 @@ let install_proc m t =
              Ktypes.log_dmesg m "protego: %s" msg;
              Error Errno.EINVAL)
        ())
+
+(* --- reference oracles -------------------------------------------------- *)
+
+let request_oracle (st : PS.t) = function
+  | Mount { source; target; fstype; flags; _ } ->
+      PS.mount_decision st ~source ~target ~fstype ~flags
+  | Umount { subject; target; mounted_by } ->
+      PS.umount_decision st ~target ~mounted_by ~ruid:subject
+  | Bind { subject; port; proto; exe } ->
+      PS.bind_allowed st ~port ~proto ~exe ~uid:subject
+  | Ppp_ioctl { device; opt; _ } -> PS.ppp_ioctl_decision st ~device ~opt
+
+let snapshot_oracle snap = function
+  | Mount { source; target; fstype; flags; _ } ->
+      Snapshot.ref_mount snap ~source ~target ~fstype ~flags
+  | Umount { subject; target; mounted_by } ->
+      Snapshot.ref_umount snap ~target ~mounted_by ~ruid:subject
+  | Bind { subject; port; proto; exe } ->
+      Snapshot.ref_bind snap ~port ~proto ~exe ~uid:subject
+  | Ppp_ioctl { device; opt; _ } -> Snapshot.ref_ppp snap ~device ~opt
+
+let request_deny_errno = function
+  | Bind _ -> Errno.EACCES
+  | Mount _ | Umount _ | Ppp_ioctl _ -> Errno.EPERM
+
+(* --- simulation hooks --------------------------------------------------- *)
+
+let running t = t.running
+
+let sim_begin t =
+  if t.running then invalid_arg "Plane.sim_begin: a run is already in flight";
+  t.running <- true;
+  t.runs
+
+let sim_end t =
+  t.running <- false;
+  t.runs <- t.runs + 1
+
+let worker_of t i =
+  if i < 0 || i >= t.domains then
+    invalid_arg (Printf.sprintf "Plane: no such worker %d (domains %d)" i
+                   t.domains);
+  t.workers.(i)
+
+let decide_on t ~worker req = decide_one t (worker_of t worker) t.engine req
+
+let worker_snapshot t i = (worker_of t i).w_snap
+
+let decide_against t ~worker snap req =
+  decide_with (worker_of t worker) t.engine snap req
+
+let journal_decision t ~worker ~run ~seq req o =
+  journal_append (worker_of t worker).w_term ~run ~seq req o
+
+let worker_term t i = (worker_of t i).w_term

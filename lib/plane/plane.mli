@@ -130,7 +130,9 @@ val set_domains : t -> int -> unit
     caches and counters reset) and the replaced workers' journal terms
     are retired (padded out and deregistered), so repeated domain
     changes neither inflate journal stats nor pin half-filled
-    segments. *)
+    segments.  Raises [Invalid_argument] while a run (real or
+    simulated) is in flight — racing a worker-array swap against live
+    workers would hand decisions to orphaned terms. *)
 
 val engine : t -> [ `Pfm | `Ref ]
 val set_engine : t -> [ `Pfm | `Ref ] -> unit
@@ -170,6 +172,66 @@ val run :
 
 val runs : t -> int
 (** Completed {!run} invocations since creation/reset. *)
+
+(** {1 Reference oracles}
+
+    The list-walking reference semantics over a whole {!request} — the
+    per-hook decision procedures bundled behind the request variant, for
+    differential tests and the simulator's property checker. *)
+
+val request_oracle : PS.t -> request -> bool
+(** Evaluate the request against the {e live} state. *)
+
+val snapshot_oracle : Snapshot.t -> request -> bool
+(** Evaluate the request against a frozen snapshot — what
+    [always (verdict = snapshot_at(epoch) oracle verdict)] checks. *)
+
+val request_deny_errno : request -> Protego_base.Errno.t
+(** The errno a denial of this request carries: [EACCES] for bind,
+    [EPERM] for the rest. *)
+
+(** {1 Simulation hooks}
+
+    The deterministic simulator ({!Protego_sim.Sim}) drives the plane's
+    workers one decision at a time from a single domain, so every
+    interleaving is a scheduler choice rather than a thread race.  These
+    entry points expose exactly the per-worker steps {!run} performs
+    internally; they must only be called between {!sim_begin} and
+    {!sim_end}, never concurrently with {!run}. *)
+
+val running : t -> bool
+(** A run — real ({!run}) or simulated ({!sim_begin}) — is in flight. *)
+
+val sim_begin : t -> int
+(** Mark a simulated run in flight and return its run id (the stamp
+    {!decide_on} outcomes should be journaled under).  Raises
+    [Invalid_argument] if a run is already in flight. *)
+
+val sim_end : t -> unit
+(** End the simulated run and count it in {!runs}. *)
+
+val decide_on : t -> worker:int -> request -> outcome
+(** One decision on the given worker against the currently published
+    snapshot — the exact ladder (front slot, memo table, engine) a run
+    step executes, without the surrounding refresh.  Raises
+    [Invalid_argument] for a worker outside [0..domains-1]. *)
+
+val worker_snapshot : t -> int -> Snapshot.t
+(** The snapshot the worker last adopted — possibly older than
+    {!current} if publications happened since its last decision. *)
+
+val decide_against : t -> worker:int -> Snapshot.t -> request -> outcome
+(** Like {!decide_on} but against an explicit snapshot — the simulator's
+    stale-read fault injection point. *)
+
+val journal_decision :
+  t -> worker:int -> run:int -> seq:int -> request -> outcome -> unit
+(** Claim-and-encode one decision into the worker's journal term, as a
+    run's audit step does.  Raises [Failure] on writer overrun. *)
+
+val worker_term : t -> int -> Protego_journal.Journal.term
+(** The worker's journal write handle — the simulator's crash injection
+    leaves an unpadded claim on it to exercise torn-tail recovery. *)
 
 (** {1 Audit journal} *)
 

@@ -1,0 +1,43 @@
+(* Greedy delta-debugging over recorded action scripts: remove windows
+   of actions while the selected property still fails, down to a
+   1-action granularity fixpoint.  Scripted replays silently skip
+   actions made inexecutable by earlier removals, so every candidate is
+   a valid schedule — no repair pass needed. *)
+
+let still_fails spec prop script =
+  let ctx = Sim.run spec (Sim.Scripted script) in
+  match prop.Prop.p_eval ctx with
+  | Prop.Violated _ -> true
+  | Prop.Holds -> false
+
+let without l i n = List.filteri (fun j _ -> j < i || j >= i + n) l
+
+let minimize spec prop script =
+  if not (still_fails spec prop script) then script
+  else begin
+    let cur = ref script in
+    let progress = ref true in
+    while !progress do
+      progress := false;
+      let n = ref (max 1 (List.length !cur / 2)) in
+      while !n >= 1 do
+        let i = ref 0 in
+        while !i + !n <= List.length !cur do
+          let cand = without !cur !i !n in
+          if still_fails spec prop cand then begin
+            cur := cand;
+            progress := true
+          end
+          else incr i
+        done;
+        n := !n / 2
+      done
+    done;
+    !cur
+  end
+
+let replay_command spec prop script =
+  Printf.sprintf "protego-sim replay --spec '%s' --script '%s' --prop %s"
+    (Sim.spec_to_string spec)
+    (Sim.script_to_string script)
+    prop.Prop.p_name

@@ -1,0 +1,16 @@
+(** Schedule shrinking: when a property fails, minimize the recorded
+    action script to a (locally) minimal schedule that still fails, and
+    print it as a replayable one-liner.  Strategy: greedy ddmin —
+    window sizes from half the script down to single actions, repeated
+    to fixpoint.  Scripted replay skips inexecutable actions, so every
+    candidate is well-formed by construction (DESIGN.md §10). *)
+
+val still_fails : Sim.spec -> Prop.t -> Sim.action list -> bool
+(** Replay the script and evaluate the property: [true] iff violated. *)
+
+val minimize : Sim.spec -> Prop.t -> Sim.action list -> Sim.action list
+(** A 1-minimal (no single window removable) failing sub-script of the
+    input; the input itself if it does not fail. *)
+
+val replay_command : Sim.spec -> Prop.t -> Sim.action list -> string
+(** [protego-sim replay --spec '...' --script '...' --prop <name>]. *)

@@ -1,0 +1,928 @@
+(* Deterministic simulation of the decision plane and the optimizer
+   gate.  One OCaml domain, one splitmix64 stream: every decision step,
+   publish point, reload, journal append and recompile toggle is a
+   scheduler-chosen event, so any interleaving is replayable from
+   (seed, spec) alone — and any recorded action script replays
+   byte-for-byte without the seed. *)
+
+module PS = Protego_core.Policy_state
+module PD = Protego_core.Pfm_dispatch
+module Plane = Protego_plane.Plane
+module Snapshot = Protego_plane.Snapshot
+module J = Protego_journal.Journal
+module Pfm = Protego_filter.Pfm
+module Errno = Protego_base.Errno
+module Prng = Protego_workload.Prng
+module Workload = Protego_workload.Workload
+module Netfilter = Protego_net.Netfilter
+module Packet = Protego_net.Packet
+module Ipaddr = Protego_net.Ipaddr
+module Bindconf = Protego_policy.Bindconf
+module Ktypes = Protego_kernel.Ktypes
+
+(* --- specs -------------------------------------------------------------- *)
+
+type lane = Lane_plane | Lane_opt
+
+type fault_kind = F_crash | F_stale | F_dup | F_drop | F_delay | F_wrap
+
+type spec = {
+  sp_lane : lane;
+  sp_golden : bool;
+  sp_seed : int;
+  sp_workers : int;
+  sp_steps : int;
+  sp_reloads : int;
+  sp_opts : int;
+  sp_wseed : int;
+  sp_flood : bool;
+  sp_seg_bytes : int;
+  sp_segments : int;
+  sp_faults : (fault_kind * int) list;
+}
+
+let default =
+  { sp_lane = Lane_plane; sp_golden = false; sp_seed = 1; sp_workers = 2;
+    sp_steps = 64; sp_reloads = 3; sp_opts = 0; sp_wseed = 42;
+    sp_flood = false; sp_seg_bytes = 4096; sp_segments = 8; sp_faults = [] }
+
+let lane_name = function Lane_plane -> "plane" | Lane_opt -> "opt"
+
+let fault_name = function
+  | F_crash -> "crash"
+  | F_stale -> "stale"
+  | F_dup -> "dup"
+  | F_drop -> "drop"
+  | F_delay -> "delay"
+  | F_wrap -> "wrap"
+
+let fault_of_name = function
+  | "crash" -> Some F_crash
+  | "stale" -> Some F_stale
+  | "dup" -> Some F_dup
+  | "drop" -> Some F_drop
+  | "delay" -> Some F_delay
+  | "wrap" -> Some F_wrap
+  | _ -> None
+
+let has_fault k sp = List.exists (fun (k', n) -> k' = k && n > 0) sp.sp_faults
+
+let spec_to_string sp =
+  let base =
+    Printf.sprintf
+      "lane=%s,golden=%d,seed=%d,workers=%d,steps=%d,reloads=%d,opts=%d,\
+       wseed=%d,flood=%d,segbytes=%d,segments=%d"
+      (lane_name sp.sp_lane)
+      (if sp.sp_golden then 1 else 0)
+      sp.sp_seed sp.sp_workers sp.sp_steps sp.sp_reloads sp.sp_opts sp.sp_wseed
+      (if sp.sp_flood then 1 else 0)
+      sp.sp_seg_bytes sp.sp_segments
+  in
+  match sp.sp_faults with
+  | [] -> base
+  | fs ->
+      base ^ ",faults="
+      ^ String.concat ";"
+          (List.map (fun (k, n) -> fault_name k ^ ":" ^ string_of_int n) fs)
+
+let spec_of_string s =
+  let parse_faults v =
+    let items = String.split_on_char ';' v in
+    List.fold_left
+      (fun acc item ->
+        match acc with
+        | Error _ -> acc
+        | Ok fs -> (
+            match String.split_on_char ':' item with
+            | [ name; n ] -> (
+                match (fault_of_name name, int_of_string_opt n) with
+                | Some k, Some n when n >= 0 -> Ok (fs @ [ (k, n) ])
+                | _ -> Error ("sim: bad fault " ^ item))
+            | _ -> Error ("sim: bad fault " ^ item)))
+      (Ok []) items
+  in
+  let field sp k v =
+    let int f = match int_of_string_opt v with
+      | Some n when n >= 0 -> Ok (f n)
+      | _ -> Error (Printf.sprintf "sim: bad value %s=%s" k v)
+    in
+    match k with
+    | "lane" -> (
+        match v with
+        | "plane" -> Ok { sp with sp_lane = Lane_plane }
+        | "opt" -> Ok { sp with sp_lane = Lane_opt }
+        | _ -> Error ("sim: unknown lane " ^ v))
+    | "golden" -> int (fun n -> { sp with sp_golden = n <> 0 })
+    | "seed" -> int (fun n -> { sp with sp_seed = n })
+    | "workers" -> int (fun n -> { sp with sp_workers = n })
+    | "steps" -> int (fun n -> { sp with sp_steps = n })
+    | "reloads" -> int (fun n -> { sp with sp_reloads = n })
+    | "opts" -> int (fun n -> { sp with sp_opts = n })
+    | "wseed" -> int (fun n -> { sp with sp_wseed = n })
+    | "flood" -> int (fun n -> { sp with sp_flood = n <> 0 })
+    | "segbytes" -> int (fun n -> { sp with sp_seg_bytes = n })
+    | "segments" -> int (fun n -> { sp with sp_segments = n })
+    | "faults" -> (
+        match parse_faults v with
+        | Ok fs -> Ok { sp with sp_faults = fs }
+        | Error e -> Error e)
+    | _ -> Error ("sim: unknown spec field " ^ k)
+  in
+  List.fold_left
+    (fun acc kv ->
+      match acc with
+      | Error _ -> acc
+      | Ok sp -> (
+          match String.index_opt kv '=' with
+          | Some i ->
+              field sp
+                (String.sub kv 0 i)
+                (String.sub kv (i + 1) (String.length kv - i - 1))
+          | None -> Error ("sim: bad spec field " ^ kv)))
+    (Ok default)
+    (List.filter (fun s -> s <> "") (String.split_on_char ',' (String.trim s)))
+
+(* --- actions ------------------------------------------------------------ *)
+
+type action =
+  | Decide of int
+  | Reload
+  | Reload_dropped
+  | Reload_delayed
+  | Flush
+  | Crash of int
+  | Stale of int
+  | Dup of int
+  | Flood
+  | Opt
+  | Probe
+
+let action_to_string = function
+  | Decide w -> "d" ^ string_of_int w
+  | Reload -> "r"
+  | Reload_dropped -> "r-"
+  | Reload_delayed -> "r+"
+  | Flush -> "f"
+  | Crash w -> "c" ^ string_of_int w
+  | Stale w -> "s" ^ string_of_int w
+  | Dup w -> "u" ^ string_of_int w
+  | Flood -> "w"
+  | Opt -> "o"
+  | Probe -> "p"
+
+let action_of_string s =
+  let indexed c mk =
+    match int_of_string_opt (String.sub s 1 (String.length s - 1)) with
+    | Some w when w >= 0 -> Ok (mk w)
+    | _ -> Error (Printf.sprintf "sim: bad action %c<w>: %s" c s)
+  in
+  match s with
+  | "r" -> Ok Reload
+  | "r-" -> Ok Reload_dropped
+  | "r+" -> Ok Reload_delayed
+  | "f" -> Ok Flush
+  | "w" -> Ok Flood
+  | "o" -> Ok Opt
+  | "p" -> Ok Probe
+  | _ when String.length s >= 2 && s.[0] = 'd' -> indexed 'd' (fun w -> Decide w)
+  | _ when String.length s >= 2 && s.[0] = 'c' -> indexed 'c' (fun w -> Crash w)
+  | _ when String.length s >= 2 && s.[0] = 's' -> indexed 's' (fun w -> Stale w)
+  | _ when String.length s >= 2 && s.[0] = 'u' -> indexed 'u' (fun w -> Dup w)
+  | _ -> Error ("sim: unknown action " ^ s)
+
+let script_to_string = function
+  | [] -> "-"
+  | acts -> String.concat "." (List.map action_to_string acts)
+
+let script_of_string s =
+  match String.trim s with
+  | "" | "-" -> Ok []
+  | s ->
+      List.fold_left
+        (fun acc tok ->
+          match acc with
+          | Error _ -> acc
+          | Ok l -> (
+              match action_of_string tok with
+              | Ok a -> Ok (l @ [ a ])
+              | Error e -> Error e))
+        (Ok [])
+        (String.split_on_char '.' s)
+
+(* --- events ------------------------------------------------------------- *)
+
+type event =
+  | E_decide of {
+      d_worker : int;
+      d_seq : int;
+      d_hook : int;
+      d_verdict : int;
+      d_errno : int;
+      d_epoch : int;
+      d_live_ok : bool;
+      d_journaled : bool;
+      d_stale : bool;
+      d_torn : bool;
+    }
+  | E_mutate of { m_label : string }
+  | E_publish of { p_epoch : int }
+  | E_crash of { c_worker : int }
+  | E_dup of { u_worker : int; u_seq : int }
+  | E_flood of { f_bytes : int; f_overrun : bool }
+  | E_overrun of { o_worker : int }
+  | E_opt of {
+      t_label : string;
+      t_installed : string list;
+      t_stale : bool;
+      t_proved : bool;
+    }
+  | E_nf of { n_port : int; n_ok : bool }
+  | E_pd of { pd_seq : int; pd_ok : bool }
+
+let event_to_string = function
+  | E_decide d ->
+      Printf.sprintf "decide w%d seq %d hook %d verdict %d errno %d epoch %d%s%s%s%s"
+        d.d_worker d.d_seq d.d_hook d.d_verdict d.d_errno d.d_epoch
+        (if d.d_live_ok then "" else " live-divergent")
+        (if d.d_journaled then "" else " unjournaled")
+        (if d.d_stale then " stale" else "")
+        (if d.d_torn then " torn" else "")
+  | E_mutate m -> "mutate " ^ m.m_label
+  | E_publish p -> Printf.sprintf "publish epoch %d" p.p_epoch
+  | E_crash c -> Printf.sprintf "crash w%d" c.c_worker
+  | E_dup u -> Printf.sprintf "dup w%d seq %d" u.u_worker u.u_seq
+  | E_flood f ->
+      Printf.sprintf "flood %d bytes%s" f.f_bytes
+        (if f.f_overrun then " overrun" else "")
+  | E_overrun o -> Printf.sprintf "overrun w%d" o.o_worker
+  | E_opt o ->
+      Printf.sprintf "opt %s installed [%s]%s%s" o.t_label
+        (String.concat " " o.t_installed)
+        (if o.t_stale then " stale" else "")
+        (if o.t_proved then "" else " unproved")
+  | E_nf n -> Printf.sprintf "nf port %d %s" n.n_port (if n.n_ok then "ok" else "DIVERGED")
+  | E_pd p -> Printf.sprintf "pd seq %d %s" p.pd_seq (if p.pd_ok then "ok" else "DIVERGED")
+
+type ctx = {
+  x_spec : spec;
+  x_script : action list;
+  x_trace : event array;
+  x_plane : Plane.t option;
+  x_run : int;
+  x_requests : Plane.request array;
+  x_journal : J.decision list;
+  x_dropped : int;
+}
+
+let trace_to_string ctx =
+  String.concat "\n" (Array.to_list (Array.map event_to_string ctx.x_trace))
+
+type mode = Seeded | Scripted of action list
+
+(* --- golden fixtures ----------------------------------------------------
+
+   The exact policy, probe battery and three semantic flips of the
+   legacy hand-fixed interleaving harness (test_interleave.ml), so its
+   20 merge orders survive as pinned scripts. *)
+
+let cdrom flags mode =
+  { PS.mr_source = "/dev/cdrom"; mr_target = "/media/cdrom";
+    mr_fstype = "iso9660"; mr_flags = flags; mr_mode = mode }
+
+let exim port proto =
+  { Bindconf.port; proto; exe = "/usr/sbin/exim4"; owner = 0 }
+
+let golden_plane_setup st =
+  st.PS.mounts <- [ cdrom [] `Users ];
+  st.PS.binds <- [ exim 777 Bindconf.Tcp ];
+  PS.bump_generation st PS.Mounts;
+  PS.bump_generation st PS.Binds
+
+(* P1 adds a flag requirement (bare mount flips allow -> deny), P2 moves
+   the port grant tcp -> udp, P3 drops the cdrom rule. *)
+let golden_plane_flip k st =
+  match k with
+  | 0 ->
+      st.PS.mounts <- [ cdrom [ Ktypes.Mf_readonly; Mf_nosuid; Mf_nodev ] `Users ];
+      PS.bump_generation st PS.Mounts;
+      "P1"
+  | 1 ->
+      st.PS.binds <- [ exim 777 Bindconf.Udp ];
+      PS.bump_generation st PS.Binds;
+      "P2"
+  | 2 ->
+      st.PS.mounts <- [];
+      PS.bump_generation st PS.Mounts;
+      "P3"
+  | _ -> invalid_arg "Sim.golden_plane_flip"
+
+let golden_flip_count = 3
+
+(* One probe battery: each request asked twice (the repeat is typically
+   a front-slot or memo hit), values interned so identity-keyed fast
+   paths engage. *)
+let golden_battery () =
+  let m_bare =
+    Plane.Mount { subject = 1000; source = "/dev/cdrom"; target = "/media/cdrom";
+                  fstype = "iso9660"; flags = [] }
+  in
+  let m_full =
+    Plane.Mount { subject = 1000; source = "/dev/cdrom"; target = "/media/cdrom";
+                  fstype = "iso9660";
+                  flags = [ Ktypes.Mf_readonly; Mf_nosuid; Mf_nodev ] }
+  in
+  let b_tcp =
+    Plane.Bind { subject = 0; port = 777; proto = Bindconf.Tcp;
+                 exe = "/usr/sbin/exim4" }
+  in
+  let b_udp =
+    Plane.Bind { subject = 0; port = 777; proto = Bindconf.Udp;
+                 exe = "/usr/sbin/exim4" }
+  in
+  [| m_bare; m_bare; m_full; m_full; b_tcp; b_tcp; b_udp; b_udp |]
+
+let golden_battery_len = 8
+
+(* 3 scripted batteries + the settle battery the engine always runs. *)
+let golden_requests () =
+  let b = golden_battery () in
+  Array.concat [ b; b; b; b ]
+
+(* All merge orders preserving the relative order within each script. *)
+let rec interleavings xs ys =
+  match (xs, ys) with
+  | [], rest | rest, [] -> [ rest ]
+  | x :: xs', y :: ys' ->
+      List.map (fun r -> x :: r) (interleavings xs' ys)
+      @ List.map (fun r -> y :: r) (interleavings xs ys')
+
+let golden_plane_scripts =
+  interleavings [ `R 0; `R 1; `R 2 ] [ `D; `D; `D ]
+  |> List.map (fun steps ->
+         let name =
+           String.concat ""
+             (List.map
+                (function `R i -> Printf.sprintf "P%d" (i + 1) | `D -> "D")
+                steps)
+         in
+         let script =
+           List.concat_map
+             (function
+               | `R _ -> [ Reload ]
+               | `D -> List.init golden_battery_len (fun _ -> Decide 0))
+             steps
+         in
+         (name, script))
+
+let golden_opt_scripts =
+  let labels = [| "O1"; "E2"; "O3" |] in
+  interleavings [ `O 0; `O 1; `O 2 ] [ `P; `P; `P ]
+  |> List.map (fun steps ->
+         let name =
+           String.concat ""
+             (List.map (function `O i -> labels.(i) | `P -> "D") steps)
+         in
+         let script =
+           List.map (function `O _ -> Opt | `P -> Probe) steps
+         in
+         (name, script))
+
+(* --- plane lane --------------------------------------------------------- *)
+
+let verdict_code = function Pfm.Allow -> 1 | Pfm.Deny -> 0 | Pfm.Reject -> 2
+let errno_code = function None -> 0 | Some e -> Errno.to_code e
+
+type pworker = {
+  pw_id : int;
+  mutable pw_next : int;
+  mutable pw_alive : bool;
+  mutable pw_last : (int * Plane.request * Plane.outcome) option;
+}
+
+let workload_spec sp =
+  let phase = if sp.sp_flood then Workload.Deny_flood else Workload.Steady in
+  let base =
+    Workload.default ~seed:sp.sp_wseed ~phases:[ (phase, sp.sp_steps) ] ()
+  in
+  { base with Workload.rules = 16; pool = 48 }
+
+let run_plane sp mode =
+  let workers = if sp.sp_golden then 1 else max 1 sp.sp_workers in
+  let want_flood = has_fault F_wrap sp in
+  let need_terms = workers + if want_flood then 1 else 0 in
+  if need_terms > sp.sp_segments then
+    invalid_arg
+      (Printf.sprintf
+         "Sim: %d journal segments cannot host %d worker terms%s"
+         sp.sp_segments workers (if want_flood then " + the flood term" else ""));
+  let st = PS.create () in
+  let requests, flip, flip_count =
+    if sp.sp_golden then begin
+      golden_plane_setup st;
+      (golden_requests (), (fun k -> golden_plane_flip k st), golden_flip_count)
+    end
+    else begin
+      let wl = workload_spec sp in
+      Workload.install_policy wl st;
+      let sched = Workload.generate wl ~workers:1 in
+      let orig_mounts = st.PS.mounts and orig_binds = st.PS.binds in
+      let flip k =
+        match k mod 4 with
+        | 0 ->
+            st.PS.mounts <- (match orig_mounts with [] -> [] | _ :: tl -> tl);
+            PS.bump_generation st PS.Mounts;
+            "drop-mount"
+        | 1 ->
+            st.PS.mounts <- orig_mounts;
+            PS.bump_generation st PS.Mounts;
+            "restore-mount"
+        | 2 ->
+            st.PS.binds <- (match orig_binds with [] -> [] | _ :: tl -> tl);
+            PS.bump_generation st PS.Binds;
+            "drop-bind"
+        | _ ->
+            st.PS.binds <- orig_binds;
+            PS.bump_generation st PS.Binds;
+            "restore-bind"
+      in
+      (sched.Workload.s_requests, flip, max_int)
+    end
+  in
+  let plane =
+    Plane.create ~domains:workers ~journal_seg_bytes:sp.sp_seg_bytes
+      ~journal_segments:sp.sp_segments st
+  in
+  let flood_term =
+    if want_flood then Some (J.term (Plane.journal plane) ~domain:workers)
+    else None
+  in
+  let run_id = Plane.sim_begin plane in
+  let stale_snap = Plane.current plane in
+  let nreq = Array.length requests in
+  let pws =
+    Array.init workers (fun i ->
+        { pw_id = i; pw_next = i; pw_alive = true; pw_last = None })
+  in
+  let events = ref [] in
+  let emit e = events := e :: !events in
+  let script_acc = ref [] in
+  let record a = script_acc := a :: !script_acc in
+  let reload_done = ref 0 in
+  let reload_cap = min sp.sp_reloads flip_count in
+  let pending = ref false in
+  let journal_dead = ref false in
+  let can_decide w = w.pw_alive && w.pw_next < nreq in
+  let do_decide ?(stale = false) ?(crash = false) w =
+    let seq = w.pw_next in
+    let req = requests.(seq) in
+    w.pw_next <- w.pw_next + workers;
+    let o =
+      if stale then Plane.decide_against plane ~worker:w.pw_id stale_snap req
+      else Plane.decide_on plane ~worker:w.pw_id req
+    in
+    let live_ok =
+      Plane.request_oracle st req = (o.Plane.o_verdict = Pfm.Allow)
+    in
+    let journaled, torn =
+      if crash then begin
+        (* A mid-record crash: the claim is placed but never committed,
+           leaving the term's tail torn for readers to suppress. *)
+        ignore (J.unsafe_claim (Plane.worker_term plane w.pw_id) 64 : int);
+        w.pw_alive <- false;
+        (false, true)
+      end
+      else if !journal_dead then (false, false)
+      else
+        match
+          Plane.journal_decision plane ~worker:w.pw_id ~run:run_id ~seq req o
+        with
+        | () ->
+            w.pw_last <- Some (seq, req, o);
+            (true, false)
+        | exception Failure _ ->
+            journal_dead := true;
+            emit (E_overrun { o_worker = w.pw_id });
+            (false, false)
+    in
+    emit
+      (E_decide
+         { d_worker = w.pw_id; d_seq = seq; d_hook = Plane.hook_index req;
+           d_verdict = verdict_code o.Plane.o_verdict;
+           d_errno = errno_code o.Plane.o_errno; d_epoch = o.Plane.o_epoch;
+           d_live_ok = live_ok; d_journaled = journaled; d_stale = stale;
+           d_torn = torn });
+    if crash then emit (E_crash { c_worker = w.pw_id })
+  in
+  let do_reload kind =
+    let k = !reload_done in
+    incr reload_done;
+    let label = flip k in
+    emit (E_mutate { m_label = label });
+    match kind with
+    | `Now ->
+        let snap = Plane.publish plane in
+        emit (E_publish { p_epoch = snap.Snapshot.epoch })
+    | `Dropped -> ()
+    | `Delayed -> pending := true
+  in
+  let do_flush () =
+    pending := false;
+    let snap = Plane.publish plane in
+    emit (E_publish { p_epoch = snap.Snapshot.epoch })
+  in
+  let do_dup w =
+    match w.pw_last with
+    | Some (seq, req, o) when not !journal_dead -> (
+        match
+          Plane.journal_decision plane ~worker:w.pw_id ~run:run_id ~seq req o
+        with
+        | () -> emit (E_dup { u_worker = w.pw_id; u_seq = seq })
+        | exception Failure _ ->
+            journal_dead := true;
+            emit (E_overrun { o_worker = w.pw_id }))
+    | _ -> ()
+  in
+  let do_flood term =
+    let j = Plane.journal plane in
+    let t0 = J.tail j in
+    let obj = String.make 160 'x' in
+    let overrun = ref false in
+    let budget = ref ((2 * J.capacity j / 200) + 16) in
+    (try
+       while !budget > 0 do
+         decr budget;
+         J.append_kaudit term ~time:0. ~pid:0 ~uid:0 ~op:"flood" ~obj
+           ~allowed:false ~engine:None ~span:None
+       done
+     with Failure _ ->
+       overrun := true;
+       journal_dead := true);
+    emit (E_flood { f_bytes = J.tail j - t0; f_overrun = !overrun });
+    if !overrun then emit (E_overrun { o_worker = -1 })
+  in
+  (match mode with
+  | Scripted script ->
+      List.iter
+        (fun a ->
+          let ok w = w >= 0 && w < workers in
+          match a with
+          | Decide w when ok w && can_decide pws.(w) ->
+              do_decide pws.(w);
+              record a
+          | Reload when !reload_done < reload_cap && not !pending ->
+              do_reload `Now;
+              record a
+          | Reload_dropped when !reload_done < reload_cap && not !pending ->
+              do_reload `Dropped;
+              record a
+          | Reload_delayed when !reload_done < reload_cap && not !pending ->
+              do_reload `Delayed;
+              record a
+          | Flush when !pending ->
+              do_flush ();
+              record a
+          | Crash w when ok w && can_decide pws.(w) ->
+              do_decide ~crash:true pws.(w);
+              record a
+          | Stale w when ok w && can_decide pws.(w) ->
+              do_decide ~stale:true pws.(w);
+              record a
+          | Dup w when ok w && pws.(w).pw_last <> None && not !journal_dead ->
+              do_dup pws.(w);
+              record a
+          | Flood when flood_term <> None && not !journal_dead ->
+              do_flood (Option.get flood_term);
+              record a
+          | Decide _ | Reload | Reload_dropped | Reload_delayed | Flush
+          | Crash _ | Stale _ | Dup _ | Flood | Opt | Probe ->
+              (* inexecutable here: skipped, and not recorded *)
+              ())
+        script
+  | Seeded ->
+      let rng = Prng.create sp.sp_seed in
+      let fault_pool =
+        ref
+          (List.concat_map (fun (k, n) -> List.init n (fun _ -> k)) sp.sp_faults)
+      in
+      let eligible pred =
+        Array.to_list pws |> List.filter pred
+      in
+      let fault_enabled = function
+        | F_crash | F_stale -> eligible can_decide <> []
+        | F_dup ->
+            (not !journal_dead)
+            && eligible (fun w -> w.pw_last <> None) <> []
+        | F_drop | F_delay -> !reload_done < reload_cap && not !pending
+        | F_wrap -> flood_term <> None && not !journal_dead
+      in
+      let pick_target pred =
+        let elig = eligible pred in
+        List.nth elig (Prng.int rng (List.length elig))
+      in
+      let continue = ref true in
+      while !continue do
+        let cands = ref [] in
+        let add w tag = cands := (w, tag) :: !cands in
+        List.iteri
+          (fun i k -> if fault_enabled k then add 1 (`Fault (i, k)))
+          !fault_pool;
+        if !pending then add 3 `Flush;
+        if !reload_done < reload_cap && not !pending then add 2 `Reload;
+        Array.iter (fun w -> if can_decide w then add 8 (`Dec w)) pws;
+        let cands = !cands in
+        let total = List.fold_left (fun a (w, _) -> a + w) 0 cands in
+        if total = 0 then continue := false
+        else begin
+          let r = Prng.int rng total in
+          let rec pick acc = function
+            | [] -> assert false
+            | (w, tag) :: rest ->
+                if r < acc + w then tag else pick (acc + w) rest
+          in
+          match pick 0 cands with
+          | `Dec w ->
+              do_decide w;
+              record (Decide w.pw_id)
+          | `Reload ->
+              do_reload `Now;
+              record Reload
+          | `Flush ->
+              do_flush ();
+              record Flush
+          | `Fault (i, k) ->
+              fault_pool := List.filteri (fun j _ -> j <> i) !fault_pool;
+              (match k with
+              | F_crash ->
+                  let w = pick_target can_decide in
+                  do_decide ~crash:true w;
+                  record (Crash w.pw_id)
+              | F_stale ->
+                  let w = pick_target can_decide in
+                  do_decide ~stale:true w;
+                  record (Stale w.pw_id)
+              | F_dup ->
+                  let w = pick_target (fun w -> w.pw_last <> None) in
+                  do_dup w;
+                  record (Dup w.pw_id)
+              | F_drop ->
+                  do_reload `Dropped;
+                  record Reload_dropped
+              | F_delay ->
+                  do_reload `Delayed;
+                  record Reload_delayed
+              | F_wrap ->
+                  do_flood (Option.get flood_term);
+                  record Flood)
+        end
+      done);
+  (* The settle battery: in golden mode the scripts drive only the three
+     interleaved batteries; whatever remains is decided in order on
+     worker 0, mirroring the legacy harness's final probe pass. *)
+  if sp.sp_golden then begin
+    let w = pws.(0) in
+    while can_decide w do
+      do_decide w
+    done
+  end;
+  Plane.sim_end plane;
+  let j = Plane.journal plane in
+  let jds = List.filter (fun d -> d.J.d_run = run_id) (J.decisions j) in
+  { x_spec = sp; x_script = List.rev !script_acc;
+    x_trace = Array.of_list (List.rev !events); x_plane = Some plane;
+    x_run = run_id; x_requests = requests; x_journal = jds;
+    x_dropped = J.dropped j }
+
+(* --- opt lane ----------------------------------------------------------- *)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let starts_with prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+(* 64 singleton-port accepts over a Drop policy: the eq-cascade shape
+   the switch conversion targets, so optimize really installs. *)
+let ofiller_rules =
+  List.init 64 (fun i ->
+      { Netfilter.matches =
+          [ Netfilter.Dst_port { lo = 40000 + i; hi = 40000 + i };
+            Netfilter.Proto Packet.Tcp ];
+        target = Netfilter.Accept; comment = "" })
+
+(* The chain edit: dport 7 flips Drop (policy) -> Accept, and demotes
+   any installed rewrite to stale. *)
+let edit_rule =
+  { Netfilter.matches = [ Netfilter.Dst_port { lo = 7; hi = 7 } ];
+    target = Netfilter.Accept; comment = "" }
+
+let opkt dport =
+  { Packet.src = Ipaddr.v 10 0 0 2; dst = Ipaddr.v 8 8 8 8; ttl = 64;
+    transport =
+      Packet.Tcp_seg
+        { src_port = 5000; dst_port = dport; syn = false; payload = "" } }
+
+let oprobe_ports = [ 7; 22; 40000; 40031; 40063; 41000 ]
+
+let pd_decide disp st = function
+  | Plane.Mount { subject; source; target; fstype; flags } ->
+      PD.decide_mount disp ~subject st ~source ~target ~fstype ~flags
+  | Plane.Umount { subject; target; mounted_by } ->
+      PD.decide_umount disp st ~target ~mounted_by ~ruid:subject
+  | Plane.Bind { subject; port; proto; exe } ->
+      PD.decide_bind disp st ~port ~proto ~exe ~uid:subject
+  | Plane.Ppp_ioctl { subject; device; opt } ->
+      PD.decide_ppp_ioctl disp ~subject st ~device ~opt
+
+let run_opt sp mode =
+  let disp = PD.create () in
+  let events = ref [] in
+  let emit e = events := e :: !events in
+  let script_acc = ref [] in
+  let record a = script_acc := a :: !script_acc in
+  (* Golden: the optimizer-gate interleaving fixture over the netfilter
+     chain.  Non-golden: a generated workload through the sequential
+     dispatcher with optimize/deoptimize toggles. *)
+  let golden = sp.sp_golden in
+  let nf = Netfilter.create ~output_policy:Netfilter.Drop () in
+  let st = PS.create () in
+  let requests =
+    if golden then begin
+      List.iter (Netfilter.append nf Netfilter.Output) ofiller_rules;
+      (* Warm with distinct ports so the profile counters heat up and
+         the compiled program exists before the first optimize. *)
+      for d = 1 to 300 do
+        ignore
+          (PD.decide_nf_output disp nf (opkt d) ~origin:Packet.Kernel_stack
+            : Netfilter.verdict)
+      done;
+      [||]
+    end
+    else begin
+      let wl = workload_spec sp in
+      Workload.install_policy wl st;
+      (Workload.generate wl ~workers:1).Workload.s_requests
+    end
+  in
+  let nreq = Array.length requests in
+  let next = ref 0 in
+  let plan = ref (if golden then [ `Optimize "O1"; `Edit "E2"; `Optimize "O3" ] else []) in
+  let opts_done = ref 0 in
+  let deopt = ref false in
+  let probes_done = ref 0 in
+  let emit_opt label installed =
+    (* staleness is sampled {e before} the action: an optimize that
+       finds its previous install demoted records the race. *)
+    let stale = contains (PD.render disp) "stale" in
+    let logs = PD.drain_opt_log disp in
+    let proved =
+      List.for_all
+        (fun n ->
+          List.exists (fun l -> contains l ("opt " ^ n ^ " installed")) logs)
+        installed
+    in
+    emit (E_opt { t_label = label; t_installed = installed; t_stale = stale;
+                  t_proved = proved })
+  in
+  let do_opt () =
+    if golden then
+      match !plan with
+      | [] -> ()
+      | `Optimize label :: rest ->
+          plan := rest;
+          let stale = contains (PD.render disp) "stale" in
+          let results = PD.optimize disp in
+          let installed =
+            List.filter_map
+              (fun (n, s) -> if starts_with "installed" s then Some n else None)
+              results
+          in
+          let logs = PD.drain_opt_log disp in
+          let proved =
+            List.for_all
+              (fun n ->
+                List.exists
+                  (fun l -> contains l ("opt " ^ n ^ " installed"))
+                  logs)
+              installed
+          in
+          emit (E_opt { t_label = label; t_installed = installed;
+                        t_stale = stale; t_proved = proved })
+      | `Edit label :: rest ->
+          plan := rest;
+          Netfilter.insert nf Netfilter.Output edit_rule;
+          emit_opt label []
+    else begin
+      incr opts_done;
+      if !deopt then begin
+        deopt := false;
+        PD.deoptimize disp;
+        emit_opt "deoptimize" []
+      end
+      else begin
+        deopt := true;
+        let stale = contains (PD.render disp) "stale" in
+        let results = PD.optimize disp in
+        let installed =
+          List.filter_map
+            (fun (n, s) -> if starts_with "installed" s then Some n else None)
+            results
+        in
+        let logs = PD.drain_opt_log disp in
+        let proved =
+          List.for_all
+            (fun n ->
+              List.exists (fun l -> contains l ("opt " ^ n ^ " installed")) logs)
+            installed
+        in
+        emit (E_opt { t_label = "optimize"; t_installed = installed;
+                      t_stale = stale; t_proved = proved })
+      end
+    end
+  in
+  let do_probe () =
+    List.iter
+      (fun dport ->
+        let oracle =
+          Netfilter.walk nf Netfilter.Output (opkt dport)
+            ~origin:Packet.Kernel_stack
+        in
+        let ask () =
+          PD.decide_nf_output disp nf (opkt dport) ~origin:Packet.Kernel_stack
+        in
+        let ok = ask () = oracle && ask () = oracle in
+        emit (E_nf { n_port = dport; n_ok = ok }))
+      oprobe_ports
+  in
+  let do_pd () =
+    let seq = !next in
+    incr next;
+    let req = requests.(seq) in
+    let ok = pd_decide disp st req = Plane.request_oracle st req in
+    emit (E_pd { pd_seq = seq; pd_ok = ok })
+  in
+  let opt_enabled () =
+    if golden then !plan <> [] else !opts_done < sp.sp_opts
+  in
+  (match mode with
+  | Scripted script ->
+      List.iter
+        (fun a ->
+          match a with
+          | Opt when opt_enabled () ->
+              do_opt ();
+              record a
+          | Probe when golden ->
+              incr probes_done;
+              do_probe ();
+              record a
+          | Decide 0 when (not golden) && !next < nreq ->
+              do_pd ();
+              record a
+          | _ -> ())
+        script
+  | Seeded ->
+      let rng = Prng.create sp.sp_seed in
+      let continue = ref true in
+      while !continue do
+        let cands = ref [] in
+        let add w tag = cands := (w, tag) :: !cands in
+        if opt_enabled () then add 1 `Opt;
+        if golden && !probes_done < 3 then add 4 `Probe;
+        if (not golden) && !next < nreq then add 8 `Pd;
+        let cands = !cands in
+        let total = List.fold_left (fun a (w, _) -> a + w) 0 cands in
+        if total = 0 then continue := false
+        else begin
+          let r = Prng.int rng total in
+          let rec pick acc = function
+            | [] -> assert false
+            | (w, tag) :: rest ->
+                if r < acc + w then tag else pick (acc + w) rest
+          in
+          match pick 0 cands with
+          | `Opt ->
+              do_opt ();
+              record Opt
+          | `Probe ->
+              incr probes_done;
+              do_probe ();
+              record Probe
+          | `Pd ->
+              do_pd ();
+              record (Decide 0)
+        end
+      done);
+  (* Whatever the order, the settled chain must decide identically. *)
+  if golden then do_probe ();
+  ignore (PD.drain_opt_log disp : string list);
+  { x_spec = sp; x_script = List.rev !script_acc;
+    x_trace = Array.of_list (List.rev !events); x_plane = None; x_run = 0;
+    x_requests = requests; x_journal = []; x_dropped = 0 }
+
+let run sp mode =
+  match sp.sp_lane with
+  | Lane_plane -> run_plane sp mode
+  | Lane_opt -> run_opt sp mode

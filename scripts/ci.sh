@@ -83,6 +83,21 @@ echo "==> decision-plane stress (multi-domain differential + interleavings)"
 echo "==> audit-journal stress (differential + total-order replay)"
 ./_build/default/test/test_main.exe test journal
 
+# Deterministic simulation: bit-replayability, the seeded sweeps over
+# the temporal-property registry, one catch-and-shrink test per
+# injected fault class, and the 20+20 pinned golden interleavings.
+echo "==> deterministic simulation suites"
+./_build/default/test/test_main.exe test sim
+
+# A wider seeded sweep than the suite runs inline: 200 fresh schedules
+# on a 3-worker plane.  On the first violated property the schedule is
+# shrunk and the replayable one-liner lands in SIM_failure.txt, which
+# the workflow uploads as an artifact.
+echo "==> simulation sweep (200 seeds; failures shrink into SIM_failure.txt)"
+./_build/default/bin/sim.exe sweep \
+    --spec 'lane=plane,workers=3,steps=120,reloads=4' \
+    --seeds 200 --out SIM_failure.txt
+
 echo "==> decision-plane scaling smoke (numbers land in PLANE_scaling.txt)"
 ./_build/default/bench/main.exe plane | tee PLANE_scaling.txt
 

@@ -8,7 +8,15 @@
    policy state at that instant.  If any reload left a stale verdict
    servable, some interleaving puts a probe right after it and the oracle
    comparison fails.  With 3 reload and 3 probe steps this is C(6,3) = 20
-   schedules, each on a fresh image. *)
+   schedules, each on a fresh image.
+
+   The plane and optimizer-gate counterparts of this harness moved onto
+   the deterministic simulator: their 20 merge orders are pinned as
+   named scripts in {!Protego_sim.Sim.golden_plane_scripts} /
+   [golden_opt_scripts], replayed through [Sim.run], checked against
+   the full temporal-property registry, and independently re-verified
+   here by a parity walk that recomputes every verdict and errno the
+   legacy loops asserted. *)
 
 open Protego_base
 open Protego_kernel
@@ -17,16 +25,15 @@ module Image = Protego_dist.Image
 module PD = Protego_core.Pfm_dispatch
 module PS = Protego_core.Policy_state
 module Bindconf = Protego_policy.Bindconf
+module Plane = Protego_plane.Plane
+module Workload = Protego_workload.Workload
+module Sim = Protego_sim.Sim
+module Prop = Protego_sim.Prop
 
 let check = Alcotest.(check bool)
 
 (* All merge orders preserving the relative order within each script. *)
-let rec interleavings xs ys =
-  match (xs, ys) with
-  | [], rest | rest, [] -> [ rest ]
-  | x :: xs', y :: ys' ->
-      List.map (fun r -> x :: r) (interleavings xs' ys)
-      @ List.map (fun r -> y :: r) (interleavings xs ys')
+let interleavings = Sim.interleavings
 
 type step = Reload of string * string * string  (* label, /proc path, contents *)
           | Probe
@@ -120,281 +127,110 @@ let test_all_interleavings () =
 
 (* --- snapshot publication vs plane decisions ---------------------------
 
-   The same scripted-scheduler idea against the parallel decision plane:
-   every merge order of three semantic policy flips (each one
-   mutate + bump + publish) with three probe batches on [Plane.decide].
-   A probe must see a verdict consistent with the {e last published}
-   snapshot — matching both the live-state oracle and the snapshot its
-   outcome is epoch-stamped with — and a warm repeat must agree.  If
-   publication could expose a half-frozen snapshot, or leave a stale
-   front slot or memo entry servable across an epoch swap, some
-   interleaving puts a probe right behind the offending publish. *)
+   The 20 merge orders of three semantic policy flips (P1/P2/P3) with
+   three probe batteries, pinned as named simulator scripts.  Each
+   schedule replays through [Sim.run] on the golden fixture and must
+   satisfy every applicable temporal property — the epoch-stamp,
+   live-oracle, journal-faithfulness and total-order-replay contracts
+   the bespoke loop used to assert by hand.  On top of that, a parity
+   walk mirrors the fixture's flips on a scratch policy state and
+   recomputes every verdict and errno independently of the simulator,
+   so the pinned scripts provably decide exactly what the legacy
+   harness decided. *)
 
-module Plane = Protego_plane.Plane
-module Snapshot = Protego_plane.Snapshot
-module Replay = Protego_plane.Replay
-module Pfm = Protego_filter.Pfm
-module J = Protego_journal.Journal
-module Compile = Protego_filter.Pfm_compile
-
-type pstep = Publish of string * (PS.t -> unit) | PProbe
-
-let cdrom flags mode =
-  { PS.mr_source = "/dev/cdrom"; mr_target = "/media/cdrom";
-    mr_fstype = "iso9660"; mr_flags = flags; mr_mode = mode }
-
-let exim port proto =
-  { Bindconf.port; proto; exe = "/usr/sbin/exim4"; owner = 0 }
-
-(* P1 adds a flag requirement (bare mount flips allow -> deny), P2 moves
-   the port grant tcp -> udp, P3 drops the cdrom rule. *)
-let publisher =
-  [ Publish ("P1", fun st ->
-        st.PS.mounts <- [ cdrom [ Mf_readonly; Mf_nosuid; Mf_nodev ] `Users ];
-        PS.bump_generation st PS.Mounts);
-    Publish ("P2", fun st ->
-        st.PS.binds <- [ exim 777 Bindconf.Udp ];
-        PS.bump_generation st PS.Binds);
-    Publish ("P3", fun st ->
-        st.PS.mounts <- [];
-        PS.bump_generation st PS.Mounts) ]
-
-let pdecider = [ PProbe; PProbe; PProbe ]
-
-(* Every probe decision is also journaled, exactly as a plane worker
-   would encode it; after the schedule the journal is stitched and
-   replayed against the snapshot history, so all 20 interleavings also
-   exercise the journal's epoch-stamp/replay contract. *)
-let journal_outcome jterm jseq req (o : Plane.outcome) =
-  let verdict =
-    match o.Plane.o_verdict with Pfm.Allow -> 1 | Pfm.Deny -> 0 | Pfm.Reject -> 2
-  in
-  let errno = match o.Plane.o_errno with None -> 0 | Some e -> Errno.to_code e in
-  let seq = !jseq in
-  incr jseq;
-  match req with
-  | Plane.Mount { subject; source; target; fstype; flags } ->
-      J.append_mount jterm ~seq ~run:0 ~epoch:o.Plane.o_epoch ~subject
-        ~verdict ~errno ~source ~target ~fstype ~flags:(Compile.flags_mask flags)
-  | Plane.Bind { subject; port; proto; exe } ->
-      J.append_bind jterm ~seq ~run:0 ~epoch:o.Plane.o_epoch ~subject ~verdict
-        ~errno ~port
-        ~proto:(match proto with Bindconf.Tcp -> 0 | Bindconf.Udp -> 1)
-        ~exe
-  | Plane.Umount _ | Plane.Ppp_ioctl _ -> ()
-
-let plane_probe ~schedule ~at ~jterm ~jseq st plane =
-  let where what = Printf.sprintf "%s step %d %s" schedule at what in
-  let snap_of epoch =
-    let cur = Plane.current plane in
-    if cur.Snapshot.epoch <> epoch then
-      Alcotest.fail (where "decision stamped a non-current epoch");
-    cur
-  in
+let assert_props name sp ctx =
   List.iter
-    (fun (label, flags) ->
-      let req =
-        Plane.Mount
-          { subject = 1000; source = "/dev/cdrom"; target = "/media/cdrom";
-            fstype = "iso9660"; flags }
-      in
-      let oracle =
-        PS.mount_decision st ~source:"/dev/cdrom" ~target:"/media/cdrom"
-          ~fstype:"iso9660" ~flags
-      in
-      let ask () =
-        let o = Plane.decide plane req in
-        journal_outcome jterm jseq req o;
-        let snap = snap_of o.Plane.o_epoch in
-        check
-          (where ("snapshot oracle " ^ label))
-          (Snapshot.ref_mount snap ~source:"/dev/cdrom" ~target:"/media/cdrom"
-             ~fstype:"iso9660" ~flags)
-          (o.Plane.o_verdict = Pfm.Allow);
-        o.Plane.o_verdict = Pfm.Allow
-      in
-      check (where ("plane mount " ^ label)) oracle (ask ());
-      check (where ("plane mount " ^ label ^ " repeat")) oracle (ask ()))
-    mount_probes;
-  List.iter
-    (fun (label, proto) ->
-      let req =
-        Plane.Bind
-          { subject = 0; port = 777; proto; exe = "/usr/sbin/exim4" }
-      in
-      let oracle =
-        PS.bind_allowed st ~port:777 ~proto ~exe:"/usr/sbin/exim4" ~uid:0
-      in
-      let ask () =
-        let o = Plane.decide plane req in
-        journal_outcome jterm jseq req o;
-        o.Plane.o_verdict = Pfm.Allow
-      in
-      check (where ("plane bind " ^ label)) oracle (ask ());
-      check (where ("plane bind " ^ label ^ " repeat")) oracle (ask ()))
-    bind_probes
+    (fun (p, out) ->
+      match out with
+      | Prop.Holds -> ()
+      | Prop.Violated _ ->
+          Alcotest.failf "%s: %s %s" name p.Prop.p_name
+            (Prop.outcome_to_string out))
+    (Prop.check ctx (Prop.applicable sp))
 
-let pschedule_name steps =
-  String.concat ""
-    (List.map (function Publish (l, _) -> l | PProbe -> "D") steps)
-
-let run_pschedule steps =
-  let st = PS.create () in
-  st.PS.mounts <- [ cdrom [] `Users ];
-  st.PS.binds <- [ exim 777 Bindconf.Tcp ];
-  PS.bump_generation st PS.Mounts;
-  PS.bump_generation st PS.Binds;
-  let plane = Plane.create st in
-  let jterm = J.term (Plane.journal plane) ~domain:0 in
-  let jseq = ref 0 in
-  let schedule = pschedule_name steps in
-  List.iteri
-    (fun at step ->
-      match step with
-      | Publish (_, mutate) ->
-          mutate st;
-          ignore (Plane.publish plane)
-      | PProbe -> plane_probe ~schedule ~at ~jterm ~jseq st plane)
-    steps;
-  plane_probe ~schedule ~at:(List.length steps) ~jterm ~jseq st plane;
-  (* Stitch the probes back into one total order and replay them: every
-     journaled verdict/errno must reproduce against the snapshot its
-     epoch stamp names, whatever the publish/probe interleaving was. *)
-  match J.stitch (Plane.journal plane) ~run:0 ~base:0 ~count:!jseq with
-  | Error e -> Alcotest.failf "%s: journal stitch failed: %s" schedule e
-  | Ok ds ->
-      let rep = Replay.replay ~snapshot_of_epoch:(Plane.snapshot_at plane) ds in
-      (match rep.Replay.rp_mismatches with
-      | [] -> ()
-      | m :: _ ->
-          Alcotest.failf "%s: replay mismatch at seq %d (%s)" schedule
-            m.Replay.mm_seq m.Replay.mm_field);
-      if rep.Replay.rp_missing_epochs <> [] then
-        Alcotest.failf "%s: replay lost epochs" schedule;
-      Alcotest.(check int)
-        (schedule ^ " all probes replayed")
-        !jseq rep.Replay.rp_matched
+let parity_walk name ctx =
+  let scratch = PS.create () in
+  Sim.golden_plane_setup scratch;
+  let flips = ref 0 in
+  let decides = ref 0 in
+  Array.iter
+    (fun e ->
+      match e with
+      | Sim.E_mutate { m_label } ->
+          let label = Sim.golden_plane_flip !flips scratch in
+          incr flips;
+          if label <> m_label then
+            Alcotest.failf "%s: flip %d is %s, trace says %s" name (!flips - 1)
+              label m_label
+      | Sim.E_decide { d_seq; d_verdict; d_errno; _ } ->
+          incr decides;
+          let req = ctx.Sim.x_requests.(d_seq) in
+          let expect = Test_support.oracle scratch req in
+          if (d_verdict = 1) <> expect then
+            Alcotest.failf "%s: seq %d verdict %d, legacy oracle says %b" name
+              d_seq d_verdict expect;
+          let expect_errno =
+            if expect then 0
+            else Errno.to_code (Plane.request_deny_errno req)
+          in
+          if d_errno <> expect_errno then
+            Alcotest.failf "%s: seq %d errno %d, legacy harness says %d" name
+              d_seq d_errno expect_errno
+      | _ -> ())
+    ctx.Sim.x_trace;
+  Alcotest.(check int) (name ^ " applied all three flips") 3 !flips;
+  (* 24 scripted probes + the 8-probe settle battery = the full golden
+     request array, exactly what the legacy loop drove. *)
+  Alcotest.(check int)
+    (name ^ " decided the full battery")
+    (Array.length ctx.Sim.x_requests)
+    !decides
 
 let test_publish_interleavings () =
-  let schedules = interleavings publisher pdecider in
-  Alcotest.(check int) "C(6,3) schedules" 20 (List.length schedules);
-  List.iter run_pschedule schedules
+  Alcotest.(check int) "20 pinned schedules" 20
+    (List.length Sim.golden_plane_scripts);
+  let sp = { Sim.default with Sim.sp_golden = true } in
+  List.iter
+    (fun (name, script) ->
+      let ctx = Sim.run sp (Sim.Scripted script) in
+      (* The scripts are pinned to be fully executable: nothing skips. *)
+      check (name ^ " executed verbatim") true (ctx.Sim.x_script = script);
+      assert_props name sp ctx;
+      parity_walk name ctx)
+    Sim.golden_plane_scripts
 
 (* --- profile-guided recompilation vs nf decisions -----------------------
 
-   The same scripted-scheduler idea against the optimizer gate: every
-   merge order of three recompile actions — a proof-gated optimize, a
-   chain edit (which both flips a probed verdict and demotes any
-   installed rewrite to stale), and a re-optimize of whatever is
-   compiled by then — with three probe batches on [decide_nf_output].
-   Each probe compares the dispatcher's verdict (and a warm repeat)
-   against the uncompiled [Netfilter.walk] oracle on the live chain at
-   that instant.  If optimize could install a semantics-changing
-   rewrite, or a stale optimized program could outlive the chain edit,
-   some interleaving puts a probe right behind the offending toggle. *)
-
-module Netfilter = Protego_net.Netfilter
-module Packet = Protego_net.Packet
-module Ipaddr = Protego_net.Ipaddr
-module Workload = Protego_workload.Workload
-
-type oaction = Optimize | Deoptimize | Edit_chain
-type ostep = Oact of string * oaction | OProbe
-
-let optimizer =
-  [ Oact ("O1", Optimize); Oact ("E2", Edit_chain); Oact ("O3", Optimize) ]
-
-let odecider = [ OProbe; OProbe; OProbe ]
-
-(* 64 singleton-port accepts over a Drop policy: the eq-cascade shape
-   the switch conversion targets, so optimize really installs. *)
-let ofiller_rules =
-  List.init 64 (fun i ->
-      { Netfilter.matches =
-          [ Netfilter.Dst_port { lo = 40000 + i; hi = 40000 + i };
-            Netfilter.Proto Protego_net.Packet.Tcp ];
-        target = Netfilter.Accept; comment = "" })
-
-(* E2 prepends this: dport 7 flips Drop (policy) -> Accept. *)
-let edit_rule =
-  { Netfilter.matches = [ Netfilter.Dst_port { lo = 7; hi = 7 } ];
-    target = Netfilter.Accept; comment = "" }
-
-let opkt dport =
-  { Packet.src = Ipaddr.v 10 0 0 2; dst = Ipaddr.v 8 8 8 8; ttl = 64;
-    transport =
-      Packet.Tcp_seg { src_port = 5000; dst_port = dport; syn = false;
-                       payload = "" } }
-
-let oprobe_ports = [ 7; 22; 40000; 40031; 40063; 41000 ]
-
-let oprobe ~schedule ~at disp nf =
-  let where what = Printf.sprintf "%s step %d %s" schedule at what in
-  List.iter
-    (fun dport ->
-      let oracle =
-        Netfilter.walk nf Netfilter.Output (opkt dport)
-          ~origin:Packet.Kernel_stack
-      in
-      let ask () =
-        PD.decide_nf_output disp nf (opkt dport) ~origin:Packet.Kernel_stack
-      in
-      check (where (Printf.sprintf "nf dport %d" dport)) true (ask () = oracle);
-      check
-        (where (Printf.sprintf "nf dport %d repeat" dport))
-        true (ask () = oracle))
-    oprobe_ports
-
-let oschedule_name steps =
-  String.concat ""
-    (List.map (function Oact (l, _) -> l | OProbe -> "D") steps)
-
-let run_oschedule steps =
-  let disp = PD.create () in
-  let nf = Netfilter.create ~output_policy:Netfilter.Drop () in
-  List.iter (Netfilter.append nf Netfilter.Output) ofiller_rules;
-  (* Warm with distinct ports so the profile counters heat up and the
-     compiled program exists before the first optimize can land. *)
-  for d = 1 to 300 do
-    ignore
-      (PD.decide_nf_output disp nf (opkt d) ~origin:Packet.Kernel_stack
-        : Netfilter.verdict)
-  done;
-  let schedule = oschedule_name steps in
-  List.iteri
-    (fun at step ->
-      match step with
-      | Oact (label, Optimize) | Oact (label, Deoptimize) ->
-          let cmd =
-            match step with Oact (_, Deoptimize) -> "deoptimize" | _ -> "optimize"
-          in
-          (match PD.handle_write disp cmd with
-           | Ok () -> ()
-           | Error e ->
-               Alcotest.failf "%s step %d %s: %s refused: %s" schedule at label
-                 cmd e)
-      | Oact (_, Edit_chain) -> Netfilter.insert nf Netfilter.Output edit_rule
-      | OProbe -> oprobe ~schedule ~at disp nf)
-    steps;
-  (* Whatever the order, the settled chain must decide identically. *)
-  oprobe ~schedule ~at:(List.length steps) disp nf;
-  ignore (PD.drain_opt_log disp : string list)
+   The optimizer-gate counterpart: the 20 merge orders of a proof-gated
+   optimize (O1), a chain edit (E2) and a re-optimize (O3) with three
+   nf probe batteries, pinned as simulator scripts.  Every schedule
+   must hold nf-oracle (each probe and its warm repeat agree with the
+   uncompiled [Netfilter.walk]), pd-oracle and opt-proof-gated (no
+   rewrite installs without its Equal-proof log line) — whatever order
+   the toggles land in. *)
 
 let test_opt_interleavings () =
-  let schedules = interleavings optimizer odecider in
-  Alcotest.(check int) "C(6,3) schedules" 20 (List.length schedules);
-  List.iter run_oschedule schedules
+  Alcotest.(check int) "20 pinned schedules" 20
+    (List.length Sim.golden_opt_scripts);
+  let sp = { Sim.default with Sim.sp_lane = Sim.Lane_opt; sp_golden = true } in
+  List.iter
+    (fun (name, script) ->
+      let ctx = Sim.run sp (Sim.Scripted script) in
+      check (name ^ " executed verbatim") true (ctx.Sim.x_script = script);
+      assert_props name sp ctx;
+      let opts = ref 0 and nfs = ref 0 in
+      Array.iter
+        (function
+          | Sim.E_opt _ -> incr opts
+          | Sim.E_nf _ -> incr nfs
+          | _ -> ())
+        ctx.Sim.x_trace;
+      Alcotest.(check int) (name ^ " ran all three recompile actions") 3 !opts;
+      (* 3 scripted batteries + the settle battery, 6 ports each. *)
+      Alcotest.(check int) (name ^ " probed every battery") 24 !nfs)
+    Sim.golden_opt_scripts
 
 (* --- Opt_storm: scheduled recompile toggles under a full workload ------- *)
-
-let request_oracle (st : PS.t) = function
-  | Plane.Mount { source; target; fstype; flags; _ } ->
-      PS.mount_decision st ~source ~target ~fstype ~flags
-  | Plane.Umount { subject; target; mounted_by } ->
-      PS.umount_decision st ~target ~mounted_by ~ruid:subject
-  | Plane.Bind { subject; port; proto; exe } ->
-      PS.bind_allowed st ~port ~proto ~exe ~uid:subject
-  | Plane.Ppp_ioctl { device; opt; _ } -> PS.ppp_ioctl_decision st ~device ~opt
 
 let pd_decide disp st = function
   | Plane.Mount { subject; source; target; fstype; flags } ->
@@ -445,7 +281,7 @@ let test_opt_storm_schedule () =
             | Ok () -> ()
             | Error e -> Alcotest.failf "toggle at %d: %s" i e)
        | _ -> ());
-      if pd_decide disp st req <> request_oracle st req then
+      if pd_decide disp st req <> Test_support.oracle st req then
         Alcotest.failf "opt storm verdict diverged from oracle at request %d" i)
     sched.Workload.s_requests;
   check "all toggles consumed" true (!toggles = []);

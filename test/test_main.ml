@@ -16,4 +16,5 @@ let () =
    @ Test_analysis.suites @ Test_exploits.suites
    @ Test_functional.suites @ Test_study.suites @ Test_fuzz.suites
    @ Test_cache.suites @ Test_trace.suites @ Test_interleave.suites
-   @ Test_plane.suites @ Test_journal.suites @ Test_equiv.suites)
+   @ Test_plane.suites @ Test_journal.suites @ Test_equiv.suites
+   @ Test_sim.suites)

@@ -9,9 +9,11 @@ module PS = Protego_core.Policy_state
 module Pfm = Protego_filter.Pfm
 module Snapshot = Protego_plane.Snapshot
 module Plane = Protego_plane.Plane
+module Replay = Protego_plane.Replay
 module Workload = Protego_workload.Workload
 module Prng = Protego_workload.Prng
 module Errno = Protego_base.Errno
+module J = Protego_journal.Journal
 
 let check_bool = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
@@ -28,23 +30,8 @@ let fresh_state spec =
 (* The uncached, unsnapshotted reference verdict straight off the live
    policy state — what every plane decision must agree with as long as
    reloads are semantics-preserving. *)
-let oracle (st : PS.t) = function
-  | Plane.Mount { source; target; fstype; flags; _ } ->
-      PS.mount_decision st ~source ~target ~fstype ~flags
-  | Plane.Umount { subject; target; mounted_by } ->
-      PS.umount_decision st ~target ~mounted_by ~ruid:subject
-  | Plane.Bind { subject; port; proto; exe } ->
-      PS.bind_allowed st ~port ~proto ~exe ~uid:subject
-  | Plane.Ppp_ioctl { device; opt; _ } -> PS.ppp_ioctl_decision st ~device ~opt
-
-let snapshot_oracle snap = function
-  | Plane.Mount { source; target; fstype; flags; _ } ->
-      Snapshot.ref_mount snap ~source ~target ~fstype ~flags
-  | Plane.Umount { subject; target; mounted_by } ->
-      Snapshot.ref_umount snap ~target ~mounted_by ~ruid:subject
-  | Plane.Bind { subject; port; proto; exe } ->
-      Snapshot.ref_bind snap ~port ~proto ~exe ~uid:subject
-  | Plane.Ppp_ioctl { device; opt; _ } -> Snapshot.ref_ppp snap ~device ~opt
+let oracle = Test_support.oracle
+let snapshot_oracle = Test_support.snapshot_oracle
 
 (* --- snapshot lifecycle ------------------------------------------------- *)
 
@@ -355,10 +342,7 @@ let test_workload_deny_flood () =
 
 (* --- /proc/protego/plane ------------------------------------------------- *)
 
-let contains hay needle =
-  let nh = String.length hay and nn = String.length needle in
-  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
-  nn = 0 || go 0
+let contains = Test_support.contains
 
 let test_proc_render_and_write () =
   let sp = spec () in
@@ -426,9 +410,8 @@ let test_capacity_and_latency () =
   let sp = spec () in
   let st = fresh_state sp in
   let plane = Plane.create ~domains:2 st in
-  let counter = ref 0 in
   (* A deterministic "clock": 10ns per read. *)
-  Plane.set_clock plane (fun () -> incr counter; !counter * 10);
+  Plane.set_clock plane (Test_support.counter_clock ());
   let rr = Plane.run plane (Workload.generate sp ~workers:2).Workload.s_requests in
   check_bool "wall time measured" true (rr.Plane.rr_wall_ns > 0);
   check_int "one min-op sample per worker" 2 (Array.length rr.Plane.rr_min_op_ns);
@@ -438,6 +421,116 @@ let test_capacity_and_latency () =
   check_bool "capacity positive" true (Plane.capacity_per_sec rr > 0.);
   check_bool "latency lines rendered" true
     (contains (Plane.render plane) "latency hook")
+
+(* --- in-flight reconfiguration guard ------------------------------------- *)
+
+let test_set_domains_in_flight () =
+  let sp = spec () in
+  let st = fresh_state sp in
+  let plane = Plane.create ~domains:2 st in
+  (* A simulated run in flight: the worker-array swap must be refused. *)
+  ignore (Plane.sim_begin plane : int);
+  check_bool "running flagged" true (Plane.running plane);
+  (try
+     Plane.set_domains plane 4;
+     Alcotest.fail "set_domains accepted mid-run"
+   with Invalid_argument msg ->
+     check_bool "error names the condition" true (contains msg "in flight"));
+  (match Plane.handle_write plane "domains 4" with
+   | Error msg ->
+       check_bool "domains write refused" true (contains msg "in flight")
+   | Ok () -> Alcotest.fail "domains write accepted mid-run");
+  (match Plane.handle_write plane "reset" with
+   | Error msg -> check_bool "reset refused" true (contains msg "in flight")
+   | Ok () -> Alcotest.fail "reset accepted mid-run");
+  (try
+     ignore (Plane.run plane [||] : Plane.run_result);
+     Alcotest.fail "a second run started mid-run"
+   with Failure _ -> ());
+  Plane.sim_end plane;
+  check_bool "running cleared" false (Plane.running plane);
+  Plane.set_domains plane 4;
+  check_int "applied between runs" 4 (Plane.domains plane);
+  (* A real run: a reload action racing set_domains is refused too.
+     One domain takes the inline path, where the action fires exactly
+     at its threshold — deterministically mid-run. *)
+  Plane.set_domains plane 1;
+  let trapped = ref None in
+  let reloads =
+    [ ( 100,
+        fun () ->
+          try Plane.set_domains plane 2
+          with Invalid_argument m -> trapped := Some m ) ]
+  in
+  ignore
+    (Plane.run plane ~reloads
+       (Workload.generate sp ~workers:1).Workload.s_requests
+      : Plane.run_result);
+  (match !trapped with
+   | Some m ->
+       check_bool "mid-run set_domains trapped" true (contains m "in flight")
+   | None -> Alcotest.fail "set_domains raced a live run unchecked");
+  check_int "domains unchanged by the race" 1 (Plane.domains plane);
+  check_bool "running cleared after the run" false (Plane.running plane)
+
+(* --- bounded history vs journal replay ----------------------------------- *)
+
+let test_replay_after_rotate_and_reset () =
+  let sp = spec ~phases:[ (Workload.Steady, 500) ] () in
+  let st = fresh_state sp in
+  let plane = Plane.create ~domains:1 st in
+  let reqs = (Workload.generate sp ~workers:1).Workload.s_requests in
+  let n = Array.length reqs in
+  ignore (Plane.run plane reqs : Plane.run_result);
+  let rep = Replay.replay_run plane ~run:0 ~count:n in
+  check_int "run 0 replays in full" n rep.Replay.rp_matched;
+  check_bool "no mismatches" true (rep.Replay.rp_mismatches = []);
+  check_bool "no missing epochs" true (rep.Replay.rp_missing_epochs = []);
+  (* Rotation drops the records; the stitch must fail loudly, not
+     return a partial trail. *)
+  Plane.rotate_journal plane;
+  (try
+     ignore (Replay.replay_run plane ~run:0 ~count:n : Replay.report);
+     Alcotest.fail "rotated-away run still replayable"
+   with Failure _ -> ());
+  (* A new run on the fresh journal replays; snapshot history survives
+     the rotation (epochs are plane state, not journal state). *)
+  ignore (Plane.run plane reqs : Plane.run_result);
+  let rep1 = Replay.replay_run plane ~run:1 ~count:n in
+  check_int "run 1 replays after rotation" n rep1.Replay.rp_matched;
+  Plane.reset_journal plane;
+  (try
+     ignore (Replay.replay_run plane ~run:1 ~count:n : Replay.report);
+     Alcotest.fail "reset journal still replayable"
+   with Failure _ -> ())
+
+let test_replay_missing_epochs () =
+  (* A bounded history evicts the epoch a journaled decision stamps:
+     replay must report the epoch as missing, not guess a snapshot. *)
+  let sp = spec () in
+  let st = fresh_state sp in
+  let pub = Snapshot.make ~history:2 st in
+  let d =
+    { J.d_seq = 0; d_run = 0; d_epoch = 0; d_domain = 0; d_subject = 0;
+      d_verdict = 1; d_errno = 0;
+      d_req =
+        J.Mount
+          { source = "/dev/wl1"; target = "/media/wl1"; fstype = "ext4";
+            flags = 0 } }
+  in
+  (* Evict epoch 0 from the 2-deep window. *)
+  for _ = 1 to 3 do
+    PS.bump_generation st PS.Mounts;
+    ignore (Snapshot.publish pub st : Snapshot.t)
+  done;
+  check_bool "epoch 0 evicted" true (Snapshot.at_epoch pub 0 = None);
+  check_bool "window start retained" true (Snapshot.at_epoch pub 2 <> None);
+  let rep = Replay.replay ~snapshot_of_epoch:(Snapshot.at_epoch pub) [| d |] in
+  check_bool "epoch 0 reported missing" true
+    (rep.Replay.rp_missing_epochs = [ 0 ]);
+  check_int "the skipped record is not counted as matched" 0
+    rep.Replay.rp_matched;
+  check_bool "and not as mismatched" true (rep.Replay.rp_mismatches = [])
 
 let suites =
   [ ("plane:snapshot",
@@ -454,6 +547,14 @@ let suites =
          test_differential_domains;
        Alcotest.test_case "semantic flip never torn" `Quick
          test_semantic_flip_never_torn ]);
+    ("plane:guard",
+     [ Alcotest.test_case "set_domains refused in flight" `Quick
+         test_set_domains_in_flight ]);
+    ("plane:replay",
+     [ Alcotest.test_case "rotate and reset invalidate the stitch" `Quick
+         test_replay_after_rotate_and_reset;
+       Alcotest.test_case "evicted epochs reported missing" `Quick
+         test_replay_missing_epochs ]);
     ("plane:workload",
      [ Alcotest.test_case "deterministic generation" `Quick
          test_workload_deterministic;

@@ -1,0 +1,314 @@
+(* The deterministic simulation harness: bit-replayability of seeded
+   runs, scripted replay fidelity, spec/script string codecs, seeded
+   sweeps over the temporal-property registry, and one
+   catch-and-shrink test per injected fault class — each deliberately
+   broken property must be caught, shrunk to a <= 10-action schedule,
+   and reproduced from its printed replay command's strings alone. *)
+
+module Sim = Protego_sim.Sim
+module Prop = Protego_sim.Prop
+module Shrink = Protego_sim.Shrink
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+let contains = Test_support.contains
+
+let verdict_lines ctx props =
+  List.map
+    (fun (p, out) -> p.Prop.p_name ^ " " ^ Prop.outcome_to_string out)
+    (Prop.check ctx props)
+
+(* --- sim:replay — determinism ------------------------------------------- *)
+
+let test_seeded_bit_replay () =
+  let sp =
+    { Sim.default with Sim.sp_seed = 11; sp_workers = 3; sp_steps = 80;
+      sp_reloads = 4 }
+  in
+  let a = Sim.run sp Sim.Seeded in
+  let b = Sim.run sp Sim.Seeded in
+  check_string "identical event traces" (Sim.trace_to_string a)
+    (Sim.trace_to_string b);
+  check_string "identical recorded scripts"
+    (Sim.script_to_string a.Sim.x_script)
+    (Sim.script_to_string b.Sim.x_script);
+  check_bool "identical journal trails" true
+    (a.Sim.x_journal = b.Sim.x_journal);
+  check_int "identical drop counts" a.Sim.x_dropped b.Sim.x_dropped;
+  let props = Prop.applicable sp in
+  check_bool "identical property verdicts" true
+    (verdict_lines a props = verdict_lines b props);
+  (* A different seed is a different schedule — the seed is load-bearing. *)
+  let c = Sim.run { sp with Sim.sp_seed = 12 } Sim.Seeded in
+  check_bool "different seed, different script" true
+    (Sim.script_to_string a.Sim.x_script
+     <> Sim.script_to_string c.Sim.x_script)
+
+let test_scripted_replay_matches_seeded () =
+  let sp = { Sim.default with Sim.sp_seed = 5; sp_workers = 2; sp_steps = 48 } in
+  let seeded = Sim.run sp Sim.Seeded in
+  let scripted = Sim.run sp (Sim.Scripted seeded.Sim.x_script) in
+  check_string "scripted replay reproduces the trace"
+    (Sim.trace_to_string seeded) (Sim.trace_to_string scripted);
+  check_string "and records the same script"
+    (Sim.script_to_string seeded.Sim.x_script)
+    (Sim.script_to_string scripted.Sim.x_script);
+  check_bool "and the same journal" true
+    (seeded.Sim.x_journal = scripted.Sim.x_journal)
+
+let test_spec_roundtrip () =
+  let specs =
+    [ Sim.default;
+      { Sim.default with Sim.sp_seed = 99; sp_workers = 4; sp_steps = 200;
+        sp_flood = true; sp_seg_bytes = 8192; sp_segments = 16 };
+      { Sim.default with Sim.sp_faults = [ (Sim.F_crash, 1); (Sim.F_wrap, 1) ] };
+      { Sim.default with Sim.sp_lane = Sim.Lane_opt; sp_opts = 4 };
+      { Sim.default with Sim.sp_golden = true; sp_reloads = 0 } ]
+  in
+  List.iter
+    (fun sp ->
+      let s = Sim.spec_to_string sp in
+      match Sim.spec_of_string s with
+      | Ok sp' -> check_bool ("spec round-trips: " ^ s) true (sp = sp')
+      | Error e -> Alcotest.failf "spec %s failed to parse back: %s" s e)
+    specs;
+  (match Sim.spec_of_string "lane=plane,bogus=1" with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "unknown spec field accepted");
+  let script =
+    [ Sim.Decide 2; Sim.Reload; Sim.Reload_dropped; Sim.Reload_delayed;
+      Sim.Flush; Sim.Crash 0; Sim.Stale 1; Sim.Dup 3; Sim.Flood; Sim.Opt;
+      Sim.Probe ]
+  in
+  (match Sim.script_of_string (Sim.script_to_string script) with
+   | Ok script' -> check_bool "script round-trips" true (script = script')
+   | Error e -> Alcotest.fail e);
+  (match Sim.script_of_string "-" with
+   | Ok [] -> ()
+   | Ok _ -> Alcotest.fail "'-' should be the empty script"
+   | Error e -> Alcotest.fail e);
+  (match Sim.action_of_string "zz" with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "junk action token accepted")
+
+(* --- sim:sweep — seeded schedules against the property registry --------- *)
+
+let sweep name sp ~from ~seeds =
+  for seed = from to from + seeds - 1 do
+    let sp = { sp with Sim.sp_seed = seed } in
+    let ctx = Sim.run sp Sim.Seeded in
+    List.iter
+      (fun (p, out) ->
+        match out with
+        | Prop.Holds -> ()
+        | Prop.Violated _ ->
+            Alcotest.failf "%s seed %d: %s %s (replay: %s)" name seed
+              p.Prop.p_name (Prop.outcome_to_string out)
+              (Shrink.replay_command sp p
+                 (Shrink.minimize sp p ctx.Sim.x_script)))
+      (Prop.check ctx (Prop.applicable sp))
+  done
+
+let test_sweep_plane_steady () =
+  sweep "plane-steady"
+    { Sim.default with Sim.sp_workers = 3; sp_steps = 64; sp_reloads = 4 }
+    ~from:0 ~seeds:150
+
+let test_sweep_plane_flood () =
+  sweep "plane-flood"
+    { Sim.default with Sim.sp_flood = true; sp_steps = 64; sp_reloads = 3 }
+    ~from:0 ~seeds:50
+
+let test_sweep_plane_faulted () =
+  (* Injected faults legitimately break their catch properties; the
+     remaining applicable invariants must survive every schedule. *)
+  sweep "plane-faulted"
+    { Sim.default with Sim.sp_workers = 2; sp_steps = 48;
+      sp_faults = [ (Sim.F_crash, 1); (Sim.F_wrap, 1) ] }
+    ~from:0 ~seeds:40
+
+let test_sweep_opt () =
+  sweep "opt-golden"
+    { Sim.default with Sim.sp_lane = Sim.Lane_opt; sp_golden = true }
+    ~from:0 ~seeds:10;
+  sweep "opt-workload"
+    { Sim.default with Sim.sp_lane = Sim.Lane_opt; sp_steps = 48; sp_opts = 4 }
+    ~from:0 ~seeds:20
+
+(* --- sim:faults — catch and shrink every injected fault class ----------- *)
+
+let find_prop name =
+  match Prop.find name with Ok p -> p | Error e -> Alcotest.fail e
+
+(* First seed under [limit] whose schedule violates [prop]. *)
+let hunt ?(limit = 300) sp prop =
+  let rec go seed =
+    if seed >= limit then None
+    else
+      let sp = { sp with Sim.sp_seed = seed } in
+      let ctx = Sim.run sp Sim.Seeded in
+      match prop.Prop.p_eval ctx with
+      | Prop.Violated _ -> Some (sp, ctx)
+      | Prop.Holds -> go (seed + 1)
+  in
+  go 0
+
+(* The full acceptance loop for one fault class: hunt a violating
+   seed, shrink its schedule, re-fail it from the shrunk script, and
+   re-fail it once more from the printed replay command's spec/script
+   strings alone — the one-liner is self-contained. *)
+let catch_and_shrink name sp prop_name =
+  let prop = find_prop prop_name in
+  match hunt sp prop with
+  | None -> Alcotest.failf "%s: no violating seed under 300" name
+  | Some (sp, ctx) ->
+      let shrunk = Shrink.minimize sp prop ctx.Sim.x_script in
+      check_bool (name ^ ": shrunk schedule still fails") true
+        (Shrink.still_fails sp prop shrunk);
+      check_bool
+        (Printf.sprintf "%s: shrunk to <= 10 actions (got %d)" name
+           (List.length shrunk))
+        true
+        (List.length shrunk <= 10);
+      let cmd = Shrink.replay_command sp prop shrunk in
+      Printf.printf "%s: %s\n" name cmd;
+      check_bool (name ^ ": printed as a replay command") true
+        (contains cmd "protego-sim replay");
+      check_bool (name ^ ": command names the property") true
+        (contains cmd prop_name);
+      let sp' =
+        match Sim.spec_of_string (Sim.spec_to_string sp) with
+        | Ok s -> s
+        | Error e -> Alcotest.fail e
+      in
+      let script' =
+        match Sim.script_of_string (Sim.script_to_string shrunk) with
+        | Ok s -> s
+        | Error e -> Alcotest.fail e
+      in
+      (match (find_prop prop_name).Prop.p_eval
+               (Sim.run sp' (Sim.Scripted script'))
+       with
+       | Prop.Violated _ -> ()
+       | Prop.Holds ->
+           Alcotest.failf "%s: round-tripped replay no longer fails" name)
+
+let test_catch_stale () =
+  catch_and_shrink "stale"
+    { Sim.default with Sim.sp_faults = [ (Sim.F_stale, 1) ] }
+    "epoch-monotone"
+
+let test_catch_drop () =
+  catch_and_shrink "drop"
+    { Sim.default with Sim.sp_faults = [ (Sim.F_drop, 1) ] }
+    "reload-acked"
+
+let test_catch_delay () =
+  catch_and_shrink "delay"
+    { Sim.default with Sim.sp_faults = [ (Sim.F_delay, 1) ] }
+    "no-decide-under-pending-mutate"
+
+let test_catch_crash () =
+  catch_and_shrink "crash"
+    { Sim.default with Sim.sp_faults = [ (Sim.F_crash, 1) ] }
+    "all-journaled"
+
+let test_catch_dup () =
+  catch_and_shrink "dup"
+    { Sim.default with Sim.sp_faults = [ (Sim.F_dup, 1) ] }
+    "journal-faithful"
+
+let test_catch_wrap () =
+  catch_and_shrink "wrap"
+    { Sim.default with Sim.sp_segments = 4;
+      sp_faults = [ (Sim.F_wrap, 1) ] }
+    "no-overrun"
+
+let test_catch_opt_stale () =
+  (* The recompile-install race is deterministic, not hunted: the
+     golden O1/E2/O3 plan edits the chain under an installed rewrite,
+     a probe then recompiles the slot away from the install, and the
+     next optimize samples the demotion — the explicit-selection-only
+     staleness property fails on the scripted schedule. *)
+  let sp = { Sim.default with Sim.sp_lane = Sim.Lane_opt; sp_golden = true } in
+  let prop = find_prop "opt-never-stale" in
+  let script = [ Sim.Opt; Sim.Opt; Sim.Probe; Sim.Opt ] in
+  check_bool "opt: O1/E2/probe/O3 trips the staleness property" true
+    (Shrink.still_fails sp prop script);
+  let shrunk = Shrink.minimize sp prop script in
+  check_bool "opt: shrunk schedule still fails" true
+    (Shrink.still_fails sp prop shrunk);
+  check_bool "opt: shrunk to <= 10 actions" true (List.length shrunk <= 10);
+  let cmd = Shrink.replay_command sp prop shrunk in
+  Printf.printf "opt: %s\n" cmd;
+  check_bool "opt: printed as a replay command" true
+    (contains cmd "protego-sim replay")
+
+(* --- sim:golden — the pinned legacy interleavings ------------------------ *)
+
+let unique_names scripts =
+  let names = List.map fst scripts in
+  List.length (List.sort_uniq compare names) = List.length names
+
+let test_golden_pinned () =
+  check_int "20 plane interleavings" 20 (List.length Sim.golden_plane_scripts);
+  check_int "20 opt interleavings" 20 (List.length Sim.golden_opt_scripts);
+  check_bool "plane names unique" true (unique_names Sim.golden_plane_scripts);
+  check_bool "opt names unique" true (unique_names Sim.golden_opt_scripts);
+  List.iter
+    (fun (name, script) ->
+      match Sim.script_of_string (Sim.script_to_string script) with
+      | Ok script' ->
+          check_bool ("golden script round-trips: " ^ name) true
+            (script = script')
+      | Error e -> Alcotest.failf "golden %s: %s" name e)
+    (Sim.golden_plane_scripts @ Sim.golden_opt_scripts)
+
+let test_golden_deterministic () =
+  let sp = { Sim.default with Sim.sp_golden = true } in
+  let _, script = List.hd Sim.golden_plane_scripts in
+  let a = Sim.run sp (Sim.Scripted script) in
+  let b = Sim.run sp (Sim.Scripted script) in
+  check_string "golden replay is bit-identical" (Sim.trace_to_string a)
+    (Sim.trace_to_string b);
+  List.iter
+    (fun (p, out) ->
+      check_bool ("golden holds " ^ p.Prop.p_name) true (out = Prop.Holds))
+    (Prop.check a (Prop.applicable sp))
+
+let suites =
+  [ ("sim:replay",
+     [ Alcotest.test_case "seeded run is bit-replayable" `Quick
+         test_seeded_bit_replay;
+       Alcotest.test_case "scripted replay reproduces the seeded run" `Quick
+         test_scripted_replay_matches_seeded;
+       Alcotest.test_case "spec and script codecs round-trip" `Quick
+         test_spec_roundtrip ]);
+    ("sim:sweep",
+     [ Alcotest.test_case "plane steady, 150 seeds" `Quick
+         test_sweep_plane_steady;
+       Alcotest.test_case "plane deny-flood, 50 seeds" `Quick
+         test_sweep_plane_flood;
+       Alcotest.test_case "plane crash+wrap faults, 40 seeds" `Quick
+         test_sweep_plane_faulted;
+       Alcotest.test_case "opt lane, 30 seeds" `Quick test_sweep_opt ]);
+    ("sim:faults",
+     [ Alcotest.test_case "stale read breaks epoch-monotone" `Quick
+         test_catch_stale;
+       Alcotest.test_case "dropped publish breaks reload-acked" `Quick
+         test_catch_drop;
+       Alcotest.test_case "delayed publish breaks mutate atomicity" `Quick
+         test_catch_delay;
+       Alcotest.test_case "crash breaks all-journaled" `Quick test_catch_crash;
+       Alcotest.test_case "duplicate append breaks journal-faithful" `Quick
+         test_catch_dup;
+       Alcotest.test_case "wraparound flood breaks no-overrun" `Quick
+         test_catch_wrap;
+       Alcotest.test_case "recompile race breaks opt-never-stale" `Quick
+         test_catch_opt_stale ]);
+    ("sim:golden",
+     [ Alcotest.test_case "20 + 20 interleavings pinned" `Quick
+         test_golden_pinned;
+       Alcotest.test_case "golden replay deterministic and clean" `Quick
+         test_golden_deterministic ]) ]

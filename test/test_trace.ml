@@ -18,17 +18,8 @@ let check_int = Alcotest.(check int)
 let errno =
   Alcotest.testable (fun ppf e -> Fmt.string ppf (Errno.to_string e)) Errno.equal
 
-let contains haystack needle =
-  let nl = String.length needle in
-  let rec go i =
-    i + nl <= String.length haystack
-    && (String.sub haystack i nl = needle || go (i + 1))
-  in
-  go 0
-
-let starts_with haystack prefix =
-  String.length haystack >= String.length prefix
-  && String.sub haystack 0 (String.length prefix) = prefix
+let contains = Test_support.contains
+let starts_with = Test_support.starts_with
 
 (* --- histogram buckets --------------------------------------------------- *)
 
@@ -335,11 +326,7 @@ let test_latency_proc () =
   (* Install a deterministic clock: +64ns per reading. Each decision
      reads the clock twice (entry, conclusion), so every decision is
      exactly 64ns and lands in bucket 7 (upper 127). *)
-  let ticks = ref 0 in
-  Trace.set_clock (PD.trace disp)
-    (fun () ->
-      ticks := !ticks + 64;
-      !ticks);
+  Trace.set_clock (PD.trace disp) (Test_support.counter_clock ~step:64 ());
   denied_mount ();
   denied_mount ();
   let body = read () in
@@ -407,18 +394,13 @@ let test_tracing_preserves_verdicts () =
   let plain = PD.create () in
   let traced = PD.create () in
   let tr = PD.trace traced in
-  let ticks = ref 0 in
   for i = 1 to 4000 do
     (* Exercise every tracer state transition while decisions flow:
        spans on/off, clock installed, ring resized, histograms reset. *)
     (match i with
     | 1 -> Trace.set_spans tr true
     | 700 -> Trace.set_spans tr false
-    | 1400 ->
-        Trace.set_clock tr
-          (fun () ->
-            incr ticks;
-            !ticks * 17)
+    | 1400 -> Trace.set_clock tr (Test_support.counter_clock ~step:17 ())
     | 2100 -> Trace.set_spans tr true
     | 2500 -> Trace.set_span_capacity tr 3
     | 2800 ->
