@@ -202,7 +202,8 @@ let run_ablation () =
         let rule i =
           { Protego_core.Policy_state.mr_source = Printf.sprintf "/dev/fake%d" i;
             mr_target = Printf.sprintf "/media/fake%d" i;
-            mr_fstype = "ext4"; mr_flags = []; mr_mode = `Users }
+            mr_fstype = "ext4"; mr_flags = []; mr_mode = `Users;
+            mr_phase = Protego_core.Policy_state.Phase.Always }
         in
         st.Protego_core.Policy_state.mounts <-
           List.init n rule
@@ -310,19 +311,19 @@ let run_filter () =
   let filler i =
     { PS.mr_source = Printf.sprintf "/dev/fake%d" i;
       mr_target = Printf.sprintf "/media/fake%d" i; mr_fstype = "ext4";
-      mr_flags = []; mr_mode = `Users }
+      mr_flags = []; mr_mode = `Users; mr_phase = PS.Phase.Always }
   in
   st.PS.mounts <-
     List.init 128 filler
     @ [ { PS.mr_source = "/dev/cdrom"; mr_target = "/media/cdrom";
           mr_fstype = "iso9660"; mr_flags = [ Protego_kernel.Ktypes.Mf_nosuid ];
-          mr_mode = `User } ];
+          mr_mode = `User; mr_phase = PS.Phase.Always } ];
   (* Bind map: 512 entries, the queried port last. *)
   st.PS.binds <-
     List.init 512 (fun i ->
         { Protego_policy.Bindconf.port = 200 + i;
           proto = Protego_policy.Bindconf.Tcp; exe = "/usr/sbin/exim4";
-          owner = 0 });
+          owner = 0; phase = Protego_base.Phase.Always });
   (* Netfilter OUTPUT chain: 128 filler rules ahead of the defaults; the
      benched kernel-stack packet matches nothing and falls to the policy. *)
   let nf = m.Protego_kernel.Ktypes.netfilter in
@@ -443,7 +444,7 @@ let run_cache () =
   let filler i =
     { PS.mr_source = Printf.sprintf "/dev/fake%d" i;
       mr_target = Printf.sprintf "/media/fake%d" i; mr_fstype = "ext4";
-      mr_flags = []; mr_mode = `Users }
+      mr_flags = []; mr_mode = `Users; mr_phase = PS.Phase.Always }
   in
   let decide () =
     ignore
@@ -459,7 +460,7 @@ let run_cache () =
           @ [ { PS.mr_source = "/dev/cdrom"; mr_target = "/media/cdrom";
                 mr_fstype = "iso9660";
                 mr_flags = [ Protego_kernel.Ktypes.Mf_nosuid ];
-                mr_mode = `User } ];
+                mr_mode = `User; mr_phase = PS.Phase.Always } ];
         let cache = PD.cache disp in
         (* Engines alone, cache bypassed. *)
         DC.set_enabled cache false;
@@ -514,7 +515,8 @@ let run_lint () =
         { Compile.fm_source = Printf.sprintf "/dev/disk%d" i;
           fm_target = Printf.sprintf "/media/disk%d" i; fm_fstype = "ext4";
           fm_flags = Protego_kernel.Ktypes.[ Mf_nosuid; Mf_nodev ];
-          fm_user_only = i mod 2 = 0 })
+          fm_user_only = i mod 2 = 0;
+          fm_phase = Protego_filter.Pfm_compile.Phase.Always })
   in
   let binds n =
     List.init n (fun i ->
@@ -522,7 +524,8 @@ let run_lint () =
           proto =
             (if i mod 2 = 0 then Protego_policy.Bindconf.Tcp
              else Protego_policy.Bindconf.Udp);
-          exe = Printf.sprintf "/usr/sbin/daemon%d" i; owner = i mod 1000 })
+          exe = Printf.sprintf "/usr/sbin/daemon%d" i; owner = i mod 1000;
+          phase = Protego_base.Phase.Always })
   in
   let chain n =
     List.init n (fun i ->
@@ -541,7 +544,8 @@ let run_lint () =
               tags = [];
               commands =
                 [ Protego_policy.Sudoers.Command
-                    { path = Printf.sprintf "/usr/bin/tool%d" i; args = None } ] }) }
+                    { path = Printf.sprintf "/usr/bin/tool%d" i; args = None } ];
+              rphase = Protego_base.Phase.Always }) }
   in
   let rows =
     List.map
@@ -817,20 +821,22 @@ let run_json ~out =
       mr_target = Printf.sprintf "/media/fake%d" i;
       mr_fstype = "ext4";
       mr_flags = [];
-      mr_mode = `Users }
+      mr_mode = `Users;
+      mr_phase = PS.Phase.Always }
   in
   st.PS.mounts <-
     List.init 128 filler
     @ [ { PS.mr_source = "/dev/cdrom"; mr_target = "/media/cdrom";
           mr_fstype = "iso9660";
           mr_flags = [ Protego_kernel.Ktypes.Mf_nosuid ];
-          mr_mode = `User } ];
+          mr_mode = `User;
+          mr_phase = PS.Phase.Always } ];
   st.PS.binds <-
     List.init 512 (fun i ->
         { Protego_policy.Bindconf.port = 200 + i;
           proto = Protego_policy.Bindconf.Tcp;
           exe = "/usr/sbin/exim4";
-          owner = 0 });
+          owner = 0; phase = Protego_base.Phase.Always });
   let nf = m.Protego_kernel.Ktypes.netfilter in
   let saved = NF.rules nf NF.Output in
   NF.flush nf NF.Output;

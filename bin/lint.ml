@@ -42,11 +42,17 @@ let fstab_rules path =
   load "fstab" path Fstab.parse
   |> List.filter Fstab.user_mountable
   |> List.map (fun (e : Fstab.entry) ->
+         let phase =
+           match Fstab.phase_guard e with
+           | Ok g -> g
+           | Error msg -> raise (Fail (Printf.sprintf "fstab (%s): %s" path msg))
+         in
          { Compile.fm_source = e.Fstab.fs_spec;
            fm_target = e.Fstab.fs_file;
            fm_fstype = e.Fstab.fs_vfstype;
            fm_flags = Fstab.mount_flags e;
-           fm_user_only = not (List.mem "users" e.Fstab.fs_mntops) })
+           fm_user_only = not (List.mem "users" e.Fstab.fs_mntops);
+           fm_phase = phase })
 
 let whitelist_rules path =
   load "mount whitelist" path Policy_state.parse_mounts
@@ -55,7 +61,8 @@ let whitelist_rules path =
            fm_target = r.Policy_state.mr_target;
            fm_fstype = r.Policy_state.mr_fstype;
            fm_flags = r.Policy_state.mr_flags;
-           fm_user_only = (r.Policy_state.mr_mode = `User) })
+           fm_user_only = (r.Policy_state.mr_mode = `User);
+           fm_phase = r.Policy_state.mr_phase })
 
 let load_accounts path =
   let users, groups = load "accounts" path Policy_state.parse_accounts in

@@ -20,6 +20,7 @@ module Sudoers = Protego_policy.Sudoers
 module Pppopts = Protego_policy.Pppopts
 module Netfilter = Protego_net.Netfilter
 module Ipaddr = Protego_net.Ipaddr
+module Phase = Protego_base.Phase
 
 type severity = Info | Warning | Error
 
@@ -70,6 +71,38 @@ let empty_input =
     chains = [];
   }
 
+(* --- phase guards: PL-PH* ------------------------------------------------
+
+   Phases only ever advance (Setup -> Serving -> Steady, DESIGN.md §11),
+   so a guard is tighten-only exactly when it is downward closed: active
+   from the start of life and, once inactive, inactive forever.  A guard
+   that activates a rule *later* in the lifecycle grants privilege a
+   task did not start with — the loosening the one-way transition
+   machinery exists to rule out — and is an error in every source. *)
+
+let check_guard emit what g =
+  match g with
+  | Phase.Always -> ()
+  | g when Phase.downward_closed g -> ()
+  | g ->
+      emit
+        (Printf.sprintf
+           "%s has phase guard `%s' that activates later in the lifecycle: \
+            guards must be tighten-only (downward closed)"
+           what (Phase.guard_to_string g))
+
+(* [guard_covers outer inner]: is [outer] active in every phase [inner]
+   is?  First-match shadowing claims below are conditioned on coverage —
+   an earlier rule active only during setup does not shadow a later
+   always-active rule. *)
+let guard_covers outer inner =
+  List.for_all
+    (fun p -> (not (Phase.active inner p)) || Phase.active outer p)
+    Phase.all
+
+let guards_overlap a b =
+  List.exists (fun p -> Phase.active a p && Phase.active b p) Phase.all
+
 (* --- mounts: PL-M* ------------------------------------------------------ *)
 
 (* The set of request fstypes a whitelist rule matches: a rule whose
@@ -104,6 +137,9 @@ let lint_mounts rules =
       (* PL-M001: an earlier first-match rule fires on every request this
          one would, so this one never takes effect (its flag requirement
          in particular is silently replaced by the earlier rule's). *)
+      check_guard
+        (fun m -> f "PL-PH001" Error locus "%s" m)
+        (Printf.sprintf "`%s'" text) r.Pfm_compile.fm_phase;
       (try
          for i = 0 to j - 1 do
            let e = arr.(i) in
@@ -111,6 +147,7 @@ let lint_mounts rules =
              e.Pfm_compile.fm_source = r.Pfm_compile.fm_source
              && e.Pfm_compile.fm_target = r.Pfm_compile.fm_target
              && mount_fstype_subsumes e r
+             && guard_covers e.Pfm_compile.fm_phase r.Pfm_compile.fm_phase
            then begin
              f "PL-M001" Warning locus
                "shadowed by rule %d: first match decides, so `%s' never \
@@ -162,14 +199,22 @@ let lint_binds entries =
   Array.iteri
     (fun j (e : Bindconf.entry) ->
       let locus = Printf.sprintf "entry %d" j in
+      check_guard
+        (fun m -> f "PL-PH001" Error locus "%s" m)
+        (Printf.sprintf "entry %d/%s" e.port (Bindconf.proto_to_string e.proto))
+        e.Bindconf.phase;
       (* PL-B001: a port maps to exactly one application instance; the
-         first entry wins and this one never takes effect.  The strict
-         parser refuses such files, so one reaching the kernel would
-         bypass review. *)
+         first entry wins (among entries whose guards can be active
+         together) and this one never takes effect.  The strict parser
+         refuses such files, so one reaching the kernel would bypass
+         review. *)
       (try
          for i = 0 to j - 1 do
            let d = arr.(i) in
-           if d.Bindconf.port = e.port && d.Bindconf.proto = e.proto then begin
+           if
+             d.Bindconf.port = e.port && d.Bindconf.proto = e.proto
+             && guards_overlap d.Bindconf.phase e.Bindconf.phase
+           then begin
              f "PL-B001" Error locus
                "duplicate %d/%s: entry %d (%s uid %d) already claims it, \
                 this entry never takes effect"
@@ -264,6 +309,10 @@ let lint_delegation (t : Sudoers.t) accounts =
         | Sudoers.Group g -> "%" ^ g
         | Sudoers.All_users -> "ALL"
       in
+      check_guard
+        (fun m -> f "PL-PH001" Error (rule_locus i) "%s" m)
+        (Printf.sprintf "rule for %s" who_s)
+        r.Sudoers.rphase;
       let unrestricted = List.mem Sudoers.Any_command r.commands in
       (* PL-S002: passwordless unrestricted delegation from a non-root
          principal is root-equivalence without authentication — the exact
@@ -384,11 +433,16 @@ let lint_ppp (t : Pppopts.t) =
   List.iteri
     (fun i d ->
       match d with
-      | Pppopts.Allow_device dev ->
+      | Pppopts.Allow_device (dev, g) ->
           let locus = Printf.sprintf "directive %d" i in
-          if Hashtbl.mem seen dev then
-            f "PL-P001" Warning locus "duplicate allow-device %s" dev
-          else Hashtbl.replace seen dev ();
+          check_guard
+            (fun m -> f "PL-PH001" Error locus "%s" m)
+            (Printf.sprintf "allow-device %s" dev) g;
+          (match Hashtbl.find_opt seen dev with
+          | Some g' when guards_overlap g g' ->
+              f "PL-P001" Warning locus "duplicate allow-device %s" dev
+          | Some _ -> ()
+          | None -> Hashtbl.replace seen dev g);
           if not (path_under "/dev" dev) then
             f "PL-P002" Warning locus
               "allow-device %s is not under /dev: unprivileged pppd would \
@@ -543,6 +597,42 @@ let lint_program ~source ?(notes = []) ?(entries = 0) (p : Pfm.program) =
     s.Absint.const_branches;
   List.rev !fs
 
+(* Per-phase reachability: for a phased source, compile the residual
+   program each phase sees (guards resolved statically, {!Pfm_compile}'s
+   [?phase]) and flag rules whose guard says they are active in that
+   phase but whose code no input can reach there — shadowed by earlier
+   rules active in the same phase.  The whole-policy PFM-DEAD check
+   cannot see these: in the full program the rule's ladder code is
+   reachable via some other phase. *)
+let lint_phase_residuals ~source ~phased ~compile_at =
+  if not phased then []
+  else
+    List.concat_map
+      (fun ph ->
+        let (p : Pfm.program), notes = compile_at ph in
+        let s = Absint.analyze p in
+        let ranges = Absint.note_ranges ~notes (Array.length p.Pfm.insns) in
+        List.filter_map
+          (fun (lo, hi, text) ->
+            let all_dead = ref (lo <= hi) in
+            for pc = lo to hi do
+              if s.Absint.reachable.(pc) then all_dead := false
+            done;
+            if !all_dead then
+              Some
+                { code = "PFM-PHASE-DEAD"; severity = Warning; source;
+                  locus = Printf.sprintf "phase %s: %s" (Phase.to_string ph) text;
+                  message =
+                    Printf.sprintf
+                      "the rule's guard makes it active in phase %s, but no \
+                       request can reach its code there: earlier rules \
+                       active in the same phase already decide everything \
+                       it could match"
+                      (Phase.to_string ph) }
+            else None)
+          ranges)
+      Phase.all
+
 (* --- driver ------------------------------------------------------------- *)
 
 let lint (inp : input) =
@@ -575,13 +665,44 @@ let lint (inp : input) =
         let p, notes = Pfm_compile.ppp_ioctl_notes t in
         lint_program ~source:"ppp" ~notes ~entries:0 p
   in
+  let mount_phases () =
+    lint_phase_residuals ~source:"mounts"
+      ~phased:
+        (List.exists
+           (fun r -> r.Pfm_compile.fm_phase <> Phase.Always)
+           inp.mounts)
+      ~compile_at:(fun ph -> Pfm_compile.mount_notes ~phase:ph inp.mounts)
+  in
+  let bind_phases () =
+    lint_phase_residuals ~source:"binds"
+      ~phased:
+        (List.exists
+           (fun (e : Bindconf.entry) -> e.phase <> Phase.Always)
+           inp.binds)
+      ~compile_at:(fun ph -> Pfm_compile.bind_notes ~phase:ph inp.binds)
+  in
+  let ppp_phases () =
+    match inp.ppp with
+    | None -> []
+    | Some t ->
+        lint_phase_residuals ~source:"ppp"
+          ~phased:
+            (List.exists
+               (function
+                 | Pppopts.Allow_device (_, g) -> g <> Phase.Always
+                 | _ -> false)
+               t.Pppopts.directives)
+          ~compile_at:(fun ph -> Pfm_compile.ppp_ioctl_notes ~phase:ph t)
+  in
   List.concat
     [
       lint_mounts inp.mounts;
       mount_prog ();
       umount_prog ();
+      mount_phases ();
       lint_binds inp.binds;
       bind_prog ();
+      bind_phases ();
       lint_delegation inp.delegation inp.accounts;
       List.concat_map
         (fun (name, rules, policy) -> lint_chain name rules policy)
@@ -589,6 +710,7 @@ let lint (inp : input) =
       chain_progs ();
       (match inp.ppp with None -> [] | Some t -> lint_ppp t);
       ppp_prog ();
+      ppp_phases ();
       lint_cross inp;
     ]
 

@@ -29,11 +29,21 @@
     - [PL-X001] (warning) port both bind-mapped and netfilter-blocked
     - [PL-X002] (warning) bind-map owner uid matches no account (needs
       accounts)
+    - [PL-PH001] (error) a phase guard that is not downward closed —
+      the rule activates {e later} in the one-way lifecycle, a loosening
+      the tighten-only phase model forbids (any source that accepts
+      guards: mounts, binds, delegation, ppp).  The absence of PL-PH001
+      findings is the tighten-only proof obligation of DESIGN.md §11.
 
     Facts proved on the compiled bytecode by {!Pfm_absint} (definite,
     by its soundness argument):
     - [PFM-DEAD] (warning) a rule's compiled code is (partly)
       unreachable — shadowed at the bytecode level
+    - [PFM-PHASE-DEAD] (warning) a rule's guard makes it active in some
+      phase, but in that phase's residual program its code is
+      unreachable — shadowed by earlier rules active in the same phase
+      (the whole-program PFM-DEAD cannot see this: the code is reachable
+      via another phase)
     - [PFM-NEVER-ALLOW] (warning) the program cannot allow anything
       despite having rules
     - [PFM-ALWAYS-ALLOW] (error) the program allows everything despite

@@ -1,0 +1,121 @@
+(* Per-task lifecycle phase (the SysPart-style temporal dimension).
+
+   A task moves through an ordered, one-way sequence of phases:
+
+     Setup  ->  Serving  ->  Steady
+
+   [Setup] is the program's initialization window (the bind-port-80
+   window of the paper's motivating server example); [Serving] starts
+   when the program begins serving requests (first listen/accept) or
+   performs its privilege drop (setuid); [Steady] is the long-running
+   tail where only the minimal residual privilege should remain.
+
+   Transitions are tighten-only: within one program image the phase
+   index never decreases.  An execve starts a fresh lifecycle (the
+   whole credential set is re-derived for the new image), which is the
+   only point the phase returns to [Setup].
+
+   Policies attach a [guard] to individual rules.  Tighten-only-ness
+   of a whole policy is syntactically checkable: a guard is
+   downward-closed when the set of phases it activates in is a prefix
+   of the lifecycle ({Setup}, {Setup,Serving}, or all three).  A rule
+   with a non-downward-closed guard grants in a late phase something
+   it withheld earlier — that is a loosening and the lint layer
+   rejects it (PL-PH001). *)
+
+type t = Setup | Serving | Steady
+
+let count = 3
+let index = function Setup -> 0 | Serving -> 1 | Steady -> 2
+let of_index = function
+  | 0 -> Setup
+  | 1 -> Serving
+  | 2 -> Steady
+  | n -> invalid_arg (Printf.sprintf "Phase.of_index %d" n)
+
+let initial = Setup
+let final = Steady
+let compare a b = Int.compare (index a) (index b)
+let equal a b = index a = index b
+
+let to_string = function
+  | Setup -> "setup"
+  | Serving -> "serving"
+  | Steady -> "steady"
+
+let of_string = function
+  | "setup" -> Some Setup
+  | "serving" -> Some Serving
+  | "steady" -> Some Steady
+  | _ -> None
+
+(* The next phase in the lifecycle; saturates at [final]. *)
+let succ = function Setup -> Serving | Serving -> Steady | Steady -> Steady
+
+(* [advance cur candidate] is the tighten-only join: the phase moves
+   forward to [candidate] or stays put, never back. *)
+let advance cur candidate = if compare candidate cur > 0 then candidate else cur
+
+(* --- rule guards ----------------------------------------------------- *)
+
+(* A guard restricts the phases in which a rule is active.  [Always] is
+   the unguarded (time-invariant) rule; the three comparison forms
+   mirror the concrete syntax "phase<=serving" / "phase=setup" /
+   "phase>=serving". *)
+type guard = Always | Upto of t | Exactly of t | From of t
+
+let active g p =
+  match g with
+  | Always -> true
+  | Upto q -> index p <= index q
+  | Exactly q -> index p = index q
+  | From q -> index p >= index q
+
+(* Downward-closed guards activate in a prefix of the lifecycle: the
+   rule can only ever *lose* applicability as the phase advances, so it
+   is tighten-only by construction. *)
+let downward_closed = function
+  | Always -> true
+  | Upto _ -> true
+  | Exactly p -> index p = 0
+  | From p -> index p = 0
+
+let guard_to_string = function
+  | Always -> "phase<=steady"
+  | Upto p -> "phase<=" ^ to_string p
+  | Exactly p -> "phase=" ^ to_string p
+  | From p -> "phase>=" ^ to_string p
+
+(* Parses a guard token.  Returns [None] when the token is not a phase
+   guard at all (so callers can fall through to other grammar), and
+   [Some (Error _)] when it is one but malformed. *)
+let parse_guard tok =
+  let prefix = "phase" in
+  let plen = String.length prefix in
+  if String.length tok <= plen || not (String.sub tok 0 plen = prefix) then None
+  else
+    let rest = String.sub tok plen (String.length tok - plen) in
+    let op, name =
+      if String.length rest >= 2 && String.sub rest 0 2 = "<=" then
+        (`Upto, String.sub rest 2 (String.length rest - 2))
+      else if String.length rest >= 2 && String.sub rest 0 2 = ">=" then
+        (`From, String.sub rest 2 (String.length rest - 2))
+      else if rest.[0] = '=' then
+        (`Exactly, String.sub rest 1 (String.length rest - 1))
+      else (`Bad, rest)
+    in
+    match op with
+    | `Bad -> Some (Error (Printf.sprintf "malformed phase guard %S" tok))
+    | _ -> (
+        match of_string name with
+        | None -> Some (Error (Printf.sprintf "unknown phase %S" name))
+        | Some p ->
+            Some
+              (Ok
+                 (match op with
+                 | `Upto -> Upto p
+                 | `From -> From p
+                 | `Exactly -> Exactly p
+                 | `Bad -> assert false)))
+
+let all = [ Setup; Serving; Steady ]

@@ -1,0 +1,29 @@
+(** Per-task lifecycle phase: the one-way temporal dimension of a
+    policy (Setup -> Serving -> Steady), plus the per-rule guards the
+    declarative policy sources attach.  See DESIGN.md §11. *)
+
+type t = Setup | Serving | Steady
+
+val count : int
+val index : t -> int
+val of_index : int -> t
+val initial : t
+val final : t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val to_string : t -> string
+val of_string : string -> t option
+val succ : t -> t
+val advance : t -> t -> t
+val all : t list
+
+(** Rule guards: the set of phases a rule is active in. *)
+type guard = Always | Upto of t | Exactly of t | From of t
+
+val active : guard -> t -> bool
+val downward_closed : guard -> bool
+val guard_to_string : guard -> string
+
+val parse_guard : string -> (guard, string) result option
+(** [parse_guard tok] is [None] when [tok] is not a phase guard,
+    [Some (Error _)] when it is one but malformed. *)

@@ -3,6 +3,7 @@ module Netfilter = Protego_net.Netfilter
 module Packet = Protego_net.Packet
 module Ipaddr = Protego_net.Ipaddr
 module Ppp = Protego_net.Ppp
+module Phase = Protego_base.Phase
 module Bindconf = Protego_policy.Bindconf
 module Pppopts = Protego_policy.Pppopts
 module Asm = Pfm.Asm
@@ -13,6 +14,7 @@ type mount_rule = {
   fm_fstype : string;
   fm_flags : Ktypes.mount_flag list;
   fm_user_only : bool;
+  fm_phase : Phase.guard;
 }
 
 let checked p =
@@ -52,6 +54,54 @@ let group_by key items =
     items;
   List.rev_map (fun k -> (k, List.rev !(Hashtbl.find tbl k))) !order
 
+(* --- phase dispatch ------------------------------------------------------
+
+   Every task-scoped hook context leads with the task's lifecycle phase
+   in ints.(0) (DESIGN.md §11).  When no rule of a policy carries a
+   guard, the compilers skip the field entirely and emit exactly the
+   time-invariant program they always did.  When at least one rule is
+   guarded, the production compiler prefixes a leading iswitch on the
+   phase index whose cases hold per-phase specializations of the rule
+   ladder (out-of-range phases deny); the linear compiler instead
+   clamps the phase once and re-checks each rule's guard inline, giving
+   the equivalence prover a structurally different second derivation
+   of the same per-phase semantics. *)
+
+let i_phase = 0
+
+let guard_cond = function
+  | Phase.Upto q -> Pfm.Le (Phase.index q)
+  | Phase.Exactly q -> Pfm.Eq (Phase.index q)
+  | Phase.From q -> Pfm.Ge (Phase.index q)
+  | Phase.Always -> invalid_arg "Pfm_compile.guard_cond: Always"
+
+(* Production side: leading iswitch over the phase indices.  Each case
+   gets a ladder over the rules active in that phase; a phase with no
+   active rule (and any out-of-range phase value) denies. *)
+let emit_phase_dispatch a ~l_deny ~emit_for_phase =
+  Asm.ld_int a i_phase;
+  let cases = List.map (fun p -> (Phase.index p, Asm.fresh_label a)) Phase.all in
+  Asm.iswitch a cases ~default:l_deny;
+  List.iter
+    (fun (idx, lbl) ->
+      Asm.place a lbl;
+      emit_for_phase (Phase.of_index idx))
+    cases
+
+(* Linear side: one up-front clamp of the phase field (so out-of-range
+   phases deny exactly as the production iswitch default does), then a
+   per-rule inline guard check. *)
+let emit_phase_clamp a ~l_deny =
+  Asm.ld_int a i_phase;
+  check a (Pfm.In_range (0, Phase.count - 1)) ~jf:l_deny
+
+let emit_guard_check a g ~jf =
+  match g with
+  | Phase.Always -> ()
+  | g ->
+      Asm.ld_int a i_phase;
+      check a (guard_cond g) ~jf
+
 (* --- mount ------------------------------------------------------------- *)
 
 let flag_bit = function
@@ -65,182 +115,251 @@ let flags_mask flags = List.fold_left (fun m f -> m lor flag_bit f) 0 flags
 let s_source = 0
 let s_target = 1
 let s_fstype = 2
-let i_flags = 0
+let i_flags = 1
 
 let mount_rule_text r =
-  Printf.sprintf "allow %s %s %s" r.fm_source r.fm_target r.fm_fstype
+  Printf.sprintf "allow %s %s %s%s" r.fm_source r.fm_target r.fm_fstype
+    (match r.fm_phase with
+    | Phase.Always -> ""
+    | g -> " " ^ Phase.guard_to_string g)
 
-let mount_notes rules =
+let mount_phased rules =
+  List.exists (fun r -> r.fm_phase <> Phase.Always) rules
+
+(* [?phase] compiles the policy as one phase sees it: guards are
+   resolved statically (inactive rules dropped) and no phase dispatch
+   is emitted — the per-phase residual program the lint layer feeds to
+   the abstract interpreter. *)
+let mount_notes ?phase rules =
+  let rules =
+    match phase with
+    | None -> rules
+    | Some p -> List.filter (fun r -> Phase.active r.fm_phase p) rules
+  in
+  let phased = phase = None && mount_phased rules in
   if rules = [] then (trivial "mount" Pfm.Deny, [])
   else begin
     let a = Asm.create () in
     let l_allow = Asm.fresh_label a and l_deny = Asm.fresh_label a in
-    (* Keep the original rule index for provenance notes. *)
-    let indexed = List.mapi (fun i r -> (i, r)) rules in
-    let groups =
-      List.map
-        (fun (src, rs) -> (src, Asm.fresh_label a, rs))
-        (group_by (fun (_, r) -> r.fm_source) indexed)
+    let emit_ladder rules =
+      (* Keep the original rule index for provenance notes. *)
+      let groups =
+        List.map
+          (fun (src, rs) -> (src, Asm.fresh_label a, rs))
+          (group_by (fun (_, r) -> r.fm_source) rules)
+      in
+      Asm.ld_str a s_source;
+      Asm.sswitch a
+        (List.map (fun (src, lbl, _) -> (src, lbl)) groups)
+        ~default:l_deny;
+      List.iter
+        (fun (_, lbl, rs) ->
+          Asm.place a lbl;
+          let n = List.length rs in
+          List.iteri
+            (fun i (idx, r) ->
+              Asm.note a (Printf.sprintf "rule %d: %s" idx (mount_rule_text r));
+              let l_next =
+                if i = n - 1 then l_deny else Asm.fresh_label a
+              in
+              Asm.ld_str a s_target;
+              check a (Pfm.Str_eq r.fm_target) ~jf:l_next;
+              if r.fm_fstype <> "auto" then begin
+                (* The request's fstype must equal the rule's, or be the
+                   "auto" wildcard. *)
+                let l_flags = Asm.fresh_label a in
+                Asm.ld_str a s_fstype;
+                let l_try_auto = Asm.fresh_label a in
+                Asm.jif a (Pfm.Str_eq r.fm_fstype) ~jt:l_flags ~jf:l_try_auto;
+                Asm.place a l_try_auto;
+                Asm.jif a (Pfm.Str_eq "auto") ~jt:l_flags ~jf:l_next;
+                Asm.place a l_flags
+              end;
+              (* First triple match decides: its flag requirement is final
+                 (no fallback to later rules), exactly like the reference.
+                 An empty flag requirement always holds — emit the jump
+                 directly rather than a trivially-true All_bits 0 test, so
+                 compiled programs contain no constant branches. *)
+              let mask = flags_mask r.fm_flags in
+              if mask = 0 then Asm.jmp a l_allow
+              else begin
+                Asm.ld_int a i_flags;
+                Asm.jif a (Pfm.All_bits mask) ~jt:l_allow ~jf:l_deny
+              end;
+              if i < n - 1 then Asm.place a l_next)
+            rs)
+        groups
     in
-    Asm.ld_str a s_source;
-    Asm.sswitch a
-      (List.map (fun (src, lbl, _) -> (src, lbl)) groups)
-      ~default:l_deny;
-    List.iter
-      (fun (_, lbl, rs) ->
-        Asm.place a lbl;
-        let n = List.length rs in
-        List.iteri
-          (fun i (idx, r) ->
-            Asm.note a (Printf.sprintf "rule %d: %s" idx (mount_rule_text r));
-            let l_next =
-              if i = n - 1 then l_deny else Asm.fresh_label a
-            in
-            Asm.ld_str a s_target;
-            check a (Pfm.Str_eq r.fm_target) ~jf:l_next;
-            if r.fm_fstype <> "auto" then begin
-              (* The request's fstype must equal the rule's, or be the
-                 "auto" wildcard. *)
-              let l_flags = Asm.fresh_label a in
-              Asm.ld_str a s_fstype;
-              let l_try_auto = Asm.fresh_label a in
-              Asm.jif a (Pfm.Str_eq r.fm_fstype) ~jt:l_flags ~jf:l_try_auto;
-              Asm.place a l_try_auto;
-              Asm.jif a (Pfm.Str_eq "auto") ~jt:l_flags ~jf:l_next;
-              Asm.place a l_flags
-            end;
-            (* First triple match decides: its flag requirement is final
-               (no fallback to later rules), exactly like the reference.
-               An empty flag requirement always holds — emit the jump
-               directly rather than a trivially-true All_bits 0 test, so
-               compiled programs contain no constant branches. *)
-            let mask = flags_mask r.fm_flags in
-            if mask = 0 then Asm.jmp a l_allow
-            else begin
-              Asm.ld_int a i_flags;
-              Asm.jif a (Pfm.All_bits mask) ~jt:l_allow ~jf:l_deny
-            end;
-            if i < n - 1 then Asm.place a l_next)
-          rs)
-      groups;
+    let indexed = List.mapi (fun i r -> (i, r)) rules in
+    if phased then
+      emit_phase_dispatch a ~l_deny ~emit_for_phase:(fun p ->
+          Asm.note a (Printf.sprintf "phase %s:" (Phase.to_string p));
+          match
+            List.filter (fun (_, r) -> Phase.active r.fm_phase p) indexed
+          with
+          | [] -> Asm.jmp a l_deny
+          | active -> emit_ladder active)
+    else emit_ladder indexed;
     Asm.place a l_allow;
     Asm.ret a Pfm.Allow;
     Asm.place a l_deny;
     Asm.ret a Pfm.Deny;
-    let p = checked (Asm.assemble a ~name:"mount" ~n_int_fields:1 ~n_str_fields:3) in
+    let p = checked (Asm.assemble a ~name:"mount" ~n_int_fields:2 ~n_str_fields:3) in
     (p, Asm.notes a)
   end
 
-let mount rules = fst (mount_notes rules)
+let mount ?phase rules = fst (mount_notes ?phase rules)
 
-let mount_ctx ~source ~target ~fstype ~flags =
-  { Pfm.ints = [| flags_mask flags |]; strs = [| source; target; fstype |] }
+let mount_ctx ~phase ~source ~target ~fstype ~flags =
+  { Pfm.ints = [| phase; flags_mask flags |];
+    strs = [| source; target; fstype |] }
 
 (* --- umount ------------------------------------------------------------ *)
 
 let u_target = 0
-let i_mounted_by = 0
-let i_ruid = 1
+let i_mounted_by = 1
+let i_ruid = 2
 
-let umount_notes rules =
+let umount_notes ?phase rules =
+  let rules =
+    match phase with
+    | None -> rules
+    | Some p -> List.filter (fun r -> Phase.active r.fm_phase p) rules
+  in
+  let phased = phase = None && mount_phased rules in
   if rules = [] then (trivial "umount" Pfm.Deny, [])
   else begin
     let a = Asm.create () in
     let l_allow = Asm.fresh_label a and l_deny = Asm.fresh_label a in
-    (* Only the first rule naming a target is consulted by the reference
-       walk, so one case per distinct target suffices. *)
-    let groups =
-      List.map
-        (fun (target, rs) -> (target, Asm.fresh_label a, List.hd rs))
-        (group_by (fun r -> r.fm_target) rules)
+    let emit_ladder rules =
+      (* Only the first rule naming a target is consulted by the reference
+         walk, so one case per distinct target suffices. *)
+      let groups =
+        List.map
+          (fun (target, rs) -> (target, Asm.fresh_label a, List.hd rs))
+          (group_by (fun r -> r.fm_target) rules)
+      in
+      Asm.ld_str a u_target;
+      Asm.sswitch a
+        (List.map (fun (target, lbl, _) -> (target, lbl)) groups)
+        ~default:l_deny;
+      List.iter
+        (fun (_, lbl, r) ->
+          Asm.place a lbl;
+          Asm.note a (Printf.sprintf "target %s (%s)" r.fm_target
+                        (if r.fm_user_only then "user" else "users"));
+          if r.fm_user_only then begin
+            Asm.ld_int a i_mounted_by;
+            Asm.jif a (Pfm.Eq_field i_ruid) ~jt:l_allow ~jf:l_deny
+          end
+          else Asm.jmp a l_allow)
+        groups
     in
-    Asm.ld_str a u_target;
-    Asm.sswitch a
-      (List.map (fun (target, lbl, _) -> (target, lbl)) groups)
-      ~default:l_deny;
-    List.iter
-      (fun (_, lbl, r) ->
-        Asm.place a lbl;
-        Asm.note a (Printf.sprintf "target %s (%s)" r.fm_target
-                      (if r.fm_user_only then "user" else "users"));
-        if r.fm_user_only then begin
-          Asm.ld_int a i_mounted_by;
-          Asm.jif a (Pfm.Eq_field i_ruid) ~jt:l_allow ~jf:l_deny
-        end
-        else Asm.jmp a l_allow)
-      groups;
+    if phased then
+      emit_phase_dispatch a ~l_deny ~emit_for_phase:(fun p ->
+          Asm.note a (Printf.sprintf "phase %s:" (Phase.to_string p));
+          match List.filter (fun r -> Phase.active r.fm_phase p) rules with
+          | [] -> Asm.jmp a l_deny
+          | active -> emit_ladder active)
+    else emit_ladder rules;
     Asm.place a l_allow;
     Asm.ret a Pfm.Allow;
     Asm.place a l_deny;
     Asm.ret a Pfm.Deny;
-    let p = checked (Asm.assemble a ~name:"umount" ~n_int_fields:2 ~n_str_fields:1) in
+    let p = checked (Asm.assemble a ~name:"umount" ~n_int_fields:3 ~n_str_fields:1) in
     (p, Asm.notes a)
   end
 
-let umount rules = fst (umount_notes rules)
+let umount ?phase rules = fst (umount_notes ?phase rules)
 
-let umount_ctx ~target ~mounted_by ~ruid =
-  { Pfm.ints = [| mounted_by; ruid |]; strs = [| target |] }
+let umount_ctx ~phase ~target ~mounted_by ~ruid =
+  { Pfm.ints = [| phase; mounted_by; ruid |]; strs = [| target |] }
 
 (* --- bind -------------------------------------------------------------- *)
 
 let b_exe = 0
-let i_port = 0
-let i_proto = 1
-let i_uid = 2
+let i_port = 1
+let i_proto = 2
+let i_uid = 3
 
 let bind_proto_code = function Bindconf.Tcp -> 6 | Bindconf.Udp -> 17
 
-let bind_notes entries =
+let bind_phased entries =
+  List.exists (fun (e : Bindconf.entry) -> e.phase <> Phase.Always) entries
+
+let bind_notes ?phase entries =
+  let entries =
+    match phase with
+    | None -> entries
+    | Some p ->
+        List.filter (fun (e : Bindconf.entry) -> Phase.active e.phase p) entries
+  in
+  let phased = phase = None && bind_phased entries in
   if entries = [] then (trivial "bind" Pfm.Deny, [])
   else begin
     let a = Asm.create () in
     let l_allow = Asm.fresh_label a and l_deny = Asm.fresh_label a in
-    let indexed = List.mapi (fun i e -> (i, e)) entries in
-    let groups =
-      List.map
-        (fun (port, es) -> (port, Asm.fresh_label a, es))
-        (group_by (fun ((_, e) : int * Bindconf.entry) -> e.port) indexed)
+    let emit_ladder entries =
+      let groups =
+        List.map
+          (fun (port, es) -> (port, Asm.fresh_label a, es))
+          (group_by (fun ((_, e) : int * Bindconf.entry) -> e.port) entries)
+      in
+      Asm.ld_int a i_port;
+      Asm.iswitch a
+        (List.map (fun (port, lbl, _) -> (port, lbl)) groups)
+        ~default:l_deny;
+      List.iter
+        (fun (_, lbl, es) ->
+          Asm.place a lbl;
+          let n = List.length es in
+          List.iteri
+            (fun i ((idx, e) : int * Bindconf.entry) ->
+              Asm.note a
+                (Printf.sprintf "entry %d: %d %s %s %d" idx e.port
+                   (Bindconf.proto_to_string e.proto) e.exe e.owner);
+              let l_next = if i = n - 1 then l_deny else Asm.fresh_label a in
+              Asm.ld_int a i_proto;
+              check a (Pfm.Eq (bind_proto_code e.proto)) ~jf:l_next;
+              (* Port and protocol matched: this entry decides; a wrong
+                 binary or owner is a denial, not a fallthrough. *)
+              Asm.ld_str a b_exe;
+              check a (Pfm.Str_eq e.exe) ~jf:l_deny;
+              Asm.ld_int a i_uid;
+              Asm.jif a (Pfm.Eq e.owner) ~jt:l_allow ~jf:l_deny;
+              if i < n - 1 then Asm.place a l_next)
+            es)
+        groups
     in
-    Asm.ld_int a i_port;
-    Asm.iswitch a
-      (List.map (fun (port, lbl, _) -> (port, lbl)) groups)
-      ~default:l_deny;
-    List.iter
-      (fun (_, lbl, es) ->
-        Asm.place a lbl;
-        let n = List.length es in
-        List.iteri
-          (fun i ((idx, e) : int * Bindconf.entry) ->
-            Asm.note a
-              (Printf.sprintf "entry %d: %d %s %s %d" idx e.port
-                 (Bindconf.proto_to_string e.proto) e.exe e.owner);
-            let l_next = if i = n - 1 then l_deny else Asm.fresh_label a in
-            Asm.ld_int a i_proto;
-            check a (Pfm.Eq (bind_proto_code e.proto)) ~jf:l_next;
-            (* Port and protocol matched: this entry decides; a wrong
-               binary or owner is a denial, not a fallthrough. *)
-            Asm.ld_str a b_exe;
-            check a (Pfm.Str_eq e.exe) ~jf:l_deny;
-            Asm.ld_int a i_uid;
-            Asm.jif a (Pfm.Eq e.owner) ~jt:l_allow ~jf:l_deny;
-            if i < n - 1 then Asm.place a l_next)
-          es)
-      groups;
+    let indexed = List.mapi (fun i e -> (i, e)) entries in
+    if phased then
+      emit_phase_dispatch a ~l_deny ~emit_for_phase:(fun p ->
+          Asm.note a (Printf.sprintf "phase %s:" (Phase.to_string p));
+          match
+            List.filter
+              (fun ((_, e) : int * Bindconf.entry) -> Phase.active e.phase p)
+              indexed
+          with
+          | [] -> Asm.jmp a l_deny
+          | active -> emit_ladder active)
+    else emit_ladder indexed;
     Asm.place a l_allow;
     Asm.ret a Pfm.Allow;
     Asm.place a l_deny;
     Asm.ret a Pfm.Deny;
-    let p = checked (Asm.assemble a ~name:"bind" ~n_int_fields:3 ~n_str_fields:1) in
+    let p = checked (Asm.assemble a ~name:"bind" ~n_int_fields:4 ~n_str_fields:1) in
     (p, Asm.notes a)
   end
 
-let bind entries = fst (bind_notes entries)
+let bind ?phase entries = fst (bind_notes ?phase entries)
 
-let bind_ctx ~port ~proto ~exe ~uid =
-  { Pfm.ints = [| port; bind_proto_code proto; uid |]; strs = [| exe |] }
+let bind_ctx ~phase ~port ~proto ~exe ~uid =
+  { Pfm.ints = [| phase; port; bind_proto_code proto; uid |]; strs = [| exe |] }
 
 (* --- netfilter --------------------------------------------------------- *)
+
+(* Packets are not tasks: the OUTPUT chain keeps its phase-free context
+   layout — a lifecycle dimension only exists for task-scoped hooks. *)
 
 let f_proto = 0
 let f_src = 1
@@ -370,23 +489,45 @@ let packet_ctx (pkt : Packet.t) ~origin =
 (* --- ppp modem-configuration ioctl ------------------------------------- *)
 
 let p_device = 0
-let i_safe = 0
+let i_safe = 1
 
-let ppp_ioctl_notes (policy : Pppopts.t) =
+let ppp_devices_of (policy : Pppopts.t) =
+  List.filter_map
+    (function Pppopts.Allow_device (d, g) -> Some (d, g) | _ -> None)
+    policy.Pppopts.directives
+
+let ppp_phased devices =
+  List.exists (fun (_, g) -> g <> Phase.Always) devices
+
+let ppp_ioctl_notes ?phase (policy : Pppopts.t) =
   let devices =
-    List.filter_map
-      (function Pppopts.Allow_device d -> Some d | _ -> None)
-      policy.Pppopts.directives
+    let all = ppp_devices_of policy in
+    match phase with
+    | None -> all
+    | Some p -> List.filter (fun (_, g) -> Phase.active g p) all
   in
+  let phased = phase = None && ppp_phased devices in
   if devices = [] then (trivial "ppp_ioctl" Pfm.Deny, [])
   else begin
     let a = Asm.create () in
     let l_safe = Asm.fresh_label a in
     let l_allow = Asm.fresh_label a and l_deny = Asm.fresh_label a in
-    Asm.note a
-      (Printf.sprintf "allow-device %s" (String.concat "," devices));
-    Asm.ld_str a p_device;
-    Asm.sswitch a (List.map (fun d -> (d, l_safe)) devices) ~default:l_deny;
+    let emit_switch devices =
+      Asm.note a
+        (Printf.sprintf "allow-device %s"
+           (String.concat "," (List.map fst devices)));
+      Asm.ld_str a p_device;
+      Asm.sswitch a
+        (List.sort_uniq compare (List.map (fun (d, _) -> (d, l_safe)) devices))
+        ~default:l_deny
+    in
+    if phased then
+      emit_phase_dispatch a ~l_deny ~emit_for_phase:(fun p ->
+          Asm.note a (Printf.sprintf "phase %s:" (Phase.to_string p));
+          match List.filter (fun (_, g) -> Phase.active g p) devices with
+          | [] -> Asm.jmp a l_deny
+          | active -> emit_switch active)
+    else emit_switch devices;
     Asm.place a l_safe;
     Asm.ld_int a i_safe;
     Asm.jif a (Pfm.Eq 1) ~jt:l_allow ~jf:l_deny;
@@ -395,15 +536,15 @@ let ppp_ioctl_notes (policy : Pppopts.t) =
     Asm.place a l_deny;
     Asm.ret a Pfm.Deny;
     let p =
-      checked (Asm.assemble a ~name:"ppp_ioctl" ~n_int_fields:1 ~n_str_fields:1)
+      checked (Asm.assemble a ~name:"ppp_ioctl" ~n_int_fields:2 ~n_str_fields:1)
     in
     (p, Asm.notes a)
   end
 
-let ppp_ioctl policy = fst (ppp_ioctl_notes policy)
+let ppp_ioctl ?phase policy = fst (ppp_ioctl_notes ?phase policy)
 
-let ppp_ctx ~device ~opt =
-  { Pfm.ints = [| (if Ppp.option_is_safe opt then 1 else 0) |];
+let ppp_ctx ~phase ~device ~opt =
+  { Pfm.ints = [| phase; (if Ppp.option_is_safe opt then 1 else 0) |];
     strs = [| device |] }
 
 (* --- reference (linear) compilers --------------------------------------
@@ -414,17 +555,23 @@ let ppp_ctx ~device ~opt =
    equivalence test suites an independently-derived second program per
    source: if the production compiler's dispatch structure ever drifts
    from first-match semantics, Pfm_equiv.prove against these programs
-   produces a replayable counterexample. *)
+   produces a replayable counterexample.  Phase guards are compiled
+   inline (clamp once, then re-check per rule) rather than as a leading
+   switch, so the prover relates two genuinely different derivations of
+   the per-phase semantics. *)
 
 let mount_linear rules =
   if rules = [] then trivial "mount_linear" Pfm.Deny
   else begin
     let a = Asm.create () in
     let l_allow = Asm.fresh_label a and l_deny = Asm.fresh_label a in
+    let phased = mount_phased rules in
+    if phased then emit_phase_clamp a ~l_deny;
     let n = List.length rules in
     List.iteri
       (fun i r ->
         let l_next = if i = n - 1 then l_deny else Asm.fresh_label a in
+        emit_guard_check a r.fm_phase ~jf:l_next;
         Asm.ld_str a s_source;
         check a (Pfm.Str_eq r.fm_source) ~jf:l_next;
         Asm.ld_str a s_target;
@@ -451,7 +598,7 @@ let mount_linear rules =
     Asm.place a l_deny;
     Asm.ret a Pfm.Deny;
     checked
-      (Asm.assemble a ~name:"mount_linear" ~n_int_fields:1 ~n_str_fields:3)
+      (Asm.assemble a ~name:"mount_linear" ~n_int_fields:2 ~n_str_fields:3)
   end
 
 let umount_linear rules =
@@ -459,12 +606,15 @@ let umount_linear rules =
   else begin
     let a = Asm.create () in
     let l_allow = Asm.fresh_label a and l_deny = Asm.fresh_label a in
+    let phased = mount_phased rules in
+    if phased then emit_phase_clamp a ~l_deny;
     let n = List.length rules in
     (* The first rule naming a target decides in the reference walk;
        a straight in-order scan reproduces that without grouping. *)
     List.iteri
       (fun i r ->
         let l_next = if i = n - 1 then l_deny else Asm.fresh_label a in
+        emit_guard_check a r.fm_phase ~jf:l_next;
         Asm.ld_str a u_target;
         check a (Pfm.Str_eq r.fm_target) ~jf:l_next;
         if r.fm_user_only then begin
@@ -479,7 +629,7 @@ let umount_linear rules =
     Asm.place a l_deny;
     Asm.ret a Pfm.Deny;
     checked
-      (Asm.assemble a ~name:"umount_linear" ~n_int_fields:2 ~n_str_fields:1)
+      (Asm.assemble a ~name:"umount_linear" ~n_int_fields:3 ~n_str_fields:1)
   end
 
 let bind_linear entries =
@@ -487,10 +637,13 @@ let bind_linear entries =
   else begin
     let a = Asm.create () in
     let l_allow = Asm.fresh_label a and l_deny = Asm.fresh_label a in
+    let phased = bind_phased entries in
+    if phased then emit_phase_clamp a ~l_deny;
     let n = List.length entries in
     List.iteri
       (fun i (e : Bindconf.entry) ->
         let l_next = if i = n - 1 then l_deny else Asm.fresh_label a in
+        emit_guard_check a e.phase ~jf:l_next;
         Asm.ld_int a i_port;
         check a (Pfm.Eq e.port) ~jf:l_next;
         Asm.ld_int a i_proto;
@@ -507,7 +660,7 @@ let bind_linear entries =
     Asm.ret a Pfm.Allow;
     Asm.place a l_deny;
     Asm.ret a Pfm.Deny;
-    checked (Asm.assemble a ~name:"bind_linear" ~n_int_fields:3 ~n_str_fields:1)
+    checked (Asm.assemble a ~name:"bind_linear" ~n_int_fields:4 ~n_str_fields:1)
   end
 
 let netfilter_linear ~rules ~policy =
@@ -518,20 +671,19 @@ let netfilter_linear ~rules ~policy =
   fst (netfilter_notes ~rules:(List.map rev rules) ~policy)
 
 let ppp_linear (policy : Pppopts.t) =
-  let devices =
-    List.filter_map
-      (function Pppopts.Allow_device d -> Some d | _ -> None)
-      policy.Pppopts.directives
-  in
+  let devices = ppp_devices_of policy in
   if devices = [] then trivial "ppp_linear" Pfm.Deny
   else begin
     let a = Asm.create () in
     let l_safe = Asm.fresh_label a in
     let l_allow = Asm.fresh_label a and l_deny = Asm.fresh_label a in
+    let phased = ppp_phased devices in
+    if phased then emit_phase_clamp a ~l_deny;
     let n = List.length devices in
     List.iteri
-      (fun i d ->
+      (fun i (d, g) ->
         let l_next = if i = n - 1 then l_deny else Asm.fresh_label a in
+        emit_guard_check a g ~jf:l_next;
         Asm.ld_str a p_device;
         check a (Pfm.Str_eq d) ~jf:l_next;
         Asm.jmp a l_safe;
@@ -544,5 +696,5 @@ let ppp_linear (policy : Pppopts.t) =
     Asm.ret a Pfm.Allow;
     Asm.place a l_deny;
     Asm.ret a Pfm.Deny;
-    checked (Asm.assemble a ~name:"ppp_linear" ~n_int_fields:1 ~n_str_fields:1)
+    checked (Asm.assemble a ~name:"ppp_linear" ~n_int_fields:2 ~n_str_fields:1)
   end

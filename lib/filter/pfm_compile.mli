@@ -13,12 +13,27 @@
 
     Field layouts (the contract between [*_ctx] builders and compilers):
 
-    - mount:   strs = [| source; target; fstype |], ints = [| flags mask |]
-    - umount:  strs = [| target |], ints = [| mounting uid; caller ruid |]
-    - bind:    strs = [| exe |], ints = [| port; proto (6/17); caller uid |]
+    - mount:   strs = [| source; target; fstype |],
+               ints = [| phase; flags mask |]
+    - umount:  strs = [| target |], ints = [| phase; mounting uid; ruid |]
+    - bind:    strs = [| exe |],
+               ints = [| phase; port; proto (6/17); caller uid |]
     - packet:  ints = [| proto code; src; dst; src port; dst port;
                          icmp code; syn flag; origin; owner uid |]
-    - ppp:     strs = [| device |], ints = [| option-is-safe flag |]
+    - ppp:     strs = [| device |], ints = [| phase; option-is-safe flag |]
+
+    Every task-scoped hook context leads with the calling task's
+    lifecycle phase index ({!Protego_base.Phase.index}) in [ints.(0)];
+    packets are not tasks, so the netfilter layout has no phase field.
+    When no rule of a policy carries a phase guard the compilers emit no
+    phase instructions at all — unphased policies compile to the same
+    instruction stream as before the lifecycle dimension existed.  When
+    at least one rule is guarded, the production compilers prefix a
+    leading [iswitch] on the phase field whose cases are per-phase
+    specializations of the ladder (out-of-range phase values deny); the
+    linear compilers clamp the phase once and re-check each rule's guard
+    inline, so the prover relates two structurally different derivations
+    of the same per-phase semantics.
 
     Missing integer fields (no port, no icmp type, kernel-origin owner)
     are encoded as [min_int], which no whitelist immediate can equal. *)
@@ -26,6 +41,7 @@
 module Ktypes = Protego_kernel.Ktypes
 module Netfilter = Protego_net.Netfilter
 module Packet = Protego_net.Packet
+module Phase = Protego_base.Phase
 module Bindconf = Protego_policy.Bindconf
 module Pppopts = Protego_policy.Pppopts
 
@@ -39,48 +55,56 @@ type mount_rule = {
   fm_fstype : string;
   fm_flags : Ktypes.mount_flag list;
   fm_user_only : bool;  (** [`User]: only the mounting user may unmount *)
+  fm_phase : Phase.guard;  (** lifecycle window the rule is active in *)
 }
 
 val flags_mask : Ktypes.mount_flag list -> int
 (** ro=1, nosuid=2, nodev=4, noexec=8. *)
 
 val mount_rule_text : mount_rule -> string
-(** ["allow <source> <target> <fstype>"] — the form used in provenance
-    notes and lint findings. *)
+(** ["allow <source> <target> <fstype>[ <guard>]"] — the form used in
+    provenance notes and lint findings. *)
 
-val mount : mount_rule list -> Pfm.program
+val mount : ?phase:Phase.t -> mount_rule list -> Pfm.program
 (** Hash-dispatches on the source device, then checks target, fstype
     (honouring the ["auto"] wildcard on either side) and required flags of
-    the first matching rule. *)
+    the first matching rule.  With [?phase], compiles the residual policy
+    one phase sees — guards resolved statically, no dispatch emitted (the
+    per-phase program the lint layer feeds to the abstract interpreter). *)
 
-val mount_notes : mount_rule list -> Pfm.program * (int * string) list
+val mount_notes :
+  ?phase:Phase.t -> mount_rule list -> Pfm.program * (int * string) list
 (** Like {!mount} but also returns provenance notes: [(pc, rule text)]
     pairs marking where each declarative rule's code begins, for the
     static analyzer to attribute findings on compiled code back to rules.
     Every compiler has a [*_notes] sibling with the same contract. *)
 
 val mount_ctx :
-  source:string -> target:string -> fstype:string ->
+  phase:int -> source:string -> target:string -> fstype:string ->
   flags:Ktypes.mount_flag list -> Pfm.ctx
 
-val umount : mount_rule list -> Pfm.program
+val umount : ?phase:Phase.t -> mount_rule list -> Pfm.program
 (** Hash-dispatches on the mount target; [`Users] rules allow anyone,
     [`User] rules require the caller to be the mounting user. *)
 
-val umount_notes : mount_rule list -> Pfm.program * (int * string) list
+val umount_notes :
+  ?phase:Phase.t -> mount_rule list -> Pfm.program * (int * string) list
 
-val umount_ctx : target:string -> mounted_by:int -> ruid:int -> Pfm.ctx
+val umount_ctx :
+  phase:int -> target:string -> mounted_by:int -> ruid:int -> Pfm.ctx
 
 (** {1 Bind map} *)
 
-val bind : Bindconf.entry list -> Pfm.program
+val bind : ?phase:Phase.t -> Bindconf.entry list -> Pfm.program
 (** Hash-dispatches on the port number; the matching entry's binary and
     owner must both agree or the bind is denied. *)
 
-val bind_notes : Bindconf.entry list -> Pfm.program * (int * string) list
+val bind_notes :
+  ?phase:Phase.t -> Bindconf.entry list -> Pfm.program * (int * string) list
 
 val bind_ctx :
-  port:int -> proto:Bindconf.proto -> exe:string -> uid:int -> Pfm.ctx
+  phase:int -> port:int -> proto:Bindconf.proto -> exe:string -> uid:int ->
+  Pfm.ctx
 
 (** {1 Netfilter chains} *)
 
@@ -101,14 +125,15 @@ val packet_ctx : Packet.t -> origin:Packet.origin -> Pfm.ctx
 
 (** {1 Safe-ioctl (pppd modem options) whitelist} *)
 
-val ppp_ioctl : Pppopts.t -> Pfm.program
+val ppp_ioctl : ?phase:Phase.t -> Pppopts.t -> Pfm.program
 (** Allows a modem-configuration ioctl iff the device is whitelisted by an
-    [allow-device] directive and the requested option is intrinsically
-    safe ({!Protego_net.Ppp.option_is_safe}). *)
+    [allow-device] directive active in the task's phase and the requested
+    option is intrinsically safe ({!Protego_net.Ppp.option_is_safe}). *)
 
-val ppp_ioctl_notes : Pppopts.t -> Pfm.program * (int * string) list
+val ppp_ioctl_notes :
+  ?phase:Phase.t -> Pppopts.t -> Pfm.program * (int * string) list
 
-val ppp_ctx : device:string -> opt:Protego_net.Ppp.option_ -> Pfm.ctx
+val ppp_ctx : phase:int -> device:string -> opt:Protego_net.Ppp.option_ -> Pfm.ctx
 
 (** {1 Reference (linear) compilers}
 

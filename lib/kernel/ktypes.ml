@@ -157,6 +157,10 @@ and pending_setuid = {
 and task_security = {
   mutable pending : pending_setuid option;
   mutable aa_profile : string option;    (* AppArmor confinement label *)
+  mutable phase : Phase.t;
+      (* lifecycle phase (DESIGN.md §11): advances one-way at
+         setuid/seteuid (privilege drop) and first listen; execve starts
+         a fresh lifecycle for the new program image *)
 }
 
 and task = {
@@ -203,6 +207,7 @@ and security_ops = {
   socket_bind :
     machine -> task -> socket -> Protego_net.Ipaddr.t -> int ->
     (unit, Errno.t) result;
+  socket_listen : machine -> task -> socket -> (unit, Errno.t) result;
   socket_sendmsg :
     machine -> task -> socket -> Protego_net.Packet.t -> (unit, Errno.t) result;
   task_fix_setuid :

@@ -25,7 +25,9 @@ let spawn_task m ?(parent = 0) ?tty ~cred ?(cwd = "/") ?(env = []) () =
   m.next_pid <- m.next_pid + 1;
   let task =
     { tpid = pid; tparent = parent; cred; cwd; fds = []; next_fd = 3;
-      exe_path = "init"; tty; sec = { pending = None; aa_profile = None };
+      exe_path = "init"; tty;
+      sec = { pending = None; aa_profile = None;
+              phase = Protego_base.Phase.initial };
       sig_handlers = []; env; exit_code = None; netns = 0; userns = false;
       mntns = None }
   in

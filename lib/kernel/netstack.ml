@@ -82,11 +82,18 @@ let bind_socket m task sock addr port =
           sock.bound <- Some (addr, port);
           Ok ()
 
-let listen_socket _m _task sock =
+let listen_socket m task sock =
   if sock.stype <> Sock_stream then Error Errno.EINVAL
-  else (
-    sock.listening <- true;
-    Ok ())
+  else
+    match m.security.socket_listen m task sock with
+    | Error _ as e -> e
+    | Ok () ->
+        sock.listening <- true;
+        (* First listen is the serving transition (DESIGN.md §11): the
+           program has finished its setup window and started accepting
+           work.  Tighten-only: [advance] never moves the phase back. *)
+        task.sec.phase <- Phase.advance task.sec.phase Phase.Serving;
+        Ok ()
 
 let is_local m addr =
   Ipaddr.equal addr Ipaddr.localhost

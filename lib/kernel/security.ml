@@ -45,6 +45,7 @@ let socket_bind m task sock _addr port =
   then Error Errno.EACCES
   else Ok ()
 
+let socket_listen _m _task _sock = Ok ()
 let socket_sendmsg _m _task _sock _pkt = Ok ()
 
 let task_fix_setuid m task ~target =
@@ -84,6 +85,7 @@ let stock_linux =
     sb_umount;
     socket_create;
     socket_bind;
+    socket_listen;
     socket_sendmsg;
     task_fix_setuid;
     task_fix_setgid;

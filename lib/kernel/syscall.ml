@@ -68,6 +68,7 @@ let setuid m task target =
         Ok ()
     | Ok Setuid_apply ->
         let c = task.cred in
+        let dropped = c.euid <> target in
         if Cred.has_cap c Cap.CAP_SETUID then apply_full_setuid task target
         else if target = c.ruid || target = c.suid then (
           c.euid <- target;
@@ -77,6 +78,11 @@ let setuid m task target =
           (* The LSM authorized a transition DAC would deny: a delegated
              lateral move takes full effect, like a completed sudo. *)
           apply_full_setuid task target;
+        (* An identity change is a lifecycle step (DESIGN.md §11): the
+           bind-then-drop server's setuid advances its phase one-way. *)
+        if dropped then
+          task.sec.phase <- Phase.advance task.sec.phase
+                              (Phase.succ task.sec.phase);
         Ok ()
 
 let setgid m task target =
@@ -100,9 +106,13 @@ let seteuid m task target =
   else
     let c = task.cred in
     if Cred.has_cap c Cap.CAP_SETUID || target = c.ruid || target = c.suid then (
+      let dropped = c.euid <> target in
       c.euid <- target;
       c.fsuid <- target;
       Cred.recompute_caps_for_uid_change c;
+      if dropped then
+        task.sec.phase <- Phase.advance task.sec.phase
+                            (Phase.succ task.sec.phase);
       Ok ())
     else
       match m.security.task_fix_setuid m task ~target with
@@ -796,6 +806,7 @@ let fork m task =
   child.exe_path <- task.exe_path;
   child.sec.pending <- task.sec.pending;
   child.sec.aa_profile <- task.sec.aa_profile;
+  child.sec.phase <- task.sec.phase;
   child.netns <- task.netns;
   child.userns <- task.userns;
   child.mntns <- task.mntns;
@@ -857,6 +868,9 @@ let execve m task path argv env =
     | Some caps when not (nosuid_mount m task abs) ->
         task.cred.caps <- Cap.Set.union task.cred.caps caps
     | Some _ | None -> ());
+    (* A new program image starts a fresh lifecycle: this is the only
+       point the phase returns to [Setup] (DESIGN.md §11). *)
+    task.sec.phase <- Phase.initial;
     (* Close close-on-exec descriptors; refresh environment. *)
     task.fds <- List.filter (fun (_, f) -> not f.cloexec) task.fds;
     if env <> [] then

@@ -5,6 +5,7 @@ module Pfm = Protego_filter.Pfm
 module Compile = Protego_filter.Pfm_compile
 module Bindconf = Protego_policy.Bindconf
 module Errno = Protego_base.Errno
+module Phase = Protego_base.Phase
 module J = Protego_journal.Journal
 
 type request =
@@ -39,6 +40,11 @@ let hook_name = function
   | 3 -> "ppp_ioctl"
   | _ -> invalid_arg "Plane.hook_name"
 
+let subject_of = function
+  | Mount { subject; _ } | Umount { subject; _ } | Bind { subject; _ }
+  | Ppp_ioctl { subject; _ } ->
+      subject
+
 (* Generation-vector source backing each hook, as a snapshot gens index
    ({!PS.source_index} order): mount/umount read the mount whitelist,
    bind the bind map, ppp_ioctl the ppp policy. *)
@@ -48,6 +54,7 @@ type outcome = {
   o_verdict : Pfm.verdict;
   o_errno : Errno.t option;
   o_epoch : int;
+  o_phase : int;
 }
 
 type audit_entry = {
@@ -79,14 +86,15 @@ let capacity_per_sec rr =
 type slot = {
   mutable f_sepoch : int;  (* snapshot epoch; -1: never filled *)
   mutable f_cepoch : int;  (* worker decision-cache epoch *)
+  mutable f_phase : int;   (* subject phase index the verdict was served under *)
   mutable f_req : request option;
   mutable f_verdict : Pfm.verdict;
   mutable f_errno : Errno.t option;
 }
 
 let fresh_slot () =
-  { f_sepoch = -1; f_cepoch = 0; f_req = None; f_verdict = Pfm.Deny;
-    f_errno = None }
+  { f_sepoch = -1; f_cepoch = 0; f_phase = 0; f_req = None;
+    f_verdict = Pfm.Deny; f_errno = None }
 
 (* Everything a worker touches on a decision is domain-private; the only
    shared reads are the snapshot pointer and the live [t.engine]/clock
@@ -136,9 +144,19 @@ let make_worker journal id snap =
     w_completed = Atomic.make 0; w_min_op_ns = infinity; w_sample = 0;
     w_trace = tr; w_keys = keys }
 
+(* Per-subject lifecycle phases.  Subjects are uids; the table is a
+   fixed array of atomics indexed [subject mod phase_slots], so workers
+   read a subject's phase with one [Atomic.get] and a coordinator can
+   advance it mid-run (a reload action) with release semantics — no
+   locks, no resizes.  Slot aliasing between subjects further apart
+   than the table merely conflates their phases (both only ever move
+   forward), never loosens either. *)
+let phase_slots = 1024
+
 type t = {
   st : PS.t;
   pub : Snapshot.pub;
+  phases : int Atomic.t array;   (* Phase.index per subject slot *)
   mutable domains : int;
   mutable workers : worker array;
   mutable engine : [ `Pfm | `Ref ];
@@ -166,7 +184,9 @@ let create ?(domains = 1) ?(journal_seg_bytes = 262144)
   let journal =
     J.create ~seg_bytes:journal_seg_bytes ~segments:journal_segments ()
   in
-  { st; pub; domains = d;
+  { st; pub;
+    phases = Array.init phase_slots (fun _ -> Atomic.make 0);
+    domains = d;
     workers = Array.init d (fun i -> make_worker journal i snap);
     engine = `Pfm; clock = None; runs = 0; audit = `Journal; journal;
     rotations = 0; jseg_bytes = journal_seg_bytes; jsegs = journal_segments;
@@ -222,6 +242,35 @@ let refresh t =
 
 let runs t = t.runs
 
+(* --- per-subject phases ------------------------------------------------- *)
+
+let phase_slot t subject = t.phases.((subject land max_int) mod phase_slots)
+
+let subject_phase t ~subject = Phase.of_index (Atomic.get (phase_slot t subject))
+
+(* Tighten-only: the phase index joins forward or stays put; an
+   attempted loosening is reported, never applied (the LSM maps it to
+   EPERM plus an audit record).  CAS loop because a reload action may
+   race a concurrent advance of the same subject. *)
+let set_subject_phase t ~subject ph =
+  let target = Phase.index ph in
+  let slot = phase_slot t subject in
+  let rec go () =
+    let cur = Atomic.get slot in
+    if target < cur then
+      Error
+        (Printf.sprintf
+           "phase: subject %d is at %s; moving back to %s would loosen"
+           subject
+           (Phase.to_string (Phase.of_index cur))
+           (Phase.to_string ph))
+    else if target = cur || Atomic.compare_and_set slot cur target then Ok ()
+    else go ()
+  in
+  go ()
+
+let reset_phases t = Array.iter (fun a -> Atomic.set a 0) t.phases
+
 (* --- the decision ------------------------------------------------------- *)
 
 let sep = "\x1f"
@@ -237,10 +286,11 @@ let adopt w snap =
     w.w_progs <- Snapshot.clone_progs snap
   end
 
-let refill w hi snap req ~verdict ~errno =
+let refill w hi snap req ~ph ~verdict ~errno =
   let s = w.w_slots.(hi) in
   s.f_sepoch <- snap.Snapshot.epoch;
   s.f_cepoch <- DC.epoch w.w_cache;
+  s.f_phase <- ph;
   s.f_req <- Some req;
   s.f_verdict <- verdict;
   s.f_errno <- errno
@@ -251,74 +301,88 @@ let tally w hi (v : Pfm.verdict) =
   | Pfm.Allow -> w.w_allow.(hi) <- w.w_allow.(hi) + 1
   | Pfm.Deny | Pfm.Reject -> w.w_deny.(hi) <- w.w_deny.(hi) + 1
 
-let slot_valid w hi snap req =
+let slot_valid w hi snap req ~ph =
   let s = w.w_slots.(hi) in
   s.f_sepoch = snap.Snapshot.epoch
   && s.f_cepoch = DC.epoch w.w_cache
+  && s.f_phase = ph
   && (match s.f_req with Some r -> r == req | None -> false)
 
 (* Serve one request on a worker against the currently published
    snapshot: front slot -> memo table -> engine, exactly the sequential
-   dispatcher's ladder, but over domain-private structures. *)
-let decide_with w engine snap req =
+   dispatcher's ladder, but over domain-private structures.  [ph] is
+   the subject's phase index, read once before the ladder: it keys the
+   front slot and the memo args, so a phase transition strands exactly
+   the transitioning subject's cached verdicts, and it selects the
+   per-phase ladder inside the compiled programs (the leading dispatch
+   field of the ctx). *)
+let decide_with w engine snap req ~ph =
   adopt w snap;
   let hi = hook_index req in
-  if slot_valid w hi snap req then begin
+  if slot_valid w hi snap req ~ph then begin
     let s = w.w_slots.(hi) in
     DC.record_hit w.w_cache w.w_ch.(hi);
     tally w hi s.f_verdict;
     { o_verdict = s.f_verdict; o_errno = s.f_errno;
-      o_epoch = snap.Snapshot.epoch }
+      o_epoch = snap.Snapshot.epoch; o_phase = ph }
   end
   else begin
     let gens = w.w_gens.(hi) in
     gens.(0) <- snap.Snapshot.gens.(gens_index.(hi));
+    let phase = Phase.of_index ph in
     let subject, args =
       match req with
       | Mount { subject; source; target; fstype; flags } ->
           ( subject,
             String.concat sep
-              [ source; target; fstype;
+              [ string_of_int ph; source; target; fstype;
                 string_of_int (Compile.flags_mask flags) ] )
       | Umount { subject; target; mounted_by } ->
-          (subject, target ^ sep ^ string_of_int mounted_by)
+          ( subject,
+            string_of_int ph ^ sep ^ target ^ sep ^ string_of_int mounted_by )
       | Bind { subject; port; proto; exe } ->
           ( subject,
-            string_of_int port ^ sep ^ Bindconf.proto_to_string proto ^ sep
-            ^ exe )
+            string_of_int ph ^ sep ^ string_of_int port ^ sep
+            ^ Bindconf.proto_to_string proto ^ sep ^ exe )
       | Ppp_ioctl { subject; device; opt } ->
           ( subject,
-            device ^ sep
+            string_of_int ph ^ sep ^ device ^ sep
             ^ if Protego_net.Ppp.option_is_safe opt then "1" else "0" )
     in
     match DC.find w.w_cache w.w_ch.(hi) ~subject ~args ~gens with
     | Some (v, e) ->
         tally w hi v;
-        refill w hi snap req ~verdict:v ~errno:e;
-        { o_verdict = v; o_errno = e; o_epoch = snap.Snapshot.epoch }
+        refill w hi snap req ~ph ~verdict:v ~errno:e;
+        { o_verdict = v; o_errno = e; o_epoch = snap.Snapshot.epoch;
+          o_phase = ph }
     | None ->
         let v =
           match req, engine with
           | Mount { source; target; fstype; flags; _ }, `Pfm ->
               Pfm.eval w.w_progs.Snapshot.p_mount
-                (Compile.mount_ctx ~source ~target ~fstype ~flags)
+                (Compile.mount_ctx ~phase:ph ~source ~target ~fstype ~flags)
           | Mount { source; target; fstype; flags; _ }, `Ref ->
-              of_bool (Snapshot.ref_mount snap ~source ~target ~fstype ~flags)
+              of_bool
+                (Snapshot.ref_mount ~phase snap ~source ~target ~fstype ~flags)
           | Umount { subject; target; mounted_by }, `Pfm ->
               Pfm.eval w.w_progs.Snapshot.p_umount
-                (Compile.umount_ctx ~target ~mounted_by ~ruid:subject)
+                (Compile.umount_ctx ~phase:ph ~target ~mounted_by
+                   ~ruid:subject)
           | Umount { subject; target; mounted_by }, `Ref ->
               of_bool
-                (Snapshot.ref_umount snap ~target ~mounted_by ~ruid:subject)
+                (Snapshot.ref_umount ~phase snap ~target ~mounted_by
+                   ~ruid:subject)
           | Bind { subject; port; proto; exe }, `Pfm ->
               Pfm.eval w.w_progs.Snapshot.p_bind
-                (Compile.bind_ctx ~port ~proto ~exe ~uid:subject)
+                (Compile.bind_ctx ~phase:ph ~port ~proto ~exe ~uid:subject)
           | Bind { subject; port; proto; exe }, `Ref ->
-              of_bool (Snapshot.ref_bind snap ~port ~proto ~exe ~uid:subject)
+              of_bool
+                (Snapshot.ref_bind ~phase snap ~port ~proto ~exe ~uid:subject)
           | Ppp_ioctl { device; opt; _ }, `Pfm ->
-              Pfm.eval w.w_progs.Snapshot.p_ppp (Compile.ppp_ctx ~device ~opt)
+              Pfm.eval w.w_progs.Snapshot.p_ppp
+                (Compile.ppp_ctx ~phase:ph ~device ~opt)
           | Ppp_ioctl { device; opt; _ }, `Ref ->
-              of_bool (Snapshot.ref_ppp snap ~device ~opt)
+              of_bool (Snapshot.ref_ppp ~phase snap ~device ~opt)
         in
         let e =
           match req with
@@ -328,12 +392,16 @@ let decide_with w engine snap req =
         w.w_evals.(hi) <- w.w_evals.(hi) + 1;
         tally w hi v;
         DC.add w.w_cache w.w_ch.(hi) ~subject ~args ~gens ~verdict:v ~errno:e;
-        refill w hi snap req ~verdict:v ~errno:e;
-        { o_verdict = v; o_errno = e; o_epoch = snap.Snapshot.epoch }
+        refill w hi snap req ~ph ~verdict:v ~errno:e;
+        { o_verdict = v; o_errno = e; o_epoch = snap.Snapshot.epoch;
+          o_phase = ph }
   end
 
+let request_phase t req =
+  Atomic.get (phase_slot t (subject_of req))
+
 let decide_one t w engine req =
-  decide_with w engine (Snapshot.current t.pub) req
+  decide_with w engine (Snapshot.current t.pub) req ~ph:(request_phase t req)
 
 let decide t req =
   ignore (refresh t);
@@ -356,14 +424,25 @@ let make_spool cap =
     sp_allowed = Array.make (max cap 1) 0;
     sp_epoch = Array.make (max cap 1) 0; sp_len = 0 }
 
-let subject_of = function
-  | Mount { subject; _ } | Umount { subject; _ } | Bind { subject; _ }
-  | Ppp_ioctl { subject; _ } ->
-      subject
-
 (* Worker [w] of [d] owns exactly the sequence numbers congruent to
    [w] mod [d]. *)
 let slice_len n d w = if w >= n then 0 else ((n - w - 1) / d) + 1
+
+(* The phase a decision was served under rides inside the journal's
+   existing request strings (a "<digit>US" prefix on one string field
+   per record kind), so the binary record format is unchanged and old
+   journals still decode — {!split_phase} reads absent stamps as phase
+   0.  Replay peels the stamp off before re-evaluating. *)
+let stamp_phase ph s = string_of_int ph ^ sep ^ s
+
+let split_phase s =
+  match String.index_opt s '\x1f' with
+  | Some i -> (
+      match int_of_string_opt (String.sub s 0 i) with
+      | Some ph when ph >= 0 && ph < Phase.count ->
+          (ph, String.sub s (i + 1) (String.length s - i - 1))
+      | _ -> (0, s))
+  | None -> (0, s)
 
 (* Claim-and-encode one decision into the worker's journal term.  The
    ppp option collapses to its safe bit, which is the only thing the
@@ -374,19 +453,22 @@ let journal_append term ~run ~seq req (o : outcome) =
   in
   let errno = match o.o_errno with None -> 0 | Some e -> Errno.to_code e in
   let epoch = o.o_epoch in
+  let ph = o.o_phase in
   match req with
   | Mount { subject; source; target; fstype; flags } ->
-      J.append_mount term ~seq ~run ~epoch ~subject ~verdict ~errno ~source
-        ~target ~fstype ~flags:(Compile.flags_mask flags)
+      J.append_mount term ~seq ~run ~epoch ~subject ~verdict ~errno
+        ~source:(stamp_phase ph source) ~target ~fstype
+        ~flags:(Compile.flags_mask flags)
   | Umount { subject; target; mounted_by } ->
-      J.append_umount term ~seq ~run ~epoch ~subject ~verdict ~errno ~target
-        ~mounted_by
+      J.append_umount term ~seq ~run ~epoch ~subject ~verdict ~errno
+        ~target:(stamp_phase ph target) ~mounted_by
   | Bind { subject; port; proto; exe } ->
       J.append_bind term ~seq ~run ~epoch ~subject ~verdict ~errno ~port
         ~proto:(match proto with Bindconf.Tcp -> 0 | Bindconf.Udp -> 1)
-        ~exe
+        ~exe:(stamp_phase ph exe)
   | Ppp_ioctl { subject; device; opt } ->
-      J.append_ppp term ~seq ~run ~epoch ~subject ~verdict ~errno ~device
+      J.append_ppp term ~seq ~run ~epoch ~subject ~verdict ~errno
+        ~device:(stamp_phase ph device)
         ~safe:(Protego_net.Ppp.option_is_safe opt)
 
 let merge_audit spools n d =
@@ -406,7 +488,8 @@ let merge_audit spools n d =
 
 let batch_len = 1024
 
-let dummy_outcome = { o_verdict = Pfm.Deny; o_errno = None; o_epoch = -1 }
+let dummy_outcome =
+  { o_verdict = Pfm.Deny; o_errno = None; o_epoch = -1; o_phase = 0 }
 
 (* Process this worker's stride of [start, stop) in timed batches.
    [base] is the completed-count already published for earlier segments
@@ -697,6 +780,7 @@ let handle_write t contents =
       else begin
         set_domains t t.domains;
         t.runs <- 0;
+        reset_phases t;
         reset_journal t;
         Ok ()
       end
@@ -719,6 +803,13 @@ let handle_write t contents =
               Error
                 (Printf.sprintf "plane: domains must be 1..%d"
                    (plane_max_domains t)))
+      | [ "phase"; subj; name ] -> (
+          match (int_of_string_opt subj, Phase.of_string name) with
+          | Some subject, Some ph -> set_subject_phase t ~subject ph
+          | _ ->
+              Error
+                (Printf.sprintf
+                   "plane: phase takes a subject and one of setup|serving|steady"))
       | _ -> Error ("plane: unknown command: " ^ other))
 
 let render_journal t =
@@ -759,23 +850,24 @@ let install_proc m t =
 
 (* --- reference oracles -------------------------------------------------- *)
 
-let request_oracle (st : PS.t) = function
+let request_oracle ?phase (st : PS.t) = function
   | Mount { source; target; fstype; flags; _ } ->
-      PS.mount_decision st ~source ~target ~fstype ~flags
+      PS.mount_decision ?phase st ~source ~target ~fstype ~flags
   | Umount { subject; target; mounted_by } ->
-      PS.umount_decision st ~target ~mounted_by ~ruid:subject
+      PS.umount_decision ?phase st ~target ~mounted_by ~ruid:subject
   | Bind { subject; port; proto; exe } ->
-      PS.bind_allowed st ~port ~proto ~exe ~uid:subject
-  | Ppp_ioctl { device; opt; _ } -> PS.ppp_ioctl_decision st ~device ~opt
+      PS.bind_allowed ?phase st ~port ~proto ~exe ~uid:subject
+  | Ppp_ioctl { device; opt; _ } ->
+      PS.ppp_ioctl_decision ?phase st ~device ~opt
 
-let snapshot_oracle snap = function
+let snapshot_oracle ?phase snap = function
   | Mount { source; target; fstype; flags; _ } ->
-      Snapshot.ref_mount snap ~source ~target ~fstype ~flags
+      Snapshot.ref_mount ?phase snap ~source ~target ~fstype ~flags
   | Umount { subject; target; mounted_by } ->
-      Snapshot.ref_umount snap ~target ~mounted_by ~ruid:subject
+      Snapshot.ref_umount ?phase snap ~target ~mounted_by ~ruid:subject
   | Bind { subject; port; proto; exe } ->
-      Snapshot.ref_bind snap ~port ~proto ~exe ~uid:subject
-  | Ppp_ioctl { device; opt; _ } -> Snapshot.ref_ppp snap ~device ~opt
+      Snapshot.ref_bind ?phase snap ~port ~proto ~exe ~uid:subject
+  | Ppp_ioctl { device; opt; _ } -> Snapshot.ref_ppp ?phase snap ~device ~opt
 
 let request_deny_errno = function
   | Bind _ -> Errno.EACCES
@@ -805,7 +897,7 @@ let decide_on t ~worker req = decide_one t (worker_of t worker) t.engine req
 let worker_snapshot t i = (worker_of t i).w_snap
 
 let decide_against t ~worker snap req =
-  decide_with (worker_of t worker) t.engine snap req
+  decide_with (worker_of t worker) t.engine snap req ~ph:(request_phase t req)
 
 let journal_decision t ~worker ~run ~seq req o =
   journal_append (worker_of t worker).w_term ~run ~seq req o

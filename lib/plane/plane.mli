@@ -58,10 +58,17 @@ val hook_count : int
 val hook_index : request -> int
 val hook_name : int -> string
 
+val subject_of : request -> int
+(** The request's subject uid — the identity the per-subject lifecycle
+    phase table is keyed by. *)
+
 type outcome = {
   o_verdict : Pfm.verdict;
   o_errno : Protego_base.Errno.t option;
   o_epoch : int;  (** epoch of the snapshot that served the decision *)
+  o_phase : int;
+      (** {!Protego_base.Phase.index} of the subject's lifecycle phase
+          the decision was served under *)
 }
 
 type audit_entry = {
@@ -173,16 +180,53 @@ val run :
 val runs : t -> int
 (** Completed {!run} invocations since creation/reset. *)
 
+(** {1 Per-subject lifecycle phases}
+
+    The plane's analogue of the LSM's per-task phase
+    (DESIGN.md §11): a fixed table of atomics indexed
+    [subject mod phase_slots], read once per decision.  The phase keys
+    the front slot and the memo-table args and selects the per-phase
+    ladder in the compiled programs, so a transition strands exactly
+    the transitioning subject's cached verdicts — no flush, no epoch
+    bump. *)
+
+val subject_phase : t -> subject:int -> Protego_base.Phase.t
+
+val set_subject_phase :
+  t -> subject:int -> Protego_base.Phase.t -> (unit, string) result
+(** Tighten-only join: the subject's phase advances to the given phase
+    or stays put.  An attempted move {e backward} returns [Error] and
+    changes nothing — the caller (the LSM, the /proc surface) maps it
+    to EPERM plus an audit record.  Safe to call from a reload action
+    while a run is in flight: workers pick the new phase up on their
+    next decision for that subject. *)
+
+val reset_phases : t -> unit
+(** Every subject back to {!Protego_base.Phase.initial} — part of the
+    ["reset"] /proc command, for between-run reuse only. *)
+
+val stamp_phase : int -> string -> string
+(** The journal encoding of a served phase: a ["<index>\x1f"] prefix
+    on one request-string field per record kind (mount source, umount
+    target, bind exe, ppp device) — the binary record format is
+    unchanged. *)
+
+val split_phase : string -> int * string
+(** Peel a {!stamp_phase} prefix off; an unstamped string (an old
+    journal) reads as phase 0 with the string intact. *)
+
 (** {1 Reference oracles}
 
     The list-walking reference semantics over a whole {!request} — the
     per-hook decision procedures bundled behind the request variant, for
     differential tests and the simulator's property checker. *)
 
-val request_oracle : PS.t -> request -> bool
-(** Evaluate the request against the {e live} state. *)
+val request_oracle : ?phase:Protego_base.Phase.t -> PS.t -> request -> bool
+(** Evaluate the request against the {e live} state; [?phase] filters
+    rules to those active in the subject's lifecycle phase. *)
 
-val snapshot_oracle : Snapshot.t -> request -> bool
+val snapshot_oracle :
+  ?phase:Protego_base.Phase.t -> Snapshot.t -> request -> bool
 (** Evaluate the request against a frozen snapshot — what
     [always (verdict = snapshot_at(epoch) oracle verdict)] checks. *)
 
@@ -290,8 +334,10 @@ val render : t -> string
 
 val handle_write : t -> string -> (unit, string) result
 (** ["domains <n>"], ["engine pfm|ref"], ["publish"],
-    ["audit off|spool|journal|both"], ["reset"] (zero counters, drop
-    caches, fresh journal); anything else errors. *)
+    ["audit off|spool|journal|both"],
+    ["phase <subject> setup|serving|steady"] (tighten-only; loosening
+    errors), ["reset"] (zero counters, drop caches, phases back to
+    initial, fresh journal); anything else errors. *)
 
 val render_journal : t -> string
 (** The /proc/protego/journal read image: a

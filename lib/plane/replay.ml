@@ -41,26 +41,36 @@ let errno_name = function
       | Some e -> Errno.to_string e
       | None -> Printf.sprintf "errno:%d" c)
 
+(* Each record kind carries its served phase stamped inside one request
+   string ({!Plane.stamp_phase}); peel it off and re-evaluate under
+   exactly that phase, so a decision journaled across a phase
+   transition replays against the phase that actually served it. *)
 let expected_allow snap (dec : J.decision) =
   match dec.J.d_req with
   | J.Mount { source; target; fstype; flags } ->
-      Snapshot.ref_mount snap ~source ~target ~fstype
-        ~flags:(flags_of_mask flags)
+      let ph, source = Plane.split_phase source in
+      Snapshot.ref_mount ~phase:(Protego_base.Phase.of_index ph) snap ~source
+        ~target ~fstype ~flags:(flags_of_mask flags)
   | J.Umount { target; mounted_by } ->
-      Snapshot.ref_umount snap ~target ~mounted_by ~ruid:dec.J.d_subject
+      let ph, target = Plane.split_phase target in
+      Snapshot.ref_umount ~phase:(Protego_base.Phase.of_index ph) snap ~target
+        ~mounted_by ~ruid:dec.J.d_subject
   | J.Bind { port; proto; exe } ->
+      let ph, exe = Plane.split_phase exe in
       let proto =
         if proto = 1 then Protego_policy.Bindconf.Udp
         else Protego_policy.Bindconf.Tcp
       in
-      Snapshot.ref_bind snap ~port ~proto ~exe ~uid:dec.J.d_subject
+      Snapshot.ref_bind ~phase:(Protego_base.Phase.of_index ph) snap ~port
+        ~proto ~exe ~uid:dec.J.d_subject
   | J.Ppp { device; safe } ->
       (* The ppp decision depends only on (device, option safety); any
          option of the recorded safety class reproduces it. *)
+      let ph, device = Plane.split_phase device in
       let opt =
         if safe then Protego_net.Ppp.Accomp else Protego_net.Ppp.Default_route
       in
-      Snapshot.ref_ppp snap ~device ~opt
+      Snapshot.ref_ppp ~phase:(Protego_base.Phase.of_index ph) snap ~device ~opt
 
 let deny_errno (dec : J.decision) =
   match dec.J.d_req with

@@ -21,7 +21,8 @@ let filter_rule (r : PS.mount_rule) : Compile.mount_rule =
     fm_target = r.PS.mr_target;
     fm_fstype = r.PS.mr_fstype;
     fm_flags = r.PS.mr_flags;
-    fm_user_only = (r.PS.mr_mode = `User) }
+    fm_user_only = (r.PS.mr_mode = `User);
+    fm_phase = r.PS.mr_phase }
 
 (* The policy fields are immutable values (lists, records): aliasing them
    into a fresh record decouples the snapshot from every future mutation
@@ -62,16 +63,17 @@ let clone_progs t =
 
 let gen_for t s = t.gens.(PS.source_index s)
 
-let ref_mount t ~source ~target ~fstype ~flags =
-  PS.mount_decision t.frozen ~source ~target ~fstype ~flags
+let ref_mount ?phase t ~source ~target ~fstype ~flags =
+  PS.mount_decision ?phase t.frozen ~source ~target ~fstype ~flags
 
-let ref_umount t ~target ~mounted_by ~ruid =
-  PS.umount_decision t.frozen ~target ~mounted_by ~ruid
+let ref_umount ?phase t ~target ~mounted_by ~ruid =
+  PS.umount_decision ?phase t.frozen ~target ~mounted_by ~ruid
 
-let ref_bind t ~port ~proto ~exe ~uid =
-  PS.bind_allowed t.frozen ~port ~proto ~exe ~uid
+let ref_bind ?phase t ~port ~proto ~exe ~uid =
+  PS.bind_allowed ?phase t.frozen ~port ~proto ~exe ~uid
 
-let ref_ppp t ~device ~opt = PS.ppp_ioctl_decision t.frozen ~device ~opt
+let ref_ppp ?phase t ~device ~opt =
+  PS.ppp_ioctl_decision ?phase t.frozen ~device ~opt
 
 (* --- publication -------------------------------------------------------- *)
 

@@ -4,10 +4,15 @@
     instance, identified by a (binary path, uid) pair:
 
     {v
-    # port proto binary uid
+    # port proto binary uid [phase-guard]
     25  tcp /usr/sbin/exim4 0
-    80  tcp /usr/sbin/apache2 33
-    v} *)
+    80  tcp /usr/sbin/apache2 33 phase<=setup
+    v}
+
+    The optional trailing guard restricts the entry to a window of the
+    task lifecycle (DESIGN.md §11): [phase<=setup] is the classic
+    bind-then-drop server — the port may be claimed only before the
+    first privilege drop / listen. *)
 
 type proto = Tcp | Udp
 
@@ -16,6 +21,8 @@ type entry = {
   proto : proto;
   exe : string;   (** canonical binary path *)
   owner : int;    (** uid *)
+  phase : Protego_base.Phase.guard;
+      (** lifecycle window the entry is active in *)
 }
 
 val parse : string -> (entry list, string) result
@@ -29,5 +36,11 @@ val parse_lax : string -> (entry list, string) result
     the first one; nothing on the enforcement path accepts lax input. *)
 
 val to_string : entry list -> string
-val lookup : entry list -> port:int -> proto:proto -> entry option
+val lookup :
+  ?phase:Protego_base.Phase.t -> entry list -> port:int -> proto:proto ->
+  entry option
+(** First entry for the port/protocol pair; with [?phase], the entry must
+    also be active in that phase (inactive entries are skipped, exactly as
+    the compiled per-phase ladders do). *)
+
 val proto_to_string : proto -> string

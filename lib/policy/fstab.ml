@@ -69,3 +69,18 @@ let mount_flags e =
   let explicit = List.filter_map flag_of_opt e.fs_mntops in
   let implied = if user_mountable e then [ Mf_nosuid; Mf_nodev ] else [] in
   List.sort_uniq compare (explicit @ implied)
+
+(* The lifecycle window of an entry: a mount option like
+   [phase<=setup] restricts user-mountability to a prefix of the task
+   lifecycle (DESIGN.md §11).  Absent option means always active. *)
+let phase_guard e =
+  let open Protego_base in
+  let rec scan = function
+    | [] -> Ok Phase.Always
+    | opt :: rest -> (
+        match Phase.parse_guard opt with
+        | None -> scan rest
+        | Some (Ok g) -> Ok g
+        | Some (Error msg) -> Error ("fstab: " ^ msg))
+  in
+  scan e.fs_mntops

@@ -31,3 +31,7 @@ val find_for_source : entry list -> string -> entry option
 val mount_flags : entry -> Protego_kernel.Ktypes.mount_flag list
 (** Mount flags implied by the options (ro, nosuid, nodev, noexec).  Note
     Linux semantics: the ["user"] option implies nosuid and nodev. *)
+
+val phase_guard : entry -> (Protego_base.Phase.guard, string) result
+(** The lifecycle window a [phase<=...] mount option restricts the entry
+    to; [Phase.Always] when no phase option is present. *)

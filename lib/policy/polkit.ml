@@ -102,5 +102,6 @@ let to_sudoers_rules rules =
         | Pk_auth_admin -> [ Sudoers.Targetpw ]
       in
       { Sudoers.who; runas = Sudoers.Runas_users [ "root" ]; tags;
-        commands = [ Sudoers.Command { path = r.pk_action; args = None } ] })
+        commands = [ Sudoers.Command { path = r.pk_action; args = None } ];
+        rphase = Protego_base.Phase.Always })
     rules

@@ -1,7 +1,9 @@
+open Protego_base
+
 type directive =
   | Session_option of Protego_net.Ppp.option_
   | Allow_user_routes
-  | Allow_device of string
+  | Allow_device of string * Phase.guard
 
 type t = { directives : directive list }
 
@@ -15,7 +17,13 @@ let parse contents =
         else if trimmed = "allow-user-routes" then go (Allow_user_routes :: acc) rest
         else
           match String.split_on_char ' ' trimmed with
-          | [ "allow-device"; dev ] -> go (Allow_device dev :: acc) rest
+          | [ "allow-device"; dev ] ->
+              go (Allow_device (dev, Phase.Always) :: acc) rest
+          | [ "allow-device"; dev; guard_s ] -> (
+              match Phase.parse_guard guard_s with
+              | Some (Ok g) -> go (Allow_device (dev, g) :: acc) rest
+              | Some (Error e) -> Error ("ppp options: " ^ e)
+              | None -> Error ("ppp options: unknown directive: " ^ trimmed))
           | _ -> (
               match Protego_net.Ppp.option_of_string trimmed with
               | Some opt -> go (Session_option opt :: acc) rest
@@ -26,7 +34,9 @@ let parse contents =
 let directive_to_string = function
   | Session_option o -> Protego_net.Ppp.option_to_string o
   | Allow_user_routes -> "allow-user-routes"
-  | Allow_device d -> "allow-device " ^ d
+  | Allow_device (d, Phase.Always) -> "allow-device " ^ d
+  | Allow_device (d, g) ->
+      "allow-device " ^ d ^ " " ^ Phase.guard_to_string g
 
 let to_string t =
   String.concat "\n" (List.map directive_to_string t.directives) ^ "\n"
@@ -34,8 +44,14 @@ let to_string t =
 let user_routes_allowed t =
   List.exists (function Allow_user_routes -> true | _ -> false) t.directives
 
-let device_allowed t dev =
-  List.exists (function Allow_device d -> d = dev | _ -> false) t.directives
+let device_allowed ?phase t dev =
+  List.exists
+    (function
+      | Allow_device (d, g) ->
+          d = dev
+          && (match phase with None -> true | Some p -> Phase.active g p)
+      | _ -> false)
+    t.directives
 
 let session_options t =
   List.filter_map

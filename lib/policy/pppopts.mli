@@ -17,7 +17,11 @@
 type directive =
   | Session_option of Protego_net.Ppp.option_
   | Allow_user_routes   (** unprivileged users may add non-conflicting routes *)
-  | Allow_device of string  (** serial device unprivileged pppd may configure *)
+  | Allow_device of string * Protego_base.Phase.guard
+      (** serial device unprivileged pppd may configure, optionally
+          restricted to a lifecycle window ([allow-device /dev/ttyS0
+          phase<=setup]: modem configuration only during session
+          setup) *)
 
 type t = {
   directives : directive list;
@@ -27,5 +31,9 @@ val parse : string -> (t, string) result
 val to_string : t -> string
 
 val user_routes_allowed : t -> bool
-val device_allowed : t -> string -> bool
+
+val device_allowed : ?phase:Protego_base.Phase.t -> t -> string -> bool
+(** Without [?phase], ignores guards (is the device listed at all); with
+    it, the directive must also be active in that phase. *)
+
 val session_options : t -> Protego_net.Ppp.option_ list

@@ -12,6 +12,9 @@ type rule = {
   runas : runas;
   tags : tag list;
   commands : command list;
+  rphase : Protego_base.Phase.guard;
+      (* lifecycle window the rule is active in; parsed from an optional
+         "phase<=..." token before the tags (DESIGN.md §11) *)
 }
 
 type t = {
@@ -94,9 +97,26 @@ let parse_rule_line line =
               | None -> (Runas_users [ "root" ], rhs)
             else (Runas_users [ "root" ], rhs)
           in
-          let tags, commands = parse_tags_and_commands rest in
-          if commands = [] then Error ("sudoers: no commands: " ^ line)
-          else Ok { who; runas; tags; commands }
+          (* Optional lifecycle guard before the tags:
+             "alice ALL=(root) phase<=setup NOPASSWD: /bin/foo" *)
+          let guard_res =
+            let rest = String.trim rest in
+            match String.index_opt rest ' ' with
+            | Some sp -> (
+                let tok = String.sub rest 0 sp in
+                match Protego_base.Phase.parse_guard tok with
+                | Some (Ok g) ->
+                    Ok (g, String.sub rest (sp + 1) (String.length rest - sp - 1))
+                | Some (Error e) -> Error ("sudoers: " ^ e)
+                | None -> Ok (Protego_base.Phase.Always, rest))
+            | None -> Ok (Protego_base.Phase.Always, rest)
+          in
+          (match guard_res with
+          | Error _ as e -> e
+          | Ok (rphase, rest) ->
+              let tags, commands = parse_tags_and_commands rest in
+              if commands = [] then Error ("sudoers: no commands: " ^ line)
+              else Ok { who; runas; tags; commands; rphase })
       | _ -> Error ("sudoers: malformed lhs: " ^ line))
 
 let parse contents =
@@ -163,12 +183,17 @@ let command_matches cmd ~command =
       path = cpath
       && match args with None -> true | Some required -> required = cargs)
 
-let check t ~user ~groups ~target ~command =
+let phase_matches rphase = function
+  | None -> true
+  | Some p -> Protego_base.Phase.active rphase p
+
+let check ?phase t ~user ~groups ~target ~command =
   let matching =
     List.filter
       (fun r ->
         principal_matches r.who ~user ~groups
         && runas_matches r.runas ~target
+        && phase_matches r.rphase phase
         && List.exists (fun c -> command_matches c ~command) r.commands)
       t.rules
   in
@@ -181,11 +206,13 @@ let check t ~user ~groups ~target ~command =
         { nopasswd = List.mem Nopasswd last.tags;
           setenv = List.mem Setenv last.tags }
 
-let allowed_binaries t ~user ~groups ~target =
+let allowed_binaries ?phase t ~user ~groups ~target =
   let matching =
     List.filter
       (fun r ->
-        principal_matches r.who ~user ~groups && runas_matches r.runas ~target)
+        principal_matches r.who ~user ~groups
+        && runas_matches r.runas ~target
+        && phase_matches r.rphase phase)
       t.rules
   in
   if matching = [] then `Nothing
@@ -203,11 +230,13 @@ let allowed_binaries t ~user ~groups ~target =
     in
     `Only (List.sort_uniq compare paths)
 
-let aggregate_tags t ~user ~groups ~target =
+let aggregate_tags ?phase t ~user ~groups ~target =
   let matching =
     List.filter
       (fun r ->
-        principal_matches r.who ~user ~groups && runas_matches r.runas ~target)
+        principal_matches r.who ~user ~groups
+        && runas_matches r.runas ~target
+        && phase_matches r.rphase phase)
       t.rules
   in
   if matching = [] then (false, false)
@@ -233,9 +262,12 @@ let command_to_string = function
       | Some l -> path ^ " " ^ String.concat " " l)
 
 let rule_to_line r =
-  Printf.sprintf "%s ALL=(%s) %s%s"
+  Printf.sprintf "%s ALL=(%s) %s%s%s"
     (principal_to_string r.who)
     (runas_to_string r.runas)
+    (match r.rphase with
+    | Protego_base.Phase.Always -> ""
+    | g -> Protego_base.Phase.guard_to_string g ^ " ")
     (String.concat ""
        (List.map
           (function

@@ -33,6 +33,9 @@ type rule = {
   runas : runas;
   tags : tag list;
   commands : command list;
+  rphase : Protego_base.Phase.guard;
+      (** lifecycle window the rule is active in; an optional
+          [phase<=...] token before the tags *)
 }
 
 type t = {
@@ -55,6 +58,7 @@ type decision =
   | Allowed of { nopasswd : bool; setenv : bool }
 
 val check :
+  ?phase:Protego_base.Phase.t ->
   t -> user:string -> groups:string list -> target:string ->
   command:(string * string list) option -> decision
 (** May [user] (with group memberships [groups]) act as [target] to run
@@ -62,12 +66,14 @@ val check :
     [ALL] command rules). *)
 
 val allowed_binaries :
+  ?phase:Protego_base.Phase.t ->
   t -> user:string -> groups:string list -> target:string ->
   [ `Unrestricted | `Only of string list | `Nothing ]
 (** The set of binaries [user] may exec as [target] — the data Protego
     stores in a pending setuid-on-exec. *)
 
 val aggregate_tags :
+  ?phase:Protego_base.Phase.t ->
   t -> user:string -> groups:string list -> target:string -> bool * bool
 (** [(nopasswd, setenv)] — a conservative tag summary over all rules
     matching (user, target): NOPASSWD only if every matching rule carries

@@ -69,8 +69,8 @@ let sb_mount disp st m task ~source ~target ~fstype ~flags =
       let target = Vfs.normalize ~cwd:task.cwd target in
       let obj = source ^ " on " ^ target in
       let allowed =
-        Pfm_dispatch.decide_mount disp ~subject:task.cred.ruid st ~source
-          ~target ~fstype ~flags
+        Pfm_dispatch.decide_mount disp ~subject:task.cred.ruid
+          ~phase:task.sec.phase st ~source ~target ~fstype ~flags
       in
       Audit.emit ~engine:(Pfm_dispatch.decision_engine_name disp)
         ?span:(Pfm_dispatch.last_span disp) m task ~op:"mount" ~obj ~allowed;
@@ -85,8 +85,8 @@ let sb_umount disp st m task ~target =
       | None -> Error Errno.EINVAL
       | Some mnt ->
           let allowed =
-            Pfm_dispatch.decide_umount disp st ~target ~mounted_by:mnt.mnt_by
-              ~ruid:task.cred.ruid
+            Pfm_dispatch.decide_umount disp ~phase:task.sec.phase st ~target
+              ~mounted_by:mnt.mnt_by ~ruid:task.cred.ruid
           in
           Audit.emit ~engine:(Pfm_dispatch.decision_engine_name disp)
             ?span:(Pfm_dispatch.last_span disp) m task ~op:"umount" ~obj:target
@@ -118,8 +118,8 @@ let socket_bind disp st m task sock _addr port =
             (Bindconf.proto_to_string proto) task.exe_path
         in
         let allowed =
-          Pfm_dispatch.decide_bind disp st ~port ~proto ~exe:task.exe_path
-            ~uid:task.cred.euid
+          Pfm_dispatch.decide_bind disp ~phase:task.sec.phase st ~port ~proto
+            ~exe:task.exe_path ~uid:task.cred.euid
         in
         Audit.emit ~engine:(Pfm_dispatch.decision_engine_name disp)
           ?span:(Pfm_dispatch.last_span disp) m task ~op:"bind" ~obj ~allowed;
@@ -349,8 +349,8 @@ let file_ioctl disp st m task req =
           match owned with Some _ -> Ok () | None -> stock_denial)
       | Ioctl_modem_config { ioctl_dev; ppp_opt } ->
           if
-            Pfm_dispatch.decide_ppp_ioctl disp ~subject:task.cred.ruid st
-              ~device:ioctl_dev ~opt:ppp_opt
+            Pfm_dispatch.decide_ppp_ioctl disp ~subject:task.cred.ruid
+              ~phase:task.sec.phase st ~device:ioctl_dev ~opt:ppp_opt
           then Ok ()
           else Error Errno.EPERM
       | Ioctl_dm_table_status _ ->
@@ -522,6 +522,58 @@ let install_proc_files m st disp =
           Ok ()
       | other ->
           log_dmesg m "protego: lint: unknown command: %s" other;
+          Error Errno.EINVAL);
+  add "/proc/protego/phase"
+    ~read:(fun m _t ->
+      (* One line per live task: "pid <pid> phase <name>". *)
+      let b = Buffer.create 128 in
+      List.iter
+        (fun (pid, (task : task)) ->
+          Buffer.add_string b
+            (Printf.sprintf "pid %d phase %s\n" pid
+               (Protego_base.Phase.to_string task.sec.phase)))
+        m.tasks;
+      Ok (Buffer.contents b))
+    ~write:(fun m t contents ->
+      (* "pid <pid> <phase>": advance the task's phase.  The transition
+         machinery is one-way; a write naming an earlier phase is a
+         loosening attempt — refused with EPERM and audited, exactly
+         like a denied hook. *)
+      match String.split_on_char ' ' (String.trim contents) with
+      | [ "pid"; pid_s; phase_s ] -> (
+          match
+            (int_of_string_opt pid_s, Protego_base.Phase.of_string phase_s)
+          with
+          | Some pid, Some ph -> (
+              match Ktypes.find_task m pid with
+              | None -> Error Errno.ESRCH
+              | Some target ->
+                  let cur = target.sec.phase in
+                  if Protego_base.Phase.compare ph cur < 0 then begin
+                    Audit.emit m t ~op:"phase"
+                      ~obj:
+                        (Printf.sprintf "pid %d %s -> %s (loosening refused)"
+                           pid
+                           (Protego_base.Phase.to_string cur)
+                           (Protego_base.Phase.to_string ph))
+                      ~allowed:false;
+                    Error Errno.EPERM
+                  end
+                  else begin
+                    target.sec.phase <- Protego_base.Phase.advance cur ph;
+                    Audit.emit m t ~op:"phase"
+                      ~obj:
+                        (Printf.sprintf "pid %d %s -> %s" pid
+                           (Protego_base.Phase.to_string cur)
+                           (Protego_base.Phase.to_string ph))
+                      ~allowed:true;
+                    Ok ()
+                  end)
+          | _ ->
+              log_dmesg m "protego: phase: expected \"pid <pid> <phase>\"";
+              Error Errno.EINVAL)
+      | _ ->
+          log_dmesg m "protego: phase: expected \"pid <pid> <phase>\"";
           Error Errno.EINVAL);
   add "/proc/protego/filter_stats"
     ~read:(fun _m _t -> Ok (Pfm_dispatch.render disp))

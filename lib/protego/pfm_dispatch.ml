@@ -5,6 +5,7 @@ module Packet = Protego_net.Packet
 module Bindconf = Protego_policy.Bindconf
 module Pppopts = Protego_policy.Pppopts
 module Errno = Protego_base.Errno
+module Phase = Protego_base.Phase
 
 module Policy_lint = Protego_analysis.Policy_lint
 module Pfm_opt = Protego_filter.Pfm_opt
@@ -44,13 +45,14 @@ type 'a slot = {
   mutable s_epoch : int;  (* -1: never filled *)
   mutable s_gen : int;
   mutable s_sub : int;
+  mutable s_ph : int;  (* subject's lifecycle-phase index at fill time *)
   mutable s_x : int;
   mutable s_args : 'a option;
   mutable s_verdict : Pfm.verdict;
 }
 
 let fresh_slot () =
-  { s_epoch = -1; s_gen = 0; s_sub = 0; s_x = 0; s_args = None;
+  { s_epoch = -1; s_gen = 0; s_sub = 0; s_ph = 0; s_x = 0; s_args = None;
     s_verdict = Pfm.Deny }
 
 (* One latency histogram per engine that can serve a hook's decision. *)
@@ -438,11 +440,12 @@ let conclude t ek ~t0 ~stages ~verdict ~errno ~gen =
    (table hit or engine run).  Skipped while the cache is disabled, so a
    bypassed decision can never be replayed after re-enabling without the
    table having seen it. *)
-let refill t (s : _ slot) ~gen ~sub ~x ~args ~verdict =
+let refill t (s : _ slot) ~gen ~sub ~ph ~x ~args ~verdict =
   if Decision_cache.enabled t.dcache then begin
     s.s_epoch <- Decision_cache.epoch t.dcache;
     s.s_gen <- gen;
     s.s_sub <- sub;
+    s.s_ph <- ph;
     s.s_x <- x;
     s.s_args <- Some args;
     s.s_verdict <- verdict
@@ -455,18 +458,27 @@ let filter_rule (r : Policy_state.mount_rule) : Compile.mount_rule =
     fm_target = r.Policy_state.mr_target;
     fm_fstype = r.Policy_state.mr_fstype;
     fm_flags = r.Policy_state.mr_flags;
-    fm_user_only = (r.Policy_state.mr_mode = `User) }
+    fm_user_only = (r.Policy_state.mr_mode = `User);
+    fm_phase = r.Policy_state.mr_phase }
 
-let decide_mount t ?(subject = 0) (st : Policy_state.t) ~source ~target ~fstype
-    ~flags =
+(* Every task-scoped decision is keyed on the caller's lifecycle phase —
+   in the front slot, the table key, and the PFM context alike — so a
+   phase transition makes exactly the transitioning task's stale entries
+   unreachable (they age out) while other tasks keep hitting.  Callers
+   without task context (bench, fuzz) default to [Phase.initial], which
+   is verdict-neutral for unphased policies. *)
+
+let decide_mount t ?(subject = 0) ?(phase = Phase.initial) (st : Policy_state.t)
+    ~source ~target ~fstype ~flags =
   let t0 = if t.traced then Trace.now t.trace else 0 in
   let gens = mount_gens t st in
   let s = t.mount_slot in
+  let ph = Phase.index phase in
   if
     Decision_cache.enabled t.dcache
     && s.s_epoch = Decision_cache.epoch t.dcache
     && s.s_gen = Array.unsafe_get gens 0
-    && s.s_sub = subject
+    && s.s_sub = subject && s.s_ph = ph
     && (match s.s_args with
         | Some (sr, tg, fs, fl) ->
             sr == source && tg == target && fs == fstype && fl == flags
@@ -489,7 +501,8 @@ let decide_mount t ?(subject = 0) (st : Policy_state.t) ~source ~target ~fstype
     let stages = if sp then [ ("slot", Trace.now t.trace - t0) ] else [] in
     let args =
       String.concat sep
-        [ source; target; fstype; string_of_int (Compile.flags_mask flags) ]
+        [ string_of_int ph; source; target; fstype;
+          string_of_int (Compile.flags_mask flags) ]
     in
     let found = Decision_cache.find t.dcache t.ch_mount ~subject ~args ~gens in
     let stages = if sp then ("table", Trace.now t.trace - t0) :: stages else stages in
@@ -503,7 +516,8 @@ let decide_mount t ?(subject = 0) (st : Policy_state.t) ~source ~target ~fstype
             match t.engine with
             | `Ref ->
                 of_bool
-                  (Policy_state.mount_decision st ~source ~target ~fstype ~flags)
+                  (Policy_state.mount_decision ~phase st ~source ~target ~fstype
+                     ~flags)
             | `Pfm ->
                 let p =
                   fetch t.mount_cache t.mount_stats ~same:( == )
@@ -512,7 +526,7 @@ let decide_mount t ?(subject = 0) (st : Policy_state.t) ~source ~target ~fstype
                       Compile.mount (List.map filter_rule rules))
                 in
                 run t.mount_stats p
-                  (Compile.mount_ctx ~source ~target ~fstype ~flags)
+                  (Compile.mount_ctx ~phase:ph ~source ~target ~fstype ~flags)
           in
           t.last_engine <- engine_name t;
           let v = tally t.mount_stats v in
@@ -522,7 +536,7 @@ let decide_mount t ?(subject = 0) (st : Policy_state.t) ~source ~target ~fstype
           (v, e,
            if sp then ("engine", Trace.now t.trace - t0) :: stages else stages)
     in
-    refill t s ~gen:gens.(0) ~sub:subject ~x:0
+    refill t s ~gen:gens.(0) ~sub:subject ~ph ~x:0
       ~args:(source, target, fstype, flags) ~verdict:v;
     if t.traced then
       conclude t t.tk_mount ~t0 ~stages:(List.rev stages) ~verdict:v ~errno
@@ -530,15 +544,17 @@ let decide_mount t ?(subject = 0) (st : Policy_state.t) ~source ~target ~fstype
     v = Pfm.Allow
   end
 
-let decide_umount t (st : Policy_state.t) ~target ~mounted_by ~ruid =
+let decide_umount t ?(phase = Phase.initial) (st : Policy_state.t) ~target
+    ~mounted_by ~ruid =
   let t0 = if t.traced then Trace.now t.trace else 0 in
   let gens = umount_gens t st in
   let s = t.umount_slot in
+  let ph = Phase.index phase in
   if
     Decision_cache.enabled t.dcache
     && s.s_epoch = Decision_cache.epoch t.dcache
     && s.s_gen = Array.unsafe_get gens 0
-    && s.s_sub = ruid && s.s_x = mounted_by
+    && s.s_sub = ruid && s.s_ph = ph && s.s_x = mounted_by
     && (match s.s_args with Some tg -> tg == target | None -> false)
   then begin
     Decision_cache.record_hit t.dcache t.ch_umount;
@@ -556,7 +572,9 @@ let decide_umount t (st : Policy_state.t) ~target ~mounted_by ~ruid =
   else begin
     let sp = t.traced && Trace.spans_enabled t.trace in
     let stages = if sp then [ ("slot", Trace.now t.trace - t0) ] else [] in
-    let args = target ^ sep ^ string_of_int mounted_by in
+    let args =
+      string_of_int ph ^ sep ^ target ^ sep ^ string_of_int mounted_by
+    in
     let found =
       Decision_cache.find t.dcache t.ch_umount ~subject:ruid ~args ~gens
     in
@@ -570,7 +588,9 @@ let decide_umount t (st : Policy_state.t) ~target ~mounted_by ~ruid =
           let v =
             match t.engine with
             | `Ref ->
-                of_bool (Policy_state.umount_decision st ~target ~mounted_by ~ruid)
+                of_bool
+                  (Policy_state.umount_decision ~phase st ~target ~mounted_by
+                     ~ruid)
             | `Pfm ->
                 let p =
                   fetch t.umount_cache t.umount_stats ~same:( == )
@@ -578,7 +598,8 @@ let decide_umount t (st : Policy_state.t) ~target ~mounted_by ~ruid =
                     ~compile:(fun rules ->
                       Compile.umount (List.map filter_rule rules))
                 in
-                run t.umount_stats p (Compile.umount_ctx ~target ~mounted_by ~ruid)
+                run t.umount_stats p
+                  (Compile.umount_ctx ~phase:ph ~target ~mounted_by ~ruid)
           in
           t.last_engine <- engine_name t;
           let v = tally t.umount_stats v in
@@ -588,23 +609,25 @@ let decide_umount t (st : Policy_state.t) ~target ~mounted_by ~ruid =
           (v, e,
            if sp then ("engine", Trace.now t.trace - t0) :: stages else stages)
     in
-    refill t s ~gen:gens.(0) ~sub:ruid ~x:mounted_by ~args:target ~verdict:v;
+    refill t s ~gen:gens.(0) ~sub:ruid ~ph ~x:mounted_by ~args:target ~verdict:v;
     if t.traced then
       conclude t t.tk_umount ~t0 ~stages:(List.rev stages) ~verdict:v ~errno
         ~gen:gens.(0);
     v = Pfm.Allow
   end
 
-let decide_bind t (st : Policy_state.t) ~port ~proto ~exe ~uid =
+let decide_bind t ?(phase = Phase.initial) (st : Policy_state.t) ~port ~proto
+    ~exe ~uid =
   let t0 = if t.traced then Trace.now t.trace else 0 in
   let gens = bind_gens t st in
   let s = t.bind_slot in
+  let ph = Phase.index phase in
   let x = (port * 2) + (match proto with Bindconf.Tcp -> 0 | Bindconf.Udp -> 1) in
   if
     Decision_cache.enabled t.dcache
     && s.s_epoch = Decision_cache.epoch t.dcache
     && s.s_gen = Array.unsafe_get gens 0
-    && s.s_sub = uid && s.s_x = x
+    && s.s_sub = uid && s.s_ph = ph && s.s_x = x
     && (match s.s_args with Some e -> e == exe | None -> false)
   then begin
     Decision_cache.record_hit t.dcache t.ch_bind;
@@ -623,7 +646,8 @@ let decide_bind t (st : Policy_state.t) ~port ~proto ~exe ~uid =
     let sp = t.traced && Trace.spans_enabled t.trace in
     let stages = if sp then [ ("slot", Trace.now t.trace - t0) ] else [] in
     let args =
-      string_of_int port ^ sep ^ Bindconf.proto_to_string proto ^ sep ^ exe
+      string_of_int ph ^ sep ^ string_of_int port ^ sep
+      ^ Bindconf.proto_to_string proto ^ sep ^ exe
     in
     let found = Decision_cache.find t.dcache t.ch_bind ~subject:uid ~args ~gens in
     let stages = if sp then ("table", Trace.now t.trace - t0) :: stages else stages in
@@ -635,13 +659,15 @@ let decide_bind t (st : Policy_state.t) ~port ~proto ~exe ~uid =
       | None ->
           let v =
             match t.engine with
-            | `Ref -> of_bool (Policy_state.bind_allowed st ~port ~proto ~exe ~uid)
+            | `Ref ->
+                of_bool (Policy_state.bind_allowed ~phase st ~port ~proto ~exe ~uid)
             | `Pfm ->
                 let p =
                   fetch t.bind_cache t.bind_stats ~same:( == )
-                    ~key:st.Policy_state.binds ~compile:Compile.bind
+                    ~key:st.Policy_state.binds ~compile:(fun b -> Compile.bind b)
                 in
-                run t.bind_stats p (Compile.bind_ctx ~port ~proto ~exe ~uid)
+                run t.bind_stats p
+                  (Compile.bind_ctx ~phase:ph ~port ~proto ~exe ~uid)
           in
           t.last_engine <- engine_name t;
           let v = tally t.bind_stats v in
@@ -651,22 +677,24 @@ let decide_bind t (st : Policy_state.t) ~port ~proto ~exe ~uid =
           (v, e,
            if sp then ("engine", Trace.now t.trace - t0) :: stages else stages)
     in
-    refill t s ~gen:gens.(0) ~sub:uid ~x ~args:exe ~verdict:v;
+    refill t s ~gen:gens.(0) ~sub:uid ~ph ~x ~args:exe ~verdict:v;
     if t.traced then
       conclude t t.tk_bind ~t0 ~stages:(List.rev stages) ~verdict:v ~errno
         ~gen:gens.(0);
     v = Pfm.Allow
   end
 
-let decide_ppp_ioctl t ?(subject = 0) (st : Policy_state.t) ~device ~opt =
+let decide_ppp_ioctl t ?(subject = 0) ?(phase = Phase.initial)
+    (st : Policy_state.t) ~device ~opt =
   let t0 = if t.traced then Trace.now t.trace else 0 in
   let gens = ppp_gens t st in
   let s = t.ppp_slot in
+  let ph = Phase.index phase in
   if
     Decision_cache.enabled t.dcache
     && s.s_epoch = Decision_cache.epoch t.dcache
     && s.s_gen = Array.unsafe_get gens 0
-    && s.s_sub = subject
+    && s.s_sub = subject && s.s_ph = ph
     && (match s.s_args with
         | Some (dv, op) -> dv == device && op == opt
         | None -> false)
@@ -687,7 +715,8 @@ let decide_ppp_ioctl t ?(subject = 0) (st : Policy_state.t) ~device ~opt =
     let sp = t.traced && Trace.spans_enabled t.trace in
     let stages = if sp then [ ("slot", Trace.now t.trace - t0) ] else [] in
     let args =
-      device ^ sep ^ (if Protego_net.Ppp.option_is_safe opt then "1" else "0")
+      string_of_int ph ^ sep ^ device ^ sep
+      ^ (if Protego_net.Ppp.option_is_safe opt then "1" else "0")
     in
     let found = Decision_cache.find t.dcache t.ch_ppp ~subject ~args ~gens in
     let stages = if sp then ("table", Trace.now t.trace - t0) :: stages else stages in
@@ -699,13 +728,15 @@ let decide_ppp_ioctl t ?(subject = 0) (st : Policy_state.t) ~device ~opt =
       | None ->
           let v =
             match t.engine with
-            | `Ref -> of_bool (Policy_state.ppp_ioctl_decision st ~device ~opt)
+            | `Ref ->
+                of_bool (Policy_state.ppp_ioctl_decision ~phase st ~device ~opt)
             | `Pfm ->
                 let p =
                   fetch t.ppp_cache t.ppp_stats ~same:( == )
-                    ~key:st.Policy_state.ppp ~compile:Compile.ppp_ioctl
+                    ~key:st.Policy_state.ppp
+                    ~compile:(fun pol -> Compile.ppp_ioctl pol)
                 in
-                run t.ppp_stats p (Compile.ppp_ctx ~device ~opt)
+                run t.ppp_stats p (Compile.ppp_ctx ~phase:ph ~device ~opt)
           in
           t.last_engine <- engine_name t;
           let v = tally t.ppp_stats v in
@@ -715,7 +746,7 @@ let decide_ppp_ioctl t ?(subject = 0) (st : Policy_state.t) ~device ~opt =
           (v, e,
            if sp then ("engine", Trace.now t.trace - t0) :: stages else stages)
     in
-    refill t s ~gen:gens.(0) ~sub:subject ~x:0 ~args:(device, opt) ~verdict:v;
+    refill t s ~gen:gens.(0) ~sub:subject ~ph ~x:0 ~args:(device, opt) ~verdict:v;
     if t.traced then
       conclude t t.tk_ppp ~t0 ~stages:(List.rev stages) ~verdict:v ~errno
         ~gen:gens.(0);
@@ -795,7 +826,7 @@ let decide_nf_output t nf pkt ~origin =
             ~errno:None;
           (v, if sp then ("engine", Trace.now t.trace - t0) :: stages else stages)
     in
-    refill t s ~gen:gens.(0) ~sub:0 ~x:0 ~args:(pkt, origin) ~verdict:v;
+    refill t s ~gen:gens.(0) ~sub:0 ~ph:0 ~x:0 ~args:(pkt, origin) ~verdict:v;
     if t.traced then
       conclude t t.tk_nf ~t0 ~stages:(List.rev stages) ~verdict:v ~errno:None
         ~gen:gens.(0);

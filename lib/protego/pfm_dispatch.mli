@@ -117,24 +117,32 @@ val drain_opt_log : t -> string list
 (** {1 Hook decisions} *)
 
 val decide_mount :
-  t -> ?subject:int -> Policy_state.t -> source:string -> target:string ->
+  t -> ?subject:int -> ?phase:Protego_base.Phase.t -> Policy_state.t ->
+  source:string -> target:string ->
   fstype:string -> flags:Protego_kernel.Ktypes.mount_flag list -> bool
 (** [subject] is the caller's credential key (real uid) for the cache key;
     the mount verdict itself is subject-independent, so it defaults to 0
-    for callers without task context (bench, fuzz). *)
+    for callers without task context (bench, fuzz).  [phase] is the
+    caller's lifecycle phase (default {!Protego_base.Phase.initial},
+    verdict-neutral for unphased policies): every task-scoped decision
+    here and below is keyed on it in the front slot and the cache table,
+    so a phase transition strands exactly the transitioning task's stale
+    entries, and it rides into the PFM context / reference oracle so
+    phase-guarded rules see it. *)
 
 val decide_umount :
-  t -> Policy_state.t -> target:string -> mounted_by:int -> ruid:int -> bool
+  t -> ?phase:Protego_base.Phase.t -> Policy_state.t -> target:string ->
+  mounted_by:int -> ruid:int -> bool
 (** [ruid] doubles as the cache subject. *)
 
 val decide_bind :
-  t -> Policy_state.t -> port:int -> proto:Protego_policy.Bindconf.proto ->
-  exe:string -> uid:int -> bool
+  t -> ?phase:Protego_base.Phase.t -> Policy_state.t -> port:int ->
+  proto:Protego_policy.Bindconf.proto -> exe:string -> uid:int -> bool
 (** [uid] doubles as the cache subject. *)
 
 val decide_ppp_ioctl :
-  t -> ?subject:int -> Policy_state.t -> device:string ->
-  opt:Protego_net.Ppp.option_ -> bool
+  t -> ?subject:int -> ?phase:Protego_base.Phase.t -> Policy_state.t ->
+  device:string -> opt:Protego_net.Ppp.option_ -> bool
 (** The cached argument tuple canonicalizes [opt] to the one bit the
     decision reads: whether the option is intrinsically safe. *)
 

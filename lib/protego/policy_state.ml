@@ -1,4 +1,5 @@
 open Protego_kernel
+module Phase = Protego_base.Phase
 
 type mount_rule = {
   mr_source : string;
@@ -6,6 +7,7 @@ type mount_rule = {
   mr_fstype : string;
   mr_flags : Ktypes.mount_flag list;
   mr_mode : [ `User | `Users ];
+  mr_phase : Phase.guard;
 }
 
 type account_user = {
@@ -148,26 +150,37 @@ let parse_mounts contents =
         let trimmed = String.trim line in
         if trimmed = "" || trimmed.[0] = '#' then go acc rest
         else
+          let entry source target fstype flags_s mode_s mr_phase =
+            match (flags_of_string flags_s, mode_s) with
+            | Ok mr_flags, ("user" | "users") ->
+                let mr_mode = if mode_s = "user" then `User else `Users in
+                go
+                  ({ mr_source = source; mr_target = target;
+                     mr_fstype = fstype; mr_flags; mr_mode; mr_phase } :: acc)
+                  rest
+            | Error e, _ -> Error e
+            | Ok _, m -> Error ("mount_whitelist: bad mode: " ^ m)
+          in
           match words trimmed with
-          | [ "allow"; source; target; fstype; flags_s; mode_s ] -> (
-              match (flags_of_string flags_s, mode_s) with
-              | Ok mr_flags, ("user" | "users") ->
-                  let mr_mode = if mode_s = "user" then `User else `Users in
-                  go
-                    ({ mr_source = source; mr_target = target;
-                       mr_fstype = fstype; mr_flags; mr_mode } :: acc)
-                    rest
-              | Error e, _ -> Error e
-              | Ok _, m -> Error ("mount_whitelist: bad mode: " ^ m))
+          | [ "allow"; source; target; fstype; flags_s; mode_s ] ->
+              entry source target fstype flags_s mode_s Phase.Always
+          | [ "allow"; source; target; fstype; flags_s; mode_s; guard_s ] -> (
+              match Phase.parse_guard guard_s with
+              | Some (Ok g) -> entry source target fstype flags_s mode_s g
+              | Some (Error e) -> Error ("mount_whitelist: " ^ e)
+              | None -> Error ("mount_whitelist: malformed line: " ^ trimmed))
           | _ -> Error ("mount_whitelist: malformed line: " ^ trimmed))
   in
   go [] (String.split_on_char '\n' contents)
 
 let mounts_to_string rules =
   let line r =
-    Printf.sprintf "allow %s %s %s %s %s" r.mr_source r.mr_target r.mr_fstype
+    Printf.sprintf "allow %s %s %s %s %s%s" r.mr_source r.mr_target r.mr_fstype
       (flags_to_string r.mr_flags)
       (match r.mr_mode with `User -> "user" | `Users -> "users")
+      (match r.mr_phase with
+      | Phase.Always -> ""
+      | g -> " " ^ Phase.guard_to_string g)
   in
   String.concat "\n" (List.map line rules) ^ "\n"
 
@@ -221,33 +234,39 @@ let accounts_to_string users groups =
 
 (* --- queries ----------------------------------------------------------- *)
 
-let find_mount_rule t ~source ~target ~fstype =
+let rule_active phase r =
+  match phase with None -> true | Some p -> Phase.active r.mr_phase p
+
+let find_mount_rule ?phase t ~source ~target ~fstype =
   List.find_opt
     (fun r ->
-      r.mr_source = source && r.mr_target = target
+      rule_active phase r
+      && r.mr_source = source && r.mr_target = target
       && (r.mr_fstype = fstype || fstype = "auto" || r.mr_fstype = "auto"))
     t.mounts
 
 let flags_satisfy ~requested ~required =
   List.for_all (fun f -> List.mem f requested) required
 
-let mount_decision t ~source ~target ~fstype ~flags =
-  match find_mount_rule t ~source ~target ~fstype with
+let mount_decision ?phase t ~source ~target ~fstype ~flags =
+  match find_mount_rule ?phase t ~source ~target ~fstype with
   | Some rule -> flags_satisfy ~requested:flags ~required:rule.mr_flags
   | None -> false
 
-let umount_decision t ~target ~mounted_by ~ruid =
-  match List.find_opt (fun r -> r.mr_target = target) t.mounts with
+let umount_decision ?phase t ~target ~mounted_by ~ruid =
+  match
+    List.find_opt (fun r -> rule_active phase r && r.mr_target = target) t.mounts
+  with
   | Some { mr_mode = `Users; _ } -> true
   | Some { mr_mode = `User; _ } -> mounted_by = ruid
   | None -> false
 
-let ppp_ioctl_decision t ~device ~opt =
-  Protego_policy.Pppopts.device_allowed t.ppp device
+let ppp_ioctl_decision ?phase t ~device ~opt =
+  Protego_policy.Pppopts.device_allowed ?phase t.ppp device
   && Protego_net.Ppp.option_is_safe opt
 
-let bind_allowed t ~port ~proto ~exe ~uid =
-  match Protego_policy.Bindconf.lookup t.binds ~port ~proto with
+let bind_allowed ?phase t ~port ~proto ~exe ~uid =
+  match Protego_policy.Bindconf.lookup ?phase t.binds ~port ~proto with
   | Some entry -> entry.exe = exe && entry.owner = uid
   | None -> false
 

@@ -28,6 +28,8 @@
 
 open Protego_kernel
 
+module Phase = Protego_base.Phase
+
 type mount_rule = {
   mr_source : string;
   mr_target : string;
@@ -35,6 +37,9 @@ type mount_rule = {
   mr_flags : Ktypes.mount_flag list;
   mr_mode : [ `User | `Users ];
       (** ["user"]: only the mounting user may unmount; ["users"]: anyone. *)
+  mr_phase : Protego_base.Phase.guard;
+      (** lifecycle window the rule is active in, from an optional trailing
+          [phase<=...] token (DESIGN.md §11) *)
 }
 
 type account_user = {
@@ -120,13 +125,20 @@ val accounts_to_string : account_user list -> account_group list -> string
 (** {1 Queries used by the LSM hooks} *)
 
 val find_mount_rule :
+  ?phase:Protego_base.Phase.t ->
   t -> source:string -> target:string -> fstype:string -> mount_rule option
+(** With [?phase], rules whose guard is inactive in that phase are
+    skipped — the same residual walk the compiled per-phase ladders
+    perform.  Without it, guards are ignored.  All the queries and
+    oracles below treat [?phase] identically. *)
 
 val flags_satisfy :
   requested:Ktypes.mount_flag list -> required:Ktypes.mount_flag list -> bool
 (** The caller must request at least every flag the rule demands. *)
 
-val bind_allowed : t -> port:int -> proto:Protego_policy.Bindconf.proto ->
+val bind_allowed :
+  ?phase:Protego_base.Phase.t ->
+  t -> port:int -> proto:Protego_policy.Bindconf.proto ->
   exe:string -> uid:int -> bool
 
 (** {2 Reference decision oracles}
@@ -138,16 +150,20 @@ val bind_allowed : t -> port:int -> proto:Protego_policy.Bindconf.proto ->
     differential fuzz suite checks the compiled verdicts against them. *)
 
 val mount_decision :
+  ?phase:Protego_base.Phase.t ->
   t -> source:string -> target:string -> fstype:string ->
   flags:Ktypes.mount_flag list -> bool
 (** First rule matching (source, target, fstype — ["auto"] wildcards on
     either side) decides; its flag requirement is final. *)
 
-val umount_decision : t -> target:string -> mounted_by:int -> ruid:int -> bool
+val umount_decision :
+  ?phase:Protego_base.Phase.t ->
+  t -> target:string -> mounted_by:int -> ruid:int -> bool
 (** First rule naming [target] decides: [`Users] allows anyone, [`User]
     only the user the mount records as its creator. *)
 
 val ppp_ioctl_decision :
+  ?phase:Protego_base.Phase.t ->
   t -> device:string -> opt:Protego_net.Ppp.option_ -> bool
 (** Device whitelisted by [allow-device] and the option intrinsically safe. *)
 

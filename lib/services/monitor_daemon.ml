@@ -38,7 +38,7 @@ let sync_fstab t =
           let rules =
             entries
             |> List.filter Fstab.user_mountable
-            |> List.map (fun e ->
+            |> List.filter_map (fun e ->
                    let flags = Fstab.mount_flags e in
                    let flags_s =
                      match flags with
@@ -48,8 +48,23 @@ let sync_fstab t =
                    let mode =
                      if List.mem "users" e.Fstab.fs_mntops then "users" else "user"
                    in
-                   Printf.sprintf "allow %s %s %s %s %s" e.Fstab.fs_spec
-                     e.Fstab.fs_file e.Fstab.fs_vfstype flags_s mode)
+                   match Fstab.phase_guard e with
+                   | Error msg ->
+                       (* Shipping the entry without its guard would widen
+                          it; dropping is the tighten-only failure mode. *)
+                       log_dmesg m "monitord: %s: dropping %s" msg
+                         e.Fstab.fs_file;
+                       None
+                   | Ok g ->
+                       let guard_s =
+                         match g with
+                         | Protego_base.Phase.Always -> ""
+                         | g -> " " ^ Protego_base.Phase.guard_to_string g
+                       in
+                       Some
+                         (Printf.sprintf "allow %s %s %s %s %s%s"
+                            e.Fstab.fs_spec e.Fstab.fs_file e.Fstab.fs_vfstype
+                            flags_s mode guard_s))
           in
           ignore
             (Syscall.write_file m t.task "/proc/protego/mount_whitelist"

@@ -113,7 +113,10 @@ let verdict_matches_epoch =
               | None -> false
               | Some snap ->
                   let req = ctx.Sim.x_requests.(d.d_seq) in
-                  let expect = Plane.snapshot_oracle snap req in
+                  let expect =
+                    Plane.snapshot_oracle
+                      ~phase:(Protego_base.Phase.of_index d.d_phase) snap req
+                  in
                   let allowed = d.d_verdict = 1 in
                   let errno_ok =
                     if allowed then d.d_errno = 0
@@ -313,6 +316,53 @@ let replay_clean =
                       Printf.sprintf "replay lost epoch %d from the history" e }
             | [], [] -> Holds)) }
 
+(* always (phase steps move strictly forward): the tighten-only lattice
+   admits no loosening — each E_phase advances its subject exactly from
+   the phase the previous step left it in. *)
+let phase_monotone =
+  always_fold "phase-monotone" ~applies:plane_lane ~init:[]
+    ~step:(fun _ phases e ->
+      match e with
+      | Sim.E_phase h ->
+          let cur =
+            match List.assoc_opt h.h_subject phases with
+            | Some p -> p
+            | None -> 0
+          in
+          if h.h_from = cur && h.h_to > h.h_from then
+            Ok ((h.h_subject, h.h_to) :: List.remove_assoc h.h_subject phases)
+          else
+            Error
+              (Printf.sprintf
+                 "subject %d stepped %d -> %d while in phase %d: transitions \
+                  must be monotone"
+                 h.h_subject h.h_from h.h_to cur)
+      | _ -> Ok phases)
+
+(* always (decision served at the subject's current phase): combined
+   with phase-monotone, no decision is ever served under a phase that
+   is later loosened — the phase a verdict stamps can only tighten
+   afterwards, never revert. *)
+let phase_consistent =
+  always_fold "phase-consistent" ~applies:plane_lane ~init:[]
+    ~step:(fun ctx phases e ->
+      match e with
+      | Sim.E_phase h ->
+          Ok ((h.h_subject, h.h_to) :: List.remove_assoc h.h_subject phases)
+      | Sim.E_decide d ->
+          let subject = Plane.subject_of ctx.Sim.x_requests.(d.d_seq) in
+          let cur =
+            match List.assoc_opt subject phases with Some p -> p | None -> 0
+          in
+          if d.d_phase = cur then Ok phases
+          else
+            Error
+              (Printf.sprintf
+                 "decide w%d seq %d served subject %d under phase %d but the \
+                  subject is in phase %d"
+                 d.d_worker d.d_seq subject d.d_phase cur)
+      | _ -> Ok phases)
+
 (* No record is ever torn — except by an injected crash. *)
 let no_torn =
   always "no-torn"
@@ -404,9 +454,9 @@ let opt_never_stale =
 
 let all =
   [ epoch_monotone; verdict_matches_epoch; live_oracle; reload_acked;
-    no_decide_under_pending_mutate; journal_faithful; replay_clean; no_torn;
-    all_journaled; no_overrun; nf_oracle; pd_oracle; opt_proof_gated;
-    opt_never_stale ]
+    no_decide_under_pending_mutate; phase_monotone; phase_consistent;
+    journal_faithful; replay_clean; no_torn; all_journaled; no_overrun;
+    nf_oracle; pd_oracle; opt_proof_gated; opt_never_stale ]
 
 let applicable sp = List.filter (fun p -> p.p_applies sp) all
 

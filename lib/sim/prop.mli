@@ -43,7 +43,10 @@ val leads_to :
 
     Plane lane: ["epoch-monotone"], ["verdict-matches-epoch"],
     ["live-oracle"], ["reload-acked"],
-    ["no-decide-under-pending-mutate"], ["journal-faithful"],
+    ["no-decide-under-pending-mutate"], ["phase-monotone"] (lifecycle
+    steps only tighten), ["phase-consistent"] (every decision is served
+    at its subject's current phase — with monotonicity, no verdict is
+    ever served under a later-loosened phase), ["journal-faithful"],
     ["replay-clean"], ["no-torn"], ["all-journaled"], ["no-overrun"].
     Opt lane: ["nf-oracle"], ["pd-oracle"], ["opt-proof-gated"],
     ["opt-never-stale"] (explicit selection only). *)

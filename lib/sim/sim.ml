@@ -19,6 +19,7 @@ module Packet = Protego_net.Packet
 module Ipaddr = Protego_net.Ipaddr
 module Bindconf = Protego_policy.Bindconf
 module Ktypes = Protego_kernel.Ktypes
+module Phase = Protego_base.Phase
 
 (* --- specs -------------------------------------------------------------- *)
 
@@ -38,13 +39,15 @@ type spec = {
   sp_flood : bool;
   sp_seg_bytes : int;
   sp_segments : int;
+  sp_phases : bool;
   sp_faults : (fault_kind * int) list;
 }
 
 let default =
   { sp_lane = Lane_plane; sp_golden = false; sp_seed = 1; sp_workers = 2;
     sp_steps = 64; sp_reloads = 3; sp_opts = 0; sp_wseed = 42;
-    sp_flood = false; sp_seg_bytes = 4096; sp_segments = 8; sp_faults = [] }
+    sp_flood = false; sp_seg_bytes = 4096; sp_segments = 8; sp_phases = false;
+    sp_faults = [] }
 
 let lane_name = function Lane_plane -> "plane" | Lane_opt -> "opt"
 
@@ -78,6 +81,9 @@ let spec_to_string sp =
       (if sp.sp_flood then 1 else 0)
       sp.sp_seg_bytes sp.sp_segments
   in
+  (* [phases] and [faults] print only when set, so pre-phase spec
+     strings round-trip byte-identically. *)
+  let base = if sp.sp_phases then base ^ ",phases=on" else base in
   match sp.sp_faults with
   | [] -> base
   | fs ->
@@ -122,6 +128,11 @@ let spec_of_string s =
     | "flood" -> int (fun n -> { sp with sp_flood = n <> 0 })
     | "segbytes" -> int (fun n -> { sp with sp_seg_bytes = n })
     | "segments" -> int (fun n -> { sp with sp_segments = n })
+    | "phases" -> (
+        match v with
+        | "on" | "1" -> Ok { sp with sp_phases = true }
+        | "off" | "0" -> Ok { sp with sp_phases = false }
+        | _ -> Error (Printf.sprintf "sim: bad value phases=%s" v))
     | "faults" -> (
         match parse_faults v with
         | Ok fs -> Ok { sp with sp_faults = fs }
@@ -156,6 +167,7 @@ type action =
   | Flood
   | Opt
   | Probe
+  | Phase_step of int
 
 let action_to_string = function
   | Decide w -> "d" ^ string_of_int w
@@ -169,6 +181,7 @@ let action_to_string = function
   | Flood -> "w"
   | Opt -> "o"
   | Probe -> "p"
+  | Phase_step s -> "h" ^ string_of_int s
 
 let action_of_string s =
   let indexed c mk =
@@ -188,6 +201,8 @@ let action_of_string s =
   | _ when String.length s >= 2 && s.[0] = 'c' -> indexed 'c' (fun w -> Crash w)
   | _ when String.length s >= 2 && s.[0] = 's' -> indexed 's' (fun w -> Stale w)
   | _ when String.length s >= 2 && s.[0] = 'u' -> indexed 'u' (fun w -> Dup w)
+  | _ when String.length s >= 2 && s.[0] = 'h' ->
+      indexed 'h' (fun s -> Phase_step s)
   | _ -> Error ("sim: unknown action " ^ s)
 
 let script_to_string = function
@@ -219,11 +234,13 @@ type event =
       d_verdict : int;
       d_errno : int;
       d_epoch : int;
+      d_phase : int;
       d_live_ok : bool;
       d_journaled : bool;
       d_stale : bool;
       d_torn : bool;
     }
+  | E_phase of { h_subject : int; h_from : int; h_to : int }
   | E_mutate of { m_label : string }
   | E_publish of { p_epoch : int }
   | E_crash of { c_worker : int }
@@ -241,12 +258,16 @@ type event =
 
 let event_to_string = function
   | E_decide d ->
-      Printf.sprintf "decide w%d seq %d hook %d verdict %d errno %d epoch %d%s%s%s%s"
+      Printf.sprintf "decide w%d seq %d hook %d verdict %d errno %d epoch %d%s%s%s%s%s"
         d.d_worker d.d_seq d.d_hook d.d_verdict d.d_errno d.d_epoch
+        (* phase 0 is silent so pre-phase golden traces are unchanged *)
+        (if d.d_phase > 0 then Printf.sprintf " phase %d" d.d_phase else "")
         (if d.d_live_ok then "" else " live-divergent")
         (if d.d_journaled then "" else " unjournaled")
         (if d.d_stale then " stale" else "")
         (if d.d_torn then " torn" else "")
+  | E_phase h ->
+      Printf.sprintf "phase subject %d %d -> %d" h.h_subject h.h_from h.h_to
   | E_mutate m -> "mutate " ^ m.m_label
   | E_publish p -> Printf.sprintf "publish epoch %d" p.p_epoch
   | E_crash c -> Printf.sprintf "crash w%d" c.c_worker
@@ -287,10 +308,12 @@ type mode = Seeded | Scripted of action list
 
 let cdrom flags mode =
   { PS.mr_source = "/dev/cdrom"; mr_target = "/media/cdrom";
-    mr_fstype = "iso9660"; mr_flags = flags; mr_mode = mode }
+    mr_fstype = "iso9660"; mr_flags = flags; mr_mode = mode;
+    mr_phase = PS.Phase.Always }
 
 let exim port proto =
-  { Bindconf.port; proto; exe = "/usr/sbin/exim4"; owner = 0 }
+  { Bindconf.port; proto; exe = "/usr/sbin/exim4"; owner = 0;
+    phase = Protego_base.Phase.Always }
 
 let golden_plane_setup st =
   st.PS.mounts <- [ cdrom [] `Users ];
@@ -481,7 +504,8 @@ let run_plane sp mode =
       else Plane.decide_on plane ~worker:w.pw_id req
     in
     let live_ok =
-      Plane.request_oracle st req = (o.Plane.o_verdict = Pfm.Allow)
+      Plane.request_oracle ~phase:(Phase.of_index o.Plane.o_phase) st req
+      = (o.Plane.o_verdict = Pfm.Allow)
     in
     let journaled, torn =
       if crash then begin
@@ -509,8 +533,8 @@ let run_plane sp mode =
          { d_worker = w.pw_id; d_seq = seq; d_hook = Plane.hook_index req;
            d_verdict = verdict_code o.Plane.o_verdict;
            d_errno = errno_code o.Plane.o_errno; d_epoch = o.Plane.o_epoch;
-           d_live_ok = live_ok; d_journaled = journaled; d_stale = stale;
-           d_torn = torn });
+           d_phase = o.Plane.o_phase; d_live_ok = live_ok;
+           d_journaled = journaled; d_stale = stale; d_torn = torn });
     if crash then emit (E_crash { c_worker = w.pw_id })
   in
   let do_reload kind =
@@ -541,6 +565,30 @@ let run_plane sp mode =
             journal_dead := true;
             emit (E_overrun { o_worker = w.pw_id }))
     | _ -> ()
+  in
+  (* Lifecycle steps target the generated workload's subject space;
+     golden fixtures predate phases and never step. *)
+  let nsubjects =
+    if sp.sp_phases && not sp.sp_golden then (workload_spec sp).Workload.subjects
+    else 0
+  in
+  let can_phase s =
+    s >= 0 && s < nsubjects
+    && not
+         (Phase.equal (Plane.subject_phase plane ~subject:s) Phase.final)
+  in
+  let phase_subjects () =
+    List.filter can_phase (List.init nsubjects (fun s -> s))
+  in
+  let do_phase s =
+    let cur = Plane.subject_phase plane ~subject:s in
+    let nxt = Phase.succ cur in
+    match Plane.set_subject_phase plane ~subject:s nxt with
+    | Ok () ->
+        emit
+          (E_phase
+             { h_subject = s; h_from = Phase.index cur; h_to = Phase.index nxt })
+    | Error _ -> ()
   in
   let do_flood term =
     let j = Plane.journal plane in
@@ -593,8 +641,11 @@ let run_plane sp mode =
           | Flood when flood_term <> None && not !journal_dead ->
               do_flood (Option.get flood_term);
               record a
+          | Phase_step s when can_phase s ->
+              do_phase s;
+              record a
           | Decide _ | Reload | Reload_dropped | Reload_delayed | Flush
-          | Crash _ | Stale _ | Dup _ | Flood | Opt | Probe ->
+          | Crash _ | Stale _ | Dup _ | Flood | Opt | Probe | Phase_step _ ->
               (* inexecutable here: skipped, and not recorded *)
               ())
         script
@@ -628,6 +679,7 @@ let run_plane sp mode =
           !fault_pool;
         if !pending then add 3 `Flush;
         if !reload_done < reload_cap && not !pending then add 2 `Reload;
+        if phase_subjects () <> [] then add 2 `Phase;
         Array.iter (fun w -> if can_decide w then add 8 (`Dec w)) pws;
         let cands = !cands in
         let total = List.fold_left (fun a (w, _) -> a + w) 0 cands in
@@ -649,6 +701,11 @@ let run_plane sp mode =
           | `Flush ->
               do_flush ();
               record Flush
+          | `Phase ->
+              let elig = phase_subjects () in
+              let s = List.nth elig (Prng.int rng (List.length elig)) in
+              do_phase s;
+              record (Phase_step s)
           | `Fault (i, k) ->
               fault_pool := List.filteri (fun j _ -> j <> i) !fault_pool;
               (match k with

@@ -47,6 +47,10 @@ type spec = {
   sp_flood : bool;    (** Deny_flood workload phase instead of Steady *)
   sp_seg_bytes : int; (** journal segment bytes (power of two, >= 4096) *)
   sp_segments : int;  (** journal segments (power of two) *)
+  sp_phases : bool;
+      (** schedule lifecycle phase steps ([phases=on]): the scheduler
+          advances workload subjects through the tighten-only phase
+          lattice while decisions race the phase-keyed caches *)
   sp_faults : (fault_kind * int) list;  (** fault instances per class *)
 }
 
@@ -83,10 +87,13 @@ type action =
   | Flood              (** F_wrap: kaudit-flood the journal to overrun *)
   | Opt                (** next recompile action (optimize/edit/deopt) *)
   | Probe              (** golden opt lane: one nf probe battery *)
+  | Phase_step of int
+      (** advance subject [s]'s lifecycle phase one step forward
+          (plane lane, [sp_phases] specs only) *)
 
 val action_to_string : action -> string
 (** [d<w>], [r], [r-], [r+], [f], [c<w>], [s<w>], [u<w>], [w], [o],
-    [p]. *)
+    [p], [h<s>]. *)
 
 val action_of_string : string -> (action, string) result
 
@@ -108,11 +115,15 @@ type event =
       d_verdict : int;    (** 0 deny / 1 allow / 2 reject *)
       d_errno : int;      (** 0 for none *)
       d_epoch : int;      (** snapshot epoch that served the decision *)
+      d_phase : int;      (** lifecycle phase index the decision was
+                              served under (0 before any step) *)
       d_live_ok : bool;   (** verdict agreed with the live-state oracle *)
       d_journaled : bool; (** committed to the worker's journal term *)
       d_stale : bool;     (** served via F_stale injection *)
       d_torn : bool;      (** F_crash left this record torn *)
     }
+  | E_phase of { h_subject : int; h_from : int; h_to : int }
+      (** a subject's lifecycle phase advanced (indices) *)
   | E_mutate of { m_label : string }   (** live policy mutated + bumped *)
   | E_publish of { p_epoch : int }     (** snapshot published *)
   | E_crash of { c_worker : int }

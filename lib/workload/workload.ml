@@ -11,6 +11,7 @@ type phase =
   | Audit_heavy
   | Reload_storm of { period : int }
   | Opt_storm of { period : int }
+  | Phase_storm of { period : int }
 
 type spec = {
   seed : int;
@@ -82,30 +83,35 @@ let install_policy spec (st : PS.t) =
     if has_heavy spec then
       List.init heavy_count (fun i ->
           { PS.mr_source = heavy_source i; mr_target = heavy_target i;
-            mr_fstype = "ext4"; mr_flags = []; mr_mode = `Users })
+            mr_fstype = "ext4"; mr_flags = []; mr_mode = `Users;
+            mr_phase = PS.Phase.Always })
     else []
   in
   let heavy_binds =
     if has_heavy spec then
       List.init heavy_count (fun i ->
           { Bindconf.port = heavy_port i; proto = Bindconf.Tcp;
-            exe = heavy_exe i; owner = bind_owner spec i })
+            exe = heavy_exe i; owner = bind_owner spec i;
+            phase = Protego_base.Phase.Always })
     else []
   in
   st.PS.mounts <-
     List.init spec.rules (fun i ->
         { PS.mr_source = rule_source i; mr_target = rule_target i;
-          mr_fstype = "ext4"; mr_flags = rule_flags i; mr_mode = rule_mode i })
+          mr_fstype = "ext4"; mr_flags = rule_flags i; mr_mode = rule_mode i;
+          mr_phase = PS.Phase.Always })
     @ heavy_mounts;
   st.PS.binds <-
     List.init spec.rules (fun i ->
         { Bindconf.port = bind_port i; proto = bind_proto i; exe = bind_exe i;
-          owner = bind_owner spec i })
+          owner = bind_owner spec i; phase = Protego_base.Phase.Always })
     @ heavy_binds;
   st.PS.ppp <-
     { Pppopts.directives =
         Pppopts.Session_option (Ppp.Compression "deflate")
-        :: List.map (fun d -> Pppopts.Allow_device d) ppp_devices };
+        :: List.map
+             (fun d -> Pppopts.Allow_device (d, Protego_base.Phase.Always))
+             ppp_devices };
   PS.bump_generation st PS.Mounts;
   PS.bump_generation st PS.Binds;
   PS.bump_generation st PS.Ppp
@@ -274,6 +280,7 @@ type schedule = {
   s_requests : Plane.request array;
   s_reloads : (int * PS.source) list;
   s_optimizes : int list;
+  s_phase_steps : (int * int) list;
 }
 
 let storm_sources = [| PS.Mounts; PS.Binds; PS.Ppp |]
@@ -304,13 +311,15 @@ let generate spec ~workers =
   let requests = Array.make n (fst pools.(0)).(0) in
   let reloads = ref [] in
   let optimizes = ref [] in
+  let phase_steps = ref [] in
+  let stepped = ref 0 in
   let storms = ref 0 in
   let off = ref 0 in
   List.iter
     (fun (phase, count) ->
       let deny_pct =
         match phase with
-        | Steady | Reload_storm _ | Opt_storm _ -> 10
+        | Steady | Reload_storm _ | Opt_storm _ | Phase_storm _ -> 10
         | Audit_heavy -> 30
         | Deny_flood -> 85
       in
@@ -335,6 +344,18 @@ let generate spec ~workers =
              optimizes := !th :: !optimizes;
              th := !th + period
            done
+       | Phase_storm { period } when period > 0 ->
+           (* Each threshold advances one subject a single lifecycle
+              step (round-robin over subjects).  The workload's own
+              rules are all [Always]-guarded, so the storm is
+              verdict-preserving — it stresses the phase-keyed cache
+              invalidation, not the policy semantics. *)
+           let th = ref (!off + period) in
+           while !th < !off + count do
+             phase_steps := (!th, !stepped mod spec.subjects) :: !phase_steps;
+             incr stepped;
+             th := !th + period
+           done
        | _ -> ());
       for i = !off to !off + count - 1 do
         let rng = rng_for i in
@@ -348,4 +369,5 @@ let generate spec ~workers =
       off := !off + count)
     spec.phases;
   { s_requests = requests; s_reloads = List.rev !reloads;
-    s_optimizes = List.rev !optimizes }
+    s_optimizes = List.rev !optimizes;
+    s_phase_steps = List.rev !phase_steps }

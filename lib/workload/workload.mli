@@ -18,7 +18,10 @@
       [Reload_storm] (policy republication every [period] requests —
       the snapshot-churn worst case), and [Opt_storm] (a profile-guided
       recompile toggle every [period] requests — optimize/deoptimize
-      alternation racing the decision path).  Storm reloads are
+      alternation racing the decision path), and [Phase_storm] (a
+      lifecycle-phase advance for one subject every [period] requests —
+      phase-keyed cache invalidation racing the decision path).  Storm
+      reloads are
       generation bumps and optimizations are proof-gated rewrites,
       i.e. both are semantics preserving: every verdict stays equal to
       the fixed-policy oracle, which is what lets differential tests
@@ -40,6 +43,7 @@ type phase =
   | Audit_heavy
   | Reload_storm of { period : int }
   | Opt_storm of { period : int }
+  | Phase_storm of { period : int }
 
 type spec = {
   seed : int;
@@ -74,6 +78,14 @@ type schedule = {
           ascending.  The runner alternates a filter optimize /
           deoptimize toggle at each threshold; both directions are
           verdict-preserving, so the oracle is unchanged. *)
+  s_phase_steps : (int * int) list;
+      (** (completed-count threshold, subject) pairs from [Phase_storm]
+          phases, ascending — the runner advances that subject's
+          lifecycle phase one step forward
+          ({!Protego_plane.Plane.set_subject_phase}; saturating at the
+          final phase).  The synthetic rules are all [Always]-guarded,
+          so the storm is verdict-preserving: it stresses the
+          phase-keyed front slots and memo entries, not the policy. *)
 }
 
 val generate : spec -> workers:int -> schedule

@@ -1,10 +1,28 @@
 #!/bin/sh
-# CI entry point: tier-1 checks plus the structural bench report check
-# and the regression gate against the committed baseline.
-# Usage: scripts/ci.sh   (from the repository root)
+# CI entry point, split into a fast-signal tier and a heavy-stress tier.
+#
+# Usage: scripts/ci.sh [--fast|--full]   (from the repository root)
+#
+#   --fast   build + full unit/property suite + strict policy lint
+#            (including the phased examples and the deliberate-loosening
+#            rejection check).  This is the per-compiler signal job.
+#   --full   everything the fast tier skips: the bench regression gate,
+#            journal artifact verification, the cache/equivalence/plane/
+#            journal/sim stress suites, both seeded simulation sweeps and
+#            the plane scaling smoke.  Runs once, gated on the fast jobs.
+#
+# With no argument both tiers run back to back (local use).
 set -eu
 
 cd "$(dirname "$0")/.."
+
+mode="${1:-both}"
+case "$mode" in
+    --fast) mode=fast ;;
+    --full) mode=full ;;
+    both) ;;
+    *) echo "usage: scripts/ci.sh [--fast|--full]" >&2; exit 2 ;;
+esac
 
 # _build must never be committed.
 if git ls-files --error-unmatch _build >/dev/null 2>&1; then
@@ -12,93 +30,139 @@ if git ls-files --error-unmatch _build >/dev/null 2>&1; then
     exit 1
 fi
 
-echo "==> dune build"
-dune build
+fast_tier() {
+    echo "==> dune build"
+    dune build
 
-echo "==> dune runtest"
-dune runtest
+    echo "==> dune runtest"
+    dune runtest
 
-# --prove runs the symbolic equivalence prover over every compilable
-# source: each production compiler's output must be proven equal to the
-# naive linear compilation.  Under --strict an Unknown (not just a
-# refutation) also fails, so the prover must actually discharge the
-# example policies, not time out on them.
-echo "==> protego-lint --strict --prove over the example policies"
-./_build/default/bin/lint.exe \
-    --fstab examples/policies/fstab \
-    --binds examples/policies/bind.map \
-    --delegation examples/policies/sudoers \
-    --accounts examples/policies/accounts \
-    --ppp examples/policies/options.ppp \
-    --netfilter output=examples/policies/output.chain \
-    --strict --prove
+    # --prove runs the symbolic equivalence prover over every compilable
+    # source: each production compiler's output must be proven equal to the
+    # naive linear compilation.  Under --strict an Unknown (not just a
+    # refutation) also fails, so the prover must actually discharge the
+    # example policies, not time out on them.
+    echo "==> protego-lint --strict --prove over the example policies"
+    ./_build/default/bin/lint.exe \
+        --fstab examples/policies/fstab \
+        --binds examples/policies/bind.map \
+        --delegation examples/policies/sudoers \
+        --accounts examples/policies/accounts \
+        --ppp examples/policies/options.ppp \
+        --netfilter output=examples/policies/output.chain \
+        --strict --prove
 
-# The bench emits a versioned JSON report; bench_gate parses it back,
-# asserts its structure (schema, required scenarios, sane non-zero
-# rates, monotone percentiles) and compares every *_ns metric against
-# the committed baseline.  The 3x tolerance is deliberately loose: it
-# only trips on a real algorithmic regression, never on runner noise.
-echo "==> bench report (BENCH_protego.json)"
-./_build/default/bench/main.exe --json -o BENCH_protego.json
+    # The phased bind-then-drop example must lint clean and prove: every
+    # phase<= guard is downward closed, so PL-PH001 has nothing to flag.
+    echo "==> protego-lint --strict --prove over the phased examples"
+    ./_build/default/bin/lint.exe \
+        --fstab examples/policies/fstab.phased \
+        --binds examples/policies/bind.phased.map \
+        --strict --prove
 
-# The --floor is absolute, not baseline-relative: the proof-gated
-# recompilation of the 128-rule netfilter chain must keep a >=3x win
-# over the reference walk (it measures ~8x on a quiet box).
-echo "==> bench structural check + regression gate"
-./_build/default/bin/bench_gate.exe BENCH_protego.json \
-    --baseline bench/baseline.json --tolerance 3 \
-    --floor filter:nf_output,opt_speedup,3
+    # The deliberately loosening example must FAIL, and fail for the right
+    # reason: PL-PH001 (phase guard not downward closed) is the sole
+    # finding.  A zero exit here means the tighten-only gate went soft.
+    echo "==> loosening policy is rejected (PL-PH001 expected)"
+    if out=$(./_build/default/bin/lint.exe \
+            --binds examples/policies/bind.loosening.map --strict 2>&1); then
+        echo "CI: bind.loosening.map passed strict lint; tighten-only gate is broken" >&2
+        exit 1
+    else
+        echo "$out"
+        echo "$out" | grep -q 'PL-PH001' || {
+            echo "CI: bind.loosening.map failed without PL-PH001" >&2
+            exit 1
+        }
+    fi
+}
 
-# The audit bench saves the steady journal's binary image; verifying it
-# with the standalone CLI exercises the full persistence + decode +
-# stitch path on a real multi-run, multi-domain artifact.  --strict
-# additionally asserts zero dropped records and per-run contiguity.
-echo "==> journal artifact verification (JOURNAL_protego.bin)"
-./_build/default/bin/journal.exe verify JOURNAL_protego.bin --strict
+full_tier() {
+    echo "==> dune build"
+    dune build
 
-echo "==> decision-cache interleaving harness"
-./_build/default/test/test_main.exe test cache
+    # The bench emits a versioned JSON report; bench_gate parses it back,
+    # asserts its structure (schema, required scenarios, sane non-zero
+    # rates, monotone percentiles) and compares every *_ns metric against
+    # the committed baseline.  The 3x tolerance is deliberately loose: it
+    # only trips on a real algorithmic regression, never on runner noise.
+    echo "==> bench report (BENCH_protego.json)"
+    ./_build/default/bench/main.exe --json -o BENCH_protego.json
 
-# Equivalence prover + optimizer gate: golden proven-equal/-different
-# pairs per hook compiler, the QCheck prove-vs-differential properties,
-# the /proc optimize/stale/deoptimize lifecycle, and the
-# optimize-vs-decide interleaving replays (incl. the Opt_storm
-# workload phase against the live oracle).
-echo "==> equivalence prover + translation-validation suites"
-./_build/default/test/test_main.exe test equiv
+    # The --floor is absolute, not baseline-relative: the proof-gated
+    # recompilation of the 128-rule netfilter chain must keep a >=3x win
+    # over the reference walk (it measures ~8x on a quiet box).
+    echo "==> bench structural check + regression gate"
+    ./_build/default/bin/bench_gate.exe BENCH_protego.json \
+        --baseline bench/baseline.json --tolerance 3 \
+        --floor filter:nf_output,opt_speedup,3
 
-# Plane stress: the multi-domain differential suites (N-domain run vs
-# the sequential reference, snapshot interleavings, audit integrity)
-# and a scaling smoke run whose numbers ride along with the bench
-# artifact.  The suites spawn real domains, so this exercises the
-# epoch-publication path under actual parallelism even on a small
-# runner.
-echo "==> decision-plane stress (multi-domain differential + interleavings)"
-./_build/default/test/test_main.exe test plane
+    # The audit bench saves the steady journal's binary image; verifying it
+    # with the standalone CLI exercises the full persistence + decode +
+    # stitch path on a real multi-run, multi-domain artifact.  --strict
+    # additionally asserts zero dropped records and per-run contiguity.
+    echo "==> journal artifact verification (JOURNAL_protego.bin)"
+    ./_build/default/bin/journal.exe verify JOURNAL_protego.bin --strict
 
-# Journal stress: torn-tail/wraparound/stitch unit suites plus the
-# 20k-request 4-domain `Both`-mode differential (journal vs spool
-# record-for-record) and the total-order replay against epoch-stamped
-# snapshots.
-echo "==> audit-journal stress (differential + total-order replay)"
-./_build/default/test/test_main.exe test journal
+    echo "==> decision-cache interleaving harness"
+    ./_build/default/test/test_main.exe test cache
 
-# Deterministic simulation: bit-replayability, the seeded sweeps over
-# the temporal-property registry, one catch-and-shrink test per
-# injected fault class, and the 20+20 pinned golden interleavings.
-echo "==> deterministic simulation suites"
-./_build/default/test/test_main.exe test sim
+    # Equivalence prover + optimizer gate: golden proven-equal/-different
+    # pairs per hook compiler, the QCheck prove-vs-differential properties,
+    # the /proc optimize/stale/deoptimize lifecycle, and the
+    # optimize-vs-decide interleaving replays (incl. the Opt_storm
+    # workload phase against the live oracle).
+    echo "==> equivalence prover + translation-validation suites"
+    ./_build/default/test/test_main.exe test equiv
 
-# A wider seeded sweep than the suite runs inline: 200 fresh schedules
-# on a 3-worker plane.  On the first violated property the schedule is
-# shrunk and the replayable one-liner lands in SIM_failure.txt, which
-# the workflow uploads as an artifact.
-echo "==> simulation sweep (200 seeds; failures shrink into SIM_failure.txt)"
-./_build/default/bin/sim.exe sweep \
-    --spec 'lane=plane,workers=3,steps=120,reloads=4' \
-    --seeds 200 --out SIM_failure.txt
+    # Plane stress: the multi-domain differential suites (N-domain run vs
+    # the sequential reference, snapshot interleavings, audit integrity)
+    # and a scaling smoke run whose numbers ride along with the bench
+    # artifact.  The suites spawn real domains, so this exercises the
+    # epoch-publication path under actual parallelism even on a small
+    # runner.
+    echo "==> decision-plane stress (multi-domain differential + interleavings)"
+    ./_build/default/test/test_main.exe test plane
 
-echo "==> decision-plane scaling smoke (numbers land in PLANE_scaling.txt)"
-./_build/default/bench/main.exe plane | tee PLANE_scaling.txt
+    # Journal stress: torn-tail/wraparound/stitch unit suites plus the
+    # 20k-request 4-domain `Both`-mode differential (journal vs spool
+    # record-for-record) and the total-order replay against epoch-stamped
+    # snapshots.
+    echo "==> audit-journal stress (differential + total-order replay)"
+    ./_build/default/test/test_main.exe test journal
 
-echo "CI: all checks passed"
+    # Deterministic simulation: bit-replayability, the seeded sweeps over
+    # the temporal-property registry, one catch-and-shrink test per
+    # injected fault class, and the 20+20 pinned golden interleavings.
+    echo "==> deterministic simulation suites"
+    ./_build/default/test/test_main.exe test sim
+
+    # A wider seeded sweep than the suite runs inline: 200 fresh schedules
+    # on a 3-worker plane.  On the first violated property the schedule is
+    # shrunk and the replayable one-liner lands in SIM_failure.txt, which
+    # the workflow uploads as an artifact.
+    echo "==> simulation sweep (200 seeds; failures shrink into SIM_failure.txt)"
+    ./_build/default/bin/sim.exe sweep \
+        --spec 'lane=plane,workers=3,steps=120,reloads=4' \
+        --seeds 200 --out SIM_failure.txt
+
+    # Same sweep with the lifecycle dimension enabled: seeded phase
+    # transitions interleave with decisions and reloads, and the
+    # phase-monotone / phase-consistent temporal properties must hold on
+    # every schedule.
+    echo "==> phase-lane simulation sweep (200 seeds, phases=on)"
+    ./_build/default/bin/sim.exe sweep \
+        --spec 'lane=plane,workers=3,steps=120,reloads=4,phases=on' \
+        --seeds 200 --out SIM_failure.txt
+
+    echo "==> decision-plane scaling smoke (numbers land in PLANE_scaling.txt)"
+    ./_build/default/bench/main.exe plane | tee PLANE_scaling.txt
+}
+
+case "$mode" in
+    fast) fast_tier ;;
+    full) full_tier ;;
+    both) fast_tier; full_tier ;;
+esac
+
+echo "CI: all checks passed ($mode tier)"

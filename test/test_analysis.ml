@@ -108,7 +108,8 @@ let test_absint_dead () =
 let test_absint_dead_notes () =
   let rule src =
     { Compile.fm_source = src; fm_target = "/mnt/a"; fm_fstype = "vfat";
-      fm_flags = [ Ktypes.Mf_nosuid; Ktypes.Mf_nodev ]; fm_user_only = true }
+      fm_flags = [ Ktypes.Mf_nosuid; Ktypes.Mf_nodev ]; fm_user_only = true;
+      fm_phase = Compile.Phase.Always }
   in
   let p, notes = Compile.mount_notes [ rule "/dev/x"; rule "/dev/x" ] in
   let s = Absint.analyze p in
@@ -188,7 +189,8 @@ let fixture_input base exts =
                   fm_target = r.PS.mr_target;
                   fm_fstype = r.PS.mr_fstype;
                   fm_flags = r.PS.mr_flags;
-                  fm_user_only = (r.PS.mr_mode = `User) })
+                  fm_user_only = (r.PS.mr_mode = `User);
+                  fm_phase = r.PS.mr_phase })
        else []);
     binds =
       (if has "map" then

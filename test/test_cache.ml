@@ -156,7 +156,7 @@ let raw_dispatch () =
   let st = PS.create () in
   st.PS.mounts <-
     [ { PS.mr_source = "/dev/a"; mr_target = "/m"; mr_fstype = "ext4";
-        mr_flags = []; mr_mode = `Users } ];
+        mr_flags = []; mr_mode = `Users; mr_phase = PS.Phase.Always } ];
   (st, PD.create ())
 
 let test_dispatch_cache_flow () =

@@ -26,24 +26,26 @@ let cidr s =
 let mount_rules =
   [ { Compile.fm_source = "/dev/cdrom"; fm_target = "/media/cdrom";
       fm_fstype = "iso9660"; fm_flags = [ Ktypes.Mf_readonly ];
-      fm_user_only = false };
+      fm_user_only = false; fm_phase = Compile.Phase.Always };
     { Compile.fm_source = "/dev/sdb1"; fm_target = "/media/usb";
       fm_fstype = "vfat"; fm_flags = [ Ktypes.Mf_nosuid; Ktypes.Mf_nodev ];
-      fm_user_only = true };
+      fm_user_only = true; fm_phase = Compile.Phase.Always };
     { Compile.fm_source = "/dev/cdrom"; fm_target = "/media/cdrom2";
-      fm_fstype = "auto"; fm_flags = []; fm_user_only = false };
+      fm_fstype = "auto"; fm_flags = []; fm_user_only = false;
+      fm_phase = Compile.Phase.Always };
     { Compile.fm_source = "10.0.0.7:/export"; fm_target = "/mnt/a";
-      fm_fstype = "nfs"; fm_flags = [ Ktypes.Mf_nosuid ]; fm_user_only = true } ]
+      fm_fstype = "nfs"; fm_flags = [ Ktypes.Mf_nosuid ]; fm_user_only = true;
+      fm_phase = Compile.Phase.Always } ]
 
 let bind_entries =
   [ { Bindconf.port = 25; proto = Bindconf.Tcp; exe = "/usr/sbin/exim4";
-      owner = 0 };
+      owner = 0; phase = Protego_base.Phase.Always };
     { Bindconf.port = 22; proto = Bindconf.Tcp; exe = "/usr/sbin/sshd";
-      owner = 0 };
+      owner = 0; phase = Protego_base.Phase.Always };
     { Bindconf.port = 25; proto = Bindconf.Udp; exe = "/usr/sbin/exim4";
-      owner = 8 };
+      owner = 8; phase = Protego_base.Phase.Always };
     { Bindconf.port = 514; proto = Bindconf.Udp; exe = "/usr/bin/rsh";
-      owner = 0 } ]
+      owner = 0; phase = Protego_base.Phase.Always } ]
 
 let nf_rules =
   [ { Netfilter.matches =
@@ -61,8 +63,9 @@ let nf_rules =
 
 let ppp_policy =
   { Pppopts.directives =
-      [ Pppopts.Allow_device "/dev/ttyS0"; Pppopts.Allow_user_routes;
-        Pppopts.Allow_device "/dev/ttyUSB0" ] }
+      [ Pppopts.Allow_device ("/dev/ttyS0", Protego_base.Phase.Always);
+        Pppopts.Allow_user_routes;
+        Pppopts.Allow_device ("/dev/ttyUSB0", Protego_base.Phase.Always) ] }
 
 let check_equal name p q =
   match Equiv.prove p q with
@@ -162,7 +165,8 @@ let test_diff_netfilter () =
 
 let test_diff_ppp () =
   let mutated =
-    { Pppopts.directives = [ Pppopts.Allow_device "/dev/ttyS0" ] }
+    { Pppopts.directives =
+        [ Pppopts.Allow_device ("/dev/ttyS0", Protego_base.Phase.Always) ] }
   in
   check_not_equal "ppp"
     (Compile.ppp_ioctl ppp_policy)
@@ -243,7 +247,8 @@ let test_opt_hoist () =
   let p = Compile.bind bind_entries in
   (* Skew the profile: hammer the sshd entry. *)
   let hot =
-    Compile.bind_ctx ~port:22 ~proto:Bindconf.Tcp ~exe:"/usr/sbin/sshd" ~uid:0
+    Compile.bind_ctx ~phase:0 ~port:22 ~proto:Bindconf.Tcp
+      ~exe:"/usr/sbin/sshd" ~uid:0
   in
   for _ = 1 to 100 do ignore (Pfm.eval p hot) done;
   match Opt.optimize p with

@@ -143,7 +143,7 @@ let sudo_rule_gen =
   in
   map
     (fun (((who, runas), tags), commands) ->
-      { Sudoers.who; runas; tags; commands })
+      { Sudoers.who; runas; tags; commands; rphase = Protego_base.Phase.Always })
     (pair (pair (pair principal runas) tags) (list_size (int_range 1 3) command))
 
 let prop_sudoers_roundtrip =
@@ -197,7 +197,7 @@ module Ppp = Protego_net.Ppp
 let filter_rule (r : PS.mount_rule) : Compile.mount_rule =
   { Compile.fm_source = r.PS.mr_source; fm_target = r.PS.mr_target;
     fm_fstype = r.PS.mr_fstype; fm_flags = r.PS.mr_flags;
-    fm_user_only = (r.PS.mr_mode = `User) }
+    fm_user_only = (r.PS.mr_mode = `User); fm_phase = r.PS.mr_phase }
 
 let sources = [ "/dev/cdrom"; "/dev/sdb1"; "fuse"; "/dev/sda2"; "10.0.0.7:/export" ]
 let targets = [ "/media/cdrom"; "/media/usb"; "/mnt/a"; "/mnt/b" ]
@@ -213,7 +213,8 @@ let mount_rule_gen =
     map
       (fun ((src, tgt), (fs, (flags, user))) ->
         { PS.mr_source = src; mr_target = tgt; mr_fstype = fs;
-          mr_flags = flags; mr_mode = (if user then `User else `Users) })
+          mr_flags = flags; mr_mode = (if user then `User else `Users);
+          mr_phase = PS.Phase.Always })
       (pair (pair (oneofl sources) (oneofl targets))
          (pair (oneofl fstypes) (pair flags_gen bool))))
 
@@ -232,7 +233,7 @@ let prop_pfm_mount =
       let prog = Compile.mount (List.map filter_rule rules) in
       List.for_all
         (fun ((source, target), (fstype, flags)) ->
-          (Pfm.eval prog (Compile.mount_ctx ~source ~target ~fstype ~flags)
+          (Pfm.eval prog (Compile.mount_ctx ~phase:0 ~source ~target ~fstype ~flags)
            = Pfm.Allow)
           = PS.mount_decision st ~source ~target ~fstype ~flags)
         queries)
@@ -252,7 +253,7 @@ let prop_pfm_umount =
       let prog = Compile.umount (List.map filter_rule rules) in
       List.for_all
         (fun (target, mounted_by, ruid) ->
-          (Pfm.eval prog (Compile.umount_ctx ~target ~mounted_by ~ruid)
+          (Pfm.eval prog (Compile.umount_ctx ~phase:0 ~target ~mounted_by ~ruid)
            = Pfm.Allow)
           = PS.umount_decision st ~target ~mounted_by ~ruid)
         queries)
@@ -266,7 +267,7 @@ let bind_entry_gen =
     map
       (fun ((port, tcp), (exe, owner)) ->
         { Bindconf.port; proto = (if tcp then Bindconf.Tcp else Bindconf.Udp);
-          exe; owner })
+          exe; owner; phase = Protego_base.Phase.Always })
       (pair (pair (oneofl bind_ports) bool)
          (pair (oneofl bind_exes) (oneofl bind_uids))))
 
@@ -286,7 +287,7 @@ let prop_pfm_bind =
       List.for_all
         (fun ((port, tcp), (exe, uid)) ->
           let proto = if tcp then Bindconf.Tcp else Bindconf.Udp in
-          (Pfm.eval prog (Compile.bind_ctx ~port ~proto ~exe ~uid) = Pfm.Allow)
+          (Pfm.eval prog (Compile.bind_ctx ~phase:0 ~port ~proto ~exe ~uid) = Pfm.Allow)
           = PS.bind_allowed st ~port ~proto ~exe ~uid)
         queries)
 
@@ -374,7 +375,9 @@ let ppp_opts =
 let ppp_directive_gen =
   QCheck2.Gen.(
     oneof
-      [ map (fun d -> Pppopts.Allow_device d) (oneofl ppp_devices);
+      [ map
+          (fun d -> Pppopts.Allow_device (d, Protego_base.Phase.Always))
+          (oneofl ppp_devices);
         return Pppopts.Allow_user_routes;
         map (fun o -> Pppopts.Session_option o) (oneofl ppp_opts) ])
 
@@ -392,7 +395,7 @@ let prop_pfm_ppp =
       let prog = Compile.ppp_ioctl { Pppopts.directives } in
       List.for_all
         (fun (device, opt) ->
-          (Pfm.eval prog (Compile.ppp_ctx ~device ~opt) = Pfm.Allow)
+          (Pfm.eval prog (Compile.ppp_ctx ~phase:0 ~device ~opt) = Pfm.Allow)
           = PS.ppp_ioctl_decision st ~device ~opt)
         queries)
 
@@ -427,7 +430,7 @@ let prop_absint_sound_mount =
       List.for_all
         (fun ((source, target), (fstype, flags)) ->
           Absint.verdict_reachable s
-            (Pfm.eval prog (Compile.mount_ctx ~source ~target ~fstype ~flags)))
+            (Pfm.eval prog (Compile.mount_ctx ~phase:0 ~source ~target ~fstype ~flags)))
         queries
       && counters_within_reachability prog s)
 
@@ -465,7 +468,7 @@ let prop_absint_sound_bind =
         (fun ((port, tcp), (exe, uid)) ->
           let proto = if tcp then Bindconf.Tcp else Bindconf.Udp in
           Absint.verdict_reachable s
-            (Pfm.eval prog (Compile.bind_ctx ~port ~proto ~exe ~uid)))
+            (Pfm.eval prog (Compile.bind_ctx ~phase:0 ~port ~proto ~exe ~uid)))
         queries
       && counters_within_reachability prog s)
 

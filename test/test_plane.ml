@@ -47,7 +47,8 @@ let test_freeze_publish () =
   (* A /proc-style reload: replace a field, bump, republish. *)
   st.PS.mounts <-
     [ { PS.mr_source = "/dev/cdrom"; mr_target = "/media/cdrom";
-        mr_fstype = "iso9660"; mr_flags = []; mr_mode = `Users } ];
+        mr_fstype = "iso9660"; mr_flags = []; mr_mode = `Users;
+        mr_phase = PS.Phase.Always } ];
   PS.bump_generation st PS.Mounts;
   check_bool "stale after bump" true (Snapshot.stale pub st);
   let s1 = Snapshot.publish pub st in
@@ -246,7 +247,8 @@ let test_semantic_flip_never_torn () =
   let st = PS.create () in
   let rule flags =
     [ { PS.mr_source = "/dev/cdrom"; mr_target = "/media/cdrom";
-        mr_fstype = "iso9660"; mr_flags = flags; mr_mode = `Users } ]
+        mr_fstype = "iso9660"; mr_flags = flags; mr_mode = `Users;
+        mr_phase = PS.Phase.Always } ]
   in
   st.PS.mounts <- rule [];
   PS.bump_generation st PS.Mounts;
@@ -339,6 +341,52 @@ let test_workload_deny_flood () =
       0 s_requests
   in
   check_bool "flood mostly denies" true (denies * 2 > Array.length s_requests)
+
+let test_workload_phase_storm () =
+  let phases =
+    [ (Workload.Steady, 1_000);
+      (Workload.Phase_storm { period = 200 }, 2_000);
+      (Workload.Steady, 1_000) ]
+  in
+  let sp = { (spec ~seed:13 ~phases ()) with Workload.loop = `Closed } in
+  let a = Workload.generate sp ~workers:4 in
+  let b = Workload.generate sp ~workers:4 in
+  check_bool "phase steps deterministic" true
+    (a.Workload.s_phase_steps = b.Workload.s_phase_steps);
+  check_bool "storm produced phase steps" true
+    (a.Workload.s_phase_steps <> []);
+  List.iter
+    (fun (th, s) ->
+      check_bool "threshold inside the storm window" true
+        (th > 1_000 && th < 3_000);
+      check_bool "subject in range" true (s >= 0 && s < sp.Workload.subjects))
+    a.Workload.s_phase_steps;
+  (* The storm's rules are always-guarded, so the scheduled transitions
+     are verdict-preserving: the fixed-policy oracle must hold for every
+     outcome even as subjects advance mid-run (the transitions stress
+     the phase-keyed front slots and memo tables, not the semantics). *)
+  let st = fresh_state sp in
+  let plane = Plane.create ~domains:4 st in
+  let reloads =
+    List.map
+      (fun (th, s) ->
+        ( th,
+          fun () ->
+            let cur = Plane.subject_phase plane ~subject:s in
+            let nxt = Protego_base.Phase.succ cur in
+            if not (Protego_base.Phase.equal cur nxt) then
+              match Plane.set_subject_phase plane ~subject:s nxt with
+              | Ok () -> ()
+              | Error e -> Alcotest.failf "phase step refused: %s" e ))
+      a.Workload.s_phase_steps
+  in
+  let rr = Plane.run plane ~reloads a.Workload.s_requests in
+  Array.iteri
+    (fun i (o : Plane.outcome) ->
+      let expect = oracle st a.Workload.s_requests.(i) in
+      if (o.Plane.o_verdict = Pfm.Allow) <> expect then
+        Alcotest.failf "oracle divergence at %d" i)
+    rr.Plane.rr_outcomes
 
 (* --- /proc/protego/plane ------------------------------------------------- *)
 
@@ -560,7 +608,9 @@ let suites =
          test_workload_deterministic;
        Alcotest.test_case "zipf and interning" `Quick
          test_workload_zipf_and_interning;
-       Alcotest.test_case "deny flood floods" `Quick test_workload_deny_flood ]);
+       Alcotest.test_case "deny flood floods" `Quick test_workload_deny_flood;
+       Alcotest.test_case "phase storm schedules verdict-preserving steps"
+         `Quick test_workload_phase_storm ]);
     ("plane:proc",
      [ Alcotest.test_case "render and commands" `Quick
          test_proc_render_and_write;

@@ -64,6 +64,7 @@ let test_spec_roundtrip () =
         sp_flood = true; sp_seg_bytes = 8192; sp_segments = 16 };
       { Sim.default with Sim.sp_faults = [ (Sim.F_crash, 1); (Sim.F_wrap, 1) ] };
       { Sim.default with Sim.sp_lane = Sim.Lane_opt; sp_opts = 4 };
+      { Sim.default with Sim.sp_phases = true };
       { Sim.default with Sim.sp_golden = true; sp_reloads = 0 } ]
   in
   List.iter
@@ -79,7 +80,7 @@ let test_spec_roundtrip () =
   let script =
     [ Sim.Decide 2; Sim.Reload; Sim.Reload_dropped; Sim.Reload_delayed;
       Sim.Flush; Sim.Crash 0; Sim.Stale 1; Sim.Dup 3; Sim.Flood; Sim.Opt;
-      Sim.Probe ]
+      Sim.Probe; Sim.Phase_step 2 ]
   in
   (match Sim.script_of_string (Sim.script_to_string script) with
    | Ok script' -> check_bool "script round-trips" true (script = script')
@@ -119,6 +120,25 @@ let test_sweep_plane_flood () =
   sweep "plane-flood"
     { Sim.default with Sim.sp_flood = true; sp_steps = 64; sp_reloads = 3 }
     ~from:0 ~seeds:50
+
+let test_sweep_plane_phased () =
+  (* Lifecycle dimension on: seeded phase transitions interleave with
+     decisions and reloads, and the phase-monotone / phase-consistent
+     properties must hold on every schedule — plus a structural check
+     that the dimension actually exercises itself. *)
+  let sp =
+    { Sim.default with Sim.sp_workers = 3; sp_steps = 64; sp_reloads = 4;
+      sp_phases = true }
+  in
+  sweep "plane-phased" sp ~from:0 ~seeds:50;
+  let stepped = ref false in
+  for seed = 0 to 9 do
+    let ctx = Sim.run { sp with Sim.sp_seed = seed } Sim.Seeded in
+    Array.iter
+      (function Sim.E_phase _ -> stepped := true | _ -> ())
+      ctx.Sim.x_trace
+  done;
+  check_bool "phased schedules emit transitions" true !stepped
 
 let test_sweep_plane_faulted () =
   (* Injected faults legitimately break their catch properties; the
@@ -290,6 +310,8 @@ let suites =
          test_sweep_plane_steady;
        Alcotest.test_case "plane deny-flood, 50 seeds" `Quick
          test_sweep_plane_flood;
+       Alcotest.test_case "plane phased, 50 seeds" `Quick
+         test_sweep_plane_phased;
        Alcotest.test_case "plane crash+wrap faults, 40 seeds" `Quick
          test_sweep_plane_faulted;
        Alcotest.test_case "opt lane, 30 seeds" `Quick test_sweep_opt ]);

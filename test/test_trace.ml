@@ -377,7 +377,8 @@ let mount_rule_gen =
     map
       (fun ((src, tgt), (fs, (flags, user))) ->
         { PS.mr_source = src; mr_target = tgt; mr_fstype = fs;
-          mr_flags = flags; mr_mode = (if user then `User else `Users) })
+          mr_flags = flags; mr_mode = (if user then `User else `Users);
+          mr_phase = PS.Phase.Always })
       (pair (pair (oneofl sources) (oneofl targets))
          (pair (oneofl fstypes) (pair flags_gen bool))))
 
