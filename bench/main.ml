@@ -955,7 +955,13 @@ let run_json ~out =
               lt_p50 = Trace.percentile k ~pct:50;
               lt_p90 = Trace.percentile k ~pct:90;
               lt_p99 = Trace.percentile k ~pct:99;
-              lt_max = k.Trace.k_max })
+              (* Percentiles resolve to bucket upper bounds; report the
+                 max at the same granularity so p99 <= max holds by
+                 construction (the exact max can sit below its bucket's
+                 edge while p99 lands in the same bucket). *)
+              lt_max =
+                max k.Trace.k_max
+                  (Trace.bucket_upper (Trace.bucket_index k.Trace.k_max)) })
       (Trace.keys (PD.trace disp))
   in
   (* Decision-plane scaling: per-domain-count min-op cost (gated) plus
@@ -990,6 +996,27 @@ let run_json ~out =
     Filename.concat (Filename.dirname out) "JOURNAL_protego.bin"
   in
   Protego_journal.Journal.save audit_row.au_journal journal_out;
+  (* protego-tune recommendations, when a TUNE file sits next to the
+     report: each "recommended_<knob> <value>" line surfaces in the
+     environment block as a tuned_<knob> key, so a report records the
+     knob settings the auto-tuner measured for this runner. *)
+  let tuned_env =
+    let tune_file =
+      Filename.concat (Filename.dirname out) "TUNE_protego.txt"
+    in
+    if not (Sys.file_exists tune_file) then []
+    else
+      In_channel.with_open_text tune_file In_channel.input_lines
+      |> List.filter_map (fun line ->
+             match String.split_on_char ' ' (String.trim line) with
+             | [ key; value ]
+               when String.starts_with ~prefix:"recommended_" key ->
+                 let knob =
+                   String.sub key 12 (String.length key - 12)
+                 in
+                 Some ("tuned_" ^ knob, value)
+             | _ -> None)
+  in
   let lookups = DC.hits cache + DC.misses cache in
   let report =
     { BR.scenarios =
@@ -1012,7 +1039,8 @@ let run_json ~out =
             String.concat ","
               (List.map string_of_int plane_domain_counts) );
           ("plane_requests", string_of_int plane_requests);
-          ("plane_audit_domains", string_of_int plane_audit_domains) ] }
+          ("plane_audit_domains", string_of_int plane_audit_domains) ]
+        @ tuned_env }
   in
   (match BR.validate report with
   | Ok () -> ()

@@ -4,6 +4,7 @@
    this tool reads the file back and offers:
 
      dump FILE           one line per live record, oldest segment first
+                         (--hook H, --deny-only, --record-only filter)
      stats FILE          the same stats block /proc/protego/journal shows
      verify FILE         structural checks over the live window
 
@@ -25,9 +26,44 @@ let load_or_die file =
       Printf.eprintf "protego-journal: %s: %s\n%!" file msg;
       exit 2
 
-let dump file =
+(* Dump filters.  An entry's hook is the request kind for decision
+   records; a kaudit record carries one only when it is an LSM
+   record-mode descriptor (op "record-<hook>").  --deny-only keeps
+   enforce-mode denials (verdict 0/2, or a disallowed kaudit);
+   --record-only keeps the permissive record-mode trail (decision
+   verdict 3, or any record-* kaudit descriptor). *)
+let hook_of_entry = function
+  | J.Decision d -> (
+      match d.J.d_req with
+      | J.Mount _ -> Some "mount"
+      | J.Umount _ -> Some "umount"
+      | J.Bind _ -> Some "bind"
+      | J.Ppp _ -> Some "ppp")
+  | J.Kaudit k ->
+      let prefix = "record-" in
+      let plen = String.length prefix in
+      if String.length k.J.k_op > plen && String.sub k.J.k_op 0 plen = prefix
+      then Some (String.sub k.J.k_op plen (String.length k.J.k_op - plen))
+      else None
+
+let entry_selected ~hook ~deny_only ~record_only e =
+  (match hook with None -> true | Some h -> hook_of_entry e = Some h)
+  && (not deny_only
+     ||
+     match e with
+     | J.Decision d -> d.J.d_verdict = 0 || d.J.d_verdict = 2
+     | J.Kaudit k -> not k.J.k_allowed)
+  && (not record_only
+     ||
+     match e with
+     | J.Decision d -> d.J.d_verdict = 3
+     | J.Kaudit _ as e -> hook_of_entry e <> None)
+
+let dump file hook deny_only record_only =
   let j = load_or_die file in
-  J.iter j (fun e -> print_endline (J.entry_to_string e))
+  J.iter j (fun e ->
+      if entry_selected ~hook ~deny_only ~record_only e then
+        print_endline (J.entry_to_string e))
 
 let stats file =
   let j = load_or_die file in
@@ -98,9 +134,31 @@ let strict_arg =
        & info [ "strict" ]
            ~doc:"Fail if any record was lost to wraparound.")
 
+let hook_arg =
+  Arg.(value
+       & opt (some (enum
+                      [ ("mount", "mount"); ("umount", "umount");
+                        ("bind", "bind"); ("ppp", "ppp"); ("nf", "nf") ]))
+           None
+       & info [ "hook" ] ~docv:"HOOK"
+           ~doc:"Only records of this hook (decision request kind, or a \
+                 record-mode kaudit descriptor's hook).")
+
+let deny_only_arg =
+  Arg.(value & flag
+       & info [ "deny-only" ]
+           ~doc:"Only enforce-mode denials (decision verdict deny/reject, \
+                 or disallowed kernel audit records).")
+
+let record_only_arg =
+  Arg.(value & flag
+       & info [ "record-only" ]
+           ~doc:"Only the permissive record-mode trail (decision verdict \
+                 'recorded', or record-* kernel audit descriptors).")
+
 let dump_cmd =
   Cmd.v (Cmd.info "dump" ~doc:"Print every live record, one per line")
-    Term.(const dump $ file_arg)
+    Term.(const dump $ file_arg $ hook_arg $ deny_only_arg $ record_only_arg)
 
 let stats_cmd =
   Cmd.v (Cmd.info "stats" ~doc:"Print the journal stats block")

@@ -1,0 +1,155 @@
+(* protego-tune: a pcbench-style auto-tuner for the decision plane.
+
+   Sweeps decision-cache capacity x domain count x zipf skew over the
+   seeded workload generator's scenarios, measures aggregate warm-path
+   capacity (Plane.capacity_per_sec: contention-free min-op cost summed
+   over workers), and writes the recommended knobs to a TUNE file the
+   bench harness folds into its report's environment block as tuned_*
+   keys.
+
+   The recommendation is the (capacity, domains) pair with the best
+   total capacity summed across the swept zipf skews — a knob setting
+   has to win across traffic shapes, not on one lucky distribution. *)
+
+module Plane = Protego_plane.Plane
+module PS = Protego_core.Policy_state
+module Workload = Protego_workload.Workload
+
+let die fmt =
+  Printf.ksprintf
+    (fun s ->
+      Printf.eprintf "protego-tune: %s\n%!" s;
+      exit 2)
+    fmt
+
+let parse_int_list name s =
+  List.map
+    (fun tok ->
+      match int_of_string_opt (String.trim tok) with
+      | Some n when n > 0 -> n
+      | _ -> die "%s: not a positive integer: %s" name tok)
+    (String.split_on_char ',' s)
+
+let parse_float_list name s =
+  List.map
+    (fun tok ->
+      match float_of_string_opt (String.trim tok) with
+      | Some f when f > 0.0 -> f
+      | _ -> die "%s: not a positive number: %s" name tok)
+    (String.split_on_char ',' s)
+
+let measure ~seed ~requests ~capacity ~domains ~zipf =
+  let spec =
+    { (Workload.default ~seed
+         ~phases:[ (Workload.Steady, requests) ] ())
+      with Workload.zipf_s = zipf }
+  in
+  let st = PS.create () in
+  Workload.install_policy spec st;
+  let plane = Plane.create ~domains ~cache_capacity:capacity st in
+  Plane.set_clock plane (fun () -> Int64.to_int (Monotonic_clock.now ()));
+  let schedule = Workload.generate spec ~workers:domains in
+  let rr = Plane.run plane ~collect:false schedule.Workload.s_requests in
+  Plane.capacity_per_sec rr
+
+let run seed requests caps domains zipfs out =
+  let caps = parse_int_list "--caps" caps in
+  let domains = parse_int_list "--domains" domains in
+  let zipfs = parse_float_list "--zipf" zipfs in
+  let rows =
+    List.concat_map
+      (fun capacity ->
+        List.concat_map
+          (fun d ->
+            List.map
+              (fun zipf ->
+                let cap_per_sec =
+                  measure ~seed ~requests ~capacity ~domains:d ~zipf
+                in
+                Printf.printf
+                  "measured cache=%d domains=%d zipf=%.2f \
+                   capacity_per_sec=%.0f\n%!"
+                  capacity d zipf cap_per_sec;
+                (capacity, d, zipf, cap_per_sec))
+              zipfs)
+          domains)
+      caps
+  in
+  (* score each (capacity, domains) knob pair across every swept skew *)
+  let knobs =
+    List.sort_uniq compare (List.map (fun (c, d, _, _) -> (c, d)) rows)
+  in
+  let score (c, d) =
+    List.fold_left
+      (fun acc (c', d', _, v) -> if c = c' && d = d' then acc +. v else acc)
+      0.0 rows
+  in
+  let best_c, best_d =
+    match knobs with
+    | [] -> die "empty sweep"
+    | k :: ks ->
+        List.fold_left
+          (fun best k -> if score k > score best then k else best)
+          k ks
+  in
+  let b = Buffer.create 512 in
+  Buffer.add_string b
+    "# protego-tune recommendations; measured on this runner, folded into \
+     the bench report's environment block.\n";
+  List.iter
+    (fun (c, d, z, v) ->
+      Buffer.add_string b
+        (Printf.sprintf "measured cache=%d domains=%d zipf=%.2f \
+                         capacity_per_sec=%.0f\n"
+           c d z v))
+    rows;
+  Buffer.add_string b
+    (Printf.sprintf "recommended_cache_capacity %d\n" best_c);
+  Buffer.add_string b (Printf.sprintf "recommended_domains %d\n" best_d);
+  Out_channel.with_open_text out (fun oc ->
+      Out_channel.output_string oc (Buffer.contents b));
+  Printf.printf
+    "protego-tune: recommended cache_capacity=%d domains=%d -> %s\n%!" best_c
+    best_d out
+
+open Cmdliner
+
+let seed_arg =
+  Arg.(value & opt int 42
+       & info [ "seed" ] ~docv:"N" ~doc:"Workload PRNG seed.")
+
+let requests_arg =
+  Arg.(value & opt int 8000
+       & info [ "requests" ] ~docv:"N" ~doc:"Requests per measurement run.")
+
+let caps_arg =
+  Arg.(value & opt string "256,1024,4096"
+       & info [ "caps" ] ~docv:"LIST"
+           ~doc:"Decision-cache capacities to sweep (comma-separated).")
+
+let domains_arg =
+  Arg.(value & opt string "1,2,4"
+       & info [ "domains" ] ~docv:"LIST"
+           ~doc:"Domain counts to sweep (comma-separated).")
+
+let zipf_arg =
+  Arg.(value & opt string "0.9,1.3"
+       & info [ "zipf" ] ~docv:"LIST"
+           ~doc:"Zipf skews to sweep (comma-separated).")
+
+let out_arg =
+  Arg.(value & opt string "TUNE_protego.txt"
+       & info [ "o"; "out" ] ~docv:"FILE"
+           ~doc:"Where to write the recommendations.")
+
+let () =
+  let info =
+    Cmd.info "protego-tune"
+      ~doc:"Sweep plane knobs over seeded workloads; recommend settings"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.v info
+          Term.(
+            const run $ seed_arg $ requests_arg $ caps_arg $ domains_arg
+            $ zipf_arg $ out_arg)))

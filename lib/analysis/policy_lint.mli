@@ -137,3 +137,10 @@ val parse_chain :
     (see {!Netfilter.rule_of_spec}), plus an optional
     [policy ACCEPT|DROP|REJECT] line (default [ACCEPT]); [#] comments
     and blank lines ignored. *)
+
+val sensitive_prefixes : string list
+(** System paths PL-M004 protects against being shadowed by a mount
+    target — shared with the policy synthesizer's admissibility check. *)
+
+val path_under : string -> string -> bool
+(** [path_under prefix p]: [p] is [prefix] or lies strictly under it. *)

@@ -516,10 +516,46 @@ let ppp_ioctl_notes ?phase (policy : Pppopts.t) =
       Asm.note a
         (Printf.sprintf "allow-device %s"
            (String.concat "," (List.map fst devices)));
-      Asm.ld_str a p_device;
-      Asm.sswitch a
-        (List.sort_uniq compare (List.map (fun (d, _) -> (d, l_safe)) devices))
-        ~default:l_deny
+      (* Exact entries go through the string switch; glob entries
+         ([/dev/ttyS*]) fall out of its default into a prefix-check
+         chain.  Every match lands on the same safe-bit check, so the
+         split is order-insensitive and stays provably equal to the
+         linear first-match compilation. *)
+      let exacts, globs =
+        List.partition (fun (d, _) -> Pppopts.glob_stem d = None) devices
+      in
+      let stems =
+        List.sort_uniq compare
+          (List.filter_map (fun (d, _) -> Pppopts.glob_stem d) globs)
+      in
+      let emit_globs () =
+        let n = List.length stems in
+        List.iteri
+          (fun i stem ->
+            let l_next = if i = n - 1 then l_deny else Asm.fresh_label a in
+            Asm.ld_str a p_device;
+            Asm.jif a (Pfm.Str_prefix stem) ~jt:l_safe ~jf:l_next;
+            if i < n - 1 then Asm.place a l_next)
+          stems
+      in
+      match (exacts, stems) with
+      | [], [] -> Asm.jmp a l_deny
+      | [], _ -> emit_globs ()
+      | _, [] ->
+          Asm.ld_str a p_device;
+          Asm.sswitch a
+            (List.sort_uniq compare
+               (List.map (fun (d, _) -> (d, l_safe)) exacts))
+            ~default:l_deny
+      | _, _ ->
+          let l_globs = Asm.fresh_label a in
+          Asm.ld_str a p_device;
+          Asm.sswitch a
+            (List.sort_uniq compare
+               (List.map (fun (d, _) -> (d, l_safe)) exacts))
+            ~default:l_globs;
+          Asm.place a l_globs;
+          emit_globs ()
     in
     if phased then
       emit_phase_dispatch a ~l_deny ~emit_for_phase:(fun p ->
@@ -685,7 +721,12 @@ let ppp_linear (policy : Pppopts.t) =
         let l_next = if i = n - 1 then l_deny else Asm.fresh_label a in
         emit_guard_check a g ~jf:l_next;
         Asm.ld_str a p_device;
-        check a (Pfm.Str_eq d) ~jf:l_next;
+        (let cond =
+           match Pppopts.glob_stem d with
+           | Some stem -> Pfm.Str_prefix stem
+           | None -> Pfm.Str_eq d
+         in
+         check a cond ~jf:l_next);
         Asm.jmp a l_safe;
         if i < n - 1 then Asm.place a l_next)
       devices;

@@ -519,6 +519,7 @@ let verdict_name = function
   | 0 -> "deny"
   | 1 -> "allow"
   | 2 -> "reject"
+  | 3 -> "recorded" (* record mode: would-deny, allowed-but-audited *)
   | n -> Printf.sprintf "verdict%d" n
 
 let errno_name = function

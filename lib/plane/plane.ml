@@ -127,8 +127,8 @@ type worker = {
   w_keys : Trace.key array;        (* per hook, engine "plane" *)
 }
 
-let make_worker journal id snap =
-  let cache = DC.create () in
+let make_worker ?cache_capacity journal id snap =
+  let cache = DC.create ?capacity:cache_capacity () in
   let ch = Array.init hook_count (fun hi -> DC.register cache (hook_name hi)) in
   let tr = Trace.create () in
   let keys =
@@ -163,6 +163,12 @@ type t = {
   mutable clock : (unit -> int) option;
   mutable runs : int;
   mutable audit : audit_mode;
+  mutable record : bool;
+  (* record mode: engine verdicts other than Allow are served as Allow
+     but journaled with the distinct verdict code 3 ("recorded"), so a
+     permissive observation run captures exactly what enforcement would
+     have denied without actually denying it. *)
+  cache_capacity : int option;   (* worker decision-cache capacity knob *)
   mutable journal : J.t;
   mutable rotations : int;
   jseg_bytes : int;   (* journal geometry, reused on rotate *)
@@ -177,7 +183,7 @@ let max_domains = 64
 let clamp_domains ~segments d = max 1 (min (min max_domains segments) d)
 
 let create ?(domains = 1) ?(journal_seg_bytes = 262144)
-    ?(journal_segments = 32) st =
+    ?(journal_segments = 32) ?cache_capacity st =
   let pub = Snapshot.make st in
   let d = clamp_domains ~segments:journal_segments domains in
   let snap = Snapshot.current pub in
@@ -187,8 +193,9 @@ let create ?(domains = 1) ?(journal_seg_bytes = 262144)
   { st; pub;
     phases = Array.init phase_slots (fun _ -> Atomic.make 0);
     domains = d;
-    workers = Array.init d (fun i -> make_worker journal i snap);
-    engine = `Pfm; clock = None; runs = 0; audit = `Journal; journal;
+    workers = Array.init d (fun i -> make_worker ?cache_capacity journal i snap);
+    engine = `Pfm; clock = None; runs = 0; audit = `Journal;
+    record = false; cache_capacity; journal;
     rotations = 0; jseg_bytes = journal_seg_bytes; jsegs = journal_segments;
     running = false }
 
@@ -208,10 +215,18 @@ let set_domains t d =
   Array.iter (fun w -> J.retire w.w_term) t.workers;
   t.domains <- d;
   let snap = Snapshot.current t.pub in
-  t.workers <- Array.init d (fun i -> make_worker t.journal i snap)
+  t.workers <-
+    Array.init d (fun i ->
+        make_worker ?cache_capacity:t.cache_capacity t.journal i snap)
 
 let audit_mode t = t.audit
 let set_audit_mode t m = t.audit <- m
+
+let record_mode t = t.record
+
+let set_record_mode t on =
+  if t.running then invalid_arg (in_flight_msg "set_record_mode");
+  t.record <- on
 let journal t = t.journal
 let rotations t = t.rotations
 
@@ -447,9 +462,11 @@ let split_phase s =
 (* Claim-and-encode one decision into the worker's journal term.  The
    ppp option collapses to its safe bit, which is the only thing the
    decision depends on; the flags list collapses to the compiled mask. *)
-let journal_append term ~run ~seq req (o : outcome) =
+let journal_append ?(recorded = false) term ~run ~seq req (o : outcome) =
   let verdict =
-    match o.o_verdict with Pfm.Allow -> 1 | Pfm.Deny -> 0 | Pfm.Reject -> 2
+    if recorded then 3
+    else
+      match o.o_verdict with Pfm.Allow -> 1 | Pfm.Deny -> 0 | Pfm.Reject -> 2
   in
   let errno = match o.o_errno with None -> 0 | Some e -> Errno.to_code e in
   let epoch = o.o_epoch in
@@ -514,10 +531,20 @@ let worker_slice t w reqs ~start ~stop ~d ~engine ~clock ~collect ~outcomes
         | _ -> decide_one t w engine req
       in
       w.w_sample <- w.w_sample + 1;
+      (* Record mode: the engine's true verdict was just computed (and
+         cached); a would-deny is served as Allow while the journal
+         keeps the distinct "recorded" tag.  The spool mirrors the
+         served outcome, so the journal/spool differential still holds
+         once verdict 3 decodes as allowed. *)
+      let recorded = t.record && o.o_verdict <> Pfm.Allow in
+      let o =
+        if recorded then { o with o_verdict = Pfm.Allow; o_errno = None }
+        else o
+      in
       if collect then outcomes.(!i) <- o;
       (match mode with
        | `Off -> ()
-       | `Journal -> journal_append w.w_term ~run:run_id ~seq:!i req o
+       | `Journal -> journal_append ~recorded w.w_term ~run:run_id ~seq:!i req o
        | `Spool | `Both ->
            let k = spool.sp_len in
            spool.sp_seq.(k) <- !i;
@@ -527,7 +554,7 @@ let worker_slice t w reqs ~start ~stop ~d ~engine ~clock ~collect ~outcomes
            spool.sp_epoch.(k) <- o.o_epoch;
            spool.sp_len <- k + 1;
            if mode = `Both then
-             journal_append w.w_term ~run:run_id ~seq:!i req o);
+             journal_append ~recorded w.w_term ~run:run_id ~seq:!i req o);
       i := !i + d
     done;
     (match clock with
@@ -554,7 +581,9 @@ let audit_of_stitched ds =
         | J.Ppp _ -> 3
       in
       { a_seq = dec.J.d_seq; a_hook = hook; a_subject = dec.J.d_subject;
-        a_allowed = dec.J.d_verdict = 1; a_epoch = dec.J.d_epoch })
+        (* verdict 3 = "recorded": served as an allow under record mode *)
+        a_allowed = (dec.J.d_verdict = 1 || dec.J.d_verdict = 3);
+        a_epoch = dec.J.d_epoch })
     ds
 
 let stitched_audit t ~run_id ~n =
@@ -741,6 +770,8 @@ let render t =
        "audit mode %s records %d live %d dropped %d rotations %d\n"
        (audit_mode_name t.audit) js.J.s_records js.J.s_live js.J.s_dropped
        t.rotations);
+  Buffer.add_string b
+    (Printf.sprintf "record %s\n" (if t.record then "on" else "off"));
   Array.iter
     (fun w ->
       Buffer.add_string b
@@ -786,6 +817,14 @@ let handle_write t contents =
       end
   | "engine pfm" -> set_engine t `Pfm; Ok ()
   | "engine ref" -> set_engine t `Ref; Ok ()
+  | "record on" | "record off" ->
+      let on = String.trim contents = "record on" in
+      if t.running then
+        Error "plane: a run is in flight; retry record toggle after it completes"
+      else begin
+        t.record <- on;
+        Ok ()
+      end
   | "audit off" -> set_audit_mode t `Off; Ok ()
   | "audit spool" -> set_audit_mode t `Spool; Ok ()
   | "audit journal" -> set_audit_mode t `Journal; Ok ()

@@ -116,14 +116,18 @@ type t
 
 val create :
   ?domains:int -> ?journal_seg_bytes:int -> ?journal_segments:int ->
-  PS.t -> t
+  ?cache_capacity:int -> PS.t -> t
 (** A plane over the live state, initial snapshot published at epoch 0.
     [domains] defaults to 1 and is clamped to
     [1..min max_domains journal_segments] — each worker's journal term
     owns a whole segment, so the journal geometry bounds the domain
     count.  [journal_seg_bytes] (default 256 KiB) and [journal_segments]
     (default 32) size the audit journal; both must be powers of two
-    (see {!Protego_journal.Journal.create}). *)
+    (see {!Protego_journal.Journal.create}).  [cache_capacity] sizes
+    each worker's decision cache (default
+    {!Protego_cache.Decision_cache.create}'s own default); it sticks
+    across {!set_domains} worker rebuilds — the knob [protego-tune]
+    sweeps. *)
 
 val max_domains : int
 
@@ -281,6 +285,16 @@ val worker_term : t -> int -> Protego_journal.Journal.term
 
 val audit_mode : t -> audit_mode
 val set_audit_mode : t -> audit_mode -> unit
+
+val record_mode : t -> bool
+
+val set_record_mode : t -> bool -> unit
+(** Permissive record mode.  While on, a request the engine would deny
+    or reject is {e served} as an allow (outcomes, spool) but journaled
+    with the distinct verdict code 3 ("recorded") — the raw material
+    the policy synthesizer generalizes from.  Engine caches keep the
+    true verdicts, so toggling record off needs no invalidation.
+    @raise Invalid_argument if a run is in flight. *)
 
 val journal : t -> Protego_journal.Journal.t
 (** The plane's current journal (replaced by {!rotate_journal}). *)

@@ -44,11 +44,25 @@ let to_string t =
 let user_routes_allowed t =
   List.exists (function Allow_user_routes -> true | _ -> false) t.directives
 
+(* A directive whose device ends in '*' is a glob: it matches any
+   device carrying the stem as a prefix ([allow-device /dev/ttyS*]).
+   '*' is only meaningful in that trailing position. *)
+let glob_stem d =
+  let n = String.length d in
+  if n > 0 && d.[n - 1] = '*' then Some (String.sub d 0 (n - 1)) else None
+
+let device_matches d dev =
+  match glob_stem d with
+  | Some stem ->
+      String.length dev >= String.length stem
+      && String.sub dev 0 (String.length stem) = stem
+  | None -> d = dev
+
 let device_allowed ?phase t dev =
   List.exists
     (function
       | Allow_device (d, g) ->
-          d = dev
+          device_matches d dev
           && (match phase with None -> true | Some p -> Phase.active g p)
       | _ -> false)
     t.directives

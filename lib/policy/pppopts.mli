@@ -21,7 +21,10 @@ type directive =
       (** serial device unprivileged pppd may configure, optionally
           restricted to a lifecycle window ([allow-device /dev/ttyS0
           phase<=setup]: modem configuration only during session
-          setup) *)
+          setup).  A trailing ['*'] makes the entry a glob matching
+          every device with that prefix ([allow-device /dev/ttyS*]) —
+          the shape the policy synthesizer emits when it folds a family
+          of observed devices into one rule. *)
 
 type t = {
   directives : directive list;
@@ -32,8 +35,13 @@ val to_string : t -> string
 
 val user_routes_allowed : t -> bool
 
+val glob_stem : string -> string option
+(** [Some stem] when the device pattern ends in ['*'] (glob entry),
+    [None] for an exact device name. *)
+
 val device_allowed : ?phase:Protego_base.Phase.t -> t -> string -> bool
 (** Without [?phase], ignores guards (is the device listed at all); with
-    it, the directive must also be active in that phase. *)
+    it, the directive must also be active in that phase.  Exact entries
+    match by equality, glob entries by prefix. *)
 
 val session_options : t -> Protego_net.Ppp.option_ list

@@ -62,6 +62,24 @@ let default_raw_socket_rules =
 
 let stock = Security.stock_linux
 
+(* Record-mode observation trail.  While /proc/protego/record is on,
+   every filter-backed decision leaves an extra kaudit entry (op
+   ["record-<hook>"]) whose object is a canonical space-separated
+   key=value descriptor of the full decision arguments and serving
+   phase — the policy synthesizer's raw input.  [verdict=allow] marks a
+   genuine allow, [verdict=recorded] a would-deny the permissive mode
+   flipped; none of the values contain spaces. *)
+let record_emit disp m task ~hook ~subject ~desc =
+  if Pfm_dispatch.record_mode disp then
+    let verdict =
+      if Pfm_dispatch.last_recorded disp then "recorded" else "allow"
+    in
+    Audit.emit m task ~op:("record-" ^ hook)
+      ~obj:
+        (Printf.sprintf "phase=%s subject=%d verdict=%s %s"
+           (Phase.to_string task.sec.phase) subject verdict desc)
+      ~allowed:true
+
 let sb_mount disp st m task ~source ~target ~fstype ~flags =
   match stock.sb_mount m task ~source ~target ~fstype ~flags with
   | Ok () -> Ok ()
@@ -72,6 +90,11 @@ let sb_mount disp st m task ~source ~target ~fstype ~flags =
         Pfm_dispatch.decide_mount disp ~subject:task.cred.ruid
           ~phase:task.sec.phase st ~source ~target ~fstype ~flags
       in
+      record_emit disp m task ~hook:"mount" ~subject:task.cred.ruid
+        ~desc:
+          (Printf.sprintf "source=%s target=%s fstype=%s flags=%s" source
+             target fstype
+             (Policy_state.flags_to_string flags));
       Audit.emit ~engine:(Pfm_dispatch.decision_engine_name disp)
         ?span:(Pfm_dispatch.last_span disp) m task ~op:"mount" ~obj ~allowed;
       if allowed then Ok () else Error Errno.EPERM
@@ -88,6 +111,9 @@ let sb_umount disp st m task ~target =
             Pfm_dispatch.decide_umount disp ~phase:task.sec.phase st ~target
               ~mounted_by:mnt.mnt_by ~ruid:task.cred.ruid
           in
+          record_emit disp m task ~hook:"umount" ~subject:task.cred.ruid
+            ~desc:
+              (Printf.sprintf "target=%s mounted_by=%d" target mnt.mnt_by);
           Audit.emit ~engine:(Pfm_dispatch.decision_engine_name disp)
             ?span:(Pfm_dispatch.last_span disp) m task ~op:"umount" ~obj:target
             ~allowed;
@@ -121,6 +147,10 @@ let socket_bind disp st m task sock _addr port =
           Pfm_dispatch.decide_bind disp ~phase:task.sec.phase st ~port ~proto
             ~exe:task.exe_path ~uid:task.cred.euid
         in
+        record_emit disp m task ~hook:"bind" ~subject:task.cred.euid
+          ~desc:
+            (Printf.sprintf "port=%d proto=%s exe=%s" port
+               (Bindconf.proto_to_string proto) task.exe_path);
         Audit.emit ~engine:(Pfm_dispatch.decision_engine_name disp)
           ?span:(Pfm_dispatch.last_span disp) m task ~op:"bind" ~obj ~allowed;
         if allowed then Ok () else Error Errno.EACCES
@@ -348,11 +378,15 @@ let file_ioctl disp st m task req =
           in
           match owned with Some _ -> Ok () | None -> stock_denial)
       | Ioctl_modem_config { ioctl_dev; ppp_opt } ->
-          if
+          let allowed =
             Pfm_dispatch.decide_ppp_ioctl disp ~subject:task.cred.ruid
               ~phase:task.sec.phase st ~device:ioctl_dev ~opt:ppp_opt
-          then Ok ()
-          else Error Errno.EPERM
+          in
+          record_emit disp m task ~hook:"ppp" ~subject:task.cred.ruid
+            ~desc:
+              (Printf.sprintf "device=%s safe=%s" ioctl_dev
+                 (if Protego_net.Ppp.option_is_safe ppp_opt then "1" else "0"));
+          if allowed then Ok () else Error Errno.EPERM
       | Ioctl_dm_table_status _ ->
           (* Interface redesign, not policy: the ioctl stays root-only and
              unprivileged readers use /sys (§4.1). *)
@@ -431,6 +465,22 @@ let install_proc_files m st disp =
             ~rollback:(fun () -> st.Policy_state.mounts <- prev)
       | Error msg ->
           log_dmesg m "protego: mount_whitelist rejected: %s" msg;
+          Error Errno.EINVAL);
+  add "/proc/protego/record"
+    ~read:(fun _m _t ->
+      Ok ((if Pfm_dispatch.record_mode disp then "on" else "off") ^ "\n"))
+    ~write:(fun m t contents ->
+      match String.trim contents with
+      | "on" | "off" ->
+          let on = String.trim contents = "on" in
+          Pfm_dispatch.set_record disp on;
+          Audit.emit m t ~op:"record-mode"
+            ~obj:(if on then "on" else "off")
+            ~allowed:true;
+          log_dmesg m "protego: record mode %s" (if on then "on" else "off");
+          Ok ()
+      | other ->
+          log_dmesg m "protego: record takes on|off, got %S" other;
           Error Errno.EINVAL);
   add "/proc/protego/bind_map"
     ~read:(fun _m _t -> Ok (Bindconf.to_string st.Policy_state.binds))
@@ -670,6 +720,48 @@ let install m =
   install_netfilter_rules m;
   Netfilter.set_output_override m.netfilter
     (Some
-       (fun pkt ~origin -> Pfm_dispatch.decide_nf_output disp m.netfilter pkt ~origin));
+       (fun pkt ~origin ->
+         let v = Pfm_dispatch.decide_nf_output disp m.netfilter pkt ~origin in
+         (* Netfilter decisions have no task context, so the record
+            trail rides on the kernel task with the origin uid in the
+            descriptor; packets carry no lifecycle phase (phase=-). *)
+         (if Pfm_dispatch.record_mode disp then
+            let verdict =
+              if Pfm_dispatch.last_recorded disp then "recorded" else "allow"
+            in
+            let uid =
+              match origin with
+              | Packet.Kernel_stack -> 0
+              | Packet.Raw_app { uid } | Packet.Packet_app { uid } -> uid
+            in
+            let origin_s =
+              match origin with
+              | Packet.Kernel_stack -> "kernel"
+              | Packet.Raw_app _ -> "raw"
+              | Packet.Packet_app _ -> "packet"
+            in
+            let dport =
+              match Packet.dst_port pkt with
+              | Some p -> string_of_int p
+              | None -> "-"
+            in
+            let icmp =
+              match pkt.Packet.transport with
+              | Packet.Icmp_msg { icmp_type; _ } ->
+                  Packet.icmp_type_to_string icmp_type
+              | _ -> "-"
+            in
+            Audit.emit m (Machine.kernel_task m) ~op:"record-nf"
+              ~obj:
+                (Printf.sprintf
+                   "phase=- subject=%d verdict=%s proto=%s dst=%s dport=%s \
+                    origin=%s icmp=%s"
+                   uid verdict
+                   (Packet.proto_to_string
+                      (Packet.proto_of_transport pkt.Packet.transport))
+                   (Protego_net.Ipaddr.to_string pkt.Packet.dst)
+                   dport origin_s icmp)
+              ~allowed:true);
+         v));
   log_dmesg m "protego: LSM active";
   { machine = m; state = st; dispatch = disp }

@@ -65,6 +65,12 @@ type engine_keys = {
 type t = {
   mutable engine : engine;
   mutable lint_mode : lint_mode;
+  mutable record : bool;
+      (** permissive record mode: would-be denials are granted, flagged
+          via [last_recorded] so the hook layer can audit them *)
+  mutable last_recorded : bool;
+      (** the most recent decision was a would-deny flipped by record
+          mode (false on every genuine allow/deny) *)
   mutable last_engine : string;
       (** what served the most recent decision: "cache", "pfm" or "ref" *)
   mount_cache : Policy_state.mount_rule list cache;
@@ -142,6 +148,8 @@ let create () =
   let t =
     { engine = `Pfm;
     lint_mode = `Warn;
+    record = false;
+    last_recorded = false;
     last_engine = "pfm";
     mount_cache = { slot = None };
     umount_cache = { slot = None };
@@ -201,6 +209,10 @@ let engine_name t = match t.engine with `Pfm -> "pfm" | `Ref -> "ref"
 let decision_engine_name t = t.last_engine
 let lint_mode t = t.lint_mode
 let set_lint_mode t m = t.lint_mode <- m
+
+let record_mode t = t.record
+let set_record t on = t.record <- on; t.last_recorded <- false
+let last_recorded t = t.last_recorded
 
 let lint_mode_name t =
   match t.lint_mode with `Warn -> "warn" | `Enforce -> "enforce"
@@ -468,6 +480,19 @@ let filter_rule (r : Policy_state.mount_rule) : Compile.mount_rule =
    without task context (bench, fuzz) default to [Phase.initial], which
    is verdict-neutral for unphased policies. *)
 
+(* Every decide_* funnels its engine verdict through one of these two
+   epilogues.  Caches and front slots were already fed the TRUE verdict
+   by the time we get here, so record mode never pollutes them: only
+   the value handed back to the hook is flipped, and [last_recorded]
+   tells the hook layer to audit the would-deny. *)
+let record_result t v =
+  t.last_recorded <- t.record && v <> Pfm.Allow;
+  t.last_recorded || v = Pfm.Allow
+
+let record_nf_result t v =
+  t.last_recorded <- t.record && v <> Pfm.Allow;
+  if t.last_recorded then Netfilter.Accept else Compile.netfilter_of_verdict v
+
 let decide_mount t ?(subject = 0) ?(phase = Phase.initial) (st : Policy_state.t)
     ~source ~target ~fstype ~flags =
   let t0 = if t.traced then Trace.now t.trace else 0 in
@@ -494,7 +519,7 @@ let decide_mount t ?(subject = 0) ?(phase = Phase.initial) (st : Policy_state.t)
            else [])
         ~verdict:v ~errno:(deny_errno Errno.EPERM v)
         ~gen:(Array.unsafe_get gens 0);
-    v = Pfm.Allow
+    record_result t v
   end
   else begin
     let sp = t.traced && Trace.spans_enabled t.trace in
@@ -541,7 +566,7 @@ let decide_mount t ?(subject = 0) ?(phase = Phase.initial) (st : Policy_state.t)
     if t.traced then
       conclude t t.tk_mount ~t0 ~stages:(List.rev stages) ~verdict:v ~errno
         ~gen:gens.(0);
-    v = Pfm.Allow
+    record_result t v
   end
 
 let decide_umount t ?(phase = Phase.initial) (st : Policy_state.t) ~target
@@ -567,7 +592,7 @@ let decide_umount t ?(phase = Phase.initial) (st : Policy_state.t) ~target
            else [])
         ~verdict:v ~errno:(deny_errno Errno.EPERM v)
         ~gen:(Array.unsafe_get gens 0);
-    v = Pfm.Allow
+    record_result t v
   end
   else begin
     let sp = t.traced && Trace.spans_enabled t.trace in
@@ -613,7 +638,7 @@ let decide_umount t ?(phase = Phase.initial) (st : Policy_state.t) ~target
     if t.traced then
       conclude t t.tk_umount ~t0 ~stages:(List.rev stages) ~verdict:v ~errno
         ~gen:gens.(0);
-    v = Pfm.Allow
+    record_result t v
   end
 
 let decide_bind t ?(phase = Phase.initial) (st : Policy_state.t) ~port ~proto
@@ -640,7 +665,7 @@ let decide_bind t ?(phase = Phase.initial) (st : Policy_state.t) ~port ~proto
            else [])
         ~verdict:v ~errno:(deny_errno Errno.EACCES v)
         ~gen:(Array.unsafe_get gens 0);
-    v = Pfm.Allow
+    record_result t v
   end
   else begin
     let sp = t.traced && Trace.spans_enabled t.trace in
@@ -681,7 +706,7 @@ let decide_bind t ?(phase = Phase.initial) (st : Policy_state.t) ~port ~proto
     if t.traced then
       conclude t t.tk_bind ~t0 ~stages:(List.rev stages) ~verdict:v ~errno
         ~gen:gens.(0);
-    v = Pfm.Allow
+    record_result t v
   end
 
 let decide_ppp_ioctl t ?(subject = 0) ?(phase = Phase.initial)
@@ -709,7 +734,7 @@ let decide_ppp_ioctl t ?(subject = 0) ?(phase = Phase.initial)
            else [])
         ~verdict:v ~errno:(deny_errno Errno.EPERM v)
         ~gen:(Array.unsafe_get gens 0);
-    v = Pfm.Allow
+    record_result t v
   end
   else begin
     let sp = t.traced && Trace.spans_enabled t.trace in
@@ -750,7 +775,7 @@ let decide_ppp_ioctl t ?(subject = 0) ?(phase = Phase.initial)
     if t.traced then
       conclude t t.tk_ppp ~t0 ~stages:(List.rev stages) ~verdict:v ~errno
         ~gen:gens.(0);
-    v = Pfm.Allow
+    record_result t v
   end
 
 let decide_nf_output t nf pkt ~origin =
@@ -776,7 +801,7 @@ let decide_nf_output t nf pkt ~origin =
           (if Trace.spans_enabled t.trace then [ ("slot", Trace.now t.trace - t0) ]
            else [])
         ~verdict:v ~errno:None ~gen:(Array.unsafe_get gens 0);
-    Compile.netfilter_of_verdict v
+    record_nf_result t v
   end
   else begin
     let sp = t.traced && Trace.spans_enabled t.trace in
@@ -830,7 +855,7 @@ let decide_nf_output t nf pkt ~origin =
     if t.traced then
       conclude t t.tk_nf ~t0 ~stages:(List.rev stages) ~verdict:v ~errno:None
         ~gen:gens.(0);
-    Compile.netfilter_of_verdict v
+    record_nf_result t v
   end
 
 (* --- load-time policy lint --------------------------------------------- *)

@@ -79,6 +79,20 @@ val set_lint_mode : t -> lint_mode -> unit
 val lint_mode_name : t -> string
 (** ["warn"] or ["enforce"]. *)
 
+val record_mode : t -> bool
+
+val set_record : t -> bool -> unit
+(** Permissive record mode ([/proc/protego/record]).  While on, every
+    decide function returns allow; a decision the policy would actually
+    have denied sets {!last_recorded} so the hook layer can emit a
+    record-tagged audit entry carrying the full canonical arguments.
+    Engine caches and front slots always hold the true verdicts, so
+    toggling the mode needs no invalidation. *)
+
+val last_recorded : t -> bool
+(** The most recent decide_* call was a would-deny flipped to allow by
+    record mode.  [false] after any genuine allow or deny. *)
+
 val stats : t -> (string * hook_stats) list
 (** Fixed order: mount, umount, bind, nf_output, ppp_ioctl. *)
 

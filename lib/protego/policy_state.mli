@@ -118,6 +118,13 @@ val group_names_of_user : t -> string -> string list
 val parse_mounts : string -> (mount_rule list, string) result
 val mounts_to_string : mount_rule list -> string
 
+val flags_to_string : Ktypes.mount_flag list -> string
+(** ["-"] for the empty list, else comma-joined flag names — the
+    whitelist grammar's flag column, reused by the record-mode audit
+    descriptors and the policy synthesizer. *)
+
+val flags_of_string : string -> (Ktypes.mount_flag list, string) result
+
 val parse_accounts :
   string -> (account_user list * account_group list, string) result
 val accounts_to_string : account_user list -> account_group list -> string

@@ -6,10 +6,14 @@
 #   --fast   build + full unit/property suite + strict policy lint
 #            (including the phased examples and the deliberate-loosening
 #            rejection check).  This is the per-compiler signal job.
-#   --full   everything the fast tier skips: the bench regression gate,
-#            journal artifact verification, the cache/equivalence/plane/
-#            journal/sim stress suites, both seeded simulation sweeps and
-#            the plane scaling smoke.  Runs once, gated on the fast jobs.
+#   --full   everything the fast tier skips: the protego-tune sweep, the
+#            bench regression gate (with tuned_* knobs asserted in the
+#            report), journal artifact verification, the cache/
+#            equivalence/plane/journal/sim stress suites, both seeded
+#            simulation sweeps, the plane scaling smoke and the
+#            protego-synth record->synthesize->verify closed loop (fresh
+#            recording + the committed fixture pair).  Runs once, gated
+#            on the fast jobs.
 #
 # With no argument both tiers run back to back (local use).
 set -eu
@@ -81,6 +85,15 @@ full_tier() {
     echo "==> dune build"
     dune build
 
+    # A small pcbench-style sweep (capacity x domains x zipf) writes
+    # TUNE_protego.txt next to the report; the bench run below folds the
+    # recommended_* lines into its environment block as tuned_* keys, a
+    # fact asserted right after the report lands.
+    echo "==> protego-tune sweep (knobs land in TUNE_protego.txt)"
+    ./_build/default/bin/tune.exe \
+        --caps 256,1024 --domains 1,2 --zipf 0.9 --requests 2000 \
+        -o TUNE_protego.txt
+
     # The bench emits a versioned JSON report; bench_gate parses it back,
     # asserts its structure (schema, required scenarios, sane non-zero
     # rates, monotone percentiles) and compares every *_ns metric against
@@ -96,6 +109,12 @@ full_tier() {
     ./_build/default/bin/bench_gate.exe BENCH_protego.json \
         --baseline bench/baseline.json --tolerance 3 \
         --floor filter:nf_output,opt_speedup,3
+
+    echo "==> tuned knobs present in the bench environment block"
+    grep -q '"tuned_cache_capacity"' BENCH_protego.json || {
+        echo "CI: BENCH_protego.json carries no tuned_* environment keys" >&2
+        exit 1
+    }
 
     # The audit bench saves the steady journal's binary image; verifying it
     # with the standalone CLI exercises the full persistence + decode +
@@ -157,6 +176,29 @@ full_tier() {
 
     echo "==> decision-plane scaling smoke (numbers land in PLANE_scaling.txt)"
     ./_build/default/bench/main.exe plane | tee PLANE_scaling.txt
+
+    # The record -> synthesize -> verify closed loop on a fresh seeded
+    # deny-flood: record in permissive mode, synthesize policy sources,
+    # then verify determinism (byte-identical re-synthesis), strict
+    # lint, enforce-mode load and a zero-false-deny replay.  The
+    # synthesized directory is uploaded as an artifact.
+    echo "==> protego-synth closed loop (policies land in SYNTH_protego/)"
+    rm -rf SYNTH_protego && mkdir SYNTH_protego
+    ./_build/default/bin/synth.exe record --seed 7 --requests 5000 \
+        -o SYNTH_protego/RECORD.bin
+    ./_build/default/bin/synth.exe emit \
+        --journal SYNTH_protego/RECORD.bin --dir SYNTH_protego \
+        | tee SYNTH_protego/emit.log
+    ./_build/default/bin/synth.exe verify \
+        --journal SYNTH_protego/RECORD.bin --dir SYNTH_protego
+
+    # The committed fixture pair: re-synthesizing the committed recorded
+    # journal must reproduce the committed policy sources byte for byte
+    # (plus the same lint/load/replay gauntlet).
+    echo "==> committed synth fixture is reproducible"
+    ./_build/default/bin/synth.exe verify \
+        --journal examples/policies/synth/RECORD.bin \
+        --dir examples/policies/synth
 }
 
 case "$mode" in

@@ -17,4 +17,4 @@ let () =
    @ Test_functional.suites @ Test_study.suites @ Test_fuzz.suites
    @ Test_cache.suites @ Test_trace.suites @ Test_interleave.suites
    @ Test_plane.suites @ Test_journal.suites @ Test_equiv.suites
-   @ Test_phase.suites @ Test_sim.suites)
+   @ Test_phase.suites @ Test_sim.suites @ Test_synth.suites)
